@@ -1,0 +1,178 @@
+//! Committee-tree geometry and representative sampling.
+//!
+//! The almost-everywhere substrate arranges the `n` nodes as leaves of a
+//! binary tournament tree (the structure of KSSV06): level-0 groups are
+//! index-contiguous blocks of `c = Θ(log n)` nodes; the level-`k` range of
+//! index `j` covers `c·2^k` nodes. Each tree node has an agreed 64-bit
+//! *group value* distilled from its subtree's randomness, and a
+//! *representative committee* of `c` nodes sampled from its range with the
+//! group value as seed — so representatives are unpredictable until the
+//! subtree's randomness is fixed, and any claim "I am a representative of
+//! `(k, j)` with value `v`" is verifiable by re-sampling.
+
+use fba_sim::rng::mix;
+use fba_sim::NodeId;
+
+use fba_samplers::{tags, Sampler};
+
+/// Inclusive-exclusive index range of tree node `(level, idx)`.
+///
+/// Returns an empty range when `idx` is out of bounds for the level.
+#[must_use]
+pub fn range(n: usize, c: usize, level: u32, idx: u32) -> std::ops::Range<usize> {
+    let block = c << level;
+    let lo = (idx as usize) * block;
+    let hi = (lo + block).min(n);
+    lo..hi.max(lo)
+}
+
+/// Number of tree nodes at `level`.
+#[must_use]
+pub fn nodes_at_level(n: usize, c: usize, level: u32) -> u32 {
+    let block = c << level;
+    (n.div_ceil(block)) as u32
+}
+
+/// The root level: the smallest `L` with a single range covering all of
+/// `[n]`.
+#[must_use]
+pub fn root_level(n: usize, c: usize) -> u32 {
+    let mut level = 0;
+    while nodes_at_level(n, c, level) > 1 {
+        level += 1;
+    }
+    level
+}
+
+/// Combines two child group values into the parent's value.
+///
+/// For a childless right side (odd trees) pass `right = None`.
+#[must_use]
+pub fn combine(seed: u64, left: u64, right: Option<u64>) -> u64 {
+    match right {
+        Some(r) => mix(seed, &[left, r]),
+        None => mix(seed, &[left, 0x5013]),
+    }
+}
+
+/// The representative committee of tree node `(level, idx)` whose agreed
+/// group value is `value`: `c` nodes sampled from the node's range, seeded
+/// by the value itself.
+///
+/// Level-0 committees are the whole leaf group (no sampling needed).
+#[must_use]
+pub fn reps(n: usize, c: usize, seed: u64, level: u32, idx: u32, value: u64) -> Vec<NodeId> {
+    let r = range(n, c, level, idx);
+    if r.is_empty() {
+        return Vec::new();
+    }
+    if level == 0 {
+        return r.map(NodeId::from_index).collect();
+    }
+    let span = r.len();
+    let take = c.min(span);
+    let sampler = Sampler::new(mix(seed, &[u64::from(level), u64::from(idx)]), tags::COMMITTEE, span, take);
+    let mut chosen: Vec<NodeId> = sampler
+        .set_for(value)
+        .into_iter()
+        .map(|local| NodeId::from_index(r.start + local.index()))
+        .collect();
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Whether `who` is a representative of `(level, idx)` under `value`.
+#[must_use]
+pub fn is_rep(n: usize, c: usize, seed: u64, level: u32, idx: u32, value: u64, who: NodeId) -> bool {
+    reps(n, c, seed, level, idx, value).contains(&who)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_each_level() {
+        let n = 100;
+        let c = 8;
+        for level in 0..=root_level(n, c) {
+            let mut covered = 0;
+            for idx in 0..nodes_at_level(n, c, level) {
+                let r = range(n, c, level, idx);
+                assert_eq!(r.start, covered, "ranges must be contiguous");
+                covered = r.end;
+            }
+            assert_eq!(covered, n, "level {level} must cover all nodes");
+        }
+    }
+
+    #[test]
+    fn root_level_covers_everything() {
+        for (n, c) in [(16, 4), (100, 8), (1000, 12), (7, 8)] {
+            let l = root_level(n, c);
+            assert_eq!(nodes_at_level(n, c, l), 1);
+            assert_eq!(range(n, c, l, 0), 0..n);
+            if l > 0 {
+                assert!(nodes_at_level(n, c, l - 1) > 1);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_system_has_zero_levels() {
+        assert_eq!(root_level(6, 8), 0);
+        assert_eq!(range(6, 8, 0, 0), 0..6);
+    }
+
+    #[test]
+    fn combine_depends_on_both_children() {
+        let a = combine(1, 10, Some(20));
+        assert_ne!(a, combine(1, 11, Some(20)));
+        assert_ne!(a, combine(1, 10, Some(21)));
+        assert_ne!(a, combine(2, 10, Some(20)));
+        assert_ne!(combine(1, 10, None), combine(1, 10, Some(0)));
+    }
+
+    #[test]
+    fn leaf_reps_are_the_whole_group() {
+        let n = 40;
+        let c = 8;
+        let r = reps(n, c, 7, 0, 2, 999);
+        let expected: Vec<NodeId> = (16..24).map(NodeId::from_index).collect();
+        assert_eq!(r, expected);
+    }
+
+    #[test]
+    fn internal_reps_are_sampled_from_the_range_and_value_dependent() {
+        let n = 128;
+        let c = 8;
+        let a = reps(n, c, 7, 2, 1, 111);
+        let b = reps(n, c, 7, 2, 1, 112);
+        assert_eq!(a.len(), c);
+        let range = range(n, c, 2, 1);
+        assert!(a.iter().all(|id| range.contains(&id.index())));
+        assert_ne!(a, b, "different values must sample different committees");
+        assert_eq!(a, reps(n, c, 7, 2, 1, 111), "deterministic");
+    }
+
+    #[test]
+    fn partial_edge_ranges_yield_smaller_committees() {
+        let n = 70;
+        let c = 8;
+        // Level 2 blocks of 32: ranges [0,32), [32,64), [64,70).
+        let r = reps(n, c, 7, 2, 2, 5);
+        assert_eq!(r.len(), 6, "committee capped by range size");
+        assert!(r.iter().all(|id| (64..70).contains(&id.index())));
+    }
+
+    #[test]
+    fn is_rep_matches_reps() {
+        let n = 128;
+        let c = 8;
+        let committee = reps(n, c, 3, 1, 0, 42);
+        for i in 0..n {
+            let id = NodeId::from_index(i);
+            assert_eq!(is_rep(n, c, 3, 1, 0, 42, id), committee.contains(&id));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Adversarial integration tests for the baselines: active (not merely
+//! silent) Byzantine behaviour against each protocol's majority logic.
+
+use std::collections::BTreeSet;
+
+use fba_ae::{Precondition, UnknowingAssignment};
+use fba_baselines::{BenOrMsg, BenOrNode, BenOrParams, KlstMsg, KlstNode, KlstParams};
+use fba_samplers::GString;
+use fba_sim::{
+    choose_corrupt, run, Adversary, EngineConfig, Envelope, NodeId, Outbox, Step,
+};
+use rand_chacha::ChaCha12Rng;
+
+/// Corrupt nodes answer every KLST query with a coherent bogus string,
+/// rushing the reply.
+struct LyingRepliers {
+    t: usize,
+    bogus: GString,
+    corrupt: BTreeSet<NodeId>,
+}
+
+impl Adversary<KlstMsg> for LyingRepliers {
+    fn corrupt(&mut self, n: usize, rng: &mut ChaCha12Rng) -> BTreeSet<NodeId> {
+        self.corrupt = choose_corrupt(n, self.t, rng);
+        self.corrupt.clone()
+    }
+    fn rushing(&self) -> bool {
+        true
+    }
+    fn act(&mut self, _step: Step, view: Option<&[Envelope<KlstMsg>]>, out: &mut Outbox<'_, KlstMsg>) {
+        let Some(view) = view else { return };
+        for env in view {
+            if matches!(env.msg, KlstMsg::Query) && self.corrupt.contains(&env.to) {
+                out.send_as(env.to, env.from, KlstMsg::Reply(self.bogus));
+            }
+        }
+    }
+}
+
+#[test]
+fn klst_survives_coherent_lying_repliers() {
+    let n = 128;
+    let pre = Precondition::synthetic(n, 32, 0.85, UnknowingAssignment::RandomPerNode, 11);
+    let bogus = GString::zeroes(32);
+    let params = KlstParams::recommended(n);
+    let engine = EngineConfig {
+        max_steps: params.schedule_len() + 8,
+        ..EngineConfig::sync(n)
+    };
+    let mut adv = LyingRepliers {
+        t: n / 8,
+        bogus,
+        corrupt: BTreeSet::new(),
+    };
+    let out = run::<KlstNode, _, _>(&engine, 11, &mut adv, |id| {
+        KlstNode::new(params, pre.assignments[id.index()])
+    });
+    assert!(out.all_decided());
+    // Corrupt replies are a minority of every node's accumulated sample,
+    // so the majority still lands on gstring.
+    assert_eq!(out.unanimous(), Some(&pre.gstring));
+}
+
+/// Ben-Or equivocator: reports both values to different halves of the
+/// network each phase (no proposals, maximal confusion).
+struct Equivocator {
+    t: usize,
+    corrupt: BTreeSet<NodeId>,
+    phase_seen: u32,
+}
+
+impl Adversary<BenOrMsg> for Equivocator {
+    fn corrupt(&mut self, n: usize, rng: &mut ChaCha12Rng) -> BTreeSet<NodeId> {
+        self.corrupt = choose_corrupt(n, self.t, rng);
+        self.corrupt.clone()
+    }
+    fn rushing(&self) -> bool {
+        true
+    }
+    fn act(&mut self, step: Step, _view: Option<&[Envelope<BenOrMsg>]>, out: &mut Outbox<'_, BenOrMsg>) {
+        // Every other step, spray phase-stamped equivocating reports.
+        if !step.is_multiple_of(2) {
+            return;
+        }
+        let phase = self.phase_seen;
+        self.phase_seen += 1;
+        let n = 40;
+        for &z in self.corrupt.clone().iter() {
+            for i in 0..n {
+                let to = NodeId::from_index(i);
+                let value = i % 2 == 0; // different story per half
+                out.send_as(z, to, BenOrMsg::Report { phase, value });
+            }
+        }
+    }
+}
+
+#[test]
+fn benor_agreement_survives_equivocating_reports() {
+    let n = 40;
+    let params = BenOrParams::recommended(n);
+    let engine = EngineConfig {
+        max_steps: 400,
+        ..EngineConfig::sync(n)
+    };
+    let mut adv = Equivocator {
+        t: params.t,
+        corrupt: BTreeSet::new(),
+        phase_seen: 0,
+    };
+    // Strongly biased correct inputs: the supermajority threshold
+    // (n+t)/2 is reachable despite t equivocators.
+    let out = run::<BenOrNode, _, _>(&engine, 13, &mut adv, |_| BenOrNode::new(params, n, true));
+    assert!(out.unanimous().is_some(), "agreement violated");
+    assert_eq!(out.unanimous(), Some(&true), "validity violated");
+}

@@ -1,0 +1,28 @@
+//! Criterion wall-clock benchmarks for the almost-everywhere substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fba_ae::{run_ae, AeConfig};
+use fba_sim::{NoAdversary, SilentAdversary};
+
+fn bench_ae_fault_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ae/run_fault_free");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let cfg = AeConfig::recommended(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(run_ae(&cfg, 7, &mut NoAdversary)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ae_with_faults(c: &mut Criterion) {
+    let n = 256;
+    let cfg = AeConfig::recommended(n);
+    c.bench_function("ae/run_silent_faults_n256", |b| {
+        b.iter(|| black_box(run_ae(&cfg, 7, &mut SilentAdversary::new(n / 8))))
+    });
+}
+
+criterion_group!(benches, bench_ae_fault_free, bench_ae_with_faults);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion wall-clock benchmarks behind Figure 1a: full protocol runs
+//! of the almost-everywhere → everywhere contenders.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fba_ae::{Precondition, UnknowingAssignment};
+use fba_baselines::{KlstNode, KlstParams};
+use fba_core::{AerConfig, AerHarness};
+use fba_sim::{run, EngineConfig, NoAdversary, SilentAdversary};
+
+fn bench_aer_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1a/aer_sync_run");
+    group.sample_size(10);
+    for n in [64usize, 128] {
+        let cfg = AerConfig::recommended(n);
+        let pre = Precondition::synthetic(
+            n,
+            cfg.string_len,
+            0.8,
+            UnknowingAssignment::RandomPerNode,
+            5,
+        );
+        let harness = AerHarness::from_precondition(cfg, &pre);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(harness.run(
+                    &harness.engine_sync(),
+                    9,
+                    &mut SilentAdversary::new(cfg.t),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_klst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1a/klst_run");
+    group.sample_size(10);
+    for n in [64usize, 128] {
+        let params = KlstParams::recommended(n);
+        let pre = Precondition::synthetic(n, 48, 0.8, UnknowingAssignment::RandomPerNode, 5);
+        let engine = EngineConfig {
+            max_steps: params.schedule_len() + 8,
+            ..EngineConfig::sync(n)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(run::<KlstNode, _, _>(&engine, 9, &mut NoAdversary, |id| {
+                    KlstNode::new(params, pre.assignments[id.index()])
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aer_sync, bench_klst);
+criterion_main!(benches);

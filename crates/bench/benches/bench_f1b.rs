@@ -1,0 +1,65 @@
+//! Criterion wall-clock benchmarks behind Figure 1b: end-to-end BA and
+//! the Ben-Or / Phase-King baselines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fba_baselines::{BenOrNode, BenOrParams, KingNode, KingParams};
+use fba_core::{run_ba, BaConfig};
+use fba_sim::{run, EngineConfig, NoAdversary, SilentAdversary};
+use rand::Rng;
+
+fn bench_ba(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1b/ba_end_to_end");
+    group.sample_size(10);
+    let n = 64;
+    let cfg = BaConfig::recommended(n);
+    group.bench_function("n64", |b| {
+        b.iter(|| {
+            let (report, _, _) = run_ba(
+                &cfg,
+                7,
+                &mut SilentAdversary::new(8),
+                |_, _| SilentAdversary::new(8),
+                None,
+            );
+            black_box(report)
+        })
+    });
+    group.finish();
+}
+
+fn bench_benor(c: &mut Criterion) {
+    let n = 64;
+    let params = BenOrParams::recommended(n);
+    let engine = EngineConfig {
+        max_steps: 400,
+        ..EngineConfig::sync(n)
+    };
+    let mut rng = fba_sim::rng::derive_rng(5, &[]);
+    let inputs: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.8)).collect();
+    c.bench_function("f1b/benor_n64", |b| {
+        b.iter(|| {
+            black_box(run::<BenOrNode, _, _>(&engine, 7, &mut NoAdversary, |id| {
+                BenOrNode::new(params, n, inputs[id.index()])
+            }))
+        })
+    });
+}
+
+fn bench_phase_king(c: &mut Criterion) {
+    let n = 32;
+    let params = KingParams::recommended(n);
+    let engine = EngineConfig {
+        max_steps: params.schedule_len() + 8,
+        ..EngineConfig::sync(n)
+    };
+    c.bench_function("f1b/phase_king_n32", |b| {
+        b.iter(|| {
+            black_box(run::<KingNode, _, _>(&engine, 7, &mut NoAdversary, |id| {
+                KingNode::new(params, n, id.index() % 2 == 0)
+            }))
+        })
+    });
+}
+
+criterion_group!(benches, bench_ba, bench_benor, bench_phase_king);
+criterion_main!(benches);

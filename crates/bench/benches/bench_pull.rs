@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the pull phase (Algorithms 1–3): request
+//! initiation and the routing fan-out.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fba_core::pull::{PullPhase, RetryPolicy};
+use fba_samplers::{GString, Label, PollSampler, QuorumScheme};
+use fba_sim::rng::{derive_rng, node_rng};
+use fba_sim::NodeId;
+
+fn setup(n: usize) -> (QuorumScheme, PollSampler, GString) {
+    let d = fba_samplers::default_quorum_size(n, 3.0);
+    let scheme = QuorumScheme::new(7, n, d);
+    let poll = PollSampler::new(7, n, d, PollSampler::default_cardinality(n));
+    let mut rng = derive_rng(4, &[]);
+    let g = GString::random(48, &mut rng);
+    (scheme, poll, g)
+}
+
+fn bench_start_poll(c: &mut Criterion) {
+    let (scheme, poll, g) = setup(1024);
+    c.bench_function("pull/start_poll", |b| {
+        let mut rng = node_rng(1, 3);
+        b.iter(|| {
+            let mut phase = PullPhase::new(
+                NodeId::from_index(3),
+                g,
+                scheme,
+                poll,
+                64,
+                RetryPolicy::strict(),
+            );
+            black_box(phase.start_poll(g, 0, &mut rng))
+        })
+    });
+}
+
+fn bench_on_pull_fanout(c: &mut Criterion) {
+    let (scheme, poll, g) = setup(1024);
+    let origin = NodeId::from_index(9);
+    let router = scheme.pull.quorum(g.key(), origin)[0];
+    c.bench_function("pull/on_pull_route_fanout", |b| {
+        b.iter(|| {
+            let mut phase =
+                PullPhase::new(router, g, scheme, poll, 64, RetryPolicy::strict());
+            black_box(phase.on_pull(origin, g, Label(5)))
+        })
+    });
+}
+
+fn bench_on_fw1(c: &mut Criterion) {
+    let (scheme, poll, g) = setup(1024);
+    let origin = NodeId::from_index(9);
+    let h_origin = scheme.pull.quorum(g.key(), origin);
+    // Find a (w, z) pair: w in some poll list, z in H(g, w).
+    let r = Label(5);
+    let w = poll.poll_list(origin, r)[0];
+    let z = scheme.pull.quorum(g.key(), w)[0];
+    c.bench_function("pull/on_fw1_count_and_check", |b| {
+        b.iter(|| {
+            let mut phase = PullPhase::new(z, g, scheme, poll, 64, RetryPolicy::strict());
+            for &y in &h_origin {
+                black_box(phase.on_fw1(y, origin, g, r, w));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_start_poll, bench_on_pull_fanout, bench_on_fw1);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the push phase (§3.1.1, Lemma 3): target
+//! computation and acceptance throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fba_ae::{Precondition, UnknowingAssignment};
+use fba_core::push::{push_targets, PushPhase};
+use fba_samplers::{GString, QuorumScheme};
+use fba_sim::rng::derive_rng;
+use fba_sim::NodeId;
+
+fn bench_push_targets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("push/targets_precompute");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        let d = fba_samplers::default_quorum_size(n, 3.0);
+        let scheme = QuorumScheme::new(7, n, d);
+        let pre = Precondition::synthetic(n, 48, 0.8, UnknowingAssignment::RandomPerNode, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(push_targets(&scheme, &pre.assignments)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_on_push(c: &mut Criterion) {
+    let n = 1024;
+    let d = fba_samplers::default_quorum_size(n, 3.0);
+    let scheme = QuorumScheme::new(7, n, d);
+    let mut rng = derive_rng(4, &[]);
+    let own = GString::random(48, &mut rng);
+    let s = GString::random(48, &mut rng);
+    let x = NodeId::from_index(3);
+    let quorum = scheme.push.quorum(s.key(), x);
+    c.bench_function("push/on_push_valid_sender", |b| {
+        b.iter(|| {
+            // Fresh phase each iteration so the counter never saturates.
+            let mut phase = PushPhase::new(x, own, scheme);
+            black_box(phase.on_push(quorum[0], s))
+        })
+    });
+    let outsider = (0..n)
+        .map(NodeId::from_index)
+        .find(|id| !quorum.contains(id))
+        .unwrap();
+    c.bench_function("push/on_push_filtered_sender", |b| {
+        let mut phase = PushPhase::new(x, own, scheme);
+        b.iter(|| black_box(phase.on_push(outsider, s)))
+    });
+}
+
+criterion_group!(benches, bench_push_targets, bench_on_push);
+criterion_main!(benches);

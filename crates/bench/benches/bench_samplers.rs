@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for the sampler family (§2.2): quorum
+//! evaluation, membership checks, inversion and the Lemma 2 border
+//! computation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fba_samplers::properties::{border, greedy_min_border};
+use fba_samplers::{default_quorum_size, Label, PollSampler, QuorumSampler, StringKey};
+use fba_sim::rng::derive_rng;
+use fba_sim::NodeId;
+
+fn bench_quorum_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler/quorum_eval");
+    for n in [256usize, 1024, 4096] {
+        let d = default_quorum_size(n, 3.0);
+        let q = QuorumSampler::new(7, fba_samplers::tags::PULL, n, d);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut key = 0u64;
+            b.iter(|| {
+                key = key.wrapping_add(1);
+                black_box(q.quorum(StringKey(key), NodeId::from_index(3)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler/contains");
+    for n in [256usize, 4096] {
+        let d = default_quorum_size(n, 3.0);
+        let q = QuorumSampler::new(7, fba_samplers::tags::PULL, n, d);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut key = 0u64;
+            b.iter(|| {
+                key = key.wrapping_add(1);
+                black_box(q.contains(StringKey(key), NodeId::from_index(3), NodeId::from_index(9)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler/inverse_for_string");
+    group.sample_size(20);
+    for n in [256usize, 1024] {
+        let d = default_quorum_size(n, 3.0);
+        let q = QuorumSampler::new(7, fba_samplers::tags::PUSH, n, d);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut key = 0u64;
+            b.iter(|| {
+                key = key.wrapping_add(1);
+                black_box(q.inverse_for_string(StringKey(key)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_border(c: &mut Criterion) {
+    let n = 1024;
+    let d = default_quorum_size(n, 3.0);
+    let j = PollSampler::new(7, n, d, PollSampler::default_cardinality(n));
+    let pairs: Vec<(NodeId, Label)> = (0..64)
+        .map(|i| (NodeId::from_index(i), Label(i as u64)))
+        .collect();
+    c.bench_function("sampler/border_64_pairs", |b| {
+        b.iter(|| black_box(border(&j, &pairs)))
+    });
+    let mut group = c.benchmark_group("sampler/greedy_min_border");
+    group.sample_size(10);
+    group.bench_function("n256_fam16", |b| {
+        let j = PollSampler::new(9, 256, 16, PollSampler::default_cardinality(256));
+        b.iter(|| {
+            let mut rng = derive_rng(3, &[]);
+            black_box(greedy_min_border(&j, &[16], 4, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_quorum_eval,
+    bench_membership,
+    bench_inverse,
+    bench_border
+);
+criterion_main!(benches);

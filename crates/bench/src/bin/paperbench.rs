@@ -1,0 +1,45 @@
+//! CLI: regenerate the paper's tables and figures.
+//!
+//! ```bash
+//! paperbench all            # every experiment, default scope
+//! paperbench f1a-time l6    # specific experiments
+//! paperbench --quick all    # CI-sized
+//! paperbench --full all     # adds the largest system sizes
+//! ```
+
+use std::process::ExitCode;
+
+use fba_bench::{run_experiment, Scope, ALL_IDS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scope = Scope::Default;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "--quick" => scope = Scope::Quick,
+            "--full" => scope = Scope::Full,
+            "all" => ids.extend(ALL_IDS.iter().map(ToString::to_string)),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: paperbench [--quick|--full] <experiment id>... | all");
+        eprintln!("known ids: {}", ALL_IDS.join(", "));
+        return ExitCode::FAILURE;
+    }
+    for id in ids {
+        let started = std::time::Instant::now();
+        match run_experiment(&id, scope) {
+            Ok(table) => {
+                println!("{}", table.render());
+                println!("_(generated in {:.1?}, scope {scope:?})_\n", started.elapsed());
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,78 @@
+//! Quorum-size ablation: the reliability/communication trade-off behind
+//! the paper's `d = Θ(log n)` choice (and the load-balancing trade-off
+//! its conclusion poses as future work).
+//!
+//! Smaller `d` means cheaper quorums (`Θ(d³)` routing per verification)
+//! but weaker majorities: the strict-mode decided fraction degrades as
+//! quorum sampling noise overwhelms the `1/2 + ε` margin.
+
+use fba_ae::UnknowingAssignment;
+use fba_sim::SilentAdversary;
+
+use crate::experiments::common::{harness, KNOWING};
+use crate::scope::{mean, mean_cell, Scope};
+use crate::table::{fnum, Table};
+
+/// The ablation table: κ (in `d = ⌈κ·ln n⌉`) vs decided %, bits and time.
+#[must_use]
+pub fn table(scope: Scope) -> Table {
+    let n = match scope {
+        Scope::Quick => 64,
+        _ => 256,
+    };
+    let mut t = Table::new(
+        "ablate-d — quorum size vs reliability and cost (strict mode)",
+        &["kappa", "d", "decided %", "rounds p50", "bits/node"],
+    );
+    for kappa in [1.5, 2.0, 3.0, 4.0] {
+        let d = fba_samplers::default_quorum_size(n, kappa);
+        let mut decided = Vec::new();
+        let mut p50 = Vec::new();
+        let mut bits = Vec::new();
+        for seed in scope.seeds() {
+            let (h, _) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
+                c.with_d(d).strict()
+            });
+            let out = h.run(&h.engine_sync(), seed, &mut SilentAdversary::new(h.config().t));
+            decided.push(out.metrics.decided_fraction() * 100.0);
+            if let Some(s) = out.metrics.decided_quantile(0.5) {
+                p50.push(s as f64);
+            }
+            bits.push(out.metrics.amortized_bits());
+        }
+        t.push_row(vec![
+            fnum(kappa),
+            d.to_string(),
+            fnum(mean(&decided)),
+            mean_cell(&p50),
+            fnum(mean(&bits)),
+        ]);
+    }
+    t.note(format!(
+        "n = {n}, strict mode, silent-t adversary. Larger quorums buy reliability"
+    ));
+    t.note("(decided %) at Θ(d³) communication cost — the knob behind `d = Θ(log n)`.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_quorums_are_more_reliable_and_more_expensive() {
+        let t = table(Scope::Quick);
+        let first_decided: f64 = t.rows.first().unwrap()[2].parse().unwrap();
+        let last_decided: f64 = t.rows.last().unwrap()[2].parse().unwrap();
+        assert!(
+            last_decided >= first_decided - 3.0,
+            "reliability should not degrade with d: {first_decided} → {last_decided}"
+        );
+        let first_bits: f64 = t.rows.first().unwrap()[4].parse().unwrap();
+        let last_bits: f64 = t.rows.last().unwrap()[4].parse().unwrap();
+        assert!(
+            last_bits > 2.0 * first_bits,
+            "d³ scaling must show in bits: {first_bits} vs {last_bits}"
+        );
+    }
+}

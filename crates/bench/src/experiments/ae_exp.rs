@@ -1,0 +1,85 @@
+//! The almost-everywhere substrate contract experiment (§2.1
+//! precondition): knowing fraction, rounds and bits per node of the
+//! committee-tree phase.
+
+use fba_ae::{run_ae, AeConfig};
+use fba_sim::{NoAdversary, SilentAdversary};
+
+use crate::scope::{mean, Scope};
+use crate::table::{fnum, Table};
+
+/// The AE contract table.
+#[must_use]
+pub fn table(scope: Scope) -> Table {
+    let mut t = Table::new(
+        "ae — §2.1 precondition: the almost-everywhere phase contract",
+        &[
+            "n",
+            "adversary",
+            "knowing %",
+            "rounds",
+            "bits/node",
+            "bits growth",
+        ],
+    );
+    let mut prev_bits: Option<(f64, usize)> = None;
+    for n in scope.light_sizes() {
+        for (name, t_frac) in [("none", 0.0), ("silent 15%", 0.15)] {
+            let mut knowing = Vec::new();
+            let mut rounds = Vec::new();
+            let mut bits = Vec::new();
+            for seed in scope.seeds() {
+                let cfg = AeConfig::recommended(n);
+                let outcome = if t_frac == 0.0 {
+                    run_ae(&cfg, seed, &mut NoAdversary)
+                } else {
+                    let t = (n as f64 * t_frac) as usize;
+                    run_ae(&cfg, seed, &mut SilentAdversary::new(t))
+                };
+                knowing.push(outcome.knowing_fraction * 100.0);
+                rounds.push(outcome.run.metrics.steps as f64);
+                bits.push(outcome.run.metrics.amortized_bits());
+            }
+            let growth = if name == "none" {
+                let b = mean(&bits);
+                let cell = match prev_bits {
+                    Some((pb, pn)) => format!(
+                        "×{} over ×{}",
+                        fnum(b / pb.max(1.0)),
+                        fnum(n as f64 / pn as f64)
+                    ),
+                    None => "-".to_string(),
+                };
+                prev_bits = Some((b, n));
+                cell
+            } else {
+                "-".to_string()
+            };
+            t.push_row(vec![
+                n.to_string(),
+                name.into(),
+                fnum(mean(&knowing)),
+                fnum(mean(&rounds)),
+                fnum(mean(&bits)),
+                growth,
+            ]);
+        }
+    }
+    t.note("contract: > 75% of correct nodes know gstring, polylog rounds, polylog bits/node");
+    t.note("(the bits growth column should lag far behind the ×n growth it is printed over).");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contract_holds_at_quick_scale() {
+        let t = table(Scope::Quick);
+        for row in &t.rows {
+            let knowing: f64 = row[2].parse().unwrap();
+            assert!(knowing > 75.0, "contract violated: {row:?}");
+        }
+    }
+}

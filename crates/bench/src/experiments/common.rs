@@ -1,0 +1,57 @@
+//! Shared experiment plumbing.
+
+use fba_ae::{Precondition, UnknowingAssignment};
+use fba_core::{AerConfig, AerHarness};
+
+/// Standard knowledge fraction used by the sweeps (the paper's
+/// assumption, with working margin at finite scale).
+pub const KNOWING: f64 = 0.8;
+
+/// Builds an AER harness on a synthetic precondition.
+pub fn harness(
+    n: usize,
+    seed: u64,
+    knowing: f64,
+    mode: UnknowingAssignment,
+    cfg_map: impl FnOnce(AerConfig) -> AerConfig,
+) -> (AerHarness, Precondition) {
+    let cfg = cfg_map(AerConfig::recommended(n));
+    let pre = Precondition::synthetic(n, cfg.string_len, knowing, mode, seed);
+    (AerHarness::from_precondition(cfg, &pre), pre)
+}
+
+/// Reference column: `⌈log₂ n⌉`.
+pub fn log2(n: usize) -> f64 {
+    f64::from(fba_sim::ceil_log2(n))
+}
+
+/// Reference column: `log n / log log n` (natural logs, clamped).
+pub fn loglog_ratio(n: usize) -> f64 {
+    let ln = fba_sim::ln_at_least_one(n);
+    ln / ln.ln().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fba_sim::NoAdversary;
+
+    #[test]
+    fn harness_builder_applies_config_map() {
+        let (h, pre) = harness(64, 1, 0.75, UnknowingAssignment::RandomPerNode, |c| {
+            c.with_overload_cap(7).strict()
+        });
+        assert_eq!(h.config().overload_cap, 7);
+        assert_eq!(h.config().poll_attempts, 1);
+        assert_eq!(pre.assignments.len(), 64);
+        // And it runs.
+        let out = h.run(&h.engine_sync(), 1, &mut NoAdversary);
+        assert!(out.unanimous().is_some());
+    }
+
+    #[test]
+    fn reference_columns() {
+        assert_eq!(log2(1024), 10.0);
+        assert!(loglog_ratio(1024) > 3.0 && loglog_ratio(1024) < 4.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Figure 1a reproduction: the almost-everywhere → everywhere comparison.
+//!
+//! Three protocols per system size:
+//!
+//! * KLST11-style load-balanced diffusion — `O(log² n)` rounds, `Õ(√n)`
+//!   bits/node;
+//! * AER, synchronous non-rushing — `O(1)` rounds, polylog bits/node;
+//! * AER, asynchronous with the rushing cornering adversary —
+//!   `O(log n / log log n)` rounds, polylog bits/node, *not*
+//!   load-balanced.
+
+use fba_ae::UnknowingAssignment;
+use fba_baselines::{KlstNode, KlstParams};
+use fba_core::adversary::{AttackContext, Corner};
+use fba_sim::{run, EngineConfig, SilentAdversary};
+
+use crate::experiments::common::{harness, log2, loglog_ratio, KNOWING};
+use crate::scope::{mean, Scope};
+use crate::table::{fnum, Table};
+
+#[derive(Clone)]
+struct SizePoint {
+    n: usize,
+    klst_rounds: f64,
+    klst_bits: f64,
+    klst_imbalance: f64,
+    aer_sync_rounds: f64,
+    aer_sync_bits: f64,
+    aer_async_rounds: f64,
+    aer_async_bits: f64,
+    aer_imbalance: f64,
+}
+
+/// The three Figure 1a tables share one sweep; memoize it per scope so
+/// `paperbench all` does not run the expensive runs three times.
+fn sweep(scope: Scope) -> Vec<SizePoint> {
+    use std::sync::{Mutex, OnceLock};
+    type SweepCache = Mutex<Vec<(Scope, Vec<SizePoint>)>>;
+    static CACHE: OnceLock<SweepCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    {
+        let guard = cache.lock().expect("cache lock");
+        if let Some((_, points)) = guard.iter().find(|(s, _)| *s == scope) {
+            return points.clone();
+        }
+    }
+    let points = sweep_uncached(scope);
+    cache
+        .lock()
+        .expect("cache lock")
+        .push((scope, points.clone()));
+    points
+}
+
+fn sweep_uncached(scope: Scope) -> Vec<SizePoint> {
+    let mut points = Vec::new();
+    for n in scope.aer_sizes() {
+        let t = (n as f64 * 0.15) as usize;
+        let mut klst_rounds = Vec::new();
+        let mut klst_bits = Vec::new();
+        let mut klst_imb = Vec::new();
+        let mut sync_rounds = Vec::new();
+        let mut sync_bits = Vec::new();
+        let mut async_rounds = Vec::new();
+        let mut async_bits = Vec::new();
+        let mut aer_imb = Vec::new();
+
+        for seed in scope.seeds() {
+            // --- KLST-style baseline (load-balanced, slow, heavy) ---
+            let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| c);
+            let params = KlstParams::recommended(n);
+            let engine = EngineConfig {
+                max_steps: params.schedule_len() + 8,
+                ..EngineConfig::sync(n)
+            };
+            let mut adv = SilentAdversary::new(t);
+            let out = run::<KlstNode, _, _>(&engine, seed, &mut adv, |id| {
+                KlstNode::new(params, pre.assignments[id.index()])
+            });
+            if let Some(steps) = out.metrics.decided_quantile(0.5) {
+                klst_rounds.push(steps as f64);
+            }
+            klst_bits.push(out.metrics.amortized_bits());
+            klst_imb.push(out.metrics.recv_load().imbalance);
+
+            // --- AER, synchronous, non-rushing (silent t) ---
+            let out = h.run(&h.engine_sync(), seed, &mut SilentAdversary::new(t));
+            if let Some(steps) = out.metrics.decided_quantile(0.5) {
+                sync_rounds.push(steps as f64);
+            }
+            sync_bits.push(out.metrics.amortized_bits());
+
+            // --- AER, asynchronous, rushing cornering adversary ---
+            let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
+                c.strict()
+            });
+            let ctx = AttackContext::new(&h, pre.gstring);
+            let mut corner = Corner::new(ctx, 256);
+            let out = h.run(&h.engine_async(1), seed, &mut corner);
+            // Strict mode strands the θ-fraction of unlucky poll lists, so
+            // the median is the robust time statistic here (l6 reports the
+            // tail separately).
+            if let Some(steps) = out.metrics.decided_quantile(0.5) {
+                async_rounds.push(steps as f64);
+            }
+            async_bits.push(out.metrics.amortized_bits());
+            aer_imb.push(out.metrics.recv_load().imbalance);
+        }
+
+        points.push(SizePoint {
+            n,
+            klst_rounds: mean(&klst_rounds),
+            klst_bits: mean(&klst_bits),
+            klst_imbalance: mean(&klst_imb),
+            aer_sync_rounds: mean(&sync_rounds),
+            aer_sync_bits: mean(&sync_bits),
+            aer_async_rounds: mean(&async_rounds),
+            aer_async_bits: mean(&async_bits),
+            aer_imbalance: mean(&aer_imb),
+        });
+    }
+    points
+}
+
+/// Figure 1a, "Time" row.
+#[must_use]
+pub fn time(scope: Scope) -> Table {
+    let mut t = Table::new(
+        "f1a-time — Fig. 1a `Time`: rounds to decision (median over correct nodes, mean over seeds)",
+        &[
+            "n",
+            "KLST-style (sync)",
+            "AER sync non-rushing",
+            "AER async rushing",
+            "ref log²n",
+            "ref logn/loglogn",
+        ],
+    );
+    for p in sweep(scope) {
+        t.push_row(vec![
+            p.n.to_string(),
+            fnum(p.klst_rounds),
+            fnum(p.aer_sync_rounds),
+            fnum(p.aer_async_rounds),
+            fnum(log2(p.n) * log2(p.n)),
+            fnum(loglog_ratio(p.n)),
+        ]);
+    }
+    t.note("paper: KLST11 O(log²n), AER O(1) sync non-rushing, O(logn/loglogn) async.");
+    t.note("AER async runs use strict mode (no retries) so the cornering chains are visible.");
+    t
+}
+
+/// Figure 1a, "Bits" row.
+#[must_use]
+pub fn bits(scope: Scope) -> Table {
+    let mut t = Table::new(
+        "f1a-bits — Fig. 1a `Bits`: amortized bits per node (mean over seeds)",
+        &[
+            "n",
+            "KLST-style",
+            "AER sync",
+            "AER async",
+            "KLST growth",
+            "AER growth",
+            "ref √n growth",
+        ],
+    );
+    let points = sweep(scope);
+    for (i, p) in points.iter().enumerate() {
+        let (kg, ag, sg) = if i == 0 {
+            ("-".to_string(), "-".to_string(), "-".to_string())
+        } else {
+            let prev = &points[i - 1];
+            (
+                format!("×{}", fnum(p.klst_bits / prev.klst_bits.max(1.0))),
+                format!("×{}", fnum(p.aer_sync_bits / prev.aer_sync_bits.max(1.0))),
+                format!("×{}", fnum(((p.n as f64) / (prev.n as f64)).sqrt())),
+            )
+        };
+        t.push_row(vec![
+            p.n.to_string(),
+            fnum(p.klst_bits),
+            fnum(p.aer_sync_bits),
+            fnum(p.aer_async_bits),
+            kg,
+            ag,
+            sg,
+        ]);
+    }
+    t.note("paper: KLST11 Õ(√n) vs AER O(log²n) — compare the growth columns, not absolutes:");
+    t.note("AER's constants (d³ routing fan-out) dominate at laptop n; its *growth* is polylog.");
+    t
+}
+
+/// Figure 1a, "Load-Balanced" row.
+#[must_use]
+pub fn load(scope: Scope) -> Table {
+    let mut t = Table::new(
+        "f1a-load — Fig. 1a `Load-Balanced`: max/mean received bits across correct nodes",
+        &["n", "KLST-style imbalance", "AER imbalance (cornered)"],
+    );
+    for p in sweep(scope) {
+        t.push_row(vec![
+            p.n.to_string(),
+            fnum(p.klst_imbalance),
+            fnum(p.aer_imbalance),
+        ]);
+    }
+    t.note("paper: KLST11 is load-balanced (ratio ≈ 1); AER deliberately is not —");
+    t.note("the adversary concentrates verification work on a few victims (§1).");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_full_tables() {
+        let t = time(Scope::Quick);
+        assert_eq!(t.rows.len(), Scope::Quick.aer_sizes().len());
+        let b = bits(Scope::Quick);
+        assert_eq!(b.rows.len(), t.rows.len());
+        let l = load(Scope::Quick);
+        assert!(!l.rows.is_empty());
+        // Sanity: AER sync rounds stay small (retry tails allowed at the
+        // tiny quick-scope sizes where poll lists are noisy).
+        for row in &t.rows {
+            let sync_rounds: f64 = row[2].parse().unwrap();
+            assert!(sync_rounds > 0.0 && sync_rounds < 45.0, "row {row:?}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Figure 1b reproduction: the Byzantine Agreement comparison.
+//!
+//! End-to-end BA (almost-everywhere phase + AER) against the two
+//! implementable lineage baselines: Ben-Or's randomized binary agreement
+//! (`[BO83]`, the `Θ(n²)`-message classic Fig. 1b's randomized rows
+//! descend from) and Phase-King (the deterministic `t+1`-round
+//! counterpoint enforcing the Fischer–Lynch bound). `[BOPV06]`'s
+//! `n^{O(log n)}` communication and `[KS13]`'s `Õ(n².⁵)` bits are not
+//! implementable at any useful scale — their rows are reproduced as
+//! formulas in EXPERIMENTS.md.
+
+use fba_baselines::{BenOrNode, BenOrParams, KingNode, KingParams};
+use fba_core::{run_ba, BaConfig};
+use fba_sim::{run, EngineConfig, SilentAdversary};
+use rand::Rng;
+
+use crate::scope::{mean, Scope};
+use crate::table::{fnum, Table};
+
+/// Figure 1b: rounds, bits/node and fault tolerance per protocol.
+#[must_use]
+pub fn table(scope: Scope) -> Table {
+    let mut t = Table::new(
+        "f1b — Fig. 1b: Byzantine Agreement protocols (mean over seeds)",
+        &["protocol", "n", "rounds", "bits/node", "msgs/node", "tolerates"],
+    );
+
+    // --- BA = AE + AER (this paper) ---
+    for n in scope.aer_sizes() {
+        let mut rounds = Vec::new();
+        let mut bits = Vec::new();
+        let mut msgs = Vec::new();
+        for seed in scope.seeds() {
+            let cfg = BaConfig::recommended(n);
+            let t_faults = cfg.aer.t.min(n / 8);
+            let mut ae_adv = SilentAdversary::new(t_faults);
+            let (report, ae, aer_run) = run_ba(
+                &cfg,
+                seed,
+                &mut ae_adv,
+                |_, _| SilentAdversary::new(t_faults),
+                None,
+            );
+            if let Some(aer_rounds) = aer_run.metrics.decided_quantile(0.95) {
+                rounds.push((report.ae_rounds + aer_rounds) as f64);
+            }
+            bits.push(report.ae_bits_per_node + report.aer_bits_per_node);
+            msgs.push(
+                (ae.run.metrics.correct_msgs_sent() + aer_run.metrics.correct_msgs_sent()) as f64
+                    / n as f64,
+            );
+        }
+        t.push_row(vec![
+            "BA (this paper)".into(),
+            n.to_string(),
+            fnum(mean(&rounds)),
+            fnum(mean(&bits)),
+            fnum(mean(&msgs)),
+            "t < (1/3-ε)n".into(),
+        ]);
+    }
+
+    // --- Ben-Or (randomized, binary) ---
+    for n in scope.aer_sizes() {
+        let mut rounds = Vec::new();
+        let mut bits = Vec::new();
+        let mut msgs = Vec::new();
+        for seed in scope.seeds() {
+            let params = BenOrParams::recommended(n);
+            let engine = EngineConfig {
+                max_steps: 400,
+                ..EngineConfig::sync(n)
+            };
+            let mut rng = fba_sim::rng::derive_rng(seed, &[0xb0]);
+            let inputs: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.9)).collect();
+            let mut adv = SilentAdversary::new(params.t);
+            let out = run::<BenOrNode, _, _>(&engine, seed, &mut adv, |id| {
+                BenOrNode::new(params, n, inputs[id.index()])
+            });
+            if let Some(steps) = out.metrics.decided_quantile(0.95) {
+                rounds.push(steps as f64);
+            }
+            bits.push(out.metrics.amortized_bits());
+            msgs.push(out.metrics.correct_msgs_sent() as f64 / n as f64);
+        }
+        t.push_row(vec![
+            "Ben-Or [BO83]".into(),
+            n.to_string(),
+            fnum(mean(&rounds)),
+            fnum(mean(&bits)),
+            fnum(mean(&msgs)),
+            "t < n/5".into(),
+        ]);
+    }
+
+    // --- Phase-King (deterministic) ---
+    for n in scope.king_sizes() {
+        let mut rounds = Vec::new();
+        let mut bits = Vec::new();
+        let mut msgs = Vec::new();
+        for seed in scope.seeds() {
+            let params = KingParams::recommended(n);
+            let engine = EngineConfig {
+                max_steps: params.schedule_len() + 8,
+                ..EngineConfig::sync(n)
+            };
+            let mut rng = fba_sim::rng::derive_rng(seed, &[0xb1]);
+            let inputs: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            let mut adv = SilentAdversary::new(params.t / 2);
+            let out = run::<KingNode, _, _>(&engine, seed, &mut adv, |id| {
+                KingNode::new(params, n, inputs[id.index()])
+            });
+            if let Some(steps) = out.metrics.decided_quantile(0.95) {
+                rounds.push(steps as f64);
+            }
+            bits.push(out.metrics.amortized_bits());
+            msgs.push(out.metrics.correct_msgs_sent() as f64 / n as f64);
+        }
+        t.push_row(vec![
+            "Phase-King (determ.)".into(),
+            n.to_string(),
+            fnum(mean(&rounds)),
+            fnum(mean(&bits)),
+            fnum(mean(&msgs)),
+            "t < n/4".into(),
+        ]);
+    }
+
+    t.note("paper Fig. 1b: BA is polylog in both time and bits; Ben-Or is Θ(n) bits/node per");
+    t.note("phase; deterministic protocols pay Θ(n) rounds (t+1 lower bound).");
+    t.note("Ben-Or rows use 90%-biased binary inputs (worst-case Ben-Or is exponential and");
+    t.note("50/50 inputs stall at these n — which is the very gap this paper's lineage closes).");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table_has_all_protocol_rows() {
+        let t = table(Scope::Quick);
+        let ba_rows = t.rows.iter().filter(|r| r[0].contains("BA")).count();
+        let bo_rows = t.rows.iter().filter(|r| r[0].contains("Ben-Or")).count();
+        let pk_rows = t.rows.iter().filter(|r| r[0].contains("King")).count();
+        assert_eq!(ba_rows, Scope::Quick.aer_sizes().len());
+        assert_eq!(bo_rows, Scope::Quick.aer_sizes().len());
+        assert_eq!(pk_rows, Scope::Quick.king_sizes().len());
+    }
+}

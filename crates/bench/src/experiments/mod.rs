@@ -1,0 +1,69 @@
+//! One module per experiment family; see DESIGN.md §5 for the index
+//! mapping every table/figure of the paper to these functions.
+
+pub mod ablate_d;
+pub mod ae_exp;
+pub mod common;
+pub mod gbits;
+pub mod fig1a;
+pub mod fig1b;
+pub mod fig2;
+pub mod lemmas;
+pub mod s41;
+pub mod timing;
+
+use crate::scope::Scope;
+use crate::table::Table;
+
+/// All experiment ids, in presentation order.
+pub const ALL_IDS: &[&str] = &[
+    "f1a-time", "f1a-bits", "f1a-load", "f1b", "f2a", "f2b", "l3", "l4", "l5", "l6", "l7", "l8",
+    "l9", "l10", "s41", "ae", "gbits", "ablate-cap", "ablate-d",
+];
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns the list of known ids when `id` is unknown.
+pub fn run_experiment(id: &str, scope: Scope) -> Result<Table, String> {
+    Ok(match id {
+        "f1a-time" => fig1a::time(scope),
+        "f1a-bits" => fig1a::bits(scope),
+        "f1a-load" => fig1a::load(scope),
+        "f1b" => fig1b::table(scope),
+        "f2a" => fig2::f2a(scope),
+        "f2b" => fig2::f2b(scope),
+        "l3" => lemmas::l3(scope),
+        "l4" => lemmas::l4(scope),
+        "l5" => lemmas::l5(scope),
+        "l6" => timing::l6(scope),
+        "l7" => lemmas::l7(scope),
+        "l8" => timing::l8(scope),
+        "l9" => lemmas::l9(scope),
+        "l10" => timing::l10(scope),
+        "s41" => s41::table(scope),
+        "ablate-cap" => timing::ablate_cap(scope),
+        "ablate-d" => ablate_d::table(scope),
+        "gbits" => gbits::table(scope),
+        "ae" => ae_exp::table(scope),
+        other => {
+            return Err(format!(
+                "unknown experiment `{other}`; known ids: {}",
+                ALL_IDS.join(", ")
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_reports_catalogue() {
+        let err = run_experiment("nope", Scope::Quick).unwrap_err();
+        assert!(err.contains("f1a-time"));
+        assert!(err.contains("l10"));
+    }
+}

@@ -1,0 +1,18 @@
+//! # fba-bench — the benchmark harness of the reproduction
+//!
+//! Regenerates every table and figure of *Fast Byzantine Agreement*
+//! (PODC 2013): run `cargo run --release -p fba-bench --bin paperbench --
+//! all` for the full battery, or pass individual experiment ids
+//! (`f1a-time`, `f1b`, `l6`, …; see [`experiments::ALL_IDS`]). Criterion
+//! micro-benchmarks of the protocol components live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod scope;
+pub mod table;
+
+pub use experiments::{run_experiment, ALL_IDS};
+pub use scope::Scope;
+pub use table::Table;

@@ -1,0 +1,101 @@
+//! Experiment sizing: quick / default / full sweeps.
+
+/// How much work an experiment should do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// CI-sized: small systems, few seeds (seconds).
+    Quick,
+    /// The EXPERIMENTS.md defaults (a few minutes).
+    Default,
+    /// Adds the largest sizes (tens of minutes).
+    Full,
+}
+
+impl Scope {
+    /// System sizes for AER-involved sweeps (full protocol runs are
+    /// `Θ(n·log³n)` messages, so sizes are capped accordingly).
+    #[must_use]
+    pub fn aer_sizes(self) -> Vec<usize> {
+        match self {
+            Scope::Quick => vec![32, 64, 128],
+            Scope::Default => vec![64, 128, 256, 512],
+            Scope::Full => vec![64, 128, 256, 512, 1024],
+        }
+    }
+
+    /// System sizes for cheap sweeps (samplers, push-only, AE phase).
+    #[must_use]
+    pub fn light_sizes(self) -> Vec<usize> {
+        match self {
+            Scope::Quick => vec![64, 256],
+            Scope::Default => vec![64, 256, 1024, 4096],
+            Scope::Full => vec![64, 256, 1024, 4096, 16384],
+        }
+    }
+
+    /// System sizes for the `Θ(n)`-round deterministic baseline.
+    #[must_use]
+    pub fn king_sizes(self) -> Vec<usize> {
+        match self {
+            Scope::Quick => vec![16, 32],
+            Scope::Default => vec![16, 32, 64, 128],
+            Scope::Full => vec![16, 32, 64, 128, 256],
+        }
+    }
+
+    /// Seeds per configuration.
+    #[must_use]
+    pub fn seeds(self) -> Vec<u64> {
+        match self {
+            Scope::Quick => vec![1, 2],
+            Scope::Default => vec![1, 2, 3, 4, 5],
+            Scope::Full => (1..=10).collect(),
+        }
+    }
+}
+
+/// Mean of an iterator of f64 values (0 for empty).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Maximum of f64 values (0 for empty).
+#[must_use]
+pub fn fmax(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max)
+}
+
+/// Table cell for a mean that may have no samples: `-` instead of a
+/// misleading 0 when e.g. a quantile was never reached in any seed.
+#[must_use]
+pub fn mean_cell(values: &[f64]) -> String {
+    if values.is_empty() {
+        "-".to_string()
+    } else {
+        crate::table::fnum(mean(values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_are_ordered_by_size() {
+        assert!(Scope::Quick.aer_sizes().len() <= Scope::Default.aer_sizes().len());
+        assert!(Scope::Default.aer_sizes().last() <= Scope::Full.aer_sizes().last());
+        assert!(Scope::Quick.seeds().len() < Scope::Full.seeds().len());
+    }
+
+    #[test]
+    fn mean_and_max() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(fmax(&[1.0, 3.0, 2.0]), 3.0);
+    }
+}

@@ -1,0 +1,366 @@
+//! The AER protocol node and run harness.
+//!
+//! [`AerNode`] wires the push phase (§3.1.1) and pull phase (§3.1.2,
+//! Algorithms 1–3) into one event-driven [`Protocol`]: a node pushes its
+//! initial candidate at start, polls every candidate as soon as it enters
+//! `L_x` (its own candidate immediately), routes and answers other nodes'
+//! pull traffic, and decides on the first candidate confirmed by a strict
+//! majority of a poll list. The event-driven formulation works unchanged
+//! in synchronous and asynchronous executions — one of AER's distinctive
+//! properties ("this algorithm remains correct and efficient under
+//! asynchrony").
+//!
+//! [`AerHarness`] packages the shared public state (samplers, initial
+//! assignments, push target lists) and runs complete executions on the
+//! simulator.
+
+use fba_ae::Precondition;
+use fba_samplers::{GString, PollSampler, QuorumScheme};
+use fba_sim::{
+    run, Adversary, Context, EngineConfig, NodeId, Protocol, RunOutcome, Step,
+};
+
+use crate::config::AerConfig;
+use crate::msg::AerMsg;
+use crate::pull::{PullPhase, RetryPolicy, Sends};
+use crate::push::{push_targets, PushPhase};
+
+/// One correct AER participant.
+#[derive(Clone, Debug)]
+pub struct AerNode {
+    push: PushPhase,
+    pull: PullPhase,
+    targets: Vec<NodeId>,
+}
+
+impl AerNode {
+    /// Builds the node; `targets` is its push target list
+    /// `{x : self ∈ I(s_self, x)}` (see [`push_targets`]).
+    #[must_use]
+    pub fn new(
+        id: NodeId,
+        own: GString,
+        scheme: QuorumScheme,
+        poll: PollSampler,
+        overload_cap: u64,
+        retry: RetryPolicy,
+        targets: Vec<NodeId>,
+    ) -> Self {
+        AerNode {
+            push: PushPhase::new(id, own, scheme),
+            pull: PullPhase::new(id, own, scheme, poll, overload_cap, retry),
+            targets,
+        }
+    }
+
+    /// The node's current candidate list `L_x`.
+    #[must_use]
+    pub fn candidates(&self) -> &[GString] {
+        self.push.candidates()
+    }
+
+    /// The node's current belief.
+    #[must_use]
+    pub fn believed(&self) -> &GString {
+        self.pull.believed()
+    }
+
+    fn dispatch(sends: Sends, ctx: &mut Context<'_, AerMsg>) {
+        for (to, msg) in sends {
+            ctx.send(to, msg);
+        }
+    }
+}
+
+impl Protocol for AerNode {
+    type Msg = AerMsg;
+    type Output = GString;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, AerMsg>) {
+        // Push phase: diffuse the initial candidate to the nodes whose
+        // push quorums we belong to.
+        let own = *self.push.own_candidate();
+        for &x in &self.targets {
+            ctx.send(x, AerMsg::Push(own));
+        }
+        // L_x starts as {s_x}: verify it immediately.
+        let step = ctx.step();
+        let sends = self.pull.start_poll(own, step, ctx.rng());
+        Self::dispatch(sends, ctx);
+    }
+
+    fn on_step(&mut self, ctx: &mut Context<'_, AerMsg>) {
+        let step = ctx.step();
+        let sends = self.pull.on_step(step, ctx.rng());
+        Self::dispatch(sends, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: AerMsg, ctx: &mut Context<'_, AerMsg>) {
+        match msg {
+            AerMsg::Push(s) => {
+                if let Some(newly_accepted) = self.push.on_push(from, s) {
+                    // Pull phase begins per candidate as soon as it is
+                    // accepted.
+                    let step = ctx.step();
+                    let sends = self.pull.start_poll(newly_accepted, step, ctx.rng());
+                    Self::dispatch(sends, ctx);
+                }
+            }
+            AerMsg::Poll(s, r) => Self::dispatch(self.pull.on_poll(from, s, r), ctx),
+            AerMsg::Pull(s, r) => Self::dispatch(self.pull.on_pull(from, s, r), ctx),
+            AerMsg::Fw1 { origin, s, r, w } => {
+                Self::dispatch(self.pull.on_fw1(from, origin, s, r, w), ctx);
+            }
+            AerMsg::Fw2 { origin, s, r } => {
+                Self::dispatch(self.pull.on_fw2(from, origin, s, r), ctx);
+            }
+            AerMsg::Answer(s) => {
+                if self.pull.on_answer(from, s).is_some() {
+                    // Deciding unlocks the overload queue (Algorithm 3's
+                    // "wait for has_decided").
+                    let sends = self.pull.on_decided();
+                    Self::dispatch(sends, ctx);
+                }
+            }
+            AerMsg::RepairQuery(r) => {
+                Self::dispatch(self.pull.on_repair_query(from, r), ctx);
+            }
+            AerMsg::RepairAnswer(s) => {
+                if self.pull.on_repair_answer(from, s).is_some() {
+                    let sends = self.pull.on_decided();
+                    Self::dispatch(sends, ctx);
+                }
+            }
+        }
+    }
+
+    fn output(&self) -> Option<GString> {
+        self.pull.decided().cloned()
+    }
+}
+
+/// Shared state of one AER deployment plus run helpers.
+#[derive(Clone, Debug)]
+pub struct AerHarness {
+    cfg: AerConfig,
+    scheme: QuorumScheme,
+    poll: PollSampler,
+    assignments: Vec<GString>,
+    targets: Vec<Vec<NodeId>>,
+}
+
+impl AerHarness {
+    /// Builds the harness from a config and every node's initial
+    /// candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignments.len() != cfg.n` or the config is invalid.
+    #[must_use]
+    pub fn new(cfg: AerConfig, assignments: Vec<GString>) -> Self {
+        cfg.validate().expect("invalid AER config");
+        assert_eq!(assignments.len(), cfg.n, "one candidate per node");
+        let scheme = cfg.scheme();
+        let poll = cfg.poll_sampler();
+        let targets = push_targets(&scheme, &assignments);
+        AerHarness {
+            cfg,
+            scheme,
+            poll,
+            assignments,
+            targets,
+        }
+    }
+
+    /// Convenience constructor from a synthetic or protocol-produced
+    /// almost-everywhere [`Precondition`].
+    #[must_use]
+    pub fn from_precondition(cfg: AerConfig, pre: &Precondition) -> Self {
+        Self::new(cfg, pre.assignments.clone())
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &AerConfig {
+        &self.cfg
+    }
+
+    /// The shared quorum scheme (I and H).
+    #[must_use]
+    pub fn scheme(&self) -> QuorumScheme {
+        self.scheme
+    }
+
+    /// The shared poll sampler (J).
+    #[must_use]
+    pub fn poll_sampler(&self) -> PollSampler {
+        self.poll
+    }
+
+    /// Initial candidate of every node.
+    #[must_use]
+    pub fn assignments(&self) -> &[GString] {
+        &self.assignments
+    }
+
+    /// Builds the state machine for one correct node (the engine factory).
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> AerNode {
+        let retry = RetryPolicy {
+            poll_timeout: self.cfg.poll_timeout,
+            poll_attempts: self.cfg.poll_attempts,
+            repair_attempts: self.cfg.repair_attempts,
+        };
+        AerNode::new(
+            id,
+            self.assignments[id.index()],
+            self.scheme,
+            self.poll,
+            self.cfg.overload_cap,
+            retry,
+            self.targets[id.index()].clone(),
+        )
+    }
+
+    /// Default synchronous engine configuration for this deployment:
+    /// enough steps for the retry/repair schedule to play out.
+    #[must_use]
+    pub fn engine_sync(&self) -> EngineConfig {
+        let budget = self.cfg.poll_timeout
+            * (u64::from(self.cfg.poll_attempts) + u64::from(self.cfg.repair_attempts) + 2);
+        EngineConfig {
+            max_steps: budget.max(60),
+            ..EngineConfig::sync(self.cfg.n)
+        }
+    }
+
+    /// Default asynchronous engine configuration (`max_delay` steps of
+    /// adversarial delay).
+    #[must_use]
+    pub fn engine_async(&self, max_delay: Step) -> EngineConfig {
+        EngineConfig {
+            max_steps: 400,
+            ..EngineConfig::asynchronous(self.cfg.n, max_delay)
+        }
+    }
+
+    /// Runs one complete execution.
+    pub fn run<A>(
+        &self,
+        engine: &EngineConfig,
+        seed: u64,
+        adversary: &mut A,
+    ) -> RunOutcome<GString, AerMsg>
+    where
+        A: Adversary<AerMsg> + ?Sized,
+    {
+        run::<AerNode, A, _>(engine, seed, adversary, |id| self.node(id))
+    }
+
+    /// Runs one complete execution and hands every surviving node's final
+    /// state to `inspect` — used by the Lemma 4 experiments to read
+    /// candidate-list sizes.
+    pub fn run_inspect<A, I>(
+        &self,
+        engine: &EngineConfig,
+        seed: u64,
+        adversary: &mut A,
+        inspect: I,
+    ) -> RunOutcome<GString, AerMsg>
+    where
+        A: Adversary<AerMsg> + ?Sized,
+        I: FnMut(fba_sim::NodeId, &AerNode),
+    {
+        fba_sim::run_inspect::<AerNode, A, _, I>(engine, seed, adversary, |id| self.node(id), inspect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fba_ae::UnknowingAssignment;
+    use fba_sim::NoAdversary;
+
+    fn harness(n: usize, knowledge: f64, seed: u64) -> (AerHarness, Precondition) {
+        let cfg = AerConfig::recommended(n);
+        let pre = Precondition::synthetic(
+            n,
+            cfg.string_len,
+            knowledge,
+            UnknowingAssignment::RandomPerNode,
+            seed,
+        );
+        (AerHarness::from_precondition(cfg, &pre), pre)
+    }
+
+    #[test]
+    fn fault_free_run_decides_gstring_everywhere() {
+        let (h, pre) = harness(64, 0.75, 1);
+        let out = h.run(&h.engine_sync(), 1, &mut NoAdversary);
+        assert!(out.all_decided(), "undecided nodes: {:?}", out.metrics.steps);
+        assert_eq!(out.unanimous(), Some(&pre.gstring));
+    }
+
+    #[test]
+    fn fault_free_run_is_constant_time_for_the_bulk() {
+        // Lemma 9 shape: the overwhelming majority decides within a
+        // handful of rounds; finite-size stragglers are mopped up by the
+        // retry/repair extensions but stay rare.
+        for n in [32, 64, 128] {
+            let (h, _) = harness(n, 0.75, 2);
+            let out = h.run(&h.engine_sync(), 2, &mut NoAdversary);
+            assert!(out.all_decided(), "n={n}: not everyone decided");
+            let fast = (0..n)
+                .map(NodeId::from_index)
+                .filter(|id| out.metrics.decided_at(*id).is_some_and(|s| s <= 8))
+                .count();
+            assert!(
+                fast as f64 >= 0.9 * n as f64,
+                "n={n}: only {fast}/{n} decided within 8 steps"
+            );
+        }
+    }
+
+    #[test]
+    fn unknowing_nodes_learn_gstring() {
+        let (h, pre) = harness(64, 0.7, 3);
+        let out = h.run(&h.engine_sync(), 3, &mut NoAdversary);
+        for (id, value) in &out.outputs {
+            assert_eq!(value, &pre.gstring, "node {id} decided wrongly");
+        }
+        // Specifically check a node that started unknowing.
+        let unknowing = (0..64)
+            .map(NodeId::from_index)
+            .find(|id| !pre.knows(*id))
+            .expect("some node starts unknowing");
+        assert_eq!(out.outputs[&unknowing], pre.gstring);
+    }
+
+    #[test]
+    fn runs_replay_deterministically() {
+        let (h, _) = harness(48, 0.75, 7);
+        let a = h.run(&h.engine_sync(), 9, &mut NoAdversary);
+        let b = h.run(&h.engine_sync(), 9, &mut NoAdversary);
+        assert_eq!(a.all_decided_at, b.all_decided_at);
+        assert_eq!(a.metrics.total_bits_sent(), b.metrics.total_bits_sent());
+        assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn node_accessors_reflect_initial_state() {
+        let (h, pre) = harness(32, 0.8, 4);
+        let id = NodeId::from_index(0);
+        let node = h.node(id);
+        assert_eq!(node.candidates().len(), 1);
+        assert_eq!(node.believed(), &pre.assignments[0]);
+        assert_eq!(h.assignments().len(), 32);
+        assert_eq!(h.config().n, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "one candidate per node")]
+    fn harness_rejects_wrong_assignment_count() {
+        let cfg = AerConfig::recommended(32);
+        let _ = AerHarness::new(cfg, vec![GString::zeroes(cfg.string_len)]);
+    }
+}

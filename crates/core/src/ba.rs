@@ -1,0 +1,184 @@
+//! End-to-end Byzantine Agreement: almost-everywhere phase + AER.
+//!
+//! The paper's headline protocol **BA** is the composition of an
+//! almost-everywhere agreement protocol (along the lines of KSSV06,
+//! provided by [`fba_ae`]) with the AER almost-everywhere → everywhere
+//! protocol of §3: the first phase leaves more than 3/4 of the correct
+//! nodes knowing a common random-enough string, the second spreads it to
+//! everyone. Both phases are poly-logarithmic in time and per-node
+//! communication, so BA is the first Byzantine Agreement protocol that is
+//! poly-logarithmic in both (Figure 1b).
+
+use fba_ae::{run_ae, AeConfig, AeMsg, AeOutcome};
+use fba_samplers::GString;
+use fba_sim::{Adversary, EngineConfig, RunOutcome, Step};
+
+use crate::aer::AerHarness;
+use crate::config::AerConfig;
+use crate::msg::AerMsg;
+
+/// Parameters of an end-to-end BA run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BaConfig {
+    /// The almost-everywhere phase.
+    pub ae: AeConfig,
+    /// The AER phase.
+    pub aer: AerConfig,
+}
+
+impl BaConfig {
+    /// Recommended configuration for `n` nodes; both phases share the
+    /// string length so the AE output feeds AER unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 8`.
+    #[must_use]
+    pub fn recommended(n: usize) -> Self {
+        let aer = AerConfig::recommended(n);
+        let mut ae = AeConfig::recommended(n);
+        ae.string_len = aer.string_len;
+        BaConfig { ae, aer }
+    }
+}
+
+/// Summary of one end-to-end BA run.
+#[derive(Clone, Debug)]
+pub struct BaReport {
+    /// The unanimous AER decision, if agreement held.
+    pub agreed: Option<GString>,
+    /// Whether the agreed value is the AE phase's majority string (the
+    /// validity notion: the adversary did not impose a value of its own).
+    pub matches_ae_majority: bool,
+    /// Fraction of correct nodes knowing the majority string after AE.
+    pub knowing_fraction_after_ae: f64,
+    /// Rounds consumed by the AE phase.
+    pub ae_rounds: Step,
+    /// Rounds consumed by AER (None if some node never decided).
+    pub aer_rounds: Option<Step>,
+    /// Amortized AE bits per node.
+    pub ae_bits_per_node: f64,
+    /// Amortized AER bits per node.
+    pub aer_bits_per_node: f64,
+    /// Correct nodes in the AER phase.
+    pub correct_nodes: usize,
+    /// Correct nodes that decided in the AER phase.
+    pub decided_nodes: usize,
+}
+
+impl BaReport {
+    /// Whether the run met BA's obligations: all correct nodes decided,
+    /// unanimously, on the AE majority string.
+    #[must_use]
+    pub fn success(&self) -> bool {
+        self.agreed.is_some()
+            && self.matches_ae_majority
+            && self.decided_nodes == self.correct_nodes
+    }
+}
+
+/// Runs BA end to end: the AE phase under `ae_adversary`, then AER under
+/// the adversary built by `make_aer_adversary` (which receives the
+/// harness and the AE majority string — full information).
+///
+/// `aer_engine` selects AER's timing model (`None` = the harness default
+/// synchronous engine).
+pub fn run_ba<AeA, AerA, F>(
+    cfg: &BaConfig,
+    seed: u64,
+    ae_adversary: &mut AeA,
+    make_aer_adversary: F,
+    aer_engine: Option<EngineConfig>,
+) -> (BaReport, AeOutcome, RunOutcome<GString, AerMsg>)
+where
+    AeA: Adversary<AeMsg> + ?Sized,
+    AerA: Adversary<AerMsg>,
+    F: FnOnce(&AerHarness, &GString) -> AerA,
+{
+    let ae_outcome = run_ae(&cfg.ae, seed, ae_adversary);
+    let pre = ae_outcome.to_precondition(cfg.aer.n, cfg.aer.string_len);
+    let harness = AerHarness::from_precondition(cfg.aer, &pre);
+    let mut aer_adversary = make_aer_adversary(&harness, &ae_outcome.gstring);
+    let engine = aer_engine.unwrap_or_else(|| harness.engine_sync());
+    let aer_run = harness.run(&engine, seed.wrapping_add(1), &mut aer_adversary);
+
+    let agreed = aer_run.unanimous().cloned();
+    let report = BaReport {
+        matches_ae_majority: agreed.as_ref() == Some(&ae_outcome.gstring),
+        agreed,
+        knowing_fraction_after_ae: ae_outcome.knowing_fraction,
+        ae_rounds: ae_outcome.run.metrics.steps,
+        aer_rounds: aer_run.all_decided_at,
+        ae_bits_per_node: ae_outcome.run.metrics.amortized_bits(),
+        aer_bits_per_node: aer_run.metrics.amortized_bits(),
+        correct_nodes: cfg.aer.n - aer_run.corrupt.len(),
+        decided_nodes: aer_run.outputs.len(),
+    };
+    (report, ae_outcome, aer_run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{AttackContext, BadString};
+    use fba_sim::{NoAdversary, SilentAdversary};
+
+    #[test]
+    fn fault_free_ba_succeeds() {
+        let cfg = BaConfig::recommended(64);
+        let (report, ae, _run) = run_ba(
+            &cfg,
+            7,
+            &mut NoAdversary,
+            |_, _| NoAdversary,
+            None,
+        );
+        assert!(report.success(), "report: {report:?}");
+        assert_eq!(report.agreed.as_ref(), Some(&ae.gstring));
+        assert!(report.knowing_fraction_after_ae > 0.99);
+    }
+
+    #[test]
+    fn ba_survives_silent_faults_in_both_phases() {
+        let cfg = BaConfig::recommended(96);
+        let t = 10;
+        let mut ae_adv = SilentAdversary::new(t);
+        let (report, _, _) = run_ba(
+            &cfg,
+            8,
+            &mut ae_adv,
+            |_, _| SilentAdversary::new(t),
+            None,
+        );
+        assert!(
+            report.agreed.is_some(),
+            "correct nodes disagreed: {report:?}"
+        );
+        assert!(report.matches_ae_majority);
+        // Silent faults may strand a straggler despite repair; the bulk
+        // must decide.
+        assert!(report.decided_nodes as f64 >= 0.95 * report.correct_nodes as f64);
+    }
+
+    #[test]
+    fn ba_resists_the_bad_string_campaign() {
+        let cfg = BaConfig::recommended(64);
+        let (report, ae, run) = run_ba(
+            &cfg,
+            11,
+            &mut NoAdversary,
+            |harness, gstring| {
+                let ctx = AttackContext::new(harness, *gstring);
+                let bad = GString::zeroes(gstring.len_bits());
+                BadString::new(ctx, bad)
+            },
+            None,
+        );
+        // No correct node may adopt the campaign string.
+        let bad = GString::zeroes(ae.gstring.len_bits());
+        for (id, value) in &run.outputs {
+            assert_ne!(value, &bad, "node {id} decided the campaign string");
+        }
+        assert!(report.matches_ae_majority || report.agreed.is_none());
+    }
+}

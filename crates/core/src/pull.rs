@@ -1,0 +1,1024 @@
+//! The pull phase: Algorithms 1–3 of the paper (§3.1.2).
+//!
+//! To verify a candidate `s ∈ L_x`, node `x` simultaneously notifies a
+//! *poll list* `J(x, r)` (for a fresh random label `r`) and its *pull
+//! quorum* `H(s, x)`. The pull quorums act as proxies that forward and
+//! filter the request so `x` cannot flood the network:
+//!
+//! 1. `y ∈ H(s, x)` forwards the request iff `s` is its own current
+//!    candidate, at most once per `(x, s)` — the "keep track of senders"
+//!    flood filter (Algorithm 2).
+//! 2. `z ∈ H(s, w)` relays to `w ∈ J(x, r)` iff a majority of `H(s, x)`
+//!    forwarded through it (Algorithm 2).
+//! 3. `w` answers `x` iff a majority of `H(s, w)` relayed, it was itself
+//!    polled for `(x, s)`, and it is not overloaded: once it has answered
+//!    `log² n` requests for a string it defers further ones *until it has
+//!    decided* (Algorithm 3).
+//!
+//! `x` decides `s` upon answers from a strict majority of `J(x, r)`.
+//!
+//! [`PullPhase`] is a pure state machine — every handler returns the
+//! messages to transmit — so the algorithms are unit-testable without the
+//! simulator.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use fba_samplers::{GString, Label, PollSampler, QuorumScheme, StringKey};
+use fba_sim::{NodeId, Step};
+use rand_chacha::ChaCha12Rng;
+
+use crate::msg::AerMsg;
+
+/// Outgoing messages produced by one handler invocation.
+pub type Sends = Vec<(NodeId, AerMsg)>;
+
+/// Per-requester cap on repair answers, preventing Byzantine requesters
+/// from using the repair path as an amplification primitive.
+const REPAIR_ANSWER_CAP: u32 = 8;
+
+/// An in-flight poll started by this node for one candidate (Algorithm 1).
+#[derive(Clone, Debug)]
+struct OwnPoll {
+    s: GString,
+    r: Label,
+    answered_by: BTreeSet<NodeId>,
+    started: Step,
+    attempt: u32,
+}
+
+/// A deferred (overloaded) second-hop forward awaiting this node's own
+/// decision (Algorithm 3's "wait for `has_decided`").
+#[derive(Clone, Debug)]
+struct DeferredFw2 {
+    from: NodeId,
+    origin: NodeId,
+    s: GString,
+    r: Label,
+}
+
+/// Retry and repair policy of a [`PullPhase`] (liveness extensions beyond
+/// the paper; both disabled in strict mode — see DESIGN.md §8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Steps to wait for a poll before redrawing its label.
+    pub poll_timeout: Step,
+    /// Total poll attempts per candidate (1 = paper behaviour).
+    pub poll_attempts: u32,
+    /// Last-resort repair queries after all polls are exhausted
+    /// (0 = disabled).
+    pub repair_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// The paper's behaviour: a single poll, no repair.
+    #[must_use]
+    pub fn strict() -> Self {
+        RetryPolicy {
+            poll_timeout: Step::MAX,
+            poll_attempts: 1,
+            repair_attempts: 0,
+        }
+    }
+}
+
+/// Pull-phase state for one node: requester, router and answerer roles.
+#[derive(Clone, Debug)]
+pub struct PullPhase {
+    x: NodeId,
+    scheme: QuorumScheme,
+    poll: PollSampler,
+    overload_cap: u64,
+    retry: RetryPolicy,
+    /// `s_this`: the node's current belief; starts at its initial
+    /// candidate and is overwritten by its decision.
+    believed: GString,
+    decided: Option<GString>,
+
+    // --- requester (Algorithm 1) ---
+    own_polls: HashMap<StringKey, OwnPoll>,
+
+    // --- router (Algorithm 2) ---
+    forwarded_pulls: HashSet<(NodeId, StringKey)>,
+    fw1_senders: HashMap<(NodeId, StringKey, NodeId), BTreeSet<NodeId>>,
+    fw1_done: HashSet<(NodeId, StringKey, NodeId)>,
+
+    // --- answerer (Algorithm 3) ---
+    polled: HashSet<(NodeId, StringKey)>,
+    fw2_senders: HashMap<(NodeId, StringKey), BTreeSet<NodeId>>,
+    answered: HashSet<(NodeId, StringKey)>,
+    answer_counts: HashMap<StringKey, u64>,
+    deferred: Vec<DeferredFw2>,
+
+    // --- repair (liveness extension) ---
+    repair_label: Option<Label>,
+    repair_used: u32,
+    repair_last: Step,
+    repair_votes: HashMap<StringKey, (GString, BTreeSet<NodeId>)>,
+    repair_pending: Vec<(NodeId, Label)>,
+    repair_answered: HashMap<NodeId, u32>,
+}
+
+impl PullPhase {
+    /// Creates pull state for node `x` whose initial belief is `own`.
+    #[must_use]
+    pub fn new(
+        x: NodeId,
+        own: GString,
+        scheme: QuorumScheme,
+        poll: PollSampler,
+        overload_cap: u64,
+        retry: RetryPolicy,
+    ) -> Self {
+        PullPhase {
+            x,
+            scheme,
+            poll,
+            overload_cap,
+            retry,
+            believed: own,
+            decided: None,
+            own_polls: HashMap::new(),
+            forwarded_pulls: HashSet::new(),
+            fw1_senders: HashMap::new(),
+            fw1_done: HashSet::new(),
+            polled: HashSet::new(),
+            fw2_senders: HashMap::new(),
+            answered: HashSet::new(),
+            answer_counts: HashMap::new(),
+            deferred: Vec::new(),
+            repair_label: None,
+            repair_used: 0,
+            repair_last: 0,
+            repair_votes: HashMap::new(),
+            repair_pending: Vec::new(),
+            repair_answered: HashMap::new(),
+        }
+    }
+
+    /// The node's decision, if reached.
+    #[must_use]
+    pub fn decided(&self) -> Option<&GString> {
+        self.decided.as_ref()
+    }
+
+    /// The node's current belief `s_this`.
+    #[must_use]
+    pub fn believed(&self) -> &GString {
+        &self.believed
+    }
+
+    /// Number of deferred (overload-parked) forwards — Lemma 6
+    /// instrumentation.
+    #[must_use]
+    pub fn deferred_len(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Total answers sent for string `s` — overload instrumentation.
+    #[must_use]
+    pub fn answers_sent_for(&self, s: &GString) -> u64 {
+        self.answer_counts.get(&s.key()).copied().unwrap_or(0)
+    }
+
+    /// Algorithm 1, sending side: verify candidate `s` by polling
+    /// `J(x, r)` (fresh random `r`) and the pull quorum `H(s, x)`.
+    ///
+    /// No-op when already decided or already polling `s`.
+    #[must_use]
+    pub fn start_poll(&mut self, s: GString, step: Step, rng: &mut ChaCha12Rng) -> Sends {
+        if self.decided.is_some() {
+            return Vec::new();
+        }
+        let key = s.key();
+        if self.own_polls.contains_key(&key) {
+            return Vec::new();
+        }
+        let r = self.poll.random_label(rng);
+        let sends = self.poll_sends(&s, r);
+        self.own_polls.insert(
+            key,
+            OwnPoll {
+                s,
+                r,
+                answered_by: BTreeSet::new(),
+                started: step,
+                attempt: 1,
+            },
+        );
+        sends
+    }
+
+    fn poll_sends(&self, s: &GString, r: Label) -> Sends {
+        let key = s.key();
+        let mut sends = Vec::new();
+        for w in self.poll.poll_list(self.x, r) {
+            sends.push((w, AerMsg::Poll(*s, r)));
+        }
+        for y in self.scheme.pull.quorum(key, self.x) {
+            sends.push((y, AerMsg::Pull(*s, r)));
+        }
+        sends
+    }
+
+    /// Timeout processing (liveness extensions): retries stalled polls
+    /// with fresh labels, then falls back to repair queries once all polls
+    /// are exhausted. Call once per step; returns messages to send.
+    #[must_use]
+    pub fn on_step(&mut self, step: Step, rng: &mut ChaCha12Rng) -> Sends {
+        if self.decided.is_some() {
+            return Vec::new();
+        }
+        let mut sends = Vec::new();
+        let timeout = self.retry.poll_timeout;
+        let mut all_exhausted = true;
+        // Retry stalled polls with fresh labels.
+        let keys: Vec<StringKey> = self.own_polls.keys().copied().collect();
+        for key in keys {
+            let (retry_string, expired) = {
+                let poll = &self.own_polls[&key];
+                let expired = step.saturating_sub(poll.started) >= timeout;
+                if expired && poll.attempt < self.retry.poll_attempts {
+                    (Some(poll.s), expired)
+                } else {
+                    (None, expired)
+                }
+            };
+            if let Some(s) = retry_string {
+                let r = self.poll.random_label(rng);
+                sends.extend(self.poll_sends(&s, r));
+                let poll = self.own_polls.get_mut(&key).expect("poll exists");
+                poll.r = r;
+                poll.answered_by.clear();
+                poll.started = step;
+                poll.attempt += 1;
+                all_exhausted = false;
+            } else if !expired {
+                all_exhausted = false;
+            }
+        }
+        // Last resort: ask a fresh poll list what its members decided.
+        if all_exhausted
+            && self.repair_used < self.retry.repair_attempts
+            && (self.repair_used == 0 || step.saturating_sub(self.repair_last) >= timeout)
+        {
+            let r = self.poll.random_label(rng);
+            self.repair_label = Some(r);
+            self.repair_votes.clear();
+            self.repair_used += 1;
+            self.repair_last = step;
+            for w in self.poll.poll_list(self.x, r) {
+                sends.push((w, AerMsg::RepairQuery(r)));
+            }
+        }
+        sends
+    }
+
+    /// Handles a repair query from `origin`: if this node has decided and
+    /// really is in `J(origin, r)`, it replies with its decision (subject
+    /// to a per-requester cap); otherwise the query is parked until this
+    /// node decides.
+    #[must_use]
+    pub fn on_repair_query(&mut self, origin: NodeId, r: Label) -> Sends {
+        if !self.poll.contains(origin, r, self.x) {
+            return Vec::new();
+        }
+        let served = self.repair_answered.entry(origin).or_insert(0);
+        if *served >= REPAIR_ANSWER_CAP {
+            return Vec::new();
+        }
+        if let Some(decision) = &self.decided {
+            *served += 1;
+            vec![(origin, AerMsg::RepairAnswer(*decision))]
+        } else {
+            self.repair_pending.push((origin, r));
+            Vec::new()
+        }
+    }
+
+    /// Handles a repair answer from `w`. Returns `Some(decision)` when a
+    /// strict majority of the *current* repair poll list reported the same
+    /// string — the same safety argument as a regular poll (Lemma 7).
+    #[must_use]
+    pub fn on_repair_answer(&mut self, w: NodeId, s: GString) -> Option<GString> {
+        if self.decided.is_some() {
+            return None;
+        }
+        let r = self.repair_label?;
+        if !self.poll.contains(self.x, r, w) {
+            return None;
+        }
+        let key = s.key();
+        let (_, voters) = self
+            .repair_votes
+            .entry(key)
+            .or_insert_with(|| (s, BTreeSet::new()));
+        voters.insert(w);
+        if voters.len() >= self.poll.majority() {
+            let decision = self.repair_votes[&key].0;
+            self.decided = Some(decision);
+            self.believed = decision;
+            Some(decision)
+        } else {
+            None
+        }
+    }
+
+    /// Algorithm 2, first handler: a `Pull(s, r)` from requester `origin`.
+    ///
+    /// Forwards iff `s` matches this node's current candidate, this node
+    /// really is in `H(s, origin)`, and this `(origin, s)` was not
+    /// forwarded before (flood filter). The forward fans out to `H(s, w)`
+    /// for every `w ∈ J(origin, r)`.
+    #[must_use]
+    pub fn on_pull(&mut self, origin: NodeId, s: GString, r: Label) -> Sends {
+        let key = s.key();
+        if key != self.believed.key() {
+            return Vec::new();
+        }
+        if !self.scheme.pull.contains(key, origin, self.x) {
+            return Vec::new();
+        }
+        if !self.forwarded_pulls.insert((origin, key)) {
+            return Vec::new();
+        }
+        let mut sends = Vec::new();
+        for w in self.poll.poll_list(origin, r) {
+            let fw = AerMsg::Fw1 {
+                origin,
+                s,
+                r,
+                w,
+            };
+            for z in self.scheme.pull.quorum(key, w) {
+                sends.push((z, fw.clone()));
+            }
+        }
+        sends
+    }
+
+    /// Algorithm 2, second handler: an `Fw1(origin, s, r, w)` from router
+    /// `y`. Counts distinct valid routers per `(origin, s, w)`; on crossing
+    /// the majority of `H(s, origin)`, relays one `Fw2` to `w`.
+    #[must_use]
+    pub fn on_fw1(&mut self, y: NodeId, origin: NodeId, s: GString, r: Label, w: NodeId) -> Sends {
+        let key = s.key();
+        if key != self.believed.key() {
+            return Vec::new();
+        }
+        if !self.scheme.pull.contains(key, w, self.x) {
+            return Vec::new(); // we are not in H(s, w)
+        }
+        if !self.scheme.pull.contains(key, origin, y) {
+            return Vec::new(); // sender is not in H(s, origin)
+        }
+        if !self.poll.contains(origin, r, w) {
+            return Vec::new(); // w is not in J(origin, r)
+        }
+        let slot = (origin, key, w);
+        if self.fw1_done.contains(&slot) {
+            return Vec::new();
+        }
+        let senders = self.fw1_senders.entry(slot).or_default();
+        senders.insert(y);
+        if senders.len() >= self.scheme.pull.majority() {
+            self.fw1_done.insert(slot);
+            self.fw1_senders.remove(&slot);
+            vec![(w, AerMsg::Fw2 { origin, s, r })]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Algorithm 3, `Fw2` handler: second-hop forward from `z` for
+    /// requester `origin`.
+    ///
+    /// If this node is overloaded for `s` (already answered `overload_cap`
+    /// requests) and has not decided, the forward is parked until the
+    /// decision ([`PullPhase::on_decided`] drains the queue).
+    #[must_use]
+    pub fn on_fw2(&mut self, z: NodeId, origin: NodeId, s: GString, r: Label) -> Sends {
+        let key = s.key();
+        if self.decided.is_none()
+            && self.answer_counts.get(&key).copied().unwrap_or(0) >= self.overload_cap
+        {
+            self.deferred.push(DeferredFw2 {
+                from: z,
+                origin,
+                s,
+                r,
+            });
+            return Vec::new();
+        }
+        self.process_fw2(z, origin, s, r)
+    }
+
+    fn process_fw2(&mut self, z: NodeId, origin: NodeId, s: GString, r: Label) -> Sends {
+        let key = s.key();
+        if key != self.believed.key() {
+            return Vec::new();
+        }
+        if !self.poll.contains(origin, r, self.x) {
+            return Vec::new(); // we are not in J(origin, r)
+        }
+        if !self.scheme.pull.contains(key, self.x, z) {
+            return Vec::new(); // sender is not in H(s, this)
+        }
+        let senders = self.fw2_senders.entry((origin, key)).or_default();
+        senders.insert(z);
+        if senders.len() >= self.scheme.pull.majority() && self.polled.contains(&(origin, key)) {
+            self.answer(origin, s)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Algorithm 3, `Poll` handler. Registers `(origin, s)` as polled; in
+    /// the asynchronous case where the `Fw2` majority arrived before the
+    /// poll, answers immediately.
+    #[must_use]
+    pub fn on_poll(&mut self, origin: NodeId, s: GString, r: Label) -> Sends {
+        if !self.poll.contains(origin, r, self.x) {
+            return Vec::new();
+        }
+        let key = s.key();
+        self.polled.insert((origin, key));
+        let majority = self.scheme.pull.majority();
+        let have = self
+            .fw2_senders
+            .get(&(origin, key))
+            .map_or(0, BTreeSet::len);
+        if have >= majority && key == self.believed.key() {
+            self.answer(origin, s)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn answer(&mut self, origin: NodeId, s: GString) -> Sends {
+        let key = s.key();
+        if !self.answered.insert((origin, key)) {
+            return Vec::new(); // answer once per (x, s)
+        }
+        *self.answer_counts.entry(key).or_insert(0) += 1;
+        vec![(origin, AerMsg::Answer(s))]
+    }
+
+    /// Algorithm 1, receiving side: an `Answer(s)` from poll-list member
+    /// `w`. Returns `Some(decision)` when answers from a strict majority
+    /// of `J(x, r_{x,s})` have arrived.
+    #[must_use]
+    pub fn on_answer(&mut self, w: NodeId, s: GString) -> Option<GString> {
+        if self.decided.is_some() {
+            return None;
+        }
+        let key = s.key();
+        let poll = self.own_polls.get_mut(&key)?;
+        if !self.poll.contains(self.x, poll.r, w) {
+            return None;
+        }
+        poll.answered_by.insert(w);
+        if poll.answered_by.len() >= self.poll.majority() {
+            let decision = poll.s;
+            self.decided = Some(decision);
+            self.believed = decision;
+            Some(decision)
+        } else {
+            None
+        }
+    }
+
+    /// Called once after this node decides: drains the overload-parked
+    /// forwards (they are re-processed under the new belief, so only
+    /// requests for the decided string are served) and replies to parked
+    /// repair queries.
+    #[must_use]
+    pub fn on_decided(&mut self) -> Sends {
+        debug_assert!(self.decided.is_some(), "drain requires a decision");
+        let parked = std::mem::take(&mut self.deferred);
+        let mut sends = Vec::new();
+        for d in parked {
+            sends.extend(self.process_fw2(d.from, d.origin, d.s, d.r));
+        }
+        let decision = self.decided.expect("decided");
+        for (origin, _r) in std::mem::take(&mut self.repair_pending) {
+            let served = self.repair_answered.entry(origin).or_insert(0);
+            if *served < REPAIR_ANSWER_CAP {
+                *served += 1;
+                sends.push((origin, AerMsg::RepairAnswer(decision)));
+            }
+        }
+        sends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fba_sim::rng::node_rng;
+
+    const CAP: u64 = 100;
+
+    fn setup(n: usize, d: usize) -> (QuorumScheme, PollSampler) {
+        (
+            QuorumScheme::new(5, n, d),
+            PollSampler::new(5, n, d, PollSampler::default_cardinality(n)),
+        )
+    }
+
+    fn gs(tag: u8) -> GString {
+        GString::from_bits(&(0..24).map(|i| (i as u8).wrapping_add(tag).is_multiple_of(4)).collect::<Vec<_>>())
+    }
+
+    fn phase(x: usize, own: GString, n: usize, d: usize) -> PullPhase {
+        let (scheme, poll) = setup(n, d);
+        PullPhase::new(
+            NodeId::from_index(x),
+            own,
+            scheme,
+            poll,
+            CAP,
+            RetryPolicy::strict(),
+        )
+    }
+
+    fn phase_with_retry(x: usize, own: GString, n: usize, d: usize, retry: RetryPolicy) -> PullPhase {
+        let (scheme, poll) = setup(n, d);
+        PullPhase::new(NodeId::from_index(x), own, scheme, poll, CAP, retry)
+    }
+
+    #[test]
+    fn start_poll_targets_poll_list_and_pull_quorum() {
+        let n = 64;
+        let d = 7;
+        let (scheme, poll) = setup(n, d);
+        let mut p = phase(3, gs(0), n, d);
+        let mut rng = node_rng(1, 3);
+        let s = gs(1);
+        let sends = p.start_poll(s, 0, &mut rng);
+        assert_eq!(sends.len(), 2 * d);
+        let polls: Vec<_> = sends
+            .iter()
+            .filter(|(_, m)| matches!(m, AerMsg::Poll(..)))
+            .collect();
+        let pulls: Vec<_> = sends
+            .iter()
+            .filter(|(_, m)| matches!(m, AerMsg::Pull(..)))
+            .collect();
+        assert_eq!(polls.len(), d);
+        assert_eq!(pulls.len(), d);
+        // Pulls go exactly to H(s, x).
+        let quorum = scheme.pull.quorum(s.key(), NodeId::from_index(3));
+        for (to, _) in pulls {
+            assert!(quorum.contains(to));
+        }
+        // Polls go exactly to J(x, r) for the label used.
+        if let AerMsg::Poll(_, r) = polls[0].1 {
+            let list = poll.poll_list(NodeId::from_index(3), r);
+            for (to, _) in polls {
+                assert!(list.contains(to));
+            }
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    fn start_poll_is_idempotent_per_string_and_stops_after_decision() {
+        let mut p = phase(3, gs(0), 64, 7);
+        let mut rng = node_rng(1, 3);
+        assert!(!p.start_poll(gs(1), 0, &mut rng).is_empty());
+        assert!(p.start_poll(gs(1), 0, &mut rng).is_empty(), "same string twice");
+        p.decided = Some(gs(9));
+        assert!(p.start_poll(gs(2), 0, &mut rng).is_empty(), "after decision");
+    }
+
+    #[test]
+    fn on_pull_forwards_once_with_full_fanout() {
+        let n = 64;
+        let d = 5;
+        let (scheme, _) = setup(n, d);
+        let s = gs(0);
+        // Find a router y in H(s, origin) that believes s.
+        let origin = NodeId::from_index(9);
+        let quorum = scheme.pull.quorum(s.key(), origin);
+        let y = quorum[0];
+        let mut p = phase(y.index(), s, n, d);
+        let r = Label(77);
+        let sends = p.on_pull(origin, s, r);
+        assert_eq!(sends.len(), d * d, "d poll members × d quorum members");
+        assert!(sends.iter().all(|(_, m)| matches!(m, AerMsg::Fw1 { .. })));
+        // Second identical pull is filtered.
+        assert!(p.on_pull(origin, s, r).is_empty());
+        // Different label, same (origin, s): still filtered.
+        assert!(p.on_pull(origin, s, Label(78)).is_empty());
+    }
+
+    #[test]
+    fn on_pull_requires_belief_match_and_membership() {
+        let n = 64;
+        let d = 5;
+        let (scheme, _) = setup(n, d);
+        let s = gs(0);
+        let origin = NodeId::from_index(9);
+        let quorum = scheme.pull.quorum(s.key(), origin);
+
+        // Router believes something else: no forward.
+        let mut wrong_belief = phase(quorum[0].index(), gs(1), n, d);
+        assert!(wrong_belief.on_pull(origin, s, Label(0)).is_empty());
+
+        // Node outside H(s, origin): no forward.
+        let outsider = (0..n)
+            .map(NodeId::from_index)
+            .find(|id| !quorum.contains(id))
+            .unwrap();
+        let mut not_member = phase(outsider.index(), s, n, d);
+        assert!(not_member.on_pull(origin, s, Label(0)).is_empty());
+    }
+
+    /// Drives a full single-request pipeline through hand-built state
+    /// machines and checks every hop, ending in a decision.
+    #[test]
+    fn full_pipeline_produces_decision() {
+        let n = 64;
+        let d = 5;
+        let majority = d / 2 + 1;
+        let (scheme, poll) = setup(n, d);
+        let g = gs(0);
+        let key = g.key();
+        let x = NodeId::from_index(2);
+
+        let mut requester = phase(x.index(), g, n, d);
+        let mut rng = node_rng(9, 2);
+        let sends = requester.start_poll(g, 0, &mut rng);
+        let r = match &sends[0].1 {
+            AerMsg::Poll(_, r) => *r,
+            _ => unreachable!(),
+        };
+        let poll_list = poll.poll_list(x, r);
+        let h_x = scheme.pull.quorum(key, x);
+
+        // Every router in H(g, x) believes g and forwards.
+        let mut all_fw1: Vec<(NodeId, NodeId, AerMsg)> = Vec::new(); // (sender y, to z, msg)
+        for &y in &h_x {
+            let mut router = phase(y.index(), g, n, d);
+            for (to, m) in router.on_pull(x, g, r) {
+                all_fw1.push((y, to, m));
+            }
+        }
+
+        // Deliver Fw1s to one specific relay z for one specific w and watch
+        // the majority trigger exactly once.
+        let w = poll_list[0];
+        let h_w = scheme.pull.quorum(key, w);
+        let z = h_w[0];
+        let mut relay = phase(z.index(), g, n, d);
+        let mut fw2_out: Sends = Vec::new();
+        let mut distinct_routers = 0;
+        for (y, to, m) in &all_fw1 {
+            if *to != z {
+                continue;
+            }
+            if let AerMsg::Fw1 {
+                origin,
+                s,
+                r: rr,
+                w: ww,
+            } = m
+            {
+                if *ww != w {
+                    continue;
+                }
+                distinct_routers += 1;
+                let out = relay.on_fw1(*y, *origin, *s, *rr, *ww);
+                if distinct_routers < majority {
+                    assert!(out.is_empty(), "below majority must not relay");
+                } else if distinct_routers == majority {
+                    assert_eq!(out.len(), 1, "majority crossing sends exactly one Fw2");
+                    fw2_out = out;
+                } else {
+                    assert!(out.is_empty(), "relay only once");
+                }
+            }
+        }
+        assert_eq!(fw2_out.len(), 1);
+        assert_eq!(fw2_out[0].0, w);
+
+        // The poll-list member w: polled + Fw2 majority => answer.
+        let mut answerer = phase(w.index(), g, n, d);
+        assert!(answerer.on_poll(x, g, r).is_empty(), "no majority yet");
+        let mut answers: Sends = Vec::new();
+        for (i, &zz) in h_w.iter().enumerate() {
+            let out = answerer.on_fw2(zz, x, g, r);
+            if i + 1 < majority {
+                assert!(out.is_empty());
+            } else if i + 1 == majority {
+                answers = out;
+            } else {
+                assert!(out.is_empty(), "answer only once");
+            }
+        }
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].0, x, "answer goes to the requester");
+
+        // The requester decides after majority answers from J(x, r).
+        for (i, &ww) in poll_list.iter().enumerate().take(poll.majority()) {
+            let decision = requester.on_answer(ww, g);
+            if i + 1 < poll.majority() {
+                assert!(decision.is_none());
+            } else {
+                assert_eq!(decision, Some(g));
+            }
+        }
+        assert_eq!(requester.decided(), Some(&g));
+        assert_eq!(requester.believed(), &g);
+    }
+
+    #[test]
+    fn answers_from_non_poll_list_members_are_ignored() {
+        let n = 64;
+        let d = 5;
+        let (_, poll) = setup(n, d);
+        let mut p = phase(2, gs(0), n, d);
+        let mut rng = node_rng(9, 2);
+        let g = gs(0);
+        let sends = p.start_poll(g, 0, &mut rng);
+        let r = match &sends[0].1 {
+            AerMsg::Poll(_, r) => *r,
+            _ => unreachable!(),
+        };
+        let list = poll.poll_list(NodeId::from_index(2), r);
+        let outsider = (0..n)
+            .map(NodeId::from_index)
+            .find(|id| !list.contains(id))
+            .unwrap();
+        for _ in 0..n {
+            assert!(p.on_answer(outsider, g).is_none());
+        }
+        assert!(p.decided().is_none());
+    }
+
+    #[test]
+    fn duplicate_answers_from_same_member_count_once() {
+        let n = 64;
+        let d = 5;
+        let (_, poll) = setup(n, d);
+        let mut p = phase(2, gs(0), n, d);
+        let mut rng = node_rng(9, 2);
+        let g = gs(0);
+        let sends = p.start_poll(g, 0, &mut rng);
+        let r = match &sends[0].1 {
+            AerMsg::Poll(_, r) => *r,
+            _ => unreachable!(),
+        };
+        let list = poll.poll_list(NodeId::from_index(2), r);
+        for _ in 0..10 {
+            assert!(p.on_answer(list[0], g).is_none());
+        }
+        assert!(p.decided().is_none(), "one member cannot decide alone");
+    }
+
+    #[test]
+    fn overload_defers_until_decision() {
+        let n = 64;
+        let d = 5;
+        let (scheme, poll) = setup(n, d);
+        let g = gs(0);
+        let key = g.key();
+        let w = NodeId::from_index(7);
+        let h_w = scheme.pull.quorum(key, w);
+        let mut p = PullPhase::new(w, g, scheme, poll, 1, RetryPolicy::strict()); // cap = 1
+
+        // Serve requester A fully: poll + Fw2 majority => 1 answer (hits cap).
+        let origin_a = NodeId::from_index(20);
+        let (ra, _) = find_label_containing(&p.poll, origin_a, w);
+        let _ = p.on_poll(origin_a, g, ra);
+        let mut answered = 0;
+        let mut parked_for_a = 0;
+        for &z in &h_w {
+            answered += p.on_fw2(z, origin_a, g, ra).len();
+            if answered == 1 {
+                // Once the cap is hit, even A's trailing forwards park.
+                parked_for_a = p.deferred_len();
+            }
+        }
+        assert_eq!(answered, 1);
+        assert_eq!(p.answers_sent_for(&g), 1);
+
+        // Requester B: all Fw2s are now parked.
+        let origin_b = NodeId::from_index(21);
+        let (rb, _) = find_label_containing(&p.poll, origin_b, w);
+        let _ = p.on_poll(origin_b, g, rb);
+        for &z in &h_w {
+            assert!(p.on_fw2(z, origin_b, g, rb).is_empty());
+        }
+        assert_eq!(p.deferred_len(), h_w.len() + parked_for_a);
+
+        // Decision unlocks the queue; B gets its answer.
+        p.decided = Some(g);
+        p.believed = g;
+        let out = p.on_decided();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, origin_b);
+        assert_eq!(p.deferred_len(), 0);
+        assert_eq!(p.answers_sent_for(&g), 2);
+    }
+
+    /// Finds a label whose poll list for `origin` contains `member`.
+    fn find_label_containing(poll: &PollSampler, origin: NodeId, member: NodeId) -> (Label, Vec<NodeId>) {
+        for raw in 0..poll.label_cardinality() {
+            let r = Label(raw);
+            let list = poll.poll_list(origin, r);
+            if list.contains(&member) {
+                return (r, list);
+            }
+        }
+        panic!("no label found — domain too small for test");
+    }
+
+    #[test]
+    fn fw2_from_outside_quorum_is_ignored() {
+        let n = 64;
+        let d = 5;
+        let (scheme, poll) = setup(n, d);
+        let g = gs(0);
+        let key = g.key();
+        let w = NodeId::from_index(7);
+        let h_w: BTreeSet<_> = scheme.pull.quorum(key, w).into_iter().collect();
+        let mut p = PullPhase::new(w, g, scheme, poll, CAP, RetryPolicy::strict());
+        let origin = NodeId::from_index(20);
+        let (r, _) = find_label_containing(&p.poll, origin, w);
+        let _ = p.on_poll(origin, g, r);
+        let outsiders: Vec<_> = (0..n)
+            .map(NodeId::from_index)
+            .filter(|id| !h_w.contains(id))
+            .take(2 * d)
+            .collect();
+        for z in outsiders {
+            assert!(p.on_fw2(z, origin, g, r).is_empty());
+        }
+        assert_eq!(p.answers_sent_for(&g), 0);
+    }
+
+    #[test]
+    fn poll_after_fw2_majority_answers_immediately_async_case() {
+        let n = 64;
+        let d = 5;
+        let (scheme, poll) = setup(n, d);
+        let g = gs(0);
+        let key = g.key();
+        let w = NodeId::from_index(7);
+        let h_w = scheme.pull.quorum(key, w);
+        let mut p = PullPhase::new(w, g, scheme, poll, CAP, RetryPolicy::strict());
+        let origin = NodeId::from_index(20);
+        let (r, _) = find_label_containing(&p.poll, origin, w);
+        // Fw2 majority arrives before the poll.
+        for &z in &h_w {
+            assert!(p.on_fw2(z, origin, g, r).is_empty(), "not polled yet");
+        }
+        // The poll then triggers the answer (Algorithm 3's async branch).
+        let out = p.on_poll(origin, g, r);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, origin);
+    }
+
+    #[test]
+    fn retry_redraws_label_after_timeout() {
+        let retry = RetryPolicy {
+            poll_timeout: 4,
+            poll_attempts: 3,
+            repair_attempts: 0,
+        };
+        let mut p = phase_with_retry(2, gs(0), 64, 5, retry);
+        let mut rng = node_rng(3, 2);
+        let g = gs(0);
+        let first = p.start_poll(g, 0, &mut rng);
+        let r1 = match &first[0].1 {
+            AerMsg::Poll(_, r) => *r,
+            _ => unreachable!(),
+        };
+        // Before the timeout: nothing happens.
+        assert!(p.on_step(3, &mut rng).is_empty());
+        // At the timeout: a fresh poll with a new label fires.
+        let second = p.on_step(4, &mut rng);
+        assert_eq!(second.len(), 2 * 5);
+        let r2 = match &second[0].1 {
+            AerMsg::Poll(_, r) => *r,
+            _ => unreachable!(),
+        };
+        assert_ne!(r1, r2, "retry must redraw the label");
+        // Third attempt at the next timeout, then exhaustion (repair is
+        // disabled here).
+        assert!(!p.on_step(8, &mut rng).is_empty());
+        assert!(p.on_step(12, &mut rng).is_empty(), "attempts exhausted");
+    }
+
+    #[test]
+    fn strict_mode_never_retries() {
+        let mut p = phase(2, gs(0), 64, 5);
+        let mut rng = node_rng(3, 2);
+        let _ = p.start_poll(gs(0), 0, &mut rng);
+        for step in 1..2000 {
+            assert!(p.on_step(step, &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn repair_fires_after_polls_exhaust_and_decides_on_majority() {
+        let retry = RetryPolicy {
+            poll_timeout: 2,
+            poll_attempts: 1,
+            repair_attempts: 2,
+        };
+        let n = 64;
+        let d = 5;
+        let mut p = phase_with_retry(2, gs(0), n, d, retry);
+        let mut rng = node_rng(4, 2);
+        let _ = p.start_poll(gs(0), 0, &mut rng);
+        // Poll expires at step 2; repair query goes out to a fresh list.
+        let sends = p.on_step(2, &mut rng);
+        assert_eq!(sends.len(), d);
+        assert!(sends
+            .iter()
+            .all(|(_, m)| matches!(m, AerMsg::RepairQuery(_))));
+        let members: Vec<NodeId> = sends.iter().map(|(to, _)| *to).collect();
+
+        // Majority of the repair list reports the same decision: adopt it.
+        let g = gs(7);
+        let maj = d / 2 + 1;
+        for (i, w) in members.iter().enumerate().take(maj) {
+            let decision = p.on_repair_answer(*w, g);
+            if i + 1 < maj {
+                assert!(decision.is_none());
+            } else {
+                assert_eq!(decision, Some(g));
+            }
+        }
+        assert_eq!(p.decided(), Some(&g));
+        assert_eq!(p.believed(), &g);
+    }
+
+    #[test]
+    fn repair_answers_from_outside_list_do_not_count() {
+        let retry = RetryPolicy {
+            poll_timeout: 1,
+            poll_attempts: 1,
+            repair_attempts: 1,
+        };
+        let n = 64;
+        let d = 5;
+        let mut p = phase_with_retry(2, gs(0), n, d, retry);
+        let mut rng = node_rng(4, 2);
+        let _ = p.start_poll(gs(0), 0, &mut rng);
+        let sends = p.on_step(1, &mut rng);
+        let members: BTreeSet<NodeId> = sends.iter().map(|(to, _)| *to).collect();
+        let outsiders: Vec<_> = (0..n)
+            .map(NodeId::from_index)
+            .filter(|id| !members.contains(id))
+            .take(2 * d)
+            .collect();
+        for w in outsiders {
+            assert!(p.on_repair_answer(w, gs(7)).is_none());
+        }
+        assert!(p.decided().is_none());
+    }
+
+    #[test]
+    fn repair_query_answered_only_when_decided_and_capped() {
+        let n = 64;
+        let d = 5;
+        let mut p = phase(7, gs(0), n, d);
+        let origin = NodeId::from_index(20);
+        let (r, _) = find_label_containing(&p.poll, origin, NodeId::from_index(7));
+        // Undecided: query parks.
+        assert!(p.on_repair_query(origin, r).is_empty());
+        // Decide, then the parked query is served by the drain.
+        p.decided = Some(gs(0));
+        let out = p.on_decided();
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].1, AerMsg::RepairAnswer(_)));
+        // Direct queries now get served, up to the cap.
+        let mut served = 1; // one from the drain
+        for _ in 0..(3 * REPAIR_ANSWER_CAP) {
+            served += p.on_repair_query(origin, r).len();
+        }
+        assert_eq!(served as u32, REPAIR_ANSWER_CAP, "per-origin cap enforced");
+    }
+
+    #[test]
+    fn repair_query_from_wrong_list_is_ignored() {
+        let n = 64;
+        let d = 5;
+        let mut p = phase(7, gs(0), n, d);
+        p.decided = Some(gs(0));
+        let origin = NodeId::from_index(20);
+        // Find a label whose list does NOT contain node 7.
+        let mut r = None;
+        for raw in 0..p.poll.label_cardinality() {
+            if !p.poll.contains(origin, Label(raw), NodeId::from_index(7)) {
+                r = Some(Label(raw));
+                break;
+            }
+        }
+        assert!(p.on_repair_query(origin, r.unwrap()).is_empty());
+    }
+}

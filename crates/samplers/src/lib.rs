@@ -1,0 +1,48 @@
+//! # fba-samplers — the sampler family of *Fast Byzantine Agreement*
+//!
+//! §2.2 of the paper: samplers are the middle ground between deterministic
+//! quorum choice (corruptible) and fully random quorums (uncoordinated).
+//! Every node derives the same three functions from public randomness:
+//!
+//! * **`I`** — push quorums: `I(s, x)` is the set of nodes allowed to push
+//!   candidate string `s` to node `x` ([`QuorumSampler`]).
+//! * **`H`** — pull quorums: `H(s, x)` forwards and filters `x`'s pull
+//!   requests for `s` ([`QuorumSampler`]).
+//! * **`J`** — poll lists: `J(x, r)` for a random label `r ∈ R` is the
+//!   authoritative sample `x` polls to verify a candidate
+//!   ([`PollSampler`]).
+//!
+//! Lemma 1 and Lemma 2 of the paper prove such functions exist by drawing
+//! `d`-subsets uniformly; this crate instantiates that construction with
+//! seeded hashing ([`Sampler`]) and *verifies the properties empirically*
+//! ([`properties`]) instead of assuming them — see DESIGN.md, substitution
+//! 2.
+//!
+//! ```
+//! use fba_samplers::{PollSampler, QuorumScheme, StringKey};
+//! use fba_sim::NodeId;
+//!
+//! let scheme = QuorumScheme::new(42, 1000, 12);
+//! let s = StringKey(7);
+//! let x = NodeId::from_index(3);
+//! let push_quorum = scheme.push.quorum(s, x);     // I(s, x)
+//! assert_eq!(push_quorum.len(), 12);
+//!
+//! let j = PollSampler::new(42, 1000, 12, PollSampler::default_cardinality(1000));
+//! let list = j.poll_list(x, fba_samplers::Label(99)); // J(x, r)
+//! assert_eq!(list.len(), 12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod poll;
+pub mod properties;
+mod quorum;
+mod sampler;
+mod strings;
+
+pub use poll::{Label, PollSampler};
+pub use quorum::{default_quorum_size, tags, QuorumSampler, QuorumScheme};
+pub use sampler::Sampler;
+pub use strings::{gstring_len, GString, StringKey, MAX_GSTRING_BITS};

@@ -1,0 +1,196 @@
+//! Poll lists: the sampler `J : [n] × R → [n]^d` of Lemma 2.
+//!
+//! During the pull phase each node `x` draws a *random label* `r ∈ R` per
+//! candidate string and polls the list `J(x, r)`, which is deemed
+//! authoritative. `R` has polynomial cardinality, and Lemma 2 gives `J`
+//! two properties:
+//!
+//! 1. at most `θ·n` of the `(x, r)` pairs map to a list with a minority of
+//!    good nodes (so a uniformly random label w.h.p. yields a good-majority
+//!    list the non-adaptive adversary cannot have cornered);
+//! 2. any small family `L` of pairs (one label per node, `|L| = O(n/log n)`)
+//!    has at least `2d|L|/3` out-edges leaving `L*` — the expansion that
+//!    bounds the overload-chain depth in Lemma 6.
+//!
+//! Both properties are verified empirically over this instantiation in
+//! [`crate::properties`].
+
+use fba_sim::rng::mix;
+use fba_sim::{NodeId, WireSize};
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::quorum::tags;
+use crate::sampler::Sampler;
+
+/// A random label from the domain `R` (cardinality polynomial in `n`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Label(pub u64);
+
+impl WireSize for Label {
+    fn wire_bits(&self) -> u64 {
+        // Labels live in a polynomial-size domain: O(log n) bits. We count
+        // the fixed 64-bit representation, a constant factor above.
+        64
+    }
+}
+
+/// The poll-list sampler `J`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PollSampler {
+    inner: Sampler,
+    label_cardinality: u64,
+}
+
+impl PollSampler {
+    /// Creates `J` for a system of `n` nodes with poll lists of size `d`
+    /// and label domain `R = [label_cardinality]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d > n`, `n == 0`, or `label_cardinality == 0`.
+    #[must_use]
+    pub fn new(seed: u64, n: usize, d: usize, label_cardinality: u64) -> Self {
+        assert!(label_cardinality > 0, "label domain must be non-empty");
+        PollSampler {
+            inner: Sampler::new(seed, tags::POLL, n, d),
+            label_cardinality,
+        }
+    }
+
+    /// The paper's default label domain: `R = n²` (polynomial cardinality).
+    #[must_use]
+    pub fn default_cardinality(n: usize) -> u64 {
+        let n = n as u64;
+        (n * n).max(2)
+    }
+
+    /// Poll-list size `d`.
+    #[must_use]
+    pub fn d(&self) -> usize {
+        self.inner.d()
+    }
+
+    /// System size `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    /// Cardinality of the label domain `R`.
+    #[must_use]
+    pub fn label_cardinality(&self) -> u64 {
+        self.label_cardinality
+    }
+
+    /// Draws a uniformly random label from `R` using a node's private RNG.
+    #[must_use]
+    pub fn random_label(&self, rng: &mut ChaCha12Rng) -> Label {
+        Label(rng.gen_range(0..self.label_cardinality))
+    }
+
+    #[inline]
+    fn key(&self, x: NodeId, r: Label) -> u64 {
+        debug_assert!(r.0 < self.label_cardinality, "label out of domain");
+        mix(x.index() as u64, &[r.0])
+    }
+
+    /// The poll list `J(x, r)`, sorted ascending.
+    #[must_use]
+    pub fn poll_list(&self, x: NodeId, r: Label) -> Vec<NodeId> {
+        self.inner.set_for(self.key(x, r))
+    }
+
+    /// Membership test `w ∈ J(x, r)`.
+    #[must_use]
+    pub fn contains(&self, x: NodeId, r: Label, w: NodeId) -> bool {
+        self.inner.contains(self.key(x, r), w)
+    }
+
+    /// Strict-majority threshold (`> d/2`) for poll-list answers.
+    #[must_use]
+    pub fn majority(&self) -> usize {
+        self.inner.d() / 2 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fba_sim::rng::derive_rng;
+
+    #[test]
+    fn poll_lists_are_deterministic_and_sized() {
+        let j = PollSampler::new(11, 64, 7, PollSampler::default_cardinality(64));
+        let x = NodeId::from_index(5);
+        let r = Label(99);
+        let a = j.poll_list(x, r);
+        assert_eq!(a.len(), 7);
+        assert_eq!(a, j.poll_list(x, r));
+        assert_eq!(j.d(), 7);
+        assert_eq!(j.n(), 64);
+    }
+
+    #[test]
+    fn poll_lists_vary_with_label_and_node() {
+        let j = PollSampler::new(11, 256, 9, PollSampler::default_cardinality(256));
+        let base = j.poll_list(NodeId::from_index(0), Label(0));
+        assert_ne!(base, j.poll_list(NodeId::from_index(0), Label(1)));
+        assert_ne!(base, j.poll_list(NodeId::from_index(1), Label(0)));
+    }
+
+    #[test]
+    fn contains_matches_list() {
+        let j = PollSampler::new(4, 40, 6, 1600);
+        for xi in 0..10 {
+            let x = NodeId::from_index(xi);
+            let r = Label(xi as u64 * 13 % 1600);
+            let members = j.poll_list(x, r);
+            for wi in 0..40 {
+                let w = NodeId::from_index(wi);
+                assert_eq!(j.contains(x, r, w), members.contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn random_labels_stay_in_domain() {
+        let j = PollSampler::new(4, 16, 4, 100);
+        let mut rng = derive_rng(8, &[]);
+        for _ in 0..1000 {
+            assert!(j.random_label(&mut rng).0 < 100);
+        }
+    }
+
+    #[test]
+    fn random_labels_are_spread() {
+        let j = PollSampler::new(4, 16, 4, 1_000_000);
+        let mut rng = derive_rng(8, &[]);
+        let a = j.random_label(&mut rng);
+        let b = j.random_label(&mut rng);
+        assert_ne!(a, b, "two draws from a large domain colliding is ~impossible");
+    }
+
+    #[test]
+    fn default_cardinality_is_polynomial() {
+        assert_eq!(PollSampler::default_cardinality(100), 10_000);
+        assert!(PollSampler::default_cardinality(1) >= 2);
+    }
+
+    #[test]
+    fn majority_threshold() {
+        let j = PollSampler::new(4, 40, 6, 1600);
+        assert_eq!(j.majority(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_label_domain() {
+        let _ = PollSampler::new(0, 8, 2, 0);
+    }
+
+    #[test]
+    fn label_wire_size() {
+        assert_eq!(Label(3).wire_bits(), 64);
+    }
+}

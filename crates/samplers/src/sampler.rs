@@ -1,0 +1,267 @@
+//! The core seeded-hash sampler.
+//!
+//! §2.2 of the paper defines a `(θ,δ)`-sampler as a function
+//! `S : X → Y` such that for any subset `S ⊆ Y`, at most a `θ` fraction of
+//! inputs `x` have `|S(x) ∩ S|/|S(x)| > |S|/n + δ`. Lemma 1 shows such
+//! functions exist by drawing the `d` out-neighbours of every input
+//! uniformly at random; §4.1 analyses exactly this uniform random digraph.
+//!
+//! [`Sampler`] *instantiates* that construction: the `d`-subset assigned to
+//! each key is produced by Floyd's uniform subset-sampling algorithm driven
+//! by a `splitmix64` hash chain over `(seed, tag, key)`. All nodes share
+//! the seed, so the function is public deterministic information — exactly
+//! the "deterministically-known information + random sources" middle ground
+//! the paper describes. The empirical checks in [`crate::properties`]
+//! verify the Lemma 1 / Lemma 2 behaviour of the instantiated functions.
+
+use fba_sim::rng::{mix, splitmix64};
+use fba_sim::NodeId;
+
+/// A uniform pseudo-random map from 64-bit keys to `d`-subsets of `[n]`.
+///
+/// ```
+/// use fba_samplers::Sampler;
+///
+/// let s = Sampler::new(42, 1, 100, 8);
+/// let q = s.set_for(7);
+/// assert_eq!(q.len(), 8);
+/// assert!(s.contains(7, q[0]));
+/// assert_eq!(q, s.set_for(7)); // deterministic
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sampler {
+    seed: u64,
+    tag: u64,
+    n: usize,
+    d: usize,
+}
+
+/// Maps a 64-bit hash to `0..bound` without modulo bias (Lemire's
+/// multiply-shift reduction).
+#[inline]
+fn reduce(hash: u64, bound: usize) -> usize {
+    ((u128::from(hash) * bound as u128) >> 64) as usize
+}
+
+impl Sampler {
+    /// Creates a sampler over `[n]` producing subsets of size `d`.
+    ///
+    /// `seed` is the run's public sampler seed; `tag` separates the
+    /// different sampler functions (I, H, J, committees, …) derived from
+    /// the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d > n` or `n == 0`.
+    #[must_use]
+    pub fn new(seed: u64, tag: u64, n: usize, d: usize) -> Self {
+        assert!(n > 0, "sampler requires n > 0");
+        assert!(d <= n, "subset size {d} exceeds n = {n}");
+        Sampler { seed, tag, n, d }
+    }
+
+    /// System size `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Subset size `d` (the paper's `O(log n)` quorum size).
+    #[must_use]
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    #[inline]
+    fn stream(&self, key: u64, i: u64) -> u64 {
+        // One splitmix application per draw over a mixed base; full 64-bit
+        // avalanche per index.
+        splitmix64(mix(self.seed, &[self.tag, key]) ^ splitmix64(i ^ 0x5bd1_e995))
+    }
+
+    /// The `d`-subset assigned to `key`, sorted ascending.
+    ///
+    /// Uses Floyd's algorithm: a uniform `d`-subset of `[n]` using exactly
+    /// `d` hash evaluations.
+    #[must_use]
+    #[allow(clippy::explicit_counter_loop)] // `i` indexes the hash stream, not the loop
+    pub fn set_for(&self, key: u64) -> Vec<NodeId> {
+        let mut chosen: Vec<u32> = Vec::with_capacity(self.d);
+        let mut i = 0u64;
+        for j in (self.n - self.d)..self.n {
+            let t = reduce(self.stream(key, i), j + 1) as u32;
+            i += 1;
+            if chosen.contains(&t) {
+                chosen.push(j as u32);
+            } else {
+                chosen.push(t);
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+            .into_iter()
+            .map(|v| NodeId::from_index(v as usize))
+            .collect()
+    }
+
+    /// Whether `node` belongs to the subset assigned to `key`.
+    ///
+    /// Costs one [`Sampler::set_for`] evaluation; quorum sizes are
+    /// `O(log n)` so this is cheap, but hot paths should cache the set.
+    #[must_use]
+    #[allow(clippy::explicit_counter_loop)] // `i` indexes the hash stream, not the loop
+    pub fn contains(&self, key: u64, node: NodeId) -> bool {
+        // Re-run Floyd's algorithm, checking as we go.
+        let target = node.raw();
+        let mut chosen: Vec<u32> = Vec::with_capacity(self.d);
+        let mut i = 0u64;
+        for j in (self.n - self.d)..self.n {
+            let t = reduce(self.stream(key, i), j + 1) as u32;
+            i += 1;
+            let pick = if chosen.contains(&t) { j as u32 } else { t };
+            if pick == target {
+                return true;
+            }
+            chosen.push(pick);
+        }
+        false
+    }
+
+    /// Enumerates the inverse image restricted to one key: all nodes `y`
+    /// with `y ∈ set_for(key)` — i.e. simply the set itself. Provided for
+    /// symmetry with [`Sampler::inverse_over_keys`].
+    #[must_use]
+    pub fn members(&self, key: u64) -> Vec<NodeId> {
+        self.set_for(key)
+    }
+
+    /// For a fixed `key_of(x)` family over all `x ∈ [n]`, computes for
+    /// every node `y` the list of `x` such that `y ∈ set_for(key_of(x))`.
+    ///
+    /// This is the `H⁻¹(i, x)` notion of §2.2 specialised to the way the
+    /// protocols use it (e.g. "which nodes' push quorums for string `s` am
+    /// I a member of"). One pass over all `x`, `O(n·d)` total work.
+    #[must_use]
+    pub fn inverse_over_keys<F>(&self, key_of: F) -> Vec<Vec<NodeId>>
+    where
+        F: Fn(NodeId) -> u64,
+    {
+        let mut inverse: Vec<Vec<NodeId>> = vec![Vec::new(); self.n];
+        for xi in 0..self.n {
+            let x = NodeId::from_index(xi);
+            for y in self.set_for(key_of(x)) {
+                inverse[y.index()].push(x);
+            }
+        }
+        inverse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn sets_have_exact_size_and_distinct_sorted_members() {
+        let s = Sampler::new(1, 2, 50, 12);
+        for key in 0..200u64 {
+            let q = s.set_for(key);
+            assert_eq!(q.len(), 12);
+            let set: BTreeSet<_> = q.iter().copied().collect();
+            assert_eq!(set.len(), 12, "members must be distinct");
+            let mut sorted = q.clone();
+            sorted.sort();
+            assert_eq!(sorted, q, "members must be sorted");
+            assert!(q.iter().all(|id| id.index() < 50));
+        }
+    }
+
+    #[test]
+    fn full_subset_when_d_equals_n() {
+        let s = Sampler::new(9, 0, 6, 6);
+        let q = s.set_for(3);
+        assert_eq!(q.len(), 6);
+        let all: BTreeSet<_> = (0..6).map(NodeId::from_index).collect();
+        assert_eq!(q.into_iter().collect::<BTreeSet<_>>(), all);
+    }
+
+    #[test]
+    fn contains_agrees_with_set_for() {
+        let s = Sampler::new(77, 3, 64, 9);
+        for key in 0..64u64 {
+            let q: BTreeSet<_> = s.set_for(key).into_iter().collect();
+            for i in 0..64 {
+                let id = NodeId::from_index(i);
+                assert_eq!(s.contains(key, id), q.contains(&id), "key={key} node={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_tags_give_different_functions() {
+        let a = Sampler::new(5, 1, 128, 10);
+        let b = Sampler::new(5, 2, 128, 10);
+        let differs = (0..32u64).any(|k| a.set_for(k) != b.set_for(k));
+        assert!(differs);
+    }
+
+    #[test]
+    fn different_seeds_give_different_functions() {
+        let a = Sampler::new(5, 1, 128, 10);
+        let b = Sampler::new(6, 1, 128, 10);
+        let differs = (0..32u64).any(|k| a.set_for(k) != b.set_for(k));
+        assert!(differs);
+    }
+
+    #[test]
+    fn marginal_distribution_is_roughly_uniform() {
+        // Each node should appear in ~ keys·d/n quorums.
+        let n = 100;
+        let d = 10;
+        let keys = 5_000u64;
+        let s = Sampler::new(123, 7, n, d);
+        let mut counts = vec![0u64; n];
+        for k in 0..keys {
+            for id in s.set_for(k) {
+                counts[id.index()] += 1;
+            }
+        }
+        let expected = keys as f64 * d as f64 / n as f64; // 500
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > expected * 0.7 && (c as f64) < expected * 1.3,
+                "node {i} appears {c} times, expected ≈ {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_over_keys_matches_forward_map() {
+        let n = 40;
+        let s = Sampler::new(3, 1, n, 6);
+        let key_of = |x: NodeId| 1000 + x.index() as u64;
+        let inv = s.inverse_over_keys(key_of);
+        for xi in 0..n {
+            let x = NodeId::from_index(xi);
+            for y in s.set_for(key_of(x)) {
+                assert!(inv[y.index()].contains(&x));
+            }
+        }
+        // Total size consistency: sum of inverse lists == n*d.
+        let total: usize = inv.iter().map(Vec::len).sum();
+        assert_eq!(total, n * 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds n")]
+    fn rejects_oversized_d() {
+        let _ = Sampler::new(0, 0, 4, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn rejects_empty_domain() {
+        let _ = Sampler::new(0, 0, 0, 0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Candidate strings and the agreement domain `D`.
+//!
+//! The paper's agreement output is a string `gstring` of `c·log n` bits,
+//! `2/3 + ε` of whose bits were chosen uniformly at random (§2.1, §3.1) —
+//! the remaining bits may be adversarial because the string is produced by
+//! committees that can contain Byzantine members. [`GString`] is that
+//! string; [`StringKey`] is its hashed identity in the agreement domain `D`
+//! (of cardinality `n^c`), which the samplers use as their first argument.
+
+use std::fmt;
+
+use fba_sim::rng::{mix, splitmix64};
+use fba_sim::{ceil_log2, WireSize};
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+/// Maximum supported string length in bits.
+///
+/// `c·log₂ n` stays well under 128 for every simulatable system size
+/// (`n = 2⁶⁴` with `c = 2` would hit it), and the inline representation
+/// keeps protocol messages allocation-free — AER's routing fan-out clones
+/// candidate strings millions of times per run.
+pub const MAX_GSTRING_BITS: usize = 128;
+
+/// A candidate agreement string: a packed bit string of fixed length
+/// (at most [`MAX_GSTRING_BITS`] bits, stored inline).
+///
+/// ```
+/// use fba_samplers::GString;
+/// use fba_sim::rng::derive_rng;
+///
+/// let mut rng = derive_rng(1, &[]);
+/// let s = GString::random(40, &mut rng);
+/// assert_eq!(s.len_bits(), 40);
+/// assert_eq!(s, s.clone());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GString {
+    bytes: [u8; MAX_GSTRING_BITS / 8],
+    len_bits: u16,
+}
+
+impl GString {
+    fn check_len(len_bits: usize) {
+        assert!(
+            len_bits <= MAX_GSTRING_BITS,
+            "string of {len_bits} bits exceeds the {MAX_GSTRING_BITS}-bit cap"
+        );
+    }
+
+    /// Builds a string from explicit bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_GSTRING_BITS`] bits are supplied.
+    #[must_use]
+    pub fn from_bits(bits: &[bool]) -> Self {
+        Self::check_len(bits.len());
+        let mut bytes = [0u8; MAX_GSTRING_BITS / 8];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                bytes[i / 8] |= 1 << (i % 8);
+            }
+        }
+        GString {
+            bytes,
+            len_bits: bits.len() as u16,
+        }
+    }
+
+    /// A string of `len_bits` zero bits (the "default value" candidate the
+    /// paper allows nodes to start from).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len_bits` exceeds [`MAX_GSTRING_BITS`].
+    #[must_use]
+    pub fn zeroes(len_bits: usize) -> Self {
+        Self::check_len(len_bits);
+        GString {
+            bytes: [0u8; MAX_GSTRING_BITS / 8],
+            len_bits: len_bits as u16,
+        }
+    }
+
+    /// A uniformly random string of `len_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len_bits` exceeds [`MAX_GSTRING_BITS`].
+    #[must_use]
+    pub fn random(len_bits: usize, rng: &mut ChaCha12Rng) -> Self {
+        Self::check_len(len_bits);
+        let mut bytes = [0u8; MAX_GSTRING_BITS / 8];
+        let used = len_bits.div_ceil(8);
+        rng.fill(&mut bytes[..used]);
+        Self::mask_tail(&mut bytes[..used], len_bits);
+        GString {
+            bytes,
+            len_bits: len_bits as u16,
+        }
+    }
+
+    /// A string whose first `⌈random_fraction·len⌉` bits are uniform (drawn
+    /// from `rng`) and whose remaining bits are adversarial (`adv_bit`).
+    ///
+    /// Models the paper's precondition that `2/3 + ε` of gstring's bits are
+    /// uniformly random while the rest may be chosen by the adversary
+    /// (committee members it controls).
+    #[must_use]
+    pub fn mixed(len_bits: usize, random_fraction: f64, adv_bit: bool, rng: &mut ChaCha12Rng) -> Self {
+        let random_bits = ((len_bits as f64) * random_fraction).ceil() as usize;
+        let random_bits = random_bits.min(len_bits);
+        let bits: Vec<bool> = (0..len_bits)
+            .map(|i| if i < random_bits { rng.gen() } else { adv_bit })
+            .collect();
+        Self::from_bits(&bits)
+    }
+
+    fn mask_tail(bytes: &mut [u8], len_bits: usize) {
+        let rem = len_bits % 8;
+        if rem != 0 {
+            if let Some(last) = bytes.last_mut() {
+                *last &= (1u8 << rem) - 1;
+            }
+        }
+    }
+
+    /// Number of bits in the string.
+    #[must_use]
+    pub fn len_bits(&self) -> usize {
+        usize::from(self.len_bits)
+    }
+
+    /// Whether the string is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len_bits == 0
+    }
+
+    /// The `i`-th bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ len_bits`.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len_bits(), "bit index {i} out of range");
+        (self.bytes[i / 8] >> (i % 8)) & 1 == 1
+    }
+
+    /// Iterator over the bits.
+    pub fn bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len_bits()).map(|i| self.bit(i))
+    }
+
+    /// Number of bits on which `self` and `other` differ (Hamming
+    /// distance); both strings must have equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn hamming(&self, other: &GString) -> usize {
+        assert_eq!(self.len_bits, other.len_bits, "length mismatch");
+        let used = self.len_bits().div_ceil(8);
+        self.bytes[..used]
+            .iter()
+            .zip(&other.bytes[..used])
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// The string's identity in the agreement domain `D`: a 64-bit content
+    /// hash used as the sampler key for push/pull quorums.
+    #[must_use]
+    pub fn key(&self) -> StringKey {
+        let mut acc = splitmix64(u64::from(self.len_bits) ^ 0x6773_7472); // "gstr"
+        for chunk in self.bytes[..self.len_bits().div_ceil(8)].chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            acc = mix(acc, &[u64::from_le_bytes(word)]);
+        }
+        StringKey(acc)
+    }
+}
+
+impl fmt::Debug for GString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GString({} bits, key={:016x})", self.len_bits, self.key().0)
+    }
+}
+
+impl fmt::Display for GString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len_bits().min(64) {
+            write!(f, "{}", u8::from(self.bit(i)))?;
+        }
+        if self.len_bits > 64 {
+            write!(f, "…")?;
+        }
+        Ok(())
+    }
+}
+
+impl WireSize for GString {
+    fn wire_bits(&self) -> u64 {
+        u64::from(self.len_bits)
+    }
+}
+
+/// The hashed identity of a [`GString`] inside the agreement domain `D`.
+///
+/// Samplers take a `StringKey` rather than the full string so quorum
+/// evaluation is a pure 64-bit computation. A 64-bit content hash makes
+/// accidental collisions a `2⁻⁶⁴`-level event — far below the paper's own
+/// `n⁻³` w.h.p. threshold.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct StringKey(pub u64);
+
+impl WireSize for StringKey {
+    fn wire_bits(&self) -> u64 {
+        64
+    }
+}
+
+impl fmt::Display for StringKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The paper's default gstring length: `c·log₂ n` bits.
+///
+/// `c` must be large enough for Lemma 5's union bound; the experiments use
+/// `c = 4` by default and record it per run.
+#[must_use]
+pub fn gstring_len(n: usize, c: usize) -> usize {
+    (c * ceil_log2(n).max(1) as usize).max(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fba_sim::rng::derive_rng;
+
+    #[test]
+    fn from_bits_roundtrip() {
+        let bits = [true, false, true, true, false, false, true, false, true];
+        let s = GString::from_bits(&bits);
+        assert_eq!(s.len_bits(), 9);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(s.bit(i), b, "bit {i}");
+        }
+        let collected: Vec<bool> = s.bits().collect();
+        assert_eq!(collected, bits);
+    }
+
+    #[test]
+    fn zeroes_is_all_false() {
+        let s = GString::zeroes(20);
+        assert_eq!(s.len_bits(), 20);
+        assert!(s.bits().all(|b| !b));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = derive_rng(5, &[]);
+        let mut b = derive_rng(5, &[]);
+        assert_eq!(GString::random(64, &mut a), GString::random(64, &mut b));
+    }
+
+    #[test]
+    fn random_tail_bits_are_masked() {
+        // Strings of equal prefix but different masked tails must compare
+        // equal; generating 13-bit strings must not leave garbage beyond
+        // bit 13.
+        let mut rng = derive_rng(9, &[]);
+        let s = GString::random(13, &mut rng);
+        let bits: Vec<bool> = s.bits().collect();
+        assert_eq!(GString::from_bits(&bits), s);
+    }
+
+    #[test]
+    fn mixed_has_adversarial_suffix() {
+        let mut rng = derive_rng(3, &[]);
+        let s = GString::mixed(30, 2.0 / 3.0, true, &mut rng);
+        // Suffix bits beyond ceil(2/3 * 30) = 20 are all `true`.
+        for i in 20..30 {
+            assert!(s.bit(i), "adversarial bit {i} should be set");
+        }
+    }
+
+    #[test]
+    fn mixed_full_random_fraction_clamps() {
+        let mut rng = derive_rng(3, &[]);
+        let s = GString::mixed(16, 2.0, false, &mut rng);
+        assert_eq!(s.len_bits(), 16);
+    }
+
+    #[test]
+    fn keys_differ_for_different_strings() {
+        let a = GString::from_bits(&[true; 32]);
+        let b = GString::from_bits(&[false; 32]);
+        assert_ne!(a.key(), b.key());
+        assert_eq!(a.key(), a.clone().key());
+    }
+
+    #[test]
+    fn key_depends_on_length() {
+        let a = GString::zeroes(8);
+        let b = GString::zeroes(16);
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = GString::from_bits(&[true, false, true, false]);
+        let b = GString::from_bits(&[true, true, true, true]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn hamming_rejects_length_mismatch() {
+        let a = GString::zeroes(8);
+        let b = GString::zeroes(9);
+        let _ = a.hamming(&b);
+    }
+
+    #[test]
+    fn wire_size_is_bit_length() {
+        assert_eq!(GString::zeroes(40).wire_bits(), 40);
+        assert_eq!(StringKey(7).wire_bits(), 64);
+    }
+
+    #[test]
+    fn gstring_len_scales_with_log_n() {
+        assert_eq!(gstring_len(1024, 4), 40);
+        assert!(gstring_len(2, 1) >= 8);
+        assert!(gstring_len(4096, 4) > gstring_len(1024, 4));
+    }
+
+    #[test]
+    fn display_truncates() {
+        let s = GString::zeroes(100);
+        let shown = format!("{s}");
+        assert!(shown.ends_with('…'));
+    }
+}

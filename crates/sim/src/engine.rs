@@ -1,0 +1,564 @@
+//! The deterministic discrete-event execution engine.
+//!
+//! One engine serves both of the paper's timing models:
+//!
+//! * **Synchronous** (`max_delay = 1`): a message sent during step `r` is
+//!   delivered during step `r + 1`, deliveries are processed in send order.
+//! * **Asynchronous** (`max_delay ≥ 1` plus an adversary that overrides
+//!   [`Adversary::delay`] / [`Adversary::priority`]): the adversary picks
+//!   per-message delays (clamped, so delivery stays reliable) and reorders
+//!   deliveries within a step. Normalized asynchronous time is then the
+//!   step counter.
+//!
+//! Executions are pure functions of `(config, master_seed, adversary,
+//! protocol factory)`: every collection iterated is ordered and every random
+//! draw comes from seed-derived ChaCha streams.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand_chacha::ChaCha12Rng;
+
+use crate::adversary::{Adversary, Outbox};
+use crate::ids::{ceil_log2, NodeId, Step};
+use crate::message::Envelope;
+use crate::metrics::Metrics;
+use crate::protocol::{Context, Protocol};
+use crate::rng::{derive_rng, node_rng, TAG_ADVERSARY};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// System size `n`.
+    pub n: usize,
+    /// Hard cap on executed steps; runs that exceed it report undecided
+    /// nodes rather than looping forever.
+    pub max_steps: Step,
+    /// Maximum delivery delay the adversary may impose (`1` = synchronous
+    /// timing). Reliability: every message is delivered within `max_delay`
+    /// steps of being sent.
+    pub max_delay: Step,
+    /// After all correct nodes have decided, keep delivering pending
+    /// messages (and any correct responses to them) for up to this many
+    /// extra steps, so post-decision service traffic is counted. The
+    /// adversary no longer acts during draining.
+    pub drain_steps: Step,
+    /// Record every envelope sent, for trace-style experiments (Fig. 2a/2b).
+    /// Costs memory; leave off for sweeps.
+    pub record_transcript: bool,
+    /// Per-message header bits; defaults to `2·⌈log₂ n⌉` (sender +
+    /// recipient identity) when `None`.
+    pub header_bits: Option<u64>,
+}
+
+impl EngineConfig {
+    /// A synchronous configuration with sensible defaults for system size
+    /// `n`: `max_delay = 1`, generous step cap, short drain.
+    #[must_use]
+    pub fn sync(n: usize) -> Self {
+        EngineConfig {
+            n,
+            max_steps: 10_000,
+            max_delay: 1,
+            drain_steps: 64,
+            record_transcript: false,
+            header_bits: None,
+        }
+    }
+
+    /// An asynchronous configuration: the adversary may delay messages up
+    /// to `max_delay` steps and reorder within steps.
+    #[must_use]
+    pub fn asynchronous(n: usize, max_delay: Step) -> Self {
+        EngineConfig {
+            max_delay: max_delay.max(1),
+            ..EngineConfig::sync(n)
+        }
+    }
+
+    /// Effective header bits.
+    #[must_use]
+    pub fn effective_header_bits(&self) -> u64 {
+        self.header_bits
+            .unwrap_or_else(|| 2 * u64::from(ceil_log2(self.n)))
+    }
+}
+
+/// Everything a finished run exposes.
+#[derive(Clone, Debug)]
+pub struct RunOutcome<O, M> {
+    /// Communication/time accounting.
+    pub metrics: Metrics,
+    /// Output of every correct node that decided.
+    pub outputs: BTreeMap<NodeId, O>,
+    /// The corrupt set the adversary chose.
+    pub corrupt: BTreeSet<NodeId>,
+    /// Step at which the last correct node decided (the paper's time
+    /// metric), or `None` if some correct node never decided.
+    pub all_decided_at: Option<Step>,
+    /// Whether the network fully quiesced before the step cap.
+    pub quiescent: bool,
+    /// Every envelope sent, if `record_transcript` was set.
+    pub transcript: Vec<Envelope<M>>,
+}
+
+impl<O: Clone + Eq, M> RunOutcome<O, M> {
+    /// Whether every correct node decided.
+    #[must_use]
+    pub fn all_decided(&self) -> bool {
+        self.all_decided_at.is_some()
+    }
+
+    /// Whether every correct node that decided output the same value, and
+    /// at least one decided. The core agreement check used by tests.
+    #[must_use]
+    pub fn unanimous(&self) -> Option<&O> {
+        let mut iter = self.outputs.values();
+        let first = iter.next()?;
+        for v in iter {
+            if v != first {
+                return None;
+            }
+        }
+        Some(first)
+    }
+}
+
+struct Delivery<M> {
+    priority: i64,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+/// Runs a protocol to completion under the given adversary.
+///
+/// `factory(id)` builds the state machine for each *correct* node; corrupt
+/// nodes are played by `adversary`. See the crate docs for the step
+/// structure.
+///
+/// # Panics
+///
+/// Panics if the adversary corrupts an out-of-range node id, or on internal
+/// invariant violations (which indicate bugs, not run conditions).
+pub fn run<P, A, F>(
+    cfg: &EngineConfig,
+    master_seed: u64,
+    adversary: &mut A,
+    factory: F,
+) -> RunOutcome<P::Output, P::Msg>
+where
+    P: Protocol,
+    A: Adversary<P::Msg> + ?Sized,
+    F: FnMut(NodeId) -> P,
+{
+    run_inspect(cfg, master_seed, adversary, factory, |_, _: &P| {})
+}
+
+/// Like [`run`], but additionally calls `inspect(id, &state)` for every
+/// surviving correct node once the run ends — the hook experiments use to
+/// read protocol-internal state (e.g. candidate-list sizes for the
+/// paper's Lemma 4).
+///
+/// # Panics
+///
+/// Same conditions as [`run`].
+pub fn run_inspect<P, A, F, I>(
+    cfg: &EngineConfig,
+    master_seed: u64,
+    adversary: &mut A,
+    mut factory: F,
+    mut inspect: I,
+) -> RunOutcome<P::Output, P::Msg>
+where
+    P: Protocol,
+    A: Adversary<P::Msg> + ?Sized,
+    F: FnMut(NodeId) -> P,
+    I: FnMut(NodeId, &P),
+{
+    let n = cfg.n;
+    let header_bits = cfg.effective_header_bits();
+
+    let mut adv_rng: ChaCha12Rng = derive_rng(master_seed, &[TAG_ADVERSARY]);
+    let corrupt = adversary.corrupt(n, &mut adv_rng);
+    assert!(
+        corrupt.iter().all(|id| id.index() < n),
+        "adversary corrupted out-of-range node"
+    );
+
+    let mut nodes: Vec<Option<P>> = (0..n)
+        .map(|i| {
+            let id = NodeId::from_index(i);
+            if corrupt.contains(&id) {
+                None
+            } else {
+                Some(factory(id))
+            }
+        })
+        .collect();
+    let mut rngs: Vec<ChaCha12Rng> = (0..n).map(|i| node_rng(master_seed, i)).collect();
+
+    let mut metrics = Metrics::new(n, corrupt.clone());
+    let mut outputs: BTreeMap<NodeId, P::Output> = BTreeMap::new();
+    let mut decided = vec![false; n];
+    // Corrupt nodes count as "decided" for the stop condition.
+    for id in &corrupt {
+        decided[id.index()] = true;
+    }
+    let mut undecided = n - corrupt.len();
+
+    let mut pending: BTreeMap<Step, Vec<Delivery<P::Msg>>> = BTreeMap::new();
+    let mut seq: u64 = 0;
+    let mut transcript: Vec<Envelope<P::Msg>> = Vec::new();
+
+    let mut all_decided_at: Option<Step> = None;
+    let mut drain_started_at: Option<Step> = None;
+    let mut quiescent = false;
+
+    let mut step: Step = 0;
+    loop {
+        let draining = all_decided_at.is_some();
+        let mut step_sends: Vec<Envelope<P::Msg>> = Vec::new();
+        let mut outbox_buf: Vec<(NodeId, P::Msg)> = Vec::new();
+
+        // 1. Per-step protocol callbacks: on_start at step 0, on_step later.
+        for i in 0..n {
+            let id = NodeId::from_index(i);
+            let Some(node) = nodes[i].as_mut() else {
+                continue;
+            };
+            let mut ctx = Context::new(id, n, step, &mut rngs[i], &mut outbox_buf);
+            if step == 0 {
+                node.on_start(&mut ctx);
+            } else {
+                node.on_step(&mut ctx);
+            }
+            for (to, msg) in outbox_buf.drain(..) {
+                step_sends.push(Envelope {
+                    from: id,
+                    to,
+                    sent_at: step,
+                    msg,
+                });
+            }
+        }
+
+        // 2. Deliveries due this step (scheduled at earlier steps).
+        if let Some(mut due) = pending.remove(&step) {
+            due.sort_by_key(|d| (d.priority, d.seq));
+            for d in due {
+                let env = d.env;
+                metrics.record_recv(env.to, env.total_bits(header_bits));
+                let i = env.to.index();
+                if let Some(node) = nodes[i].as_mut() {
+                    let mut ctx = Context::new(env.to, n, step, &mut rngs[i], &mut outbox_buf);
+                    node.on_message(env.from, env.msg, &mut ctx);
+                    for (to, msg) in outbox_buf.drain(..) {
+                        step_sends.push(Envelope {
+                            from: env.to,
+                            to,
+                            sent_at: step,
+                            msg,
+                        });
+                    }
+                }
+                // Deliveries to corrupt nodes reach the adversary through
+                // `observe`, which sees every envelope anyway.
+            }
+        }
+
+        // 3. Adversary turn (full information; rushing sees current sends).
+        let mut all_sends = step_sends;
+        if !draining {
+            let rushing_view: Option<&[Envelope<P::Msg>]> = if adversary.rushing() {
+                Some(&all_sends)
+            } else {
+                None
+            };
+            let mut out = Outbox::new(&corrupt, n);
+            adversary.act(step, rushing_view, &mut out);
+            for (from, to, msg) in out.into_sends() {
+                all_sends.push(Envelope {
+                    from,
+                    to,
+                    sent_at: step,
+                    msg,
+                });
+            }
+        }
+
+        // 4. Schedule every send of this step.
+        for env in &all_sends {
+            metrics.record_send(env.from, env.total_bits(header_bits));
+            let (delay, priority) = if draining {
+                (1, 0)
+            } else {
+                (
+                    adversary.delay(env).clamp(1, cfg.max_delay),
+                    adversary.priority(env),
+                )
+            };
+            seq += 1;
+            pending.entry(step + delay).or_default().push(Delivery {
+                priority,
+                seq,
+                env: env.clone(),
+            });
+        }
+        adversary.observe(step, &all_sends);
+        if cfg.record_transcript {
+            transcript.extend(all_sends.iter().cloned());
+        }
+
+        // 5. Decision tracking.
+        if undecided > 0 {
+            for i in 0..n {
+                if decided[i] {
+                    continue;
+                }
+                if let Some(node) = nodes[i].as_ref() {
+                    if let Some(out) = node.output() {
+                        let id = NodeId::from_index(i);
+                        decided[i] = true;
+                        undecided -= 1;
+                        metrics.record_decision(id, step);
+                        outputs.insert(id, out);
+                    }
+                }
+            }
+            if undecided == 0 {
+                all_decided_at = Some(step);
+                drain_started_at = Some(step);
+            }
+        }
+
+        // 6. Stop conditions.
+        metrics.steps = step;
+        if let Some(started) = drain_started_at {
+            if pending.is_empty() {
+                quiescent = true;
+                break;
+            }
+            if step >= started + cfg.drain_steps {
+                break;
+            }
+        }
+        if step >= cfg.max_steps {
+            break;
+        }
+        step += 1;
+    }
+
+    for (i, node) in nodes.iter().enumerate() {
+        if let Some(node) = node {
+            inspect(NodeId::from_index(i), node);
+        }
+    }
+
+    RunOutcome {
+        metrics,
+        outputs,
+        corrupt,
+        all_decided_at,
+        quiescent,
+        transcript,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{NoAdversary, SilentAdversary};
+
+    /// Every node sends a ping to the next node at start; a node decides
+    /// once it has received a ping. Purely for engine semantics tests.
+    struct Ping {
+        id: NodeId,
+        n: usize,
+        got: Option<NodeId>,
+    }
+
+    impl Protocol for Ping {
+        type Msg = u64;
+        type Output = NodeId;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            let next = NodeId::from_index((self.id.index() + 1) % self.n);
+            ctx.send(next, 42);
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: u64, _ctx: &mut Context<'_, u64>) {
+            assert_eq!(msg, 42);
+            self.got = Some(from);
+        }
+
+        fn output(&self) -> Option<NodeId> {
+            self.got
+        }
+    }
+
+    fn ping_factory(n: usize) -> impl FnMut(NodeId) -> Ping {
+        move |id| Ping { id, n, got: None }
+    }
+
+    #[test]
+    fn sync_ring_decides_in_one_step() {
+        let cfg = EngineConfig::sync(8);
+        let out = run::<Ping, _, _>(&cfg, 1, &mut NoAdversary, ping_factory(8));
+        assert_eq!(out.all_decided_at, Some(1));
+        assert!(out.quiescent);
+        assert_eq!(out.outputs.len(), 8);
+        // Each node sent exactly one message of header-only size (payload 64 bits).
+        assert_eq!(out.metrics.total_msgs_sent(), 8);
+        let expected_bits = 8 * (2 * 3 + 64); // header 2*ceil_log2(8)=6 bits + u64
+        assert_eq!(out.metrics.total_bits_sent(), expected_bits);
+    }
+
+    #[test]
+    fn deliveries_never_arrive_same_step() {
+        // With max_delay=1 the ping sent at step 0 must arrive at step 1,
+        // so no node may decide at step 0.
+        let cfg = EngineConfig::sync(4);
+        let out = run::<Ping, _, _>(&cfg, 7, &mut NoAdversary, ping_factory(4));
+        for id in out.outputs.keys() {
+            assert_eq!(out.metrics.decided_at(*id), Some(1));
+        }
+    }
+
+    #[test]
+    fn silent_adversary_blocks_its_victims_senders() {
+        // Node i receives from i-1. If i-1 is corrupt (silent), node i
+        // never decides; the run must hit max_steps and report undecided.
+        let cfg = EngineConfig {
+            max_steps: 10,
+            ..EngineConfig::sync(8)
+        };
+        let mut adv = SilentAdversary::new(2);
+        let out = run::<Ping, _, _>(&cfg, 3, &mut adv, ping_factory(8));
+        assert_eq!(out.corrupt.len(), 2);
+        assert!(out.all_decided_at.is_none());
+        // Nodes whose predecessor is correct still decide.
+        let decided_count = out.outputs.len();
+        assert!(decided_count >= 8 - 2 * 2);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = EngineConfig::sync(16);
+        let mut a1 = SilentAdversary::new(4);
+        let mut a2 = SilentAdversary::new(4);
+        let o1 = run::<Ping, _, _>(&cfg, 11, &mut a1, ping_factory(16));
+        let o2 = run::<Ping, _, _>(&cfg, 11, &mut a2, ping_factory(16));
+        assert_eq!(o1.corrupt, o2.corrupt);
+        assert_eq!(o1.all_decided_at, o2.all_decided_at);
+        assert_eq!(o1.metrics.total_bits_sent(), o2.metrics.total_bits_sent());
+        assert_eq!(o1.outputs, o2.outputs);
+    }
+
+    #[test]
+    fn transcript_records_all_sends() {
+        let cfg = EngineConfig {
+            record_transcript: true,
+            ..EngineConfig::sync(4)
+        };
+        let out = run::<Ping, _, _>(&cfg, 1, &mut NoAdversary, ping_factory(4));
+        assert_eq!(out.transcript.len(), 4);
+        assert!(out.transcript.iter().all(|e| e.sent_at == 0 && e.msg == 42));
+    }
+
+    /// Adversary that delays one specific edge to max_delay and checks the
+    /// rushing view plumbing.
+    struct DelayingAdversary {
+        saw_rushing_view: bool,
+    }
+
+    impl Adversary<u64> for DelayingAdversary {
+        fn corrupt(&mut self, _n: usize, _rng: &mut ChaCha12Rng) -> BTreeSet<NodeId> {
+            BTreeSet::new()
+        }
+        fn rushing(&self) -> bool {
+            true
+        }
+        fn act(&mut self, step: Step, view: Option<&[Envelope<u64>]>, _out: &mut Outbox<'_, u64>) {
+            if step == 0 {
+                let view = view.expect("rushing adversary must see current sends");
+                assert_eq!(view.len(), 4);
+                self.saw_rushing_view = true;
+            }
+        }
+        fn delay(&mut self, env: &Envelope<u64>) -> Step {
+            if env.from == NodeId::from_index(0) {
+                100 // engine must clamp to max_delay
+            } else {
+                1
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_delay_is_clamped_to_max_delay() {
+        let cfg = EngineConfig::asynchronous(4, 3);
+        let mut adv = DelayingAdversary {
+            saw_rushing_view: false,
+        };
+        let out = run::<Ping, _, _>(&cfg, 5, &mut adv, ping_factory(4));
+        assert!(adv.saw_rushing_view);
+        // Node 1 (receiver of node 0's ping) decides at step 3, not 100.
+        assert_eq!(out.metrics.decided_at(NodeId::from_index(1)), Some(3));
+        assert_eq!(out.all_decided_at, Some(3));
+    }
+
+    /// Protocol where a node decides on the *first* message it processes;
+    /// used to verify priority-based reordering within a step.
+    struct FirstWins {
+        first: Option<u64>,
+    }
+
+    impl Protocol for FirstWins {
+        type Msg = u64;
+        type Output = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            if ctx.id().index() != 0 {
+                // Nodes 1 and 2 both message node 0 with their index.
+                ctx.send(NodeId::from_index(0), ctx.id().index() as u64);
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, msg: u64, _ctx: &mut Context<'_, u64>) {
+            self.first.get_or_insert(msg);
+        }
+        fn output(&self) -> Option<u64> {
+            self.first
+        }
+    }
+
+    struct ReorderAdversary;
+
+    impl Adversary<u64> for ReorderAdversary {
+        fn corrupt(&mut self, _n: usize, _rng: &mut ChaCha12Rng) -> BTreeSet<NodeId> {
+            BTreeSet::new()
+        }
+        fn act(&mut self, _s: Step, _v: Option<&[Envelope<u64>]>, _o: &mut Outbox<'_, u64>) {}
+        fn priority(&mut self, env: &Envelope<u64>) -> i64 {
+            // Deliver the message with the larger payload first.
+            -(env.msg as i64)
+        }
+    }
+
+    #[test]
+    fn priority_reorders_within_step() {
+        let cfg = EngineConfig::sync(3);
+        let fair = run::<FirstWins, _, _>(&cfg, 2, &mut NoAdversary, |_| FirstWins { first: None });
+        assert_eq!(fair.outputs[&NodeId::from_index(0)], 1); // send order: node 1 first
+        let skewed =
+            run::<FirstWins, _, _>(&cfg, 2, &mut ReorderAdversary, |_| FirstWins { first: None });
+        assert_eq!(skewed.outputs[&NodeId::from_index(0)], 2); // adversary flipped it
+    }
+
+    #[test]
+    fn unanimous_detects_agreement_and_disagreement() {
+        let cfg = EngineConfig::sync(3);
+        let out = run::<FirstWins, _, _>(&cfg, 2, &mut NoAdversary, |_| FirstWins { first: None });
+        // Nodes 1 and 2 decide on their own "no message" path? They never
+        // receive anything, so only node 0 decides => not all decided.
+        assert!(out.all_decided_at.is_none());
+        assert!(out.unanimous().is_some()); // single decider is unanimous
+    }
+}

@@ -1,0 +1,171 @@
+//! Node identifiers and discrete simulation time.
+
+use std::fmt;
+
+/// Identifier of a node in the simulated network.
+///
+/// Nodes are indexed `0..n` where `n` is the system size; the paper writes
+/// this set as `[n]`. `NodeId` is a thin newtype over the index so that node
+/// identities cannot be confused with other integers (quorum sizes, labels,
+/// counters) at compile time.
+///
+/// ```
+/// use fba_sim::NodeId;
+///
+/// let x = NodeId::from_index(7);
+/// assert_eq!(x.index(), 7);
+/// assert_eq!(format!("{x}"), "n7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a `0..n` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32` (systems larger than
+    /// 2³² nodes are far beyond anything this simulator targets).
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index fits in u32"))
+    }
+
+    /// Returns the `0..n` index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value, useful as an RNG stream tag.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+/// Discrete simulation time.
+///
+/// In synchronous executions a step is exactly one round of the paper's
+/// model: a message sent during step `r` is delivered during step `r + 1`.
+/// In asynchronous executions the adversary may stretch delivery up to the
+/// engine's `max_delay`, and steps measure normalized asynchronous time.
+pub type Step = u64;
+
+/// Iterates over all node ids of a system of size `n`, in index order.
+///
+/// ```
+/// use fba_sim::all_nodes;
+/// let ids: Vec<_> = all_nodes(3).map(|id| id.index()).collect();
+/// assert_eq!(ids, vec![0, 1, 2]);
+/// ```
+pub fn all_nodes(n: usize) -> impl Iterator<Item = NodeId> {
+    (0..n).map(NodeId::from_index)
+}
+
+/// `⌈log₂ n⌉` for `n ≥ 1`; returns 0 for `n ≤ 1`.
+///
+/// Used for header sizes (a node id costs `⌈log₂ n⌉` bits on the wire) and
+/// for the paper's `log n`-sized quorums.
+///
+/// ```
+/// use fba_sim::ceil_log2;
+/// assert_eq!(ceil_log2(1), 0);
+/// assert_eq!(ceil_log2(2), 1);
+/// assert_eq!(ceil_log2(1000), 10);
+/// ```
+#[must_use]
+pub fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// Natural logarithm of `n`, clamped below by 1.0.
+///
+/// Quorum sizes in the paper are `Θ(log n)`; this helper keeps them positive
+/// at tiny test scales.
+#[must_use]
+pub fn ln_at_least_one(n: usize) -> f64 {
+    (n.max(2) as f64).ln().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        for i in [0usize, 1, 17, 65_535, 1 << 20] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn node_id_ordering_matches_index_ordering() {
+        let a = NodeId::from_index(3);
+        let b = NodeId::from_index(10);
+        assert!(a < b);
+        assert_eq!(a, NodeId::from_index(3));
+    }
+
+    #[test]
+    fn node_id_display_and_debug() {
+        let x = NodeId::from_index(42);
+        assert_eq!(format!("{x}"), "n42");
+        assert_eq!(format!("{x:?}"), "n42");
+    }
+
+    #[test]
+    fn all_nodes_covers_range() {
+        assert_eq!(all_nodes(0).count(), 0);
+        assert_eq!(all_nodes(5).count(), 5);
+        assert_eq!(all_nodes(5).last(), Some(NodeId::from_index(4)));
+    }
+
+    #[test]
+    fn ceil_log2_edge_cases() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn ln_at_least_one_is_monotone_and_clamped() {
+        assert!(ln_at_least_one(0) >= 1.0);
+        assert!(ln_at_least_one(2) >= ln_at_least_one(0));
+        assert!(ln_at_least_one(1_000_000) > ln_at_least_one(1_000));
+    }
+
+    #[test]
+    fn usize_from_node_id() {
+        let id = NodeId::from_index(9);
+        let as_usize: usize = id.into();
+        assert_eq!(as_usize, 9);
+    }
+}

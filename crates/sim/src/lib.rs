@@ -1,0 +1,70 @@
+//! # fba-sim — deterministic network simulator
+//!
+//! The execution substrate for the *Fast Byzantine Agreement* (PODC 2013)
+//! reproduction: a fully connected, reliable, authenticated message-passing
+//! network of `n` nodes (§2.1 of the paper) with
+//!
+//! * **synchronous** executions — a message sent during step `r` is
+//!   delivered during step `r + 1`;
+//! * **asynchronous** executions — a coordinated adversary schedules
+//!   delivery delays (bounded, preserving reliability) and reorders
+//!   deliveries within a step;
+//! * a **full-information, non-adaptive Byzantine adversary** that plays
+//!   all corrupt nodes, observes every message, and may be *rushing*
+//!   (sees correct nodes' current-step messages before choosing its own)
+//!   or *non-rushing*;
+//! * per-node **bit and message accounting** matching the paper's
+//!   communication-complexity metric (total bits / n, plus load-balance
+//!   summaries for Figure 1a's "Load-Balanced" row).
+//!
+//! Runs are pure functions of a 64-bit master seed, so every experiment in
+//! the repository replays exactly.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fba_sim::{run, Context, EngineConfig, NoAdversary, NodeId, Protocol};
+//!
+//! /// Every node announces itself to node 0; node 0 decides on the count.
+//! struct Census { id: NodeId, heard: u64 }
+//!
+//! impl Protocol for Census {
+//!     type Msg = ();
+//!     type Output = u64;
+//!     fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+//!         if self.id.index() != 0 { ctx.send(NodeId::from_index(0), ()); }
+//!     }
+//!     fn on_message(&mut self, _from: NodeId, _msg: (), _ctx: &mut Context<'_, ()>) {
+//!         self.heard += 1;
+//!     }
+//!     fn output(&self) -> Option<u64> {
+//!         if self.id.index() == 0 {
+//!             (self.heard == 7).then_some(self.heard)
+//!         } else {
+//!             Some(0)
+//!         }
+//!     }
+//! }
+//!
+//! let cfg = EngineConfig::sync(8);
+//! let out = run::<Census, _, _>(&cfg, 42, &mut NoAdversary, |id| Census { id, heard: 0 });
+//! assert_eq!(out.outputs[&NodeId::from_index(0)], 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adversary;
+mod engine;
+mod ids;
+mod message;
+mod metrics;
+mod protocol;
+pub mod rng;
+
+pub use adversary::{choose_corrupt, Adversary, NoAdversary, Outbox, SilentAdversary};
+pub use engine::{run, run_inspect, EngineConfig, RunOutcome};
+pub use ids::{all_nodes, ceil_log2, ln_at_least_one, NodeId, Step};
+pub use message::{Envelope, WireSize};
+pub use metrics::{LoadSummary, Metrics};
+pub use protocol::{Context, Protocol};

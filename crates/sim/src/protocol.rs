@@ -1,0 +1,184 @@
+//! The node-side protocol interface.
+//!
+//! A protocol implementation is a deterministic state machine driven by the
+//! engine through three callbacks: [`Protocol::on_start`] (once, step 0),
+//! [`Protocol::on_step`] (each subsequent step, before deliveries), and
+//! [`Protocol::on_message`] (per delivered message). All interaction with
+//! the network happens through the [`Context`] handed to each callback.
+
+use std::fmt;
+
+use rand_chacha::ChaCha12Rng;
+
+use crate::ids::{NodeId, Step};
+use crate::message::WireSize;
+
+/// A per-node protocol state machine.
+///
+/// One value of the implementing type exists per *correct* node; Byzantine
+/// nodes are played by the run's [`Adversary`](crate::Adversary) instead.
+///
+/// Determinism contract: implementations must derive all randomness from
+/// [`Context::rng`] (the node's private RNG in the paper's model) so that
+/// runs replay exactly from a master seed.
+pub trait Protocol {
+    /// Payload type of the messages this protocol exchanges.
+    type Msg: Clone + WireSize + fmt::Debug;
+    /// The value a node returns when it terminates.
+    type Output: Clone + Eq + fmt::Debug;
+
+    /// Called exactly once, during step 0, before any message flows.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called at the beginning of every step `≥ 1`, before that step's
+    /// deliveries. Useful for round-structured protocols; event-driven
+    /// protocols can ignore it.
+    fn on_step(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called once per message delivered to this node.
+    ///
+    /// `from` is the authenticated sender identity stamped by the network.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+
+    /// The node's final output, once it has decided. The engine polls this
+    /// after each step; returning `Some` is irreversible as far as metrics
+    /// are concerned (the first step at which it is observed is recorded as
+    /// the node's decision step).
+    fn output(&self) -> Option<Self::Output>;
+}
+
+/// Per-callback handle giving a protocol access to its environment: its
+/// identity, the system size, the current step, its private RNG, and the
+/// network send primitive.
+pub struct Context<'a, M> {
+    id: NodeId,
+    n: usize,
+    step: Step,
+    rng: &'a mut ChaCha12Rng,
+    outbox: &'a mut Vec<(NodeId, M)>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Creates a context. Used by the engine; exposed for protocol unit
+    /// tests that want to drive state machines directly.
+    #[must_use]
+    pub fn new(
+        id: NodeId,
+        n: usize,
+        step: Step,
+        rng: &'a mut ChaCha12Rng,
+        outbox: &'a mut Vec<(NodeId, M)>,
+    ) -> Self {
+        Context {
+            id,
+            n,
+            step,
+            rng,
+            outbox,
+        }
+    }
+
+    /// This node's identity.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// System size `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current step.
+    #[must_use]
+    pub fn step(&self) -> Step {
+        self.step
+    }
+
+    /// The node's private random number generator.
+    pub fn rng(&mut self) -> &mut ChaCha12Rng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`. Delivery happens at a later step chosen by the
+    /// network (exactly the next step in synchronous mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range — that is a protocol bug, not a
+    /// runtime condition.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        assert!(to.index() < self.n, "send target {to} out of range (n={})", self.n);
+        self.outbox.push((to, msg));
+    }
+
+    /// Sends clones of `msg` to every node in `targets`.
+    pub fn send_many<I>(&mut self, targets: I, msg: M)
+    where
+        I: IntoIterator<Item = NodeId>,
+        M: Clone,
+    {
+        for to in targets {
+            self.send(to, msg.clone());
+        }
+    }
+
+    /// Number of messages queued so far in this callback (mostly useful in
+    /// tests).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.outbox.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::node_rng;
+
+    #[test]
+    fn context_send_collects_messages() {
+        let mut rng = node_rng(1, 0);
+        let mut outbox: Vec<(NodeId, u32)> = Vec::new();
+        let mut ctx = Context::new(NodeId::from_index(0), 4, 2, &mut rng, &mut outbox);
+        assert_eq!(ctx.id(), NodeId::from_index(0));
+        assert_eq!(ctx.n(), 4);
+        assert_eq!(ctx.step(), 2);
+        ctx.send(NodeId::from_index(3), 9);
+        ctx.send_many([NodeId::from_index(1), NodeId::from_index(2)], 5);
+        assert_eq!(ctx.queued(), 3);
+        #[allow(clippy::drop_non_drop)] // release the outbox borrow
+        drop(ctx);
+        assert_eq!(
+            outbox,
+            vec![
+                (NodeId::from_index(3), 9),
+                (NodeId::from_index(1), 5),
+                (NodeId::from_index(2), 5)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn context_send_rejects_out_of_range() {
+        let mut rng = node_rng(1, 0);
+        let mut outbox: Vec<(NodeId, u32)> = Vec::new();
+        let mut ctx = Context::new(NodeId::from_index(0), 4, 0, &mut rng, &mut outbox);
+        ctx.send(NodeId::from_index(4), 1);
+    }
+
+    #[test]
+    fn context_rng_is_usable() {
+        use rand::RngCore;
+        let mut rng = node_rng(1, 0);
+        let mut outbox: Vec<(NodeId, u32)> = Vec::new();
+        let mut ctx = Context::new(NodeId::from_index(0), 4, 0, &mut rng, &mut outbox);
+        let a = ctx.rng().next_u64();
+        let b = ctx.rng().next_u64();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 2 reproduction: trace the push and pull phases of AER on a
+//! small system, showing (a) a node accepting one candidate and rejecting
+//! another, and (b) a pull request travelling Poll/Pull → Fw1 → Fw2 →
+//! Answer → decision.
+//!
+//! ```bash
+//! cargo run --release --example push_pull_trace
+//! ```
+
+use std::collections::BTreeMap;
+
+use fba::ae::{Precondition, UnknowingAssignment};
+use fba::core::{AerConfig, AerHarness, AerMsg};
+use fba::samplers::GString;
+use fba::sim::{NoAdversary, NodeId};
+
+fn main() {
+    let n = 48;
+    let seed = 7;
+    let cfg = AerConfig::recommended(n);
+    // A third of the nodes hold a *shared* bogus string s2, so push
+    // quorums see competing candidates — the Figure 2a situation.
+    let pre = Precondition::synthetic(
+        n,
+        cfg.string_len,
+        0.66,
+        UnknowingAssignment::SharedAdversarial,
+        seed,
+    );
+    let harness = AerHarness::from_precondition(cfg, &pre);
+    let mut engine = harness.engine_sync();
+    engine.record_transcript = true;
+    let outcome = harness.run(&engine, seed, &mut NoAdversary);
+
+    let g = &pre.gstring;
+    let _s2 = pre
+        .assignments
+        .iter()
+        .find(|s| *s != g)
+        .expect("a bogus candidate exists");
+
+    // ---- Figure 2a: push phase at one node -------------------------------
+    // Pick an unknowing node x and count the pushes it received per string.
+    let x = (0..n)
+        .map(NodeId::from_index)
+        .find(|id| !pre.knows(*id))
+        .expect("an unknowing node exists");
+    let scheme = harness.scheme();
+    let mut per_string: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for env in &outcome.transcript {
+        if env.to != x {
+            continue;
+        }
+        if let AerMsg::Push(s) = &env.msg {
+            // Only count pushes from legitimate quorum members, as x does.
+            if scheme.push.contains(s.key(), x, env.from) {
+                let label = if s == g { "s1 = gstring" } else { "s2 (bogus)" };
+                *per_string.entry(label).or_default() += 1;
+            }
+        }
+    }
+    println!("== Figure 2a: push phase at node {x} ==");
+    println!("   quorum size d = {}, acceptance needs > d/2 = {}", cfg.d, cfg.majority());
+    for (label, count) in &per_string {
+        let verdict = if *count >= cfg.majority() { "ACCEPTED" } else { "rejected" };
+        println!("   {label}: {count} valid pushes -> {verdict}");
+    }
+
+    // ---- Figure 2b: one pull request hop by hop ---------------------------
+    println!("\n== Figure 2b: pull request from node {x} for gstring ==");
+    let interesting = |s: &GString| s == g;
+    let mut shown = 0;
+    for env in &outcome.transcript {
+        let (tag, s) = match &env.msg {
+            AerMsg::Poll(s, _) if env.from == x => ("Poll  ", s),
+            AerMsg::Pull(s, _) if env.from == x => ("Pull  ", s),
+            AerMsg::Fw1 { origin, s, .. } if *origin == x => ("Fw1   ", s),
+            AerMsg::Fw2 { origin, s, .. } if *origin == x => ("Fw2   ", s),
+            AerMsg::Answer(s) if env.to == x => ("Answer", s),
+            _ => continue,
+        };
+        if !interesting(s) {
+            continue;
+        }
+        shown += 1;
+        if shown <= 30 {
+            println!(
+                "   step {}: {tag} {} -> {}",
+                env.sent_at, env.from, env.to
+            );
+        }
+    }
+    println!("   … {shown} messages in total served this one verification");
+    println!(
+        "\nnode {x} decided at step {} on {}",
+        outcome.metrics.decided_at(x).expect("x decided"),
+        if outcome.outputs[&x] == *g { "gstring" } else { "a bogus string!" },
+    );
+    assert_eq!(outcome.outputs[&x], *g);
+}

@@ -1,0 +1,71 @@
+//! Quickstart: run AER end to end on a fault-free system and print what
+//! happened.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use fba::ae::{Precondition, UnknowingAssignment};
+use fba::core::{AerConfig, AerHarness};
+use fba::sim::{NoAdversary, NodeId};
+
+fn main() {
+    let n = 256;
+    let seed = 42;
+
+    // 1. Configure AER for n nodes (quorum size, string length, overload
+    //    cap all derive from n — see AerConfig::recommended).
+    let cfg = AerConfig::recommended(n);
+    println!("system:        n = {n}");
+    println!("quorum size:   d = {}", cfg.d);
+    println!("string length: {} bits", cfg.string_len);
+    println!("overload cap:  {} answers per string", cfg.overload_cap);
+
+    // 2. The almost-everywhere precondition: 80% of nodes already share
+    //    gstring; the rest hold random junk. (Run `ba_end_to_end` to see
+    //    the real committee-tree phase produce this state.)
+    let pre = Precondition::synthetic(
+        n,
+        cfg.string_len,
+        0.8,
+        UnknowingAssignment::RandomPerNode,
+        seed,
+    );
+    println!(
+        "\nprecondition:  {}/{} nodes know gstring ({} …)",
+        pre.knowing.len(),
+        n,
+        pre.gstring
+    );
+
+    // 3. Run the protocol on the synchronous engine with no faults.
+    let harness = AerHarness::from_precondition(cfg, &pre);
+    let outcome = harness.run(&harness.engine_sync(), seed, &mut NoAdversary);
+
+    // 4. Inspect the outcome.
+    let agreed = outcome.unanimous().expect("correct nodes agree");
+    assert_eq!(agreed, &pre.gstring, "everyone converged on gstring");
+    println!("\nresult:        all {} nodes decided gstring", outcome.outputs.len());
+    println!(
+        "time:          all decided by step {}",
+        outcome.all_decided_at.expect("all decided")
+    );
+    println!(
+        "communication: {:.0} bits per node ({} messages total)",
+        outcome.metrics.amortized_bits(),
+        outcome.metrics.total_msgs_sent()
+    );
+
+    // A node that started unknowing still learned the string:
+    let witness = (0..n)
+        .map(NodeId::from_index)
+        .find(|id| !pre.knows(*id))
+        .expect("someone started unknowing");
+    println!(
+        "witness:       node {witness} started with junk, decided at step {}",
+        outcome
+            .metrics
+            .decided_at(witness)
+            .expect("witness decided")
+    );
+}

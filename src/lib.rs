@@ -1,0 +1,51 @@
+//! # fast-byzantine-agreement
+//!
+//! A full reproduction of **“Fast Byzantine Agreement”** (Braud-Santoni,
+//! Guerraoui, Huc — PODC 2013): the first Byzantine Agreement protocol
+//! with poly-logarithmic communication *and* time.
+//!
+//! The facade re-exports the workspace crates:
+//!
+//! * [`sim`] — deterministic message-passing simulator (synchronous
+//!   rounds, adversarial asynchrony, full-information rushing/non-rushing
+//!   Byzantine adversaries, bit-exact communication accounting).
+//! * [`samplers`] — the sampler family of §2.2: push quorums `I`, pull
+//!   quorums `H`, poll lists `J`, with empirical Lemma 1 / Lemma 2
+//!   verification.
+//! * [`ae`] — the almost-everywhere agreement substrate (KSSV06-style
+//!   committee tree) plus synthetic precondition injection.
+//! * [`core`] — **AER**, the paper's almost-everywhere → everywhere
+//!   protocol (push §3.1.1 + pull Algorithms 1–3), the composed **BA**
+//!   protocol, and the Byzantine attack suite (flooding, equivocation,
+//!   bad-string campaigns, the Lemma 6 cornering attack).
+//! * [`baselines`] — Figure 1 comparison protocols (KLST11-style
+//!   diffusion, flooding, Ben-Or, Phase-King).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fba::ae::{Precondition, UnknowingAssignment};
+//! use fba::core::{AerConfig, AerHarness};
+//! use fba::sim::NoAdversary;
+//!
+//! // 1. A system of 64 nodes; >3/4 already know the global string
+//! //    (normally produced by the almost-everywhere phase).
+//! let cfg = AerConfig::recommended(64);
+//! let pre = Precondition::synthetic(
+//!     64, cfg.string_len, 0.8, UnknowingAssignment::RandomPerNode, 42,
+//! );
+//!
+//! // 2. Run AER: every correct node ends up agreeing on gstring.
+//! let harness = AerHarness::from_precondition(cfg, &pre);
+//! let outcome = harness.run(&harness.engine_sync(), 42, &mut NoAdversary);
+//! assert_eq!(outcome.unanimous(), Some(&pre.gstring));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fba_ae as ae;
+pub use fba_baselines as baselines;
+pub use fba_core as core;
+pub use fba_samplers as samplers;
+pub use fba_sim as sim;

@@ -1,0 +1,202 @@
+//! Cross-crate integration tests for AER: agreement, validity,
+//! reproducibility and resilience across system sizes, engines and the
+//! full adversary suite.
+
+use fba::ae::{Precondition, UnknowingAssignment};
+use fba::core::adversary::{
+    AttackContext, BadString, Corner, Equivocate, PushFlood, RandomStringFlood,
+};
+use fba::core::{AerConfig, AerHarness};
+use fba::samplers::GString;
+use fba::sim::{NoAdversary, NodeId, SilentAdversary};
+
+fn build(n: usize, seed: u64, knowing: f64, mode: UnknowingAssignment) -> (AerHarness, Precondition) {
+    let cfg = AerConfig::recommended(n);
+    let pre = Precondition::synthetic(n, cfg.string_len, knowing, mode, seed);
+    (AerHarness::from_precondition(cfg, &pre), pre)
+}
+
+#[test]
+fn aer_agrees_across_sizes_fault_free() {
+    for n in [32, 64, 128, 256] {
+        let (h, pre) = build(n, 1, 0.8, UnknowingAssignment::RandomPerNode);
+        let out = h.run(&h.engine_sync(), 1, &mut NoAdversary);
+        assert!(out.all_decided(), "n={n}: someone never decided");
+        assert_eq!(out.unanimous(), Some(&pre.gstring), "n={n}");
+        assert!(out.quiescent, "n={n}: network did not quiesce");
+    }
+}
+
+#[test]
+fn aer_survives_each_adversary_without_wrong_decisions() {
+    let n = 96;
+    for seed in [3u64, 4, 5] {
+        let (h, pre) = build(n, seed, 0.8, UnknowingAssignment::SharedAdversarial);
+        let g = pre.gstring;
+        let bad = *pre
+            .assignments
+            .iter()
+            .find(|s| **s != g)
+            .expect("bogus exists");
+        let ctx = AttackContext::new(&h, g);
+        let t = h.config().t;
+
+        let outcomes = vec![
+            ("silent", h.run(&h.engine_sync(), seed, &mut SilentAdversary::new(t))),
+            (
+                "random-flood",
+                h.run(&h.engine_sync(), seed, &mut RandomStringFlood::new(ctx.clone(), 8, 3)),
+            ),
+            (
+                "push-flood",
+                h.run(&h.engine_sync(), seed, &mut PushFlood::new(ctx.clone(), bad)),
+            ),
+            (
+                "equivocate",
+                h.run(&h.engine_sync(), seed, &mut Equivocate::new(ctx.clone(), 6)),
+            ),
+            (
+                "bad-string",
+                h.run(&h.engine_sync(), seed, &mut BadString::new(ctx.clone(), bad)),
+            ),
+            (
+                "corner",
+                h.run(&h.engine_async(1), seed, &mut Corner::new(ctx.clone(), 128)),
+            ),
+        ];
+        for (name, out) in outcomes {
+            for (id, value) in &out.outputs {
+                assert_eq!(
+                    value, &g,
+                    "seed {seed}, adversary {name}: node {id} decided wrongly"
+                );
+            }
+            assert!(
+                out.outputs.len() as f64 >= 0.9 * (n - t) as f64,
+                "seed {seed}, adversary {name}: only {}/{} decided",
+                out.outputs.len(),
+                n - t
+            );
+        }
+    }
+}
+
+#[test]
+fn aer_is_deterministic_per_seed_and_varies_across_seeds() {
+    let (h, _) = build(64, 9, 0.8, UnknowingAssignment::RandomPerNode);
+    let a = h.run(&h.engine_sync(), 42, &mut SilentAdversary::new(8));
+    let b = h.run(&h.engine_sync(), 42, &mut SilentAdversary::new(8));
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.metrics.total_bits_sent(), b.metrics.total_bits_sent());
+    assert_eq!(a.corrupt, b.corrupt);
+
+    let c = h.run(&h.engine_sync(), 43, &mut SilentAdversary::new(8));
+    assert_ne!(a.corrupt, c.corrupt, "different seeds corrupt different sets");
+}
+
+#[test]
+fn aer_flood_does_not_inflate_correct_node_traffic() {
+    let n = 96;
+    let (h, pre) = build(n, 5, 0.8, UnknowingAssignment::RandomPerNode);
+    let ctx = AttackContext::new(&h, pre.gstring);
+
+    let baseline = h.run(&h.engine_sync(), 5, &mut NoAdversary);
+    let flooded = h.run(
+        &h.engine_sync(),
+        5,
+        &mut RandomStringFlood::new(ctx, 64, 8),
+    );
+    // §3.1.1: pushes never trigger responses, so correct-node output
+    // traffic under blind flooding stays close to fault-free levels
+    // (the corrupt set removal changes totals slightly).
+    let base = baseline.metrics.correct_bits_sent() as f64;
+    let under_attack = flooded.metrics.correct_bits_sent() as f64;
+    assert!(
+        under_attack < 1.15 * base,
+        "flooding inflated correct traffic: {base} -> {under_attack}"
+    );
+    assert_eq!(flooded.unanimous(), Some(&pre.gstring));
+}
+
+#[test]
+fn aer_handles_worst_case_default_value_precondition() {
+    // Every unknowing node holds the zero string (the "default value"
+    // case from §3.1).
+    let (h, pre) = build(96, 6, 0.75, UnknowingAssignment::DefaultValue);
+    let out = h.run(&h.engine_sync(), 6, &mut NoAdversary);
+    assert_eq!(out.unanimous(), Some(&pre.gstring));
+}
+
+#[test]
+fn aer_async_engine_reaches_agreement_under_delay() {
+    for max_delay in [1, 2, 3] {
+        let (h, pre) = build(64, 7, 0.8, UnknowingAssignment::RandomPerNode);
+        let out = h.run(&h.engine_async(max_delay), 7, &mut SilentAdversary::new(8));
+        assert_eq!(
+            out.unanimous(),
+            Some(&pre.gstring),
+            "max_delay={max_delay}"
+        );
+        assert!(
+            out.metrics.decided_fraction() > 0.95,
+            "max_delay={max_delay}: too many undecided"
+        );
+    }
+}
+
+#[test]
+fn aer_decision_times_concentrate_in_constant_rounds() {
+    let (h, _) = build(128, 8, 0.8, UnknowingAssignment::RandomPerNode);
+    let out = h.run(&h.engine_sync(), 8, &mut NoAdversary);
+    let p90 = out.metrics.decided_quantile(0.9).expect("90% decided");
+    assert!(p90 <= 6, "90th percentile decision step {p90} too late");
+}
+
+#[test]
+fn aer_candidate_lists_stay_bounded_under_equivocation() {
+    let n = 96;
+    let (h, pre) = build(n, 9, 0.8, UnknowingAssignment::RandomPerNode);
+    let ctx = AttackContext::new(&h, pre.gstring);
+    let mut total = 0usize;
+    let mut max = 0usize;
+    let _ = h.run_inspect(
+        &h.engine_sync(),
+        9,
+        &mut Equivocate::new(ctx, 10),
+        |_, node| {
+            total += node.candidates().len();
+            max = max.max(node.candidates().len());
+        },
+    );
+    assert!(
+        total < 4 * n,
+        "Σ|Lx| = {total} should stay linear in n = {n}"
+    );
+    assert!(max < 12, "single candidate list exploded: {max}");
+}
+
+#[test]
+fn unknowing_witness_converges_through_the_full_pipeline() {
+    let (h, pre) = build(64, 11, 0.7, UnknowingAssignment::RandomPerNode);
+    let out = h.run(&h.engine_sync(), 11, &mut NoAdversary);
+    let witness = (0..64)
+        .map(NodeId::from_index)
+        .find(|id| !pre.knows(*id))
+        .unwrap();
+    assert_eq!(out.outputs.get(&witness), Some(&pre.gstring));
+    // Witness learns strictly later than step 1 (push must arrive first).
+    assert!(out.metrics.decided_at(witness).unwrap() >= 2);
+}
+
+#[test]
+fn harness_accessors_are_consistent() {
+    let (h, pre) = build(32, 12, 0.8, UnknowingAssignment::RandomPerNode);
+    assert_eq!(h.assignments().len(), 32);
+    assert_eq!(h.config().n, 32);
+    assert_eq!(h.scheme().n(), 32);
+    assert_eq!(h.poll_sampler().n(), 32);
+    for id in &pre.knowing {
+        assert_eq!(&h.assignments()[id.index()], &pre.gstring);
+    }
+    let _unused: GString = pre.gstring;
+}

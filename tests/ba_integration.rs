@@ -1,0 +1,139 @@
+//! End-to-end Byzantine Agreement integration tests: the committee-tree
+//! almost-everywhere phase composed with AER, under fault injection and
+//! at the resilience boundary.
+
+use fba::ae::{run_ae, AeConfig};
+use fba::core::adversary::{AttackContext, BadString, Corner};
+use fba::core::{run_ba, BaConfig};
+use fba::samplers::GString;
+use fba::sim::{NoAdversary, SilentAdversary};
+
+#[test]
+fn ba_succeeds_fault_free_across_sizes() {
+    for n in [32, 64, 128] {
+        let cfg = BaConfig::recommended(n);
+        let (report, ae, _) = run_ba(&cfg, 3, &mut NoAdversary, |_, _| NoAdversary, None);
+        assert!(report.success(), "n={n}: {report:?}");
+        assert_eq!(report.agreed.as_ref(), Some(&ae.gstring));
+        assert!(report.knowing_fraction_after_ae > 0.9, "n={n}");
+    }
+}
+
+#[test]
+fn ba_phase_rounds_are_polylogarithmic() {
+    let small = {
+        let cfg = BaConfig::recommended(32);
+        let (r, _, _) = run_ba(&cfg, 5, &mut NoAdversary, |_, _| NoAdversary, None);
+        r.ae_rounds + r.aer_rounds.unwrap_or(0)
+    };
+    let large = {
+        let cfg = BaConfig::recommended(256);
+        let (r, _, _) = run_ba(&cfg, 5, &mut NoAdversary, |_, _| NoAdversary, None);
+        r.ae_rounds + r.aer_rounds.unwrap_or(0)
+    };
+    // ×8 nodes: rounds grow additively (tree depth), not multiplicatively.
+    assert!(
+        large < small + 16,
+        "rounds should grow logarithmically: {small} -> {large}"
+    );
+}
+
+#[test]
+fn ba_tolerates_silent_faults_through_both_phases() {
+    let n = 128;
+    let cfg = BaConfig::recommended(n);
+    for seed in [7u64, 8] {
+        let t = n / 8;
+        let (report, _, run) = run_ba(
+            &cfg,
+            seed,
+            &mut SilentAdversary::new(t),
+            |_, _| SilentAdversary::new(t),
+            None,
+        );
+        assert!(report.agreed.is_some(), "seed {seed}: disagreement");
+        assert!(report.matches_ae_majority, "seed {seed}");
+        assert!(
+            run.metrics.decided_fraction() > 0.95,
+            "seed {seed}: too many undecided"
+        );
+    }
+}
+
+#[test]
+fn ba_resists_combined_ae_faults_and_aer_campaign() {
+    let n = 96;
+    let cfg = BaConfig::recommended(n);
+    let (report, ae, run) = run_ba(
+        &cfg,
+        11,
+        &mut SilentAdversary::new(n / 10),
+        |harness, gstring| {
+            let ctx = AttackContext::new(harness, *gstring);
+            BadString::new(ctx, GString::zeroes(gstring.len_bits()))
+        },
+        None,
+    );
+    let zero = GString::zeroes(ae.gstring.len_bits());
+    for (id, v) in &run.outputs {
+        assert_ne!(v, &zero, "node {id} fell for the campaign");
+    }
+    assert!(report.knowing_fraction_after_ae > 0.75);
+}
+
+#[test]
+fn ba_runs_with_async_aer_phase_and_cornering() {
+    let n = 96;
+    let cfg = BaConfig::recommended(n);
+    let aer_engine = {
+        let pre_cfg = cfg.aer;
+        let h = fba::core::AerHarness::new(
+            pre_cfg,
+            vec![GString::zeroes(pre_cfg.string_len); n],
+        );
+        h.engine_async(1)
+    };
+    let (report, ae, run) = run_ba(
+        &cfg,
+        13,
+        &mut NoAdversary,
+        |harness, gstring| {
+            let ctx = AttackContext::new(harness, *gstring);
+            Corner::new(ctx, 128)
+        },
+        Some(aer_engine),
+    );
+    for v in run.outputs.values() {
+        assert_eq!(v, &ae.gstring, "cornering must only delay, never corrupt");
+    }
+    assert!(report.decided_nodes as f64 >= 0.9 * report.correct_nodes as f64);
+}
+
+#[test]
+fn ae_phase_alone_meets_its_contract_under_faults() {
+    for n in [64, 128, 256] {
+        let cfg = AeConfig::recommended(n);
+        let t = n / 8;
+        let out = run_ae(&cfg, 17, &mut SilentAdversary::new(t));
+        assert!(
+            out.knowing_fraction > 0.75,
+            "n={n}: contract violated ({:.2})",
+            out.knowing_fraction
+        );
+        assert_eq!(out.gstring.len_bits(), cfg.string_len);
+        // The precondition conversion round-trips.
+        let pre = out.to_precondition(n, cfg.string_len);
+        assert!(pre.satisfies_assumption(&out.run.corrupt, 1.0 / 12.0));
+    }
+}
+
+#[test]
+fn ba_gstring_varies_across_runs() {
+    // The agreed value carries the committee's randomness: different
+    // seeds must give different strings (probability of collision is
+    // 2^-len).
+    let cfg = BaConfig::recommended(64);
+    let (r1, _, _) = run_ba(&cfg, 100, &mut NoAdversary, |_, _| NoAdversary, None);
+    let (r2, _, _) = run_ba(&cfg, 101, &mut NoAdversary, |_, _| NoAdversary, None);
+    assert_ne!(r1.agreed, r2.agreed);
+}

@@ -1,0 +1,174 @@
+//! Integration tests pitting the baselines against AER on identical
+//! preconditions — the comparisons behind Figure 1.
+
+use fba::ae::{Precondition, UnknowingAssignment};
+use fba::baselines::{BenOrNode, BenOrParams, FloodNode, KingNode, KingParams, KlstNode, KlstParams};
+use fba::core::{AerConfig, AerHarness};
+use fba::sim::{run, EngineConfig, NoAdversary, SilentAdversary};
+use rand::Rng;
+
+#[test]
+fn all_three_diffusion_protocols_agree_on_the_same_precondition() {
+    let n = 128;
+    let seed = 5;
+    let cfg = AerConfig::recommended(n);
+    let pre = Precondition::synthetic(
+        n,
+        cfg.string_len,
+        0.8,
+        UnknowingAssignment::RandomPerNode,
+        seed,
+    );
+
+    // AER.
+    let h = AerHarness::from_precondition(cfg, &pre);
+    let aer = h.run(&h.engine_sync(), seed, &mut NoAdversary);
+    assert_eq!(aer.unanimous(), Some(&pre.gstring));
+
+    // Flooding.
+    let flood = run::<FloodNode, _, _>(&EngineConfig::sync(n), seed, &mut NoAdversary, |id| {
+        FloodNode::new(pre.assignments[id.index()])
+    });
+    assert_eq!(flood.unanimous(), Some(&pre.gstring));
+
+    // KLST-style.
+    let params = KlstParams::recommended(n);
+    let engine = EngineConfig {
+        max_steps: params.schedule_len() + 8,
+        ..EngineConfig::sync(n)
+    };
+    let klst = run::<KlstNode, _, _>(&engine, seed, &mut NoAdversary, |id| {
+        KlstNode::new(params, pre.assignments[id.index()])
+    });
+    assert_eq!(klst.unanimous(), Some(&pre.gstring));
+}
+
+#[test]
+fn figure_1a_time_ordering_holds() {
+    // Flooding < AER < KLST in rounds, at any size.
+    let n = 128;
+    let seed = 6;
+    let cfg = AerConfig::recommended(n);
+    let pre = Precondition::synthetic(
+        n,
+        cfg.string_len,
+        0.8,
+        UnknowingAssignment::RandomPerNode,
+        seed,
+    );
+
+    let flood = run::<FloodNode, _, _>(&EngineConfig::sync(n), seed, &mut NoAdversary, |id| {
+        FloodNode::new(pre.assignments[id.index()])
+    });
+    let h = AerHarness::from_precondition(cfg, &pre);
+    let aer = h.run(&h.engine_sync(), seed, &mut NoAdversary);
+    let params = KlstParams::recommended(n);
+    let engine = EngineConfig {
+        max_steps: params.schedule_len() + 8,
+        ..EngineConfig::sync(n)
+    };
+    let klst = run::<KlstNode, _, _>(&engine, seed, &mut NoAdversary, |id| {
+        KlstNode::new(params, pre.assignments[id.index()])
+    });
+
+    let f = flood.all_decided_at.unwrap();
+    let a = aer.metrics.decided_quantile(0.95).unwrap();
+    let k = klst.all_decided_at.unwrap();
+    assert!(f <= a, "flooding {f} vs AER {a}");
+    assert!(a < k, "AER {a} vs KLST {k}");
+}
+
+#[test]
+fn figure_1a_bits_ordering_holds() {
+    // Per-node bits: KLST (√n-ish) < AER (polylog with big constants) <
+    // flooding (linear × string) is NOT the asymptotic order — at n=128
+    // the paper's asymptotic winner (AER) still pays its d³ constants.
+    // What must hold at every n: flooding pays Θ(n·|s|) and KLST pays
+    // o(n·|s|).
+    let n = 256;
+    let seed = 7;
+    let cfg = AerConfig::recommended(n);
+    let pre = Precondition::synthetic(
+        n,
+        cfg.string_len,
+        0.8,
+        UnknowingAssignment::RandomPerNode,
+        seed,
+    );
+    let flood = run::<FloodNode, _, _>(&EngineConfig::sync(n), seed, &mut NoAdversary, |id| {
+        FloodNode::new(pre.assignments[id.index()])
+    });
+    let params = KlstParams::recommended(n);
+    let engine = EngineConfig {
+        max_steps: params.schedule_len() + 8,
+        ..EngineConfig::sync(n)
+    };
+    let klst = run::<KlstNode, _, _>(&engine, seed, &mut NoAdversary, |id| {
+        KlstNode::new(params, pre.assignments[id.index()])
+    });
+    assert!(
+        klst.metrics.amortized_bits() < flood.metrics.amortized_bits(),
+        "KLST must beat flooding on bits: {} vs {}",
+        klst.metrics.amortized_bits(),
+        flood.metrics.amortized_bits()
+    );
+}
+
+#[test]
+fn benor_and_phase_king_agree_under_faults() {
+    let n = 40;
+    let seed = 8;
+    let mut rng = fba::sim::rng::derive_rng(seed, &[]);
+    let inputs: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.8)).collect();
+
+    let params = BenOrParams::recommended(n);
+    let engine = EngineConfig {
+        max_steps: 400,
+        ..EngineConfig::sync(n)
+    };
+    let benor = run::<BenOrNode, _, _>(&engine, seed, &mut SilentAdversary::new(params.t), |id| {
+        BenOrNode::new(params, n, inputs[id.index()])
+    });
+    assert!(benor.unanimous().is_some(), "Ben-Or disagreement");
+
+    let kparams = KingParams::recommended(n);
+    let kengine = EngineConfig {
+        max_steps: kparams.schedule_len() + 8,
+        ..EngineConfig::sync(n)
+    };
+    let king = run::<KingNode, _, _>(&kengine, seed, &mut SilentAdversary::new(kparams.t / 2), |id| {
+        KingNode::new(kparams, n, inputs[id.index()])
+    });
+    assert!(king.unanimous().is_some(), "Phase-King disagreement");
+    assert!(king.all_decided());
+}
+
+#[test]
+fn phase_king_time_dwarfs_randomized_protocols() {
+    let n = 64;
+    let seed = 9;
+    let kparams = KingParams::recommended(n);
+    let kengine = EngineConfig {
+        max_steps: kparams.schedule_len() + 8,
+        ..EngineConfig::sync(n)
+    };
+    let king = run::<KingNode, _, _>(&kengine, seed, &mut NoAdversary, |id| {
+        KingNode::new(kparams, n, id.index() % 3 == 0)
+    });
+    let cfg = AerConfig::recommended(n);
+    let pre = Precondition::synthetic(
+        n,
+        cfg.string_len,
+        0.8,
+        UnknowingAssignment::RandomPerNode,
+        seed,
+    );
+    let h = AerHarness::from_precondition(cfg, &pre);
+    let aer = h.run(&h.engine_sync(), seed, &mut NoAdversary);
+    let king_time = king.all_decided_at.unwrap();
+    let aer_time = aer.metrics.decided_quantile(0.95).unwrap();
+    assert!(
+        king_time > 4 * aer_time,
+        "deterministic {king_time} vs randomized {aer_time}"
+    );
+}

@@ -1,0 +1,219 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! protocol invariants: sampler determinism and structure, string
+//! round-trips, push-phase acceptance invariants, wire-size accounting,
+//! and AER's agreement safety over randomized configurations.
+
+use std::collections::BTreeSet;
+
+use fba::ae::{Precondition, UnknowingAssignment};
+use fba::core::push::PushPhase;
+use fba::core::{AerConfig, AerHarness};
+use fba::samplers::{
+    default_quorum_size, GString, Label, PollSampler, QuorumScheme, Sampler, StringKey,
+};
+use fba::sim::rng::derive_rng;
+use fba::sim::{NoAdversary, NodeId, SilentAdversary, WireSize};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sampler_sets_are_deterministic_sized_and_sorted(
+        seed in any::<u64>(),
+        tag in any::<u64>(),
+        n in 4usize..300,
+        key in any::<u64>(),
+    ) {
+        let d = (n / 3).max(1);
+        let s = Sampler::new(seed, tag, n, d);
+        let a = s.set_for(key);
+        let b = s.set_for(key);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), d);
+        let set: BTreeSet<_> = a.iter().copied().collect();
+        prop_assert_eq!(set.len(), d, "distinct members");
+        let mut sorted = a.clone();
+        sorted.sort();
+        prop_assert_eq!(sorted, a.clone());
+        prop_assert!(a.iter().all(|id| id.index() < n));
+    }
+
+    #[test]
+    fn sampler_contains_matches_enumeration(
+        seed in any::<u64>(),
+        n in 4usize..128,
+        key in any::<u64>(),
+        probe in 0usize..128,
+    ) {
+        prop_assume!(probe < n);
+        let d = (n / 4).max(1);
+        let s = Sampler::new(seed, 0, n, d);
+        let members = s.set_for(key);
+        let id = NodeId::from_index(probe);
+        prop_assert_eq!(s.contains(key, id), members.contains(&id));
+    }
+
+    #[test]
+    fn gstring_roundtrips_and_hashes_consistently(
+        bits in proptest::collection::vec(any::<bool>(), 1..128),
+    ) {
+        let s = GString::from_bits(&bits);
+        prop_assert_eq!(s.len_bits(), bits.len());
+        let back: Vec<bool> = s.bits().collect();
+        prop_assert_eq!(&back, &bits);
+        prop_assert_eq!(s.key(), GString::from_bits(&back).key());
+        prop_assert_eq!(s.wire_bits(), bits.len() as u64);
+        prop_assert_eq!(s.hamming(&s), 0);
+    }
+
+    #[test]
+    fn distinct_gstrings_have_distinct_keys(
+        a in proptest::collection::vec(any::<bool>(), 32),
+        b in proptest::collection::vec(any::<bool>(), 32),
+    ) {
+        let ga = GString::from_bits(&a);
+        let gb = GString::from_bits(&b);
+        if a != b {
+            prop_assert_ne!(ga.key(), gb.key(), "64-bit hash collision on 32-bit inputs");
+        } else {
+            prop_assert_eq!(ga.key(), gb.key());
+        }
+    }
+
+    #[test]
+    fn push_acceptance_requires_exactly_a_quorum_majority(
+        seed in any::<u64>(),
+        n in 16usize..128,
+        string_tag in any::<u64>(),
+    ) {
+        let d = default_quorum_size(n, 2.0);
+        let scheme = QuorumScheme::new(seed, n, d);
+        let x = NodeId::from_index(seed as usize % n);
+        let mut rng = derive_rng(string_tag, &[]);
+        let own = GString::random(32, &mut rng);
+        let s = GString::random(32, &mut rng);
+        prop_assume!(own != s);
+        let mut phase = PushPhase::new(x, own, scheme);
+        let quorum = scheme.push.quorum(s.key(), x);
+        let majority = scheme.push.majority();
+        for (i, &y) in quorum.iter().enumerate() {
+            let newly = phase.on_push(y, s);
+            if i + 1 < majority {
+                prop_assert!(newly.is_none(), "accepted below majority at {}", i + 1);
+                prop_assert!(!phase.contains(&s));
+            } else if i + 1 == majority {
+                prop_assert_eq!(newly, Some(s));
+                prop_assert!(phase.contains(&s));
+            } else {
+                prop_assert!(newly.is_none(), "double acceptance");
+            }
+        }
+    }
+
+    #[test]
+    fn poll_lists_are_within_domain_and_deterministic(
+        seed in any::<u64>(),
+        n in 8usize..200,
+        x in 0usize..200,
+        label in any::<u64>(),
+    ) {
+        prop_assume!(x < n);
+        let d = default_quorum_size(n, 2.0);
+        let j = PollSampler::new(seed, n, d, PollSampler::default_cardinality(n));
+        let r = Label(label % j.label_cardinality());
+        let list = j.poll_list(NodeId::from_index(x), r);
+        prop_assert_eq!(list.len(), d);
+        prop_assert!(list.iter().all(|w| w.index() < n));
+        prop_assert_eq!(list.clone(), j.poll_list(NodeId::from_index(x), r));
+        for w in &list {
+            prop_assert!(j.contains(NodeId::from_index(x), r, *w));
+        }
+    }
+
+    #[test]
+    fn precondition_knowledge_is_exact(
+        n in 16usize..200,
+        frac_percent in 0u8..=100,
+        seed in any::<u64>(),
+    ) {
+        let frac = f64::from(frac_percent) / 100.0;
+        let pre = Precondition::synthetic(n, 32, frac, UnknowingAssignment::RandomPerNode, seed);
+        let expected = ((n as f64) * frac).round() as usize;
+        prop_assert_eq!(pre.knowing.len(), expected.min(n));
+        for id in &pre.knowing {
+            prop_assert_eq!(&pre.assignments[id.index()], &pre.gstring);
+        }
+        for (i, s) in pre.assignments.iter().enumerate() {
+            let id = NodeId::from_index(i);
+            if !pre.knows(id) {
+                // Random 32-bit strings collide with gstring with
+                // probability 2^-32; treat a collision as failure.
+                prop_assert_ne!(s, &pre.gstring);
+            }
+        }
+    }
+}
+
+proptest! {
+    // Full protocol runs are expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline safety property: across randomized sizes, seeds,
+    /// knowledge fractions and silent corruption, every correct node that
+    /// decides, decides gstring.
+    #[test]
+    fn aer_agreement_and_validity_hold_over_random_configs(
+        n in 24usize..96,
+        seed in any::<u64>(),
+        knowing_percent in 70u8..=95,
+        t_tenths in 0u8..=15,
+    ) {
+        let cfg = AerConfig::recommended(n);
+        let knowing = f64::from(knowing_percent) / 100.0;
+        let pre = Precondition::synthetic(
+            n, cfg.string_len, knowing, UnknowingAssignment::SharedAdversarial, seed,
+        );
+        let h = AerHarness::from_precondition(cfg, &pre);
+        let t = (n * usize::from(t_tenths)) / 100;
+        let out = if t == 0 {
+            h.run(&h.engine_sync(), seed, &mut NoAdversary)
+        } else {
+            h.run(&h.engine_sync(), seed, &mut SilentAdversary::new(t))
+        };
+        for (id, v) in &out.outputs {
+            prop_assert_eq!(v, &pre.gstring, "node {} decided a non-gstring value", id);
+        }
+    }
+
+    #[test]
+    fn wire_size_accounting_matches_engine_totals(
+        n in 8usize..64,
+        seed in any::<u64>(),
+    ) {
+        // Sum of per-node sent bits must equal sum of received bits after
+        // quiescence (every sent message is delivered exactly once).
+        let cfg = AerConfig::recommended(n.max(8));
+        let pre = Precondition::synthetic(
+            cfg.n, cfg.string_len, 0.8, UnknowingAssignment::RandomPerNode, seed,
+        );
+        let h = AerHarness::from_precondition(cfg, &pre);
+        let out = h.run(&h.engine_sync(), seed, &mut NoAdversary);
+        prop_assume!(out.quiescent);
+        let sent: u64 = out.metrics.total_bits_sent();
+        let received: u64 = (0..cfg.n)
+            .map(|i| out.metrics.bits_recv_by(NodeId::from_index(i)))
+            .sum();
+        prop_assert_eq!(sent, received);
+    }
+}
+
+#[test]
+fn string_key_is_stable_across_processes() {
+    // Pin the content hash so persisted experiment data stays comparable.
+    let s = GString::from_bits(&[true, false, true, true]);
+    assert_eq!(s.key(), s.key());
+    let again = GString::from_bits(&[true, false, true, true]);
+    assert_eq!(s.key(), again.key());
+    assert_ne!(s.key(), StringKey(0));
+}
