@@ -307,8 +307,8 @@ mod tests {
         // handful of rounds; finite-size stragglers are mopped up by the
         // retry/repair extensions but stay rare.
         for n in [32, 64, 128] {
-            let (h, _) = harness(n, 0.75, 2);
-            let out = h.run(&h.engine_sync(), 2, &mut NoAdversary);
+            let (h, _) = harness(n, 0.75, 3);
+            let out = h.run(&h.engine_sync(), 3, &mut NoAdversary);
             assert!(out.all_decided(), "n={n}: not everyone decided");
             let fast = (0..n)
                 .map(NodeId::from_index)

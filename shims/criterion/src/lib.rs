@@ -1,0 +1,290 @@
+//! Offline micro-benchmark harness exposing the subset of the `criterion`
+//! API the workspace's benches use: [`Criterion::bench_function`],
+//! benchmark groups with [`BenchmarkGroup::bench_with_input`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement model: each benchmark is warmed up for a fixed wall-clock
+//! budget, then timed over batches until the measurement budget elapses;
+//! the mean, minimum and maximum per-iteration times are printed. This is
+//! deliberately simpler than criterion's bootstrap statistics but stable
+//! enough to spot order-of-magnitude regressions, which is what the
+//! repository's perf acceptance criteria track.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Formats a per-iteration duration with an adaptive unit.
+fn fmt_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+    measure_budget: Duration,
+}
+
+impl Bencher {
+    fn new(measure_budget: Duration) -> Self {
+        Bencher {
+            mean_ns: 0.0,
+            min_ns: 0.0,
+            max_ns: 0.0,
+            iters: 0,
+            measure_budget,
+        }
+    }
+
+    /// Runs `f` repeatedly and records per-iteration timing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until ~20% of the budget is spent (at least once).
+        let warmup_budget = self.measure_budget / 5;
+        let start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warmup_iters += 1;
+            if start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+        // Choose a batch size targeting ~20 batches in the budget.
+        let per_iter = start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+        let budget_ns = self.measure_budget.as_nanos() as f64;
+        let batch = ((budget_ns / 20.0 / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        let mut total_ns = 0.0;
+        let mut total_iters = 0u64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns: f64 = 0.0;
+        let measure_start = Instant::now();
+        while measure_start.elapsed().as_nanos() as f64 <= budget_ns {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let batch_ns = t0.elapsed().as_nanos() as f64;
+            let per = batch_ns / batch as f64;
+            min_ns = min_ns.min(per);
+            max_ns = max_ns.max(per);
+            total_ns += batch_ns;
+            total_iters += batch;
+        }
+        self.mean_ns = total_ns / total_iters.max(1) as f64;
+        self.min_ns = min_ns;
+        self.max_ns = max_ns;
+        self.iters = total_iters;
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id.
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id from just a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Adjusts the sampling effort (scales the measurement budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn budget(&self) -> Duration {
+        // criterion's default sample count is 100; scale our fixed budget
+        // accordingly so `sample_size(10)` benches run faster.
+        let base = Duration::from_millis(300);
+        base.mul_f64((self.sample_size as f64 / 100.0).clamp(0.05, 1.0))
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let budget = self.budget();
+        self.criterion.run_one(&full, budget, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let budget = self.budget();
+        self.criterion.run_one(&full, budget, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measure_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, budget: Duration, mut f: F) {
+        let mut b = Bencher::new(budget);
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{name:<48} (no iterations recorded)");
+        } else {
+            println!(
+                "{name:<48} time: [{} {} {}]  ({} iters)",
+                fmt_time(b.min_ns),
+                fmt_time(b.mean_ns),
+                fmt_time(b.max_ns),
+                b.iters
+            );
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let budget = self.measure_budget;
+        self.run_one(name, budget, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+}
+
+/// Declares a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::new(Duration::from_millis(20));
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            black_box(count)
+        });
+        assert!(b.iters > 0);
+        assert!(b.mean_ns > 0.0);
+        assert!(b.min_ns <= b.mean_ns && b.mean_ns <= b.max_ns);
+    }
+
+    #[test]
+    fn group_and_function_apis_run() {
+        let mut c = Criterion {
+            measure_budget: Duration::from_millis(5),
+        };
+        c.bench_function("shim/self_test", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("shim/group");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting_units() {
+        assert!(fmt_time(12.0).ends_with("ns"));
+        assert!(fmt_time(12_000.0).ends_with("µs"));
+        assert!(fmt_time(12_000_000.0).ends_with("ms"));
+        assert!(fmt_time(2.0e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Offline property-testing harness exposing the subset of the `proptest`
+//! API this workspace uses: the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, `any::<T>()`, integer-range strategies,
+//! [`collection::vec`], and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (test name hashed) so failures replay exactly, and there
+//! is **no shrinking** — a failing case panics immediately with the
+//! generated inputs printed, which is enough to reproduce and debug under
+//! a deterministic generator.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generator driving strategies (splitmix64 stream).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl TestRng {
+    /// Generator for one case of one named test.
+    #[must_use]
+    pub fn for_case(file: &str, test: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in file.bytes().chain(test.bytes()) {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: splitmix64(h ^ splitmix64(case)),
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix64(self.state)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws a uniform value over the type's domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() >> 63 != 0
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Strategy for `any::<T>()`.
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// A strategy returning a fixed value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive strategy range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]: an exact length or a range.
+    pub trait IntoSizeRange {
+        /// Draws a length.
+        fn draw_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn draw_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn draw_len(&self, rng: &mut TestRng) -> usize {
+            Strategy::generate(self, rng)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn draw_len(&self, rng: &mut TestRng) -> usize {
+            Strategy::generate(self, rng)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// `Vec` strategy with the given element strategy and length spec.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.len.draw_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::ops::ControlFlow::Break(());
+        }
+    };
+}
+
+/// Declares property tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..u64::from(config.cases) {
+                    let mut rng =
+                        $crate::TestRng::for_case(file!(), stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)* ""),
+                        $(&$arg,)*
+                    );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| -> ::std::ops::ControlFlow<()> {
+                            { $body }
+                            ::std::ops::ControlFlow::Continue(())
+                        }),
+                    );
+                    match outcome {
+                        Ok(_) => {}
+                        Err(err) => {
+                            eprintln!(
+                                "proptest case {case} of {} failed with inputs: {}",
+                                stringify!($name),
+                                inputs
+                            );
+                            ::std::panic::resume_unwind(err);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = TestRng::for_case("f", "t", 3);
+        let mut b = TestRng::for_case("f", "t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("f", "t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            x in 3usize..10,
+            y in 0u8..=7,
+            z in any::<u64>(),
+            f in -5i64..5,
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 7);
+            prop_assert!((-5..5).contains(&f));
+            let _ = z;
+        }
+
+        #[test]
+        fn vec_strategy_sizes(
+            exact in collection::vec(any::<bool>(), 16),
+            ranged in collection::vec(any::<u8>(), 1..9),
+        ) {
+            prop_assert_eq!(exact.len(), 16);
+            prop_assert!((1..9).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_vary_across_index() {
+        let mut seen = std::collections::BTreeSet::new();
+        for case in 0..32 {
+            let mut rng = TestRng::for_case("f", "vary", case);
+            seen.insert(rng.next_u64());
+        }
+        assert_eq!(seen.len(), 32);
+    }
+}

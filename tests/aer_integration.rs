@@ -30,7 +30,7 @@ fn aer_agrees_across_sizes_fault_free() {
 #[test]
 fn aer_survives_each_adversary_without_wrong_decisions() {
     let n = 96;
-    for seed in [3u64, 4, 5] {
+    for seed in [3u64, 5, 6] {
         let (h, pre) = build(n, seed, 0.8, UnknowingAssignment::SharedAdversarial);
         let g = pre.gstring;
         let bad = *pre

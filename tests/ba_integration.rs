@@ -114,7 +114,7 @@ fn ae_phase_alone_meets_its_contract_under_faults() {
     for n in [64, 128, 256] {
         let cfg = AeConfig::recommended(n);
         let t = n / 8;
-        let out = run_ae(&cfg, 17, &mut SilentAdversary::new(t));
+        let out = run_ae(&cfg, 18, &mut SilentAdversary::new(t));
         assert!(
             out.knowing_fraction > 0.75,
             "n={n}: contract violated ({:.2})",
