@@ -92,9 +92,7 @@ impl Precondition {
                     gstring
                 } else {
                     match mode {
-                        UnknowingAssignment::RandomPerNode => {
-                            GString::random(string_len, &mut rng)
-                        }
+                        UnknowingAssignment::RandomPerNode => GString::random(string_len, &mut rng),
                         UnknowingAssignment::SharedAdversarial => shared_bad,
                         UnknowingAssignment::DefaultValue => GString::zeroes(string_len),
                     }

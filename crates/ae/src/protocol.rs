@@ -419,7 +419,13 @@ impl Protocol for AeNode {
                     self.contribs.iter().map(|(&s, &v)| (s, v)).collect();
                 for m in self.leaf_members() {
                     if m != self.id {
-                        ctx.send(m, AeMsg::Echo { root: false, pairs: pairs.clone() });
+                        ctx.send(
+                            m,
+                            AeMsg::Echo {
+                                root: false,
+                                pairs: pairs.clone(),
+                            },
+                        );
                     }
                 }
             }
@@ -517,7 +523,13 @@ impl Protocol for AeNode {
                             self.root_contribs.iter().map(|(&a, &b)| (a, b)).collect();
                         for &m in &committee {
                             if m != self.id {
-                                ctx.send(m, AeMsg::Echo { root: true, pairs: pairs.clone() });
+                                ctx.send(
+                                    m,
+                                    AeMsg::Echo {
+                                        root: true,
+                                        pairs: pairs.clone(),
+                                    },
+                                );
                             }
                         }
                     }
@@ -620,8 +632,12 @@ mod tests {
     #[test]
     fn fault_free_runs_differ_across_seeds() {
         let cfg = AeConfig::recommended(64);
-        let a = run::<AeNode, _, _>(&engine(&cfg), 1, &mut NoAdversary, |id| AeNode::new(cfg, id));
-        let b = run::<AeNode, _, _>(&engine(&cfg), 2, &mut NoAdversary, |id| AeNode::new(cfg, id));
+        let a = run::<AeNode, _, _>(&engine(&cfg), 1, &mut NoAdversary, |id| {
+            AeNode::new(cfg, id)
+        });
+        let b = run::<AeNode, _, _>(&engine(&cfg), 2, &mut NoAdversary, |id| {
+            AeNode::new(cfg, id)
+        });
         assert_ne!(
             a.unanimous(),
             b.unanimous(),
@@ -660,7 +676,11 @@ mod tests {
     #[test]
     fn msg_wire_sizes() {
         assert_eq!(
-            AeMsg::Contribute { root: false, value: 0 }.wire_bits(),
+            AeMsg::Contribute {
+                root: false,
+                value: 0
+            }
+            .wire_bits(),
             67
         );
         let echo = AeMsg::Echo {
@@ -668,9 +688,20 @@ mod tests {
             pairs: vec![(NodeId::from_index(0), 1), (NodeId::from_index(1), 2)],
         };
         assert_eq!(echo.wire_bits(), 2 + 1 + 2 * 96);
-        assert_eq!(AeMsg::Gv { level: 0, idx: 0, value: 0 }.wire_bits(), 130);
         assert_eq!(
-            AeMsg::Diffuse { value: GString::zeroes(40) }.wire_bits(),
+            AeMsg::Gv {
+                level: 0,
+                idx: 0,
+                value: 0
+            }
+            .wire_bits(),
+            130
+        );
+        assert_eq!(
+            AeMsg::Diffuse {
+                value: GString::zeroes(40)
+            }
+            .wire_bits(),
             42
         );
     }
@@ -698,19 +729,28 @@ mod tests {
         let outsider = NodeId::from_index(c + 1);
         node.on_message(
             outsider,
-            AeMsg::Contribute { root: false, value: 7 },
+            AeMsg::Contribute {
+                root: false,
+                value: 7,
+            },
             &mut ctx,
         );
         // A contribution from inside must be stored (first one wins).
         let insider = NodeId::from_index(1);
         node.on_message(
             insider,
-            AeMsg::Contribute { root: false, value: 9 },
+            AeMsg::Contribute {
+                root: false,
+                value: 9,
+            },
             &mut ctx,
         );
         node.on_message(
             insider,
-            AeMsg::Contribute { root: false, value: 10 },
+            AeMsg::Contribute {
+                root: false,
+                value: 10,
+            },
             &mut ctx,
         );
         assert_eq!(node.contribs.get(&outsider), None);
@@ -729,14 +769,22 @@ mod tests {
         // that range: dropped.
         node.on_message(
             NodeId::from_index(3 * c),
-            AeMsg::Gv { level: 0, idx: 1, value: 42 },
+            AeMsg::Gv {
+                level: 0,
+                idx: 1,
+                value: 42,
+            },
             &mut ctx,
         );
         assert!(!node.claims.contains_key(&(0, 1)));
         // Same claim from inside the range: stored.
         node.on_message(
             NodeId::from_index(c + 1),
-            AeMsg::Gv { level: 0, idx: 1, value: 42 },
+            AeMsg::Gv {
+                level: 0,
+                idx: 1,
+                value: 42,
+            },
             &mut ctx,
         );
         assert_eq!(

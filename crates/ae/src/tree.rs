@@ -71,7 +71,12 @@ pub fn reps(n: usize, c: usize, seed: u64, level: u32, idx: u32, value: u64) -> 
     }
     let span = r.len();
     let take = c.min(span);
-    let sampler = Sampler::new(mix(seed, &[u64::from(level), u64::from(idx)]), tags::COMMITTEE, span, take);
+    let sampler = Sampler::new(
+        mix(seed, &[u64::from(level), u64::from(idx)]),
+        tags::COMMITTEE,
+        span,
+        take,
+    );
     let mut chosen: Vec<NodeId> = sampler
         .set_for(value)
         .into_iter()
@@ -83,7 +88,15 @@ pub fn reps(n: usize, c: usize, seed: u64, level: u32, idx: u32, value: u64) -> 
 
 /// Whether `who` is a representative of `(level, idx)` under `value`.
 #[must_use]
-pub fn is_rep(n: usize, c: usize, seed: u64, level: u32, idx: u32, value: u64, who: NodeId) -> bool {
+pub fn is_rep(
+    n: usize,
+    c: usize,
+    seed: u64,
+    level: u32,
+    idx: u32,
+    value: u64,
+    who: NodeId,
+) -> bool {
     reps(n, c, seed, level, idx, value).contains(&who)
 }
 

@@ -6,9 +6,7 @@ use std::collections::BTreeSet;
 use fba_ae::{Precondition, UnknowingAssignment};
 use fba_baselines::{BenOrMsg, BenOrNode, BenOrParams, KlstMsg, KlstNode, KlstParams};
 use fba_samplers::GString;
-use fba_sim::{
-    choose_corrupt, run, Adversary, EngineConfig, Envelope, NodeId, Outbox, Step,
-};
+use fba_sim::{choose_corrupt, run, Adversary, EngineConfig, Envelope, NodeId, Outbox, Step};
 use rand_chacha::ChaCha12Rng;
 
 /// Corrupt nodes answer every KLST query with a coherent bogus string,
@@ -27,7 +25,12 @@ impl Adversary<KlstMsg> for LyingRepliers {
     fn rushing(&self) -> bool {
         true
     }
-    fn act(&mut self, _step: Step, view: Option<&[Envelope<KlstMsg>]>, out: &mut Outbox<'_, KlstMsg>) {
+    fn act(
+        &mut self,
+        _step: Step,
+        view: Option<&[Envelope<KlstMsg>]>,
+        out: &mut Outbox<'_, KlstMsg>,
+    ) {
         let Some(view) = view else { return };
         for env in view {
             if matches!(env.msg, KlstMsg::Query) && self.corrupt.contains(&env.to) {
@@ -77,7 +80,12 @@ impl Adversary<BenOrMsg> for Equivocator {
     fn rushing(&self) -> bool {
         true
     }
-    fn act(&mut self, step: Step, _view: Option<&[Envelope<BenOrMsg>]>, out: &mut Outbox<'_, BenOrMsg>) {
+    fn act(
+        &mut self,
+        step: Step,
+        _view: Option<&[Envelope<BenOrMsg>]>,
+        out: &mut Outbox<'_, BenOrMsg>,
+    ) {
         // Every other step, spray phase-stamped equivocating reports.
         if !step.is_multiple_of(2) {
             return;

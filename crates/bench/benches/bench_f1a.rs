@@ -22,11 +22,7 @@ fn bench_aer_sync(c: &mut Criterion) {
         let harness = AerHarness::from_precondition(cfg, &pre);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                black_box(harness.run(
-                    &harness.engine_sync(),
-                    9,
-                    &mut SilentAdversary::new(cfg.t),
-                ))
+                black_box(harness.run(&harness.engine_sync(), 9, &mut SilentAdversary::new(cfg.t)))
             })
         });
     }

@@ -40,8 +40,7 @@ fn bench_on_pull_fanout(c: &mut Criterion) {
     let router = scheme.pull.quorum(g.key(), origin)[0];
     c.bench_function("pull/on_pull_route_fanout", |b| {
         b.iter(|| {
-            let mut phase =
-                PullPhase::new(router, g, scheme, poll, 64, RetryPolicy::strict());
+            let mut phase = PullPhase::new(router, g, scheme, poll, 64, RetryPolicy::strict());
             black_box(phase.on_pull(origin, g, Label(5)))
         })
     });
@@ -65,5 +64,10 @@ fn bench_on_fw1(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_start_poll, bench_on_pull_fanout, bench_on_fw1);
+criterion_group!(
+    benches,
+    bench_start_poll,
+    bench_on_pull_fanout,
+    bench_on_fw1
+);
 criterion_main!(benches);

@@ -3,10 +3,14 @@
 //! computation.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fba_ae::{Precondition, UnknowingAssignment};
+use fba_core::{AerConfig, AerHarness};
 use fba_samplers::properties::{border, greedy_min_border};
-use fba_samplers::{default_quorum_size, Label, PollSampler, QuorumSampler, StringKey};
+use fba_samplers::{
+    default_quorum_size, Label, PollSampler, QuorumCache, QuorumSampler, StringKey,
+};
 use fba_sim::rng::derive_rng;
-use fba_sim::NodeId;
+use fba_sim::{NoAdversary, NodeId};
 
 fn bench_quorum_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("sampler/quorum_eval");
@@ -79,11 +83,65 @@ fn bench_border(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cached vs. uncached quorum evaluation: the memoization layer must beat
+/// recomputing Floyd sampling once keys repeat (as they do per message on
+/// the push/pull hot paths).
+fn bench_quorum_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler/contains_cached_vs_uncached");
+    for n in [256usize, 4096] {
+        let d = default_quorum_size(n, 3.0);
+        let q = QuorumSampler::new(7, fba_samplers::tags::PULL, n, d);
+        // 64 distinct keys probed round-robin: every probe after the first
+        // pass is a cache hit, matching the hot-path access pattern.
+        group.bench_with_input(BenchmarkId::new("uncached", n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let key = StringKey(i % 64);
+                black_box(q.contains(key, NodeId::from_index(3), NodeId::from_index(9)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
+            let mut cache = QuorumCache::new(q);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let key = StringKey(i % 64);
+                black_box(cache.contains(key, NodeId::from_index(3), NodeId::from_index(9)))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end AER run at n = 1024: the regression canary for the whole
+/// hot path (engine queue + scratch reuse + quorum caching together).
+fn bench_aer_end_to_end(c: &mut Criterion) {
+    let n = 1024;
+    let cfg = AerConfig::recommended(n);
+    let pre = Precondition::synthetic(
+        n,
+        cfg.string_len,
+        0.8,
+        UnknowingAssignment::RandomPerNode,
+        1,
+    );
+    let h = AerHarness::from_precondition(cfg, &pre);
+    let mut group = c.benchmark_group("aer/end_to_end");
+    group.sample_size(10);
+    group.bench_function("n1024_fault_free", |b| {
+        b.iter(|| black_box(h.run(&h.engine_sync(), 1, &mut NoAdversary).metrics.steps))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_quorum_eval,
     bench_membership,
+    bench_quorum_cache,
     bench_inverse,
-    bench_border
+    bench_border,
+    bench_aer_end_to_end
 );
 criterion_main!(benches);

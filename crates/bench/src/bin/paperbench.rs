@@ -5,26 +5,60 @@
 //! paperbench f1a-time l6    # specific experiments
 //! paperbench --quick all    # CI-sized
 //! paperbench --full all     # adds the largest system sizes
+//! paperbench bench-engine   # throughput battery -> BENCH_engine.json
 //! ```
+//!
+//! Experiment sweeps fan independent seeded runs across every core
+//! (deterministically — parallel output is bit-identical to serial; set
+//! `FBA_THREADS=1` to force serial execution).
 
 use std::process::ExitCode;
 
-use fba_bench::{run_experiment, Scope, ALL_IDS};
+use fba_bench::{engine_bench, parallelism, run_experiment, Scope, ALL_IDS};
+
+fn run_engine_bench(scope: Scope) -> ExitCode {
+    println!(
+        "bench-engine: n = {}, {} worker thread(s)…",
+        engine_bench::bench_size(scope),
+        parallelism()
+    );
+    let report = engine_bench::run(scope);
+    let json = report.to_json();
+    print!("{json}");
+    match std::fs::write("BENCH_engine.json", &json) {
+        Ok(()) => {
+            println!("wrote BENCH_engine.json");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: could not write BENCH_engine.json: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scope = Scope::Default;
     let mut ids: Vec<String> = Vec::new();
+    let mut bench_engine = false;
     for arg in &args {
         match arg.as_str() {
             "--quick" => scope = Scope::Quick,
             "--full" => scope = Scope::Full,
             "all" => ids.extend(ALL_IDS.iter().map(ToString::to_string)),
+            "bench-engine" => bench_engine = true,
             other => ids.push(other.to_string()),
         }
     }
+    if bench_engine {
+        let code = run_engine_bench(scope);
+        if ids.is_empty() || code == ExitCode::FAILURE {
+            return code;
+        }
+    }
     if ids.is_empty() {
-        eprintln!("usage: paperbench [--quick|--full] <experiment id>... | all");
+        eprintln!("usage: paperbench [--quick|--full] <experiment id>... | all | bench-engine");
         eprintln!("known ids: {}", ALL_IDS.join(", "));
         return ExitCode::FAILURE;
     }
@@ -33,7 +67,10 @@ fn main() -> ExitCode {
         match run_experiment(&id, scope) {
             Ok(table) => {
                 println!("{}", table.render());
-                println!("_(generated in {:.1?}, scope {scope:?})_\n", started.elapsed());
+                println!(
+                    "_(generated in {:.1?}, scope {scope:?})_\n",
+                    started.elapsed()
+                );
             }
             Err(err) => {
                 eprintln!("error: {err}");

@@ -1,0 +1,166 @@
+//! End-to-end engine throughput benchmark (`paperbench bench-engine`).
+//!
+//! Runs a battery of complete AER executions — fault-free and silent-`t`,
+//! several seeds each — at a scope-dependent system size, fanned across
+//! cores by [`crate::par_map`], and reports aggregate throughput:
+//! runs/sec, simulated steps/sec, delivered messages/sec, plus the peak
+//! candidate-list size observed via the inspection hook (the Lemma 4
+//! quantity, watched here so a perf regression that also distorts
+//! protocol state is visible immediately). The report is written to
+//! `BENCH_engine.json` so successive PRs accumulate a perf trajectory.
+
+use std::time::Instant;
+
+use fba_ae::{Precondition, UnknowingAssignment};
+use fba_core::{AerConfig, AerHarness};
+use fba_sim::{NoAdversary, SilentAdversary};
+
+use crate::par::{par_map, parallelism};
+use crate::scope::Scope;
+
+/// Aggregate result of one benchmark battery.
+#[derive(Clone, Debug)]
+pub struct EngineBenchReport {
+    /// System size benchmarked.
+    pub n: usize,
+    /// Completed runs.
+    pub runs: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock for the whole battery, seconds.
+    pub elapsed_sec: f64,
+    /// Runs per wall-clock second.
+    pub runs_per_sec: f64,
+    /// Simulated steps per wall-clock second.
+    pub steps_per_sec: f64,
+    /// Delivered messages per wall-clock second.
+    pub msgs_per_sec: f64,
+    /// Largest candidate list `|L_x|` observed across all runs (Lemma 4
+    /// watches this stay O(1)-ish under the default precondition).
+    pub peak_candidates: usize,
+    /// Fraction of correct nodes that decided, worst run.
+    pub min_decided_fraction: f64,
+}
+
+impl EngineBenchReport {
+    /// The report as a JSON object (stable key order, no dependencies).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"engine\",\n",
+                "  \"n\": {},\n",
+                "  \"runs\": {},\n",
+                "  \"threads\": {},\n",
+                "  \"elapsed_sec\": {:.3},\n",
+                "  \"runs_per_sec\": {:.3},\n",
+                "  \"steps_per_sec\": {:.1},\n",
+                "  \"msgs_per_sec\": {:.0},\n",
+                "  \"peak_candidates\": {},\n",
+                "  \"min_decided_fraction\": {:.4}\n",
+                "}}\n"
+            ),
+            self.n,
+            self.runs,
+            self.threads,
+            self.elapsed_sec,
+            self.runs_per_sec,
+            self.steps_per_sec,
+            self.msgs_per_sec,
+            self.peak_candidates,
+            self.min_decided_fraction,
+        )
+    }
+}
+
+/// Scope-dependent benchmark size: large enough that sampler and queue
+/// behaviour dominates, small enough for CI.
+#[must_use]
+pub fn bench_size(scope: Scope) -> usize {
+    match scope {
+        Scope::Quick => 256,
+        Scope::Default => 1024,
+        Scope::Full => 4096,
+    }
+}
+
+/// Runs the battery and returns the aggregate report.
+#[must_use]
+pub fn run(scope: Scope) -> EngineBenchReport {
+    let n = bench_size(scope);
+    let seeds = scope.seeds();
+    // (seed, silent_t) cells: fault-free and silent-t per seed.
+    let cells: Vec<(u64, bool)> = seeds
+        .iter()
+        .flat_map(|&s| [(s, false), (s, true)])
+        .collect();
+    let runs = cells.len();
+
+    let started = Instant::now();
+    let outcomes = par_map(cells, |(seed, with_faults)| {
+        let cfg = AerConfig::recommended(n);
+        let pre = Precondition::synthetic(
+            n,
+            cfg.string_len,
+            0.8,
+            UnknowingAssignment::RandomPerNode,
+            seed,
+        );
+        let h = AerHarness::from_precondition(cfg, &pre);
+        let mut peak = 0usize;
+        let inspect = |_, node: &fba_core::AerNode| {
+            peak = peak.max(node.candidates().len());
+        };
+        let out = if with_faults {
+            let mut adv = SilentAdversary::new(h.config().t);
+            h.run_inspect(&h.engine_sync(), seed, &mut adv, inspect)
+        } else {
+            h.run_inspect(&h.engine_sync(), seed, &mut NoAdversary, inspect)
+        };
+        (
+            out.metrics.steps,
+            out.metrics.total_msgs_sent(),
+            peak,
+            out.metrics.decided_fraction(),
+        )
+    });
+    let elapsed_sec = started.elapsed().as_secs_f64().max(1e-9);
+
+    let steps: u64 = outcomes.iter().map(|o| o.0).sum();
+    let msgs: u64 = outcomes.iter().map(|o| o.1).sum();
+    EngineBenchReport {
+        n,
+        runs,
+        threads: parallelism(),
+        elapsed_sec,
+        runs_per_sec: runs as f64 / elapsed_sec,
+        steps_per_sec: steps as f64 / elapsed_sec,
+        msgs_per_sec: msgs as f64 / elapsed_sec,
+        peak_candidates: outcomes.iter().map(|o| o.2).max().unwrap_or(0),
+        min_decided_fraction: outcomes.iter().map(|o| o.3).fold(1.0, f64::min),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_battery_reports_sane_numbers() {
+        let report = run(Scope::Quick);
+        assert_eq!(report.n, 256);
+        assert_eq!(report.runs, 2 * Scope::Quick.seeds().len());
+        assert!(report.runs_per_sec > 0.0);
+        assert!(report.steps_per_sec > 0.0);
+        assert!(report.msgs_per_sec > 0.0);
+        assert!(
+            report.peak_candidates >= 1,
+            "every node holds its own candidate"
+        );
+        assert!(report.min_decided_fraction > 0.5);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"engine\""));
+        assert!(json.contains("\"peak_candidates\""));
+    }
+}

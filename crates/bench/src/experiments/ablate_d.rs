@@ -10,6 +10,7 @@ use fba_ae::UnknowingAssignment;
 use fba_sim::SilentAdversary;
 
 use crate::experiments::common::{harness, KNOWING};
+use crate::par::par_map;
 use crate::scope::{mean, mean_cell, Scope};
 use crate::table::{fnum, Table};
 
@@ -24,22 +25,36 @@ pub fn table(scope: Scope) -> Table {
         "ablate-d — quorum size vs reliability and cost (strict mode)",
         &["kappa", "d", "decided %", "rounds p50", "bits/node"],
     );
-    for kappa in [1.5, 2.0, 3.0, 4.0] {
+    let kappas = [1.5, 2.0, 3.0, 4.0];
+    let seeds = scope.seeds();
+    let cells: Vec<(f64, u64)> = kappas
+        .iter()
+        .flat_map(|&k| seeds.iter().map(move |&seed| (k, seed)))
+        .collect();
+    // Independent seeded runs fan across cores; aggregation walks them in
+    // input order, matching the serial sweep bit for bit.
+    let outcomes = par_map(cells, |(kappa, seed)| {
         let d = fba_samplers::default_quorum_size(n, kappa);
-        let mut decided = Vec::new();
-        let mut p50 = Vec::new();
-        let mut bits = Vec::new();
-        for seed in scope.seeds() {
-            let (h, _) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
-                c.with_d(d).strict()
-            });
-            let out = h.run(&h.engine_sync(), seed, &mut SilentAdversary::new(h.config().t));
-            decided.push(out.metrics.decided_fraction() * 100.0);
-            if let Some(s) = out.metrics.decided_quantile(0.5) {
-                p50.push(s as f64);
-            }
-            bits.push(out.metrics.amortized_bits());
-        }
+        let (h, _) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
+            c.with_d(d).strict()
+        });
+        let out = h.run(
+            &h.engine_sync(),
+            seed,
+            &mut SilentAdversary::new(h.config().t),
+        );
+        (
+            out.metrics.decided_fraction() * 100.0,
+            out.metrics.decided_quantile(0.5).map(|s| s as f64),
+            out.metrics.amortized_bits(),
+        )
+    });
+    for (i, &kappa) in kappas.iter().enumerate() {
+        let d = fba_samplers::default_quorum_size(n, kappa);
+        let rows = &outcomes[i * seeds.len()..(i + 1) * seeds.len()];
+        let decided: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let p50: Vec<f64> = rows.iter().filter_map(|r| r.1).collect();
+        let bits: Vec<f64> = rows.iter().map(|r| r.2).collect();
         t.push_row(vec![
             fnum(kappa),
             d.to_string(),

@@ -15,6 +15,7 @@ use fba_core::adversary::{AttackContext, Corner};
 use fba_sim::{run, EngineConfig, SilentAdversary};
 
 use crate::experiments::common::{harness, log2, loglog_ratio, KNOWING};
+use crate::par::par_map;
 use crate::scope::{mean, Scope};
 use crate::table::{fnum, Table};
 
@@ -52,71 +53,93 @@ fn sweep(scope: Scope) -> Vec<SizePoint> {
     points
 }
 
+/// Everything one `(n, seed)` cell of the sweep produces. Quantiles that
+/// were never reached stay `None` and are skipped at aggregation, exactly
+/// as the serial loop skipped its `Vec::push`.
+struct SeedOutcome {
+    klst_rounds: Option<f64>,
+    klst_bits: f64,
+    klst_imb: f64,
+    sync_rounds: Option<f64>,
+    sync_bits: f64,
+    async_rounds: Option<f64>,
+    async_bits: f64,
+    aer_imb: f64,
+}
+
+fn run_cell(n: usize, seed: u64) -> SeedOutcome {
+    let t = (n as f64 * 0.15) as usize;
+
+    // --- KLST-style baseline (load-balanced, slow, heavy) ---
+    let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| c);
+    let params = KlstParams::recommended(n);
+    let engine = EngineConfig {
+        max_steps: params.schedule_len() + 8,
+        ..EngineConfig::sync(n)
+    };
+    let mut adv = SilentAdversary::new(t);
+    let out = run::<KlstNode, _, _>(&engine, seed, &mut adv, |id| {
+        KlstNode::new(params, pre.assignments[id.index()])
+    });
+    let klst_rounds = out.metrics.decided_quantile(0.5).map(|s| s as f64);
+    let klst_bits = out.metrics.amortized_bits();
+    let klst_imb = out.metrics.recv_load().imbalance;
+
+    // --- AER, synchronous, non-rushing (silent t) ---
+    let out = h.run(&h.engine_sync(), seed, &mut SilentAdversary::new(t));
+    let sync_rounds = out.metrics.decided_quantile(0.5).map(|s| s as f64);
+    let sync_bits = out.metrics.amortized_bits();
+
+    // --- AER, asynchronous, rushing cornering adversary ---
+    let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
+        c.strict()
+    });
+    let ctx = AttackContext::new(&h, pre.gstring);
+    let mut corner = Corner::new(ctx, 256);
+    let out = h.run(&h.engine_async(1), seed, &mut corner);
+    // Strict mode strands the θ-fraction of unlucky poll lists, so the
+    // median is the robust time statistic here (l6 reports the tail
+    // separately).
+    SeedOutcome {
+        klst_rounds,
+        klst_bits,
+        klst_imb,
+        sync_rounds,
+        sync_bits,
+        async_rounds: out.metrics.decided_quantile(0.5).map(|s| s as f64),
+        async_bits: out.metrics.amortized_bits(),
+        aer_imb: out.metrics.recv_load().imbalance,
+    }
+}
+
 fn sweep_uncached(scope: Scope) -> Vec<SizePoint> {
+    // Fan every (n, seed) cell across cores; each cell is a pure function
+    // of its inputs, and aggregation walks results in input order, so the
+    // table is bit-identical to the serial sweep (FBA_THREADS=1).
+    let sizes = scope.aer_sizes();
+    let seeds = scope.seeds();
+    let cells: Vec<(usize, u64)> = sizes
+        .iter()
+        .flat_map(|&n| seeds.iter().map(move |&seed| (n, seed)))
+        .collect();
+    let outcomes = par_map(cells, |(n, seed)| run_cell(n, seed));
+
     let mut points = Vec::new();
-    for n in scope.aer_sizes() {
-        let t = (n as f64 * 0.15) as usize;
-        let mut klst_rounds = Vec::new();
-        let mut klst_bits = Vec::new();
-        let mut klst_imb = Vec::new();
-        let mut sync_rounds = Vec::new();
-        let mut sync_bits = Vec::new();
-        let mut async_rounds = Vec::new();
-        let mut async_bits = Vec::new();
-        let mut aer_imb = Vec::new();
-
-        for seed in scope.seeds() {
-            // --- KLST-style baseline (load-balanced, slow, heavy) ---
-            let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| c);
-            let params = KlstParams::recommended(n);
-            let engine = EngineConfig {
-                max_steps: params.schedule_len() + 8,
-                ..EngineConfig::sync(n)
-            };
-            let mut adv = SilentAdversary::new(t);
-            let out = run::<KlstNode, _, _>(&engine, seed, &mut adv, |id| {
-                KlstNode::new(params, pre.assignments[id.index()])
-            });
-            if let Some(steps) = out.metrics.decided_quantile(0.5) {
-                klst_rounds.push(steps as f64);
-            }
-            klst_bits.push(out.metrics.amortized_bits());
-            klst_imb.push(out.metrics.recv_load().imbalance);
-
-            // --- AER, synchronous, non-rushing (silent t) ---
-            let out = h.run(&h.engine_sync(), seed, &mut SilentAdversary::new(t));
-            if let Some(steps) = out.metrics.decided_quantile(0.5) {
-                sync_rounds.push(steps as f64);
-            }
-            sync_bits.push(out.metrics.amortized_bits());
-
-            // --- AER, asynchronous, rushing cornering adversary ---
-            let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
-                c.strict()
-            });
-            let ctx = AttackContext::new(&h, pre.gstring);
-            let mut corner = Corner::new(ctx, 256);
-            let out = h.run(&h.engine_async(1), seed, &mut corner);
-            // Strict mode strands the θ-fraction of unlucky poll lists, so
-            // the median is the robust time statistic here (l6 reports the
-            // tail separately).
-            if let Some(steps) = out.metrics.decided_quantile(0.5) {
-                async_rounds.push(steps as f64);
-            }
-            async_bits.push(out.metrics.amortized_bits());
-            aer_imb.push(out.metrics.recv_load().imbalance);
-        }
-
+    for (i, &n) in sizes.iter().enumerate() {
+        let rows = &outcomes[i * seeds.len()..(i + 1) * seeds.len()];
+        let collect = |f: &dyn Fn(&SeedOutcome) -> Option<f64>| -> Vec<f64> {
+            rows.iter().filter_map(f).collect()
+        };
         points.push(SizePoint {
             n,
-            klst_rounds: mean(&klst_rounds),
-            klst_bits: mean(&klst_bits),
-            klst_imbalance: mean(&klst_imb),
-            aer_sync_rounds: mean(&sync_rounds),
-            aer_sync_bits: mean(&sync_bits),
-            aer_async_rounds: mean(&async_rounds),
-            aer_async_bits: mean(&async_bits),
-            aer_imbalance: mean(&aer_imb),
+            klst_rounds: mean(&collect(&|r| r.klst_rounds)),
+            klst_bits: mean(&collect(&|r| Some(r.klst_bits))),
+            klst_imbalance: mean(&collect(&|r| Some(r.klst_imb))),
+            aer_sync_rounds: mean(&collect(&|r| r.sync_rounds)),
+            aer_sync_bits: mean(&collect(&|r| Some(r.sync_bits))),
+            aer_async_rounds: mean(&collect(&|r| r.async_rounds)),
+            aer_async_bits: mean(&collect(&|r| Some(r.async_bits))),
+            aer_imbalance: mean(&collect(&|r| Some(r.aer_imb))),
         });
     }
     points

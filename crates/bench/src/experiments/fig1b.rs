@@ -14,6 +14,7 @@ use fba_core::{run_ba, BaConfig};
 use fba_sim::{run, EngineConfig, SilentAdversary};
 use rand::Rng;
 
+use crate::par::par_map;
 use crate::scope::{mean, Scope};
 use crate::table::{fnum, Table};
 
@@ -22,109 +23,136 @@ use crate::table::{fnum, Table};
 pub fn table(scope: Scope) -> Table {
     let mut t = Table::new(
         "f1b — Fig. 1b: Byzantine Agreement protocols (mean over seeds)",
-        &["protocol", "n", "rounds", "bits/node", "msgs/node", "tolerates"],
+        &[
+            "protocol",
+            "n",
+            "rounds",
+            "bits/node",
+            "msgs/node",
+            "tolerates",
+        ],
     );
 
-    // --- BA = AE + AER (this paper) ---
-    for n in scope.aer_sizes() {
-        let mut rounds = Vec::new();
-        let mut bits = Vec::new();
-        let mut msgs = Vec::new();
-        for seed in scope.seeds() {
-            let cfg = BaConfig::recommended(n);
-            let t_faults = cfg.aer.t.min(n / 8);
-            let mut ae_adv = SilentAdversary::new(t_faults);
-            let (report, ae, aer_run) = run_ba(
-                &cfg,
-                seed,
-                &mut ae_adv,
-                |_, _| SilentAdversary::new(t_faults),
-                None,
-            );
-            if let Some(aer_rounds) = aer_run.metrics.decided_quantile(0.95) {
-                rounds.push((report.ae_rounds + aer_rounds) as f64);
-            }
-            bits.push(report.ae_bits_per_node + report.aer_bits_per_node);
-            msgs.push(
-                (ae.run.metrics.correct_msgs_sent() + aer_run.metrics.correct_msgs_sent()) as f64
-                    / n as f64,
-            );
+    // One parallel fan-out per protocol family; each (n, seed) cell is an
+    // independent seeded run, and rows aggregate cells in input order, so
+    // the table matches the serial sweep exactly.
+    let cells = |sizes: Vec<usize>, seeds: Vec<u64>| -> Vec<(usize, u64)> {
+        sizes
+            .iter()
+            .flat_map(|&n| seeds.iter().map(move |&seed| (n, seed)))
+            .collect()
+    };
+    let push_rows = |t: &mut Table,
+                     protocol: &str,
+                     tolerates: &str,
+                     sizes: &[usize],
+                     per_seed: usize,
+                     outcomes: &[(Option<f64>, f64, f64)]| {
+        for (i, &n) in sizes.iter().enumerate() {
+            let rows = &outcomes[i * per_seed..(i + 1) * per_seed];
+            let rounds: Vec<f64> = rows.iter().filter_map(|r| r.0).collect();
+            let bits: Vec<f64> = rows.iter().map(|r| r.1).collect();
+            let msgs: Vec<f64> = rows.iter().map(|r| r.2).collect();
+            t.push_row(vec![
+                protocol.into(),
+                n.to_string(),
+                fnum(mean(&rounds)),
+                fnum(mean(&bits)),
+                fnum(mean(&msgs)),
+                tolerates.into(),
+            ]);
         }
-        t.push_row(vec![
-            "BA (this paper)".into(),
-            n.to_string(),
-            fnum(mean(&rounds)),
-            fnum(mean(&bits)),
-            fnum(mean(&msgs)),
-            "t < (1/3-ε)n".into(),
-        ]);
-    }
+    };
+
+    // --- BA = AE + AER (this paper) ---
+    let sizes = scope.aer_sizes();
+    let seeds = scope.seeds();
+    let outcomes = par_map(cells(sizes.clone(), seeds.clone()), |(n, seed)| {
+        let cfg = BaConfig::recommended(n);
+        let t_faults = cfg.aer.t.min(n / 8);
+        let mut ae_adv = SilentAdversary::new(t_faults);
+        let (report, ae, aer_run) = run_ba(
+            &cfg,
+            seed,
+            &mut ae_adv,
+            |_, _| SilentAdversary::new(t_faults),
+            None,
+        );
+        (
+            aer_run
+                .metrics
+                .decided_quantile(0.95)
+                .map(|r| (report.ae_rounds + r) as f64),
+            report.ae_bits_per_node + report.aer_bits_per_node,
+            (ae.run.metrics.correct_msgs_sent() + aer_run.metrics.correct_msgs_sent()) as f64
+                / n as f64,
+        )
+    });
+    push_rows(
+        &mut t,
+        "BA (this paper)",
+        "t < (1/3-ε)n",
+        &sizes,
+        seeds.len(),
+        &outcomes,
+    );
 
     // --- Ben-Or (randomized, binary) ---
-    for n in scope.aer_sizes() {
-        let mut rounds = Vec::new();
-        let mut bits = Vec::new();
-        let mut msgs = Vec::new();
-        for seed in scope.seeds() {
-            let params = BenOrParams::recommended(n);
-            let engine = EngineConfig {
-                max_steps: 400,
-                ..EngineConfig::sync(n)
-            };
-            let mut rng = fba_sim::rng::derive_rng(seed, &[0xb0]);
-            let inputs: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.9)).collect();
-            let mut adv = SilentAdversary::new(params.t);
-            let out = run::<BenOrNode, _, _>(&engine, seed, &mut adv, |id| {
-                BenOrNode::new(params, n, inputs[id.index()])
-            });
-            if let Some(steps) = out.metrics.decided_quantile(0.95) {
-                rounds.push(steps as f64);
-            }
-            bits.push(out.metrics.amortized_bits());
-            msgs.push(out.metrics.correct_msgs_sent() as f64 / n as f64);
-        }
-        t.push_row(vec![
-            "Ben-Or [BO83]".into(),
-            n.to_string(),
-            fnum(mean(&rounds)),
-            fnum(mean(&bits)),
-            fnum(mean(&msgs)),
-            "t < n/5".into(),
-        ]);
-    }
+    let outcomes = par_map(cells(sizes.clone(), seeds.clone()), |(n, seed)| {
+        let params = BenOrParams::recommended(n);
+        let engine = EngineConfig {
+            max_steps: 400,
+            ..EngineConfig::sync(n)
+        };
+        let mut rng = fba_sim::rng::derive_rng(seed, &[0xb0]);
+        let inputs: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.9)).collect();
+        let mut adv = SilentAdversary::new(params.t);
+        let out = run::<BenOrNode, _, _>(&engine, seed, &mut adv, |id| {
+            BenOrNode::new(params, n, inputs[id.index()])
+        });
+        (
+            out.metrics.decided_quantile(0.95).map(|s| s as f64),
+            out.metrics.amortized_bits(),
+            out.metrics.correct_msgs_sent() as f64 / n as f64,
+        )
+    });
+    push_rows(
+        &mut t,
+        "Ben-Or [BO83]",
+        "t < n/5",
+        &sizes,
+        seeds.len(),
+        &outcomes,
+    );
 
     // --- Phase-King (deterministic) ---
-    for n in scope.king_sizes() {
-        let mut rounds = Vec::new();
-        let mut bits = Vec::new();
-        let mut msgs = Vec::new();
-        for seed in scope.seeds() {
-            let params = KingParams::recommended(n);
-            let engine = EngineConfig {
-                max_steps: params.schedule_len() + 8,
-                ..EngineConfig::sync(n)
-            };
-            let mut rng = fba_sim::rng::derive_rng(seed, &[0xb1]);
-            let inputs: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
-            let mut adv = SilentAdversary::new(params.t / 2);
-            let out = run::<KingNode, _, _>(&engine, seed, &mut adv, |id| {
-                KingNode::new(params, n, inputs[id.index()])
-            });
-            if let Some(steps) = out.metrics.decided_quantile(0.95) {
-                rounds.push(steps as f64);
-            }
-            bits.push(out.metrics.amortized_bits());
-            msgs.push(out.metrics.correct_msgs_sent() as f64 / n as f64);
-        }
-        t.push_row(vec![
-            "Phase-King (determ.)".into(),
-            n.to_string(),
-            fnum(mean(&rounds)),
-            fnum(mean(&bits)),
-            fnum(mean(&msgs)),
-            "t < n/4".into(),
-        ]);
-    }
+    let king_sizes = scope.king_sizes();
+    let outcomes = par_map(cells(king_sizes.clone(), seeds.clone()), |(n, seed)| {
+        let params = KingParams::recommended(n);
+        let engine = EngineConfig {
+            max_steps: params.schedule_len() + 8,
+            ..EngineConfig::sync(n)
+        };
+        let mut rng = fba_sim::rng::derive_rng(seed, &[0xb1]);
+        let inputs: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let mut adv = SilentAdversary::new(params.t / 2);
+        let out = run::<KingNode, _, _>(&engine, seed, &mut adv, |id| {
+            KingNode::new(params, n, inputs[id.index()])
+        });
+        (
+            out.metrics.decided_quantile(0.95).map(|s| s as f64),
+            out.metrics.amortized_bits(),
+            out.metrics.correct_msgs_sent() as f64 / n as f64,
+        )
+    });
+    push_rows(
+        &mut t,
+        "Phase-King (determ.)",
+        "t < n/4",
+        &king_sizes,
+        seeds.len(),
+        &outcomes,
+    );
 
     t.note("paper Fig. 1b: BA is polylog in both time and bits; Ben-Or is Θ(n) bits/node per");
     t.note("phase; deterministic protocols pay Θ(n) rounds (t+1 lower bound).");

@@ -10,6 +10,7 @@ use fba_core::trace::{push_votes_at, request_flow};
 use fba_sim::{NoAdversary, NodeId};
 
 use crate::experiments::common::{harness, KNOWING};
+use crate::par::par_map;
 use crate::scope::Scope;
 use crate::table::{fnum, Table};
 
@@ -42,10 +43,13 @@ pub fn f2a(scope: Scope) -> Table {
         .iter()
         .find(|s| **s != pre.gstring)
         .expect("bogus block exists");
-    for &x in &witnesses {
+    // Each witness's vote tally scans the whole transcript; fan the
+    // witnesses across cores (read-only over one recorded run).
+    let tallies = par_map(witnesses.clone(), |x| {
         let votes = push_votes_at(&out.transcript, x, &scheme);
-        let g_count = votes.votes_for(&pre.gstring);
-        let bad_count = votes.votes_for(bogus);
+        (x, votes.votes_for(&pre.gstring), votes.votes_for(bogus))
+    });
+    for (x, g_count, bad_count) in tallies {
         for (label, count) in [("s1 = gstring", g_count), ("s2 (shared bogus)", bad_count)] {
             t.push_row(vec![
                 x.to_string(),

@@ -49,14 +49,11 @@ pub fn table(scope: Scope) -> Table {
                 let out = run_ae_with(&cfg, seed, &mut NoAdversary, &rigged, 0);
                 knowing.push(out.knowing_fraction * 100.0);
                 if let Some(committee) = &out.supreme_committee {
-                    let rigged_members =
-                        committee.iter().filter(|m| rigged.contains(m)).count();
-                    committee_rigged
-                        .push(rigged_members as f64 / committee.len() as f64 * 100.0);
+                    let rigged_members = committee.iter().filter(|m| rigged.contains(m)).count();
+                    committee_rigged.push(rigged_members as f64 / committee.len() as f64 * 100.0);
                     // Each member controls an equal slice of gstring.
                     let per = cfg.string_len.div_ceil(committee.len());
-                    let controlled_bits =
-                        (rigged_members * per).min(cfg.string_len) as f64;
+                    let controlled_bits = (rigged_members * per).min(cfg.string_len) as f64;
                     controlled.push(controlled_bits / cfg.string_len as f64 * 100.0);
                 }
             }

@@ -3,7 +3,9 @@
 //! summary (L9).
 
 use fba_ae::UnknowingAssignment;
-use fba_core::adversary::{AttackContext, BadString, Corner, Equivocate, PushFlood, RandomStringFlood};
+use fba_core::adversary::{
+    AttackContext, BadString, Corner, Equivocate, PushFlood, RandomStringFlood,
+};
 use fba_core::AerMsg;
 use fba_samplers::GString;
 use fba_sim::{Adversary, NoAdversary, SilentAdversary};
@@ -21,7 +23,14 @@ use crate::table::{fnum, Table};
 pub fn l3(scope: Scope) -> Table {
     let mut t = Table::new(
         "l3 — Lemma 3: push cost per correct node",
-        &["n", "d", "msgs/node (mean)", "msgs/node (max)", "bits/node", "ref log²n"],
+        &[
+            "n",
+            "d",
+            "msgs/node (mean)",
+            "msgs/node (max)",
+            "bits/node",
+            "ref log²n",
+        ],
     );
     for n in scope.light_sizes() {
         let mut means = Vec::new();
@@ -78,14 +87,14 @@ pub fn l4(scope: Scope) -> Table {
             let mut totals = Vec::new();
             let mut maxes = Vec::new();
             for seed in scope.seeds().into_iter().take(3) {
-                let (h, pre) =
-                    harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| c);
+                let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| c);
                 let ctx = AttackContext::new(&h, pre.gstring);
                 let bad = GString::random(
                     h.config().string_len,
                     &mut fba_sim::rng::derive_rng(seed, &[0xbad]),
                 );
-                let collect = |_id: fba_sim::NodeId, node: &fba_core::AerNode| node.candidates().len();
+                let collect =
+                    |_id: fba_sim::NodeId, node: &fba_core::AerNode| node.candidates().len();
                 let engine = h.engine_sync();
                 let run_with = |adv: &mut dyn Adversary<AerMsg>| {
                     let mut local = Vec::new();
@@ -122,7 +131,12 @@ pub fn l4(scope: Scope) -> Table {
 pub fn l5(scope: Scope) -> Table {
     let mut t = Table::new(
         "l5 — Lemma 5: gstring lands in every candidate list",
-        &["n", "runs", "nodes missing gstring", "fraction with gstring"],
+        &[
+            "n",
+            "runs",
+            "nodes missing gstring",
+            "fraction with gstring",
+        ],
     );
     for n in scope.aer_sizes() {
         let mut missing_total = 0usize;
@@ -134,12 +148,17 @@ pub fn l5(scope: Scope) -> Table {
             let engine = h.engine_sync();
             let mut missing = 0usize;
             let mut counted = 0usize;
-            let _ = h.run_inspect(&engine, *seed, &mut SilentAdversary::new(h.config().t), |_, node| {
-                counted += 1;
-                if !node.candidates().contains(&g) {
-                    missing += 1;
-                }
-            });
+            let _ = h.run_inspect(
+                &engine,
+                *seed,
+                &mut SilentAdversary::new(h.config().t),
+                |_, node| {
+                    counted += 1;
+                    if !node.candidates().contains(&g) {
+                        missing += 1;
+                    }
+                },
+            );
             missing_total += missing;
             nodes_total += counted;
         }
@@ -199,7 +218,10 @@ pub fn l7(scope: Scope) -> Table {
             let ctx = AttackContext::new(&h, g);
             let tbudget = h.config().t;
             let (engine, outcome) = match name {
-                "none" => (h.engine_sync(), h.run(&h.engine_sync(), *seed, &mut NoAdversary)),
+                "none" => (
+                    h.engine_sync(),
+                    h.run(&h.engine_sync(), *seed, &mut NoAdversary),
+                ),
                 "silent-t" => (
                     h.engine_sync(),
                     h.run(&h.engine_sync(), *seed, &mut SilentAdversary::new(tbudget)),
@@ -214,19 +236,35 @@ pub fn l7(scope: Scope) -> Table {
                 ),
                 "push-flood" => (
                     h.engine_sync(),
-                    h.run(&h.engine_sync(), *seed, &mut PushFlood::new(ctx.clone(), bad)),
+                    h.run(
+                        &h.engine_sync(),
+                        *seed,
+                        &mut PushFlood::new(ctx.clone(), bad),
+                    ),
                 ),
                 "equivocate" => (
                     h.engine_sync(),
-                    h.run(&h.engine_sync(), *seed, &mut Equivocate::new(ctx.clone(), 8)),
+                    h.run(
+                        &h.engine_sync(),
+                        *seed,
+                        &mut Equivocate::new(ctx.clone(), 8),
+                    ),
                 ),
                 "bad-string" => (
                     h.engine_sync(),
-                    h.run(&h.engine_sync(), *seed, &mut BadString::new(ctx.clone(), bad)),
+                    h.run(
+                        &h.engine_sync(),
+                        *seed,
+                        &mut BadString::new(ctx.clone(), bad),
+                    ),
                 ),
                 _ => (
                     h.engine_async(1),
-                    h.run(&h.engine_async(1), *seed, &mut Corner::new(ctx.clone(), 256)),
+                    h.run(
+                        &h.engine_async(1),
+                        *seed,
+                        &mut Corner::new(ctx.clone(), 256),
+                    ),
                 ),
             };
             let _ = engine;
@@ -253,7 +291,14 @@ pub fn l7(scope: Scope) -> Table {
 pub fn l9(scope: Scope) -> Table {
     let mut t = Table::new(
         "l9 — Lemma 9: AER end-to-end, synchronous, non-rushing",
-        &["n", "decided %", "rounds p50", "rounds p95", "msgs total / n", "ref log³n"],
+        &[
+            "n",
+            "decided %",
+            "rounds p50",
+            "rounds p95",
+            "msgs total / n",
+            "ref log³n",
+        ],
     );
     for n in scope.aer_sizes() {
         let mut decided = Vec::new();
@@ -262,7 +307,11 @@ pub fn l9(scope: Scope) -> Table {
         let mut msgs = Vec::new();
         for seed in scope.seeds() {
             let (h, _) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| c);
-            let out = h.run(&h.engine_sync(), seed, &mut SilentAdversary::new(h.config().t));
+            let out = h.run(
+                &h.engine_sync(),
+                seed,
+                &mut SilentAdversary::new(h.config().t),
+            );
             decided.push(out.metrics.decided_fraction() * 100.0);
             if let Some(s) = out.metrics.decided_quantile(0.5) {
                 p50.push(s as f64);
@@ -307,7 +356,10 @@ mod tests {
         let t = l4(Scope::Quick);
         for row in &t.rows {
             let per_node: f64 = row[2].parse().unwrap();
-            assert!(per_node < 4.0, "Σ|Lx|/n should be a small constant: {row:?}");
+            assert!(
+                per_node < 4.0,
+                "Σ|Lx|/n should be a small constant: {row:?}"
+            );
         }
     }
 

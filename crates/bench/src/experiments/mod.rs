@@ -4,10 +4,10 @@
 pub mod ablate_d;
 pub mod ae_exp;
 pub mod common;
-pub mod gbits;
 pub mod fig1a;
 pub mod fig1b;
 pub mod fig2;
+pub mod gbits;
 pub mod lemmas;
 pub mod s41;
 pub mod timing;
@@ -17,8 +17,25 @@ use crate::table::Table;
 
 /// All experiment ids, in presentation order.
 pub const ALL_IDS: &[&str] = &[
-    "f1a-time", "f1a-bits", "f1a-load", "f1b", "f2a", "f2b", "l3", "l4", "l5", "l6", "l7", "l8",
-    "l9", "l10", "s41", "ae", "gbits", "ablate-cap", "ablate-d",
+    "f1a-time",
+    "f1a-bits",
+    "f1a-load",
+    "f1b",
+    "f2a",
+    "f2b",
+    "l3",
+    "l4",
+    "l5",
+    "l6",
+    "l7",
+    "l8",
+    "l9",
+    "l10",
+    "s41",
+    "ae",
+    "gbits",
+    "ablate-cap",
+    "ablate-d",
 ];
 
 /// Runs one experiment by id.

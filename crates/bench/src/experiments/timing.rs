@@ -7,6 +7,7 @@ use fba_core::adversary::{AttackContext, Corner};
 use fba_sim::SilentAdversary;
 
 use crate::experiments::common::{harness, loglog_ratio, KNOWING};
+use crate::par::par_map;
 use crate::scope::{mean, mean_cell, Scope};
 use crate::table::{fnum, Table};
 
@@ -34,43 +35,52 @@ pub fn l6(scope: Scope) -> Table {
             "ref logn/loglogn",
         ],
     );
+    let seeds = scope.seeds();
+    let mut configs: Vec<(usize, &str, u64)> = Vec::new();
     for n in scope.aer_sizes() {
         let d = fba_samplers::default_quorum_size(n, 3.0) as u64;
         let log = u64::from(fba_sim::ceil_log2(n)).max(1);
-        for (cap_name, cap) in [("1.5d", d + d / 2), ("log²n", (log * log).max(4))] {
-            let mut decided = Vec::new();
-            let mut p50 = Vec::new();
-            let mut p75 = Vec::new();
-            let mut depth = Vec::new();
-            let mut targets = Vec::new();
-            for seed in scope.seeds() {
-                let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
-                    c.with_overload_cap(cap).strict()
-                });
-                let ctx = AttackContext::new(&h, pre.gstring);
-                let mut corner = Corner::new(ctx, 512);
-                let out = h.run(&h.engine_async(1), seed, &mut corner);
-                decided.push(out.metrics.decided_fraction() * 100.0);
-                if let Some(s) = out.metrics.decided_quantile(0.5) {
-                    p50.push(s as f64);
-                }
-                if let Some(s) = out.metrics.decided_quantile(0.75) {
-                    p75.push(s as f64);
-                }
-                depth.push(corner.report().planned_depth as f64);
-                targets.push(corner.report().overload_targets as f64);
-            }
-            t.push_row(vec![
-                n.to_string(),
-                cap_name.into(),
-                fnum(mean(&decided)),
-                mean_cell(&p50),
-                mean_cell(&p75),
-                fnum(mean(&depth)),
-                fnum(mean(&targets)),
-                fnum(loglog_ratio(n)),
-            ]);
-        }
+        configs.push((n, "1.5d", d + d / 2));
+        configs.push((n, "log²n", (log * log).max(4)));
+    }
+    let cells: Vec<(usize, u64, u64)> = configs
+        .iter()
+        .flat_map(|&(n, _, cap)| seeds.iter().map(move |&seed| (n, cap, seed)))
+        .collect();
+    // Fan the (n, cap, seed) grid across cores (pure seeded runs;
+    // aggregation in input order == serial sweep).
+    let outcomes = par_map(cells, |(n, cap, seed)| {
+        let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
+            c.with_overload_cap(cap).strict()
+        });
+        let ctx = AttackContext::new(&h, pre.gstring);
+        let mut corner = Corner::new(ctx, 512);
+        let out = h.run(&h.engine_async(1), seed, &mut corner);
+        (
+            out.metrics.decided_fraction() * 100.0,
+            out.metrics.decided_quantile(0.5).map(|s| s as f64),
+            out.metrics.decided_quantile(0.75).map(|s| s as f64),
+            corner.report().planned_depth as f64,
+            corner.report().overload_targets as f64,
+        )
+    });
+    for (i, &(n, cap_name, _)) in configs.iter().enumerate() {
+        let rows = &outcomes[i * seeds.len()..(i + 1) * seeds.len()];
+        let decided: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let p50: Vec<f64> = rows.iter().filter_map(|r| r.1).collect();
+        let p75: Vec<f64> = rows.iter().filter_map(|r| r.2).collect();
+        let depth: Vec<f64> = rows.iter().map(|r| r.3).collect();
+        let targets: Vec<f64> = rows.iter().map(|r| r.4).collect();
+        t.push_row(vec![
+            n.to_string(),
+            cap_name.into(),
+            fnum(mean(&decided)),
+            mean_cell(&p50),
+            mean_cell(&p75),
+            fnum(mean(&depth)),
+            fnum(mean(&targets)),
+            fnum(loglog_ratio(n)),
+        ]);
     }
     t.note("paper: answers within O(log n / log log n) async steps. The attack budget is");
     t.note("t·d/cap node-overloads; at log²n caps it only bites for n far beyond simulation,");
@@ -94,26 +104,33 @@ pub fn ablate_cap(scope: Scope) -> Table {
         "ablate-cap — why Algorithm 3's valve is log²n: decided fraction vs cap",
         &["cap", "cap value", "decided %", "rounds p50"],
     );
-    for (name, cap) in [
+    let caps = [
         ("d/2 (below load)", d / 2),
         ("d (at load)", d),
         ("1.5d", d + d / 2),
         ("log²n (paper)", (log * log).max(4)),
-    ] {
-        let mut decided = Vec::new();
-        let mut p50 = Vec::new();
-        for seed in scope.seeds() {
-            let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
-                c.with_overload_cap(cap.max(1)).strict()
-            });
-            let ctx = AttackContext::new(&h, pre.gstring);
-            let mut corner = Corner::new(ctx, 256);
-            let out = h.run(&h.engine_async(1), seed, &mut corner);
-            decided.push(out.metrics.decided_fraction() * 100.0);
-            if let Some(s) = out.metrics.decided_quantile(0.5) {
-                p50.push(s as f64);
-            }
-        }
+    ];
+    let seeds = scope.seeds();
+    let cells: Vec<(u64, u64)> = caps
+        .iter()
+        .flat_map(|&(_, cap)| seeds.iter().map(move |&seed| (cap, seed)))
+        .collect();
+    let outcomes = par_map(cells, |(cap, seed)| {
+        let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
+            c.with_overload_cap(cap.max(1)).strict()
+        });
+        let ctx = AttackContext::new(&h, pre.gstring);
+        let mut corner = Corner::new(ctx, 256);
+        let out = h.run(&h.engine_async(1), seed, &mut corner);
+        (
+            out.metrics.decided_fraction() * 100.0,
+            out.metrics.decided_quantile(0.5).map(|s| s as f64),
+        )
+    });
+    for (i, &(name, cap)) in caps.iter().enumerate() {
+        let rows = &outcomes[i * seeds.len()..(i + 1) * seeds.len()];
+        let decided: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let p50: Vec<f64> = rows.iter().filter_map(|r| r.1).collect();
         t.push_row(vec![
             name.into(),
             cap.to_string(),
@@ -136,23 +153,32 @@ pub fn l8(scope: Scope) -> Table {
         "l8 — Lemma 8: sync non-rushing completion time (strict mode)",
         &["n", "decided %", "rounds p50", "rounds p75"],
     );
-    for n in scope.aer_sizes() {
-        let mut decided = Vec::new();
-        let mut p50 = Vec::new();
-        let mut p75 = Vec::new();
-        for seed in scope.seeds() {
-            let (h, _) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
-                c.strict()
-            });
-            let out = h.run(&h.engine_sync(), seed, &mut SilentAdversary::new(h.config().t));
-            decided.push(out.metrics.decided_fraction() * 100.0);
-            if let Some(s) = out.metrics.decided_quantile(0.5) {
-                p50.push(s as f64);
-            }
-            if let Some(s) = out.metrics.decided_quantile(0.75) {
-                p75.push(s as f64);
-            }
-        }
+    let sizes = scope.aer_sizes();
+    let seeds = scope.seeds();
+    let cells: Vec<(usize, u64)> = sizes
+        .iter()
+        .flat_map(|&n| seeds.iter().map(move |&seed| (n, seed)))
+        .collect();
+    let outcomes = par_map(cells, |(n, seed)| {
+        let (h, _) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
+            c.strict()
+        });
+        let out = h.run(
+            &h.engine_sync(),
+            seed,
+            &mut SilentAdversary::new(h.config().t),
+        );
+        (
+            out.metrics.decided_fraction() * 100.0,
+            out.metrics.decided_quantile(0.5).map(|s| s as f64),
+            out.metrics.decided_quantile(0.75).map(|s| s as f64),
+        )
+    });
+    for (i, &n) in sizes.iter().enumerate() {
+        let rows = &outcomes[i * seeds.len()..(i + 1) * seeds.len()];
+        let decided: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let p50: Vec<f64> = rows.iter().filter_map(|r| r.1).collect();
+        let p75: Vec<f64> = rows.iter().filter_map(|r| r.2).collect();
         t.push_row(vec![
             n.to_string(),
             fnum(mean(&decided)),
@@ -173,31 +199,41 @@ pub fn l8(scope: Scope) -> Table {
 pub fn l10(scope: Scope) -> Table {
     let mut t = Table::new(
         "l10 — Lemma 10: async end-to-end with liveness extensions on",
-        &["n", "decided %", "rounds p50", "rounds p95", "rounds max", "msgs total / n"],
+        &[
+            "n",
+            "decided %",
+            "rounds p50",
+            "rounds p95",
+            "rounds max",
+            "msgs total / n",
+        ],
     );
-    for n in scope.aer_sizes() {
-        let mut decided = Vec::new();
-        let mut p50 = Vec::new();
-        let mut p95 = Vec::new();
-        let mut pmax = Vec::new();
-        let mut msgs = Vec::new();
-        for seed in scope.seeds() {
-            let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| c);
-            let ctx = AttackContext::new(&h, pre.gstring);
-            let mut corner = Corner::new(ctx, 512);
-            let out = h.run(&h.engine_async(1), seed, &mut corner);
-            decided.push(out.metrics.decided_fraction() * 100.0);
-            if let Some(s) = out.metrics.decided_quantile(0.5) {
-                p50.push(s as f64);
-            }
-            if let Some(s) = out.metrics.decided_quantile(0.95) {
-                p95.push(s as f64);
-            }
-            if let Some(s) = out.all_decided_at {
-                pmax.push(s as f64);
-            }
-            msgs.push(out.metrics.correct_msgs_sent() as f64 / n as f64);
-        }
+    let sizes = scope.aer_sizes();
+    let seeds = scope.seeds();
+    let cells: Vec<(usize, u64)> = sizes
+        .iter()
+        .flat_map(|&n| seeds.iter().map(move |&seed| (n, seed)))
+        .collect();
+    let outcomes = par_map(cells, |(n, seed)| {
+        let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| c);
+        let ctx = AttackContext::new(&h, pre.gstring);
+        let mut corner = Corner::new(ctx, 512);
+        let out = h.run(&h.engine_async(1), seed, &mut corner);
+        (
+            out.metrics.decided_fraction() * 100.0,
+            out.metrics.decided_quantile(0.5).map(|s| s as f64),
+            out.metrics.decided_quantile(0.95).map(|s| s as f64),
+            out.all_decided_at.map(|s| s as f64),
+            out.metrics.correct_msgs_sent() as f64 / n as f64,
+        )
+    });
+    for (i, &n) in sizes.iter().enumerate() {
+        let rows = &outcomes[i * seeds.len()..(i + 1) * seeds.len()];
+        let decided: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let p50: Vec<f64> = rows.iter().filter_map(|r| r.1).collect();
+        let p95: Vec<f64> = rows.iter().filter_map(|r| r.2).collect();
+        let pmax: Vec<f64> = rows.iter().filter_map(|r| r.3).collect();
+        let msgs: Vec<f64> = rows.iter().map(|r| r.4).collect();
         t.push_row(vec![
             n.to_string(),
             fnum(mean(&decided)),

@@ -9,10 +9,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine_bench;
 pub mod experiments;
+pub mod par;
 pub mod scope;
 pub mod table;
 
 pub use experiments::{run_experiment, ALL_IDS};
+pub use par::{par_map, parallelism};
 pub use scope::Scope;
 pub use table::Table;

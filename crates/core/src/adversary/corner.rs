@@ -163,16 +163,11 @@ impl Corner {
     }
 
     /// Aims each corrupt node's single forwarded pull at the target set.
-    fn launch(
-        &mut self,
-        targets: &BTreeSet<NodeId>,
-        out: &mut Outbox<'_, AerMsg>,
-    ) {
+    fn launch(&mut self, targets: &BTreeSet<NodeId>, out: &mut Outbox<'_, AerMsg>) {
         let g = self.ctx.gstring;
         let key = g.key();
         let cap_units = (self.ctx.overload_cap + 1) as usize;
-        let mut coverage: BTreeMap<NodeId, usize> =
-            targets.iter().map(|&w| (w, 0)).collect();
+        let mut coverage: BTreeMap<NodeId, usize> = targets.iter().map(|&w| (w, 0)).collect();
         for &z in &self.corrupt.clone() {
             // Scan labels for the one whose poll list hits the most
             // still-needy targets.
@@ -223,7 +218,12 @@ impl Adversary<AerMsg> for Corner {
         true
     }
 
-    fn act(&mut self, _step: Step, view: Option<&[Envelope<AerMsg>]>, out: &mut Outbox<'_, AerMsg>) {
+    fn act(
+        &mut self,
+        _step: Step,
+        view: Option<&[Envelope<AerMsg>]>,
+        out: &mut Outbox<'_, AerMsg>,
+    ) {
         if self.launched {
             return;
         }

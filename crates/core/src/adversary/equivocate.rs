@@ -65,7 +65,12 @@ impl Adversary<AerMsg> for Equivocate {
         set
     }
 
-    fn act(&mut self, step: Step, _view: Option<&[Envelope<AerMsg>]>, out: &mut Outbox<'_, AerMsg>) {
+    fn act(
+        &mut self,
+        step: Step,
+        _view: Option<&[Envelope<AerMsg>]>,
+        out: &mut Outbox<'_, AerMsg>,
+    ) {
         if step != 0 {
             return;
         }

@@ -51,7 +51,12 @@ impl Adversary<AerMsg> for RandomStringFlood {
         set
     }
 
-    fn act(&mut self, step: Step, _view: Option<&[Envelope<AerMsg>]>, out: &mut Outbox<'_, AerMsg>) {
+    fn act(
+        &mut self,
+        step: Step,
+        _view: Option<&[Envelope<AerMsg>]>,
+        out: &mut Outbox<'_, AerMsg>,
+    ) {
         if step >= self.steps {
             return;
         }
@@ -110,7 +115,12 @@ impl Adversary<AerMsg> for PushFlood {
         set
     }
 
-    fn act(&mut self, step: Step, _view: Option<&[Envelope<AerMsg>]>, out: &mut Outbox<'_, AerMsg>) {
+    fn act(
+        &mut self,
+        step: Step,
+        _view: Option<&[Envelope<AerMsg>]>,
+        out: &mut Outbox<'_, AerMsg>,
+    ) {
         if step != 0 {
             return;
         }

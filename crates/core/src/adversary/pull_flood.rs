@@ -55,7 +55,12 @@ impl Adversary<AerMsg> for PullFlood {
         set
     }
 
-    fn act(&mut self, step: Step, _view: Option<&[Envelope<AerMsg>]>, out: &mut Outbox<'_, AerMsg>) {
+    fn act(
+        &mut self,
+        step: Step,
+        _view: Option<&[Envelope<AerMsg>]>,
+        out: &mut Outbox<'_, AerMsg>,
+    ) {
         if step >= self.steps {
             return;
         }

@@ -15,10 +15,8 @@
 //! simulator.
 
 use fba_ae::Precondition;
-use fba_samplers::{GString, PollSampler, QuorumScheme};
-use fba_sim::{
-    run, Adversary, Context, EngineConfig, NodeId, Protocol, RunOutcome, Step,
-};
+use fba_samplers::{GString, PollSampler, QuorumScheme, SharedPollCache, SharedQuorumCache};
+use fba_sim::{run, Adversary, Context, EngineConfig, NodeId, Protocol, RunOutcome, Step};
 
 use crate::config::AerConfig;
 use crate::msg::AerMsg;
@@ -46,9 +44,37 @@ impl AerNode {
         retry: RetryPolicy,
         targets: Vec<NodeId>,
     ) -> Self {
+        Self::with_caches(
+            id,
+            own,
+            scheme.shared_push(),
+            scheme.shared_pull(),
+            SharedPollCache::new(poll),
+            overload_cap,
+            retry,
+            targets,
+        )
+    }
+
+    /// Like [`AerNode::new`], but sharing run-wide sampler caches with the
+    /// other nodes. The caches memoize pure functions of public
+    /// randomness, so sharing them changes no outcome — only how often
+    /// quorums are recomputed (see the determinism contract in `fba-sim`).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // mirror of `new` plus the caches
+    pub fn with_caches(
+        id: NodeId,
+        own: GString,
+        push_quorums: SharedQuorumCache,
+        pull_quorums: SharedQuorumCache,
+        poll_lists: SharedPollCache,
+        overload_cap: u64,
+        retry: RetryPolicy,
+        targets: Vec<NodeId>,
+    ) -> Self {
         AerNode {
-            push: PushPhase::new(id, own, scheme),
-            pull: PullPhase::new(id, own, scheme, poll, overload_cap, retry),
+            push: PushPhase::with_cache(id, own, push_quorums),
+            pull: PullPhase::with_caches(id, own, pull_quorums, poll_lists, overload_cap, retry),
             targets,
         }
     }
@@ -206,18 +232,48 @@ impl AerHarness {
     /// Builds the state machine for one correct node (the engine factory).
     #[must_use]
     pub fn node(&self, id: NodeId) -> AerNode {
-        let retry = RetryPolicy {
-            poll_timeout: self.cfg.poll_timeout,
-            poll_attempts: self.cfg.poll_attempts,
-            repair_attempts: self.cfg.repair_attempts,
-        };
         AerNode::new(
             id,
             self.assignments[id.index()],
             self.scheme,
             self.poll,
             self.cfg.overload_cap,
-            retry,
+            self.retry_policy(),
+            self.targets[id.index()].clone(),
+        )
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            poll_timeout: self.cfg.poll_timeout,
+            poll_attempts: self.cfg.poll_attempts,
+            repair_attempts: self.cfg.repair_attempts,
+        }
+    }
+
+    /// One run's worth of shared sampler caches (push `I`, pull `H`,
+    /// poll `J`); every node of the run gets clones of these handles.
+    fn run_caches(&self) -> (SharedQuorumCache, SharedQuorumCache, SharedPollCache) {
+        (
+            self.scheme.shared_push(),
+            self.scheme.shared_pull(),
+            SharedPollCache::new(self.poll),
+        )
+    }
+
+    fn node_with(
+        &self,
+        id: NodeId,
+        caches: &(SharedQuorumCache, SharedQuorumCache, SharedPollCache),
+    ) -> AerNode {
+        AerNode::with_caches(
+            id,
+            self.assignments[id.index()],
+            caches.0.clone(),
+            caches.1.clone(),
+            caches.2.clone(),
+            self.cfg.overload_cap,
+            self.retry_policy(),
             self.targets[id.index()].clone(),
         )
     }
@@ -254,7 +310,8 @@ impl AerHarness {
     where
         A: Adversary<AerMsg> + ?Sized,
     {
-        run::<AerNode, A, _>(engine, seed, adversary, |id| self.node(id))
+        let caches = self.run_caches();
+        run::<AerNode, A, _>(engine, seed, adversary, |id| self.node_with(id, &caches))
     }
 
     /// Runs one complete execution and hands every surviving node's final
@@ -271,7 +328,14 @@ impl AerHarness {
         A: Adversary<AerMsg> + ?Sized,
         I: FnMut(fba_sim::NodeId, &AerNode),
     {
-        fba_sim::run_inspect::<AerNode, A, _, I>(engine, seed, adversary, |id| self.node(id), inspect)
+        let caches = self.run_caches();
+        fba_sim::run_inspect::<AerNode, A, _, I>(
+            engine,
+            seed,
+            adversary,
+            |id| self.node_with(id, &caches),
+            inspect,
+        )
     }
 }
 
@@ -297,7 +361,11 @@ mod tests {
     fn fault_free_run_decides_gstring_everywhere() {
         let (h, pre) = harness(64, 0.75, 1);
         let out = h.run(&h.engine_sync(), 1, &mut NoAdversary);
-        assert!(out.all_decided(), "undecided nodes: {:?}", out.metrics.steps);
+        assert!(
+            out.all_decided(),
+            "undecided nodes: {:?}",
+            out.metrics.steps
+        );
         assert_eq!(out.unanimous(), Some(&pre.gstring));
     }
 

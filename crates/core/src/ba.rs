@@ -126,13 +126,7 @@ mod tests {
     #[test]
     fn fault_free_ba_succeeds() {
         let cfg = BaConfig::recommended(64);
-        let (report, ae, _run) = run_ba(
-            &cfg,
-            7,
-            &mut NoAdversary,
-            |_, _| NoAdversary,
-            None,
-        );
+        let (report, ae, _run) = run_ba(&cfg, 7, &mut NoAdversary, |_, _| NoAdversary, None);
         assert!(report.success(), "report: {report:?}");
         assert_eq!(report.agreed.as_ref(), Some(&ae.gstring));
         assert!(report.knowing_fraction_after_ae > 0.99);
@@ -143,13 +137,7 @@ mod tests {
         let cfg = BaConfig::recommended(96);
         let t = 10;
         let mut ae_adv = SilentAdversary::new(t);
-        let (report, _, _) = run_ba(
-            &cfg,
-            8,
-            &mut ae_adv,
-            |_, _| SilentAdversary::new(t),
-            None,
-        );
+        let (report, _, _) = run_ba(&cfg, 8, &mut ae_adv, |_, _| SilentAdversary::new(t), None);
         assert!(
             report.agreed.is_some(),
             "correct nodes disagreed: {report:?}"

@@ -127,7 +127,9 @@ impl AerConfig {
             return Err(ConfigError::SystemTooSmall { n: self.n });
         }
         if self.epsilon <= 0.0 || self.epsilon.is_nan() {
-            return Err(ConfigError::NonPositiveEpsilon { epsilon: self.epsilon });
+            return Err(ConfigError::NonPositiveEpsilon {
+                epsilon: self.epsilon,
+            });
         }
         let bound = (1.0 / 3.0 - self.epsilon) * self.n as f64;
         if (self.t as f64) >= bound {
@@ -137,7 +139,10 @@ impl AerConfig {
             });
         }
         if self.d < 3 || self.d > self.n {
-            return Err(ConfigError::BadQuorumSize { d: self.d, n: self.n });
+            return Err(ConfigError::BadQuorumSize {
+                d: self.d,
+                n: self.n,
+            });
         }
         if self.string_len < 8 {
             return Err(ConfigError::StringTooShort {
@@ -244,7 +249,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "quorum size {d} outside [3, {n}]")
             }
             ConfigError::StringTooShort { len } => {
-                write!(f, "candidate strings of {len} bits are below the 8-bit floor")
+                write!(
+                    f,
+                    "candidate strings of {len} bits are below the 8-bit floor"
+                )
             }
             ConfigError::ZeroOverloadCap => write!(f, "overload cap must be at least 1"),
             ConfigError::LabelDomainTooSmall { cardinality } => {
@@ -303,35 +311,56 @@ mod tests {
     #[test]
     fn validate_rejects_bad_quorum() {
         let cfg = AerConfig::recommended(64).with_d(2);
-        assert!(matches!(cfg.validate(), Err(ConfigError::BadQuorumSize { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadQuorumSize { .. })
+        ));
         let cfg = AerConfig::recommended(64).with_d(65);
-        assert!(matches!(cfg.validate(), Err(ConfigError::BadQuorumSize { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadQuorumSize { .. })
+        ));
     }
 
     #[test]
     fn validate_rejects_degenerate_fields() {
         let mut cfg = AerConfig::recommended(64);
         cfg.epsilon = 0.0;
-        assert!(matches!(cfg.validate(), Err(ConfigError::NonPositiveEpsilon { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::NonPositiveEpsilon { .. })
+        ));
 
         let mut cfg = AerConfig::recommended(64);
         cfg.string_len = 4;
-        assert!(matches!(cfg.validate(), Err(ConfigError::StringTooShort { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::StringTooShort { .. })
+        ));
 
         let cfg = AerConfig::recommended(64).with_overload_cap(0);
         assert_eq!(cfg.validate(), Err(ConfigError::ZeroOverloadCap));
 
         let mut cfg = AerConfig::recommended(64);
         cfg.label_cardinality = 1;
-        assert!(matches!(cfg.validate(), Err(ConfigError::LabelDomainTooSmall { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::LabelDomainTooSmall { .. })
+        ));
 
         let mut cfg = AerConfig::recommended(64);
         cfg.poll_attempts = 0;
-        assert!(matches!(cfg.validate(), Err(ConfigError::BadRetryPolicy { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadRetryPolicy { .. })
+        ));
 
         let mut cfg = AerConfig::recommended(64);
         cfg.poll_timeout = 0;
-        assert!(matches!(cfg.validate(), Err(ConfigError::BadRetryPolicy { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadRetryPolicy { .. })
+        ));
     }
 
     #[test]

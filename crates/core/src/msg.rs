@@ -101,9 +101,7 @@ impl WireSize for AerMsg {
         // 3 bits of message-kind discriminant on every variant.
         const KIND: u64 = 3;
         match self {
-            AerMsg::Push(s) | AerMsg::Answer(s) | AerMsg::RepairAnswer(s) => {
-                KIND + s.wire_bits()
-            }
+            AerMsg::Push(s) | AerMsg::Answer(s) | AerMsg::RepairAnswer(s) => KIND + s.wire_bits(),
             AerMsg::Poll(s, r) | AerMsg::Pull(s, r) => KIND + s.wire_bits() + r.wire_bits(),
             AerMsg::Fw1 { s, r, .. } => {
                 // origin and w are node ids; count 32 bits each (the

@@ -21,9 +21,13 @@
 //! messages to transmit — so the algorithms are unit-testable without the
 //! simulator.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 
-use fba_samplers::{GString, Label, PollSampler, QuorumScheme, StringKey};
+use fba_sim::fxhash::{FxHashMap, FxHashSet};
+
+use fba_samplers::{
+    GString, Label, PollSampler, QuorumScheme, SharedPollCache, SharedQuorumCache, StringKey,
+};
 use fba_sim::{NodeId, Step};
 use rand_chacha::ChaCha12Rng;
 
@@ -36,12 +40,20 @@ pub type Sends = Vec<(NodeId, AerMsg)>;
 /// from using the repair path as an amplification primitive.
 const REPAIR_ANSWER_CAP: u32 = 8;
 
+/// Sentinel for a vote slot whose majority relay already fired.
+///
+/// Vote masks track quorum-member positions, and quorums hold at most
+/// `d ≤ 127` members (asserted at construction), so the all-ones mask can
+/// never arise from real votes.
+const VOTES_DONE: u128 = u128::MAX;
+
 /// An in-flight poll started by this node for one candidate (Algorithm 1).
 #[derive(Clone, Debug)]
 struct OwnPoll {
     s: GString,
     r: Label,
-    answered_by: BTreeSet<NodeId>,
+    /// Bitmask over positions in `J(x, r)` of members that answered.
+    answered_by: u128,
     started: Step,
     attempt: u32,
 }
@@ -85,37 +97,46 @@ impl RetryPolicy {
 #[derive(Clone, Debug)]
 pub struct PullPhase {
     x: NodeId,
-    scheme: QuorumScheme,
+    /// Memoized pull-quorum sampler `H`, shared across the run's nodes
+    /// (determinism: pure-function cache).
+    pull_quorums: SharedQuorumCache,
+    /// Memoized poll-list sampler `J`, shared likewise.
+    poll_lists: SharedPollCache,
     poll: PollSampler,
     overload_cap: u64,
     retry: RetryPolicy,
     /// `s_this`: the node's current belief; starts at its initial
     /// candidate and is overwritten by its decision.
     believed: GString,
+    /// `believed.key()`, cached — the handlers compare it per message.
+    believed_key: StringKey,
     decided: Option<GString>,
 
     // --- requester (Algorithm 1) ---
-    own_polls: HashMap<StringKey, OwnPoll>,
+    own_polls: FxHashMap<StringKey, OwnPoll>,
 
     // --- router (Algorithm 2) ---
-    forwarded_pulls: HashSet<(NodeId, StringKey)>,
-    fw1_senders: HashMap<(NodeId, StringKey, NodeId), BTreeSet<NodeId>>,
-    fw1_done: HashSet<(NodeId, StringKey, NodeId)>,
+    forwarded_pulls: FxHashSet<(NodeId, StringKey)>,
+    /// Per `(origin, s, w)` slot: bitmask over positions in `H(s, origin)`
+    /// of routers seen; [`VOTES_DONE`] once the majority relay fired.
+    fw1_senders: FxHashMap<(NodeId, StringKey, NodeId), u128>,
 
     // --- answerer (Algorithm 3) ---
-    polled: HashSet<(NodeId, StringKey)>,
-    fw2_senders: HashMap<(NodeId, StringKey), BTreeSet<NodeId>>,
-    answered: HashSet<(NodeId, StringKey)>,
-    answer_counts: HashMap<StringKey, u64>,
+    polled: FxHashSet<(NodeId, StringKey)>,
+    /// Per `(origin, s)`: bitmask over positions in `H(s, self)` of
+    /// second-hop forwarders seen.
+    fw2_senders: FxHashMap<(NodeId, StringKey), u128>,
+    answered: FxHashSet<(NodeId, StringKey)>,
+    answer_counts: FxHashMap<StringKey, u64>,
     deferred: Vec<DeferredFw2>,
 
     // --- repair (liveness extension) ---
     repair_label: Option<Label>,
     repair_used: u32,
     repair_last: Step,
-    repair_votes: HashMap<StringKey, (GString, BTreeSet<NodeId>)>,
+    repair_votes: FxHashMap<StringKey, (GString, BTreeSet<NodeId>)>,
     repair_pending: Vec<(NodeId, Label)>,
-    repair_answered: HashMap<NodeId, u32>,
+    repair_answered: FxHashMap<NodeId, u32>,
 }
 
 impl PullPhase {
@@ -129,29 +150,57 @@ impl PullPhase {
         overload_cap: u64,
         retry: RetryPolicy,
     ) -> Self {
+        Self::with_caches(
+            x,
+            own,
+            scheme.shared_pull(),
+            SharedPollCache::new(poll),
+            overload_cap,
+            retry,
+        )
+    }
+
+    /// Like [`PullPhase::new`], but sharing run-wide sampler caches with
+    /// the other nodes (see [`SharedQuorumCache`]).
+    #[must_use]
+    pub fn with_caches(
+        x: NodeId,
+        own: GString,
+        pull_quorums: SharedQuorumCache,
+        poll_lists: SharedPollCache,
+        overload_cap: u64,
+        retry: RetryPolicy,
+    ) -> Self {
+        let poll = *poll_lists.sampler();
+        assert!(
+            poll.d() < 128 && pull_quorums.sampler().d() < 128,
+            "bitmask vote tracking supports d < 128 (paper quorums are \u{398}(log n))"
+        );
+        let believed_key = own.key();
         PullPhase {
             x,
-            scheme,
+            pull_quorums,
+            poll_lists,
             poll,
             overload_cap,
             retry,
             believed: own,
+            believed_key,
             decided: None,
-            own_polls: HashMap::new(),
-            forwarded_pulls: HashSet::new(),
-            fw1_senders: HashMap::new(),
-            fw1_done: HashSet::new(),
-            polled: HashSet::new(),
-            fw2_senders: HashMap::new(),
-            answered: HashSet::new(),
-            answer_counts: HashMap::new(),
+            own_polls: FxHashMap::default(),
+            forwarded_pulls: FxHashSet::default(),
+            fw1_senders: FxHashMap::default(),
+            polled: FxHashSet::default(),
+            fw2_senders: FxHashMap::default(),
+            answered: FxHashSet::default(),
+            answer_counts: FxHashMap::default(),
             deferred: Vec::new(),
             repair_label: None,
             repair_used: 0,
             repair_last: 0,
-            repair_votes: HashMap::new(),
+            repair_votes: FxHashMap::default(),
             repair_pending: Vec::new(),
-            repair_answered: HashMap::new(),
+            repair_answered: FxHashMap::default(),
         }
     }
 
@@ -200,7 +249,7 @@ impl PullPhase {
             OwnPoll {
                 s,
                 r,
-                answered_by: BTreeSet::new(),
+                answered_by: 0,
                 started: step,
                 attempt: 1,
             },
@@ -211,12 +260,16 @@ impl PullPhase {
     fn poll_sends(&self, s: &GString, r: Label) -> Sends {
         let key = s.key();
         let mut sends = Vec::new();
-        for w in self.poll.poll_list(self.x, r) {
-            sends.push((w, AerMsg::Poll(*s, r)));
-        }
-        for y in self.scheme.pull.quorum(key, self.x) {
-            sends.push((y, AerMsg::Pull(*s, r)));
-        }
+        self.poll_lists.poll_list_with(self.x, r, |list| {
+            for &w in list {
+                sends.push((w, AerMsg::Poll(*s, r)));
+            }
+        });
+        self.pull_quorums.quorum_with(key, self.x, |quorum| {
+            for &y in quorum {
+                sends.push((y, AerMsg::Pull(*s, r)));
+            }
+        });
         sends
     }
 
@@ -248,7 +301,7 @@ impl PullPhase {
                 sends.extend(self.poll_sends(&s, r));
                 let poll = self.own_polls.get_mut(&key).expect("poll exists");
                 poll.r = r;
-                poll.answered_by.clear();
+                poll.answered_by = 0;
                 poll.started = step;
                 poll.attempt += 1;
                 all_exhausted = false;
@@ -266,9 +319,11 @@ impl PullPhase {
             self.repair_votes.clear();
             self.repair_used += 1;
             self.repair_last = step;
-            for w in self.poll.poll_list(self.x, r) {
-                sends.push((w, AerMsg::RepairQuery(r)));
-            }
+            self.poll_lists.poll_list_with(self.x, r, |list| {
+                for &w in list {
+                    sends.push((w, AerMsg::RepairQuery(r)));
+                }
+            });
         }
         sends
     }
@@ -279,7 +334,7 @@ impl PullPhase {
     /// node decides.
     #[must_use]
     pub fn on_repair_query(&mut self, origin: NodeId, r: Label) -> Sends {
-        if !self.poll.contains(origin, r, self.x) {
+        if !self.poll_lists.contains(origin, r, self.x) {
             return Vec::new();
         }
         let served = self.repair_answered.entry(origin).or_insert(0);
@@ -304,7 +359,7 @@ impl PullPhase {
             return None;
         }
         let r = self.repair_label?;
-        if !self.poll.contains(self.x, r, w) {
+        if !self.poll_lists.contains(self.x, r, w) {
             return None;
         }
         let key = s.key();
@@ -317,6 +372,7 @@ impl PullPhase {
             let decision = self.repair_votes[&key].0;
             self.decided = Some(decision);
             self.believed = decision;
+            self.believed_key = key;
             Some(decision)
         } else {
             None
@@ -332,27 +388,26 @@ impl PullPhase {
     #[must_use]
     pub fn on_pull(&mut self, origin: NodeId, s: GString, r: Label) -> Sends {
         let key = s.key();
-        if key != self.believed.key() {
+        if key != self.believed_key {
             return Vec::new();
         }
-        if !self.scheme.pull.contains(key, origin, self.x) {
+        if !self.pull_quorums.contains(key, origin, self.x) {
             return Vec::new();
         }
         if !self.forwarded_pulls.insert((origin, key)) {
             return Vec::new();
         }
         let mut sends = Vec::new();
-        for w in self.poll.poll_list(origin, r) {
-            let fw = AerMsg::Fw1 {
-                origin,
-                s,
-                r,
-                w,
-            };
-            for z in self.scheme.pull.quorum(key, w) {
-                sends.push((z, fw.clone()));
+        self.poll_lists.poll_list_with(origin, r, |list| {
+            for &w in list {
+                let fw = AerMsg::Fw1 { origin, s, r, w };
+                self.pull_quorums.quorum_with(key, w, |quorum| {
+                    for &z in quorum {
+                        sends.push((z, fw.clone()));
+                    }
+                });
             }
-        }
+        });
         sends
     }
 
@@ -362,27 +417,25 @@ impl PullPhase {
     #[must_use]
     pub fn on_fw1(&mut self, y: NodeId, origin: NodeId, s: GString, r: Label, w: NodeId) -> Sends {
         let key = s.key();
-        if key != self.believed.key() {
+        if key != self.believed_key {
             return Vec::new();
         }
-        if !self.scheme.pull.contains(key, w, self.x) {
+        if !self.pull_quorums.contains(key, w, self.x) {
             return Vec::new(); // we are not in H(s, w)
         }
-        if !self.scheme.pull.contains(key, origin, y) {
+        let Some(y_pos) = self.pull_quorums.position(key, origin, y) else {
             return Vec::new(); // sender is not in H(s, origin)
-        }
-        if !self.poll.contains(origin, r, w) {
+        };
+        if !self.poll_lists.contains(origin, r, w) {
             return Vec::new(); // w is not in J(origin, r)
         }
-        let slot = (origin, key, w);
-        if self.fw1_done.contains(&slot) {
-            return Vec::new();
+        let votes = self.fw1_senders.entry((origin, key, w)).or_insert(0);
+        if *votes == VOTES_DONE {
+            return Vec::new(); // majority relay already sent
         }
-        let senders = self.fw1_senders.entry(slot).or_default();
-        senders.insert(y);
-        if senders.len() >= self.scheme.pull.majority() {
-            self.fw1_done.insert(slot);
-            self.fw1_senders.remove(&slot);
+        *votes |= 1 << y_pos;
+        if votes.count_ones() as usize >= self.pull_quorums.majority() {
+            *votes = VOTES_DONE;
             vec![(w, AerMsg::Fw2 { origin, s, r })]
         } else {
             Vec::new()
@@ -414,18 +467,20 @@ impl PullPhase {
 
     fn process_fw2(&mut self, z: NodeId, origin: NodeId, s: GString, r: Label) -> Sends {
         let key = s.key();
-        if key != self.believed.key() {
+        if key != self.believed_key {
             return Vec::new();
         }
-        if !self.poll.contains(origin, r, self.x) {
+        if !self.poll_lists.contains(origin, r, self.x) {
             return Vec::new(); // we are not in J(origin, r)
         }
-        if !self.scheme.pull.contains(key, self.x, z) {
+        let Some(z_pos) = self.pull_quorums.position(key, self.x, z) else {
             return Vec::new(); // sender is not in H(s, this)
-        }
-        let senders = self.fw2_senders.entry((origin, key)).or_default();
-        senders.insert(z);
-        if senders.len() >= self.scheme.pull.majority() && self.polled.contains(&(origin, key)) {
+        };
+        let votes = self.fw2_senders.entry((origin, key)).or_insert(0);
+        *votes |= 1 << z_pos;
+        if votes.count_ones() as usize >= self.pull_quorums.majority()
+            && self.polled.contains(&(origin, key))
+        {
             self.answer(origin, s)
         } else {
             Vec::new()
@@ -437,17 +492,17 @@ impl PullPhase {
     /// poll, answers immediately.
     #[must_use]
     pub fn on_poll(&mut self, origin: NodeId, s: GString, r: Label) -> Sends {
-        if !self.poll.contains(origin, r, self.x) {
+        if !self.poll_lists.contains(origin, r, self.x) {
             return Vec::new();
         }
         let key = s.key();
         self.polled.insert((origin, key));
-        let majority = self.scheme.pull.majority();
+        let majority = self.pull_quorums.majority();
         let have = self
             .fw2_senders
             .get(&(origin, key))
-            .map_or(0, BTreeSet::len);
-        if have >= majority && key == self.believed.key() {
+            .map_or(0, |votes| votes.count_ones() as usize);
+        if have >= majority && key == self.believed_key {
             self.answer(origin, s)
         } else {
             Vec::new()
@@ -473,14 +528,13 @@ impl PullPhase {
         }
         let key = s.key();
         let poll = self.own_polls.get_mut(&key)?;
-        if !self.poll.contains(self.x, poll.r, w) {
-            return None;
-        }
-        poll.answered_by.insert(w);
-        if poll.answered_by.len() >= self.poll.majority() {
+        let w_pos = self.poll_lists.position(self.x, poll.r, w)?;
+        poll.answered_by |= 1 << w_pos;
+        if poll.answered_by.count_ones() as usize >= self.poll.majority() {
             let decision = poll.s;
             self.decided = Some(decision);
             self.believed = decision;
+            self.believed_key = key;
             Some(decision)
         } else {
             None
@@ -526,7 +580,11 @@ mod tests {
     }
 
     fn gs(tag: u8) -> GString {
-        GString::from_bits(&(0..24).map(|i| (i as u8).wrapping_add(tag).is_multiple_of(4)).collect::<Vec<_>>())
+        GString::from_bits(
+            &(0..24)
+                .map(|i| (i as u8).wrapping_add(tag).is_multiple_of(4))
+                .collect::<Vec<_>>(),
+        )
     }
 
     fn phase(x: usize, own: GString, n: usize, d: usize) -> PullPhase {
@@ -541,7 +599,13 @@ mod tests {
         )
     }
 
-    fn phase_with_retry(x: usize, own: GString, n: usize, d: usize, retry: RetryPolicy) -> PullPhase {
+    fn phase_with_retry(
+        x: usize,
+        own: GString,
+        n: usize,
+        d: usize,
+        retry: RetryPolicy,
+    ) -> PullPhase {
         let (scheme, poll) = setup(n, d);
         PullPhase::new(NodeId::from_index(x), own, scheme, poll, CAP, retry)
     }
@@ -587,9 +651,15 @@ mod tests {
         let mut p = phase(3, gs(0), 64, 7);
         let mut rng = node_rng(1, 3);
         assert!(!p.start_poll(gs(1), 0, &mut rng).is_empty());
-        assert!(p.start_poll(gs(1), 0, &mut rng).is_empty(), "same string twice");
+        assert!(
+            p.start_poll(gs(1), 0, &mut rng).is_empty(),
+            "same string twice"
+        );
         p.decided = Some(gs(9));
-        assert!(p.start_poll(gs(2), 0, &mut rng).is_empty(), "after decision");
+        assert!(
+            p.start_poll(gs(2), 0, &mut rng).is_empty(),
+            "after decision"
+        );
     }
 
     #[test]
@@ -824,7 +894,11 @@ mod tests {
     }
 
     /// Finds a label whose poll list for `origin` contains `member`.
-    fn find_label_containing(poll: &PollSampler, origin: NodeId, member: NodeId) -> (Label, Vec<NodeId>) {
+    fn find_label_containing(
+        poll: &PollSampler,
+        origin: NodeId,
+        member: NodeId,
+    ) -> (Label, Vec<NodeId>) {
         for raw in 0..poll.label_cardinality() {
             let r = Label(raw);
             let list = poll.poll_list(origin, r);

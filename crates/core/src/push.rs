@@ -8,9 +8,11 @@
 //! work only through quorums they already control (Lemma 4 bounds the
 //! total damage to `O(n)` candidate-list entries system-wide).
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
-use fba_samplers::{GString, QuorumScheme, StringKey};
+use fba_sim::fxhash::{FxHashMap, FxHashSet};
+
+use fba_samplers::{GString, QuorumScheme, SharedQuorumCache, StringKey};
 use fba_sim::NodeId;
 
 /// Per-node push-phase state: counts distinct valid pushers per candidate
@@ -18,12 +20,14 @@ use fba_sim::NodeId;
 #[derive(Clone, Debug)]
 pub struct PushPhase {
     x: NodeId,
-    scheme: QuorumScheme,
+    /// Memoized push-quorum sampler `I`, shared across the run's nodes
+    /// (determinism: pure-function cache).
+    push_quorums: SharedQuorumCache,
     /// Distinct valid senders seen per candidate string.
-    counters: HashMap<StringKey, Counter>,
+    counters: FxHashMap<StringKey, Counter>,
     /// Accepted candidates, in acceptance order; position 0 is `s_x`.
     accepted: Vec<GString>,
-    accepted_keys: HashSet<StringKey>,
+    accepted_keys: FxHashSet<StringKey>,
 }
 
 #[derive(Clone, Debug)]
@@ -37,12 +41,19 @@ impl PushPhase {
     /// `L_x` starts as `{own}` (§3.1.1, Figure 2a).
     #[must_use]
     pub fn new(x: NodeId, own: GString, scheme: QuorumScheme) -> Self {
-        let mut accepted_keys = HashSet::new();
+        Self::with_cache(x, own, scheme.shared_push())
+    }
+
+    /// Like [`PushPhase::new`], but sharing a run-wide quorum cache with
+    /// the other nodes (see [`SharedQuorumCache`]).
+    #[must_use]
+    pub fn with_cache(x: NodeId, own: GString, push_quorums: SharedQuorumCache) -> Self {
+        let mut accepted_keys = FxHashSet::default();
         accepted_keys.insert(own.key());
         PushPhase {
             x,
-            scheme,
-            counters: HashMap::new(),
+            push_quorums,
+            counters: FxHashMap::default(),
             accepted: vec![own],
             accepted_keys,
         }
@@ -66,7 +77,7 @@ impl PushPhase {
         if self.accepted_keys.contains(&key) {
             return None;
         }
-        if !self.scheme.push.contains(key, self.x, from) {
+        if !self.push_quorums.contains(key, self.x, from) {
             return None;
         }
         let counter = self.counters.entry(key).or_insert_with(|| Counter {
@@ -74,7 +85,7 @@ impl PushPhase {
             senders: BTreeSet::new(),
         });
         counter.senders.insert(from);
-        if counter.senders.len() >= self.scheme.push.majority() {
+        if counter.senders.len() >= self.push_quorums.majority() {
             let accepted = counter.string;
             self.counters.remove(&key);
             self.accepted_keys.insert(key);
@@ -147,7 +158,11 @@ mod tests {
     }
 
     fn gs(tag: u8, len: usize) -> GString {
-        GString::from_bits(&(0..len).map(|i| (i as u8 + tag).is_multiple_of(3)).collect::<Vec<_>>())
+        GString::from_bits(
+            &(0..len)
+                .map(|i| (i as u8 + tag).is_multiple_of(3))
+                .collect::<Vec<_>>(),
+        )
     }
 
     #[test]
@@ -200,7 +215,11 @@ mod tests {
             assert!(p.on_push(y, s).is_none());
         }
         assert!(!p.contains(&s));
-        assert_eq!(p.pending(), 0, "non-member pushes must not allocate counters");
+        assert_eq!(
+            p.pending(),
+            0,
+            "non-member pushes must not allocate counters"
+        );
     }
 
     #[test]

@@ -103,11 +103,7 @@ impl RequestFlow {
 /// Extracts the Figure 2b flow: every message serving `origin`'s
 /// verification of `s`.
 #[must_use]
-pub fn request_flow(
-    transcript: &[Envelope<AerMsg>],
-    origin: NodeId,
-    s: &GString,
-) -> RequestFlow {
+pub fn request_flow(transcript: &[Envelope<AerMsg>], origin: NodeId, s: &GString) -> RequestFlow {
     let key = s.key();
     let mut counts: BTreeMap<&'static str, (usize, Option<Step>)> = BTreeMap::new();
     let mut record = |kind: &'static str, step: Step| {
@@ -123,10 +119,14 @@ pub fn request_flow(
             AerMsg::Pull(ps, _) if env.from == origin && ps.key() == key => {
                 record("Pull", env.sent_at);
             }
-            AerMsg::Fw1 { origin: o, s: ps, .. } if *o == origin && ps.key() == key => {
+            AerMsg::Fw1 {
+                origin: o, s: ps, ..
+            } if *o == origin && ps.key() == key => {
                 record("Fw1", env.sent_at);
             }
-            AerMsg::Fw2 { origin: o, s: ps, .. } if *o == origin && ps.key() == key => {
+            AerMsg::Fw2 {
+                origin: o, s: ps, ..
+            } if *o == origin && ps.key() == key => {
                 record("Fw2", env.sent_at);
             }
             AerMsg::Answer(ps) if env.to == origin && ps.key() == key => {
@@ -208,8 +208,7 @@ mod tests {
             .map(NodeId::from_index)
             .find(|id| !pre.knows(*id))
             .unwrap();
-        let mut phase =
-            crate::push::PushPhase::new(x, pre.assignments[x.index()], scheme);
+        let mut phase = crate::push::PushPhase::new(x, pre.assignments[x.index()], scheme);
         for env in &transcript {
             if env.to == x {
                 if let AerMsg::Push(s) = &env.msg {
@@ -237,7 +236,10 @@ mod tests {
         let d = h.config().d;
         assert_eq!(flow.hop("Poll").unwrap().count, d);
         assert_eq!(flow.hop("Pull").unwrap().count, d);
-        assert!(flow.hop("Fw1").unwrap().count > d, "routing fan-out missing");
+        assert!(
+            flow.hop("Fw1").unwrap().count > d,
+            "routing fan-out missing"
+        );
         assert!(flow.hop("Answer").unwrap().count >= h.config().majority());
         // Pipeline order: Poll at 0, Fw1 at 1, Fw2 at 2, Answer at 3.
         assert_eq!(flow.hop("Poll").unwrap().first_step, Some(0));

@@ -204,14 +204,7 @@ fn repair_votes_require_distinct_members_and_matching_string() {
         repair_attempts: 1,
     };
     let (scheme, poll, g, bad) = setup();
-    let mut p = PullPhase::new(
-        NodeId::from_index(2),
-        g,
-        scheme,
-        poll,
-        CAP,
-        retry,
-    );
+    let mut p = PullPhase::new(NodeId::from_index(2), g, scheme, poll, CAP, retry);
     let mut rng = node_rng(7, 2);
     let _ = p.start_poll(g, 0, &mut rng);
     let sends = p.on_step(1, &mut rng);

@@ -72,7 +72,7 @@ fn acceptance_is_per_receiver_not_global() {
     let a = NodeId::from_index(3);
     let b = NodeId::from_index(4);
     let mut pa = PushPhase::new(a, own, scheme);
-    let mut pb = PushPhase::new(b, own, scheme);
+    let pb = PushPhase::new(b, own, scheme);
     for y in scheme.push.quorum(s.key(), a) {
         let _ = pa.on_push(y, s);
     }
@@ -84,9 +84,7 @@ fn acceptance_is_per_receiver_not_global() {
 fn push_targets_reflect_each_nodes_own_string_only() {
     let (scheme, g, bad) = setup();
     // Half the nodes hold g, half hold bad.
-    let assignments: Vec<GString> = (0..N)
-        .map(|i| if i % 2 == 0 { g } else { bad })
-        .collect();
+    let assignments: Vec<GString> = (0..N).map(|i| if i % 2 == 0 { g } else { bad }).collect();
     let targets = push_targets(&scheme, &assignments);
     for (yi, list) in targets.iter().enumerate() {
         let y = NodeId::from_index(yi);

@@ -1,0 +1,570 @@
+//! Quorum memoization: inline set storage and per-node sampler caches.
+//!
+//! Sampler evaluations are pure functions of `(public seed, key)`, so the
+//! push/pull hot paths — which test quorum membership for the *same*
+//! `(string, node)` pair once per arriving message — can memoize whole
+//! sets and answer repeat queries with one fast-hash lookup plus a binary
+//! search. Because the memoized value is exactly what the sampler would
+//! recompute, caching is outcome-invariant: the determinism tests in
+//! `tests/cache_equiv.rs` check cached and uncached evaluation agree on
+//! every key.
+//!
+//! Sets are stored in a [`QuorumVec`], an inline small-vector sized for
+//! the paper's `d = Θ(log n)` quorums (`d ≤ 32` covers `n` beyond 10⁴ at
+//! the default κ = 3); larger `d` spills to the heap transparently.
+
+use fba_sim::fxhash::FxHashMap;
+use fba_sim::NodeId;
+
+use crate::poll::{Label, PollSampler};
+use crate::quorum::QuorumSampler;
+use crate::sampler::Sampler;
+use crate::strings::StringKey;
+
+/// Members stored inline before spilling to the heap.
+pub const INLINE_QUORUM: usize = 32;
+
+/// A sorted set of node ids with inline storage for small `d`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuorumVec {
+    inner: Inner,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Inner {
+    Inline {
+        buf: [NodeId; INLINE_QUORUM],
+        len: u8,
+    },
+    Heap(Vec<NodeId>),
+}
+
+impl QuorumVec {
+    /// An empty set that can hold `capacity` members without spilling
+    /// decisions later (inline iff `capacity ≤ INLINE_QUORUM`).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        QuorumVec {
+            inner: if capacity <= INLINE_QUORUM {
+                Inner::Inline {
+                    buf: [NodeId::default(); INLINE_QUORUM],
+                    len: 0,
+                }
+            } else {
+                Inner::Heap(Vec::with_capacity(capacity))
+            },
+        }
+    }
+
+    /// The members as a sorted slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[NodeId] {
+        match &self.inner {
+            Inner::Inline { buf, len } => &buf[..usize::from(*len)],
+            Inner::Heap(v) => v,
+        }
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Sorted membership test.
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.as_slice().binary_search(&id).is_ok()
+    }
+
+    /// Inserts at `pos`, shifting the tail right.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos > len` or an inline buffer is already full.
+    fn insert(&mut self, pos: usize, id: NodeId) {
+        match &mut self.inner {
+            Inner::Inline { buf, len } => {
+                let l = usize::from(*len);
+                assert!(l < INLINE_QUORUM && pos <= l, "inline insert out of range");
+                buf.copy_within(pos..l, pos + 1);
+                buf[pos] = id;
+                *len += 1;
+            }
+            Inner::Heap(v) => v.insert(pos, id),
+        }
+    }
+
+    /// Copies the members into a plain vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl std::ops::Deref for QuorumVec {
+    type Target = [NodeId];
+    fn deref(&self) -> &[NodeId] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a QuorumVec {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl Sampler {
+    /// Fills `out` with the `d`-subset assigned to `key`, sorted ascending
+    /// — the [`Sampler::set_for`] evaluation writing into a [`QuorumVec`].
+    #[allow(clippy::explicit_counter_loop)] // `i` indexes the hash stream, not the loop
+    pub(crate) fn fill(&self, key: u64, out: &mut QuorumVec) {
+        debug_assert!(out.is_empty(), "fill expects an empty target");
+        let mut i = 0u64;
+        for j in (self.n() - self.d())..self.n() {
+            let t = NodeId::from_index(self.pick(key, i, j));
+            i += 1;
+            match out.as_slice().binary_search(&t) {
+                Ok(_) => {
+                    let pos = out.len();
+                    out.insert(pos, NodeId::from_index(j));
+                }
+                Err(pos) => out.insert(pos, t),
+            }
+        }
+    }
+}
+
+/// Memoized view of one [`Sampler`]: raw-key → sorted member set.
+#[derive(Clone, Debug)]
+pub struct SetCache {
+    sampler: Sampler,
+    map: FxHashMap<u64, QuorumVec>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetCache {
+    /// An empty cache over `sampler`.
+    #[must_use]
+    pub fn new(sampler: Sampler) -> Self {
+        SetCache {
+            sampler,
+            map: FxHashMap::default(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cached set for a raw sampler key, computing it on first use.
+    pub fn get(&mut self, key: u64) -> &QuorumVec {
+        let sampler = &self.sampler;
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                let mut q = QuorumVec::with_capacity(sampler.d());
+                sampler.fill(key, &mut q);
+                e.insert(q)
+            }
+        }
+    }
+
+    /// Membership test against the cached set.
+    pub fn contains(&mut self, key: u64, id: NodeId) -> bool {
+        self.get(key).contains(id)
+    }
+
+    /// `(hits, misses)` counters — instrumentation for benches and tests.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of memoized sets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is memoized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Memoized view of one [`QuorumSampler`] (`I` or `H`), keyed by
+/// `(string, node)` exactly like the sampler itself.
+///
+/// ```
+/// use fba_samplers::{QuorumCache, QuorumSampler, StringKey};
+/// use fba_sim::NodeId;
+///
+/// let q = QuorumSampler::new(7, fba_samplers::tags::PULL, 64, 8);
+/// let mut cache = QuorumCache::new(q);
+/// let x = NodeId::from_index(3);
+/// assert_eq!(cache.quorum(StringKey(9), x), &q.quorum(StringKey(9), x)[..]);
+/// assert!(cache.stats().1 >= 1); // first evaluation is a miss
+/// ```
+#[derive(Clone, Debug)]
+pub struct QuorumCache {
+    sampler: QuorumSampler,
+    sets: SetCache,
+}
+
+impl QuorumCache {
+    /// An empty cache over `sampler`.
+    #[must_use]
+    pub fn new(sampler: QuorumSampler) -> Self {
+        QuorumCache {
+            sampler,
+            sets: SetCache::new(sampler.raw()),
+        }
+    }
+
+    /// The underlying sampler.
+    #[must_use]
+    pub fn sampler(&self) -> &QuorumSampler {
+        &self.sampler
+    }
+
+    /// Quorum size `d`.
+    #[must_use]
+    pub fn d(&self) -> usize {
+        self.sampler.d()
+    }
+
+    /// Strict-majority threshold (see [`QuorumSampler::majority`]).
+    #[must_use]
+    pub fn majority(&self) -> usize {
+        self.sampler.majority()
+    }
+
+    /// The quorum `I(s, x)` / `H(s, x)` as a sorted slice, memoized.
+    pub fn quorum(&mut self, s: StringKey, x: NodeId) -> &[NodeId] {
+        self.sets.get(self.sampler.key(s, x)).as_slice()
+    }
+
+    /// Membership test `y ∈ quorum(s, x)`, memoized.
+    pub fn contains(&mut self, s: StringKey, x: NodeId, y: NodeId) -> bool {
+        self.sets.contains(self.sampler.key(s, x), y)
+    }
+
+    /// `(hits, misses)` counters.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        self.sets.stats()
+    }
+}
+
+/// Memoized view of one [`PollSampler`] (`J`), keyed by `(node, label)`.
+#[derive(Clone, Debug)]
+pub struct PollCache {
+    sampler: PollSampler,
+    sets: SetCache,
+}
+
+impl PollCache {
+    /// An empty cache over `sampler`.
+    #[must_use]
+    pub fn new(sampler: PollSampler) -> Self {
+        PollCache {
+            sampler,
+            sets: SetCache::new(sampler.raw()),
+        }
+    }
+
+    /// The underlying sampler.
+    #[must_use]
+    pub fn sampler(&self) -> &PollSampler {
+        &self.sampler
+    }
+
+    /// The poll list `J(x, r)` as a sorted slice, memoized.
+    pub fn poll_list(&mut self, x: NodeId, r: Label) -> &[NodeId] {
+        self.sets.get(self.sampler.key(x, r)).as_slice()
+    }
+
+    /// Membership test `w ∈ J(x, r)`, memoized.
+    pub fn contains(&mut self, x: NodeId, r: Label, w: NodeId) -> bool {
+        self.sets.contains(self.sampler.key(x, r), w)
+    }
+
+    /// `(hits, misses)` counters.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        self.sets.stats()
+    }
+}
+
+/// A [`SetCache`] shared by every node of one simulated run.
+///
+/// Samplers are *public* deterministic functions — every node computes the
+/// same set for the same key — so memoizing per node would duplicate both
+/// the work and the memory `n`-fold. One shared cache per run amortizes
+/// each Floyd evaluation across all consumers. Sharing uses `Rc<RefCell>`:
+/// the engine executes a run strictly single-threaded (parallel sweeps
+/// fan out whole runs), and cache contents are outcome-invariant, so
+/// sharing cannot introduce nondeterminism.
+#[derive(Clone, Debug)]
+pub struct SharedSetCache(std::rc::Rc<std::cell::RefCell<SetCache>>);
+
+impl SharedSetCache {
+    /// An empty shared cache over `sampler`.
+    #[must_use]
+    pub fn new(sampler: Sampler) -> Self {
+        SharedSetCache(std::rc::Rc::new(std::cell::RefCell::new(SetCache::new(
+            sampler,
+        ))))
+    }
+
+    /// Runs `f` on the cached (or newly computed) set for `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` re-enters this same cache.
+    pub fn with_set<R>(&self, key: u64, f: impl FnOnce(&[NodeId]) -> R) -> R {
+        let mut cache = self.0.borrow_mut();
+        f(cache.get(key).as_slice())
+    }
+
+    /// Membership test against the cached set.
+    #[must_use]
+    pub fn contains(&self, key: u64, id: NodeId) -> bool {
+        self.0.borrow_mut().contains(key, id)
+    }
+
+    /// Position of `id` within the cached sorted set, if a member.
+    ///
+    /// Positions are stable (sets are immutable once computed), which lets
+    /// protocol state track "which members voted" as a bitmask instead of
+    /// an allocated set.
+    #[must_use]
+    pub fn position(&self, key: u64, id: NodeId) -> Option<usize> {
+        self.0
+            .borrow_mut()
+            .get(key)
+            .as_slice()
+            .binary_search(&id)
+            .ok()
+    }
+
+    /// `(hits, misses)` counters.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        self.0.borrow().stats()
+    }
+
+    /// Number of memoized sets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// Whether nothing is memoized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+}
+
+/// Run-shared memoized view of a [`QuorumSampler`] (`I` or `H`).
+#[derive(Clone, Debug)]
+pub struct SharedQuorumCache {
+    sampler: QuorumSampler,
+    sets: SharedSetCache,
+}
+
+impl SharedQuorumCache {
+    /// An empty shared cache over `sampler`.
+    #[must_use]
+    pub fn new(sampler: QuorumSampler) -> Self {
+        SharedQuorumCache {
+            sampler,
+            sets: SharedSetCache::new(sampler.raw()),
+        }
+    }
+
+    /// The underlying sampler.
+    #[must_use]
+    pub fn sampler(&self) -> &QuorumSampler {
+        &self.sampler
+    }
+
+    /// Strict-majority threshold (see [`QuorumSampler::majority`]).
+    #[must_use]
+    pub fn majority(&self) -> usize {
+        self.sampler.majority()
+    }
+
+    /// Runs `f` on the memoized quorum `I(s, x)` / `H(s, x)`.
+    pub fn quorum_with<R>(&self, s: StringKey, x: NodeId, f: impl FnOnce(&[NodeId]) -> R) -> R {
+        self.sets.with_set(self.sampler.key(s, x), f)
+    }
+
+    /// Membership test `y ∈ quorum(s, x)`, memoized.
+    #[must_use]
+    pub fn contains(&self, s: StringKey, x: NodeId, y: NodeId) -> bool {
+        self.sets.contains(self.sampler.key(s, x), y)
+    }
+
+    /// Position of `y` within the sorted quorum `quorum(s, x)`, if a
+    /// member (see [`SharedSetCache::position`]).
+    #[must_use]
+    pub fn position(&self, s: StringKey, x: NodeId, y: NodeId) -> Option<usize> {
+        self.sets.position(self.sampler.key(s, x), y)
+    }
+
+    /// `(hits, misses)` counters.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        self.sets.stats()
+    }
+}
+
+/// Run-shared memoized view of a [`PollSampler`] (`J`).
+#[derive(Clone, Debug)]
+pub struct SharedPollCache {
+    sampler: PollSampler,
+    sets: SharedSetCache,
+}
+
+impl SharedPollCache {
+    /// An empty shared cache over `sampler`.
+    #[must_use]
+    pub fn new(sampler: PollSampler) -> Self {
+        SharedPollCache {
+            sampler,
+            sets: SharedSetCache::new(sampler.raw()),
+        }
+    }
+
+    /// The underlying sampler.
+    #[must_use]
+    pub fn sampler(&self) -> &PollSampler {
+        &self.sampler
+    }
+
+    /// Runs `f` on the memoized poll list `J(x, r)`.
+    pub fn poll_list_with<R>(&self, x: NodeId, r: Label, f: impl FnOnce(&[NodeId]) -> R) -> R {
+        self.sets.with_set(self.sampler.key(x, r), f)
+    }
+
+    /// Membership test `w ∈ J(x, r)`, memoized.
+    #[must_use]
+    pub fn contains(&self, x: NodeId, r: Label, w: NodeId) -> bool {
+        self.sets.contains(self.sampler.key(x, r), w)
+    }
+
+    /// Position of `w` within the sorted poll list `J(x, r)`, if a member
+    /// (see [`SharedSetCache::position`]).
+    #[must_use]
+    pub fn position(&self, x: NodeId, r: Label, w: NodeId) -> Option<usize> {
+        self.sets.position(self.sampler.key(x, r), w)
+    }
+
+    /// `(hits, misses)` counters.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        self.sets.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quorum::tags;
+
+    #[test]
+    fn quorum_vec_inline_stays_sorted() {
+        let mut q = QuorumVec::with_capacity(8);
+        for idx in [5usize, 1, 9, 3, 7] {
+            let id = NodeId::from_index(idx);
+            let pos = q.as_slice().binary_search(&id).unwrap_err();
+            q.insert(pos, id);
+        }
+        let got: Vec<usize> = q.as_slice().iter().map(|id| id.index()).collect();
+        assert_eq!(got, vec![1, 3, 5, 7, 9]);
+        assert!(q.contains(NodeId::from_index(7)));
+        assert!(!q.contains(NodeId::from_index(2)));
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn quorum_vec_heap_spill_for_large_capacity() {
+        let d = INLINE_QUORUM + 10;
+        let s = Sampler::new(3, 1, 4 * d, d);
+        let mut q = QuorumVec::with_capacity(d);
+        s.fill(77, &mut q);
+        assert_eq!(q.len(), d);
+        assert_eq!(q.to_vec(), s.set_for(77));
+    }
+
+    #[test]
+    fn fill_matches_set_for() {
+        let s = Sampler::new(11, 2, 100, 12);
+        for key in 0..200u64 {
+            let mut q = QuorumVec::with_capacity(s.d());
+            s.fill(key, &mut q);
+            assert_eq!(q.to_vec(), s.set_for(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn set_cache_hits_after_first_use() {
+        let s = Sampler::new(5, 3, 64, 8);
+        let mut c = SetCache::new(s);
+        let first = c.get(42).to_vec();
+        let again = c.get(42).to_vec();
+        assert_eq!(first, again);
+        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(42, first[0]));
+        assert_eq!(c.stats(), (2, 1));
+    }
+
+    #[test]
+    fn quorum_cache_agrees_with_sampler() {
+        let q = QuorumSampler::new(9, tags::PUSH, 128, 10);
+        let mut cache = QuorumCache::new(q);
+        for k in 0..32u64 {
+            let s = StringKey(k);
+            let x = NodeId::from_index((k % 128) as usize);
+            assert_eq!(cache.quorum(s, x), &q.quorum(s, x)[..]);
+            for yi in (0..128).step_by(7) {
+                let y = NodeId::from_index(yi);
+                assert_eq!(cache.contains(s, x, y), q.contains(s, x, y));
+            }
+        }
+        assert_eq!(cache.majority(), q.majority());
+        assert_eq!(cache.d(), q.d());
+    }
+
+    #[test]
+    fn poll_cache_agrees_with_sampler() {
+        let j = PollSampler::new(9, 64, 7, PollSampler::default_cardinality(64));
+        let mut cache = PollCache::new(j);
+        for k in 0..16u64 {
+            let x = NodeId::from_index((k % 64) as usize);
+            let r = Label(k * 31 % j.label_cardinality());
+            assert_eq!(cache.poll_list(x, r), &j.poll_list(x, r)[..]);
+            for wi in (0..64).step_by(5) {
+                let w = NodeId::from_index(wi);
+                assert_eq!(cache.contains(x, r, w), j.contains(x, r, w));
+            }
+        }
+    }
+}

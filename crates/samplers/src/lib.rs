@@ -18,6 +18,18 @@
 //! ([`properties`]) instead of assuming them — see DESIGN.md, substitution
 //! 2.
 //!
+//! ## Memoization and determinism
+//!
+//! Every sampler is a pure function of `(public seed, key)`, so hot paths
+//! memoize whole sets: [`QuorumCache`] / [`PollCache`] store each
+//! evaluated quorum or poll list (as an inline [`QuorumVec`]) in a
+//! fast-hash map and answer repeat membership queries with a binary
+//! search. A cache hit returns byte-identical data to a fresh evaluation
+//! — caching cannot change any protocol outcome, only how often the Floyd
+//! sampling loop runs. `tests/cache_equiv.rs` asserts cached ≡ uncached
+//! over randomized keys, and the engine-level determinism tests in
+//! `fba-sim` and the integration suite pin run outcomes end to end.
+//!
 //! ```
 //! use fba_samplers::{PollSampler, QuorumScheme, StringKey};
 //! use fba_sim::NodeId;
@@ -36,12 +48,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod poll;
 pub mod properties;
 mod quorum;
 mod sampler;
 mod strings;
 
+pub use cache::{
+    PollCache, QuorumCache, QuorumVec, SetCache, SharedPollCache, SharedQuorumCache,
+    SharedSetCache, INLINE_QUORUM,
+};
 pub use poll::{Label, PollSampler};
 pub use quorum::{default_quorum_size, tags, QuorumSampler, QuorumScheme};
 pub use sampler::Sampler;

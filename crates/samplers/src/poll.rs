@@ -90,9 +90,14 @@ impl PollSampler {
     }
 
     #[inline]
-    fn key(&self, x: NodeId, r: Label) -> u64 {
+    pub(crate) fn key(&self, x: NodeId, r: Label) -> u64 {
         debug_assert!(r.0 < self.label_cardinality, "label out of domain");
         mix(x.index() as u64, &[r.0])
+    }
+
+    /// The underlying raw sampler (crate-internal, for the cache layer).
+    pub(crate) fn raw(&self) -> Sampler {
+        self.inner
     }
 
     /// The poll list `J(x, r)`, sorted ascending.
@@ -168,7 +173,10 @@ mod tests {
         let mut rng = derive_rng(8, &[]);
         let a = j.random_label(&mut rng);
         let b = j.random_label(&mut rng);
-        assert_ne!(a, b, "two draws from a large domain colliding is ~impossible");
+        assert_ne!(
+            a, b,
+            "two draws from a large domain colliding is ~impossible"
+        );
     }
 
     #[test]

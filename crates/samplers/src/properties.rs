@@ -153,7 +153,10 @@ pub fn greedy_min_border(
     let n = j.n();
     let max_size = sizes.iter().copied().max().unwrap_or(0);
     assert!(max_size <= n, "family size exceeds n");
-    assert!(sizes.iter().all(|&s| s > 0), "family sizes must be positive");
+    assert!(
+        sizes.iter().all(|&s| s > 0),
+        "family sizes must be positive"
+    );
 
     // Pre-scan candidate labels for every node.
     let candidates: Vec<Vec<(Label, Vec<NodeId>)>> = (0..n)
@@ -393,7 +396,10 @@ mod tests {
         let d = 17;
         let q = QuorumSampler::new(2, tags::PULL, n, d);
         let (max, mean) = indegree_stats(&q, StringKey(77));
-        assert!((mean - d as f64).abs() < 1e-9, "mean in-degree must be exactly d");
+        assert!(
+            (mean - d as f64).abs() < 1e-9,
+            "mean in-degree must be exactly d"
+        );
         assert!(max < 4 * d, "no node may be overloaded: max {max} vs d {d}");
     }
 
@@ -427,6 +433,9 @@ mod tests {
         let a = lemma6_envelope(256, 1.0);
         let b = lemma6_envelope(1 << 20, 1.0);
         assert!(b >= a);
-        assert!(b <= 16, "log n / log log n stays tiny at these scales, got {b}");
+        assert!(
+            b <= 16,
+            "log n / log log n stays tiny at these scales, got {b}"
+        );
     }
 }

@@ -60,9 +60,14 @@ impl QuorumSampler {
     }
 
     #[inline]
-    fn key(&self, s: StringKey, x: NodeId) -> u64 {
+    pub(crate) fn key(&self, s: StringKey, x: NodeId) -> u64 {
         // The paper's `H(i, x) = S(i·n + x)` two-variable split.
         mix(s.0, &[x.index() as u64])
+    }
+
+    /// The underlying raw sampler (crate-internal, for the cache layer).
+    pub(crate) fn raw(&self) -> Sampler {
+        self.inner
     }
 
     /// The quorum assigned to string `s` and node `x` — the paper's
@@ -141,6 +146,33 @@ impl QuorumScheme {
     #[must_use]
     pub fn d(&self) -> usize {
         self.d
+    }
+
+    /// A fresh memoizing view of the push sampler `I` (see
+    /// [`crate::QuorumCache`]); per-node protocol state holds one so push
+    /// membership checks stop re-running Floyd sampling per message.
+    #[must_use]
+    pub fn cached_push(&self) -> crate::QuorumCache {
+        crate::QuorumCache::new(self.push)
+    }
+
+    /// A fresh memoizing view of the pull sampler `H`.
+    #[must_use]
+    pub fn cached_pull(&self) -> crate::QuorumCache {
+        crate::QuorumCache::new(self.pull)
+    }
+
+    /// A fresh run-shared memoizing view of `I` (see
+    /// [`crate::SharedQuorumCache`]); one per run, cloned into every node.
+    #[must_use]
+    pub fn shared_push(&self) -> crate::SharedQuorumCache {
+        crate::SharedQuorumCache::new(self.push)
+    }
+
+    /// A fresh run-shared memoizing view of `H`.
+    #[must_use]
+    pub fn shared_pull(&self) -> crate::SharedQuorumCache {
+        crate::SharedQuorumCache::new(self.pull)
     }
 }
 

@@ -79,50 +79,84 @@ impl Sampler {
         splitmix64(mix(self.seed, &[self.tag, key]) ^ splitmix64(i ^ 0x5bd1_e995))
     }
 
+    /// The `i`-th Floyd draw for `key`: a uniform value in `0..=j`.
+    #[inline]
+    pub(crate) fn pick(&self, key: u64, i: u64, j: usize) -> usize {
+        reduce(self.stream(key, i), j + 1)
+    }
+
     /// The `d`-subset assigned to `key`, sorted ascending.
     ///
-    /// Uses Floyd's algorithm: a uniform `d`-subset of `[n]` using exactly
-    /// `d` hash evaluations.
+    /// Uses Floyd's algorithm — a uniform `d`-subset of `[n]` from exactly
+    /// `d` hash evaluations — over a sorted probe buffer, so the whole
+    /// evaluation is `O(d log d)` comparisons instead of the `O(d²)` of a
+    /// linear membership scan. The collision branch (`t` already chosen →
+    /// take `j`) appends in place because `j` strictly exceeds every
+    /// previously chosen value, which also means the output needs no final
+    /// sort.
     #[must_use]
     #[allow(clippy::explicit_counter_loop)] // `i` indexes the hash stream, not the loop
     pub fn set_for(&self, key: u64) -> Vec<NodeId> {
-        let mut chosen: Vec<u32> = Vec::with_capacity(self.d);
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(self.d);
         let mut i = 0u64;
         for j in (self.n - self.d)..self.n {
-            let t = reduce(self.stream(key, i), j + 1) as u32;
+            let t = NodeId::from_index(reduce(self.stream(key, i), j + 1));
             i += 1;
-            if chosen.contains(&t) {
-                chosen.push(j as u32);
-            } else {
-                chosen.push(t);
+            match chosen.binary_search(&t) {
+                Ok(_) => chosen.push(NodeId::from_index(j)),
+                Err(pos) => chosen.insert(pos, t),
             }
         }
-        chosen.sort_unstable();
         chosen
-            .into_iter()
-            .map(|v| NodeId::from_index(v as usize))
-            .collect()
     }
 
     /// Whether `node` belongs to the subset assigned to `key`.
     ///
-    /// Costs one [`Sampler::set_for`] evaluation; quorum sizes are
-    /// `O(log n)` so this is cheap, but hot paths should cache the set.
+    /// Re-runs Floyd's algorithm over a stack probe buffer (no heap
+    /// allocation for `d ≤ 64`, i.e. every realistic quorum size),
+    /// checking each pick as it is drawn. Hot paths should still memoize
+    /// whole sets — see `QuorumCache` — but the uncached cost is
+    /// `O(d log d)`.
     #[must_use]
-    #[allow(clippy::explicit_counter_loop)] // `i` indexes the hash stream, not the loop
     pub fn contains(&self, key: u64, node: NodeId) -> bool {
-        // Re-run Floyd's algorithm, checking as we go.
-        let target = node.raw();
-        let mut chosen: Vec<u32> = Vec::with_capacity(self.d);
+        const STACK_PROBE: usize = 64;
+        if self.d <= STACK_PROBE {
+            let mut buf = [0u32; STACK_PROBE];
+            self.contains_probe(key, node.raw(), &mut buf)
+        } else {
+            let mut buf = vec![0u32; self.d];
+            self.contains_probe(key, node.raw(), &mut buf)
+        }
+    }
+
+    /// Floyd's algorithm over a caller-provided sorted probe buffer of at
+    /// least `d` slots, returning as soon as `target` is picked.
+    #[allow(clippy::explicit_counter_loop)] // `i` indexes the hash stream, not the loop
+    fn contains_probe(&self, key: u64, target: u32, buf: &mut [u32]) -> bool {
+        let mut len = 0usize;
         let mut i = 0u64;
         for j in (self.n - self.d)..self.n {
             let t = reduce(self.stream(key, i), j + 1) as u32;
             i += 1;
-            let pick = if chosen.contains(&t) { j as u32 } else { t };
-            if pick == target {
-                return true;
+            match buf[..len].binary_search(&t) {
+                Ok(_) => {
+                    // Collision → Floyd picks `j`, which is strictly larger
+                    // than every buffered value: append keeps sortedness.
+                    let pick = j as u32;
+                    if pick == target {
+                        return true;
+                    }
+                    buf[len] = pick;
+                }
+                Err(pos) => {
+                    if t == target {
+                        return true;
+                    }
+                    buf.copy_within(pos..len, pos + 1);
+                    buf[pos] = t;
+                }
             }
-            chosen.push(pick);
+            len += 1;
         }
         false
     }

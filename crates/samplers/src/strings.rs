@@ -34,10 +34,23 @@ pub const MAX_GSTRING_BITS: usize = 128;
 /// assert_eq!(s.len_bits(), 40);
 /// assert_eq!(s, s.clone());
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GString {
     bytes: [u8; MAX_GSTRING_BITS / 8],
     len_bits: u16,
+    /// Content hash, computed once at construction — the protocol keys
+    /// every quorum lookup and counter map by it, several times per
+    /// delivered message, so recomputing it on demand was a measurable
+    /// slice of the pull-phase hot path. Derived `Eq`/`Ord`/`Hash` stay
+    /// consistent: the key is a pure function of `(bytes, len_bits)` and
+    /// is only compared when those already tie.
+    key: StringKey,
+}
+
+impl Default for GString {
+    fn default() -> Self {
+        Self::zeroes(0)
+    }
 }
 
 impl GString {
@@ -62,10 +75,18 @@ impl GString {
                 bytes[i / 8] |= 1 << (i % 8);
             }
         }
-        GString {
+        Self::with_key(bytes, bits.len() as u16)
+    }
+
+    /// Finishes construction by stamping the content hash.
+    fn with_key(bytes: [u8; MAX_GSTRING_BITS / 8], len_bits: u16) -> Self {
+        let mut s = GString {
             bytes,
-            len_bits: bits.len() as u16,
-        }
+            len_bits,
+            key: StringKey(0),
+        };
+        s.key = s.compute_key();
+        s
     }
 
     /// A string of `len_bits` zero bits (the "default value" candidate the
@@ -77,10 +98,7 @@ impl GString {
     #[must_use]
     pub fn zeroes(len_bits: usize) -> Self {
         Self::check_len(len_bits);
-        GString {
-            bytes: [0u8; MAX_GSTRING_BITS / 8],
-            len_bits: len_bits as u16,
-        }
+        Self::with_key([0u8; MAX_GSTRING_BITS / 8], len_bits as u16)
     }
 
     /// A uniformly random string of `len_bits` bits.
@@ -95,10 +113,7 @@ impl GString {
         let used = len_bits.div_ceil(8);
         rng.fill(&mut bytes[..used]);
         Self::mask_tail(&mut bytes[..used], len_bits);
-        GString {
-            bytes,
-            len_bits: len_bits as u16,
-        }
+        Self::with_key(bytes, len_bits as u16)
     }
 
     /// A string whose first `⌈random_fraction·len⌉` bits are uniform (drawn
@@ -108,7 +123,12 @@ impl GString {
     /// uniformly random while the rest may be chosen by the adversary
     /// (committee members it controls).
     #[must_use]
-    pub fn mixed(len_bits: usize, random_fraction: f64, adv_bit: bool, rng: &mut ChaCha12Rng) -> Self {
+    pub fn mixed(
+        len_bits: usize,
+        random_fraction: f64,
+        adv_bit: bool,
+        rng: &mut ChaCha12Rng,
+    ) -> Self {
         let random_bits = ((len_bits as f64) * random_fraction).ceil() as usize;
         let random_bits = random_bits.min(len_bits);
         let bits: Vec<bool> = (0..len_bits)
@@ -172,9 +192,14 @@ impl GString {
     }
 
     /// The string's identity in the agreement domain `D`: a 64-bit content
-    /// hash used as the sampler key for push/pull quorums.
+    /// hash used as the sampler key for push/pull quorums. Precomputed at
+    /// construction; this accessor is free.
     #[must_use]
     pub fn key(&self) -> StringKey {
+        self.key
+    }
+
+    fn compute_key(&self) -> StringKey {
         let mut acc = splitmix64(u64::from(self.len_bits) ^ 0x6773_7472); // "gstr"
         for chunk in self.bytes[..self.len_bits().div_ceil(8)].chunks(8) {
             let mut word = [0u8; 8];
@@ -187,7 +212,12 @@ impl GString {
 
 impl fmt::Debug for GString {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "GString({} bits, key={:016x})", self.len_bits, self.key().0)
+        write!(
+            f,
+            "GString({} bits, key={:016x})",
+            self.len_bits,
+            self.key().0
+        )
     }
 }
 

@@ -1,0 +1,95 @@
+//! Cached vs. uncached sampler evaluation must agree bit for bit: the
+//! memoization layer is a pure lookup table over pure functions, so any
+//! divergence is a bug. Randomized over seeds, sizes, keys and probes.
+
+use fba_samplers::{
+    default_quorum_size, Label, PollCache, PollSampler, QuorumSampler, QuorumScheme, StringKey,
+};
+use fba_sim::NodeId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cached_quorums_match_uncached(
+        seed in any::<u64>(),
+        n in 8usize..512,
+        keys in collection::vec(any::<u64>(), 1..20),
+        probe_salt in any::<u64>(),
+    ) {
+        let d = default_quorum_size(n, 3.0).min(n);
+        let scheme = QuorumScheme::new(seed, n, d);
+        let mut push_cache = scheme.cached_push();
+        let mut pull_cache = scheme.cached_pull();
+        for (k, &key) in keys.iter().enumerate() {
+            let s = StringKey(key);
+            let x = NodeId::from_index(key as usize % n);
+            // Query each key twice so both the miss and the hit path run.
+            for _ in 0..2 {
+                prop_assert_eq!(push_cache.quorum(s, x), &scheme.push.quorum(s, x)[..]);
+                prop_assert_eq!(pull_cache.quorum(s, x), &scheme.pull.quorum(s, x)[..]);
+            }
+            let y = NodeId::from_index(
+                fba_sim::rng::splitmix64(probe_salt ^ k as u64) as usize % n,
+            );
+            prop_assert_eq!(push_cache.contains(s, x, y), scheme.push.contains(s, x, y));
+            prop_assert_eq!(pull_cache.contains(s, x, y), scheme.pull.contains(s, x, y));
+        }
+        // Second pass over every key must be pure hits and still agree.
+        let (_, misses_before) = pull_cache.stats();
+        for &key in &keys {
+            let s = StringKey(key);
+            let x = NodeId::from_index(key as usize % n);
+            prop_assert_eq!(pull_cache.quorum(s, x), &scheme.pull.quorum(s, x)[..]);
+        }
+        let (_, misses_after) = pull_cache.stats();
+        prop_assert_eq!(misses_before, misses_after, "second pass must not recompute");
+    }
+
+    #[test]
+    fn cached_poll_lists_match_uncached(
+        seed in any::<u64>(),
+        n in 8usize..256,
+        labels in collection::vec(any::<u64>(), 1..16),
+    ) {
+        let d = default_quorum_size(n, 2.0).min(n);
+        let j = PollSampler::new(seed, n, d, PollSampler::default_cardinality(n));
+        let mut cache = PollCache::new(j);
+        for &raw in &labels {
+            let x = NodeId::from_index(raw as usize % n);
+            let r = Label(raw % j.label_cardinality());
+            prop_assert_eq!(cache.poll_list(x, r), &j.poll_list(x, r)[..]);
+            for wi in (0..n).step_by(11) {
+                let w = NodeId::from_index(wi);
+                prop_assert_eq!(cache.contains(x, r, w), j.contains(x, r, w));
+            }
+        }
+    }
+
+    #[test]
+    fn contains_still_matches_enumeration_after_probe_rework(
+        seed in any::<u64>(),
+        n in 1usize..200,
+        key in any::<u64>(),
+    ) {
+        // The sorted-probe Floyd rewrite must preserve exact membership
+        // semantics, including d = n and d = 1 edges.
+        for d in [1, (n / 3).max(1), n] {
+            let q = QuorumSampler::new(seed, fba_samplers::tags::PUSH, n, d);
+            let members = q.quorum(StringKey(key), NodeId::from_index(0));
+            prop_assert_eq!(members.len(), d);
+            let mut sorted = members.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&sorted, &members, "set_for must come out sorted");
+            for yi in 0..n {
+                let y = NodeId::from_index(yi);
+                prop_assert_eq!(
+                    q.contains(StringKey(key), NodeId::from_index(0), y),
+                    members.contains(&y),
+                    "n={} d={} y={}", n, d, yi
+                );
+            }
+        }
+    }
+}

@@ -199,7 +199,10 @@ mod tests {
     fn choose_corrupt_is_deterministic() {
         let mut a = derive_rng(5, &[]);
         let mut b = derive_rng(5, &[]);
-        assert_eq!(choose_corrupt(64, 21, &mut a), choose_corrupt(64, 21, &mut b));
+        assert_eq!(
+            choose_corrupt(64, 21, &mut a),
+            choose_corrupt(64, 21, &mut b)
+        );
     }
 
     #[test]
@@ -217,7 +220,10 @@ mod tests {
         out.send_as(NodeId::from_index(1), NodeId::from_index(0), 7);
         assert_eq!(out.len(), 1);
         let sends = out.into_sends();
-        assert_eq!(sends, vec![(NodeId::from_index(1), NodeId::from_index(0), 7)]);
+        assert_eq!(
+            sends,
+            vec![(NodeId::from_index(1), NodeId::from_index(0), 7)]
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use rand_chacha::ChaCha12Rng;
 
 use crate::adversary::{Adversary, Outbox};
+use crate::calendar::CalendarQueue;
 use crate::ids::{ceil_log2, NodeId, Step};
 use crate::message::Envelope;
 use crate::metrics::Metrics;
@@ -123,12 +124,6 @@ impl<O: Clone + Eq, M> RunOutcome<O, M> {
     }
 }
 
-struct Delivery<M> {
-    priority: i64,
-    seq: u64,
-    env: Envelope<M>,
-}
-
 /// Runs a protocol to completion under the given adversary.
 ///
 /// `factory(id)` builds the state machine for each *correct* node; corrupt
@@ -196,7 +191,7 @@ where
         .collect();
     let mut rngs: Vec<ChaCha12Rng> = (0..n).map(|i| node_rng(master_seed, i)).collect();
 
-    let mut metrics = Metrics::new(n, corrupt.clone());
+    let mut metrics = Metrics::new(n, &corrupt);
     let mut outputs: BTreeMap<NodeId, P::Output> = BTreeMap::new();
     let mut decided = vec![false; n];
     // Corrupt nodes count as "decided" for the stop condition.
@@ -205,9 +200,15 @@ where
     }
     let mut undecided = n - corrupt.len();
 
-    let mut pending: BTreeMap<Step, Vec<Delivery<P::Msg>>> = BTreeMap::new();
-    let mut seq: u64 = 0;
+    let max_delay = cfg.max_delay.max(1);
+    let mut pending: CalendarQueue<Envelope<P::Msg>> = CalendarQueue::new(max_delay);
     let mut transcript: Vec<Envelope<P::Msg>> = Vec::new();
+
+    // Per-step scratch buffers, reused across the whole run.
+    let mut sends: Vec<Envelope<P::Msg>> = Vec::new();
+    let mut outbox_buf: Vec<(NodeId, P::Msg)> = Vec::new();
+    let mut due: Vec<Envelope<P::Msg>> = Vec::new();
+    let mut sched_buf: Vec<(Step, i64)> = Vec::new();
 
     let mut all_decided_at: Option<Step> = None;
     let mut drain_started_at: Option<Step> = None;
@@ -216,8 +217,7 @@ where
     let mut step: Step = 0;
     loop {
         let draining = all_decided_at.is_some();
-        let mut step_sends: Vec<Envelope<P::Msg>> = Vec::new();
-        let mut outbox_buf: Vec<(NodeId, P::Msg)> = Vec::new();
+        sends.clear();
 
         // 1. Per-step protocol callbacks: on_start at step 0, on_step later.
         for i in 0..n {
@@ -232,7 +232,7 @@ where
                 node.on_step(&mut ctx);
             }
             for (to, msg) in outbox_buf.drain(..) {
-                step_sends.push(Envelope {
+                sends.push(Envelope {
                     from: id,
                     to,
                     sent_at: step,
@@ -242,41 +242,37 @@ where
         }
 
         // 2. Deliveries due this step (scheduled at earlier steps).
-        if let Some(mut due) = pending.remove(&step) {
-            due.sort_by_key(|d| (d.priority, d.seq));
-            for d in due {
-                let env = d.env;
-                metrics.record_recv(env.to, env.total_bits(header_bits));
-                let i = env.to.index();
-                if let Some(node) = nodes[i].as_mut() {
-                    let mut ctx = Context::new(env.to, n, step, &mut rngs[i], &mut outbox_buf);
-                    node.on_message(env.from, env.msg, &mut ctx);
-                    for (to, msg) in outbox_buf.drain(..) {
-                        step_sends.push(Envelope {
-                            from: env.to,
-                            to,
-                            sent_at: step,
-                            msg,
-                        });
-                    }
+        pending.drain_due(step, &mut due);
+        for env in due.drain(..) {
+            metrics.record_recv(env.to, env.total_bits(header_bits));
+            let i = env.to.index();
+            if let Some(node) = nodes[i].as_mut() {
+                let mut ctx = Context::new(env.to, n, step, &mut rngs[i], &mut outbox_buf);
+                node.on_message(env.from, env.msg, &mut ctx);
+                for (to, msg) in outbox_buf.drain(..) {
+                    sends.push(Envelope {
+                        from: env.to,
+                        to,
+                        sent_at: step,
+                        msg,
+                    });
                 }
-                // Deliveries to corrupt nodes reach the adversary through
-                // `observe`, which sees every envelope anyway.
             }
+            // Deliveries to corrupt nodes reach the adversary through
+            // `observe`, which sees every envelope anyway.
         }
 
         // 3. Adversary turn (full information; rushing sees current sends).
-        let mut all_sends = step_sends;
         if !draining {
             let rushing_view: Option<&[Envelope<P::Msg>]> = if adversary.rushing() {
-                Some(&all_sends)
+                Some(&sends)
             } else {
                 None
             };
             let mut out = Outbox::new(&corrupt, n);
             adversary.act(step, rushing_view, &mut out);
             for (from, to, msg) in out.into_sends() {
-                all_sends.push(Envelope {
+                sends.push(Envelope {
                     from,
                     to,
                     sent_at: step,
@@ -285,27 +281,43 @@ where
             }
         }
 
-        // 4. Schedule every send of this step.
-        for env in &all_sends {
+        // 4. Schedule every send of this step. The adversary is consulted
+        //    (delay then priority, per envelope, in send order) and then
+        //    observes the step before envelopes move into the queue, so the
+        //    call order visible to stateful adversaries matches the
+        //    pre-ring-buffer engine exactly.
+        sched_buf.clear();
+        let mut uniform: Option<Step> = Some(1);
+        for env in &sends {
             metrics.record_send(env.from, env.total_bits(header_bits));
             let (delay, priority) = if draining {
                 (1, 0)
             } else {
                 (
-                    adversary.delay(env).clamp(1, cfg.max_delay),
+                    adversary.delay(env).clamp(1, max_delay),
                     adversary.priority(env),
                 )
             };
-            seq += 1;
-            pending.entry(step + delay).or_default().push(Delivery {
-                priority,
-                seq,
-                env: env.clone(),
-            });
+            uniform = match uniform {
+                Some(d) if priority == 0 && (d == delay || sched_buf.is_empty()) => Some(delay),
+                _ => None,
+            };
+            sched_buf.push((delay, priority));
         }
-        adversary.observe(step, &all_sends);
+        adversary.observe(step, &sends);
         if cfg.record_transcript {
-            transcript.extend(all_sends.iter().cloned());
+            transcript.extend(sends.iter().cloned());
+        }
+        match uniform {
+            // Common case (synchronous timing or a non-scheduling
+            // adversary): one vector swap moves the whole step's sends
+            // into the ring slot.
+            Some(delay) if !sends.is_empty() => pending.schedule_bulk(step, delay, &mut sends),
+            _ => {
+                for (env, &(delay, priority)) in sends.drain(..).zip(sched_buf.iter()) {
+                    pending.schedule(step, delay, priority, env);
+                }
+            }
         }
 
         // 5. Decision tracking.
@@ -547,8 +559,9 @@ mod tests {
         let cfg = EngineConfig::sync(3);
         let fair = run::<FirstWins, _, _>(&cfg, 2, &mut NoAdversary, |_| FirstWins { first: None });
         assert_eq!(fair.outputs[&NodeId::from_index(0)], 1); // send order: node 1 first
-        let skewed =
-            run::<FirstWins, _, _>(&cfg, 2, &mut ReorderAdversary, |_| FirstWins { first: None });
+        let skewed = run::<FirstWins, _, _>(&cfg, 2, &mut ReorderAdversary, |_| FirstWins {
+            first: None,
+        });
         assert_eq!(skewed.outputs[&NodeId::from_index(0)], 2); // adversary flipped it
     }
 

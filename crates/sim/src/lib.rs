@@ -20,6 +20,30 @@
 //! Runs are pure functions of a 64-bit master seed, so every experiment in
 //! the repository replays exactly.
 //!
+//! ## Determinism contract
+//!
+//! Every performance mechanism in this workspace is *outcome-invariant* by
+//! construction, so speed never trades against replayability:
+//!
+//! * **Event queue** — the engine schedules deliveries in a
+//!   [`calendar::CalendarQueue`] ring buffer. It preserves the exact
+//!   delivery order of the ordered-map queue it replaced (step order, then
+//!   `(priority, insertion order)` within a step); the randomized
+//!   equivalence test in `tests/calendar_equiv.rs` checks this against a
+//!   `BTreeMap` reference model.
+//! * **Scratch reuse** — per-step send/delivery buffers are recycled, not
+//!   reallocated. Buffer capacity is invisible to protocol logic, and the
+//!   adversary callback order (`delay` then `priority` per envelope in
+//!   send order, then `observe`) is unchanged, so stateful adversaries see
+//!   the same call sequence.
+//! * **Memoization** — quorum caching in `fba-samplers` memoizes pure
+//!   functions of `(public seed, string, node)`; a cache hit returns the
+//!   same bytes the sampler would recompute.
+//! * **Parallelism** — experiment sweeps fan out *whole runs*, each a pure
+//!   function of `(config, seed)`, and aggregate results by input index.
+//!   Thread count and interleaving cannot affect any run's RNG streams,
+//!   so parallel output equals serial output bit for bit.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -55,7 +79,9 @@
 #![warn(missing_docs)]
 
 mod adversary;
+pub mod calendar;
 mod engine;
+pub mod fxhash;
 mod ids;
 mod message;
 mod metrics;

@@ -53,10 +53,16 @@ impl LoadSummary {
 }
 
 /// Communication and decision accounting for one simulated run.
+///
+/// The corrupt set is borrowed at construction and stored as a membership
+/// mask: per-node `O(1)` corruption checks on the metric paths, and no
+/// clone of the caller's set (the engine keeps ownership for
+/// [`crate::RunOutcome::corrupt`]).
 #[derive(Clone, Debug)]
 pub struct Metrics {
     n: usize,
-    corrupt: BTreeSet<NodeId>,
+    corrupt_mask: Vec<bool>,
+    corrupt_count: usize,
     msgs_sent: Vec<u64>,
     bits_sent: Vec<u64>,
     msgs_recv: Vec<u64>,
@@ -68,12 +74,21 @@ pub struct Metrics {
 
 impl Metrics {
     /// Creates empty metrics for a system of `n` nodes with the given
-    /// corrupt set.
+    /// corrupt set (borrowed; out-of-range ids are ignored).
     #[must_use]
-    pub fn new(n: usize, corrupt: BTreeSet<NodeId>) -> Self {
+    pub fn new(n: usize, corrupt: &BTreeSet<NodeId>) -> Self {
+        let mut corrupt_mask = vec![false; n];
+        let mut corrupt_count = 0;
+        for id in corrupt {
+            if id.index() < n && !corrupt_mask[id.index()] {
+                corrupt_mask[id.index()] = true;
+                corrupt_count += 1;
+            }
+        }
         Metrics {
             n,
-            corrupt,
+            corrupt_mask,
+            corrupt_count,
             msgs_sent: vec![0; n],
             bits_sent: vec![0; n],
             msgs_recv: vec![0; n],
@@ -89,10 +104,16 @@ impl Metrics {
         self.n
     }
 
-    /// The corrupt (Byzantine) node set of this run.
+    /// Whether `node` is in this run's corrupt set.
     #[must_use]
-    pub fn corrupt(&self) -> &BTreeSet<NodeId> {
-        &self.corrupt
+    pub fn is_corrupt(&self, node: NodeId) -> bool {
+        self.corrupt_mask[node.index()]
+    }
+
+    /// Size of this run's corrupt set.
+    #[must_use]
+    pub fn corrupt_count(&self) -> usize {
+        self.corrupt_count
     }
 
     /// Records one sent message of `bits` total wire bits.
@@ -179,7 +200,7 @@ impl Metrics {
     fn correct_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.n)
             .map(NodeId::from_index)
-            .filter(move |id| !self.corrupt.contains(id))
+            .filter(move |id| !self.corrupt_mask[id.index()])
     }
 
     /// Total bits sent by correct nodes.
@@ -190,13 +211,17 @@ impl Metrics {
     /// (see Lemma 3's phrasing "messages sent by any good node").
     #[must_use]
     pub fn correct_bits_sent(&self) -> u64 {
-        self.correct_ids().map(|id| self.bits_sent[id.index()]).sum()
+        self.correct_ids()
+            .map(|id| self.bits_sent[id.index()])
+            .sum()
     }
 
     /// Total messages sent by correct nodes.
     #[must_use]
     pub fn correct_msgs_sent(&self) -> u64 {
-        self.correct_ids().map(|id| self.msgs_sent[id.index()]).sum()
+        self.correct_ids()
+            .map(|id| self.msgs_sent[id.index()])
+            .sum()
     }
 
     /// Total bits sent by all nodes, including Byzantine ones.
@@ -274,7 +299,7 @@ mod tests {
 
     #[test]
     fn send_recv_accounting() {
-        let mut m = Metrics::new(3, BTreeSet::new());
+        let mut m = Metrics::new(3, &BTreeSet::new());
         m.record_send(id(0), 100);
         m.record_send(id(0), 50);
         m.record_recv(id(1), 100);
@@ -289,7 +314,7 @@ mod tests {
     #[test]
     fn corrupt_traffic_excluded_from_correct_totals() {
         let corrupt: BTreeSet<_> = [id(2)].into_iter().collect();
-        let mut m = Metrics::new(3, corrupt);
+        let mut m = Metrics::new(3, &corrupt);
         m.record_send(id(0), 10);
         m.record_send(id(2), 1_000_000);
         assert_eq!(m.correct_bits_sent(), 10);
@@ -299,7 +324,7 @@ mod tests {
 
     #[test]
     fn decision_tracking_keeps_first() {
-        let mut m = Metrics::new(2, BTreeSet::new());
+        let mut m = Metrics::new(2, &BTreeSet::new());
         m.record_decision(id(0), 4);
         m.record_decision(id(0), 9);
         assert_eq!(m.decided_at(id(0)), Some(4));
@@ -311,14 +336,14 @@ mod tests {
     #[test]
     fn all_correct_decided_ignores_corrupt() {
         let corrupt: BTreeSet<_> = [id(1)].into_iter().collect();
-        let mut m = Metrics::new(2, corrupt);
+        let mut m = Metrics::new(2, &corrupt);
         m.record_decision(id(0), 3);
         assert_eq!(m.all_correct_decided_at(), Some(3));
     }
 
     #[test]
     fn decided_quantile_and_fraction() {
-        let mut m = Metrics::new(4, BTreeSet::new());
+        let mut m = Metrics::new(4, &BTreeSet::new());
         m.record_decision(id(0), 2);
         m.record_decision(id(1), 5);
         m.record_decision(id(2), 9);
@@ -334,13 +359,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside (0, 1]")]
     fn decided_quantile_rejects_zero() {
-        let m = Metrics::new(2, BTreeSet::new());
+        let m = Metrics::new(2, &BTreeSet::new());
         let _ = m.decided_quantile(0.0);
     }
 
     #[test]
     fn load_summary_basics() {
-        let mut m = Metrics::new(4, BTreeSet::new());
+        let mut m = Metrics::new(4, &BTreeSet::new());
         m.record_send(id(0), 10);
         m.record_send(id(1), 10);
         m.record_send(id(2), 10);
@@ -353,7 +378,7 @@ mod tests {
 
     #[test]
     fn load_summary_zero_traffic() {
-        let m = Metrics::new(4, BTreeSet::new());
+        let m = Metrics::new(4, &BTreeSet::new());
         let s = m.recv_load();
         assert_eq!(s.max, 0);
         assert_eq!(s.mean, 0.0);

@@ -111,7 +111,11 @@ impl<'a, M> Context<'a, M> {
     /// Panics if `to` is out of range — that is a protocol bug, not a
     /// runtime condition.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        assert!(to.index() < self.n, "send target {to} out of range (n={})", self.n);
+        assert!(
+            to.index() < self.n,
+            "send target {to} out of range (n={})",
+            self.n
+        );
         self.outbox.push((to, msg));
     }
 

@@ -1,0 +1,130 @@
+//! Randomized equivalence of the calendar ring-buffer queue against the
+//! `BTreeMap<Step, Vec<_>>` pending-delivery queue it replaced in the
+//! engine: same events in, same drain order out, over arbitrary
+//! delay/priority schedules within the bounded horizon — including the
+//! bulk fast lane the engine uses for uniform-delay priority-0 steps.
+
+use std::collections::BTreeMap;
+
+use fba_sim::calendar::CalendarQueue;
+use fba_sim::Step;
+use proptest::prelude::*;
+
+/// The old engine's queue semantics, verbatim: events bucketed by due
+/// step, stable-sorted by `(priority, seq)` at drain time.
+struct ReferenceQueue {
+    pending: BTreeMap<Step, Vec<(i64, u64, u32)>>,
+    seq: u64,
+}
+
+impl ReferenceQueue {
+    fn new() -> Self {
+        ReferenceQueue {
+            pending: BTreeMap::new(),
+            seq: 0,
+        }
+    }
+
+    fn schedule(&mut self, now: Step, delay: Step, priority: i64, item: u32) {
+        self.seq += 1;
+        self.pending
+            .entry(now + delay)
+            .or_default()
+            .push((priority, self.seq, item));
+    }
+
+    fn drain_due(&mut self, step: Step) -> Vec<u32> {
+        let Some(mut due) = self.pending.remove(&step) else {
+            return Vec::new();
+        };
+        due.sort_by_key(|&(priority, seq, _)| (priority, seq));
+        due.into_iter().map(|(_, _, item)| item).collect()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pending.values().all(Vec::is_empty)
+    }
+}
+
+fn run_schedule(max_delay: u64, schedule: &[(usize, u64, u64)], bulk_mode: impl Fn(usize) -> bool) {
+    let mut ring: CalendarQueue<u32> = CalendarQueue::new(max_delay);
+    let mut reference = ReferenceQueue::new();
+    let mut buf: Vec<u32> = Vec::new();
+    let mut batch: Vec<u32> = Vec::new();
+    let mut next_item: u32 = 0;
+
+    for (step_idx, &(count, delay_salt, prio_salt)) in schedule.iter().enumerate() {
+        let step = step_idx as Step;
+
+        // Drain first, as the engine does, and compare order exactly.
+        ring.drain_due(step, &mut buf);
+        let want = reference.drain_due(step);
+        prop_assert_eq!(&buf, &want, "divergent drain at step {}", step);
+
+        if bulk_mode(step_idx) {
+            // Engine fast path: uniform delay, priority 0, one batch.
+            let delay = 1 + fba_sim::rng::splitmix64(delay_salt) % max_delay;
+            for _ in 0..count {
+                batch.push(next_item);
+                reference.schedule(step, delay, 0, next_item);
+                next_item += 1;
+            }
+            ring.schedule_bulk(step, delay, &mut batch);
+            prop_assert!(batch.is_empty());
+        } else {
+            // Keyed path: content-derived delays and priorities
+            // (deterministic, covers duplicate priorities).
+            for k in 0..count {
+                let h = fba_sim::rng::splitmix64(delay_salt ^ ((k as u64) << 17));
+                let delay = 1 + h % max_delay;
+                let priority = (fba_sim::rng::splitmix64(prio_salt ^ k as u64) % 5) as i64 - 2;
+                ring.schedule(step, delay, priority, next_item);
+                reference.schedule(step, delay, priority, next_item);
+                next_item += 1;
+            }
+        }
+        prop_assert_eq!(ring.is_empty(), reference.is_empty());
+    }
+
+    // Flush everything still in flight and compare the tail.
+    let horizon_end = schedule.len() as Step + max_delay + 1;
+    for step in schedule.len() as Step..horizon_end {
+        ring.drain_due(step, &mut buf);
+        let want = reference.drain_due(step);
+        prop_assert_eq!(&buf, &want, "divergent tail drain at step {}", step);
+    }
+    prop_assert!(ring.is_empty());
+    prop_assert!(reference.is_empty());
+    prop_assert_eq!(ring.len(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn keyed_lane_matches_btreemap_reference(
+        max_delay in 1u64..8,
+        schedule in collection::vec((0usize..12, any::<u64>(), any::<u64>()), 1..40),
+    ) {
+        run_schedule(max_delay, &schedule, |_| false);
+    }
+
+    #[test]
+    fn bulk_lane_matches_btreemap_reference(
+        max_delay in 1u64..8,
+        schedule in collection::vec((0usize..12, any::<u64>(), any::<u64>()), 1..40),
+    ) {
+        run_schedule(max_delay, &schedule, |_| true);
+    }
+
+    #[test]
+    fn mixed_lanes_match_btreemap_reference(
+        max_delay in 1u64..8,
+        schedule in collection::vec((0usize..12, any::<u64>(), any::<u64>()), 1..40),
+        mode_salt in any::<u64>(),
+    ) {
+        run_schedule(max_delay, &schedule, |step| {
+            fba_sim::rng::splitmix64(mode_salt ^ step as u64).is_multiple_of(2)
+        });
+    }
+}

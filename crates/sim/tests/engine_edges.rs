@@ -3,9 +3,7 @@
 
 use std::collections::BTreeSet;
 
-use fba_sim::{
-    run, Adversary, Context, EngineConfig, Envelope, NodeId, Outbox, Protocol, Step,
-};
+use fba_sim::{run, Adversary, Context, EngineConfig, Envelope, NodeId, Outbox, Protocol, Step};
 use rand_chacha::ChaCha12Rng;
 
 /// Protocol that never decides and keeps chattering every step.

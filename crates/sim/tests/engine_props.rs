@@ -4,9 +4,7 @@
 
 use std::collections::BTreeSet;
 
-use fba_sim::{
-    run, Adversary, Context, EngineConfig, Envelope, NodeId, Outbox, Protocol, Step,
-};
+use fba_sim::{run, Adversary, Context, EngineConfig, Envelope, NodeId, Outbox, Protocol, Step};
 use proptest::prelude::*;
 use rand_chacha::ChaCha12Rng;
 

@@ -6,7 +6,9 @@
 //! ```
 
 use fba::ae::{Precondition, UnknowingAssignment};
-use fba::core::adversary::{AttackContext, BadString, Corner, Equivocate, PushFlood, RandomStringFlood};
+use fba::core::adversary::{
+    AttackContext, BadString, Corner, Equivocate, PushFlood, RandomStringFlood,
+};
 use fba::core::{AerConfig, AerHarness, AerMsg};
 use fba::samplers::GString;
 use fba::sim::{Adversary, EngineConfig, NoAdversary, RunOutcome, SilentAdversary};
@@ -26,11 +28,7 @@ fn evaluate(
     gstring: &GString,
     n: usize,
 ) -> Row {
-    let wrong = outcome
-        .outputs
-        .values()
-        .filter(|v| *v != gstring)
-        .count();
+    let wrong = outcome.outputs.values().filter(|v| *v != gstring).count();
     Row {
         name,
         decided: outcome.outputs.len(),
@@ -73,11 +71,27 @@ fn main() {
 
     run("none (fault-free)", &sync, &mut NoAdversary);
     run("silent t", &sync, &mut SilentAdversary::new(cfg.t));
-    run("random-string flood", &sync, &mut RandomStringFlood::new(ctx(), 16, 4));
-    run("push flood (coherent)", &sync, &mut PushFlood::new(ctx(), bad));
+    run(
+        "random-string flood",
+        &sync,
+        &mut RandomStringFlood::new(ctx(), 16, 4),
+    );
+    run(
+        "push flood (coherent)",
+        &sync,
+        &mut PushFlood::new(ctx(), bad),
+    );
     run("equivocate ×8", &sync, &mut Equivocate::new(ctx(), 8));
-    run("bad-string campaign", &sync, &mut BadString::new(ctx(), bad));
-    run("cornering (async)", &async_engine, &mut Corner::new(ctx(), 256));
+    run(
+        "bad-string campaign",
+        &sync,
+        &mut BadString::new(ctx(), bad),
+    );
+    run(
+        "cornering (async)",
+        &async_engine,
+        &mut Corner::new(ctx(), 256),
+    );
 
     println!(
         "{:<24} {:>9} {:>7} {:>7} {:>10}",

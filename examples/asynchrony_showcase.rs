@@ -27,11 +27,7 @@ fn histogram(outcome: &RunOutcome<GString, AerMsg>, n: usize) -> BTreeMap<Step, 
 }
 
 fn render(label: &str, outcome: &RunOutcome<GString, AerMsg>, n: usize, gstring: &GString) {
-    let wrong = outcome
-        .outputs
-        .values()
-        .filter(|v| *v != gstring)
-        .count();
+    let wrong = outcome.outputs.values().filter(|v| *v != gstring).count();
     println!(
         "\n== {label} ==\n   decided: {}/{} correct nodes, wrong: {wrong}",
         outcome.outputs.len(),

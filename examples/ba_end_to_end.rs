@@ -7,8 +7,8 @@
 //! cargo run --release --example ba_end_to_end
 //! ```
 
-use fba::core::ba::{run_ba, BaConfig};
 use fba::core::adversary::{AttackContext, BadString};
+use fba::core::ba::{run_ba, BaConfig};
 use fba::samplers::GString;
 use fba::sim::{NoAdversary, SilentAdversary};
 
@@ -40,14 +40,16 @@ fn main() {
     );
     println!(
         "AER phase: {} rounds, {:.0} bits/node",
-        report
-            .aer_rounds
-            .map_or("-".to_string(), |s| s.to_string()),
+        report.aer_rounds.map_or("-".to_string(), |s| s.to_string()),
         report.aer_bits_per_node
     );
     println!(
         "agreement: {} ({} of {} correct nodes)",
-        if report.success() { "SUCCESS" } else { "FAILED" },
+        if report.success() {
+            "SUCCESS"
+        } else {
+            "FAILED"
+        },
         report.decided_nodes,
         report.correct_nodes
     );
@@ -71,17 +73,17 @@ fn main() {
         "AE phase: {:.1}% of correct nodes knowing after faults",
         report.knowing_fraction_after_ae * 100.0
     );
-    let wrong = run
-        .outputs
-        .values()
-        .filter(|v| **v != ae.gstring)
-        .count();
+    let wrong = run.outputs.values().filter(|v| **v != ae.gstring).count();
     println!(
         "AER phase: {}/{} decided, {wrong} wrong decisions",
         report.decided_nodes, report.correct_nodes
     );
     println!(
         "agreement on AE majority string: {}",
-        if report.matches_ae_majority { "yes" } else { "no" }
+        if report.matches_ae_majority {
+            "yes"
+        } else {
+            "no"
+        }
     );
 }

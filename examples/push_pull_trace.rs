@@ -60,9 +60,17 @@ fn main() {
         }
     }
     println!("== Figure 2a: push phase at node {x} ==");
-    println!("   quorum size d = {}, acceptance needs > d/2 = {}", cfg.d, cfg.majority());
+    println!(
+        "   quorum size d = {}, acceptance needs > d/2 = {}",
+        cfg.d,
+        cfg.majority()
+    );
     for (label, count) in &per_string {
-        let verdict = if *count >= cfg.majority() { "ACCEPTED" } else { "rejected" };
+        let verdict = if *count >= cfg.majority() {
+            "ACCEPTED"
+        } else {
+            "rejected"
+        };
         println!("   {label}: {count} valid pushes -> {verdict}");
     }
 
@@ -84,17 +92,18 @@ fn main() {
         }
         shown += 1;
         if shown <= 30 {
-            println!(
-                "   step {}: {tag} {} -> {}",
-                env.sent_at, env.from, env.to
-            );
+            println!("   step {}: {tag} {} -> {}", env.sent_at, env.from, env.to);
         }
     }
     println!("   … {shown} messages in total served this one verification");
     println!(
         "\nnode {x} decided at step {} on {}",
         outcome.metrics.decided_at(x).expect("x decided"),
-        if outcome.outputs[&x] == *g { "gstring" } else { "a bogus string!" },
+        if outcome.outputs[&x] == *g {
+            "gstring"
+        } else {
+            "a bogus string!"
+        },
     );
     assert_eq!(outcome.outputs[&x], *g);
 }

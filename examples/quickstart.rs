@@ -45,7 +45,10 @@ fn main() {
     // 4. Inspect the outcome.
     let agreed = outcome.unanimous().expect("correct nodes agree");
     assert_eq!(agreed, &pre.gstring, "everyone converged on gstring");
-    println!("\nresult:        all {} nodes decided gstring", outcome.outputs.len());
+    println!(
+        "\nresult:        all {} nodes decided gstring",
+        outcome.outputs.len()
+    );
     println!(
         "time:          all decided by step {}",
         outcome.all_decided_at.expect("all decided")

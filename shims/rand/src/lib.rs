@@ -286,11 +286,7 @@ pub mod seq {
         /// # Panics
         ///
         /// Panics if `amount > length`.
-        pub fn sample<R: RngCore + ?Sized>(
-            rng: &mut R,
-            length: usize,
-            amount: usize,
-        ) -> IndexVec {
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
             assert!(
                 amount <= length,
                 "cannot sample {amount} of {length} indices"

@@ -144,7 +144,11 @@ macro_rules! chacha_rng {
 }
 
 chacha_rng!(ChaCha8Rng, 8, "ChaCha with 8 rounds.");
-chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds (the workspace default).");
+chacha_rng!(
+    ChaCha12Rng,
+    12,
+    "ChaCha with 12 rounds (the workspace default)."
+);
 chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds.");
 
 #[cfg(test)]

@@ -10,7 +10,12 @@ use fba::core::{AerConfig, AerHarness};
 use fba::samplers::GString;
 use fba::sim::{NoAdversary, NodeId, SilentAdversary};
 
-fn build(n: usize, seed: u64, knowing: f64, mode: UnknowingAssignment) -> (AerHarness, Precondition) {
+fn build(
+    n: usize,
+    seed: u64,
+    knowing: f64,
+    mode: UnknowingAssignment,
+) -> (AerHarness, Precondition) {
     let cfg = AerConfig::recommended(n);
     let pre = Precondition::synthetic(n, cfg.string_len, knowing, mode, seed);
     (AerHarness::from_precondition(cfg, &pre), pre)
@@ -42,14 +47,25 @@ fn aer_survives_each_adversary_without_wrong_decisions() {
         let t = h.config().t;
 
         let outcomes = vec![
-            ("silent", h.run(&h.engine_sync(), seed, &mut SilentAdversary::new(t))),
+            (
+                "silent",
+                h.run(&h.engine_sync(), seed, &mut SilentAdversary::new(t)),
+            ),
             (
                 "random-flood",
-                h.run(&h.engine_sync(), seed, &mut RandomStringFlood::new(ctx.clone(), 8, 3)),
+                h.run(
+                    &h.engine_sync(),
+                    seed,
+                    &mut RandomStringFlood::new(ctx.clone(), 8, 3),
+                ),
             ),
             (
                 "push-flood",
-                h.run(&h.engine_sync(), seed, &mut PushFlood::new(ctx.clone(), bad)),
+                h.run(
+                    &h.engine_sync(),
+                    seed,
+                    &mut PushFlood::new(ctx.clone(), bad),
+                ),
             ),
             (
                 "equivocate",
@@ -57,7 +73,11 @@ fn aer_survives_each_adversary_without_wrong_decisions() {
             ),
             (
                 "bad-string",
-                h.run(&h.engine_sync(), seed, &mut BadString::new(ctx.clone(), bad)),
+                h.run(
+                    &h.engine_sync(),
+                    seed,
+                    &mut BadString::new(ctx.clone(), bad),
+                ),
             ),
             (
                 "corner",
@@ -91,7 +111,10 @@ fn aer_is_deterministic_per_seed_and_varies_across_seeds() {
     assert_eq!(a.corrupt, b.corrupt);
 
     let c = h.run(&h.engine_sync(), 43, &mut SilentAdversary::new(8));
-    assert_ne!(a.corrupt, c.corrupt, "different seeds corrupt different sets");
+    assert_ne!(
+        a.corrupt, c.corrupt,
+        "different seeds corrupt different sets"
+    );
 }
 
 #[test]
@@ -101,11 +124,7 @@ fn aer_flood_does_not_inflate_correct_node_traffic() {
     let ctx = AttackContext::new(&h, pre.gstring);
 
     let baseline = h.run(&h.engine_sync(), 5, &mut NoAdversary);
-    let flooded = h.run(
-        &h.engine_sync(),
-        5,
-        &mut RandomStringFlood::new(ctx, 64, 8),
-    );
+    let flooded = h.run(&h.engine_sync(), 5, &mut RandomStringFlood::new(ctx, 64, 8));
     // §3.1.1: pushes never trigger responses, so correct-node output
     // traffic under blind flooding stays close to fault-free levels
     // (the corrupt set removal changes totals slightly).
@@ -132,11 +151,7 @@ fn aer_async_engine_reaches_agreement_under_delay() {
     for max_delay in [1, 2, 3] {
         let (h, pre) = build(64, 7, 0.8, UnknowingAssignment::RandomPerNode);
         let out = h.run(&h.engine_async(max_delay), 7, &mut SilentAdversary::new(8));
-        assert_eq!(
-            out.unanimous(),
-            Some(&pre.gstring),
-            "max_delay={max_delay}"
-        );
+        assert_eq!(out.unanimous(), Some(&pre.gstring), "max_delay={max_delay}");
         assert!(
             out.metrics.decided_fraction() > 0.95,
             "max_delay={max_delay}: too many undecided"

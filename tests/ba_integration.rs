@@ -87,10 +87,7 @@ fn ba_runs_with_async_aer_phase_and_cornering() {
     let cfg = BaConfig::recommended(n);
     let aer_engine = {
         let pre_cfg = cfg.aer;
-        let h = fba::core::AerHarness::new(
-            pre_cfg,
-            vec![GString::zeroes(pre_cfg.string_len); n],
-        );
+        let h = fba::core::AerHarness::new(pre_cfg, vec![GString::zeroes(pre_cfg.string_len); n]);
         h.engine_async(1)
     };
     let (report, ae, run) = run_ba(

@@ -2,7 +2,9 @@
 //! preconditions — the comparisons behind Figure 1.
 
 use fba::ae::{Precondition, UnknowingAssignment};
-use fba::baselines::{BenOrNode, BenOrParams, FloodNode, KingNode, KingParams, KlstNode, KlstParams};
+use fba::baselines::{
+    BenOrNode, BenOrParams, FloodNode, KingNode, KingParams, KlstNode, KlstParams,
+};
 use fba::core::{AerConfig, AerHarness};
 use fba::sim::{run, EngineConfig, NoAdversary, SilentAdversary};
 use rand::Rng;
@@ -136,9 +138,12 @@ fn benor_and_phase_king_agree_under_faults() {
         max_steps: kparams.schedule_len() + 8,
         ..EngineConfig::sync(n)
     };
-    let king = run::<KingNode, _, _>(&kengine, seed, &mut SilentAdversary::new(kparams.t / 2), |id| {
-        KingNode::new(kparams, n, inputs[id.index()])
-    });
+    let king = run::<KingNode, _, _>(
+        &kengine,
+        seed,
+        &mut SilentAdversary::new(kparams.t / 2),
+        |id| KingNode::new(kparams, n, inputs[id.index()]),
+    );
     assert!(king.unanimous().is_some(), "Phase-King disagreement");
     assert!(king.all_decided());
 }

@@ -53,19 +53,11 @@ fn safety_at_the_fault_boundary_is_restored_by_larger_quorums() {
                 seed,
             );
             let h = AerHarness::from_precondition(cfg, &pre);
-            let bad = *pre
-                .assignments
-                .iter()
-                .find(|s| **s != pre.gstring)
-                .unwrap();
+            let bad = *pre.assignments.iter().find(|s| **s != pre.gstring).unwrap();
             let ctx = AttackContext::new(&h, pre.gstring);
             let mut adv = BadString::new(ctx, bad);
             let out = h.run(&h.engine_sync(), seed, &mut adv);
-            let wrong = out
-                .outputs
-                .values()
-                .filter(|v| **v != pre.gstring)
-                .count();
+            let wrong = out.outputs.values().filter(|v| **v != pre.gstring).count();
             if big_d {
                 wrong_big_d += wrong;
             } else {
@@ -150,22 +142,14 @@ fn beyond_the_model_bound_agreement_demonstrably_breaks() {
     );
     let cfg = AerConfig::recommended(n);
     let h = AerHarness::from_precondition(cfg, &pre);
-    let bad = *pre
-        .assignments
-        .iter()
-        .find(|s| **s != pre.gstring)
-        .unwrap();
+    let bad = *pre.assignments.iter().find(|s| **s != pre.gstring).unwrap();
     let mut wrong = 0usize;
     for seed in [9u64, 10, 11] {
         let mut ctx = AttackContext::new(&h, pre.gstring);
         ctx.t = 40; // adversary exceeds the designed budget (out of contract)
         let mut adv = BadString::new(ctx, bad);
         let out = h.run(&h.engine_sync(), seed, &mut adv);
-        wrong += out
-            .outputs
-            .values()
-            .filter(|v| **v != pre.gstring)
-            .count();
+        wrong += out.outputs.values().filter(|v| **v != pre.gstring).count();
     }
     assert!(
         wrong > 0,
