@@ -1,25 +1,37 @@
 //! CLI: regenerate the paper's tables and figures.
 //!
 //! ```bash
-//! paperbench all            # every experiment, default scope
-//! paperbench f1a-time l6    # specific experiments
-//! paperbench --quick all    # CI-sized
-//! paperbench --full all     # adds the largest system sizes
-//! paperbench bench-engine   # throughput battery -> BENCH_engine.json
+//! paperbench all              # every experiment, default scope
+//! paperbench f1a-time l6      # specific experiments
+//! paperbench --quick all      # CI-sized
+//! paperbench --full all       # adds the largest classic system sizes
+//! paperbench --scope huge …   # scale frontier (n = 4096/8192)
+//! paperbench bench-engine     # throughput battery -> BENCH_engine.json
 //! ```
 //!
 //! Experiment sweeps fan independent seeded runs across every core
 //! (deterministically — parallel output is bit-identical to serial; set
 //! `FBA_THREADS=1` to force serial execution).
+//!
+//! Unknown experiment ids, subcommands or scope names print usage and
+//! exit non-zero without running anything.
 
 use std::process::ExitCode;
 
 use fba_bench::{engine_bench, parallelism, run_experiment, Scope, ALL_IDS};
 
+fn usage() {
+    eprintln!(
+        "usage: paperbench [--quick|--full|--huge|--scope <quick|default|full|huge>] \
+         <experiment id>... | all | bench-engine"
+    );
+    eprintln!("known ids: {}", ALL_IDS.join(", "));
+}
+
 fn run_engine_bench(scope: Scope) -> ExitCode {
     println!(
-        "bench-engine: n = {}, {} worker thread(s)…",
-        engine_bench::bench_size(scope),
+        "bench-engine: n = {:?}, {} worker thread(s)…",
+        engine_bench::bench_sizes(scope),
         parallelism()
     );
     let report = engine_bench::run(scope);
@@ -42,13 +54,31 @@ fn main() -> ExitCode {
     let mut scope = Scope::Default;
     let mut ids: Vec<String> = Vec::new();
     let mut bench_engine = false;
-    for arg in &args {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => scope = Scope::Quick,
             "--full" => scope = Scope::Full,
+            "--huge" => scope = Scope::Huge,
+            "--scope" => {
+                let Some(parsed) = iter.next().and_then(|name| Scope::parse(name)) else {
+                    eprintln!("error: --scope needs one of quick|default|full|huge");
+                    usage();
+                    return ExitCode::FAILURE;
+                };
+                scope = parsed;
+            }
             "all" => ids.extend(ALL_IDS.iter().map(ToString::to_string)),
             "bench-engine" => bench_engine = true,
-            other => ids.push(other.to_string()),
+            other => {
+                if ALL_IDS.contains(&other) {
+                    ids.push(other.to_string());
+                } else {
+                    eprintln!("error: unknown experiment id or subcommand `{other}`");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     }
     if bench_engine {
@@ -58,8 +88,7 @@ fn main() -> ExitCode {
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: paperbench [--quick|--full] <experiment id>... | all | bench-engine");
-        eprintln!("known ids: {}", ALL_IDS.join(", "));
+        usage();
         return ExitCode::FAILURE;
     }
     for id in ids {

@@ -1,13 +1,15 @@
 //! End-to-end engine throughput benchmark (`paperbench bench-engine`).
 //!
 //! Runs a battery of complete AER executions — fault-free and silent-`t`,
-//! several seeds each — at a scope-dependent system size, fanned across
-//! cores by [`crate::par_map`], and reports aggregate throughput:
-//! runs/sec, simulated steps/sec, delivered messages/sec, plus the peak
-//! candidate-list size observed via the inspection hook (the Lemma 4
-//! quantity, watched here so a perf regression that also distorts
-//! protocol state is visible immediately). The report is written to
-//! `BENCH_engine.json` so successive PRs accumulate a perf trajectory.
+//! several seeds each — at scope-dependent system sizes (*regimes*),
+//! fanned across cores by [`crate::par_map`], and reports per-regime
+//! aggregate throughput: runs/sec, simulated steps/sec, delivered
+//! messages/sec, plus the peak candidate-list size observed via the
+//! inspection hook (the Lemma 4 quantity, watched here so a perf
+//! regression that also distorts protocol state is visible immediately).
+//! The report is written to `BENCH_engine.json` so successive PRs
+//! accumulate a perf trajectory; the huge scope adds the n = 8192 regime
+//! to that trajectory.
 
 use std::time::Instant;
 
@@ -18,16 +20,14 @@ use fba_sim::{NoAdversary, SilentAdversary};
 use crate::par::{par_map, parallelism};
 use crate::scope::Scope;
 
-/// Aggregate result of one benchmark battery.
+/// Aggregate result for one system size of the benchmark battery.
 #[derive(Clone, Debug)]
-pub struct EngineBenchReport {
+pub struct RegimeReport {
     /// System size benchmarked.
     pub n: usize,
     /// Completed runs.
     pub runs: usize,
-    /// Worker threads used.
-    pub threads: usize,
-    /// Wall-clock for the whole battery, seconds.
+    /// Wall-clock for this regime's battery, seconds.
     pub elapsed_sec: f64,
     /// Runs per wall-clock second.
     pub runs_per_sec: f64,
@@ -42,28 +42,23 @@ pub struct EngineBenchReport {
     pub min_decided_fraction: f64,
 }
 
-impl EngineBenchReport {
-    /// The report as a JSON object (stable key order, no dependencies).
-    #[must_use]
-    pub fn to_json(&self) -> String {
+impl RegimeReport {
+    fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\n",
-                "  \"bench\": \"engine\",\n",
-                "  \"n\": {},\n",
-                "  \"runs\": {},\n",
-                "  \"threads\": {},\n",
-                "  \"elapsed_sec\": {:.3},\n",
-                "  \"runs_per_sec\": {:.3},\n",
-                "  \"steps_per_sec\": {:.1},\n",
-                "  \"msgs_per_sec\": {:.0},\n",
-                "  \"peak_candidates\": {},\n",
-                "  \"min_decided_fraction\": {:.4}\n",
-                "}}\n"
+                "    {{\n",
+                "      \"n\": {},\n",
+                "      \"runs\": {},\n",
+                "      \"elapsed_sec\": {:.3},\n",
+                "      \"runs_per_sec\": {:.3},\n",
+                "      \"steps_per_sec\": {:.1},\n",
+                "      \"msgs_per_sec\": {:.0},\n",
+                "      \"peak_candidates\": {},\n",
+                "      \"min_decided_fraction\": {:.4}\n",
+                "    }}"
             ),
             self.n,
             self.runs,
-            self.threads,
             self.elapsed_sec,
             self.runs_per_sec,
             self.steps_per_sec,
@@ -74,22 +69,53 @@ impl EngineBenchReport {
     }
 }
 
-/// Scope-dependent benchmark size: large enough that sampler and queue
-/// behaviour dominates, small enough for CI.
-#[must_use]
-pub fn bench_size(scope: Scope) -> usize {
-    match scope {
-        Scope::Quick => 256,
-        Scope::Default => 1024,
-        Scope::Full => 4096,
+/// Aggregate result of one benchmark battery across all regimes.
+#[derive(Clone, Debug)]
+pub struct EngineBenchReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// One entry per benchmarked system size, ascending.
+    pub regimes: Vec<RegimeReport>,
+}
+
+impl EngineBenchReport {
+    /// The report as a JSON object (stable key order, no dependencies).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let regimes: Vec<String> = self.regimes.iter().map(RegimeReport::to_json).collect();
+        format!(
+            "{{\n  \"bench\": \"engine\",\n  \"threads\": {},\n  \"regimes\": [\n{}\n  ]\n}}\n",
+            self.threads,
+            regimes.join(",\n"),
+        )
     }
 }
 
-/// Runs the battery and returns the aggregate report.
+/// Scope-dependent benchmark sizes: large enough that sampler and queue
+/// behaviour dominates, small enough for the scope's time budget. The
+/// huge scope benchmarks the scale frontier as two regimes.
 #[must_use]
-pub fn run(scope: Scope) -> EngineBenchReport {
-    let n = bench_size(scope);
-    let seeds = scope.seeds();
+pub fn bench_sizes(scope: Scope) -> Vec<usize> {
+    match scope {
+        Scope::Quick => vec![256],
+        Scope::Default => vec![1024],
+        Scope::Full => vec![4096],
+        Scope::Huge => vec![4096, 8192],
+    }
+}
+
+/// Seeds per regime. The huge scope caps the battery at four seeds per
+/// regime — its runs are tens of seconds each and throughput estimates
+/// stabilize well before the sweep-sized seed count.
+#[must_use]
+pub fn bench_seeds(scope: Scope) -> Vec<u64> {
+    match scope {
+        Scope::Huge => vec![1, 2, 3, 4],
+        _ => scope.seeds(),
+    }
+}
+
+fn run_regime(n: usize, seeds: &[u64]) -> RegimeReport {
     // (seed, silent_t) cells: fault-free and silent-t per seed.
     let cells: Vec<(u64, bool)> = seeds
         .iter()
@@ -129,16 +155,28 @@ pub fn run(scope: Scope) -> EngineBenchReport {
 
     let steps: u64 = outcomes.iter().map(|o| o.0).sum();
     let msgs: u64 = outcomes.iter().map(|o| o.1).sum();
-    EngineBenchReport {
+    RegimeReport {
         n,
         runs,
-        threads: parallelism(),
         elapsed_sec,
         runs_per_sec: runs as f64 / elapsed_sec,
         steps_per_sec: steps as f64 / elapsed_sec,
         msgs_per_sec: msgs as f64 / elapsed_sec,
         peak_candidates: outcomes.iter().map(|o| o.2).max().unwrap_or(0),
         min_decided_fraction: outcomes.iter().map(|o| o.3).fold(1.0, f64::min),
+    }
+}
+
+/// Runs the battery and returns the aggregate report.
+#[must_use]
+pub fn run(scope: Scope) -> EngineBenchReport {
+    let seeds = bench_seeds(scope);
+    EngineBenchReport {
+        threads: parallelism(),
+        regimes: bench_sizes(scope)
+            .into_iter()
+            .map(|n| run_regime(n, &seeds))
+            .collect(),
     }
 }
 
@@ -149,18 +187,28 @@ mod tests {
     #[test]
     fn quick_battery_reports_sane_numbers() {
         let report = run(Scope::Quick);
-        assert_eq!(report.n, 256);
-        assert_eq!(report.runs, 2 * Scope::Quick.seeds().len());
-        assert!(report.runs_per_sec > 0.0);
-        assert!(report.steps_per_sec > 0.0);
-        assert!(report.msgs_per_sec > 0.0);
+        assert_eq!(report.regimes.len(), 1);
+        let regime = &report.regimes[0];
+        assert_eq!(regime.n, 256);
+        assert_eq!(regime.runs, 2 * bench_seeds(Scope::Quick).len());
+        assert!(regime.runs_per_sec > 0.0);
+        assert!(regime.steps_per_sec > 0.0);
+        assert!(regime.msgs_per_sec > 0.0);
         assert!(
-            report.peak_candidates >= 1,
+            regime.peak_candidates >= 1,
             "every node holds its own candidate"
         );
-        assert!(report.min_decided_fraction > 0.5);
+        assert!(regime.min_decided_fraction > 0.5);
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"engine\""));
+        assert!(json.contains("\"regimes\""));
         assert!(json.contains("\"peak_candidates\""));
+    }
+
+    #[test]
+    fn huge_scope_benchmarks_the_scale_frontier() {
+        // Sizing only — actually running the huge battery takes minutes.
+        assert_eq!(bench_sizes(Scope::Huge), vec![4096, 8192]);
+        assert!(bench_seeds(Scope::Huge).len() >= 4);
     }
 }

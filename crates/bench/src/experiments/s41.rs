@@ -30,6 +30,7 @@ pub fn table(scope: Scope) -> Table {
         Scope::Quick => vec![256usize],
         Scope::Default => vec![256, 1024, 4096],
         Scope::Full => vec![256, 1024, 4096, 16384],
+        Scope::Huge => vec![1024, 4096, 16384, 65536],
     };
     for n in sizes {
         let d = fba_samplers::default_quorum_size(n, 3.0);

@@ -1,4 +1,4 @@
-//! Experiment sizing: quick / default / full sweeps.
+//! Experiment sizing: quick / default / full / huge sweeps.
 
 /// How much work an experiment should do.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -7,11 +7,27 @@ pub enum Scope {
     Quick,
     /// The EXPERIMENTS.md defaults (a few minutes).
     Default,
-    /// Adds the largest sizes (tens of minutes).
+    /// Adds the largest classic sizes (tens of minutes).
     Full,
+    /// The scale frontier: n = 4096/8192 AER runs with extra seeds —
+    /// feasible since the parallel runner and the scale-aware retry
+    /// schedule (hours serial, minutes on a many-core box).
+    Huge,
 }
 
 impl Scope {
+    /// Parses a scope name as accepted by `paperbench --scope`.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Scope> {
+        match name {
+            "quick" => Some(Scope::Quick),
+            "default" => Some(Scope::Default),
+            "full" => Some(Scope::Full),
+            "huge" => Some(Scope::Huge),
+            _ => None,
+        }
+    }
+
     /// System sizes for AER-involved sweeps (full protocol runs are
     /// `Θ(n·log³n)` messages, so sizes are capped accordingly).
     #[must_use]
@@ -20,6 +36,7 @@ impl Scope {
             Scope::Quick => vec![32, 64, 128],
             Scope::Default => vec![64, 128, 256, 512],
             Scope::Full => vec![64, 128, 256, 512, 1024],
+            Scope::Huge => vec![1024, 2048, 4096, 8192],
         }
     }
 
@@ -30,16 +47,19 @@ impl Scope {
             Scope::Quick => vec![64, 256],
             Scope::Default => vec![64, 256, 1024, 4096],
             Scope::Full => vec![64, 256, 1024, 4096, 16384],
+            Scope::Huge => vec![1024, 4096, 16384, 65536],
         }
     }
 
-    /// System sizes for the `Θ(n)`-round deterministic baseline.
+    /// System sizes for the `Θ(n)`-round deterministic baseline (the
+    /// huge scope reuses the full ladder — `Θ(n)` rounds of `Θ(n²)`
+    /// messages dwarf even the 8192-node AER runs beyond it).
     #[must_use]
     pub fn king_sizes(self) -> Vec<usize> {
         match self {
             Scope::Quick => vec![16, 32],
             Scope::Default => vec![16, 32, 64, 128],
-            Scope::Full => vec![16, 32, 64, 128, 256],
+            Scope::Full | Scope::Huge => vec![16, 32, 64, 128, 256],
         }
     }
 
@@ -50,6 +70,7 @@ impl Scope {
             Scope::Quick => vec![1, 2],
             Scope::Default => vec![1, 2, 3, 4, 5],
             Scope::Full => (1..=10).collect(),
+            Scope::Huge => (1..=12).collect(),
         }
     }
 }
@@ -89,7 +110,18 @@ mod tests {
     fn scopes_are_ordered_by_size() {
         assert!(Scope::Quick.aer_sizes().len() <= Scope::Default.aer_sizes().len());
         assert!(Scope::Default.aer_sizes().last() <= Scope::Full.aer_sizes().last());
+        assert!(Scope::Full.aer_sizes().last() < Scope::Huge.aer_sizes().last());
         assert!(Scope::Quick.seeds().len() < Scope::Full.seeds().len());
+        assert!(Scope::Full.seeds().len() < Scope::Huge.seeds().len());
+    }
+
+    #[test]
+    fn scope_names_parse() {
+        assert_eq!(Scope::parse("quick"), Some(Scope::Quick));
+        assert_eq!(Scope::parse("default"), Some(Scope::Default));
+        assert_eq!(Scope::parse("full"), Some(Scope::Full));
+        assert_eq!(Scope::parse("huge"), Some(Scope::Huge));
+        assert_eq!(Scope::parse("enormous"), None);
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Smoke tests for the `paperbench` CLI surface: bad invocations must
+//! print usage and exit non-zero without running any experiment.
+
+use std::process::Command;
+
+fn paperbench(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_paperbench"))
+        .args(args)
+        .output()
+        .expect("paperbench binary runs")
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_and_fails() {
+    let out = paperbench(&["definitely-not-an-experiment"]);
+    assert!(
+        !out.status.success(),
+        "unknown subcommand must exit non-zero"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "stderr missing usage: {stderr}");
+    assert!(
+        stderr.contains("definitely-not-an-experiment"),
+        "stderr should name the offender: {stderr}"
+    );
+    assert!(
+        stderr.contains("known ids:"),
+        "stderr missing ids: {stderr}"
+    );
+}
+
+#[test]
+fn bad_scope_prints_usage_and_fails() {
+    let out = paperbench(&["--scope", "enormous", "l6"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--scope needs"), "stderr: {stderr}");
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = paperbench(&[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+}

@@ -35,7 +35,15 @@ pub struct AerConfig {
     pub sampler_seed: u64,
     /// Steps a node waits for a poll to complete before redrawing its
     /// label (liveness extension beyond the paper; see DESIGN.md §8).
-    /// Ignored when `poll_attempts ≤ 1`.
+    /// Ignored when `poll_attempts ≤ 1` and `repair_attempts = 0`.
+    ///
+    /// The scale-aware default is [`AerConfig::sync_poll_horizon`]: one
+    /// full fault-free delivery horizon, which is a property of the
+    /// *pipeline depth* (a constant number of hops), not of `n`. Earlier
+    /// revisions used an oversized fixed timeout here; at n ≥ 2048, where
+    /// a few stragglers per run are statistically expected, that stacked
+    /// `poll_attempts × timeout` idle steps in front of every repair and
+    /// produced the ~26-step "retry wave" tail the ROADMAP recorded.
     pub poll_timeout: u64,
     /// Total poll attempts per candidate string (1 = the paper's single
     /// poll, no retries).
@@ -46,6 +54,15 @@ pub struct AerConfig {
     /// adopt a strict-majority value — the same safety argument as
     /// Lemma 7.
     pub repair_attempts: u32,
+    /// Escalate to the first repair query as soon as every poll has run a
+    /// full `poll_timeout` without receiving a single answer, concurrently
+    /// with the remaining retries, instead of serializing all
+    /// `poll_attempts` first. Zero answers after a full delivery horizon
+    /// is the signature of an unverifiable candidate (typically a push
+    /// majority that never crossed), which label redraws cannot fix; this
+    /// knob is what makes fault-free decision latency O(1) retry waves at
+    /// every `n`. Ignored when `repair_attempts = 0`.
+    pub eager_repair: bool,
 }
 
 impl AerConfig {
@@ -71,12 +88,29 @@ impl AerConfig {
             },
             label_cardinality: PollSampler::default_cardinality(n),
             sampler_seed: 0x5eed,
-            poll_timeout: 8,
+            poll_timeout: Self::sync_poll_horizon(),
             poll_attempts: 3,
             repair_attempts: 4,
+            eager_repair: true,
         };
         cfg.validate().expect("recommended config must be valid");
         cfg
+    }
+
+    /// The fault-free synchronous delivery horizon of one poll: the
+    /// longest message chain a successful verification traverses —
+    /// `Poll`/`Pull` → `Fw1` → `Fw2` → `Answer`, four hops — plus one
+    /// step of slack for the push acceptance that may precede the poll.
+    ///
+    /// This is the natural unit for `poll_timeout`: it depends only on
+    /// the pipeline's hop count, so it is *constant in `n`* — a poll that
+    /// produced nothing within one horizon will not produce anything by
+    /// waiting longer. Asynchronous engines multiply hop latency by their
+    /// delay bound; retries and repair there fire early and harmlessly
+    /// (every handler is idempotent and answer-majority gated).
+    #[must_use]
+    pub const fn sync_poll_horizon() -> u64 {
+        5
     }
 
     /// Strict paper mode: one poll per candidate, no retries, no repair.
@@ -86,6 +120,7 @@ impl AerConfig {
     pub fn strict(mut self) -> Self {
         self.poll_attempts = 1;
         self.repair_attempts = 0;
+        self.eager_repair = false;
         self
     }
 
@@ -368,7 +403,19 @@ mod tests {
         let cfg = AerConfig::recommended(64).strict();
         assert_eq!(cfg.poll_attempts, 1);
         assert_eq!(cfg.repair_attempts, 0);
+        assert!(!cfg.eager_repair);
         assert!(cfg.validate().is_ok(), "strict mode must stay valid");
+    }
+
+    #[test]
+    fn recommended_timeout_is_the_delivery_horizon_at_every_scale() {
+        // The retry-wave fix: the poll timeout tracks pipeline depth, not
+        // n, so the retry/repair schedule is identical at every scale.
+        for n in [8, 64, 1024, 4096, 16384] {
+            let cfg = AerConfig::recommended(n);
+            assert_eq!(cfg.poll_timeout, AerConfig::sync_poll_horizon(), "n={n}");
+            assert!(cfg.eager_repair, "n={n}");
+        }
     }
 
     #[test]

@@ -26,7 +26,8 @@ use std::collections::BTreeSet;
 use fba_sim::fxhash::{FxHashMap, FxHashSet};
 
 use fba_samplers::{
-    GString, Label, PollSampler, QuorumScheme, SharedPollCache, SharedQuorumCache, StringKey,
+    GString, Label, PollSampler, QuorumScheme, SetSlot, SharedPollCache, SharedQuorumCache,
+    StringKey,
 };
 use fba_sim::{NodeId, Step};
 use rand_chacha::ChaCha12Rng;
@@ -68,8 +69,35 @@ struct DeferredFw2 {
     r: Label,
 }
 
+/// Validated routing context of the most recent `Fw1` request — the
+/// per-`(origin, s, r)` facts `on_fw1` would otherwise re-derive from the
+/// sampler caches for every one of the burst's `d²` messages.
+#[derive(Clone, Copy, Debug)]
+struct Fw1Route {
+    origin: NodeId,
+    key: StringKey,
+    r: Label,
+    /// Interned slot of `H(s, origin)` — also the arena key component.
+    h_origin: SetSlot,
+    /// Interned slot of `J(origin, r)`.
+    j_list: SetSlot,
+    /// Lazily-filled bitmask over positions in `J(origin, r)`: bit set in
+    /// `known` once the matching `in_hw` bit is authoritative for "this
+    /// node ∈ H(s, w)".
+    self_in_hw: u128,
+    self_in_hw_known: u128,
+}
+
+/// Packs a vote-arena key from the interned `H(s, origin)` slot and the
+/// poll-list member `w` (see [`PullPhase`]'s `fw1_votes`). Node indices
+/// fit 32 bits at any simulable system size (debug-asserted).
+fn fw1_vote_key(h_origin: SetSlot, w: NodeId) -> u64 {
+    debug_assert!(w.index() <= u32::MAX as usize, "node index exceeds 32 bits");
+    (u64::from(h_origin.0) << 32) | w.index() as u64
+}
+
 /// Retry and repair policy of a [`PullPhase`] (liveness extensions beyond
-/// the paper; both disabled in strict mode — see DESIGN.md §8).
+/// the paper; all disabled in strict mode — see DESIGN.md §8).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Steps to wait for a poll before redrawing its label.
@@ -79,6 +107,16 @@ pub struct RetryPolicy {
     /// Last-resort repair queries after all polls are exhausted
     /// (0 = disabled).
     pub repair_attempts: u32,
+    /// Escalate to the first repair query as soon as every poll has gone
+    /// one full `poll_timeout` without a single answer, instead of waiting
+    /// for all `poll_attempts` to exhaust first. Retrying a poll only
+    /// helps when *some* answers arrived (a routing hiccup); zero answers
+    /// after a full delivery horizon means the candidate is likely
+    /// unverifiable (e.g. its push majority never crossed), and only
+    /// repair can resolve that. Repair remains safe to run concurrently
+    /// with retries — it adopts a strict-majority decision of a fresh poll
+    /// list, the Lemma 7 argument.
+    pub eager_repair: bool,
 }
 
 impl RetryPolicy {
@@ -89,6 +127,7 @@ impl RetryPolicy {
             poll_timeout: Step::MAX,
             poll_attempts: 1,
             repair_attempts: 0,
+            eager_repair: false,
         }
     }
 }
@@ -114,12 +153,24 @@ pub struct PullPhase {
 
     // --- requester (Algorithm 1) ---
     own_polls: FxHashMap<StringKey, OwnPoll>,
+    /// Valid poll answers ever received, across all polls and attempts —
+    /// drives the eager-repair escalation (see [`RetryPolicy`]).
+    answers_seen: u64,
 
     // --- router (Algorithm 2) ---
     forwarded_pulls: FxHashSet<(NodeId, StringKey)>,
-    /// Per `(origin, s, w)` slot: bitmask over positions in `H(s, origin)`
-    /// of routers seen; [`VOTES_DONE`] once the majority relay fired.
-    fw1_senders: FxHashMap<(NodeId, StringKey, NodeId), u128>,
+    /// Dense-slot vote arena for `on_fw1`: per `(H(s, origin), w)` —
+    /// packed into one `u64` by [`fw1_vote_key`] — a bitmask over
+    /// positions in `H(s, origin)` of routers seen; [`VOTES_DONE`] once
+    /// the majority relay fired. Keying by the quorum's interned
+    /// [`SetSlot`] instead of `(origin, s, w)` shrinks entries from a
+    /// 24-byte to an 8-byte key and skips re-hashing the sampler key.
+    fw1_votes: FxHashMap<u64, u128>,
+    /// Memo of the last `Fw1` route validated, exploiting the burst
+    /// pattern of Algorithm 2: all `d²` forwards of one `(origin, s, r)`
+    /// request arrive back-to-back, so the three sampler-cache probes of
+    /// the cold path collapse to slot-indexed lookups on the warm path.
+    fw1_route: Option<Fw1Route>,
 
     // --- answerer (Algorithm 3) ---
     polled: FxHashSet<(NodeId, StringKey)>,
@@ -188,8 +239,10 @@ impl PullPhase {
             believed_key,
             decided: None,
             own_polls: FxHashMap::default(),
+            answers_seen: 0,
             forwarded_pulls: FxHashSet::default(),
-            fw1_senders: FxHashMap::default(),
+            fw1_votes: FxHashMap::default(),
+            fw1_route: None,
             polled: FxHashSet::default(),
             fw2_senders: FxHashMap::default(),
             answered: FxHashSet::default(),
@@ -274,8 +327,10 @@ impl PullPhase {
     }
 
     /// Timeout processing (liveness extensions): retries stalled polls
-    /// with fresh labels, then falls back to repair queries once all polls
-    /// are exhausted. Call once per step; returns messages to send.
+    /// with fresh labels, then falls back to repair queries — once all
+    /// polls are exhausted, or (with [`RetryPolicy::eager_repair`]) as
+    /// soon as a full timeout passed without any answer at all. Call once
+    /// per step; returns messages to send.
     #[must_use]
     pub fn on_step(&mut self, step: Step, rng: &mut ChaCha12Rng) -> Sends {
         if self.decided.is_some() {
@@ -284,12 +339,16 @@ impl PullPhase {
         let mut sends = Vec::new();
         let timeout = self.retry.poll_timeout;
         let mut all_exhausted = true;
+        // Every poll has already run through at least one full timeout
+        // (it is expired right now, or a retry already fired for it).
+        let mut all_expired_once = !self.own_polls.is_empty();
         // Retry stalled polls with fresh labels.
         let keys: Vec<StringKey> = self.own_polls.keys().copied().collect();
         for key in keys {
             let (retry_string, expired) = {
                 let poll = &self.own_polls[&key];
                 let expired = step.saturating_sub(poll.started) >= timeout;
+                all_expired_once &= expired || poll.attempt > 1;
                 if expired && poll.attempt < self.retry.poll_attempts {
                     (Some(poll.s), expired)
                 } else {
@@ -310,7 +369,13 @@ impl PullPhase {
             }
         }
         // Last resort: ask a fresh poll list what its members decided.
-        if all_exhausted
+        // With eager repair, the first query launches alongside ongoing
+        // retries when a full delivery horizon produced zero answers —
+        // the signature of an unverifiable candidate, which no number of
+        // label redraws can fix (see `RetryPolicy::eager_repair`).
+        let escalate = all_exhausted
+            || (self.retry.eager_repair && self.answers_seen == 0 && all_expired_once);
+        if escalate
             && self.repair_used < self.retry.repair_attempts
             && (self.repair_used == 0 || step.saturating_sub(self.repair_last) >= timeout)
         {
@@ -414,22 +479,53 @@ impl PullPhase {
     /// Algorithm 2, second handler: an `Fw1(origin, s, r, w)` from router
     /// `y`. Counts distinct valid routers per `(origin, s, w)`; on crossing
     /// the majority of `H(s, origin)`, relays one `Fw2` to `w`.
+    ///
+    /// Hot path: validation state for the request's `(origin, s, r)` is
+    /// memoized in a route struct and vote masks live in the dense-slot
+    /// arena, so the burst of `d²` forwards per request costs one sampler
+    /// probe per distinct `w` instead of three per message.
     #[must_use]
     pub fn on_fw1(&mut self, y: NodeId, origin: NodeId, s: GString, r: Label, w: NodeId) -> Sends {
         let key = s.key();
         if key != self.believed_key {
             return Vec::new();
         }
-        if !self.pull_quorums.contains(key, w, self.x) {
+        let route_hit = self
+            .fw1_route
+            .as_ref()
+            .is_some_and(|rt| rt.origin == origin && rt.key == key && rt.r == r);
+        if !route_hit {
+            self.fw1_route = Some(Fw1Route {
+                origin,
+                key,
+                r,
+                h_origin: self.pull_quorums.slot(key, origin),
+                j_list: self.poll_lists.slot(origin, r),
+                self_in_hw: 0,
+                self_in_hw_known: 0,
+            });
+        }
+        let rt = self.fw1_route.as_mut().expect("route set above");
+        let Some(w_pos) = self.poll_lists.position_at(rt.j_list, w) else {
+            return Vec::new(); // w is not in J(origin, r)
+        };
+        let w_bit = 1u128 << w_pos;
+        if rt.self_in_hw_known & w_bit == 0 {
+            rt.self_in_hw_known |= w_bit;
+            if self.pull_quorums.contains(key, w, self.x) {
+                rt.self_in_hw |= w_bit;
+            }
+        }
+        if rt.self_in_hw & w_bit == 0 {
             return Vec::new(); // we are not in H(s, w)
         }
-        let Some(y_pos) = self.pull_quorums.position(key, origin, y) else {
+        let Some(y_pos) = self.pull_quorums.position_at(rt.h_origin, y) else {
             return Vec::new(); // sender is not in H(s, origin)
         };
-        if !self.poll_lists.contains(origin, r, w) {
-            return Vec::new(); // w is not in J(origin, r)
-        }
-        let votes = self.fw1_senders.entry((origin, key, w)).or_insert(0);
+        let votes = self
+            .fw1_votes
+            .entry(fw1_vote_key(rt.h_origin, w))
+            .or_insert(0);
         if *votes == VOTES_DONE {
             return Vec::new(); // majority relay already sent
         }
@@ -529,6 +625,7 @@ impl PullPhase {
         let key = s.key();
         let poll = self.own_polls.get_mut(&key)?;
         let w_pos = self.poll_lists.position(self.x, poll.r, w)?;
+        self.answers_seen += 1;
         poll.answered_by |= 1 << w_pos;
         if poll.answered_by.count_ones() as usize >= self.poll.majority() {
             let decision = poll.s;
@@ -543,11 +640,22 @@ impl PullPhase {
 
     /// Called once after this node decides: drains the overload-parked
     /// forwards (they are re-processed under the new belief, so only
-    /// requests for the decided string are served) and replies to parked
-    /// repair queries.
+    /// requests for the decided string are served), replies to parked
+    /// repair queries, and re-arms the pull flood filter.
+    ///
+    /// Re-arming the filter closes the liveness gap that produced the
+    /// large-n retry waves: a router that forwarded `(origin, s)` while
+    /// *undecided* refuses the requester's retries forever, so a poll
+    /// whose first attempt failed partially (some routers still believed
+    /// their initial junk) could never assemble a relay majority again.
+    /// After the decision — which happens at most once — each `(origin,
+    /// s)` may be forwarded one more time, now with every router and
+    /// relay in agreement, so one retry completes the poll. Amplification
+    /// stays bounded: at most two forwards per `(origin, s)` per router.
     #[must_use]
     pub fn on_decided(&mut self) -> Sends {
         debug_assert!(self.decided.is_some(), "drain requires a decision");
+        self.forwarded_pulls.clear();
         let parked = std::mem::take(&mut self.deferred);
         let mut sends = Vec::new();
         for d in parked {
@@ -961,6 +1069,7 @@ mod tests {
             poll_timeout: 4,
             poll_attempts: 3,
             repair_attempts: 0,
+            eager_repair: false,
         };
         let mut p = phase_with_retry(2, gs(0), 64, 5, retry);
         let mut rng = node_rng(3, 2);
@@ -1002,6 +1111,7 @@ mod tests {
             poll_timeout: 2,
             poll_attempts: 1,
             repair_attempts: 2,
+            eager_repair: false,
         };
         let n = 64;
         let d = 5;
@@ -1037,6 +1147,7 @@ mod tests {
             poll_timeout: 1,
             poll_attempts: 1,
             repair_attempts: 1,
+            eager_repair: false,
         };
         let n = 64;
         let d = 5;

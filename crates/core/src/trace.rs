@@ -159,6 +159,55 @@ pub fn kind_timeline(transcript: &[Envelope<AerMsg>]) -> BTreeMap<(Step, &'stati
     out
 }
 
+/// One step's worth of poll and repair launches — the retry-wave picture.
+///
+/// A *wave* is a step in which at least one `Poll` or `RepairQuery` left a
+/// requester. Step 0 is the initial wave (every node polls its own
+/// candidate); later waves are retries with redrawn labels or repair
+/// escalations. Fault-free runs should show O(1) waves at every `n` —
+/// the scale-aware retry schedule exists to keep it that way, and
+/// `poll_waves` is how the regression is diagnosed when it isn't.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PollWave {
+    /// `Poll` messages sent this step.
+    pub polls: usize,
+    /// Distinct requesters that sent at least one `Poll` this step.
+    pub origins: usize,
+    /// `RepairQuery` messages sent this step.
+    pub repair_queries: usize,
+}
+
+/// Groups the transcript's `Poll` and `RepairQuery` traffic by sending
+/// step (see [`PollWave`]). Steps without either kind are absent.
+#[must_use]
+pub fn poll_waves(transcript: &[Envelope<AerMsg>]) -> BTreeMap<Step, PollWave> {
+    let mut origins: BTreeMap<Step, std::collections::BTreeSet<NodeId>> = BTreeMap::new();
+    let mut out: BTreeMap<Step, PollWave> = BTreeMap::new();
+    for env in transcript {
+        match &env.msg {
+            AerMsg::Poll(..) => {
+                let wave = out.entry(env.sent_at).or_default();
+                wave.polls += 1;
+                if origins.entry(env.sent_at).or_default().insert(env.from) {
+                    wave.origins += 1;
+                }
+            }
+            AerMsg::RepairQuery(_) => {
+                out.entry(env.sent_at).or_default().repair_queries += 1;
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Number of distinct steps in which fresh polls or repair queries were
+/// launched — the scalar the retry-wave regression guard watches.
+#[must_use]
+pub fn poll_wave_count(transcript: &[Envelope<AerMsg>]) -> usize {
+    poll_waves(transcript).len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +296,25 @@ mod tests {
         assert_eq!(flow.hop("Fw2").unwrap().first_step, Some(2));
         assert_eq!(flow.hop("Answer").unwrap().first_step, Some(3));
         assert_eq!(flow.pipeline_depth(), Some(4));
+    }
+
+    #[test]
+    fn poll_waves_stay_constant_in_fault_free_runs() {
+        let (h, _, transcript) = traced_run();
+        let waves = poll_waves(&transcript);
+        let d = h.config().d;
+        // Step 0: every node polls its own candidate, d messages each.
+        let first = &waves[&0];
+        assert_eq!(first.polls, 48 * d);
+        assert_eq!(first.origins, 48);
+        assert_eq!(first.repair_queries, 0);
+        // Unknowing nodes start a second wave when they accept gstring;
+        // stragglers may add a retry/repair wave — but the total stays
+        // O(1), nothing like one wave per `poll_timeout` window.
+        assert!(
+            poll_wave_count(&transcript) <= 4,
+            "retry waves regressed: {waves:?}"
+        );
     }
 
     #[test]

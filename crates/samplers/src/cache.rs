@@ -144,11 +144,25 @@ impl Sampler {
     }
 }
 
-/// Memoized view of one [`Sampler`]: raw-key → sorted member set.
+/// A compact dense id for one memoized sampler set.
+///
+/// Slots are assigned in first-evaluation order by a [`SetCache`] (and so
+/// by the run-shared [`SharedSetCache`]), which makes them stable for the
+/// lifetime of the cache: protocol state can key per-set bookkeeping by
+/// slot — a 4-byte id and a direct `Vec` index — instead of re-hashing the
+/// full sampler key on every message (see `fba-core`'s `on_fw1` arena).
+/// Slot values are an artifact of execution order and never appear in any
+/// protocol outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SetSlot(pub u32);
+
+/// Memoized view of one [`Sampler`]: raw-key → dense [`SetSlot`] → sorted
+/// member set.
 #[derive(Clone, Debug)]
 pub struct SetCache {
     sampler: Sampler,
-    map: FxHashMap<u64, QuorumVec>,
+    ids: FxHashMap<u64, u32>,
+    sets: Vec<QuorumVec>,
     hits: u64,
     misses: u64,
 }
@@ -159,27 +173,47 @@ impl SetCache {
     pub fn new(sampler: Sampler) -> Self {
         SetCache {
             sampler,
-            map: FxHashMap::default(),
+            ids: FxHashMap::default(),
+            sets: Vec::new(),
             hits: 0,
             misses: 0,
         }
     }
 
-    /// The cached set for a raw sampler key, computing it on first use.
-    pub fn get(&mut self, key: u64) -> &QuorumVec {
-        let sampler = &self.sampler;
-        match self.map.entry(key) {
+    /// The dense slot for a raw sampler key, evaluating the set on first
+    /// use.
+    pub fn intern(&mut self, key: u64) -> SetSlot {
+        match self.ids.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 self.hits += 1;
-                e.into_mut()
+                SetSlot(*e.get())
             }
             std::collections::hash_map::Entry::Vacant(e) => {
                 self.misses += 1;
-                let mut q = QuorumVec::with_capacity(sampler.d());
-                sampler.fill(key, &mut q);
-                e.insert(q)
+                let id = u32::try_from(self.sets.len()).expect("more than u32::MAX cached sets");
+                let mut q = QuorumVec::with_capacity(self.sampler.d());
+                self.sampler.fill(key, &mut q);
+                self.sets.push(q);
+                e.insert(id);
+                SetSlot(id)
             }
         }
+    }
+
+    /// The cached set for a raw sampler key, computing it on first use.
+    pub fn get(&mut self, key: u64) -> &QuorumVec {
+        let slot = self.intern(key);
+        &self.sets[slot.0 as usize]
+    }
+
+    /// The already-interned set at `slot` — a direct index, no hashing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` did not come from this cache's [`SetCache::intern`].
+    #[must_use]
+    pub fn set_at(&self, slot: SetSlot) -> &QuorumVec {
+        &self.sets[slot.0 as usize]
     }
 
     /// Membership test against the cached set.
@@ -196,13 +230,13 @@ impl SetCache {
     /// Number of memoized sets.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.sets.len()
     }
 
     /// Whether nothing is memoized yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.sets.is_empty()
     }
 }
 
@@ -341,6 +375,41 @@ impl SharedSetCache {
         f(cache.get(key).as_slice())
     }
 
+    /// Interns `key`, returning its dense [`SetSlot`] (see [`SetSlot`]).
+    #[must_use]
+    pub fn intern(&self, key: u64) -> SetSlot {
+        self.0.borrow_mut().intern(key)
+    }
+
+    /// Membership test against the already-interned set at `slot` — a
+    /// direct index, no key hashing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` did not come from this cache's
+    /// [`SharedSetCache::intern`].
+    #[must_use]
+    pub fn contains_at(&self, slot: SetSlot, id: NodeId) -> bool {
+        self.0.borrow().set_at(slot).contains(id)
+    }
+
+    /// Position of `id` within the already-interned sorted set at `slot`,
+    /// if a member (positions are stable; see [`SharedSetCache::position`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` did not come from this cache's
+    /// [`SharedSetCache::intern`].
+    #[must_use]
+    pub fn position_at(&self, slot: SetSlot, id: NodeId) -> Option<usize> {
+        self.0
+            .borrow()
+            .set_at(slot)
+            .as_slice()
+            .binary_search(&id)
+            .ok()
+    }
+
     /// Membership test against the cached set.
     #[must_use]
     pub fn contains(&self, key: u64, id: NodeId) -> bool {
@@ -428,6 +497,35 @@ impl SharedQuorumCache {
         self.sets.position(self.sampler.key(s, x), y)
     }
 
+    /// Interns the quorum `quorum(s, x)`, returning its dense [`SetSlot`]
+    /// — hot paths key per-quorum state by slot instead of `(s, x)`.
+    #[must_use]
+    pub fn slot(&self, s: StringKey, x: NodeId) -> SetSlot {
+        self.sets.intern(self.sampler.key(s, x))
+    }
+
+    /// Membership test against the interned quorum at `slot` (no key
+    /// hashing; see [`SharedSetCache::contains_at`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` did not come from this cache.
+    #[must_use]
+    pub fn contains_at(&self, slot: SetSlot, y: NodeId) -> bool {
+        self.sets.contains_at(slot, y)
+    }
+
+    /// Position of `y` within the interned quorum at `slot`, if a member
+    /// (no key hashing; see [`SharedSetCache::position_at`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` did not come from this cache.
+    #[must_use]
+    pub fn position_at(&self, slot: SetSlot, y: NodeId) -> Option<usize> {
+        self.sets.position_at(slot, y)
+    }
+
     /// `(hits, misses)` counters.
     #[must_use]
     pub fn stats(&self) -> (u64, u64) {
@@ -474,6 +572,34 @@ impl SharedPollCache {
     #[must_use]
     pub fn position(&self, x: NodeId, r: Label, w: NodeId) -> Option<usize> {
         self.sets.position(self.sampler.key(x, r), w)
+    }
+
+    /// Interns the poll list `J(x, r)`, returning its dense [`SetSlot`].
+    #[must_use]
+    pub fn slot(&self, x: NodeId, r: Label) -> SetSlot {
+        self.sets.intern(self.sampler.key(x, r))
+    }
+
+    /// Membership test against the interned poll list at `slot` (no key
+    /// hashing; see [`SharedSetCache::contains_at`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` did not come from this cache.
+    #[must_use]
+    pub fn contains_at(&self, slot: SetSlot, w: NodeId) -> bool {
+        self.sets.contains_at(slot, w)
+    }
+
+    /// Position of `w` within the interned poll list at `slot`, if a
+    /// member (no key hashing; see [`SharedSetCache::position_at`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` did not come from this cache.
+    #[must_use]
+    pub fn position_at(&self, slot: SetSlot, w: NodeId) -> Option<usize> {
+        self.sets.position_at(slot, w)
     }
 
     /// `(hits, misses)` counters.
@@ -534,6 +660,36 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert!(c.contains(42, first[0]));
         assert_eq!(c.stats(), (2, 1));
+    }
+
+    #[test]
+    fn interned_slots_are_stable_and_index_the_same_sets() {
+        let s = Sampler::new(5, 3, 64, 8);
+        let mut c = SetCache::new(s);
+        let a = c.intern(42);
+        let b = c.intern(99);
+        assert_ne!(a, b, "distinct keys get distinct slots");
+        assert_eq!(c.intern(42), a, "re-interning returns the same slot");
+        assert_eq!(c.set_at(a).to_vec(), s.set_for(42));
+        assert_eq!(c.set_at(b).to_vec(), s.set_for(99));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn shared_slot_accessors_agree_with_keyed_ones() {
+        let q = QuorumSampler::new(9, tags::PULL, 128, 10);
+        let cache = SharedQuorumCache::new(q);
+        for k in 0..16u64 {
+            let s = StringKey(k);
+            let x = NodeId::from_index((k % 128) as usize);
+            let slot = cache.slot(s, x);
+            assert_eq!(cache.slot(s, x), slot, "slots are stable");
+            for yi in (0..128).step_by(11) {
+                let y = NodeId::from_index(yi);
+                assert_eq!(cache.contains_at(slot, y), cache.contains(s, x, y));
+                assert_eq!(cache.position_at(slot, y), cache.position(s, x, y));
+            }
+        }
     }
 
     #[test]

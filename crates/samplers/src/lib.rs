@@ -46,7 +46,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cache;
 mod poll;
@@ -56,7 +56,7 @@ mod sampler;
 mod strings;
 
 pub use cache::{
-    PollCache, QuorumCache, QuorumVec, SetCache, SharedPollCache, SharedQuorumCache,
+    PollCache, QuorumCache, QuorumVec, SetCache, SetSlot, SharedPollCache, SharedQuorumCache,
     SharedSetCache, INLINE_QUORUM,
 };
 pub use poll::{Label, PollSampler};

@@ -1,6 +1,11 @@
 //! Run AER through the whole attack suite and report what each adversary
 //! achieved — the paper's robustness story in one table.
 //!
+//! **Paper claim exercised:** Lemma 7's safety census (no correct node
+//! ever decides a non-`gstring` value) under silent, flooding,
+//! equivocating, bad-string and cornering adversaries at the full
+//! `t < (1/3 − ε)·n` budget. See the README's example index.
+//!
 //! ```bash
 //! cargo run --release --example adversarial_gauntlet
 //! ```

@@ -4,6 +4,11 @@
 //! correct and efficient under asynchrony", plus the decision-time
 //! distribution the overload attack produces.
 //!
+//! **Paper claim exercised:** the asynchrony theorem (`O(log n /
+//! log log n)` time under adversarial delay, unchanged code) and
+//! Lemma 6's overload bound under the cornering attack. See the
+//! README's example index.
+//!
 //! ```bash
 //! cargo run --release --example asynchrony_showcase
 //! ```

@@ -3,6 +3,11 @@
 //! everywhere, then AER spreads it to everyone — Byzantine Agreement with
 //! poly-logarithmic time and communication.
 //!
+//! **Paper claim exercised:** Theorem 1 (the main result) — the
+//! composition of the almost-everywhere substrate (§2.1's contract) with
+//! AER yields full BA, shown fault-free and under the silent-`t` and
+//! bad-string adversaries. See the README's example index.
+//!
 //! ```bash
 //! cargo run --release --example ba_end_to_end
 //! ```

@@ -3,6 +3,11 @@
 //! another, and (b) a pull request travelling Poll/Pull → Fw1 → Fw2 →
 //! Answer → decision.
 //!
+//! **Paper claim exercised:** Figure 2 and Algorithms 1–3 — the push
+//! phase's sampler-filtered vote counting (2a) and the two-hop filtered
+//! verification pipeline (2b), extracted from a recorded transcript by
+//! `fba_core::trace`. See the README's example index.
+//!
 //! ```bash
 //! cargo run --release --example push_pull_trace
 //! ```

@@ -1,6 +1,11 @@
 //! Quickstart: run AER end to end on a fault-free system and print what
 //! happened.
 //!
+//! **Paper claim exercised:** §3.1's almost-everywhere → everywhere
+//! contract — from a precondition where 80% of nodes know `gstring`,
+//! every node decides `gstring` within a constant number of synchronous
+//! steps (the Lemma 9 fault-free shape). See the README's example index.
+//!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```

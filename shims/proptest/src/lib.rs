@@ -183,7 +183,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification for [`vec`]: an exact length or a range.
+    /// Length specification for [`vec()`]: an exact length or a range.
     pub trait IntoSizeRange {
         /// Draws a length.
         fn draw_len(&self, rng: &mut TestRng) -> usize;

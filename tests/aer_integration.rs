@@ -102,6 +102,43 @@ fn aer_survives_each_adversary_without_wrong_decisions() {
 }
 
 #[test]
+fn scale_aware_schedule_preserves_small_n_outcomes() {
+    // The scale-aware retry schedule (horizon-derived poll timeout +
+    // eager repair) exists to kill large-n retry waves; at small n it must
+    // be outcome-equivalent to the legacy fixed schedule: same decision
+    // values at every node, and no slower to full decision.
+    for n in [32, 64, 128, 256] {
+        let cfg = AerConfig::recommended(n);
+        let legacy = AerConfig {
+            poll_timeout: 8,
+            eager_repair: false,
+            ..cfg
+        };
+        let pre = Precondition::synthetic(
+            n,
+            cfg.string_len,
+            0.8,
+            UnknowingAssignment::RandomPerNode,
+            1,
+        );
+        let new_h = AerHarness::from_precondition(cfg, &pre);
+        let new_out = new_h.run(&new_h.engine_sync(), 1, &mut NoAdversary);
+        let legacy_h = AerHarness::from_precondition(legacy, &pre);
+        let legacy_out = legacy_h.run(&legacy_h.engine_sync(), 1, &mut NoAdversary);
+        assert_eq!(
+            new_out.outputs, legacy_out.outputs,
+            "n={n}: decision values diverged from the legacy schedule"
+        );
+        assert!(
+            new_out.all_decided_at <= legacy_out.all_decided_at,
+            "n={n}: scale-aware schedule slower than legacy ({:?} vs {:?})",
+            new_out.all_decided_at,
+            legacy_out.all_decided_at
+        );
+    }
+}
+
+#[test]
 fn aer_is_deterministic_per_seed_and_varies_across_seeds() {
     let (h, _) = build(64, 9, 0.8, UnknowingAssignment::RandomPerNode);
     let a = h.run(&h.engine_sync(), 42, &mut SilentAdversary::new(8));

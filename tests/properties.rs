@@ -208,6 +208,40 @@ proptest! {
     }
 }
 
+/// The retry-wave regression guard: fault-free decision latency must stay
+/// a small constant number of steps at every scale. Before the
+/// scale-aware retry schedule, n ≥ 2048 burned ~26 steps in poll-retry
+/// waves while n = 1024 decided in 5; this pins the fix. Debug builds run
+/// the small half of the ladder (a debug n = 4096 run takes minutes);
+/// release runs (`cargo test --release`, CI) cover the full ladder.
+#[test]
+fn fault_free_step_count_stays_constant_across_scales() {
+    const STEP_BUDGET: u64 = 12;
+    let sizes: &[usize] = if cfg!(debug_assertions) {
+        &[256, 1024]
+    } else {
+        &[256, 1024, 2048, 4096]
+    };
+    for &n in sizes {
+        let cfg = AerConfig::recommended(n);
+        let pre = Precondition::synthetic(
+            n,
+            cfg.string_len,
+            0.8,
+            UnknowingAssignment::RandomPerNode,
+            1,
+        );
+        let h = AerHarness::from_precondition(cfg, &pre);
+        let out = h.run(&h.engine_sync(), 1, &mut NoAdversary);
+        assert!(out.all_decided(), "n={n}: not everyone decided");
+        let last = out.all_decided_at.expect("all decided");
+        assert!(
+            last <= STEP_BUDGET,
+            "n={n}: decision took {last} steps (> {STEP_BUDGET}) — retry waves are back"
+        );
+    }
+}
+
 #[test]
 fn string_key_is_stable_across_processes() {
     // Pin the content hash so persisted experiment data stays comparable.
