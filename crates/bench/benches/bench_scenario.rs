@@ -1,0 +1,25 @@
+//! Criterion wall-clock benchmark of the public `Scenario` path: the
+//! full describe → derive → run pipeline the experiments and CLI use
+//! (the layer micro-benches time the internals with setup hoisted out;
+//! this one times what a user-facing run actually costs end to end).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fba_scenario::{Phase, Scenario};
+use fba_sim::AdversarySpec;
+
+fn bench_scenario_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario/aer_silent_sync");
+    group.sample_size(10);
+    for n in [64usize, 128] {
+        let scenario = Scenario::new(n)
+            .phase(Phase::aer(0.8))
+            .adversary(AdversarySpec::Silent { t: None });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(scenario.run(9).expect("valid scenario")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario_run);
+criterion_main!(benches);

@@ -1,4 +1,5 @@
-//! CLI: regenerate the paper's tables and figures.
+//! CLI: regenerate the paper's tables and figures, or run one arbitrary
+//! scenario.
 //!
 //! ```bash
 //! paperbench all              # every experiment, default scope
@@ -7,25 +8,212 @@
 //! paperbench --full all       # adds the largest classic system sizes
 //! paperbench --scope huge …   # scale frontier (n = 4096/8192)
 //! paperbench bench-engine     # throughput battery -> BENCH_engine.json
+//! paperbench scenario --n 2048 --adversary flood --network async:3 --phase composed
 //! ```
 //!
 //! Experiment sweeps fan independent seeded runs across every core
 //! (deterministically — parallel output is bit-identical to serial; set
 //! `FBA_THREADS=1` to force serial execution).
 //!
-//! Unknown experiment ids, subcommands or scope names print usage and
-//! exit non-zero without running anything.
+//! Unknown experiment ids, subcommands, scope names, adversary specs or
+//! phases print usage and exit non-zero without running anything.
 
 use std::process::ExitCode;
 
 use fba_bench::{engine_bench, parallelism, run_experiment, Scope, ALL_IDS};
+use fba_scenario::{Baseline, Phase, Scenario, ScenarioOutcome};
+use fba_sim::{AdversarySpec, NetworkSpec};
 
 fn usage() {
     eprintln!(
         "usage: paperbench [--quick|--full|--huge|--scope <quick|default|full|huge>] \
-         <experiment id>... | all | bench-engine"
+         <experiment id>... | all | bench-engine | scenario <flags>"
     );
     eprintln!("known ids: {}", ALL_IDS.join(", "));
+    eprintln!("scenario flags: see `paperbench scenario --help`");
+}
+
+fn scenario_usage() {
+    eprintln!(
+        "usage: paperbench scenario [--n <nodes>] [--seed <seed>] [--faults <t>] \
+         [--adversary <spec>] [--network <spec>] [--phase <spec>] [--knowing <fraction>] \
+         [--strict]"
+    );
+    eprintln!("  --adversary: one of");
+    for (grammar, what) in AdversarySpec::CATALOGUE {
+        eprintln!("      {grammar:<28} {what}");
+    }
+    eprintln!("  --network:   sync | async[:max_delay]");
+    eprintln!("  --phase:     {}", Phase::EXPECTED);
+}
+
+/// Applies `--knowing` to the phases that synthesise a precondition;
+/// `None` for phases that have no knowledge fraction to set (rejected
+/// rather than silently ignored).
+fn with_knowing(phase: Phase, knowing: f64) -> Option<Phase> {
+    match phase {
+        Phase::Aer { mut precondition } => {
+            precondition.knowing = knowing;
+            Some(Phase::Aer { precondition })
+        }
+        Phase::Baseline(Baseline::Klst { mut precondition }) => {
+            precondition.knowing = knowing;
+            Some(Phase::Baseline(Baseline::Klst { precondition }))
+        }
+        Phase::Baseline(Baseline::Flood { mut precondition }) => {
+            precondition.knowing = knowing;
+            Some(Phase::Baseline(Baseline::Flood { precondition }))
+        }
+        _ => None,
+    }
+}
+
+#[allow(clippy::too_many_lines)] // flat flag parsing + per-phase reporting
+fn run_scenario(args: &[String]) -> ExitCode {
+    let mut n = 256usize;
+    let mut seed = 1u64;
+    let mut faults: Option<usize> = None;
+    let mut adversary = AdversarySpec::None;
+    let mut network = NetworkSpec::Sync;
+    let mut phase: Phase = "aer".parse().expect("default phase parses");
+    let mut knowing: Option<f64> = None;
+    let mut strict = false;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| -> Result<String, ExitCode> {
+            iter.next().cloned().ok_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                scenario_usage();
+                ExitCode::FAILURE
+            })
+        };
+        macro_rules! parse_flag {
+            ($flag:literal) => {{
+                let raw = match value_of($flag) {
+                    Ok(raw) => raw,
+                    Err(code) => return code,
+                };
+                match raw.parse() {
+                    Ok(parsed) => parsed,
+                    Err(err) => {
+                        eprintln!("error: bad {} `{raw}`: {err}", $flag);
+                        scenario_usage();
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }};
+        }
+        match arg.as_str() {
+            "--help" | "-h" => {
+                scenario_usage();
+                return ExitCode::SUCCESS;
+            }
+            "--n" => n = parse_flag!("--n"),
+            "--seed" => seed = parse_flag!("--seed"),
+            "--faults" => faults = Some(parse_flag!("--faults")),
+            "--adversary" => adversary = parse_flag!("--adversary"),
+            "--network" => network = parse_flag!("--network"),
+            "--phase" => phase = parse_flag!("--phase"),
+            "--knowing" => knowing = Some(parse_flag!("--knowing")),
+            "--strict" => strict = true,
+            other => {
+                eprintln!("error: unknown scenario flag `{other}`");
+                scenario_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(k) = knowing {
+        let Some(updated) = with_knowing(phase, k) else {
+            eprintln!("error: --knowing applies only to the aer, baseline:klst and baseline:flood phases (got `{phase}`)");
+            scenario_usage();
+            return ExitCode::FAILURE;
+        };
+        phase = updated;
+    }
+    let mut scenario = Scenario::new(n)
+        .adversary(adversary)
+        .network(network)
+        .phase(phase);
+    if let Some(t) = faults {
+        scenario = scenario.faults(t);
+    }
+    if strict {
+        scenario = scenario.strict();
+    }
+
+    println!("scenario: n={n} seed={seed} phase={phase} adversary={adversary} network={network}");
+    let started = std::time::Instant::now();
+    let outcome = match scenario.run(seed) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("error: {err}");
+            scenario_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match outcome {
+        ScenarioOutcome::Aer(out) => {
+            println!(
+                "decided {}/{} correct nodes, {} wrong, all decided at {}, {:.0} bits/node",
+                out.run.outputs.len(),
+                out.correct_nodes(),
+                out.wrong_decisions(),
+                out.run
+                    .all_decided_at
+                    .map_or("-".to_string(), |s| format!("step {s}")),
+                out.run.metrics.amortized_bits(),
+            );
+            if let Some(report) = &out.corner {
+                println!(
+                    "corner plan: {} victims, {} overload targets, depth {}",
+                    report.blocked_victims, report.overload_targets, report.planned_depth
+                );
+            }
+        }
+        ScenarioOutcome::Ae(run) => {
+            println!(
+                "almost-everywhere phase decided: {:.1}% of correct nodes knowing after \
+                 {} rounds, {:.0} bits/node",
+                run.outcome.knowing_fraction * 100.0,
+                run.outcome.run.metrics.steps,
+                run.outcome.run.metrics.amortized_bits(),
+            );
+        }
+        ScenarioOutcome::Composed(c) => {
+            println!(
+                "composed BA {}: decided {}/{} correct nodes, AE {} rounds + AER {}, \
+                 {:.0} bits/node total",
+                if c.report.success() {
+                    "SUCCESS"
+                } else {
+                    "partial"
+                },
+                c.report.decided_nodes,
+                c.report.correct_nodes,
+                c.report.ae_rounds,
+                c.report
+                    .aer_rounds
+                    .map_or("-".to_string(), |s| s.to_string()),
+                c.report.ae_bits_per_node + c.report.aer_bits_per_node,
+            );
+        }
+        ScenarioOutcome::Baseline(b) => {
+            let metrics = b.outcome.metrics();
+            println!(
+                "baseline decided {:.1}% of correct nodes, {} rounds, {:.0} bits/node",
+                metrics.decided_fraction() * 100.0,
+                b.outcome
+                    .all_decided_at()
+                    .map_or("-".to_string(), |s| s.to_string()),
+                metrics.amortized_bits(),
+            );
+        }
+    }
+    println!("_(ran in {:.1?})_", started.elapsed());
+    ExitCode::SUCCESS
 }
 
 fn run_engine_bench(scope: Scope) -> ExitCode {
@@ -51,6 +239,9 @@ fn run_engine_bench(scope: Scope) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("scenario") {
+        return run_scenario(&args[1..]);
+    }
     let mut scope = Scope::Default;
     let mut ids: Vec<String> = Vec::new();
     let mut bench_engine = false;

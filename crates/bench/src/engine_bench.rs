@@ -13,9 +13,9 @@
 
 use std::time::Instant;
 
-use fba_ae::{Precondition, UnknowingAssignment};
-use fba_core::{AerConfig, AerHarness};
-use fba_sim::{NoAdversary, SilentAdversary};
+use fba_core::AerNode;
+use fba_scenario::Scenario;
+use fba_sim::{AdversarySpec, FinalInspect, NodeId};
 
 use crate::par::{par_map, parallelism};
 use crate::scope::Scope;
@@ -125,30 +125,25 @@ fn run_regime(n: usize, seeds: &[u64]) -> RegimeReport {
 
     let started = Instant::now();
     let outcomes = par_map(cells, |(seed, with_faults)| {
-        let cfg = AerConfig::recommended(n);
-        let pre = Precondition::synthetic(
-            n,
-            cfg.string_len,
-            0.8,
-            UnknowingAssignment::RandomPerNode,
-            seed,
-        );
-        let h = AerHarness::from_precondition(cfg, &pre);
+        let mut scenario = Scenario::new(n);
+        if with_faults {
+            scenario = scenario.adversary(AdversarySpec::Silent { t: None });
+        }
         let mut peak = 0usize;
-        let inspect = |_, node: &fba_core::AerNode| {
-            peak = peak.max(node.candidates().len());
-        };
-        let out = if with_faults {
-            let mut adv = SilentAdversary::new(h.config().t);
-            h.run_inspect(&h.engine_sync(), seed, &mut adv, inspect)
-        } else {
-            h.run_inspect(&h.engine_sync(), seed, &mut NoAdversary, inspect)
+        let out = {
+            let mut inspect = FinalInspect(|_: NodeId, node: &AerNode| {
+                peak = peak.max(node.candidates().len());
+            });
+            scenario
+                .run_observed(seed, &mut inspect)
+                .expect("bench scenario")
+                .into_aer()
         };
         (
-            out.metrics.steps,
-            out.metrics.total_msgs_sent(),
+            out.run.metrics.steps,
+            out.run.metrics.total_msgs_sent(),
             peak,
-            out.metrics.decided_fraction(),
+            out.run.metrics.decided_fraction(),
         )
     });
     let elapsed_sec = started.elapsed().as_secs_f64().max(1e-9);

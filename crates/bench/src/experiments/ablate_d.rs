@@ -7,9 +7,9 @@
 //! quorum sampling noise overwhelms the `1/2 + ε` margin.
 
 use fba_ae::UnknowingAssignment;
-use fba_sim::SilentAdversary;
+use fba_sim::AdversarySpec;
 
-use crate::experiments::common::{harness, KNOWING};
+use crate::experiments::common::{aer_scenario, KNOWING};
 use crate::par::par_map;
 use crate::scope::{mean, mean_cell, Scope};
 use crate::table::{fnum, Table};
@@ -35,18 +35,17 @@ pub fn table(scope: Scope) -> Table {
     // input order, matching the serial sweep bit for bit.
     let outcomes = par_map(cells, |(kappa, seed)| {
         let d = fba_samplers::default_quorum_size(n, kappa);
-        let (h, _) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
-            c.with_d(d).strict()
-        });
-        let out = h.run(
-            &h.engine_sync(),
-            seed,
-            &mut SilentAdversary::new(h.config().t),
-        );
+        let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
+            .quorum_size(d)
+            .strict()
+            .adversary(AdversarySpec::Silent { t: None })
+            .run(seed)
+            .expect("ablate-d scenario")
+            .into_aer();
         (
-            out.metrics.decided_fraction() * 100.0,
-            out.metrics.decided_quantile(0.5).map(|s| s as f64),
-            out.metrics.amortized_bits(),
+            out.run.metrics.decided_fraction() * 100.0,
+            out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
+            out.run.metrics.amortized_bits(),
         )
     });
     for (i, &kappa) in kappas.iter().enumerate() {

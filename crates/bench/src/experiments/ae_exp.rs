@@ -2,8 +2,8 @@
 //! precondition): knowing fraction, rounds and bits per node of the
 //! committee-tree phase.
 
-use fba_ae::{run_ae, AeConfig};
-use fba_sim::{NoAdversary, SilentAdversary};
+use fba_scenario::{Phase, Scenario};
+use fba_sim::AdversarySpec;
 
 use crate::scope::{mean, Scope};
 use crate::table::{fnum, Table};
@@ -29,13 +29,16 @@ pub fn table(scope: Scope) -> Table {
             let mut rounds = Vec::new();
             let mut bits = Vec::new();
             for seed in scope.seeds() {
-                let cfg = AeConfig::recommended(n);
-                let outcome = if t_frac == 0.0 {
-                    run_ae(&cfg, seed, &mut NoAdversary)
+                let scenario = if t_frac == 0.0 {
+                    Scenario::new(n).phase(Phase::Ae)
                 } else {
                     let t = (n as f64 * t_frac) as usize;
-                    run_ae(&cfg, seed, &mut SilentAdversary::new(t))
+                    Scenario::new(n)
+                        .phase(Phase::Ae)
+                        .faults(t)
+                        .adversary(AdversarySpec::Silent { t: None })
                 };
+                let outcome = scenario.run(seed).expect("ae scenario").into_ae().outcome;
                 knowing.push(outcome.knowing_fraction * 100.0);
                 rounds.push(outcome.run.metrics.steps as f64);
                 bits.push(outcome.run.metrics.amortized_bits());

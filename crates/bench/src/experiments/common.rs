@@ -1,23 +1,21 @@
 //! Shared experiment plumbing.
 
-use fba_ae::{Precondition, UnknowingAssignment};
-use fba_core::{AerConfig, AerHarness};
+use fba_ae::UnknowingAssignment;
+use fba_scenario::{Phase, PreconditionSpec, Scenario};
 
 /// Standard knowledge fraction used by the sweeps (the paper's
 /// assumption, with working margin at finite scale).
 pub const KNOWING: f64 = 0.8;
 
-/// Builds an AER harness on a synthetic precondition.
-pub fn harness(
-    n: usize,
-    seed: u64,
-    knowing: f64,
-    mode: UnknowingAssignment,
-    cfg_map: impl FnOnce(AerConfig) -> AerConfig,
-) -> (AerHarness, Precondition) {
-    let cfg = cfg_map(AerConfig::recommended(n));
-    let pre = Precondition::synthetic(n, cfg.string_len, knowing, mode, seed);
-    (AerHarness::from_precondition(cfg, &pre), pre)
+/// The baseline scenario every AER experiment refines: `n` nodes on a
+/// synchronous network, a synthetic precondition with the given
+/// knowledge fraction and unknowing-assignment mode, no adversary.
+/// Experiments chain [`Scenario`] setters (adversary, network, tuning
+/// knobs) onto it — all run wiring lives in the builder.
+pub fn aer_scenario(n: usize, knowing: f64, mode: UnknowingAssignment) -> Scenario {
+    Scenario::new(n).phase(Phase::Aer {
+        precondition: PreconditionSpec::new(knowing, mode),
+    })
 }
 
 /// Reference column: `⌈log₂ n⌉`.
@@ -34,19 +32,31 @@ pub fn loglog_ratio(n: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fba_sim::NoAdversary;
+    use fba_scenario::PollTimeoutSpec;
 
     #[test]
-    fn harness_builder_applies_config_map() {
-        let (h, pre) = harness(64, 1, 0.75, UnknowingAssignment::RandomPerNode, |c| {
-            c.with_overload_cap(7).strict()
-        });
-        assert_eq!(h.config().overload_cap, 7);
-        assert_eq!(h.config().poll_attempts, 1);
-        assert_eq!(pre.assignments.len(), 64);
+    fn scenario_builder_applies_config_knobs() {
+        let out = aer_scenario(64, 0.75, UnknowingAssignment::RandomPerNode)
+            .overload_cap(7)
+            .strict()
+            .run(1)
+            .expect("valid scenario")
+            .into_aer();
+        assert_eq!(out.config.overload_cap, 7);
+        assert_eq!(out.config.poll_attempts, 1);
+        assert_eq!(out.precondition.assignments.len(), 64);
         // And it runs.
-        let out = h.run(&h.engine_sync(), 1, &mut NoAdversary);
-        assert!(out.unanimous().is_some());
+        assert!(out.run.unanimous().is_some());
+    }
+
+    #[test]
+    fn poll_timeout_knob_reaches_the_config() {
+        let out = aer_scenario(64, 0.75, UnknowingAssignment::RandomPerNode)
+            .poll_timeout(PollTimeoutSpec::Fixed(9))
+            .run(1)
+            .expect("valid scenario")
+            .into_aer();
+        assert_eq!(out.config.poll_timeout, 9);
     }
 
     #[test]

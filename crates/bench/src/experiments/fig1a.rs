@@ -10,11 +10,10 @@
 //!   load-balanced.
 
 use fba_ae::UnknowingAssignment;
-use fba_baselines::{KlstNode, KlstParams};
-use fba_core::adversary::{AttackContext, Corner};
-use fba_sim::{run, EngineConfig, SilentAdversary};
+use fba_scenario::{Baseline, Phase, PreconditionSpec};
+use fba_sim::{AdversarySpec, NetworkSpec};
 
-use crate::experiments::common::{harness, log2, loglog_ratio, KNOWING};
+use crate::experiments::common::{aer_scenario, log2, loglog_ratio, KNOWING};
 use crate::par::par_map;
 use crate::scope::{mean, Scope};
 use crate::table::{fnum, Table};
@@ -69,34 +68,44 @@ struct SeedOutcome {
 
 fn run_cell(n: usize, seed: u64) -> SeedOutcome {
     let t = (n as f64 * 0.15) as usize;
+    let silent = AdversarySpec::Silent { t: None };
 
     // --- KLST-style baseline (load-balanced, slow, heavy) ---
-    let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| c);
-    let params = KlstParams::recommended(n);
-    let engine = EngineConfig {
-        max_steps: params.schedule_len() + 8,
-        ..EngineConfig::sync(n)
-    };
-    let mut adv = SilentAdversary::new(t);
-    let out = run::<KlstNode, _, _>(&engine, seed, &mut adv, |id| {
-        KlstNode::new(params, pre.assignments[id.index()])
-    });
-    let klst_rounds = out.metrics.decided_quantile(0.5).map(|s| s as f64);
-    let klst_bits = out.metrics.amortized_bits();
-    let klst_imb = out.metrics.recv_load().imbalance;
+    let klst = fba_scenario::Scenario::new(n)
+        .phase(Phase::Baseline(Baseline::Klst {
+            precondition: PreconditionSpec::new(KNOWING, UnknowingAssignment::RandomPerNode),
+        }))
+        .faults(t)
+        .adversary(silent)
+        .run(seed)
+        .expect("klst scenario")
+        .into_baseline();
+    let klst_rounds = klst
+        .outcome
+        .metrics()
+        .decided_quantile(0.5)
+        .map(|s| s as f64);
+    let klst_bits = klst.outcome.metrics().amortized_bits();
+    let klst_imb = klst.outcome.metrics().recv_load().imbalance;
 
     // --- AER, synchronous, non-rushing (silent t) ---
-    let out = h.run(&h.engine_sync(), seed, &mut SilentAdversary::new(t));
-    let sync_rounds = out.metrics.decided_quantile(0.5).map(|s| s as f64);
-    let sync_bits = out.metrics.amortized_bits();
+    let sync = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
+        .faults(t)
+        .adversary(silent)
+        .run(seed)
+        .expect("sync scenario")
+        .into_aer();
+    let sync_rounds = sync.run.metrics.decided_quantile(0.5).map(|s| s as f64);
+    let sync_bits = sync.run.metrics.amortized_bits();
 
     // --- AER, asynchronous, rushing cornering adversary ---
-    let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
-        c.strict()
-    });
-    let ctx = AttackContext::new(&h, pre.gstring);
-    let mut corner = Corner::new(ctx, 256);
-    let out = h.run(&h.engine_async(1), seed, &mut corner);
+    let cornered = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
+        .strict()
+        .network(NetworkSpec::Async { max_delay: 1 })
+        .adversary(AdversarySpec::Corner { label_scan: 256 })
+        .run(seed)
+        .expect("corner scenario")
+        .into_aer();
     // Strict mode strands the θ-fraction of unlucky poll lists, so the
     // median is the robust time statistic here (l6 reports the tail
     // separately).
@@ -106,9 +115,9 @@ fn run_cell(n: usize, seed: u64) -> SeedOutcome {
         klst_imb,
         sync_rounds,
         sync_bits,
-        async_rounds: out.metrics.decided_quantile(0.5).map(|s| s as f64),
-        async_bits: out.metrics.amortized_bits(),
-        aer_imb: out.metrics.recv_load().imbalance,
+        async_rounds: cornered.run.metrics.decided_quantile(0.5).map(|s| s as f64),
+        async_bits: cornered.run.metrics.amortized_bits(),
+        aer_imb: cornered.run.metrics.recv_load().imbalance,
     }
 }
 

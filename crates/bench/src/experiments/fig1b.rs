@@ -9,10 +9,10 @@
 //! implementable at any useful scale — their rows are reproduced as
 //! formulas in EXPERIMENTS.md.
 
-use fba_baselines::{BenOrNode, BenOrParams, KingNode, KingParams};
-use fba_core::{run_ba, BaConfig};
-use fba_sim::{run, EngineConfig, SilentAdversary};
-use rand::Rng;
+use fba_baselines::{BenOrParams, KingParams};
+use fba_core::AerConfig;
+use fba_scenario::{Baseline, Phase, Scenario};
+use fba_sim::AdversarySpec;
 
 use crate::par::par_map;
 use crate::scope::{mean, Scope};
@@ -67,24 +67,24 @@ pub fn table(scope: Scope) -> Table {
     // --- BA = AE + AER (this paper) ---
     let sizes = scope.aer_sizes();
     let seeds = scope.seeds();
+    let silent = AdversarySpec::Silent { t: None };
     let outcomes = par_map(cells(sizes.clone(), seeds.clone()), |(n, seed)| {
-        let cfg = BaConfig::recommended(n);
-        let t_faults = cfg.aer.t.min(n / 8);
-        let mut ae_adv = SilentAdversary::new(t_faults);
-        let (report, ae, aer_run) = run_ba(
-            &cfg,
-            seed,
-            &mut ae_adv,
-            |_, _| SilentAdversary::new(t_faults),
-            None,
-        );
+        let t_faults = AerConfig::recommended(n).t.min(n / 8);
+        let c = Scenario::new(n)
+            .phase(Phase::Composed)
+            .faults(t_faults)
+            .adversary(silent)
+            .ae_adversary(silent)
+            .run(seed)
+            .expect("composed scenario")
+            .into_composed();
         (
-            aer_run
+            c.aer
                 .metrics
                 .decided_quantile(0.95)
-                .map(|r| (report.ae_rounds + r) as f64),
-            report.ae_bits_per_node + report.aer_bits_per_node,
-            (ae.run.metrics.correct_msgs_sent() + aer_run.metrics.correct_msgs_sent()) as f64
+                .map(|r| (c.report.ae_rounds + r) as f64),
+            c.report.ae_bits_per_node + c.report.aer_bits_per_node,
+            (c.ae.run.metrics.correct_msgs_sent() + c.aer.metrics.correct_msgs_sent()) as f64
                 / n as f64,
         )
     });
@@ -99,21 +99,18 @@ pub fn table(scope: Scope) -> Table {
 
     // --- Ben-Or (randomized, binary) ---
     let outcomes = par_map(cells(sizes.clone(), seeds.clone()), |(n, seed)| {
-        let params = BenOrParams::recommended(n);
-        let engine = EngineConfig {
-            max_steps: 400,
-            ..EngineConfig::sync(n)
-        };
-        let mut rng = fba_sim::rng::derive_rng(seed, &[0xb0]);
-        let inputs: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.9)).collect();
-        let mut adv = SilentAdversary::new(params.t);
-        let out = run::<BenOrNode, _, _>(&engine, seed, &mut adv, |id| {
-            BenOrNode::new(params, n, inputs[id.index()])
-        });
+        let b = Scenario::new(n)
+            .phase(Phase::Baseline(Baseline::BenOr { bias: 0.9 }))
+            .faults(BenOrParams::recommended(n).t)
+            .adversary(silent)
+            .run(seed)
+            .expect("benor scenario")
+            .into_baseline();
+        let metrics = b.outcome.metrics();
         (
-            out.metrics.decided_quantile(0.95).map(|s| s as f64),
-            out.metrics.amortized_bits(),
-            out.metrics.correct_msgs_sent() as f64 / n as f64,
+            metrics.decided_quantile(0.95).map(|s| s as f64),
+            metrics.amortized_bits(),
+            metrics.correct_msgs_sent() as f64 / n as f64,
         )
     });
     push_rows(
@@ -128,21 +125,18 @@ pub fn table(scope: Scope) -> Table {
     // --- Phase-King (deterministic) ---
     let king_sizes = scope.king_sizes();
     let outcomes = par_map(cells(king_sizes.clone(), seeds.clone()), |(n, seed)| {
-        let params = KingParams::recommended(n);
-        let engine = EngineConfig {
-            max_steps: params.schedule_len() + 8,
-            ..EngineConfig::sync(n)
-        };
-        let mut rng = fba_sim::rng::derive_rng(seed, &[0xb1]);
-        let inputs: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
-        let mut adv = SilentAdversary::new(params.t / 2);
-        let out = run::<KingNode, _, _>(&engine, seed, &mut adv, |id| {
-            KingNode::new(params, n, inputs[id.index()])
-        });
+        let k = Scenario::new(n)
+            .phase(Phase::Baseline(Baseline::PhaseKing))
+            .faults(KingParams::recommended(n).t / 2)
+            .adversary(silent)
+            .run(seed)
+            .expect("phase-king scenario")
+            .into_baseline();
+        let metrics = k.outcome.metrics();
         (
-            out.metrics.decided_quantile(0.95).map(|s| s as f64),
-            out.metrics.amortized_bits(),
-            out.metrics.correct_msgs_sent() as f64 / n as f64,
+            metrics.decided_quantile(0.95).map(|s| s as f64),
+            metrics.amortized_bits(),
+            metrics.correct_msgs_sent() as f64 / n as f64,
         )
     });
     push_rows(

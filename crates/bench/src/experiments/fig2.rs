@@ -7,9 +7,9 @@
 
 use fba_ae::UnknowingAssignment;
 use fba_core::trace::{push_votes_at, request_flow};
-use fba_sim::{NoAdversary, NodeId};
+use fba_sim::NodeId;
 
-use crate::experiments::common::{harness, KNOWING};
+use crate::experiments::common::{aer_scenario, KNOWING};
 use crate::par::par_map;
 use crate::scope::Scope;
 use crate::table::{fnum, Table};
@@ -22,12 +22,14 @@ pub fn f2a(scope: Scope) -> Table {
         _ => 96,
     };
     let seed = 7;
-    let (h, pre) = harness(n, seed, 0.75, UnknowingAssignment::SharedAdversarial, |c| c);
-    let mut engine = h.engine_sync();
-    engine.record_transcript = true;
-    let out = h.run(&engine, seed, &mut NoAdversary);
-    let scheme = h.scheme();
-    let cfg = h.config();
+    let out = aer_scenario(n, 0.75, UnknowingAssignment::SharedAdversarial)
+        .record_transcript(true)
+        .run(seed)
+        .expect("f2a scenario")
+        .into_aer();
+    let pre = &out.precondition;
+    let scheme = out.config.scheme();
+    let cfg = &out.config;
 
     let mut t = Table::new(
         "f2a — Fig. 2a: push-phase votes at sample unknowing nodes",
@@ -46,7 +48,7 @@ pub fn f2a(scope: Scope) -> Table {
     // Each witness's vote tally scans the whole transcript; fan the
     // witnesses across cores (read-only over one recorded run).
     let tallies = par_map(witnesses.clone(), |x| {
-        let votes = push_votes_at(&out.transcript, x, &scheme);
+        let votes = push_votes_at(&out.run.transcript, x, &scheme);
         (x, votes.votes_for(&pre.gstring), votes.votes_for(bogus))
     });
     for (x, g_count, bad_count) in tallies {
@@ -80,10 +82,12 @@ pub fn f2b(scope: Scope) -> Table {
         _ => 96,
     };
     let seed = 9;
-    let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| c);
-    let mut engine = h.engine_sync();
-    engine.record_transcript = true;
-    let out = h.run(&engine, seed, &mut NoAdversary);
+    let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
+        .record_transcript(true)
+        .run(seed)
+        .expect("f2b scenario")
+        .into_aer();
+    let pre = &out.precondition;
     let x = (0..n)
         .map(NodeId::from_index)
         .find(|id| pre.knows(*id))
@@ -93,8 +97,8 @@ pub fn f2b(scope: Scope) -> Table {
         "f2b — Fig. 2b: one pull request for gstring, hop by hop",
         &["hop", "message", "count", "first step", "ref (d, d², d³)"],
     );
-    let d = h.config().d as f64;
-    let flow = request_flow(&out.transcript, x, &pre.gstring);
+    let d = out.config.d as f64;
+    let flow = request_flow(&out.run.transcript, x, &pre.gstring);
     let rows: [(&str, &str, f64); 5] = [
         ("Poll", "Poll(s,r) → J(x,r)", d),
         ("Pull", "Pull(s,r) → H(s,x)", d),
@@ -114,8 +118,9 @@ pub fn f2b(scope: Scope) -> Table {
     }
     t.note(format!(
         "requester {x}, n = {n}, d = {}; decision at step {}; pipeline depth {}.",
-        h.config().d,
-        out.metrics
+        out.config.d,
+        out.run
+            .metrics
             .decided_at(x)
             .map_or("-".to_string(), |s| s.to_string()),
         flow.pipeline_depth()

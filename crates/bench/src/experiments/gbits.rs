@@ -11,8 +11,8 @@
 
 use std::collections::BTreeSet;
 
-use fba_ae::{run_ae_with, AeConfig};
-use fba_sim::{choose_corrupt, NoAdversary};
+use fba_scenario::{Phase, Scenario};
+use fba_sim::choose_corrupt;
 
 use crate::scope::{mean, Scope};
 use crate::table::{fnum, Table};
@@ -42,11 +42,16 @@ pub fn table(scope: Scope) -> Table {
             let mut controlled = Vec::new();
             let mut knowing = Vec::new();
             for seed in scope.seeds() {
-                let cfg = AeConfig::recommended(n);
                 let k = ((n as f64) * rho).round() as usize;
                 let mut rng = fba_sim::rng::derive_rng(seed, &[0x9b]);
                 let rigged: BTreeSet<_> = choose_corrupt(n, k, &mut rng);
-                let out = run_ae_with(&cfg, seed, &mut NoAdversary, &rigged, 0);
+                let run = Scenario::new(n)
+                    .phase(Phase::Ae)
+                    .rig(rigged.clone(), 0)
+                    .run(seed)
+                    .expect("gbits scenario")
+                    .into_ae();
+                let (out, cfg) = (run.outcome, run.config);
                 knowing.push(out.knowing_fraction * 100.0);
                 if let Some(committee) = &out.supreme_committee {
                     let rigged_members = committee.iter().filter(|m| rigged.contains(m)).count();

@@ -2,15 +2,13 @@
 //! push reliability (L5), safety (L7) and the synchronous end-to-end
 //! summary (L9).
 
-use fba_ae::UnknowingAssignment;
-use fba_core::adversary::{
-    AttackContext, BadString, Corner, Equivocate, PushFlood, RandomStringFlood,
-};
-use fba_core::AerMsg;
+use fba_ae::{Precondition, UnknowingAssignment};
+use fba_core::{AerConfig, AerNode};
 use fba_samplers::GString;
-use fba_sim::{Adversary, NoAdversary, SilentAdversary};
+use fba_scenario::Scenario;
+use fba_sim::{AdversarySpec, FinalInspect, NetworkSpec, NodeId};
 
-use crate::experiments::common::{harness, log2, KNOWING};
+use crate::experiments::common::{aer_scenario, log2, KNOWING};
 use crate::scope::{mean, Scope};
 use crate::table::{fnum, Table};
 
@@ -18,7 +16,8 @@ use crate::table::{fnum, Table};
 ///
 /// Each node `y` pushes to `{x : y ∈ I(s_y, x)}`; Lemma 3 says this is
 /// `O(log n)` messages of `O(log n)` bits each. Measured directly from
-/// the push target lists (which is exactly what `on_start` transmits).
+/// the push target lists (which is exactly what `on_start` transmits) —
+/// a pure sampler computation, no engine run.
 #[must_use]
 pub fn l3(scope: Scope) -> Table {
     let mut t = Table::new(
@@ -37,20 +36,18 @@ pub fn l3(scope: Scope) -> Table {
         let mut maxes = Vec::new();
         let mut bits = Vec::new();
         for seed in scope.seeds().into_iter().take(3) {
-            let (h, _) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| c);
-            let cfg = h.config();
-            let per_node: Vec<usize> = (0..n)
-                .map(|i| {
-                    // What on_start sends: one push per target plus the
-                    // 2d poll/pull messages for the own candidate.
-                    h.node(fba_sim::NodeId::from_index(i)).candidates().len()
-                })
-                .collect();
-            let _ = per_node;
+            let cfg = AerConfig::recommended(n);
+            let pre = Precondition::synthetic(
+                n,
+                cfg.string_len,
+                KNOWING,
+                UnknowingAssignment::RandomPerNode,
+                seed,
+            );
             // Push targets are the real measure:
-            let scheme = h.scheme();
+            let scheme = cfg.scheme();
             let mut counts = Vec::with_capacity(n);
-            for (i, s) in h.assignments().iter().enumerate() {
+            for (i, s) in pre.assignments.iter().enumerate() {
                 let y = fba_sim::NodeId::from_index(i);
                 let inverse = scheme.push.inverse_for_string(s.key());
                 counts.push(inverse[y.index()].len());
@@ -74,6 +71,19 @@ pub fn l3(scope: Scope) -> Table {
     t
 }
 
+/// Runs `scenario`, collecting every surviving node's candidate-list
+/// size through the observer hook.
+fn candidate_sizes(scenario: Scenario, seed: u64) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut inspect = FinalInspect(|_id: NodeId, node: &AerNode| {
+        sizes.push(node.candidates().len());
+    });
+    let _ = scenario
+        .run_observed(seed, &mut inspect)
+        .expect("valid scenario");
+    sizes
+}
+
 /// Lemma 4: sum of candidate-list sizes is `O(n)` even under coherent
 /// push flooding and equivocation.
 #[must_use]
@@ -87,27 +97,17 @@ pub fn l4(scope: Scope) -> Table {
             let mut totals = Vec::new();
             let mut maxes = Vec::new();
             for seed in scope.seeds().into_iter().take(3) {
-                let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| c);
-                let ctx = AttackContext::new(&h, pre.gstring);
+                let base = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode);
                 let bad = GString::random(
-                    h.config().string_len,
+                    AerConfig::recommended(n).string_len,
                     &mut fba_sim::rng::derive_rng(seed, &[0xbad]),
                 );
-                let collect =
-                    |_id: fba_sim::NodeId, node: &fba_core::AerNode| node.candidates().len();
-                let engine = h.engine_sync();
-                let run_with = |adv: &mut dyn Adversary<AerMsg>| {
-                    let mut local = Vec::new();
-                    let _ = h.run_inspect(&engine, seed, adv, |id, node| {
-                        local.push(collect(id, node));
-                    });
-                    local
+                let scenario = match adv_name {
+                    "none" => base,
+                    "push-flood" => base.adversary(AdversarySpec::PushFlood).bad_string(bad),
+                    _ => base.adversary(AdversarySpec::Equivocate { strings: 8 }),
                 };
-                let sizes = match adv_name {
-                    "none" => run_with(&mut NoAdversary),
-                    "push-flood" => run_with(&mut PushFlood::new(ctx.clone(), bad)),
-                    _ => run_with(&mut Equivocate::new(ctx.clone(), 8)),
-                };
+                let sizes = candidate_sizes(scenario, seed);
                 let total: usize = sizes.iter().sum();
                 totals.push(total as f64 / n as f64);
                 maxes.push(sizes.iter().copied().max().unwrap_or(0) as f64);
@@ -143,24 +143,24 @@ pub fn l5(scope: Scope) -> Table {
         let mut nodes_total = 0usize;
         let seeds = scope.seeds();
         for seed in &seeds {
-            let (h, pre) = harness(n, *seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| c);
-            let g = pre.gstring;
-            let engine = h.engine_sync();
-            let mut missing = 0usize;
-            let mut counted = 0usize;
-            let _ = h.run_inspect(
-                &engine,
-                *seed,
-                &mut SilentAdversary::new(h.config().t),
-                |_, node| {
-                    counted += 1;
-                    if !node.candidates().contains(&g) {
-                        missing += 1;
-                    }
-                },
-            );
-            missing_total += missing;
-            nodes_total += counted;
+            let scenario = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
+                .adversary(AdversarySpec::Silent { t: None });
+            // Snapshot every surviving node's candidate list, then count
+            // misses against the gstring the run itself carried — no
+            // out-of-band precondition rebuild to keep in lockstep.
+            let mut lists: Vec<Vec<GString>> = Vec::new();
+            let out = {
+                let mut inspect = FinalInspect(|_id: NodeId, node: &AerNode| {
+                    lists.push(node.candidates().to_vec());
+                });
+                scenario
+                    .run_observed(*seed, &mut inspect)
+                    .expect("valid scenario")
+                    .into_aer()
+            };
+            let g = out.precondition.gstring;
+            missing_total += lists.iter().filter(|l| !l.contains(&g)).count();
+            nodes_total += lists.len();
         }
         t.push_row(vec![
             n.to_string(),
@@ -186,90 +186,48 @@ pub fn l7(scope: Scope) -> Table {
         "l7 — Lemma 7: wrong-decision census under every adversary",
         &["adversary", "runs", "decisions", "wrong decisions"],
     );
-    let adversaries = [
-        "none",
-        "silent-t",
-        "random-flood",
-        "push-flood",
-        "equivocate",
-        "bad-string",
-        "corner(async)",
+    // The attack suite as specs — the sweep is data, not wiring.
+    let adversaries: [(&str, AdversarySpec, NetworkSpec); 7] = [
+        ("none", AdversarySpec::None, NetworkSpec::Sync),
+        (
+            "silent-t",
+            AdversarySpec::Silent { t: None },
+            NetworkSpec::Sync,
+        ),
+        (
+            "random-flood",
+            AdversarySpec::RandomFlood { rate: 16, steps: 4 },
+            NetworkSpec::Sync,
+        ),
+        ("push-flood", AdversarySpec::PushFlood, NetworkSpec::Sync),
+        (
+            "equivocate",
+            AdversarySpec::Equivocate { strings: 8 },
+            NetworkSpec::Sync,
+        ),
+        ("bad-string", AdversarySpec::BadString, NetworkSpec::Sync),
+        (
+            "corner(async)",
+            AdversarySpec::Corner { label_scan: 256 },
+            NetworkSpec::Async { max_delay: 1 },
+        ),
     ];
-    for name in adversaries {
+    for (name, spec, network) in adversaries {
         let mut decisions = 0usize;
         let mut wrong = 0usize;
         let seeds = scope.seeds();
         for seed in &seeds {
             // Worst-case precondition: the unknowing block shares one
-            // bogus string the adversary campaigns for.
-            let (h, pre) = harness(
-                n,
-                *seed,
-                KNOWING,
-                UnknowingAssignment::SharedAdversarial,
-                |c| c,
-            );
-            let g = pre.gstring;
-            let bad = *pre
-                .assignments
-                .iter()
-                .find(|s| **s != g)
-                .expect("bogus string exists");
-            let ctx = AttackContext::new(&h, g);
-            let tbudget = h.config().t;
-            let (engine, outcome) = match name {
-                "none" => (
-                    h.engine_sync(),
-                    h.run(&h.engine_sync(), *seed, &mut NoAdversary),
-                ),
-                "silent-t" => (
-                    h.engine_sync(),
-                    h.run(&h.engine_sync(), *seed, &mut SilentAdversary::new(tbudget)),
-                ),
-                "random-flood" => (
-                    h.engine_sync(),
-                    h.run(
-                        &h.engine_sync(),
-                        *seed,
-                        &mut RandomStringFlood::new(ctx.clone(), 16, 4),
-                    ),
-                ),
-                "push-flood" => (
-                    h.engine_sync(),
-                    h.run(
-                        &h.engine_sync(),
-                        *seed,
-                        &mut PushFlood::new(ctx.clone(), bad),
-                    ),
-                ),
-                "equivocate" => (
-                    h.engine_sync(),
-                    h.run(
-                        &h.engine_sync(),
-                        *seed,
-                        &mut Equivocate::new(ctx.clone(), 8),
-                    ),
-                ),
-                "bad-string" => (
-                    h.engine_sync(),
-                    h.run(
-                        &h.engine_sync(),
-                        *seed,
-                        &mut BadString::new(ctx.clone(), bad),
-                    ),
-                ),
-                _ => (
-                    h.engine_async(1),
-                    h.run(
-                        &h.engine_async(1),
-                        *seed,
-                        &mut Corner::new(ctx.clone(), 256),
-                    ),
-                ),
-            };
-            let _ = engine;
-            decisions += outcome.outputs.len();
-            wrong += outcome.outputs.values().filter(|v| **v != g).count();
+            // bogus string the adversary campaigns for (the builder's
+            // default campaign string).
+            let out = aer_scenario(n, KNOWING, UnknowingAssignment::SharedAdversarial)
+                .adversary(spec)
+                .network(network)
+                .run(*seed)
+                .expect("l7 scenario")
+                .into_aer();
+            decisions += out.run.outputs.len();
+            wrong += out.wrong_decisions();
         }
         t.push_row(vec![
             name.into(),
@@ -306,20 +264,19 @@ pub fn l9(scope: Scope) -> Table {
         let mut p95 = Vec::new();
         let mut msgs = Vec::new();
         for seed in scope.seeds() {
-            let (h, _) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| c);
-            let out = h.run(
-                &h.engine_sync(),
-                seed,
-                &mut SilentAdversary::new(h.config().t),
-            );
-            decided.push(out.metrics.decided_fraction() * 100.0);
-            if let Some(s) = out.metrics.decided_quantile(0.5) {
+            let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
+                .adversary(AdversarySpec::Silent { t: None })
+                .run(seed)
+                .expect("l9 scenario")
+                .into_aer();
+            decided.push(out.run.metrics.decided_fraction() * 100.0);
+            if let Some(s) = out.run.metrics.decided_quantile(0.5) {
                 p50.push(s as f64);
             }
-            if let Some(s) = out.metrics.decided_quantile(0.95) {
+            if let Some(s) = out.run.metrics.decided_quantile(0.95) {
                 p95.push(s as f64);
             }
-            msgs.push(out.metrics.correct_msgs_sent() as f64 / n as f64);
+            msgs.push(out.run.metrics.correct_msgs_sent() as f64 / n as f64);
         }
         t.push_row(vec![
             n.to_string(),

@@ -3,10 +3,9 @@
 //! valve is `log² n` and not smaller.
 
 use fba_ae::UnknowingAssignment;
-use fba_core::adversary::{AttackContext, Corner};
-use fba_sim::SilentAdversary;
+use fba_sim::{AdversarySpec, NetworkSpec};
 
-use crate::experiments::common::{harness, loglog_ratio, KNOWING};
+use crate::experiments::common::{aer_scenario, loglog_ratio, KNOWING};
 use crate::par::par_map;
 use crate::scope::{mean, mean_cell, Scope};
 use crate::table::{fnum, Table};
@@ -50,18 +49,21 @@ pub fn l6(scope: Scope) -> Table {
     // Fan the (n, cap, seed) grid across cores (pure seeded runs;
     // aggregation in input order == serial sweep).
     let outcomes = par_map(cells, |(n, cap, seed)| {
-        let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
-            c.with_overload_cap(cap).strict()
-        });
-        let ctx = AttackContext::new(&h, pre.gstring);
-        let mut corner = Corner::new(ctx, 512);
-        let out = h.run(&h.engine_async(1), seed, &mut corner);
+        let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
+            .overload_cap(cap)
+            .strict()
+            .network(NetworkSpec::Async { max_delay: 1 })
+            .adversary(AdversarySpec::Corner { label_scan: 512 })
+            .run(seed)
+            .expect("l6 scenario")
+            .into_aer();
+        let report = out.corner.as_ref().expect("corner adversary reports");
         (
-            out.metrics.decided_fraction() * 100.0,
-            out.metrics.decided_quantile(0.5).map(|s| s as f64),
-            out.metrics.decided_quantile(0.75).map(|s| s as f64),
-            corner.report().planned_depth as f64,
-            corner.report().overload_targets as f64,
+            out.run.metrics.decided_fraction() * 100.0,
+            out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
+            out.run.metrics.decided_quantile(0.75).map(|s| s as f64),
+            report.planned_depth as f64,
+            report.overload_targets as f64,
         )
     });
     for (i, &(n, cap_name, _)) in configs.iter().enumerate() {
@@ -116,15 +118,17 @@ pub fn ablate_cap(scope: Scope) -> Table {
         .flat_map(|&(_, cap)| seeds.iter().map(move |&seed| (cap, seed)))
         .collect();
     let outcomes = par_map(cells, |(cap, seed)| {
-        let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
-            c.with_overload_cap(cap.max(1)).strict()
-        });
-        let ctx = AttackContext::new(&h, pre.gstring);
-        let mut corner = Corner::new(ctx, 256);
-        let out = h.run(&h.engine_async(1), seed, &mut corner);
+        let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
+            .overload_cap(cap.max(1))
+            .strict()
+            .network(NetworkSpec::Async { max_delay: 1 })
+            .adversary(AdversarySpec::Corner { label_scan: 256 })
+            .run(seed)
+            .expect("ablate-cap scenario")
+            .into_aer();
         (
-            out.metrics.decided_fraction() * 100.0,
-            out.metrics.decided_quantile(0.5).map(|s| s as f64),
+            out.run.metrics.decided_fraction() * 100.0,
+            out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
         )
     });
     for (i, &(name, cap)) in caps.iter().enumerate() {
@@ -160,18 +164,16 @@ pub fn l8(scope: Scope) -> Table {
         .flat_map(|&n| seeds.iter().map(move |&seed| (n, seed)))
         .collect();
     let outcomes = par_map(cells, |(n, seed)| {
-        let (h, _) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| {
-            c.strict()
-        });
-        let out = h.run(
-            &h.engine_sync(),
-            seed,
-            &mut SilentAdversary::new(h.config().t),
-        );
+        let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
+            .strict()
+            .adversary(AdversarySpec::Silent { t: None })
+            .run(seed)
+            .expect("l8 scenario")
+            .into_aer();
         (
-            out.metrics.decided_fraction() * 100.0,
-            out.metrics.decided_quantile(0.5).map(|s| s as f64),
-            out.metrics.decided_quantile(0.75).map(|s| s as f64),
+            out.run.metrics.decided_fraction() * 100.0,
+            out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
+            out.run.metrics.decided_quantile(0.75).map(|s| s as f64),
         )
     });
     for (i, &n) in sizes.iter().enumerate() {
@@ -215,16 +217,18 @@ pub fn l10(scope: Scope) -> Table {
         .flat_map(|&n| seeds.iter().map(move |&seed| (n, seed)))
         .collect();
     let outcomes = par_map(cells, |(n, seed)| {
-        let (h, pre) = harness(n, seed, KNOWING, UnknowingAssignment::RandomPerNode, |c| c);
-        let ctx = AttackContext::new(&h, pre.gstring);
-        let mut corner = Corner::new(ctx, 512);
-        let out = h.run(&h.engine_async(1), seed, &mut corner);
+        let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
+            .network(NetworkSpec::Async { max_delay: 1 })
+            .adversary(AdversarySpec::Corner { label_scan: 512 })
+            .run(seed)
+            .expect("l10 scenario")
+            .into_aer();
         (
-            out.metrics.decided_fraction() * 100.0,
-            out.metrics.decided_quantile(0.5).map(|s| s as f64),
-            out.metrics.decided_quantile(0.95).map(|s| s as f64),
-            out.all_decided_at.map(|s| s as f64),
-            out.metrics.correct_msgs_sent() as f64 / n as f64,
+            out.run.metrics.decided_fraction() * 100.0,
+            out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
+            out.run.metrics.decided_quantile(0.95).map(|s| s as f64),
+            out.run.all_decided_at.map(|s| s as f64),
+            out.run.metrics.correct_msgs_sent() as f64 / n as f64,
         )
     });
     for (i, &n) in sizes.iter().enumerate() {

@@ -45,3 +45,113 @@ fn no_arguments_prints_usage_and_fails() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("usage:"), "stderr: {stderr}");
 }
+
+#[test]
+fn scenario_valid_spec_runs_and_decides() {
+    let out = paperbench(&[
+        "scenario",
+        "--n",
+        "48",
+        "--adversary",
+        "silent",
+        "--network",
+        "async:2",
+        "--seed",
+        "3",
+    ]);
+    assert!(out.status.success(), "valid scenario must run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("decided 48/") || stdout.contains("decided 4"),
+        "stdout should report decisions: {stdout}"
+    );
+    assert!(stdout.contains("adversary=silent"), "stdout: {stdout}");
+    assert!(stdout.contains("network=async:2"), "stdout: {stdout}");
+}
+
+#[test]
+fn scenario_expresses_every_adversary_in_both_timing_models() {
+    // The acceptance matrix: each adversary spec × each timing model.
+    for adversary in ["silent", "flood", "equivocate", "corner"] {
+        for network in ["sync", "async:2"] {
+            let out = paperbench(&[
+                "scenario",
+                "--n",
+                "48",
+                "--adversary",
+                adversary,
+                "--network",
+                network,
+            ]);
+            assert!(
+                out.status.success(),
+                "{adversary} over {network} must run: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            assert!(
+                stdout.contains("decided"),
+                "{adversary}/{network}: {stdout}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scenario_unknown_adversary_prints_usage_and_fails() {
+    let out = paperbench(&["scenario", "--n", "48", "--adversary", "martian"]);
+    assert!(
+        !out.status.success(),
+        "unknown adversary must exit non-zero"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("martian"),
+        "stderr names offender: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage: paperbench scenario"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("corner"), "stderr lists specs: {stderr}");
+}
+
+#[test]
+fn scenario_unknown_phase_prints_usage_and_fails() {
+    let out = paperbench(&["scenario", "--phase", "tcp"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("tcp"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("usage: paperbench scenario"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn scenario_rejects_knowing_on_phases_without_a_precondition() {
+    let out = paperbench(&["scenario", "--phase", "composed", "--knowing", "0.6"]);
+    assert!(!out.status.success(), "--knowing on composed must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--knowing applies only"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn scenario_rejects_aer_adversary_on_wrong_phase() {
+    // `flood` is AER-specific; the AE phase must reject it gracefully.
+    let out = paperbench(&[
+        "scenario",
+        "--n",
+        "48",
+        "--phase",
+        "ae",
+        "--adversary",
+        "flood",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("AER-specific"), "stderr: {stderr}");
+}

@@ -34,12 +34,14 @@ mod corner;
 mod equivocate;
 mod flood;
 mod pull_flood;
+mod registry;
 
 pub use bad_string::BadString;
 pub use corner::{Corner, CornerReport};
 pub use equivocate::Equivocate;
 pub use flood::{PushFlood, RandomStringFlood};
 pub use pull_flood::PullFlood;
+pub use registry::AerAdversary;
 
 use fba_samplers::{GString, PollSampler, QuorumScheme};
 

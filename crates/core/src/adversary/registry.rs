@@ -1,0 +1,270 @@
+//! The AER adversary registry: [`AdversarySpec`] → live strategy.
+//!
+//! [`AerAdversary`] is the closed set of Byzantine strategies the AER
+//! experiments exercise, instantiable from a data-level
+//! [`AdversarySpec`] plus an [`AttackContext`] (the full-information
+//! view) and the campaign string `bad` used by the coherent attacks.
+//! Dispatching through an enum — rather than `Box<dyn Adversary>` —
+//! keeps strategy state inspectable after the run (e.g.
+//! [`AerAdversary::corner_report`] for the Lemma 6 experiments).
+
+use std::collections::BTreeSet;
+
+use fba_samplers::GString;
+use fba_sim::{
+    Adversary, AdversarySpec, Envelope, NoAdversary, NodeId, Outbox, SilentAdversary, Step,
+};
+use rand_chacha::ChaCha12Rng;
+
+use crate::adversary::{
+    AttackContext, BadString, Corner, CornerReport, Equivocate, PullFlood, PushFlood,
+    RandomStringFlood,
+};
+use crate::msg::AerMsg;
+
+/// Every Byzantine strategy the AER suite can field, in one dispatchable
+/// value (see the module docs).
+#[derive(Clone, Debug)]
+pub enum AerAdversary {
+    /// No corruption.
+    None(NoAdversary),
+    /// Fail-stop silence.
+    Silent(SilentAdversary),
+    /// Blind random-string pushing.
+    RandomFlood(RandomStringFlood),
+    /// Coherent push flooding of `bad`.
+    PushFlood(PushFlood),
+    /// Per-victim fabrications.
+    Equivocate(Equivocate),
+    /// Pull-request spraying.
+    PullFlood(PullFlood),
+    /// The full bad-string campaign.
+    BadString(BadString),
+    /// The cornering/overload attack.
+    Corner(Corner),
+}
+
+impl AerAdversary {
+    /// Instantiates the strategy `spec` names.
+    ///
+    /// `ctx.t` is the corruption budget (callers override the config
+    /// default before passing it in); `bad` is the campaign string used
+    /// by the `flood` and `bad-string` strategies (ignored by the rest).
+    #[must_use]
+    pub fn from_spec(spec: &AdversarySpec, ctx: AttackContext, bad: GString) -> Self {
+        match *spec {
+            AdversarySpec::None => AerAdversary::None(NoAdversary),
+            AdversarySpec::Silent { t } => {
+                AerAdversary::Silent(SilentAdversary::new(t.unwrap_or(ctx.t)))
+            }
+            AdversarySpec::RandomFlood { rate, steps } => {
+                AerAdversary::RandomFlood(RandomStringFlood::new(ctx, rate, steps))
+            }
+            AdversarySpec::PushFlood => AerAdversary::PushFlood(PushFlood::new(ctx, bad)),
+            AdversarySpec::Equivocate { strings } => {
+                AerAdversary::Equivocate(Equivocate::new(ctx, strings))
+            }
+            AdversarySpec::PullFlood { rate, steps } => {
+                AerAdversary::PullFlood(PullFlood::new(ctx, rate, steps))
+            }
+            AdversarySpec::BadString => AerAdversary::BadString(BadString::new(ctx, bad)),
+            AdversarySpec::Corner { label_scan } => {
+                AerAdversary::Corner(Corner::new(ctx, label_scan))
+            }
+        }
+    }
+
+    /// The cornering attack's plan/coverage report, when the strategy is
+    /// [`AerAdversary::Corner`].
+    #[must_use]
+    pub fn corner_report(&self) -> Option<&CornerReport> {
+        match self {
+            AerAdversary::Corner(c) => Some(c.report()),
+            _ => None,
+        }
+    }
+}
+
+impl Adversary<AerMsg> for AerAdversary {
+    fn corrupt(&mut self, n: usize, rng: &mut ChaCha12Rng) -> BTreeSet<NodeId> {
+        match self {
+            AerAdversary::None(a) => Adversary::<AerMsg>::corrupt(a, n, rng),
+            AerAdversary::Silent(a) => Adversary::<AerMsg>::corrupt(a, n, rng),
+            AerAdversary::RandomFlood(a) => a.corrupt(n, rng),
+            AerAdversary::PushFlood(a) => a.corrupt(n, rng),
+            AerAdversary::Equivocate(a) => a.corrupt(n, rng),
+            AerAdversary::PullFlood(a) => a.corrupt(n, rng),
+            AerAdversary::BadString(a) => a.corrupt(n, rng),
+            AerAdversary::Corner(a) => a.corrupt(n, rng),
+        }
+    }
+
+    fn rushing(&self) -> bool {
+        match self {
+            AerAdversary::None(a) => Adversary::<AerMsg>::rushing(a),
+            AerAdversary::Silent(a) => Adversary::<AerMsg>::rushing(a),
+            AerAdversary::RandomFlood(a) => a.rushing(),
+            AerAdversary::PushFlood(a) => a.rushing(),
+            AerAdversary::Equivocate(a) => a.rushing(),
+            AerAdversary::PullFlood(a) => a.rushing(),
+            AerAdversary::BadString(a) => a.rushing(),
+            AerAdversary::Corner(a) => a.rushing(),
+        }
+    }
+
+    fn act(&mut self, step: Step, view: Option<&[Envelope<AerMsg>]>, out: &mut Outbox<'_, AerMsg>) {
+        match self {
+            AerAdversary::None(a) => a.act(step, view, out),
+            AerAdversary::Silent(a) => a.act(step, view, out),
+            AerAdversary::RandomFlood(a) => a.act(step, view, out),
+            AerAdversary::PushFlood(a) => a.act(step, view, out),
+            AerAdversary::Equivocate(a) => a.act(step, view, out),
+            AerAdversary::PullFlood(a) => a.act(step, view, out),
+            AerAdversary::BadString(a) => a.act(step, view, out),
+            AerAdversary::Corner(a) => a.act(step, view, out),
+        }
+    }
+
+    fn observe(&mut self, step: Step, sends: &[Envelope<AerMsg>]) {
+        match self {
+            AerAdversary::None(a) => Adversary::<AerMsg>::observe(a, step, sends),
+            AerAdversary::Silent(a) => Adversary::<AerMsg>::observe(a, step, sends),
+            AerAdversary::RandomFlood(a) => a.observe(step, sends),
+            AerAdversary::PushFlood(a) => a.observe(step, sends),
+            AerAdversary::Equivocate(a) => a.observe(step, sends),
+            AerAdversary::PullFlood(a) => a.observe(step, sends),
+            AerAdversary::BadString(a) => a.observe(step, sends),
+            AerAdversary::Corner(a) => a.observe(step, sends),
+        }
+    }
+
+    fn delay(&mut self, env: &Envelope<AerMsg>) -> Step {
+        match self {
+            AerAdversary::None(a) => Adversary::<AerMsg>::delay(a, env),
+            AerAdversary::Silent(a) => Adversary::<AerMsg>::delay(a, env),
+            AerAdversary::RandomFlood(a) => a.delay(env),
+            AerAdversary::PushFlood(a) => a.delay(env),
+            AerAdversary::Equivocate(a) => a.delay(env),
+            AerAdversary::PullFlood(a) => a.delay(env),
+            AerAdversary::BadString(a) => a.delay(env),
+            AerAdversary::Corner(a) => a.delay(env),
+        }
+    }
+
+    fn priority(&mut self, env: &Envelope<AerMsg>) -> i64 {
+        match self {
+            AerAdversary::None(a) => Adversary::<AerMsg>::priority(a, env),
+            AerAdversary::Silent(a) => Adversary::<AerMsg>::priority(a, env),
+            AerAdversary::RandomFlood(a) => a.priority(env),
+            AerAdversary::PushFlood(a) => a.priority(env),
+            AerAdversary::Equivocate(a) => a.priority(env),
+            AerAdversary::PullFlood(a) => a.priority(env),
+            AerAdversary::BadString(a) => a.priority(env),
+            AerAdversary::Corner(a) => a.priority(env),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AerConfig, AerHarness};
+    use fba_ae::{Precondition, UnknowingAssignment};
+    use fba_sim::rng::derive_rng;
+
+    fn context(n: usize) -> (AttackContext, GString) {
+        let cfg = AerConfig::recommended(n);
+        let pre = Precondition::synthetic(
+            n,
+            cfg.string_len,
+            0.8,
+            UnknowingAssignment::SharedAdversarial,
+            5,
+        );
+        let h = AerHarness::from_precondition(cfg, &pre);
+        let bad = *pre
+            .assignments
+            .iter()
+            .find(|s| **s != pre.gstring)
+            .expect("bogus exists");
+        (AttackContext::new(&h, pre.gstring), bad)
+    }
+
+    #[test]
+    fn every_spec_instantiates_the_matching_strategy() {
+        let (ctx, bad) = context(64);
+        let cases = [
+            (AdversarySpec::None, "none"),
+            (AdversarySpec::Silent { t: None }, "silent"),
+            (
+                AdversarySpec::RandomFlood { rate: 4, steps: 2 },
+                "random-flood",
+            ),
+            (AdversarySpec::PushFlood, "flood"),
+            (AdversarySpec::Equivocate { strings: 3 }, "equivocate"),
+            (AdversarySpec::PullFlood { rate: 2, steps: 2 }, "pull-flood"),
+            (AdversarySpec::BadString, "bad-string"),
+            (AdversarySpec::Corner { label_scan: 16 }, "corner"),
+        ];
+        for (spec, name) in cases {
+            let adv = AerAdversary::from_spec(&spec, ctx.clone(), bad);
+            let built = match adv {
+                AerAdversary::None(_) => "none",
+                AerAdversary::Silent(_) => "silent",
+                AerAdversary::RandomFlood(_) => "random-flood",
+                AerAdversary::PushFlood(_) => "flood",
+                AerAdversary::Equivocate(_) => "equivocate",
+                AerAdversary::PullFlood(_) => "pull-flood",
+                AerAdversary::BadString(_) => "bad-string",
+                AerAdversary::Corner(_) => "corner",
+            };
+            assert_eq!(built, name);
+            assert_eq!(spec.name(), name);
+        }
+    }
+
+    #[test]
+    fn silent_spec_uses_context_budget_unless_overridden() {
+        let (ctx, bad) = context(64);
+        let t = ctx.t;
+        let mut defaulted =
+            AerAdversary::from_spec(&AdversarySpec::Silent { t: None }, ctx.clone(), bad);
+        let mut rng = derive_rng(1, &[]);
+        assert_eq!(defaulted.corrupt(64, &mut rng).len(), t);
+        let mut explicit = AerAdversary::from_spec(&AdversarySpec::Silent { t: Some(3) }, ctx, bad);
+        let mut rng = derive_rng(1, &[]);
+        assert_eq!(explicit.corrupt(64, &mut rng).len(), 3);
+    }
+
+    #[test]
+    fn rushing_matches_the_underlying_strategy() {
+        let (ctx, bad) = context(64);
+        let rushing = [
+            AdversarySpec::BadString,
+            AdversarySpec::Corner { label_scan: 8 },
+        ];
+        let non_rushing = [
+            AdversarySpec::None,
+            AdversarySpec::Silent { t: None },
+            AdversarySpec::PushFlood,
+        ];
+        for spec in rushing {
+            let adv = AerAdversary::from_spec(&spec, ctx.clone(), bad);
+            assert!(adv.rushing(), "{spec}");
+        }
+        for spec in non_rushing {
+            let adv = AerAdversary::from_spec(&spec, ctx.clone(), bad);
+            assert!(!adv.rushing(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn corner_report_is_exposed_only_for_corner() {
+        let (ctx, bad) = context(64);
+        let corner =
+            AerAdversary::from_spec(&AdversarySpec::Corner { label_scan: 8 }, ctx.clone(), bad);
+        assert!(corner.corner_report().is_some());
+        let silent = AerAdversary::from_spec(&AdversarySpec::Silent { t: None }, ctx, bad);
+        assert!(silent.corner_report().is_none());
+    }
+}

@@ -280,25 +280,18 @@ impl AerHarness {
     }
 
     /// Default synchronous engine configuration for this deployment:
-    /// enough steps for the retry/repair schedule to play out.
+    /// enough steps for the retry/repair schedule to play out
+    /// (see [`AerConfig::engine_sync`]).
     #[must_use]
     pub fn engine_sync(&self) -> EngineConfig {
-        let budget = self.cfg.poll_timeout
-            * (u64::from(self.cfg.poll_attempts) + u64::from(self.cfg.repair_attempts) + 2);
-        EngineConfig {
-            max_steps: budget.max(60),
-            ..EngineConfig::sync(self.cfg.n)
-        }
+        self.cfg.engine_sync()
     }
 
     /// Default asynchronous engine configuration (`max_delay` steps of
-    /// adversarial delay).
+    /// adversarial delay; see [`AerConfig::engine_async`]).
     #[must_use]
     pub fn engine_async(&self, max_delay: Step) -> EngineConfig {
-        EngineConfig {
-            max_steps: 400,
-            ..EngineConfig::asynchronous(self.cfg.n, max_delay)
-        }
+        self.cfg.engine_async(max_delay)
     }
 
     /// Runs one complete execution.
@@ -313,6 +306,31 @@ impl AerHarness {
     {
         let caches = self.run_caches();
         run::<AerNode, A, _>(engine, seed, adversary, |id| self.node_with(id, &caches))
+    }
+
+    /// Runs one complete execution while driving a read-only
+    /// [`fba_sim::Observer`] — per-step send views, per-decision events
+    /// and final node states. Observers cannot influence the run, so the
+    /// outcome is bit-identical to [`AerHarness::run`].
+    pub fn run_observed<A, O>(
+        &self,
+        engine: &EngineConfig,
+        seed: u64,
+        adversary: &mut A,
+        observer: &mut O,
+    ) -> RunOutcome<GString, AerMsg>
+    where
+        A: Adversary<AerMsg> + ?Sized,
+        O: fba_sim::Observer<AerNode> + ?Sized,
+    {
+        let caches = self.run_caches();
+        fba_sim::run_observed::<AerNode, A, _, O>(
+            engine,
+            seed,
+            adversary,
+            |id| self.node_with(id, &caches),
+            observer,
+        )
     }
 
     /// Runs one complete execution and hands every surviving node's final

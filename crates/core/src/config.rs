@@ -219,6 +219,31 @@ impl AerConfig {
     pub fn majority(&self) -> usize {
         self.d / 2 + 1
     }
+
+    /// Default synchronous engine configuration for this deployment:
+    /// enough steps for the retry/repair schedule to play out. The one
+    /// source of the default — the harness and the scenario builder both
+    /// delegate here.
+    #[must_use]
+    pub fn engine_sync(&self) -> fba_sim::EngineConfig {
+        let budget = self.poll_timeout
+            * (u64::from(self.poll_attempts) + u64::from(self.repair_attempts) + 2);
+        fba_sim::EngineConfig {
+            max_steps: budget.max(60),
+            ..fba_sim::EngineConfig::sync(self.n)
+        }
+    }
+
+    /// Default asynchronous engine configuration (`max_delay` steps of
+    /// adversarial delay). The one source of the default — see
+    /// [`AerConfig::engine_sync`].
+    #[must_use]
+    pub fn engine_async(&self, max_delay: fba_sim::Step) -> fba_sim::EngineConfig {
+        fba_sim::EngineConfig {
+            max_steps: 400,
+            ..fba_sim::EngineConfig::asynchronous(self.n, max_delay)
+        }
+    }
 }
 
 /// A violated [`AerConfig`] constraint.

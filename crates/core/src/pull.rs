@@ -88,12 +88,15 @@ struct Fw1Route {
     self_in_hw_known: u128,
 }
 
-/// Packs a vote-arena key from the interned `H(s, origin)` slot and the
-/// poll-list member `w` (see [`PullPhase`]'s `fw1_votes`). Node indices
+/// Packs a vote-arena key from an interned quorum [`SetSlot`] and a node
+/// id (see [`PullPhase`]'s `fw1_votes` and `fw2_senders`). Node indices
 /// fit 32 bits at any simulable system size (debug-asserted).
-fn fw1_vote_key(h_origin: SetSlot, w: NodeId) -> u64 {
-    debug_assert!(w.index() <= u32::MAX as usize, "node index exceeds 32 bits");
-    (u64::from(h_origin.0) << 32) | w.index() as u64
+fn slot_vote_key(slot: SetSlot, node: NodeId) -> u64 {
+    debug_assert!(
+        node.index() <= u32::MAX as usize,
+        "node index exceeds 32 bits"
+    );
+    (u64::from(slot.0) << 32) | node.index() as u64
 }
 
 /// Retry and repair policy of a [`PullPhase`] (liveness extensions beyond
@@ -149,6 +152,9 @@ pub struct PullPhase {
     believed: GString,
     /// `believed.key()`, cached — the handlers compare it per message.
     believed_key: StringKey,
+    /// Interned slot of `H(believed, self)`, kept in lockstep with
+    /// `believed_key` — the answerer hot path keys its vote arena by it.
+    believed_slot: SetSlot,
     decided: Option<GString>,
 
     // --- requester (Algorithm 1) ---
@@ -174,9 +180,13 @@ pub struct PullPhase {
 
     // --- answerer (Algorithm 3) ---
     polled: FxHashSet<(NodeId, StringKey)>,
-    /// Per `(origin, s)`: bitmask over positions in `H(s, self)` of
-    /// second-hop forwarders seen.
-    fw2_senders: FxHashMap<(NodeId, StringKey), u128>,
+    /// Dense-slot vote arena for `on_fw2`: per `(H(s, self), origin)` —
+    /// packed into one `u64` by [`slot_vote_key`] — a bitmask over
+    /// positions in `H(s, self)` of second-hop forwarders seen. The same
+    /// arena treatment as `fw1_votes`: votes only accumulate for the
+    /// current belief, whose quorum slot is memoized in `believed_slot`,
+    /// so the hot path does no sampler-key hashing at all.
+    fw2_senders: FxHashMap<u64, u128>,
     answered: FxHashSet<(NodeId, StringKey)>,
     answer_counts: FxHashMap<StringKey, u64>,
     deferred: Vec<DeferredFw2>,
@@ -228,6 +238,7 @@ impl PullPhase {
             "bitmask vote tracking supports d < 128 (paper quorums are \u{398}(log n))"
         );
         let believed_key = own.key();
+        let believed_slot = pull_quorums.slot(believed_key, x);
         PullPhase {
             x,
             pull_quorums,
@@ -237,6 +248,7 @@ impl PullPhase {
             retry,
             believed: own,
             believed_key,
+            believed_slot,
             decided: None,
             own_polls: FxHashMap::default(),
             answers_seen: 0,
@@ -436,12 +448,19 @@ impl PullPhase {
         if voters.len() >= self.poll.majority() {
             let decision = self.repair_votes[&key].0;
             self.decided = Some(decision);
-            self.believed = decision;
-            self.believed_key = key;
+            self.set_belief(decision, key);
             Some(decision)
         } else {
             None
         }
+    }
+
+    /// Updates the belief triple (`believed`, `believed_key`,
+    /// `believed_slot`) together — the slot must track the key.
+    fn set_belief(&mut self, s: GString, key: StringKey) {
+        self.believed = s;
+        self.believed_key = key;
+        self.believed_slot = self.pull_quorums.slot(key, self.x);
     }
 
     /// Algorithm 2, first handler: a `Pull(s, r)` from requester `origin`.
@@ -524,7 +543,7 @@ impl PullPhase {
         };
         let votes = self
             .fw1_votes
-            .entry(fw1_vote_key(rt.h_origin, w))
+            .entry(slot_vote_key(rt.h_origin, w))
             .or_insert(0);
         if *votes == VOTES_DONE {
             return Vec::new(); // majority relay already sent
@@ -569,10 +588,15 @@ impl PullPhase {
         if !self.poll_lists.contains(origin, r, self.x) {
             return Vec::new(); // we are not in J(origin, r)
         }
-        let Some(z_pos) = self.pull_quorums.position(key, self.x, z) else {
+        // `key == believed_key`, so `believed_slot` is the interned
+        // H(s, self) — position lookups index it directly.
+        let Some(z_pos) = self.pull_quorums.position_at(self.believed_slot, z) else {
             return Vec::new(); // sender is not in H(s, this)
         };
-        let votes = self.fw2_senders.entry((origin, key)).or_insert(0);
+        let votes = self
+            .fw2_senders
+            .entry(slot_vote_key(self.believed_slot, origin))
+            .or_insert(0);
         *votes |= 1 << z_pos;
         if votes.count_ones() as usize >= self.pull_quorums.majority()
             && self.polled.contains(&(origin, key))
@@ -593,12 +617,19 @@ impl PullPhase {
         }
         let key = s.key();
         self.polled.insert((origin, key));
+        if key != self.believed_key {
+            // Fw2 votes only ever accumulate for the current belief
+            // (`process_fw2` rejects everything else), so a non-believed
+            // poll can never have a majority waiting — answering is
+            // gated on the belief match anyway.
+            return Vec::new();
+        }
         let majority = self.pull_quorums.majority();
         let have = self
             .fw2_senders
-            .get(&(origin, key))
+            .get(&slot_vote_key(self.believed_slot, origin))
             .map_or(0, |votes| votes.count_ones() as usize);
-        if have >= majority && key == self.believed_key {
+        if have >= majority {
             self.answer(origin, s)
         } else {
             Vec::new()
@@ -630,8 +661,7 @@ impl PullPhase {
         if poll.answered_by.count_ones() as usize >= self.poll.majority() {
             let decision = poll.s;
             self.decided = Some(decision);
-            self.believed = decision;
-            self.believed_key = key;
+            self.set_belief(decision, key);
             Some(decision)
         } else {
             None

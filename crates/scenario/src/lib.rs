@@ -1,0 +1,1264 @@
+//! # fba-scenario — one typed builder for every run
+//!
+//! Every execution mode of the *Fast Byzantine Agreement* reproduction —
+//! AER on a synthetic precondition, the almost-everywhere substrate
+//! alone, the composed end-to-end BA protocol, and the Figure 1 baseline
+//! protocols — is described by one declarative [`Scenario`] and executed
+//! by [`Scenario::run`]:
+//!
+//! ```
+//! use fba_scenario::{Phase, Scenario};
+//! use fba_sim::{AdversarySpec, NetworkSpec};
+//!
+//! let outcome = Scenario::new(64)
+//!     .adversary(AdversarySpec::Silent { t: None })
+//!     .network(NetworkSpec::Async { max_delay: 2 })
+//!     .phase(Phase::aer(0.8))
+//!     .run(7)
+//!     .expect("valid scenario")
+//!     .into_aer();
+//! assert_eq!(outcome.run.unanimous(), Some(outcome.gstring()));
+//! ```
+//!
+//! The builder owns all wiring that experiment code previously assembled
+//! by hand: config derivation ([`fba_core::AerConfig::recommended`] plus
+//! the tuning knobs), precondition synthesis, engine selection from the
+//! [`NetworkSpec`], and adversary construction from the data-level
+//! [`AdversarySpec`] (via the `fba-core` registry). New fault/timing
+//! combinations are therefore *data*, not new modules: the `paperbench
+//! scenario` subcommand runs any spec from the command line, and sweeps
+//! enumerate specs instead of duplicating wiring.
+//!
+//! Determinism: a scenario outcome is a pure function of
+//! `(scenario, seed)`. The builder performs exactly the construction
+//! sequence the hand-wired experiments used, so migrated call sites are
+//! bit-identical to their pre-builder form (pinned by the
+//! `scenario_equivalence` integration suite).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+use fba_ae::{run_ae_with, AeConfig, AeOutcome, Precondition, UnknowingAssignment};
+use fba_baselines::{
+    BenOrMsg, BenOrNode, BenOrParams, FloodMsg, FloodNode, KingMsg, KingNode, KingParams, KlstMsg,
+    KlstNode, KlstParams,
+};
+use fba_core::adversary::{AerAdversary, AttackContext, CornerReport};
+use fba_core::{run_ba, AerConfig, AerHarness, AerMsg, AerNode, BaConfig, BaReport, ConfigError};
+use fba_samplers::GString;
+use fba_sim::rng::derive_rng;
+use fba_sim::{
+    AdversarySpec, EngineConfig, Metrics, NetworkSpec, NodeId, NullObserver, Observer,
+    ParseSpecError, RunOutcome, Step,
+};
+use rand::Rng;
+
+/// How the AER precondition is synthesised (the §2.1 postcondition of the
+/// almost-everywhere phase, injected directly).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PreconditionSpec {
+    /// Fraction of nodes that start knowing `gstring`.
+    pub knowing: f64,
+    /// What the remaining nodes hold.
+    pub assignment: UnknowingAssignment,
+}
+
+impl Default for PreconditionSpec {
+    fn default() -> Self {
+        PreconditionSpec {
+            knowing: 0.8,
+            assignment: UnknowingAssignment::RandomPerNode,
+        }
+    }
+}
+
+impl PreconditionSpec {
+    /// A spec with knowledge fraction `knowing` and random junk at the
+    /// unknowing nodes.
+    #[must_use]
+    pub fn knowing(knowing: f64) -> Self {
+        PreconditionSpec {
+            knowing,
+            ..Self::default()
+        }
+    }
+
+    /// A spec with knowledge fraction `knowing` and the given unknowing
+    /// assignment mode.
+    #[must_use]
+    pub fn new(knowing: f64, assignment: UnknowingAssignment) -> Self {
+        PreconditionSpec {
+            knowing,
+            assignment,
+        }
+    }
+}
+
+/// Which protocol (composition) the scenario executes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Phase {
+    /// AER alone, on a synthetic precondition.
+    Aer {
+        /// The precondition synthesis parameters.
+        precondition: PreconditionSpec,
+    },
+    /// The almost-everywhere committee-tree phase alone.
+    Ae,
+    /// The paper's headline composition: almost-everywhere phase, then
+    /// AER on its output.
+    Composed,
+    /// One of the Figure 1 comparison protocols.
+    Baseline(Baseline),
+}
+
+impl Phase {
+    /// `Phase::Aer` with knowledge fraction `knowing` and random junk at
+    /// unknowing nodes.
+    #[must_use]
+    pub fn aer(knowing: f64) -> Self {
+        Phase::Aer {
+            precondition: PreconditionSpec::knowing(knowing),
+        }
+    }
+
+    /// `Phase::Aer` with an explicit unknowing-assignment mode.
+    #[must_use]
+    pub fn aer_with(knowing: f64, assignment: UnknowingAssignment) -> Self {
+        Phase::Aer {
+            precondition: PreconditionSpec::new(knowing, assignment),
+        }
+    }
+
+    /// The phase grammar for CLI usage messages.
+    pub const EXPECTED: &'static str =
+        "aer | ae | composed | baseline:{klst|flood|benor|phase-king}";
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Aer { .. } => write!(f, "aer"),
+            Phase::Ae => write!(f, "ae"),
+            Phase::Composed => write!(f, "composed"),
+            Phase::Baseline(b) => write!(f, "baseline:{b}"),
+        }
+    }
+}
+
+impl FromStr for Phase {
+    type Err = ParseSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseSpecError {
+            input: s.to_string(),
+            expected: Phase::EXPECTED,
+        };
+        match s {
+            "aer" => Ok(Phase::Aer {
+                precondition: PreconditionSpec::default(),
+            }),
+            "ae" => Ok(Phase::Ae),
+            "composed" => Ok(Phase::Composed),
+            _ => {
+                let name = s.strip_prefix("baseline:").ok_or_else(err)?;
+                match name {
+                    "klst" => Ok(Phase::Baseline(Baseline::Klst {
+                        precondition: PreconditionSpec::default(),
+                    })),
+                    "flood" => Ok(Phase::Baseline(Baseline::Flood {
+                        precondition: PreconditionSpec::default(),
+                    })),
+                    "benor" => Ok(Phase::Baseline(Baseline::BenOr { bias: 0.9 })),
+                    "phase-king" => Ok(Phase::Baseline(Baseline::PhaseKing)),
+                    _ => Err(err()),
+                }
+            }
+        }
+    }
+}
+
+/// The Figure 1 comparison protocols.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Baseline {
+    /// KLST11-style load-balanced almost-everywhere → everywhere
+    /// diffusion.
+    Klst {
+        /// The shared starting state (same shape as AER's).
+        precondition: PreconditionSpec,
+    },
+    /// Flooding diffusion.
+    Flood {
+        /// The shared starting state.
+        precondition: PreconditionSpec,
+    },
+    /// Ben-Or's randomized binary agreement. Inputs are drawn per node
+    /// with probability `bias` of `true` (override with
+    /// [`Scenario::inputs`]).
+    BenOr {
+        /// `P(input = true)` per node.
+        bias: f64,
+    },
+    /// Phase-King deterministic agreement. Inputs are uniform random
+    /// bits (override with [`Scenario::inputs`]).
+    PhaseKing,
+}
+
+impl fmt::Display for Baseline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Baseline::Klst { .. } => write!(f, "klst"),
+            Baseline::Flood { .. } => write!(f, "flood"),
+            Baseline::BenOr { .. } => write!(f, "benor"),
+            Baseline::PhaseKing => write!(f, "phase-king"),
+        }
+    }
+}
+
+/// How the AER `poll_timeout` is derived for this scenario.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PollTimeoutSpec {
+    /// Use the [`AerConfig`] value unchanged (the synchronous delivery
+    /// horizon) — the pre-builder behaviour, and the default.
+    #[default]
+    Config,
+    /// Scale the synchronous horizon by the network's delay bound
+    /// (`sync_poll_horizon × max_delay`), so asynchronous scenarios wait
+    /// one *asynchronous* delivery horizon before retrying instead of
+    /// firing `max_delay`-fold redundant retry waves. No-op under
+    /// [`NetworkSpec::Sync`].
+    DelayScaled,
+    /// An explicit timeout in steps.
+    Fixed(u64),
+}
+
+/// A scenario the builder rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioError {
+    /// The derived [`AerConfig`] violated a paper constraint.
+    Config(ConfigError),
+    /// The adversary spec names an AER-specific strategy, but the phase
+    /// runs a protocol it cannot attack.
+    UnsupportedAdversary {
+        /// The offending spec.
+        spec: AdversarySpec,
+        /// The phase that cannot field it.
+        phase: &'static str,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Config(e) => write!(f, "invalid AER config: {e}"),
+            ScenarioError::UnsupportedAdversary { spec, phase } => write!(
+                f,
+                "adversary `{spec}` is AER-specific and cannot attack the {phase} phase \
+                 (use `none` or `silent[:t]`)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ConfigError> for ScenarioError {
+    fn from(e: ConfigError) -> Self {
+        ScenarioError::Config(e)
+    }
+}
+
+/// A declarative run description — see the crate docs.
+///
+/// Build with [`Scenario::new`], refine with the chainable setters, and
+/// execute with [`Scenario::run`] (or [`Scenario::run_observed`] to
+/// attach read-only instrumentation). All setters are data; nothing is
+/// constructed until `run`.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    n: usize,
+    faults: Option<usize>,
+    adversary: AdversarySpec,
+    ae_adversary: AdversarySpec,
+    network: NetworkSpec,
+    phase: Phase,
+    strict: bool,
+    overload_cap: Option<u64>,
+    quorum_size: Option<usize>,
+    sampler_seed: Option<u64>,
+    eager_repair: Option<bool>,
+    poll_timeout: PollTimeoutSpec,
+    record_transcript: bool,
+    max_steps: Option<Step>,
+    bad_string: Option<GString>,
+    inputs: Option<Vec<bool>>,
+    rigged: BTreeSet<NodeId>,
+    rigged_value: u64,
+}
+
+impl Scenario {
+    /// A fault-free synchronous AER scenario for `n` nodes with the
+    /// default precondition (80% knowing, random junk elsewhere).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Scenario {
+            n,
+            faults: None,
+            adversary: AdversarySpec::None,
+            ae_adversary: AdversarySpec::None,
+            network: NetworkSpec::Sync,
+            phase: Phase::Aer {
+                precondition: PreconditionSpec::default(),
+            },
+            strict: false,
+            overload_cap: None,
+            quorum_size: None,
+            sampler_seed: None,
+            eager_repair: None,
+            poll_timeout: PollTimeoutSpec::default(),
+            record_transcript: false,
+            max_steps: None,
+            bad_string: None,
+            inputs: None,
+            rigged: BTreeSet::new(),
+            rigged_value: 0,
+        }
+    }
+
+    /// Sets the corruption budget `t` the adversary works with. Defaults
+    /// to the derived config's tolerance (`⌊0.15·n⌋`). This budgets the
+    /// *adversary*; the protocol's declared tolerance stays the config's,
+    /// which is what lets boundary experiments field out-of-contract
+    /// coalitions.
+    #[must_use]
+    pub fn faults(mut self, t: usize) -> Self {
+        self.faults = Some(t);
+        self
+    }
+
+    /// Sets the Byzantine strategy (see [`AdversarySpec`] for the
+    /// grammar). For [`Phase::Composed`] this is the AER-phase strategy;
+    /// the almost-everywhere phase uses [`Scenario::ae_adversary`].
+    #[must_use]
+    pub fn adversary(mut self, spec: AdversarySpec) -> Self {
+        self.adversary = spec;
+        self
+    }
+
+    /// Sets the almost-everywhere-phase strategy for [`Phase::Composed`]
+    /// runs (must be `none` or `silent`). Defaults to `none`.
+    #[must_use]
+    pub fn ae_adversary(mut self, spec: AdversarySpec) -> Self {
+        self.ae_adversary = spec;
+        self
+    }
+
+    /// Sets the timing model. Defaults to [`NetworkSpec::Sync`].
+    #[must_use]
+    pub fn network(mut self, network: NetworkSpec) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Sets the protocol phase. Defaults to [`Phase::Aer`] with the
+    /// default precondition.
+    #[must_use]
+    pub fn phase(mut self, phase: Phase) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Strict paper mode: one poll per candidate, no retries, no repair
+    /// (see [`AerConfig::strict`]).
+    #[must_use]
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Overrides the Algorithm 3 overload cap.
+    #[must_use]
+    pub fn overload_cap(mut self, cap: u64) -> Self {
+        self.overload_cap = Some(cap);
+        self
+    }
+
+    /// Overrides the quorum/poll-list size `d`.
+    #[must_use]
+    pub fn quorum_size(mut self, d: usize) -> Self {
+        self.quorum_size = Some(d);
+        self
+    }
+
+    /// Overrides the public sampler seed.
+    #[must_use]
+    pub fn sampler_seed(mut self, seed: u64) -> Self {
+        self.sampler_seed = Some(seed);
+        self
+    }
+
+    /// Overrides the eager-repair escalation knob.
+    #[must_use]
+    pub fn eager_repair(mut self, eager: bool) -> Self {
+        self.eager_repair = Some(eager);
+        self
+    }
+
+    /// Sets how `poll_timeout` derives from the scenario (see
+    /// [`PollTimeoutSpec`]). Defaults to the config value unchanged.
+    #[must_use]
+    pub fn poll_timeout(mut self, spec: PollTimeoutSpec) -> Self {
+        self.poll_timeout = spec;
+        self
+    }
+
+    /// Records every envelope into the outcome's transcript (costs
+    /// memory; needed by the trace analyses).
+    #[must_use]
+    pub fn record_transcript(mut self, record: bool) -> Self {
+        self.record_transcript = record;
+        self
+    }
+
+    /// Overrides the engine's step cap.
+    #[must_use]
+    pub fn max_steps(mut self, max_steps: Step) -> Self {
+        self.max_steps = Some(max_steps);
+        self
+    }
+
+    /// Sets the campaign string used by the `flood` and `bad-string`
+    /// strategies. Defaults to the first non-`gstring` assignment of the
+    /// precondition (the coherent bogus block under
+    /// [`UnknowingAssignment::SharedAdversarial`]), falling back to a
+    /// seed-derived random string when everyone knows `gstring`.
+    #[must_use]
+    pub fn bad_string(mut self, bad: GString) -> Self {
+        self.bad_string = Some(bad);
+        self
+    }
+
+    /// Overrides the per-node binary inputs of the Ben-Or / Phase-King
+    /// baselines (defaults are seed-derived draws; see [`Baseline`]).
+    #[must_use]
+    pub fn inputs(mut self, inputs: Vec<bool>) -> Self {
+        self.inputs = Some(inputs);
+        self
+    }
+
+    /// Rigs the given nodes of a [`Phase::Ae`] run to contribute the
+    /// constant `value` instead of private randomness (the semi-honest
+    /// bias of the gstring-entropy experiment).
+    #[must_use]
+    pub fn rig(mut self, rigged: BTreeSet<NodeId>, value: u64) -> Self {
+        self.rigged = rigged;
+        self.rigged_value = value;
+        self
+    }
+
+    /// The AER configuration this scenario derives (all knobs applied).
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated constraint if the knob combination is
+    /// invalid.
+    pub fn aer_config(&self) -> Result<AerConfig, ScenarioError> {
+        let mut cfg = AerConfig::recommended(self.n);
+        if let Some(d) = self.quorum_size {
+            cfg = cfg.with_d(d);
+        }
+        if let Some(cap) = self.overload_cap {
+            cfg = cfg.with_overload_cap(cap);
+        }
+        if let Some(seed) = self.sampler_seed {
+            cfg = cfg.with_sampler_seed(seed);
+        }
+        if self.strict {
+            cfg = cfg.strict();
+        }
+        if let Some(eager) = self.eager_repair {
+            cfg.eager_repair = eager;
+        }
+        match self.poll_timeout {
+            PollTimeoutSpec::Config => {}
+            PollTimeoutSpec::DelayScaled => {
+                cfg.poll_timeout = AerConfig::sync_poll_horizon() * self.network.max_delay();
+            }
+            PollTimeoutSpec::Fixed(t) => cfg.poll_timeout = t,
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    fn default_faults(&self) -> usize {
+        (self.n as f64 * 0.15) as usize
+    }
+
+    /// Executes the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] when the knob combination derives an
+    /// invalid config or the adversary cannot attack the phase.
+    pub fn run(&self, seed: u64) -> Result<ScenarioOutcome, ScenarioError> {
+        self.run_observed(seed, &mut NullObserver)
+    }
+
+    /// Executes the scenario while driving a read-only [`Observer`] over
+    /// the AER-phase engine (per-step sends, per-decision events, final
+    /// node states). Only [`Phase::Aer`] runs are observed — the other
+    /// phases either run a different node type or construct their
+    /// adversary mid-flight; their outcomes carry everything the
+    /// experiments read.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::run`].
+    pub fn run_observed(
+        &self,
+        seed: u64,
+        observer: &mut dyn Observer<AerNode>,
+    ) -> Result<ScenarioOutcome, ScenarioError> {
+        match self.phase {
+            Phase::Aer { precondition } => self
+                .run_aer(precondition, seed, observer)
+                .map(ScenarioOutcome::Aer),
+            Phase::Ae => self.run_ae(seed).map(ScenarioOutcome::Ae),
+            Phase::Composed => self.run_composed(seed).map(ScenarioOutcome::Composed),
+            Phase::Baseline(baseline) => self
+                .run_baseline(baseline, seed)
+                .map(ScenarioOutcome::Baseline),
+        }
+    }
+
+    fn bad_for(&self, assignments: &[GString], gstring: &GString, seed: u64) -> GString {
+        if let Some(bad) = self.bad_string {
+            return bad;
+        }
+        assignments
+            .iter()
+            .find(|s| *s != gstring)
+            .copied()
+            .unwrap_or_else(|| GString::random(gstring.len_bits(), &mut derive_rng(seed, &[0xbad])))
+    }
+
+    fn aer_adversary_for(
+        &self,
+        harness: &AerHarness,
+        gstring: &GString,
+        seed: u64,
+    ) -> AerAdversary {
+        let mut ctx = AttackContext::new(harness, *gstring);
+        if let Some(t) = self.faults {
+            ctx.t = t;
+        }
+        let bad = self.bad_for(harness.assignments(), gstring, seed);
+        AerAdversary::from_spec(&self.adversary, ctx, bad)
+    }
+
+    fn run_aer(
+        &self,
+        precondition: PreconditionSpec,
+        seed: u64,
+        observer: &mut dyn Observer<AerNode>,
+    ) -> Result<AerRun, ScenarioError> {
+        let cfg = self.aer_config()?;
+        let pre = Precondition::synthetic(
+            self.n,
+            cfg.string_len,
+            precondition.knowing,
+            precondition.assignment,
+            seed,
+        );
+        let harness = AerHarness::from_precondition(cfg, &pre);
+        let mut engine = match self.network {
+            NetworkSpec::Sync => harness.engine_sync(),
+            NetworkSpec::Async { max_delay } => harness.engine_async(max_delay),
+        };
+        engine.record_transcript = self.record_transcript;
+        if let Some(max_steps) = self.max_steps {
+            engine.max_steps = max_steps;
+        }
+        let mut adversary = self.aer_adversary_for(&harness, &pre.gstring, seed);
+        let run = harness.run_observed(&engine, seed, &mut adversary, observer);
+        Ok(AerRun {
+            corner: adversary.corner_report().cloned(),
+            run,
+            precondition: pre,
+            config: cfg,
+            engine,
+        })
+    }
+
+    fn run_ae(&self, seed: u64) -> Result<AeRun, ScenarioError> {
+        let config = AeConfig::recommended(self.n);
+        let mut adversary = self
+            .adversary
+            .generic(self.faults.unwrap_or_else(|| self.default_faults()))
+            .ok_or(ScenarioError::UnsupportedAdversary {
+                spec: self.adversary,
+                phase: "almost-everywhere",
+            })?;
+        let outcome = run_ae_with(
+            &config,
+            seed,
+            &mut adversary,
+            &self.rigged,
+            self.rigged_value,
+        );
+        Ok(AeRun { outcome, config })
+    }
+
+    fn run_composed(&self, seed: u64) -> Result<ComposedRun, ScenarioError> {
+        // Start from the harness's own composed defaults (which couple
+        // the two phases' string lengths), then overlay the scenario's
+        // AER knobs and re-assert the coupling — no default is restated
+        // here.
+        let mut config = BaConfig::recommended(self.n);
+        config.aer = self.aer_config()?;
+        config.ae.string_len = config.aer.string_len;
+        let mut ae_adversary = self
+            .ae_adversary
+            .generic(self.faults.unwrap_or(config.aer.t))
+            .ok_or(ScenarioError::UnsupportedAdversary {
+                spec: self.ae_adversary,
+                phase: "almost-everywhere",
+            })?;
+        let aer_engine = match self.network {
+            NetworkSpec::Sync => None,
+            NetworkSpec::Async { max_delay } => {
+                let mut engine = config.aer.engine_async(max_delay);
+                engine.record_transcript = self.record_transcript;
+                if let Some(max_steps) = self.max_steps {
+                    engine.max_steps = max_steps;
+                }
+                Some(engine)
+            }
+        };
+        let (report, ae_outcome, aer_run) = run_ba(
+            &config,
+            seed,
+            &mut ae_adversary,
+            |harness, gstring| self.aer_adversary_for(harness, gstring, seed),
+            aer_engine,
+        );
+        Ok(ComposedRun {
+            report,
+            ae: ae_outcome,
+            aer: aer_run,
+            config,
+        })
+    }
+
+    fn baseline_engine(&self, default_max_steps: Step) -> EngineConfig {
+        let base = match self.network {
+            NetworkSpec::Sync => EngineConfig::sync(self.n),
+            NetworkSpec::Async { max_delay } => EngineConfig::asynchronous(self.n, max_delay),
+        };
+        EngineConfig {
+            max_steps: self.max_steps.unwrap_or(default_max_steps),
+            record_transcript: self.record_transcript,
+            ..base
+        }
+    }
+
+    fn run_baseline(&self, baseline: Baseline, seed: u64) -> Result<BaselineRun, ScenarioError> {
+        let default_t = match baseline {
+            Baseline::BenOr { .. } => BenOrParams::recommended(self.n).t,
+            Baseline::PhaseKing => KingParams::recommended(self.n).t / 2,
+            _ => self.default_faults(),
+        };
+        let mut adversary = self
+            .adversary
+            .generic(self.faults.unwrap_or(default_t))
+            .ok_or(ScenarioError::UnsupportedAdversary {
+                spec: self.adversary,
+                phase: "baseline",
+            })?;
+
+        let diffusion_pre = |spec: PreconditionSpec| {
+            let string_len = AerConfig::recommended(self.n).string_len;
+            Precondition::synthetic(self.n, string_len, spec.knowing, spec.assignment, seed)
+        };
+
+        Ok(match baseline {
+            Baseline::Klst { precondition } => {
+                let pre = diffusion_pre(precondition);
+                let params = KlstParams::recommended(self.n);
+                let engine = self.baseline_engine(params.schedule_len() + 8);
+                let run = fba_sim::run::<KlstNode, _, _>(&engine, seed, &mut adversary, |id| {
+                    KlstNode::new(params, pre.assignments[id.index()])
+                });
+                BaselineRun {
+                    outcome: BaselineOutcome::Klst(run),
+                    precondition: Some(pre),
+                    inputs: None,
+                }
+            }
+            Baseline::Flood { precondition } => {
+                let pre = diffusion_pre(precondition);
+                let engine = self.baseline_engine(EngineConfig::sync(self.n).max_steps);
+                let run = fba_sim::run::<FloodNode, _, _>(&engine, seed, &mut adversary, |id| {
+                    FloodNode::new(pre.assignments[id.index()])
+                });
+                BaselineRun {
+                    outcome: BaselineOutcome::Flood(run),
+                    precondition: Some(pre),
+                    inputs: None,
+                }
+            }
+            Baseline::BenOr { bias } => {
+                let params = BenOrParams::recommended(self.n);
+                let inputs = self.inputs.clone().unwrap_or_else(|| {
+                    let mut rng = derive_rng(seed, &[0xb0]);
+                    (0..self.n).map(|_| rng.gen_bool(bias)).collect()
+                });
+                let engine = self.baseline_engine(400);
+                let run = fba_sim::run::<BenOrNode, _, _>(&engine, seed, &mut adversary, |id| {
+                    BenOrNode::new(params, self.n, inputs[id.index()])
+                });
+                BaselineRun {
+                    outcome: BaselineOutcome::BenOr(run),
+                    precondition: None,
+                    inputs: Some(inputs),
+                }
+            }
+            Baseline::PhaseKing => {
+                let params = KingParams::recommended(self.n);
+                let inputs = self.inputs.clone().unwrap_or_else(|| {
+                    let mut rng = derive_rng(seed, &[0xb1]);
+                    (0..self.n).map(|_| rng.gen()).collect()
+                });
+                let engine = self.baseline_engine(params.schedule_len() + 8);
+                let run = fba_sim::run::<KingNode, _, _>(&engine, seed, &mut adversary, |id| {
+                    KingNode::new(params, self.n, inputs[id.index()])
+                });
+                BaselineRun {
+                    outcome: BaselineOutcome::King(run),
+                    precondition: None,
+                    inputs: Some(inputs),
+                }
+            }
+        })
+    }
+}
+
+/// What a finished scenario produced, by phase.
+// One value exists per executed run and is consumed immediately by an
+// `into_*` accessor, so the variant size spread is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum ScenarioOutcome {
+    /// An AER run on a synthetic precondition.
+    Aer(AerRun),
+    /// An almost-everywhere run.
+    Ae(AeRun),
+    /// A composed end-to-end BA run.
+    Composed(ComposedRun),
+    /// A baseline-protocol run.
+    Baseline(BaselineRun),
+}
+
+impl ScenarioOutcome {
+    /// The AER outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario ran a different phase.
+    #[must_use]
+    pub fn into_aer(self) -> AerRun {
+        match self {
+            ScenarioOutcome::Aer(run) => run,
+            other => panic!("expected an AER outcome, got {}", other.phase_name()),
+        }
+    }
+
+    /// The almost-everywhere outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario ran a different phase.
+    #[must_use]
+    pub fn into_ae(self) -> AeRun {
+        match self {
+            ScenarioOutcome::Ae(run) => run,
+            other => panic!("expected an AE outcome, got {}", other.phase_name()),
+        }
+    }
+
+    /// The composed BA outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario ran a different phase.
+    #[must_use]
+    pub fn into_composed(self) -> ComposedRun {
+        match self {
+            ScenarioOutcome::Composed(run) => run,
+            other => panic!("expected a composed outcome, got {}", other.phase_name()),
+        }
+    }
+
+    /// The baseline outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario ran a different phase.
+    #[must_use]
+    pub fn into_baseline(self) -> BaselineRun {
+        match self {
+            ScenarioOutcome::Baseline(run) => run,
+            other => panic!("expected a baseline outcome, got {}", other.phase_name()),
+        }
+    }
+
+    fn phase_name(&self) -> &'static str {
+        match self {
+            ScenarioOutcome::Aer(_) => "aer",
+            ScenarioOutcome::Ae(_) => "ae",
+            ScenarioOutcome::Composed(_) => "composed",
+            ScenarioOutcome::Baseline(_) => "baseline",
+        }
+    }
+}
+
+/// Outcome of a [`Phase::Aer`] scenario: the simulator outcome plus
+/// everything the builder derived to produce it.
+#[derive(Clone, Debug)]
+pub struct AerRun {
+    /// The simulator outcome (metrics, outputs, corrupt set, transcript).
+    pub run: RunOutcome<GString, AerMsg>,
+    /// The synthesised precondition the run started from.
+    pub precondition: Precondition,
+    /// The derived AER configuration.
+    pub config: AerConfig,
+    /// The engine configuration the run executed under.
+    pub engine: EngineConfig,
+    /// The cornering attack's report, when the adversary was `corner`.
+    pub corner: Option<CornerReport>,
+}
+
+impl AerRun {
+    /// The global string the correct nodes should decide.
+    #[must_use]
+    pub fn gstring(&self) -> &GString {
+        &self.precondition.gstring
+    }
+
+    /// Number of correct nodes that decided a non-`gstring` value.
+    #[must_use]
+    pub fn wrong_decisions(&self) -> usize {
+        let g = &self.precondition.gstring;
+        self.run.outputs.values().filter(|v| *v != g).count()
+    }
+
+    /// Number of correct nodes in the run.
+    #[must_use]
+    pub fn correct_nodes(&self) -> usize {
+        self.config.n - self.run.corrupt.len()
+    }
+}
+
+/// Outcome of a [`Phase::Ae`] scenario.
+#[derive(Clone, Debug)]
+pub struct AeRun {
+    /// The distilled almost-everywhere outcome.
+    pub outcome: AeOutcome,
+    /// The configuration the phase ran under.
+    pub config: AeConfig,
+}
+
+/// Outcome of a [`Phase::Composed`] scenario.
+#[derive(Clone, Debug)]
+pub struct ComposedRun {
+    /// The end-to-end summary.
+    pub report: BaReport,
+    /// The almost-everywhere phase outcome.
+    pub ae: AeOutcome,
+    /// The AER phase simulator outcome.
+    pub aer: RunOutcome<GString, AerMsg>,
+    /// The composed configuration.
+    pub config: BaConfig,
+}
+
+/// Outcome of a [`Phase::Baseline`] scenario.
+#[derive(Clone, Debug)]
+pub struct BaselineRun {
+    /// The typed simulator outcome.
+    pub outcome: BaselineOutcome,
+    /// The shared starting state, for the diffusion baselines.
+    pub precondition: Option<Precondition>,
+    /// The per-node binary inputs, for the agreement baselines.
+    pub inputs: Option<Vec<bool>>,
+}
+
+/// The four baseline protocols' simulator outcomes.
+#[derive(Clone, Debug)]
+pub enum BaselineOutcome {
+    /// KLST11-style diffusion.
+    Klst(RunOutcome<GString, KlstMsg>),
+    /// Flooding diffusion.
+    Flood(RunOutcome<GString, FloodMsg>),
+    /// Ben-Or randomized agreement.
+    BenOr(RunOutcome<bool, BenOrMsg>),
+    /// Phase-King deterministic agreement.
+    King(RunOutcome<bool, KingMsg>),
+}
+
+impl BaselineOutcome {
+    /// The run's communication/time accounting.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        match self {
+            BaselineOutcome::Klst(r) => &r.metrics,
+            BaselineOutcome::Flood(r) => &r.metrics,
+            BaselineOutcome::BenOr(r) => &r.metrics,
+            BaselineOutcome::King(r) => &r.metrics,
+        }
+    }
+
+    /// Step at which the last correct node decided, if all did.
+    #[must_use]
+    pub fn all_decided_at(&self) -> Option<Step> {
+        match self {
+            BaselineOutcome::Klst(r) => r.all_decided_at,
+            BaselineOutcome::Flood(r) => r.all_decided_at,
+            BaselineOutcome::BenOr(r) => r.all_decided_at,
+            BaselineOutcome::King(r) => r.all_decided_at,
+        }
+    }
+
+    /// Whether every correct node decided.
+    #[must_use]
+    pub fn all_decided(&self) -> bool {
+        self.all_decided_at().is_some()
+    }
+
+    /// The diffusion outcome (KLST or flooding).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the binary-agreement baselines.
+    #[must_use]
+    pub fn unanimous_gstring(&self) -> Option<&GString> {
+        match self {
+            BaselineOutcome::Klst(r) => r.unanimous(),
+            BaselineOutcome::Flood(r) => r.unanimous(),
+            _ => panic!("binary baselines do not decide gstrings"),
+        }
+    }
+
+    /// The binary-agreement outcome (Ben-Or or Phase-King).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the diffusion baselines.
+    #[must_use]
+    pub fn unanimous_bit(&self) -> Option<bool> {
+        match self {
+            BaselineOutcome::BenOr(r) => r.unanimous().copied(),
+            BaselineOutcome::King(r) => r.unanimous().copied(),
+            _ => panic!("diffusion baselines do not decide bits"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fba_sim::{FinalInspect, NoAdversary, SilentAdversary};
+
+    #[test]
+    fn aer_scenario_matches_hand_wired_construction() {
+        let n = 64;
+        let seed = 7;
+        let scenario_run = Scenario::new(n)
+            .adversary(AdversarySpec::Silent { t: None })
+            .phase(Phase::aer(0.8))
+            .run(seed)
+            .expect("valid")
+            .into_aer();
+
+        let cfg = AerConfig::recommended(n);
+        let pre = Precondition::synthetic(
+            n,
+            cfg.string_len,
+            0.8,
+            UnknowingAssignment::RandomPerNode,
+            seed,
+        );
+        let h = AerHarness::from_precondition(cfg, &pre);
+        let hand = h.run(&h.engine_sync(), seed, &mut SilentAdversary::new(cfg.t));
+
+        assert_eq!(scenario_run.run.outputs, hand.outputs);
+        assert_eq!(scenario_run.run.corrupt, hand.corrupt);
+        assert_eq!(scenario_run.run.all_decided_at, hand.all_decided_at);
+        assert_eq!(
+            scenario_run.run.metrics.total_bits_sent(),
+            hand.metrics.total_bits_sent()
+        );
+    }
+
+    #[test]
+    fn async_network_uses_the_async_engine() {
+        let run = Scenario::new(32)
+            .network(NetworkSpec::Async { max_delay: 3 })
+            .run(1)
+            .expect("valid")
+            .into_aer();
+        assert_eq!(run.engine.max_delay, 3);
+        assert_eq!(run.engine.max_steps, 400);
+        assert!(run.run.all_decided());
+    }
+
+    #[test]
+    fn delay_scaled_timeout_multiplies_the_horizon() {
+        let sync = Scenario::new(32)
+            .poll_timeout(PollTimeoutSpec::DelayScaled)
+            .run(1)
+            .expect("valid")
+            .into_aer();
+        assert_eq!(sync.config.poll_timeout, AerConfig::sync_poll_horizon());
+
+        let scaled = Scenario::new(32)
+            .network(NetworkSpec::Async { max_delay: 3 })
+            .poll_timeout(PollTimeoutSpec::DelayScaled)
+            .run(1)
+            .expect("valid")
+            .into_aer();
+        assert_eq!(
+            scaled.config.poll_timeout,
+            3 * AerConfig::sync_poll_horizon()
+        );
+        assert!(scaled.run.all_decided());
+
+        let fixed = Scenario::new(32)
+            .poll_timeout(PollTimeoutSpec::Fixed(8))
+            .run(1)
+            .expect("valid")
+            .into_aer();
+        assert_eq!(fixed.config.poll_timeout, 8);
+    }
+
+    #[test]
+    fn aer_specific_adversaries_are_rejected_off_aer_phases() {
+        for phase in [
+            Phase::Ae,
+            Phase::Baseline(Baseline::Flood {
+                precondition: PreconditionSpec::default(),
+            }),
+        ] {
+            let err = Scenario::new(32)
+                .adversary(AdversarySpec::PushFlood)
+                .phase(phase)
+                .run(1)
+                .unwrap_err();
+            assert!(matches!(err, ScenarioError::UnsupportedAdversary { .. }));
+            assert!(err.to_string().contains("flood"));
+        }
+        // The composed phase rejects AER-specific *AE-phase* strategies…
+        let err = Scenario::new(32)
+            .ae_adversary(AdversarySpec::BadString)
+            .phase(Phase::Composed)
+            .run(1)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::UnsupportedAdversary { .. }));
+        // …but fields them happily in its AER phase.
+        let ok = Scenario::new(32)
+            .adversary(AdversarySpec::BadString)
+            .phase(Phase::Composed)
+            .run(1);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn invalid_config_knobs_surface_as_errors() {
+        let err = Scenario::new(32).quorum_size(2).run(1).unwrap_err();
+        assert!(matches!(err, ScenarioError::Config(_)));
+        assert!(err.to_string().contains("quorum"));
+    }
+
+    #[test]
+    fn observer_sees_decisions_and_final_states() {
+        let mut finals = 0usize;
+        let out = {
+            let mut inspect = FinalInspect(|_id: NodeId, _node: &AerNode| finals += 1);
+            Scenario::new(32)
+                .run_observed(3, &mut inspect)
+                .expect("valid")
+                .into_aer()
+        };
+        assert_eq!(finals, 32, "every surviving node is inspected");
+        assert!(out.run.all_decided());
+    }
+
+    #[test]
+    fn composed_scenario_matches_hand_wired_run_ba() {
+        let n = 48;
+        let seed = 9;
+        let t = n / 8;
+        let composed = Scenario::new(n)
+            .faults(t)
+            .adversary(AdversarySpec::Silent { t: None })
+            .ae_adversary(AdversarySpec::Silent { t: None })
+            .phase(Phase::Composed)
+            .run(seed)
+            .expect("valid")
+            .into_composed();
+
+        let cfg = BaConfig::recommended(n);
+        let mut ae_adv = SilentAdversary::new(t);
+        let (report, _, aer_run) = run_ba(
+            &cfg,
+            seed,
+            &mut ae_adv,
+            |_, _| SilentAdversary::new(t),
+            None,
+        );
+        assert_eq!(composed.aer.outputs, aer_run.outputs);
+        assert_eq!(composed.report.ae_rounds, report.ae_rounds);
+        assert_eq!(composed.report.aer_rounds, report.aer_rounds);
+    }
+
+    #[test]
+    fn baseline_flood_diffuses_gstring() {
+        let run = Scenario::new(32)
+            .phase(Phase::Baseline(Baseline::Flood {
+                precondition: PreconditionSpec::default(),
+            }))
+            .run(5)
+            .expect("valid")
+            .into_baseline();
+        let pre = run.precondition.as_ref().expect("diffusion precondition");
+        assert_eq!(run.outcome.unanimous_gstring(), Some(&pre.gstring));
+        assert!(run.outcome.all_decided());
+    }
+
+    #[test]
+    fn baseline_inputs_override_is_honoured() {
+        let n = 24;
+        let inputs = vec![true; n];
+        let run = Scenario::new(n)
+            .phase(Phase::Baseline(Baseline::PhaseKing))
+            .inputs(inputs.clone())
+            .run(2)
+            .expect("valid")
+            .into_baseline();
+        assert_eq!(run.inputs.as_deref(), Some(&inputs[..]));
+        assert_eq!(run.outcome.unanimous_bit(), Some(true), "validity");
+    }
+
+    #[test]
+    fn ae_phase_runs_and_reports_knowledge() {
+        let run = Scenario::new(64)
+            .phase(Phase::Ae)
+            .run(11)
+            .expect("valid")
+            .into_ae();
+        assert!(run.outcome.knowing_fraction > 0.75);
+        assert_eq!(run.config.n, 64);
+    }
+
+    #[test]
+    fn corner_report_is_surfaced() {
+        let run = Scenario::new(64)
+            .strict()
+            .network(NetworkSpec::Async { max_delay: 1 })
+            .adversary(AdversarySpec::Corner { label_scan: 64 })
+            .run(5)
+            .expect("valid")
+            .into_aer();
+        let report = run.corner.expect("corner adversary reports");
+        assert!(report.overload_targets > 0 || report.blocked_victims == 0);
+    }
+
+    #[test]
+    fn phase_grammar_parses_and_displays() {
+        for (text, want) in [
+            ("aer", "aer"),
+            ("ae", "ae"),
+            ("composed", "composed"),
+            ("baseline:klst", "baseline:klst"),
+            ("baseline:flood", "baseline:flood"),
+            ("baseline:benor", "baseline:benor"),
+            ("baseline:phase-king", "baseline:phase-king"),
+        ] {
+            let phase: Phase = text.parse().expect(text);
+            assert_eq!(phase.to_string(), want);
+        }
+        assert!("baseline:raft".parse::<Phase>().is_err());
+        assert!("tcp".parse::<Phase>().is_err());
+    }
+
+    #[test]
+    fn record_transcript_populates_the_outcome() {
+        let run = Scenario::new(32)
+            .record_transcript(true)
+            .run(3)
+            .expect("valid")
+            .into_aer();
+        assert!(!run.run.transcript.is_empty());
+
+        let bare = Scenario::new(32).run(3).expect("valid").into_aer();
+        assert!(bare.run.transcript.is_empty());
+        // Transcript recording is observation-only.
+        assert_eq!(run.run.outputs, bare.run.outputs);
+    }
+
+    #[test]
+    fn bad_string_defaults_to_the_shared_bogus_block() {
+        let n = 48;
+        let seed = 13;
+        let run = Scenario::new(n)
+            .adversary(AdversarySpec::BadString)
+            .phase(Phase::aer_with(0.8, UnknowingAssignment::SharedAdversarial))
+            .run(seed)
+            .expect("valid")
+            .into_aer();
+        // No correct node may decide the campaign string (Lemma 7).
+        assert_eq!(run.wrong_decisions(), 0);
+
+        // Hand-wired equivalent with the explicit shared bogus string.
+        let cfg = AerConfig::recommended(n);
+        let pre = Precondition::synthetic(
+            n,
+            cfg.string_len,
+            0.8,
+            UnknowingAssignment::SharedAdversarial,
+            seed,
+        );
+        let h = AerHarness::from_precondition(cfg, &pre);
+        let bad = *pre
+            .assignments
+            .iter()
+            .find(|s| **s != pre.gstring)
+            .expect("bogus exists");
+        let ctx = AttackContext::new(&h, pre.gstring);
+        let mut adv = fba_core::adversary::BadString::new(ctx, bad);
+        let hand = h.run(&h.engine_sync(), seed, &mut adv);
+        assert_eq!(run.run.outputs, hand.outputs);
+    }
+
+    #[test]
+    fn fault_free_default_is_no_adversary() {
+        let n = 32;
+        let seed = 2;
+        let scenario = Scenario::new(n).run(seed).expect("valid").into_aer();
+        let cfg = AerConfig::recommended(n);
+        let pre = Precondition::synthetic(
+            n,
+            cfg.string_len,
+            0.8,
+            UnknowingAssignment::RandomPerNode,
+            seed,
+        );
+        let h = AerHarness::from_precondition(cfg, &pre);
+        let hand = h.run(&h.engine_sync(), seed, &mut NoAdversary);
+        assert_eq!(scenario.run.outputs, hand.outputs);
+        assert!(scenario.run.corrupt.is_empty());
+        assert_eq!(scenario.correct_nodes(), n);
+    }
+}

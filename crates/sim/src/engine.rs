@@ -23,6 +23,7 @@ use crate::calendar::CalendarQueue;
 use crate::ids::{ceil_log2, NodeId, Step};
 use crate::message::Envelope;
 use crate::metrics::Metrics;
+use crate::observer::{FinalInspect, NullObserver, Observer};
 use crate::protocol::{Context, Protocol};
 use crate::rng::{derive_rng, node_rng, TAG_ADVERSARY};
 
@@ -145,13 +146,14 @@ where
     A: Adversary<P::Msg> + ?Sized,
     F: FnMut(NodeId) -> P,
 {
-    run_inspect(cfg, master_seed, adversary, factory, |_, _: &P| {})
+    run_observed(cfg, master_seed, adversary, factory, &mut NullObserver)
 }
 
 /// Like [`run`], but additionally calls `inspect(id, &state)` for every
 /// surviving correct node once the run ends — the hook experiments use to
 /// read protocol-internal state (e.g. candidate-list sizes for the
-/// paper's Lemma 4).
+/// paper's Lemma 4). Equivalent to [`run_observed`] with a
+/// [`FinalInspect`] sink.
 ///
 /// # Panics
 ///
@@ -160,14 +162,45 @@ pub fn run_inspect<P, A, F, I>(
     cfg: &EngineConfig,
     master_seed: u64,
     adversary: &mut A,
-    mut factory: F,
-    mut inspect: I,
+    factory: F,
+    inspect: I,
 ) -> RunOutcome<P::Output, P::Msg>
 where
     P: Protocol,
     A: Adversary<P::Msg> + ?Sized,
     F: FnMut(NodeId) -> P,
     I: FnMut(NodeId, &P),
+{
+    run_observed(
+        cfg,
+        master_seed,
+        adversary,
+        factory,
+        &mut FinalInspect(inspect),
+    )
+}
+
+/// Like [`run`], but drives a read-only [`Observer`] alongside the
+/// execution: per-step send views, per-decision events, and final node
+/// states (see the [`crate::observer`] module docs). Observers cannot
+/// influence the run, so for any observer the returned outcome is
+/// bit-identical to [`run`] with the same inputs.
+///
+/// # Panics
+///
+/// Same conditions as [`run`].
+pub fn run_observed<P, A, F, O>(
+    cfg: &EngineConfig,
+    master_seed: u64,
+    adversary: &mut A,
+    mut factory: F,
+    observer: &mut O,
+) -> RunOutcome<P::Output, P::Msg>
+where
+    P: Protocol,
+    A: Adversary<P::Msg> + ?Sized,
+    F: FnMut(NodeId) -> P,
+    O: Observer<P> + ?Sized,
 {
     let n = cfg.n;
     let header_bits = cfg.effective_header_bits();
@@ -305,6 +338,7 @@ where
             sched_buf.push((delay, priority));
         }
         adversary.observe(step, &sends);
+        observer.on_step(step, &sends);
         if cfg.record_transcript {
             transcript.extend(sends.iter().cloned());
         }
@@ -332,6 +366,7 @@ where
                         decided[i] = true;
                         undecided -= 1;
                         metrics.record_decision(id, step);
+                        observer.on_decision(id, step, &out);
                         outputs.insert(id, out);
                     }
                 }
@@ -361,7 +396,7 @@ where
 
     for (i, node) in nodes.iter().enumerate() {
         if let Some(node) = node {
-            inspect(NodeId::from_index(i), node);
+            observer.on_final(NodeId::from_index(i), node);
         }
     }
 

@@ -85,12 +85,19 @@ pub mod fxhash;
 mod ids;
 mod message;
 mod metrics;
+pub mod observer;
 mod protocol;
 pub mod rng;
+mod spec;
 
 pub use adversary::{choose_corrupt, Adversary, NoAdversary, Outbox, SilentAdversary};
-pub use engine::{run, run_inspect, EngineConfig, RunOutcome};
+pub use engine::{run, run_inspect, run_observed, EngineConfig, RunOutcome};
 pub use ids::{all_nodes, ceil_log2, ln_at_least_one, NodeId, Step};
 pub use message::{Envelope, WireSize};
 pub use metrics::{LoadSummary, Metrics};
+pub use observer::{DecisionLog, FinalInspect, NullObserver, Observer, TranscriptSink};
 pub use protocol::{Context, Protocol};
+pub use spec::{
+    AdversarySpec, GenericAdversary, NetworkSpec, ParseSpecError, DEFAULT_CORNER_SCAN,
+    DEFAULT_EQUIVOCATE_STRINGS, DEFAULT_FLOOD_RATE, DEFAULT_FLOOD_STEPS, DEFAULT_PULL_FLOOD_RATE,
+};

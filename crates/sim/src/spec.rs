@@ -1,0 +1,462 @@
+//! Data-driven run descriptions: adversary and network specifications.
+//!
+//! A [`AdversarySpec`] names a Byzantine strategy as *data* — parseable
+//! from the command line (`silent`, `flood`, `corner:512`, …), printable
+//! back to the same grammar, and hashable into sweep grids — instead of a
+//! concrete adversary struct wired by hand. The protocol crates register
+//! constructors that turn a spec into a live adversary (see
+//! `fba_core::adversary::AerAdversary::from_spec` for the AER registry);
+//! this module owns only the specification language plus the two
+//! protocol-independent strategies ([`NoAdversary`] and
+//! [`SilentAdversary`]) every phase supports.
+//!
+//! [`NetworkSpec`] does the same for the timing model: `sync` or
+//! `async:<max_delay>`.
+//!
+//! Grammar (round-trips through [`std::fmt::Display`] /
+//! [`std::str::FromStr`]):
+//!
+//! | spec | strategy | parameters |
+//! |---|---|---|
+//! | `none` | no corruption | — |
+//! | `silent` | fail-stop silence | `silent:<t>` overrides the fault budget |
+//! | `random-flood` | blind push spraying | `random-flood:<rate>,<steps>` |
+//! | `flood` | coherent push flooding of one bogus string | — |
+//! | `equivocate` | per-victim fabrications | `equivocate:<strings>` |
+//! | `pull-flood` | pull-request spraying | `pull-flood:<rate>,<steps>` |
+//! | `bad-string` | full Lemma 7 campaign | — |
+//! | `corner` | Lemma 6 cornering/overload | `corner:<label_scan>` |
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+use rand_chacha::ChaCha12Rng;
+
+use crate::adversary::{Adversary, NoAdversary, Outbox, SilentAdversary};
+use crate::ids::{NodeId, Step};
+use crate::message::Envelope;
+
+/// A Byzantine strategy named as data (see the module docs for the
+/// grammar). Protocol crates map specs to concrete adversaries; the
+/// simulator itself can instantiate the protocol-independent subset via
+/// [`AdversarySpec::generic`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AdversarySpec {
+    /// No node is corrupted (`none`).
+    None,
+    /// `t` corrupted nodes stay silent (`silent` / `silent:<t>`); `None`
+    /// uses the scenario's fault budget.
+    Silent {
+        /// Explicit corruption count, overriding the scenario default.
+        t: Option<usize>,
+    },
+    /// Blind flooding with fresh random strings
+    /// (`random-flood:<rate>,<steps>`).
+    RandomFlood {
+        /// Pushes per corrupt node per step.
+        rate: usize,
+        /// Steps to keep flooding.
+        steps: Step,
+    },
+    /// Coherent push flooding of one bogus string through legitimate
+    /// quorum slots (`flood`).
+    PushFlood,
+    /// Equivocation: several fabricated strings per corrupt node
+    /// (`equivocate:<strings>`).
+    Equivocate {
+        /// Distinct fabrications per corrupt node.
+        strings: usize,
+    },
+    /// Pull-request spraying against the forward-once filter
+    /// (`pull-flood:<rate>,<steps>`).
+    PullFlood {
+        /// Requests per corrupt node per step.
+        rate: u64,
+        /// Steps to keep flooding.
+        steps: Step,
+    },
+    /// The full bad-string campaign: push, route, relay and answer for a
+    /// coherent bogus string, rushing (`bad-string`).
+    BadString,
+    /// The cornering/overload attack under adversarial scheduling
+    /// (`corner:<label_scan>`).
+    Corner {
+        /// Labels scanned per corrupt node when aiming poll lists.
+        label_scan: u64,
+    },
+}
+
+/// Default rate for `random-flood` when no parameters are given.
+pub const DEFAULT_FLOOD_RATE: usize = 16;
+/// Default duration (steps) for `random-flood` / `pull-flood`.
+pub const DEFAULT_FLOOD_STEPS: Step = 4;
+/// Default fabrications per corrupt node for `equivocate`.
+pub const DEFAULT_EQUIVOCATE_STRINGS: usize = 8;
+/// Default per-node request rate for `pull-flood`.
+pub const DEFAULT_PULL_FLOOD_RATE: u64 = 16;
+/// Default label-scan budget for `corner`.
+pub const DEFAULT_CORNER_SCAN: u64 = 256;
+
+impl AdversarySpec {
+    /// Every spec name with its parameter grammar and a one-line
+    /// description — the registry backing CLI usage messages.
+    pub const CATALOGUE: &'static [(&'static str, &'static str)] = &[
+        ("none", "no corruption"),
+        ("silent[:t]", "t corrupted nodes stay silent"),
+        ("random-flood[:rate,steps]", "blind random-string pushing"),
+        ("flood", "coherent push flooding of one bogus string"),
+        ("equivocate[:strings]", "distinct fabrications per victim"),
+        ("pull-flood[:rate,steps]", "pull-request spraying"),
+        ("bad-string", "full campaign for a bogus string (rushing)"),
+        ("corner[:label_scan]", "cornering/overload attack (rushing)"),
+    ];
+
+    /// The spec's bare name (no parameters).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversarySpec::None => "none",
+            AdversarySpec::Silent { .. } => "silent",
+            AdversarySpec::RandomFlood { .. } => "random-flood",
+            AdversarySpec::PushFlood => "flood",
+            AdversarySpec::Equivocate { .. } => "equivocate",
+            AdversarySpec::PullFlood { .. } => "pull-flood",
+            AdversarySpec::BadString => "bad-string",
+            AdversarySpec::Corner { .. } => "corner",
+        }
+    }
+
+    /// Whether the strategy is protocol-independent (instantiable for any
+    /// message type via [`AdversarySpec::generic`]).
+    #[must_use]
+    pub fn is_generic(&self) -> bool {
+        matches!(self, AdversarySpec::None | AdversarySpec::Silent { .. })
+    }
+
+    /// Instantiates the protocol-independent subset (`none` / `silent`),
+    /// or `None` for protocol-specific strategies. `default_t` is the
+    /// corruption count used when the spec does not carry its own.
+    #[must_use]
+    pub fn generic(&self, default_t: usize) -> Option<GenericAdversary> {
+        match self {
+            AdversarySpec::None => Some(GenericAdversary::None(NoAdversary)),
+            AdversarySpec::Silent { t } => Some(GenericAdversary::Silent(SilentAdversary::new(
+                t.unwrap_or(default_t),
+            ))),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AdversarySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdversarySpec::None => write!(f, "none"),
+            AdversarySpec::Silent { t: None } => write!(f, "silent"),
+            AdversarySpec::Silent { t: Some(t) } => write!(f, "silent:{t}"),
+            AdversarySpec::RandomFlood { rate, steps } => {
+                write!(f, "random-flood:{rate},{steps}")
+            }
+            AdversarySpec::PushFlood => write!(f, "flood"),
+            AdversarySpec::Equivocate { strings } => write!(f, "equivocate:{strings}"),
+            AdversarySpec::PullFlood { rate, steps } => write!(f, "pull-flood:{rate},{steps}"),
+            AdversarySpec::BadString => write!(f, "bad-string"),
+            AdversarySpec::Corner { label_scan } => write!(f, "corner:{label_scan}"),
+        }
+    }
+}
+
+/// A malformed [`AdversarySpec`] / [`NetworkSpec`] string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSpecError {
+    /// The offending input.
+    pub input: String,
+    /// What a valid spec looks like.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown spec `{}` (expected {})",
+            self.input, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+fn spec_error(input: &str, expected: &'static str) -> ParseSpecError {
+    ParseSpecError {
+        input: input.to_string(),
+        expected,
+    }
+}
+
+/// Splits `name[:params]`, then `params` on commas.
+fn split_spec(s: &str) -> (&str, Vec<&str>) {
+    match s.split_once(':') {
+        Some((name, params)) => (name, params.split(',').collect()),
+        None => (s, Vec::new()),
+    }
+}
+
+const ADVERSARY_EXPECTED: &str =
+    "none | silent[:t] | random-flood[:rate,steps] | flood | equivocate[:strings] | \
+     pull-flood[:rate,steps] | bad-string | corner[:label_scan]";
+
+impl FromStr for AdversarySpec {
+    type Err = ParseSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, params) = split_spec(s);
+        let err = || spec_error(s, ADVERSARY_EXPECTED);
+        let parse_one = |params: &[&str]| -> Result<u64, ParseSpecError> {
+            match params {
+                [v] => v.parse().map_err(|_| err()),
+                _ => Err(err()),
+            }
+        };
+        let parse_two = |params: &[&str]| -> Result<(u64, u64), ParseSpecError> {
+            match params {
+                [a, b] => Ok((a.parse().map_err(|_| err())?, b.parse().map_err(|_| err())?)),
+                _ => Err(err()),
+            }
+        };
+        match (name, params.as_slice()) {
+            ("none", []) => Ok(AdversarySpec::None),
+            ("silent", []) => Ok(AdversarySpec::Silent { t: None }),
+            ("silent", p) => Ok(AdversarySpec::Silent {
+                t: Some(parse_one(p)? as usize),
+            }),
+            ("random-flood", []) => Ok(AdversarySpec::RandomFlood {
+                rate: DEFAULT_FLOOD_RATE,
+                steps: DEFAULT_FLOOD_STEPS,
+            }),
+            ("random-flood", p) => {
+                let (rate, steps) = parse_two(p)?;
+                Ok(AdversarySpec::RandomFlood {
+                    rate: rate as usize,
+                    steps,
+                })
+            }
+            ("flood" | "push-flood", []) => Ok(AdversarySpec::PushFlood),
+            ("equivocate", []) => Ok(AdversarySpec::Equivocate {
+                strings: DEFAULT_EQUIVOCATE_STRINGS,
+            }),
+            ("equivocate", p) => Ok(AdversarySpec::Equivocate {
+                strings: parse_one(p)? as usize,
+            }),
+            ("pull-flood", []) => Ok(AdversarySpec::PullFlood {
+                rate: DEFAULT_PULL_FLOOD_RATE,
+                steps: DEFAULT_FLOOD_STEPS,
+            }),
+            ("pull-flood", p) => {
+                let (rate, steps) = parse_two(p)?;
+                Ok(AdversarySpec::PullFlood { rate, steps })
+            }
+            ("bad-string", []) => Ok(AdversarySpec::BadString),
+            ("corner", []) => Ok(AdversarySpec::Corner {
+                label_scan: DEFAULT_CORNER_SCAN,
+            }),
+            ("corner", p) => Ok(AdversarySpec::Corner {
+                label_scan: parse_one(p)?,
+            }),
+            _ => Err(err()),
+        }
+    }
+}
+
+/// The timing model of a run, as data: `sync` or `async:<max_delay>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NetworkSpec {
+    /// Synchronous timing: every message is delivered the next step.
+    Sync,
+    /// Asynchronous timing: the adversary may delay deliveries up to
+    /// `max_delay` steps and reorder within steps.
+    Async {
+        /// The reliability bound on adversarial delay (≥ 1).
+        max_delay: Step,
+    },
+}
+
+impl NetworkSpec {
+    /// The delay bound: 1 for synchronous timing.
+    #[must_use]
+    pub fn max_delay(&self) -> Step {
+        match self {
+            NetworkSpec::Sync => 1,
+            NetworkSpec::Async { max_delay } => (*max_delay).max(1),
+        }
+    }
+
+    /// Whether the spec is asynchronous.
+    #[must_use]
+    pub fn is_async(&self) -> bool {
+        matches!(self, NetworkSpec::Async { .. })
+    }
+}
+
+impl fmt::Display for NetworkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkSpec::Sync => write!(f, "sync"),
+            NetworkSpec::Async { max_delay } => write!(f, "async:{max_delay}"),
+        }
+    }
+}
+
+impl FromStr for NetworkSpec {
+    type Err = ParseSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let expected = "sync | async[:max_delay]";
+        let (name, params) = split_spec(s);
+        match (name, params.as_slice()) {
+            ("sync", []) => Ok(NetworkSpec::Sync),
+            ("async", []) => Ok(NetworkSpec::Async { max_delay: 1 }),
+            ("async", [d]) => {
+                let max_delay: Step = d.parse().map_err(|_| spec_error(s, expected))?;
+                if max_delay == 0 {
+                    return Err(spec_error(s, expected));
+                }
+                Ok(NetworkSpec::Async { max_delay })
+            }
+            _ => Err(spec_error(s, expected)),
+        }
+    }
+}
+
+/// The protocol-independent adversaries, instantiable for any message
+/// type (see [`AdversarySpec::generic`]). Used by phases whose corrupt
+/// behaviour is limited to silence — the almost-everywhere substrate and
+/// the baseline protocols.
+#[derive(Clone, Copy, Debug)]
+pub enum GenericAdversary {
+    /// No corruption.
+    None(NoAdversary),
+    /// Fail-stop silence.
+    Silent(SilentAdversary),
+}
+
+impl<M: Clone> Adversary<M> for GenericAdversary {
+    fn corrupt(&mut self, n: usize, rng: &mut ChaCha12Rng) -> BTreeSet<NodeId> {
+        match self {
+            GenericAdversary::None(a) => Adversary::<M>::corrupt(a, n, rng),
+            GenericAdversary::Silent(a) => Adversary::<M>::corrupt(a, n, rng),
+        }
+    }
+
+    fn act(&mut self, step: Step, view: Option<&[Envelope<M>]>, out: &mut Outbox<'_, M>) {
+        match self {
+            GenericAdversary::None(a) => a.act(step, view, out),
+            GenericAdversary::Silent(a) => a.act(step, view, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversary_specs_round_trip_display_and_parse() {
+        let specs = [
+            AdversarySpec::None,
+            AdversarySpec::Silent { t: None },
+            AdversarySpec::Silent { t: Some(12) },
+            AdversarySpec::RandomFlood { rate: 8, steps: 3 },
+            AdversarySpec::PushFlood,
+            AdversarySpec::Equivocate { strings: 6 },
+            AdversarySpec::PullFlood { rate: 50, steps: 1 },
+            AdversarySpec::BadString,
+            AdversarySpec::Corner { label_scan: 512 },
+        ];
+        for spec in specs {
+            let shown = spec.to_string();
+            assert_eq!(shown.parse::<AdversarySpec>().unwrap(), spec, "{shown}");
+        }
+    }
+
+    #[test]
+    fn bare_names_parse_with_defaults() {
+        assert_eq!(
+            "random-flood".parse::<AdversarySpec>().unwrap(),
+            AdversarySpec::RandomFlood {
+                rate: DEFAULT_FLOOD_RATE,
+                steps: DEFAULT_FLOOD_STEPS
+            }
+        );
+        assert_eq!(
+            "corner".parse::<AdversarySpec>().unwrap(),
+            AdversarySpec::Corner {
+                label_scan: DEFAULT_CORNER_SCAN
+            }
+        );
+        assert_eq!(
+            "push-flood".parse::<AdversarySpec>().unwrap(),
+            AdversarySpec::PushFlood,
+            "flood alias"
+        );
+    }
+
+    #[test]
+    fn malformed_adversaries_are_rejected() {
+        for bad in ["martian", "silent:x", "random-flood:1", "corner:1,2", ""] {
+            assert!(bad.parse::<AdversarySpec>().is_err(), "{bad}");
+        }
+        let err = "martian".parse::<AdversarySpec>().unwrap_err();
+        assert!(err.to_string().contains("martian"));
+        assert!(err.to_string().contains("corner"));
+    }
+
+    #[test]
+    fn network_specs_round_trip() {
+        for spec in [
+            NetworkSpec::Sync,
+            NetworkSpec::Async { max_delay: 1 },
+            NetworkSpec::Async { max_delay: 3 },
+        ] {
+            assert_eq!(spec.to_string().parse::<NetworkSpec>().unwrap(), spec);
+        }
+        assert_eq!(
+            "async".parse::<NetworkSpec>().unwrap(),
+            NetworkSpec::Async { max_delay: 1 }
+        );
+        assert!("async:0".parse::<NetworkSpec>().is_err());
+        assert!("bluetooth".parse::<NetworkSpec>().is_err());
+        assert_eq!(NetworkSpec::Sync.max_delay(), 1);
+        assert_eq!(NetworkSpec::Async { max_delay: 4 }.max_delay(), 4);
+        assert!(NetworkSpec::Async { max_delay: 4 }.is_async());
+        assert!(!NetworkSpec::Sync.is_async());
+    }
+
+    #[test]
+    fn generic_covers_exactly_the_protocol_independent_specs() {
+        assert!(AdversarySpec::None.generic(3).is_some());
+        assert!(AdversarySpec::Silent { t: None }.generic(3).is_some());
+        assert!(AdversarySpec::PushFlood.generic(3).is_none());
+        assert!(AdversarySpec::BadString.generic(3).is_none());
+        let silent = AdversarySpec::Silent { t: Some(5) }.generic(3).unwrap();
+        match silent {
+            GenericAdversary::Silent(s) => assert_eq!(s.t, 5),
+            GenericAdversary::None(_) => panic!("expected silent"),
+        }
+        let defaulted = AdversarySpec::Silent { t: None }.generic(3).unwrap();
+        match defaulted {
+            GenericAdversary::Silent(s) => assert_eq!(s.t, 3),
+            GenericAdversary::None(_) => panic!("expected silent"),
+        }
+    }
+
+    #[test]
+    fn catalogue_names_match_parse() {
+        for (grammar, _) in AdversarySpec::CATALOGUE {
+            let bare = grammar.split('[').next().unwrap();
+            let spec = bare.parse::<AdversarySpec>().unwrap();
+            assert!(grammar.starts_with(spec.name()));
+        }
+    }
+}

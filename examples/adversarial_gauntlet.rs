@@ -6,17 +6,16 @@
 //! equivocating, bad-string and cornering adversaries at the full
 //! `t < (1/3 − ε)·n` budget. See the README's example index.
 //!
+//! With the `Scenario` builder the gauntlet is *data*: one spec string
+//! per adversary, parsed straight into the run description — the same
+//! grammar `paperbench scenario --adversary …` accepts.
+//!
 //! ```bash
 //! cargo run --release --example adversarial_gauntlet
 //! ```
 
-use fba::ae::{Precondition, UnknowingAssignment};
-use fba::core::adversary::{
-    AttackContext, BadString, Corner, Equivocate, PushFlood, RandomStringFlood,
-};
-use fba::core::{AerConfig, AerHarness, AerMsg};
-use fba::samplers::GString;
-use fba::sim::{Adversary, EngineConfig, NoAdversary, RunOutcome, SilentAdversary};
+use fba::scenario::{AerRun, Phase, Scenario};
+use fba::sim::{AdversarySpec, NetworkSpec};
 
 struct Row {
     name: &'static str,
@@ -27,76 +26,54 @@ struct Row {
     bits_per_node: f64,
 }
 
-fn evaluate(
-    name: &'static str,
-    outcome: &RunOutcome<GString, AerMsg>,
-    gstring: &GString,
-    n: usize,
-) -> Row {
-    let wrong = outcome.outputs.values().filter(|v| *v != gstring).count();
+fn evaluate(name: &'static str, outcome: &AerRun) -> Row {
     Row {
         name,
-        decided: outcome.outputs.len(),
-        correct: n - outcome.corrupt.len(),
-        wrong,
+        decided: outcome.run.outputs.len(),
+        correct: outcome.correct_nodes(),
+        wrong: outcome.wrong_decisions(),
         steps: outcome
+            .run
             .all_decided_at
             .map_or("-".to_string(), |s| s.to_string()),
-        bits_per_node: outcome.metrics.amortized_bits(),
+        bits_per_node: outcome.run.metrics.amortized_bits(),
     }
 }
 
 fn main() {
     let n = 128;
     let seed = 11;
-    let cfg = AerConfig::recommended(n);
-    let pre = Precondition::synthetic(
-        n,
-        cfg.string_len,
-        0.8,
-        UnknowingAssignment::SharedAdversarial,
-        seed,
-    );
-    let harness = AerHarness::from_precondition(cfg, &pre);
-    let g = pre.gstring;
-    let bad = *pre
-        .assignments
-        .iter()
-        .find(|s| **s != g)
-        .expect("bogus string exists");
-    let ctx = || AttackContext::new(&harness, g);
-    let sync = harness.engine_sync();
-    let async_engine = harness.engine_async(1);
+
+    // The gauntlet, as data. Every entry is a parseable adversary spec
+    // plus its timing model — exactly what the CLI takes.
+    let gauntlet: [(&'static str, &'static str, &'static str); 7] = [
+        ("none (fault-free)", "none", "sync"),
+        ("silent t", "silent", "sync"),
+        ("random-string flood", "random-flood:16,4", "sync"),
+        ("push flood (coherent)", "flood", "sync"),
+        ("equivocate ×8", "equivocate:8", "sync"),
+        ("bad-string campaign", "bad-string", "sync"),
+        ("cornering (async)", "corner:256", "async:1"),
+    ];
 
     let mut rows = Vec::new();
-    let mut run = |name: &'static str, engine: &EngineConfig, adv: &mut dyn Adversary<AerMsg>| {
-        let outcome = harness.run(engine, seed, adv);
-        rows.push(evaluate(name, &outcome, &g, n));
-    };
-
-    run("none (fault-free)", &sync, &mut NoAdversary);
-    run("silent t", &sync, &mut SilentAdversary::new(cfg.t));
-    run(
-        "random-string flood",
-        &sync,
-        &mut RandomStringFlood::new(ctx(), 16, 4),
-    );
-    run(
-        "push flood (coherent)",
-        &sync,
-        &mut PushFlood::new(ctx(), bad),
-    );
-    run("equivocate ×8", &sync, &mut Equivocate::new(ctx(), 8));
-    run(
-        "bad-string campaign",
-        &sync,
-        &mut BadString::new(ctx(), bad),
-    );
-    run(
-        "cornering (async)",
-        &async_engine,
-        &mut Corner::new(ctx(), 256),
-    );
+    for (name, adversary, network) in gauntlet {
+        let spec: AdversarySpec = adversary.parse().expect("gauntlet spec parses");
+        let net: NetworkSpec = network.parse().expect("network spec parses");
+        // Worst-case precondition: the unknowing block shares one bogus
+        // string, which is also the builder's default campaign string.
+        let outcome = Scenario::new(n)
+            .phase(Phase::aer_with(
+                0.8,
+                fba::ae::UnknowingAssignment::SharedAdversarial,
+            ))
+            .adversary(spec)
+            .network(net)
+            .run(seed)
+            .expect("valid scenario")
+            .into_aer();
+        rows.push(evaluate(name, &outcome));
+    }
 
     println!(
         "{:<24} {:>9} {:>7} {:>7} {:>10}",

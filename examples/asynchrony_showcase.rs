@@ -1,5 +1,5 @@
-//! Asynchrony showcase: the same AER code on the synchronous engine, the
-//! adversarially-reordered asynchronous engine, and under the Lemma 6
+//! Asynchrony showcase: the same AER scenario on the synchronous engine,
+//! the adversarially-reordered asynchronous engine, and under the Lemma 6
 //! cornering attack — demonstrating the paper's claim that AER "remains
 //! correct and efficient under asynchrony", plus the decision-time
 //! distribution the overload attack produces.
@@ -9,34 +9,34 @@
 //! Lemma 6's overload bound under the cornering attack. See the
 //! README's example index.
 //!
+//! The three regimes differ only in the scenario's `network`/`adversary`
+//! fields — the timing model is one builder knob, not separate wiring.
+//!
 //! ```bash
 //! cargo run --release --example asynchrony_showcase
 //! ```
 
 use std::collections::BTreeMap;
 
-use fba::ae::{Precondition, UnknowingAssignment};
-use fba::core::adversary::{AttackContext, Corner};
-use fba::core::{AerConfig, AerHarness, AerMsg};
-use fba::samplers::GString;
-use fba::sim::{NoAdversary, RunOutcome, SilentAdversary, Step};
+use fba::scenario::{AerRun, Phase, Scenario};
+use fba::sim::{AdversarySpec, NetworkSpec, NodeId, Step};
 
-fn histogram(outcome: &RunOutcome<GString, AerMsg>, n: usize) -> BTreeMap<Step, usize> {
+fn histogram(outcome: &AerRun, n: usize) -> BTreeMap<Step, usize> {
     let mut h = BTreeMap::new();
     for i in 0..n {
-        if let Some(step) = outcome.metrics.decided_at(fba::sim::NodeId::from_index(i)) {
+        if let Some(step) = outcome.run.metrics.decided_at(NodeId::from_index(i)) {
             *h.entry(step).or_insert(0) += 1;
         }
     }
     h
 }
 
-fn render(label: &str, outcome: &RunOutcome<GString, AerMsg>, n: usize, gstring: &GString) {
-    let wrong = outcome.outputs.values().filter(|v| *v != gstring).count();
+fn render(label: &str, outcome: &AerRun, n: usize) {
     println!(
-        "\n== {label} ==\n   decided: {}/{} correct nodes, wrong: {wrong}",
-        outcome.outputs.len(),
-        n - outcome.corrupt.len(),
+        "\n== {label} ==\n   decided: {}/{} correct nodes, wrong: {}",
+        outcome.run.outputs.len(),
+        outcome.correct_nodes(),
+        outcome.wrong_decisions(),
     );
     let hist = histogram(outcome, n);
     let max = hist.values().copied().max().unwrap_or(1);
@@ -49,34 +49,37 @@ fn render(label: &str, outcome: &RunOutcome<GString, AerMsg>, n: usize, gstring:
 fn main() {
     let n = 256;
     let seed = 17;
-    let cfg = AerConfig::recommended(n).strict();
-    let pre = Precondition::synthetic(
-        n,
-        cfg.string_len,
-        0.85,
-        UnknowingAssignment::RandomPerNode,
-        seed,
-    );
-    let harness = AerHarness::from_precondition(cfg, &pre);
-    let g = pre.gstring;
+    let base = || Scenario::new(n).phase(Phase::aer(0.85)).strict();
+    let cfg = base().aer_config().expect("valid config");
     let t = cfg.t;
-
     println!("n = {n}, d = {}, t = {t}, strict mode (no retries)", cfg.d);
 
     // 1. Synchronous, non-rushing: the Lemma 8/9 regime.
-    let sync = harness.run(&harness.engine_sync(), seed, &mut SilentAdversary::new(t));
-    render("synchronous, non-rushing (silent t)", &sync, n, &g);
+    let sync = base()
+        .faults(t)
+        .adversary(AdversarySpec::Silent { t: None })
+        .run(seed)
+        .expect("valid scenario")
+        .into_aer();
+    render("synchronous, non-rushing (silent t)", &sync, n);
 
     // 2. Asynchronous engine, benign: same code, reordered deliveries.
-    let async_benign = harness.run(&harness.engine_async(2), seed, &mut NoAdversary);
-    render("asynchronous (delay ≤ 2), no faults", &async_benign, n, &g);
+    let async_benign = base()
+        .network(NetworkSpec::Async { max_delay: 2 })
+        .run(seed)
+        .expect("valid scenario")
+        .into_aer();
+    render("asynchronous (delay ≤ 2), no faults", &async_benign, n);
 
     // 3. Asynchronous + the cornering attack: the Lemma 6 regime.
-    let ctx = AttackContext::new(&harness, g);
-    let mut corner = Corner::new(ctx, 512);
-    let cornered = harness.run(&harness.engine_async(1), seed, &mut corner);
-    render("asynchronous + cornering attack", &cornered, n, &g);
-    let report = corner.report();
+    let cornered = base()
+        .network(NetworkSpec::Async { max_delay: 1 })
+        .adversary(AdversarySpec::Corner { label_scan: 512 })
+        .run(seed)
+        .expect("valid scenario")
+        .into_aer();
+    render("asynchronous + cornering attack", &cornered, n);
+    let report = cornered.corner.as_ref().expect("corner adversary reports");
     println!(
         "   attack plan: {} victims blocked, {} overload targets, planned chain depth {}",
         report.blocked_victims, report.overload_targets, report.planned_depth

@@ -8,20 +8,28 @@
 //! AER yields full BA, shown fault-free and under the silent-`t` and
 //! bad-string adversaries. See the README's example index.
 //!
+//! Composition is one scenario: `Phase::Composed` with independent
+//! adversary specs for each phase.
+//!
 //! ```bash
 //! cargo run --release --example ba_end_to_end
 //! ```
 
-use fba::core::adversary::{AttackContext, BadString};
-use fba::core::ba::{run_ba, BaConfig};
 use fba::samplers::GString;
-use fba::sim::{NoAdversary, SilentAdversary};
+use fba::scenario::{Phase, Scenario};
+use fba::sim::AdversarySpec;
 
 fn main() {
     let n = 256;
     let seed = 21;
-    let cfg = BaConfig::recommended(n);
 
+    // --- fault-free ---------------------------------------------------
+    let run = Scenario::new(n)
+        .phase(Phase::Composed)
+        .run(seed)
+        .expect("valid scenario")
+        .into_composed();
+    let cfg = &run.config;
     println!("== Phase structure for n = {n} ==");
     println!(
         "almost-everywhere: committee size {}, {} tree levels, {} steps",
@@ -34,8 +42,7 @@ fn main() {
         cfg.aer.d, cfg.aer.overload_cap
     );
 
-    // --- fault-free ---------------------------------------------------
-    let (report, ae, _) = run_ba(&cfg, seed, &mut NoAdversary, |_, _| NoAdversary, None);
+    let report = &run.report;
     println!("== Fault-free run ==");
     println!(
         "AE phase: {} rounds, {:.0} bits/node, {:.1}% of correct nodes knowing",
@@ -58,34 +65,40 @@ fn main() {
         report.decided_nodes,
         report.correct_nodes
     );
-    println!("gstring: {}\n", ae.gstring);
+    println!("gstring: {}\n", run.ae.gstring);
 
     // --- under attack ---------------------------------------------------
+    // Silent faults corrupt the AE phase; the AER phase fields the full
+    // bad-string campaign for the all-zeroes string.
     let t = cfg.aer.t;
-    let mut silent = SilentAdversary::new(t);
-    let (report, ae, run) = run_ba(
-        &cfg,
-        seed + 1,
-        &mut silent,
-        |harness, gstring| {
-            let ctx = AttackContext::new(harness, *gstring);
-            BadString::new(ctx, GString::zeroes(gstring.len_bits()))
-        },
-        None,
-    );
+    let zero_len = cfg.aer.string_len;
+    let attacked = Scenario::new(n)
+        .phase(Phase::Composed)
+        .faults(t)
+        .ae_adversary(AdversarySpec::Silent { t: None })
+        .adversary(AdversarySpec::BadString)
+        .bad_string(GString::zeroes(zero_len))
+        .run(seed + 1)
+        .expect("valid scenario")
+        .into_composed();
     println!("== Silent faults in phase 1, bad-string campaign in phase 2 (t = {t}) ==");
     println!(
         "AE phase: {:.1}% of correct nodes knowing after faults",
-        report.knowing_fraction_after_ae * 100.0
+        attacked.report.knowing_fraction_after_ae * 100.0
     );
-    let wrong = run.outputs.values().filter(|v| **v != ae.gstring).count();
+    let wrong = attacked
+        .aer
+        .outputs
+        .values()
+        .filter(|v| **v != attacked.ae.gstring)
+        .count();
     println!(
         "AER phase: {}/{} decided, {wrong} wrong decisions",
-        report.decided_nodes, report.correct_nodes
+        attacked.report.decided_nodes, attacked.report.correct_nodes
     );
     println!(
         "agreement on AE majority string: {}",
-        if report.matches_ae_majority {
+        if attacked.report.matches_ae_majority {
             "yes"
         } else {
             "no"

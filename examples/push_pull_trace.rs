@@ -5,8 +5,9 @@
 //!
 //! **Paper claim exercised:** Figure 2 and Algorithms 1–3 — the push
 //! phase's sampler-filtered vote counting (2a) and the two-hop filtered
-//! verification pipeline (2b), extracted from a recorded transcript by
-//! `fba_core::trace`. See the README's example index.
+//! verification pipeline (2b), extracted from the transcript a
+//! [`TranscriptSink`] observer collects while the scenario runs. See the
+//! README's example index.
 //!
 //! ```bash
 //! cargo run --release --example push_pull_trace
@@ -14,28 +15,30 @@
 
 use std::collections::BTreeMap;
 
-use fba::ae::{Precondition, UnknowingAssignment};
-use fba::core::{AerConfig, AerHarness, AerMsg};
+use fba::ae::UnknowingAssignment;
+use fba::core::AerMsg;
 use fba::samplers::GString;
-use fba::sim::{NoAdversary, NodeId};
+use fba::scenario::{Phase, Scenario};
+use fba::sim::{NodeId, TranscriptSink};
 
 fn main() {
     let n = 48;
     let seed = 7;
-    let cfg = AerConfig::recommended(n);
     // A third of the nodes hold a *shared* bogus string s2, so push
-    // quorums see competing candidates — the Figure 2a situation.
-    let pre = Precondition::synthetic(
-        n,
-        cfg.string_len,
-        0.66,
-        UnknowingAssignment::SharedAdversarial,
-        seed,
-    );
-    let harness = AerHarness::from_precondition(cfg, &pre);
-    let mut engine = harness.engine_sync();
-    engine.record_transcript = true;
-    let outcome = harness.run(&engine, seed, &mut NoAdversary);
+    // quorums see competing candidates — the Figure 2a situation. The
+    // transcript is captured by a read-only observer riding the run.
+    let mut sink = TranscriptSink::<AerMsg>::new();
+    let outcome = Scenario::new(n)
+        .phase(Phase::aer_with(
+            0.66,
+            UnknowingAssignment::SharedAdversarial,
+        ))
+        .run_observed(seed, &mut sink)
+        .expect("valid scenario")
+        .into_aer();
+    let transcript = &sink.transcript;
+    let cfg = &outcome.config;
+    let pre = &outcome.precondition;
 
     let g = &pre.gstring;
     let _s2 = pre
@@ -50,9 +53,9 @@ fn main() {
         .map(NodeId::from_index)
         .find(|id| !pre.knows(*id))
         .expect("an unknowing node exists");
-    let scheme = harness.scheme();
+    let scheme = cfg.scheme();
     let mut per_string: BTreeMap<&'static str, usize> = BTreeMap::new();
-    for env in &outcome.transcript {
+    for env in transcript {
         if env.to != x {
             continue;
         }
@@ -83,7 +86,7 @@ fn main() {
     println!("\n== Figure 2b: pull request from node {x} for gstring ==");
     let interesting = |s: &GString| s == g;
     let mut shown = 0;
-    for env in &outcome.transcript {
+    for env in transcript {
         let (tag, s) = match &env.msg {
             AerMsg::Poll(s, _) if env.from == x => ("Poll  ", s),
             AerMsg::Pull(s, _) if env.from == x => ("Pull  ", s),
@@ -103,12 +106,12 @@ fn main() {
     println!("   … {shown} messages in total served this one verification");
     println!(
         "\nnode {x} decided at step {} on {}",
-        outcome.metrics.decided_at(x).expect("x decided"),
-        if outcome.outputs[&x] == *g {
+        outcome.run.metrics.decided_at(x).expect("x decided"),
+        if outcome.run.outputs[&x] == *g {
             "gstring"
         } else {
             "a bogus string!"
         },
     );
-    assert_eq!(outcome.outputs[&x], *g);
+    assert_eq!(outcome.run.outputs[&x], *g);
 }

@@ -1,5 +1,5 @@
-//! Quickstart: run AER end to end on a fault-free system and print what
-//! happened.
+//! Quickstart: describe a fault-free AER run as a [`Scenario`], run it,
+//! and print what happened.
 //!
 //! **Paper claim exercised:** §3.1's almost-everywhere → everywhere
 //! contract — from a precondition where 80% of nodes know `gstring`,
@@ -10,32 +10,29 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use fba::ae::{Precondition, UnknowingAssignment};
-use fba::core::{AerConfig, AerHarness};
-use fba::sim::{NoAdversary, NodeId};
+use fba::scenario::{Phase, Scenario};
+use fba::sim::NodeId;
 
 fn main() {
     let n = 256;
     let seed = 42;
 
-    // 1. Configure AER for n nodes (quorum size, string length, overload
-    //    cap all derive from n — see AerConfig::recommended).
-    let cfg = AerConfig::recommended(n);
+    // 1. One declarative scenario: n nodes, synchronous network, no
+    //    faults, 80% of nodes already share gstring. (Run `ba_end_to_end`
+    //    to see the real committee-tree phase produce this state.)
+    let outcome = Scenario::new(n)
+        .phase(Phase::aer(0.8))
+        .run(seed)
+        .expect("valid scenario")
+        .into_aer();
+
+    // 2. Everything the builder derived rides along with the outcome.
+    let cfg = &outcome.config;
     println!("system:        n = {n}");
     println!("quorum size:   d = {}", cfg.d);
     println!("string length: {} bits", cfg.string_len);
     println!("overload cap:  {} answers per string", cfg.overload_cap);
-
-    // 2. The almost-everywhere precondition: 80% of nodes already share
-    //    gstring; the rest hold random junk. (Run `ba_end_to_end` to see
-    //    the real committee-tree phase produce this state.)
-    let pre = Precondition::synthetic(
-        n,
-        cfg.string_len,
-        0.8,
-        UnknowingAssignment::RandomPerNode,
-        seed,
-    );
+    let pre = &outcome.precondition;
     println!(
         "\nprecondition:  {}/{} nodes know gstring ({} …)",
         pre.knowing.len(),
@@ -43,25 +40,21 @@ fn main() {
         pre.gstring
     );
 
-    // 3. Run the protocol on the synchronous engine with no faults.
-    let harness = AerHarness::from_precondition(cfg, &pre);
-    let outcome = harness.run(&harness.engine_sync(), seed, &mut NoAdversary);
-
-    // 4. Inspect the outcome.
-    let agreed = outcome.unanimous().expect("correct nodes agree");
-    assert_eq!(agreed, &pre.gstring, "everyone converged on gstring");
+    // 3. Inspect the run.
+    let agreed = outcome.run.unanimous().expect("correct nodes agree");
+    assert_eq!(agreed, outcome.gstring(), "everyone converged on gstring");
     println!(
         "\nresult:        all {} nodes decided gstring",
-        outcome.outputs.len()
+        outcome.run.outputs.len()
     );
     println!(
         "time:          all decided by step {}",
-        outcome.all_decided_at.expect("all decided")
+        outcome.run.all_decided_at.expect("all decided")
     );
     println!(
         "communication: {:.0} bits per node ({} messages total)",
-        outcome.metrics.amortized_bits(),
-        outcome.metrics.total_msgs_sent()
+        outcome.run.metrics.amortized_bits(),
+        outcome.run.metrics.total_msgs_sent()
     );
 
     // A node that started unknowing still learned the string:
@@ -72,6 +65,7 @@ fn main() {
     println!(
         "witness:       node {witness} started with junk, decided at step {}",
         outcome
+            .run
             .metrics
             .decided_at(witness)
             .expect("witness decided")

@@ -77,6 +77,103 @@ pub trait Strategy {
     type Value;
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream's `prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter mapping values through a function (see
+/// [`Strategy::prop_map`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// One boxed generator arm of a [`OneOf`].
+pub type OneOfArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Uniform choice among boxed alternatives — the value behind the
+/// [`prop_oneof!`] macro.
+pub struct OneOf<V> {
+    options: Vec<OneOfArm<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// A strategy drawing uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<OneOfArm<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof needs at least one arm");
+        OneOf { options }
+    }
+
+    /// Boxes one strategy as an arm (implementation detail of
+    /// [`prop_oneof!`]; keeps the macro's type inference anchored to the
+    /// strategy's value type).
+    pub fn arm<S: Strategy<Value = V> + 'static>(strategy: S) -> OneOfArm<V> {
+        Box::new(move |rng| strategy.generate(rng))
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        (self.options[idx])(rng)
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `None` half the time and `Some` of the inner
+    /// strategy otherwise (upstream's default probability).
+    #[derive(Clone, Copy, Debug)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `Option` strategy over `element`.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() >> 63 == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// Uniform choice among strategies producing one common value type
+/// (upstream's `prop_oneof!`; weights are not supported — all arms are
+/// equally likely).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::OneOf::arm($strategy),)+])
+    };
 }
 
 /// Types with a canonical whole-domain strategy (`any::<T>()`).
@@ -232,8 +329,8 @@ pub mod collection {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Just,
-        ProptestConfig, Strategy, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Any,
+        Just, Map, OneOf, ProptestConfig, Strategy, TestRng,
     };
 }
 
@@ -364,6 +461,26 @@ mod tests {
         fn assume_skips_cases(n in 0usize..100) {
             prop_assume!(n % 2 == 0);
             prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn prop_map_transforms_values(doubled in (0u64..50).prop_map(|x| x * 2)) {
+            prop_assert!(doubled < 100);
+            prop_assert_eq!(doubled % 2, 0);
+        }
+
+        #[test]
+        fn oneof_picks_every_arm_eventually(
+            v in prop_oneof![Just(1u8), Just(2u8), 10u8..20],
+        ) {
+            prop_assert!(v == 1 || v == 2 || (10..20).contains(&v));
+        }
+
+        #[test]
+        fn option_of_produces_both_variants(o in crate::option::of(0u8..10)) {
+            if let Some(v) = o {
+                prop_assert!(v < 10);
+            }
         }
     }
 

@@ -4,11 +4,53 @@
 //! Guerraoui, Huc — PODC 2013): the first Byzantine Agreement protocol
 //! with poly-logarithmic communication *and* time.
 //!
-//! The facade re-exports the workspace crates:
+//! ## Quickstart: describe a run, then run it
 //!
+//! Every execution mode — AER on a synthetic precondition, the
+//! almost-everywhere substrate, the composed BA protocol, the Figure 1
+//! baselines, under any adversary and either timing model — is one
+//! declarative [`Scenario`]:
+//!
+//! ```
+//! use fba::scenario::{Phase, Scenario};
+//! use fba::sim::{AdversarySpec, NetworkSpec};
+//!
+//! // 64 nodes, 80% of which already know gstring; 9 corrupted nodes run
+//! // the coherent bad-string campaign over an asynchronous network.
+//! let outcome = Scenario::new(64)
+//!     .faults(9)
+//!     .adversary(AdversarySpec::BadString)
+//!     .network(NetworkSpec::Async { max_delay: 2 })
+//!     .phase(Phase::aer(0.8))
+//!     .run(42)
+//!     .expect("valid scenario")
+//!     .into_aer();
+//!
+//! // Lemma 7: nobody decides the campaign string.
+//! assert_eq!(outcome.wrong_decisions(), 0);
+//! assert_eq!(outcome.run.unanimous(), Some(outcome.gstring()));
+//! ```
+//!
+//! Adversaries and networks are *data* with a stable string grammar
+//! (`silent:9`, `flood`, `corner:512`, `async:3`, …), so the same
+//! scenario is expressible from the command line:
+//!
+//! ```bash
+//! paperbench scenario --n 64 --faults 9 --adversary bad-string --network async:2
+//! ```
+//!
+//! See [`scenario`] for the full builder surface (phases, observers,
+//! tuning knobs) and [`sim::AdversarySpec`] for the adversary grammar.
+//!
+//! ## Crate map
+//!
+//! * [`scenario`] — **the public entry point for executing runs**: the
+//!   [`Scenario`] builder and its typed outcomes.
 //! * [`sim`] — deterministic message-passing simulator (synchronous
 //!   rounds, adversarial asynchrony, full-information rushing/non-rushing
-//!   Byzantine adversaries, bit-exact communication accounting).
+//!   Byzantine adversaries, bit-exact communication accounting) plus the
+//!   [`sim::AdversarySpec`]/[`sim::NetworkSpec`] grammar and the
+//!   read-only [`sim::Observer`] instrumentation interface.
 //! * [`samplers`] — the sampler family of §2.2: push quorums `I`, pull
 //!   quorums `H`, poll lists `J`, with empirical Lemma 1 / Lemma 2
 //!   verification.
@@ -20,26 +62,6 @@
 //!   bad-string campaigns, the Lemma 6 cornering attack).
 //! * [`baselines`] — Figure 1 comparison protocols (KLST11-style
 //!   diffusion, flooding, Ben-Or, Phase-King).
-//!
-//! ## Quickstart
-//!
-//! ```
-//! use fba::ae::{Precondition, UnknowingAssignment};
-//! use fba::core::{AerConfig, AerHarness};
-//! use fba::sim::NoAdversary;
-//!
-//! // 1. A system of 64 nodes; >3/4 already know the global string
-//! //    (normally produced by the almost-everywhere phase).
-//! let cfg = AerConfig::recommended(64);
-//! let pre = Precondition::synthetic(
-//!     64, cfg.string_len, 0.8, UnknowingAssignment::RandomPerNode, 42,
-//! );
-//!
-//! // 2. Run AER: every correct node ends up agreeing on gstring.
-//! let harness = AerHarness::from_precondition(cfg, &pre);
-//! let outcome = harness.run(&harness.engine_sync(), 42, &mut NoAdversary);
-//! assert_eq!(outcome.unanimous(), Some(&pre.gstring));
-//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,4 +70,8 @@ pub use fba_ae as ae;
 pub use fba_baselines as baselines;
 pub use fba_core as core;
 pub use fba_samplers as samplers;
+pub use fba_scenario as scenario;
 pub use fba_sim as sim;
+
+pub use fba_scenario::{Baseline, Phase, PreconditionSpec, Scenario, ScenarioOutcome};
+pub use fba_sim::{AdversarySpec, NetworkSpec};

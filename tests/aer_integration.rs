@@ -1,100 +1,66 @@
 //! Cross-crate integration tests for AER: agreement, validity,
 //! reproducibility and resilience across system sizes, engines and the
-//! full adversary suite.
+//! full adversary suite — all runs constructed through the [`Scenario`]
+//! builder.
 
-use fba::ae::{Precondition, UnknowingAssignment};
-use fba::core::adversary::{
-    AttackContext, BadString, Corner, Equivocate, PushFlood, RandomStringFlood,
-};
-use fba::core::{AerConfig, AerHarness};
-use fba::samplers::GString;
-use fba::sim::{NoAdversary, NodeId, SilentAdversary};
+use fba::ae::UnknowingAssignment;
+use fba::core::AerNode;
+use fba::scenario::{Phase, PollTimeoutSpec, Scenario};
+use fba::sim::{AdversarySpec, FinalInspect, NetworkSpec, NodeId};
 
-fn build(
-    n: usize,
-    seed: u64,
-    knowing: f64,
-    mode: UnknowingAssignment,
-) -> (AerHarness, Precondition) {
-    let cfg = AerConfig::recommended(n);
-    let pre = Precondition::synthetic(n, cfg.string_len, knowing, mode, seed);
-    (AerHarness::from_precondition(cfg, &pre), pre)
+fn scenario(n: usize, knowing: f64, mode: UnknowingAssignment) -> Scenario {
+    Scenario::new(n).phase(Phase::aer_with(knowing, mode))
 }
 
 #[test]
 fn aer_agrees_across_sizes_fault_free() {
     for n in [32, 64, 128, 256] {
-        let (h, pre) = build(n, 1, 0.8, UnknowingAssignment::RandomPerNode);
-        let out = h.run(&h.engine_sync(), 1, &mut NoAdversary);
-        assert!(out.all_decided(), "n={n}: someone never decided");
-        assert_eq!(out.unanimous(), Some(&pre.gstring), "n={n}");
-        assert!(out.quiescent, "n={n}: network did not quiesce");
+        let out = scenario(n, 0.8, UnknowingAssignment::RandomPerNode)
+            .run(1)
+            .expect("valid scenario")
+            .into_aer();
+        assert!(out.run.all_decided(), "n={n}: someone never decided");
+        assert_eq!(out.run.unanimous(), Some(out.gstring()), "n={n}");
+        assert!(out.run.quiescent, "n={n}: network did not quiesce");
     }
 }
 
 #[test]
 fn aer_survives_each_adversary_without_wrong_decisions() {
     let n = 96;
+    // The attack suite as data: spec + timing model per row.
+    let suite: [(AdversarySpec, NetworkSpec); 6] = [
+        (AdversarySpec::Silent { t: None }, NetworkSpec::Sync),
+        (
+            AdversarySpec::RandomFlood { rate: 8, steps: 3 },
+            NetworkSpec::Sync,
+        ),
+        (AdversarySpec::PushFlood, NetworkSpec::Sync),
+        (AdversarySpec::Equivocate { strings: 6 }, NetworkSpec::Sync),
+        (AdversarySpec::BadString, NetworkSpec::Sync),
+        (
+            AdversarySpec::Corner { label_scan: 128 },
+            NetworkSpec::Async { max_delay: 1 },
+        ),
+    ];
     for seed in [3u64, 5, 6] {
-        let (h, pre) = build(n, seed, 0.8, UnknowingAssignment::SharedAdversarial);
-        let g = pre.gstring;
-        let bad = *pre
-            .assignments
-            .iter()
-            .find(|s| **s != g)
-            .expect("bogus exists");
-        let ctx = AttackContext::new(&h, g);
-        let t = h.config().t;
-
-        let outcomes = vec![
-            (
-                "silent",
-                h.run(&h.engine_sync(), seed, &mut SilentAdversary::new(t)),
-            ),
-            (
-                "random-flood",
-                h.run(
-                    &h.engine_sync(),
-                    seed,
-                    &mut RandomStringFlood::new(ctx.clone(), 8, 3),
-                ),
-            ),
-            (
-                "push-flood",
-                h.run(
-                    &h.engine_sync(),
-                    seed,
-                    &mut PushFlood::new(ctx.clone(), bad),
-                ),
-            ),
-            (
-                "equivocate",
-                h.run(&h.engine_sync(), seed, &mut Equivocate::new(ctx.clone(), 6)),
-            ),
-            (
-                "bad-string",
-                h.run(
-                    &h.engine_sync(),
-                    seed,
-                    &mut BadString::new(ctx.clone(), bad),
-                ),
-            ),
-            (
-                "corner",
-                h.run(&h.engine_async(1), seed, &mut Corner::new(ctx.clone(), 128)),
-            ),
-        ];
-        for (name, out) in outcomes {
-            for (id, value) in &out.outputs {
-                assert_eq!(
-                    value, &g,
-                    "seed {seed}, adversary {name}: node {id} decided wrongly"
-                );
-            }
+        for (spec, network) in suite {
+            let out = scenario(n, 0.8, UnknowingAssignment::SharedAdversarial)
+                .adversary(spec)
+                .network(network)
+                .run(seed)
+                .expect("valid scenario")
+                .into_aer();
+            assert_eq!(
+                out.wrong_decisions(),
+                0,
+                "seed {seed}, adversary {spec}: wrong decision"
+            );
+            let t = out.config.t;
             assert!(
-                out.outputs.len() as f64 >= 0.9 * (n - t) as f64,
-                "seed {seed}, adversary {name}: only {}/{} decided",
-                out.outputs.len(),
+                out.run.outputs.len() as f64 >= 0.9 * (n - t) as f64,
+                "seed {seed}, adversary {spec}: only {}/{} decided",
+                out.run.outputs.len(),
                 n - t
             );
         }
@@ -108,48 +74,79 @@ fn scale_aware_schedule_preserves_small_n_outcomes() {
     // be outcome-equivalent to the legacy fixed schedule: same decision
     // values at every node, and no slower to full decision.
     for n in [32, 64, 128, 256] {
-        let cfg = AerConfig::recommended(n);
-        let legacy = AerConfig {
-            poll_timeout: 8,
-            eager_repair: false,
-            ..cfg
-        };
-        let pre = Precondition::synthetic(
-            n,
-            cfg.string_len,
-            0.8,
-            UnknowingAssignment::RandomPerNode,
-            1,
-        );
-        let new_h = AerHarness::from_precondition(cfg, &pre);
-        let new_out = new_h.run(&new_h.engine_sync(), 1, &mut NoAdversary);
-        let legacy_h = AerHarness::from_precondition(legacy, &pre);
-        let legacy_out = legacy_h.run(&legacy_h.engine_sync(), 1, &mut NoAdversary);
+        let new_out = scenario(n, 0.8, UnknowingAssignment::RandomPerNode)
+            .run(1)
+            .expect("valid scenario")
+            .into_aer();
+        let legacy_out = scenario(n, 0.8, UnknowingAssignment::RandomPerNode)
+            .poll_timeout(PollTimeoutSpec::Fixed(8))
+            .eager_repair(false)
+            .run(1)
+            .expect("valid scenario")
+            .into_aer();
         assert_eq!(
-            new_out.outputs, legacy_out.outputs,
+            new_out.run.outputs, legacy_out.run.outputs,
             "n={n}: decision values diverged from the legacy schedule"
         );
         assert!(
-            new_out.all_decided_at <= legacy_out.all_decided_at,
+            new_out.run.all_decided_at <= legacy_out.run.all_decided_at,
             "n={n}: scale-aware schedule slower than legacy ({:?} vs {:?})",
-            new_out.all_decided_at,
-            legacy_out.all_decided_at
+            new_out.run.all_decided_at,
+            legacy_out.run.all_decided_at
+        );
+    }
+}
+
+#[test]
+fn async_scenarios_can_scale_the_poll_timeout_to_the_delay_bound() {
+    // Satellite knob: `PollTimeoutSpec::DelayScaled` waits one
+    // *asynchronous* delivery horizon per attempt, killing the redundant
+    // retry waves the synchronous timeout fires under delay — without
+    // changing what anyone decides.
+    let n = 64;
+    for max_delay in [2u64, 3] {
+        let base = scenario(n, 0.8, UnknowingAssignment::RandomPerNode)
+            .network(NetworkSpec::Async { max_delay })
+            .adversary(AdversarySpec::Silent { t: Some(8) })
+            .record_transcript(true);
+        let config_timeout = base.clone().run(7).expect("valid scenario").into_aer();
+        let scaled = base
+            .poll_timeout(PollTimeoutSpec::DelayScaled)
+            .run(7)
+            .expect("valid scenario")
+            .into_aer();
+        assert_eq!(
+            scaled.config.poll_timeout,
+            fba::core::AerConfig::sync_poll_horizon() * max_delay,
+            "delay {max_delay}"
+        );
+        // Same decisions, fewer (or equal) retry waves.
+        assert_eq!(scaled.run.outputs, config_timeout.run.outputs);
+        let waves_scaled = fba::core::trace::poll_wave_count(&scaled.run.transcript);
+        let waves_config = fba::core::trace::poll_wave_count(&config_timeout.run.transcript);
+        assert!(
+            waves_scaled <= waves_config,
+            "delay {max_delay}: scaled timeout fired more waves ({waves_scaled} vs {waves_config})"
         );
     }
 }
 
 #[test]
 fn aer_is_deterministic_per_seed_and_varies_across_seeds() {
-    let (h, _) = build(64, 9, 0.8, UnknowingAssignment::RandomPerNode);
-    let a = h.run(&h.engine_sync(), 42, &mut SilentAdversary::new(8));
-    let b = h.run(&h.engine_sync(), 42, &mut SilentAdversary::new(8));
-    assert_eq!(a.outputs, b.outputs);
-    assert_eq!(a.metrics.total_bits_sent(), b.metrics.total_bits_sent());
-    assert_eq!(a.corrupt, b.corrupt);
+    let silent8 = AdversarySpec::Silent { t: Some(8) };
+    let s = scenario(64, 0.8, UnknowingAssignment::RandomPerNode).adversary(silent8);
+    let a = s.run(42).expect("valid scenario").into_aer();
+    let b = s.run(42).expect("valid scenario").into_aer();
+    assert_eq!(a.run.outputs, b.run.outputs);
+    assert_eq!(
+        a.run.metrics.total_bits_sent(),
+        b.run.metrics.total_bits_sent()
+    );
+    assert_eq!(a.run.corrupt, b.run.corrupt);
 
-    let c = h.run(&h.engine_sync(), 43, &mut SilentAdversary::new(8));
+    let c = s.run(43).expect("valid scenario").into_aer();
     assert_ne!(
-        a.corrupt, c.corrupt,
+        a.run.corrupt, c.run.corrupt,
         "different seeds corrupt different sets"
     );
 }
@@ -157,40 +154,52 @@ fn aer_is_deterministic_per_seed_and_varies_across_seeds() {
 #[test]
 fn aer_flood_does_not_inflate_correct_node_traffic() {
     let n = 96;
-    let (h, pre) = build(n, 5, 0.8, UnknowingAssignment::RandomPerNode);
-    let ctx = AttackContext::new(&h, pre.gstring);
-
-    let baseline = h.run(&h.engine_sync(), 5, &mut NoAdversary);
-    let flooded = h.run(&h.engine_sync(), 5, &mut RandomStringFlood::new(ctx, 64, 8));
+    let base = scenario(n, 0.8, UnknowingAssignment::RandomPerNode);
+    let baseline = base.clone().run(5).expect("valid scenario").into_aer();
+    let flooded = base
+        .adversary(AdversarySpec::RandomFlood { rate: 64, steps: 8 })
+        .run(5)
+        .expect("valid scenario")
+        .into_aer();
     // §3.1.1: pushes never trigger responses, so correct-node output
     // traffic under blind flooding stays close to fault-free levels
     // (the corrupt set removal changes totals slightly).
-    let base = baseline.metrics.correct_bits_sent() as f64;
-    let under_attack = flooded.metrics.correct_bits_sent() as f64;
+    let base_bits = baseline.run.metrics.correct_bits_sent() as f64;
+    let under_attack = flooded.run.metrics.correct_bits_sent() as f64;
     assert!(
-        under_attack < 1.15 * base,
-        "flooding inflated correct traffic: {base} -> {under_attack}"
+        under_attack < 1.15 * base_bits,
+        "flooding inflated correct traffic: {base_bits} -> {under_attack}"
     );
-    assert_eq!(flooded.unanimous(), Some(&pre.gstring));
+    assert_eq!(flooded.run.unanimous(), Some(flooded.gstring()));
 }
 
 #[test]
 fn aer_handles_worst_case_default_value_precondition() {
     // Every unknowing node holds the zero string (the "default value"
     // case from §3.1).
-    let (h, pre) = build(96, 6, 0.75, UnknowingAssignment::DefaultValue);
-    let out = h.run(&h.engine_sync(), 6, &mut NoAdversary);
-    assert_eq!(out.unanimous(), Some(&pre.gstring));
+    let out = scenario(96, 0.75, UnknowingAssignment::DefaultValue)
+        .run(6)
+        .expect("valid scenario")
+        .into_aer();
+    assert_eq!(out.run.unanimous(), Some(out.gstring()));
 }
 
 #[test]
 fn aer_async_engine_reaches_agreement_under_delay() {
     for max_delay in [1, 2, 3] {
-        let (h, pre) = build(64, 7, 0.8, UnknowingAssignment::RandomPerNode);
-        let out = h.run(&h.engine_async(max_delay), 7, &mut SilentAdversary::new(8));
-        assert_eq!(out.unanimous(), Some(&pre.gstring), "max_delay={max_delay}");
+        let out = scenario(64, 0.8, UnknowingAssignment::RandomPerNode)
+            .network(NetworkSpec::Async { max_delay })
+            .adversary(AdversarySpec::Silent { t: Some(8) })
+            .run(7)
+            .expect("valid scenario")
+            .into_aer();
+        assert_eq!(
+            out.run.unanimous(),
+            Some(out.gstring()),
+            "max_delay={max_delay}"
+        );
         assert!(
-            out.metrics.decided_fraction() > 0.95,
+            out.run.metrics.decided_fraction() > 0.95,
             "max_delay={max_delay}: too many undecided"
         );
     }
@@ -198,28 +207,29 @@ fn aer_async_engine_reaches_agreement_under_delay() {
 
 #[test]
 fn aer_decision_times_concentrate_in_constant_rounds() {
-    let (h, _) = build(128, 8, 0.8, UnknowingAssignment::RandomPerNode);
-    let out = h.run(&h.engine_sync(), 8, &mut NoAdversary);
-    let p90 = out.metrics.decided_quantile(0.9).expect("90% decided");
+    let out = scenario(128, 0.8, UnknowingAssignment::RandomPerNode)
+        .run(8)
+        .expect("valid scenario")
+        .into_aer();
+    let p90 = out.run.metrics.decided_quantile(0.9).expect("90% decided");
     assert!(p90 <= 6, "90th percentile decision step {p90} too late");
 }
 
 #[test]
 fn aer_candidate_lists_stay_bounded_under_equivocation() {
     let n = 96;
-    let (h, pre) = build(n, 9, 0.8, UnknowingAssignment::RandomPerNode);
-    let ctx = AttackContext::new(&h, pre.gstring);
     let mut total = 0usize;
     let mut max = 0usize;
-    let _ = h.run_inspect(
-        &h.engine_sync(),
-        9,
-        &mut Equivocate::new(ctx, 10),
-        |_, node| {
+    {
+        let mut inspect = FinalInspect(|_: NodeId, node: &AerNode| {
             total += node.candidates().len();
             max = max.max(node.candidates().len());
-        },
-    );
+        });
+        let _ = scenario(n, 0.8, UnknowingAssignment::RandomPerNode)
+            .adversary(AdversarySpec::Equivocate { strings: 10 })
+            .run_observed(9, &mut inspect)
+            .expect("valid scenario");
+    }
     assert!(
         total < 4 * n,
         "Σ|Lx| = {total} should stay linear in n = {n}"
@@ -229,26 +239,31 @@ fn aer_candidate_lists_stay_bounded_under_equivocation() {
 
 #[test]
 fn unknowing_witness_converges_through_the_full_pipeline() {
-    let (h, pre) = build(64, 11, 0.7, UnknowingAssignment::RandomPerNode);
-    let out = h.run(&h.engine_sync(), 11, &mut NoAdversary);
+    let out = scenario(64, 0.7, UnknowingAssignment::RandomPerNode)
+        .run(11)
+        .expect("valid scenario")
+        .into_aer();
     let witness = (0..64)
         .map(NodeId::from_index)
-        .find(|id| !pre.knows(*id))
+        .find(|id| !out.precondition.knows(*id))
         .unwrap();
-    assert_eq!(out.outputs.get(&witness), Some(&pre.gstring));
+    assert_eq!(out.run.outputs.get(&witness), Some(out.gstring()));
     // Witness learns strictly later than step 1 (push must arrive first).
-    assert!(out.metrics.decided_at(witness).unwrap() >= 2);
+    assert!(out.run.metrics.decided_at(witness).unwrap() >= 2);
 }
 
 #[test]
-fn harness_accessors_are_consistent() {
-    let (h, pre) = build(32, 12, 0.8, UnknowingAssignment::RandomPerNode);
-    assert_eq!(h.assignments().len(), 32);
-    assert_eq!(h.config().n, 32);
-    assert_eq!(h.scheme().n(), 32);
-    assert_eq!(h.poll_sampler().n(), 32);
-    for id in &pre.knowing {
-        assert_eq!(&h.assignments()[id.index()], &pre.gstring);
+fn outcome_carries_consistent_derivations() {
+    let out = scenario(32, 0.8, UnknowingAssignment::RandomPerNode)
+        .run(12)
+        .expect("valid scenario")
+        .into_aer();
+    assert_eq!(out.precondition.assignments.len(), 32);
+    assert_eq!(out.config.n, 32);
+    assert_eq!(out.config.scheme().n(), 32);
+    assert_eq!(out.config.poll_sampler().n(), 32);
+    assert_eq!(out.engine.n, 32);
+    for id in &out.precondition.knowing {
+        assert_eq!(&out.precondition.assignments[id.index()], out.gstring());
     }
-    let _unused: GString = pre.gstring;
 }

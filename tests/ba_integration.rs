@@ -1,36 +1,38 @@
 //! End-to-end Byzantine Agreement integration tests: the committee-tree
 //! almost-everywhere phase composed with AER, under fault injection and
-//! at the resilience boundary.
+//! at the resilience boundary — all runs constructed through the
+//! [`Scenario`] builder.
 
-use fba::ae::{run_ae, AeConfig};
-use fba::core::adversary::{AttackContext, BadString, Corner};
-use fba::core::{run_ba, BaConfig};
 use fba::samplers::GString;
-use fba::sim::{NoAdversary, SilentAdversary};
+use fba::scenario::{Phase, Scenario};
+use fba::sim::{AdversarySpec, NetworkSpec};
 
 #[test]
 fn ba_succeeds_fault_free_across_sizes() {
     for n in [32, 64, 128] {
-        let cfg = BaConfig::recommended(n);
-        let (report, ae, _) = run_ba(&cfg, 3, &mut NoAdversary, |_, _| NoAdversary, None);
-        assert!(report.success(), "n={n}: {report:?}");
-        assert_eq!(report.agreed.as_ref(), Some(&ae.gstring));
-        assert!(report.knowing_fraction_after_ae > 0.9, "n={n}");
+        let run = Scenario::new(n)
+            .phase(Phase::Composed)
+            .run(3)
+            .expect("valid scenario")
+            .into_composed();
+        assert!(run.report.success(), "n={n}: {:?}", run.report);
+        assert_eq!(run.report.agreed.as_ref(), Some(&run.ae.gstring));
+        assert!(run.report.knowing_fraction_after_ae > 0.9, "n={n}");
     }
 }
 
 #[test]
 fn ba_phase_rounds_are_polylogarithmic() {
-    let small = {
-        let cfg = BaConfig::recommended(32);
-        let (r, _, _) = run_ba(&cfg, 5, &mut NoAdversary, |_, _| NoAdversary, None);
-        r.ae_rounds + r.aer_rounds.unwrap_or(0)
+    let rounds = |n: usize| {
+        let run = Scenario::new(n)
+            .phase(Phase::Composed)
+            .run(5)
+            .expect("valid scenario")
+            .into_composed();
+        run.report.ae_rounds + run.report.aer_rounds.unwrap_or(0)
     };
-    let large = {
-        let cfg = BaConfig::recommended(256);
-        let (r, _, _) = run_ba(&cfg, 5, &mut NoAdversary, |_, _| NoAdversary, None);
-        r.ae_rounds + r.aer_rounds.unwrap_or(0)
-    };
+    let small = rounds(32);
+    let large = rounds(256);
     // ×8 nodes: rounds grow additively (tree depth), not multiplicatively.
     assert!(
         large < small + 16,
@@ -41,20 +43,19 @@ fn ba_phase_rounds_are_polylogarithmic() {
 #[test]
 fn ba_tolerates_silent_faults_through_both_phases() {
     let n = 128;
-    let cfg = BaConfig::recommended(n);
     for seed in [7u64, 8] {
-        let t = n / 8;
-        let (report, _, run) = run_ba(
-            &cfg,
-            seed,
-            &mut SilentAdversary::new(t),
-            |_, _| SilentAdversary::new(t),
-            None,
-        );
-        assert!(report.agreed.is_some(), "seed {seed}: disagreement");
-        assert!(report.matches_ae_majority, "seed {seed}");
+        let run = Scenario::new(n)
+            .phase(Phase::Composed)
+            .faults(n / 8)
+            .ae_adversary(AdversarySpec::Silent { t: None })
+            .adversary(AdversarySpec::Silent { t: None })
+            .run(seed)
+            .expect("valid scenario")
+            .into_composed();
+        assert!(run.report.agreed.is_some(), "seed {seed}: disagreement");
+        assert!(run.report.matches_ae_majority, "seed {seed}");
         assert!(
-            run.metrics.decided_fraction() > 0.95,
+            run.aer.metrics.decided_fraction() > 0.95,
             "seed {seed}: too many undecided"
         );
     }
@@ -63,63 +64,61 @@ fn ba_tolerates_silent_faults_through_both_phases() {
 #[test]
 fn ba_resists_combined_ae_faults_and_aer_campaign() {
     let n = 96;
-    let cfg = BaConfig::recommended(n);
-    let (report, ae, run) = run_ba(
-        &cfg,
-        11,
-        &mut SilentAdversary::new(n / 10),
-        |harness, gstring| {
-            let ctx = AttackContext::new(harness, *gstring);
-            BadString::new(ctx, GString::zeroes(gstring.len_bits()))
-        },
-        None,
-    );
-    let zero = GString::zeroes(ae.gstring.len_bits());
-    for (id, v) in &run.outputs {
+    let zero = GString::zeroes(fba::core::AerConfig::recommended(n).string_len);
+    let run = Scenario::new(n)
+        .phase(Phase::Composed)
+        .faults(n / 10)
+        .ae_adversary(AdversarySpec::Silent { t: None })
+        .adversary(AdversarySpec::BadString)
+        .bad_string(zero)
+        .run(11)
+        .expect("valid scenario")
+        .into_composed();
+    let zero = GString::zeroes(run.ae.gstring.len_bits());
+    for (id, v) in &run.aer.outputs {
         assert_ne!(v, &zero, "node {id} fell for the campaign");
     }
-    assert!(report.knowing_fraction_after_ae > 0.75);
+    assert!(run.report.knowing_fraction_after_ae > 0.75);
 }
 
 #[test]
 fn ba_runs_with_async_aer_phase_and_cornering() {
     let n = 96;
-    let cfg = BaConfig::recommended(n);
-    let aer_engine = {
-        let pre_cfg = cfg.aer;
-        let h = fba::core::AerHarness::new(pre_cfg, vec![GString::zeroes(pre_cfg.string_len); n]);
-        h.engine_async(1)
-    };
-    let (report, ae, run) = run_ba(
-        &cfg,
-        13,
-        &mut NoAdversary,
-        |harness, gstring| {
-            let ctx = AttackContext::new(harness, *gstring);
-            Corner::new(ctx, 128)
-        },
-        Some(aer_engine),
-    );
-    for v in run.outputs.values() {
-        assert_eq!(v, &ae.gstring, "cornering must only delay, never corrupt");
+    let run = Scenario::new(n)
+        .phase(Phase::Composed)
+        .network(NetworkSpec::Async { max_delay: 1 })
+        .adversary(AdversarySpec::Corner { label_scan: 128 })
+        .run(13)
+        .expect("valid scenario")
+        .into_composed();
+    for v in run.aer.outputs.values() {
+        assert_eq!(
+            v, &run.ae.gstring,
+            "cornering must only delay, never corrupt"
+        );
     }
-    assert!(report.decided_nodes as f64 >= 0.9 * report.correct_nodes as f64);
+    assert!(run.report.decided_nodes as f64 >= 0.9 * run.report.correct_nodes as f64);
 }
 
 #[test]
 fn ae_phase_alone_meets_its_contract_under_faults() {
     for n in [64, 128, 256] {
-        let cfg = AeConfig::recommended(n);
-        let t = n / 8;
-        let out = run_ae(&cfg, 18, &mut SilentAdversary::new(t));
+        let run = Scenario::new(n)
+            .phase(Phase::Ae)
+            .faults(n / 8)
+            .adversary(AdversarySpec::Silent { t: None })
+            .run(18)
+            .expect("valid scenario")
+            .into_ae();
+        let out = &run.outcome;
         assert!(
             out.knowing_fraction > 0.75,
             "n={n}: contract violated ({:.2})",
             out.knowing_fraction
         );
-        assert_eq!(out.gstring.len_bits(), cfg.string_len);
+        assert_eq!(out.gstring.len_bits(), run.config.string_len);
         // The precondition conversion round-trips.
-        let pre = out.to_precondition(n, cfg.string_len);
+        let pre = out.to_precondition(n, run.config.string_len);
         assert!(pre.satisfies_assumption(&out.run.corrupt, 1.0 / 12.0));
     }
 }
@@ -129,8 +128,8 @@ fn ba_gstring_varies_across_runs() {
     // The agreed value carries the committee's randomness: different
     // seeds must give different strings (probability of collision is
     // 2^-len).
-    let cfg = BaConfig::recommended(64);
-    let (r1, _, _) = run_ba(&cfg, 100, &mut NoAdversary, |_, _| NoAdversary, None);
-    let (r2, _, _) = run_ba(&cfg, 101, &mut NoAdversary, |_, _| NoAdversary, None);
-    assert_ne!(r1.agreed, r2.agreed);
+    let composed = Scenario::new(64).phase(Phase::Composed);
+    let r1 = composed.run(100).expect("valid scenario").into_composed();
+    let r2 = composed.run(101).expect("valid scenario").into_composed();
+    assert_ne!(r1.report.agreed, r2.report.agreed);
 }

@@ -1,48 +1,59 @@
 //! Integration tests pitting the baselines against AER on identical
-//! preconditions — the comparisons behind Figure 1.
+//! preconditions — the comparisons behind Figure 1 — with every run
+//! constructed through the [`Scenario`] builder.
 
-use fba::ae::{Precondition, UnknowingAssignment};
-use fba::baselines::{
-    BenOrNode, BenOrParams, FloodNode, KingNode, KingParams, KlstNode, KlstParams,
-};
-use fba::core::{AerConfig, AerHarness};
-use fba::sim::{run, EngineConfig, NoAdversary, SilentAdversary};
+use fba::baselines::{BenOrParams, KingParams};
+use fba::scenario::{Baseline, Phase, PreconditionSpec, Scenario};
+use fba::sim::AdversarySpec;
 use rand::Rng;
+
+fn baseline(n: usize, which: Baseline) -> Scenario {
+    Scenario::new(n).phase(Phase::Baseline(which))
+}
+
+fn diffusion_pre() -> PreconditionSpec {
+    PreconditionSpec::knowing(0.8)
+}
 
 #[test]
 fn all_three_diffusion_protocols_agree_on_the_same_precondition() {
     let n = 128;
     let seed = 5;
-    let cfg = AerConfig::recommended(n);
-    let pre = Precondition::synthetic(
-        n,
-        cfg.string_len,
-        0.8,
-        UnknowingAssignment::RandomPerNode,
-        seed,
-    );
 
     // AER.
-    let h = AerHarness::from_precondition(cfg, &pre);
-    let aer = h.run(&h.engine_sync(), seed, &mut NoAdversary);
-    assert_eq!(aer.unanimous(), Some(&pre.gstring));
+    let aer = Scenario::new(n)
+        .phase(Phase::aer(0.8))
+        .run(seed)
+        .expect("valid scenario")
+        .into_aer();
+    assert_eq!(aer.run.unanimous(), Some(aer.gstring()));
 
-    // Flooding.
-    let flood = run::<FloodNode, _, _>(&EngineConfig::sync(n), seed, &mut NoAdversary, |id| {
-        FloodNode::new(pre.assignments[id.index()])
-    });
-    assert_eq!(flood.unanimous(), Some(&pre.gstring));
+    // Flooding — same seed, hence the same synthesised precondition.
+    let flood = baseline(
+        n,
+        Baseline::Flood {
+            precondition: diffusion_pre(),
+        },
+    )
+    .run(seed)
+    .expect("valid scenario")
+    .into_baseline();
+    let flood_pre = flood.precondition.as_ref().expect("diffusion pre");
+    assert_eq!(flood_pre.gstring, *aer.gstring(), "same seed, same state");
+    assert_eq!(flood.outcome.unanimous_gstring(), Some(&flood_pre.gstring));
 
     // KLST-style.
-    let params = KlstParams::recommended(n);
-    let engine = EngineConfig {
-        max_steps: params.schedule_len() + 8,
-        ..EngineConfig::sync(n)
-    };
-    let klst = run::<KlstNode, _, _>(&engine, seed, &mut NoAdversary, |id| {
-        KlstNode::new(params, pre.assignments[id.index()])
-    });
-    assert_eq!(klst.unanimous(), Some(&pre.gstring));
+    let klst = baseline(
+        n,
+        Baseline::Klst {
+            precondition: diffusion_pre(),
+        },
+    )
+    .run(seed)
+    .expect("valid scenario")
+    .into_baseline();
+    let klst_pre = klst.precondition.as_ref().expect("diffusion pre");
+    assert_eq!(klst.outcome.unanimous_gstring(), Some(&klst_pre.gstring));
 }
 
 #[test]
@@ -50,32 +61,34 @@ fn figure_1a_time_ordering_holds() {
     // Flooding < AER < KLST in rounds, at any size.
     let n = 128;
     let seed = 6;
-    let cfg = AerConfig::recommended(n);
-    let pre = Precondition::synthetic(
+
+    let flood = baseline(
         n,
-        cfg.string_len,
-        0.8,
-        UnknowingAssignment::RandomPerNode,
-        seed,
-    );
+        Baseline::Flood {
+            precondition: diffusion_pre(),
+        },
+    )
+    .run(seed)
+    .expect("valid scenario")
+    .into_baseline();
+    let aer = Scenario::new(n)
+        .phase(Phase::aer(0.8))
+        .run(seed)
+        .expect("valid scenario")
+        .into_aer();
+    let klst = baseline(
+        n,
+        Baseline::Klst {
+            precondition: diffusion_pre(),
+        },
+    )
+    .run(seed)
+    .expect("valid scenario")
+    .into_baseline();
 
-    let flood = run::<FloodNode, _, _>(&EngineConfig::sync(n), seed, &mut NoAdversary, |id| {
-        FloodNode::new(pre.assignments[id.index()])
-    });
-    let h = AerHarness::from_precondition(cfg, &pre);
-    let aer = h.run(&h.engine_sync(), seed, &mut NoAdversary);
-    let params = KlstParams::recommended(n);
-    let engine = EngineConfig {
-        max_steps: params.schedule_len() + 8,
-        ..EngineConfig::sync(n)
-    };
-    let klst = run::<KlstNode, _, _>(&engine, seed, &mut NoAdversary, |id| {
-        KlstNode::new(params, pre.assignments[id.index()])
-    });
-
-    let f = flood.all_decided_at.unwrap();
-    let a = aer.metrics.decided_quantile(0.95).unwrap();
-    let k = klst.all_decided_at.unwrap();
+    let f = flood.outcome.all_decided_at().unwrap();
+    let a = aer.run.metrics.decided_quantile(0.95).unwrap();
+    let k = klst.outcome.all_decided_at().unwrap();
     assert!(f <= a, "flooding {f} vs AER {a}");
     assert!(a < k, "AER {a} vs KLST {k}");
 }
@@ -89,30 +102,29 @@ fn figure_1a_bits_ordering_holds() {
     // o(n·|s|).
     let n = 256;
     let seed = 7;
-    let cfg = AerConfig::recommended(n);
-    let pre = Precondition::synthetic(
+    let flood = baseline(
         n,
-        cfg.string_len,
-        0.8,
-        UnknowingAssignment::RandomPerNode,
-        seed,
-    );
-    let flood = run::<FloodNode, _, _>(&EngineConfig::sync(n), seed, &mut NoAdversary, |id| {
-        FloodNode::new(pre.assignments[id.index()])
-    });
-    let params = KlstParams::recommended(n);
-    let engine = EngineConfig {
-        max_steps: params.schedule_len() + 8,
-        ..EngineConfig::sync(n)
-    };
-    let klst = run::<KlstNode, _, _>(&engine, seed, &mut NoAdversary, |id| {
-        KlstNode::new(params, pre.assignments[id.index()])
-    });
+        Baseline::Flood {
+            precondition: diffusion_pre(),
+        },
+    )
+    .run(seed)
+    .expect("valid scenario")
+    .into_baseline();
+    let klst = baseline(
+        n,
+        Baseline::Klst {
+            precondition: diffusion_pre(),
+        },
+    )
+    .run(seed)
+    .expect("valid scenario")
+    .into_baseline();
     assert!(
-        klst.metrics.amortized_bits() < flood.metrics.amortized_bits(),
+        klst.outcome.metrics().amortized_bits() < flood.outcome.metrics().amortized_bits(),
         "KLST must beat flooding on bits: {} vs {}",
-        klst.metrics.amortized_bits(),
-        flood.metrics.amortized_bits()
+        klst.outcome.metrics().amortized_bits(),
+        flood.outcome.metrics().amortized_bits()
     );
 }
 
@@ -123,55 +135,48 @@ fn benor_and_phase_king_agree_under_faults() {
     let mut rng = fba::sim::rng::derive_rng(seed, &[]);
     let inputs: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.8)).collect();
 
-    let params = BenOrParams::recommended(n);
-    let engine = EngineConfig {
-        max_steps: 400,
-        ..EngineConfig::sync(n)
-    };
-    let benor = run::<BenOrNode, _, _>(&engine, seed, &mut SilentAdversary::new(params.t), |id| {
-        BenOrNode::new(params, n, inputs[id.index()])
-    });
-    assert!(benor.unanimous().is_some(), "Ben-Or disagreement");
-
-    let kparams = KingParams::recommended(n);
-    let kengine = EngineConfig {
-        max_steps: kparams.schedule_len() + 8,
-        ..EngineConfig::sync(n)
-    };
-    let king = run::<KingNode, _, _>(
-        &kengine,
-        seed,
-        &mut SilentAdversary::new(kparams.t / 2),
-        |id| KingNode::new(kparams, n, inputs[id.index()]),
+    let benor = baseline(n, Baseline::BenOr { bias: 0.8 })
+        .inputs(inputs.clone())
+        .faults(BenOrParams::recommended(n).t)
+        .adversary(AdversarySpec::Silent { t: None })
+        .run(seed)
+        .expect("valid scenario")
+        .into_baseline();
+    assert!(
+        benor.outcome.unanimous_bit().is_some(),
+        "Ben-Or disagreement"
     );
-    assert!(king.unanimous().is_some(), "Phase-King disagreement");
-    assert!(king.all_decided());
+
+    let king = baseline(n, Baseline::PhaseKing)
+        .inputs(inputs)
+        .faults(KingParams::recommended(n).t / 2)
+        .adversary(AdversarySpec::Silent { t: None })
+        .run(seed)
+        .expect("valid scenario")
+        .into_baseline();
+    assert!(
+        king.outcome.unanimous_bit().is_some(),
+        "Phase-King disagreement"
+    );
+    assert!(king.outcome.all_decided());
 }
 
 #[test]
 fn phase_king_time_dwarfs_randomized_protocols() {
     let n = 64;
     let seed = 9;
-    let kparams = KingParams::recommended(n);
-    let kengine = EngineConfig {
-        max_steps: kparams.schedule_len() + 8,
-        ..EngineConfig::sync(n)
-    };
-    let king = run::<KingNode, _, _>(&kengine, seed, &mut NoAdversary, |id| {
-        KingNode::new(kparams, n, id.index() % 3 == 0)
-    });
-    let cfg = AerConfig::recommended(n);
-    let pre = Precondition::synthetic(
-        n,
-        cfg.string_len,
-        0.8,
-        UnknowingAssignment::RandomPerNode,
-        seed,
-    );
-    let h = AerHarness::from_precondition(cfg, &pre);
-    let aer = h.run(&h.engine_sync(), seed, &mut NoAdversary);
-    let king_time = king.all_decided_at.unwrap();
-    let aer_time = aer.metrics.decided_quantile(0.95).unwrap();
+    let king = baseline(n, Baseline::PhaseKing)
+        .inputs((0..n).map(|i| i % 3 == 0).collect())
+        .run(seed)
+        .expect("valid scenario")
+        .into_baseline();
+    let aer = Scenario::new(n)
+        .phase(Phase::aer(0.8))
+        .run(seed)
+        .expect("valid scenario")
+        .into_aer();
+    let king_time = king.outcome.all_decided_at().unwrap();
+    let aer_time = aer.run.metrics.decided_quantile(0.95).unwrap();
     assert!(
         king_time > 4 * aer_time,
         "deterministic {king_time} vs randomized {aer_time}"

@@ -1,18 +1,19 @@
 //! Property-based tests (proptest) over the core data structures and the
 //! protocol invariants: sampler determinism and structure, string
 //! round-trips, push-phase acceptance invariants, wire-size accounting,
-//! and AER's agreement safety over randomized configurations.
+//! spec-grammar round-trips, and AER's agreement safety over randomized
+//! configurations.
 
 use std::collections::BTreeSet;
 
 use fba::ae::{Precondition, UnknowingAssignment};
 use fba::core::push::PushPhase;
-use fba::core::{AerConfig, AerHarness};
 use fba::samplers::{
     default_quorum_size, GString, Label, PollSampler, QuorumScheme, Sampler, StringKey,
 };
+use fba::scenario::{Phase, Scenario};
 use fba::sim::rng::derive_rng;
-use fba::sim::{NoAdversary, NodeId, SilentAdversary, WireSize};
+use fba::sim::{AdversarySpec, NetworkSpec, NodeId, WireSize};
 use proptest::prelude::*;
 
 proptest! {
@@ -169,21 +170,18 @@ proptest! {
         knowing_percent in 70u8..=95,
         t_tenths in 0u8..=15,
     ) {
-        let cfg = AerConfig::recommended(n);
         let knowing = f64::from(knowing_percent) / 100.0;
-        let pre = Precondition::synthetic(
-            n, cfg.string_len, knowing, UnknowingAssignment::SharedAdversarial, seed,
-        );
-        let h = AerHarness::from_precondition(cfg, &pre);
         let t = (n * usize::from(t_tenths)) / 100;
-        let out = if t == 0 {
-            h.run(&h.engine_sync(), seed, &mut NoAdversary)
-        } else {
-            h.run(&h.engine_sync(), seed, &mut SilentAdversary::new(t))
-        };
-        for (id, v) in &out.outputs {
-            prop_assert_eq!(v, &pre.gstring, "node {} decided a non-gstring value", id);
+        let mut scenario = Scenario::new(n)
+            .phase(Phase::aer_with(knowing, UnknowingAssignment::SharedAdversarial));
+        if t > 0 {
+            scenario = scenario.faults(t).adversary(AdversarySpec::Silent { t: None });
         }
+        let out = scenario.run(seed).expect("valid scenario").into_aer();
+        prop_assert_eq!(
+            out.wrong_decisions(), 0,
+            "a node decided a non-gstring value (n={}, t={})", n, t
+        );
     }
 
     #[test]
@@ -193,18 +191,58 @@ proptest! {
     ) {
         // Sum of per-node sent bits must equal sum of received bits after
         // quiescence (every sent message is delivered exactly once).
-        let cfg = AerConfig::recommended(n.max(8));
-        let pre = Precondition::synthetic(
-            cfg.n, cfg.string_len, 0.8, UnknowingAssignment::RandomPerNode, seed,
-        );
-        let h = AerHarness::from_precondition(cfg, &pre);
-        let out = h.run(&h.engine_sync(), seed, &mut NoAdversary);
-        prop_assume!(out.quiescent);
-        let sent: u64 = out.metrics.total_bits_sent();
-        let received: u64 = (0..cfg.n)
-            .map(|i| out.metrics.bits_recv_by(NodeId::from_index(i)))
+        let out = Scenario::new(n.max(8))
+            .phase(Phase::aer(0.8))
+            .run(seed)
+            .expect("valid scenario")
+            .into_aer();
+        prop_assume!(out.run.quiescent);
+        let sent: u64 = out.run.metrics.total_bits_sent();
+        let received: u64 = (0..out.config.n)
+            .map(|i| out.run.metrics.bits_recv_by(NodeId::from_index(i)))
             .sum();
         prop_assert_eq!(sent, received);
+    }
+}
+
+/// Strategy generating every [`AdversarySpec`] shape with randomized
+/// parameters.
+fn adversary_spec_strategy() -> impl Strategy<Value = AdversarySpec> {
+    prop_oneof![
+        Just(AdversarySpec::None),
+        proptest::option::of(0usize..10_000).prop_map(|t| AdversarySpec::Silent { t }),
+        (1usize..10_000, 1u64..10_000)
+            .prop_map(|(rate, steps)| AdversarySpec::RandomFlood { rate, steps }),
+        Just(AdversarySpec::PushFlood),
+        (1usize..10_000).prop_map(|strings| AdversarySpec::Equivocate { strings }),
+        (1u64..10_000, 1u64..10_000)
+            .prop_map(|(rate, steps)| AdversarySpec::PullFlood { rate, steps }),
+        Just(AdversarySpec::BadString),
+        (1u64..100_000).prop_map(|label_scan| AdversarySpec::Corner { label_scan }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The satellite contract: every adversary spec round-trips through
+    /// Display and parse — what makes specs CLI- and sweep-addressable.
+    #[test]
+    fn adversary_specs_round_trip_parse_display(spec in adversary_spec_strategy()) {
+        let shown = spec.to_string();
+        let back: AdversarySpec = shown.parse().expect("display output parses");
+        prop_assert_eq!(back, spec, "{} did not round-trip", shown);
+    }
+
+    /// Same for the network grammar.
+    #[test]
+    fn network_specs_round_trip_parse_display(delay in proptest::option::of(1u64..10_000)) {
+        let spec = match delay {
+            None => NetworkSpec::Sync,
+            Some(max_delay) => NetworkSpec::Async { max_delay },
+        };
+        let back: NetworkSpec = spec.to_string().parse().expect("display output parses");
+        prop_assert_eq!(back, spec);
     }
 }
 
@@ -223,18 +261,13 @@ fn fault_free_step_count_stays_constant_across_scales() {
         &[256, 1024, 2048, 4096]
     };
     for &n in sizes {
-        let cfg = AerConfig::recommended(n);
-        let pre = Precondition::synthetic(
-            n,
-            cfg.string_len,
-            0.8,
-            UnknowingAssignment::RandomPerNode,
-            1,
-        );
-        let h = AerHarness::from_precondition(cfg, &pre);
-        let out = h.run(&h.engine_sync(), 1, &mut NoAdversary);
-        assert!(out.all_decided(), "n={n}: not everyone decided");
-        let last = out.all_decided_at.expect("all decided");
+        let out = Scenario::new(n)
+            .phase(Phase::aer(0.8))
+            .run(1)
+            .expect("valid scenario")
+            .into_aer();
+        assert!(out.run.all_decided(), "n={n}: not everyone decided");
+        let last = out.run.all_decided_at.expect("all decided");
         assert!(
             last <= STEP_BUDGET,
             "n={n}: decision took {last} steps (> {STEP_BUDGET}) — retry waves are back"

@@ -1,11 +1,14 @@
 //! Resilience-boundary tests: behaviour as `t` approaches and crosses the
 //! paper's `(1/3 − ε)·n` bound, and as the knowing fraction approaches the
-//! `1/2 + ε` floor.
+//! `1/2 + ε` floor — all runs constructed through the [`Scenario`]
+//! builder (whose `faults` knob budgets the adversary without touching
+//! the config's declared tolerance, which is exactly what boundary
+//! experiments need).
 
-use fba::ae::{Precondition, UnknowingAssignment};
-use fba::core::adversary::{AttackContext, BadString};
-use fba::core::{AerConfig, AerHarness, ConfigError};
-use fba::sim::SilentAdversary;
+use fba::ae::UnknowingAssignment;
+use fba::core::{AerConfig, ConfigError};
+use fba::scenario::{Phase, Scenario};
+use fba::sim::AdversarySpec;
 
 #[test]
 fn config_enforces_the_resilience_bound() {
@@ -36,33 +39,29 @@ fn config_enforces_the_resilience_bound() {
 #[test]
 fn safety_at_the_fault_boundary_is_restored_by_larger_quorums() {
     let n = 120;
+    let default_d = AerConfig::recommended(n).d;
     let mut wrong_default = 0usize;
     let mut wrong_big_d = 0usize;
     let mut decisions = 0usize;
     for seed in [1u64, 2, 3] {
         for big_d in [false, true] {
-            let mut cfg = AerConfig::recommended(n).with_t(29);
+            let mut scenario = Scenario::new(n)
+                .phase(Phase::aer_with(
+                    0.85,
+                    UnknowingAssignment::SharedAdversarial,
+                ))
+                .faults(29)
+                .adversary(AdversarySpec::BadString);
             if big_d {
-                cfg = cfg.with_d(2 * cfg.d);
+                scenario = scenario.quorum_size(2 * default_d);
             }
-            let pre = Precondition::synthetic(
-                n,
-                cfg.string_len,
-                0.85,
-                UnknowingAssignment::SharedAdversarial,
-                seed,
-            );
-            let h = AerHarness::from_precondition(cfg, &pre);
-            let bad = *pre.assignments.iter().find(|s| **s != pre.gstring).unwrap();
-            let ctx = AttackContext::new(&h, pre.gstring);
-            let mut adv = BadString::new(ctx, bad);
-            let out = h.run(&h.engine_sync(), seed, &mut adv);
-            let wrong = out.outputs.values().filter(|v| **v != pre.gstring).count();
+            let out = scenario.run(seed).expect("valid scenario").into_aer();
+            let wrong = out.wrong_decisions();
             if big_d {
                 wrong_big_d += wrong;
             } else {
                 wrong_default += wrong;
-                decisions += out.outputs.len();
+                decisions += out.run.outputs.len();
             }
         }
     }
@@ -82,26 +81,28 @@ fn liveness_degrades_gracefully_as_knowledge_approaches_the_floor() {
     // Decided fraction should fall monotonically-ish as the knowing
     // fraction drops toward 1/2, never producing wrong decisions.
     let n = 96;
-    let cfg = AerConfig::recommended(n);
     let mut last_decided = 1.1;
     let mut decided_at_55 = 0.0;
     let mut decided_at_90 = 0.0;
     for knowing in [0.90, 0.75, 0.65, 0.55] {
         let mut fractions = Vec::new();
         for seed in [5u64, 6, 7] {
-            let pre = Precondition::synthetic(
-                n,
-                cfg.string_len,
-                knowing,
-                UnknowingAssignment::SharedAdversarial,
-                seed,
+            let out = Scenario::new(n)
+                .phase(Phase::aer_with(
+                    knowing,
+                    UnknowingAssignment::SharedAdversarial,
+                ))
+                .faults(n / 10)
+                .adversary(AdversarySpec::Silent { t: None })
+                .run(seed)
+                .expect("valid scenario")
+                .into_aer();
+            assert_eq!(
+                out.wrong_decisions(),
+                0,
+                "knowing={knowing}: wrong decision"
             );
-            let h = AerHarness::from_precondition(cfg, &pre);
-            let out = h.run(&h.engine_sync(), seed, &mut SilentAdversary::new(n / 10));
-            for v in out.outputs.values() {
-                assert_eq!(v, &pre.gstring, "knowing={knowing}: wrong decision");
-            }
-            fractions.push(out.metrics.decided_fraction());
+            fractions.push(out.run.metrics.decided_fraction());
         }
         let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
         if knowing == 0.90 {
@@ -129,27 +130,25 @@ fn liveness_degrades_gracefully_as_knowledge_approaches_the_floor() {
 /// Beyond the model bound the resilience theorem is not just void — it
 /// fails demonstrably: at 40% corruption plus a coherent bogus block the
 /// adversarial coalition is an outright majority, quorum majorities flip,
-/// and the campaign string wins real decisions. The bound is load-bearing.
+/// and the campaign string wins real decisions. The bound is load-bearing
+/// — and the scenario `faults` knob can field the out-of-contract
+/// coalition precisely because it budgets the adversary, not the config.
 #[test]
 fn beyond_the_model_bound_agreement_demonstrably_breaks() {
     let n = 100;
-    let pre = Precondition::synthetic(
-        n,
-        AerConfig::recommended(n).string_len,
-        0.55,
-        UnknowingAssignment::SharedAdversarial,
-        9,
-    );
-    let cfg = AerConfig::recommended(n);
-    let h = AerHarness::from_precondition(cfg, &pre);
-    let bad = *pre.assignments.iter().find(|s| **s != pre.gstring).unwrap();
     let mut wrong = 0usize;
     for seed in [9u64, 10, 11] {
-        let mut ctx = AttackContext::new(&h, pre.gstring);
-        ctx.t = 40; // adversary exceeds the designed budget (out of contract)
-        let mut adv = BadString::new(ctx, bad);
-        let out = h.run(&h.engine_sync(), seed, &mut adv);
-        wrong += out.outputs.values().filter(|v| **v != pre.gstring).count();
+        let out = Scenario::new(n)
+            .phase(Phase::aer_with(
+                0.55,
+                UnknowingAssignment::SharedAdversarial,
+            ))
+            .faults(40) // adversary exceeds the designed budget (out of contract)
+            .adversary(AdversarySpec::BadString)
+            .run(seed)
+            .expect("valid scenario")
+            .into_aer();
+        wrong += out.wrong_decisions();
     }
     assert!(
         wrong > 0,

@@ -1,0 +1,432 @@
+//! The migration pin: every experiment/example path through the
+//! [`Scenario`] builder must be **bit-identical** to the pre-redesign
+//! hand-wired construction (`AerConfig` → `Precondition` → `AerHarness`
+//! → `EngineConfig` → concrete adversary), at n ∈ {64, 256}.
+//!
+//! Each case builds the run twice — once through the builder, once
+//! through the raw layers exactly as the experiments used to — and
+//! compares outputs, corrupt sets, decision times and total bit/message
+//! counts. Any divergence means the builder silently changed what an
+//! experiment measures.
+
+use fba::ae::{Precondition, UnknowingAssignment};
+use fba::baselines::{BenOrNode, BenOrParams, KingNode, KingParams, KlstNode, KlstParams};
+use fba::core::adversary::{
+    AttackContext, BadString, Corner, Equivocate, PullFlood, PushFlood, RandomStringFlood,
+};
+use fba::core::{run_ba, AerConfig, AerHarness, AerMsg, BaConfig};
+use fba::samplers::GString;
+use fba::scenario::{Baseline, Phase, PreconditionSpec, Scenario};
+use fba::sim::{
+    run, AdversarySpec, EngineConfig, NetworkSpec, NoAdversary, RunOutcome, SilentAdversary,
+};
+use rand::Rng;
+
+const SIZES: [usize; 2] = [64, 256];
+
+/// The hand-wired construction all migrated AER call sites used.
+fn hand_wired(
+    n: usize,
+    seed: u64,
+    knowing: f64,
+    mode: UnknowingAssignment,
+    strict: bool,
+    async_delay: Option<u64>,
+    adversary: &AdversarySpec,
+) -> (RunOutcome<GString, AerMsg>, Precondition) {
+    let mut cfg = AerConfig::recommended(n);
+    if strict {
+        cfg = cfg.strict();
+    }
+    let pre = Precondition::synthetic(n, cfg.string_len, knowing, mode, seed);
+    let h = AerHarness::from_precondition(cfg, &pre);
+    let engine = match async_delay {
+        None => h.engine_sync(),
+        Some(d) => h.engine_async(d),
+    };
+    let ctx = || AttackContext::new(&h, pre.gstring);
+    let bad = || {
+        pre.assignments
+            .iter()
+            .find(|s| **s != pre.gstring)
+            .copied()
+            .unwrap_or_else(|| {
+                GString::random(
+                    pre.gstring.len_bits(),
+                    &mut fba::sim::rng::derive_rng(seed, &[0xbad]),
+                )
+            })
+    };
+    let out = match *adversary {
+        AdversarySpec::None => h.run(&engine, seed, &mut NoAdversary),
+        AdversarySpec::Silent { t } => {
+            h.run(&engine, seed, &mut SilentAdversary::new(t.unwrap_or(cfg.t)))
+        }
+        AdversarySpec::RandomFlood { rate, steps } => h.run(
+            &engine,
+            seed,
+            &mut RandomStringFlood::new(ctx(), rate, steps),
+        ),
+        AdversarySpec::PushFlood => h.run(&engine, seed, &mut PushFlood::new(ctx(), bad())),
+        AdversarySpec::Equivocate { strings } => {
+            h.run(&engine, seed, &mut Equivocate::new(ctx(), strings))
+        }
+        AdversarySpec::PullFlood { rate, steps } => {
+            h.run(&engine, seed, &mut PullFlood::new(ctx(), rate, steps))
+        }
+        AdversarySpec::BadString => h.run(&engine, seed, &mut BadString::new(ctx(), bad())),
+        AdversarySpec::Corner { label_scan } => {
+            h.run(&engine, seed, &mut Corner::new(ctx(), label_scan))
+        }
+    };
+    (out, pre)
+}
+
+fn assert_identical(
+    label: &str,
+    scenario: &RunOutcome<GString, AerMsg>,
+    hand: &RunOutcome<GString, AerMsg>,
+) {
+    assert_eq!(scenario.corrupt, hand.corrupt, "{label}: corrupt set");
+    assert_eq!(scenario.outputs, hand.outputs, "{label}: outputs");
+    assert_eq!(
+        scenario.all_decided_at, hand.all_decided_at,
+        "{label}: decision step"
+    );
+    assert_eq!(scenario.quiescent, hand.quiescent, "{label}: quiescence");
+    assert_eq!(
+        scenario.metrics.total_bits_sent(),
+        hand.metrics.total_bits_sent(),
+        "{label}: bits"
+    );
+    assert_eq!(
+        scenario.metrics.total_msgs_sent(),
+        hand.metrics.total_msgs_sent(),
+        "{label}: messages"
+    );
+    assert_eq!(scenario.metrics.steps, hand.metrics.steps, "{label}: steps");
+}
+
+#[test]
+fn every_adversary_spec_is_bit_identical_sync() {
+    let specs = [
+        AdversarySpec::None,
+        AdversarySpec::Silent { t: None },
+        AdversarySpec::RandomFlood { rate: 16, steps: 4 },
+        AdversarySpec::PushFlood,
+        AdversarySpec::Equivocate { strings: 8 },
+        AdversarySpec::PullFlood { rate: 16, steps: 4 },
+        AdversarySpec::BadString,
+    ];
+    for n in SIZES {
+        for spec in specs {
+            let seed = 3;
+            let scenario = Scenario::new(n)
+                .phase(Phase::aer_with(0.8, UnknowingAssignment::SharedAdversarial))
+                .adversary(spec)
+                .run(seed)
+                .expect("valid scenario")
+                .into_aer();
+            let (hand, pre) = hand_wired(
+                n,
+                seed,
+                0.8,
+                UnknowingAssignment::SharedAdversarial,
+                false,
+                None,
+                &spec,
+            );
+            assert_identical(&format!("n={n} {spec}"), &scenario.run, &hand);
+            assert_eq!(scenario.precondition.gstring, pre.gstring);
+        }
+    }
+}
+
+#[test]
+fn corner_and_silent_are_bit_identical_async() {
+    for n in SIZES {
+        let seed = 5;
+        // The fig1a/l6 shape: strict mode, async engine, cornering.
+        let corner_spec = AdversarySpec::Corner { label_scan: 256 };
+        let scenario = Scenario::new(n)
+            .phase(Phase::aer(0.8))
+            .strict()
+            .network(NetworkSpec::Async { max_delay: 1 })
+            .adversary(corner_spec)
+            .run(seed)
+            .expect("valid scenario")
+            .into_aer();
+        let (hand, _) = hand_wired(
+            n,
+            seed,
+            0.8,
+            UnknowingAssignment::RandomPerNode,
+            true,
+            Some(1),
+            &corner_spec,
+        );
+        assert_identical(&format!("n={n} corner async"), &scenario.run, &hand);
+
+        // The aer_integration shape: async delay 2, silent faults.
+        let silent = AdversarySpec::Silent { t: Some(n / 8) };
+        let scenario = Scenario::new(n)
+            .phase(Phase::aer(0.8))
+            .network(NetworkSpec::Async { max_delay: 2 })
+            .adversary(silent)
+            .run(seed)
+            .expect("valid scenario")
+            .into_aer();
+        let (hand, _) = hand_wired(
+            n,
+            seed,
+            0.8,
+            UnknowingAssignment::RandomPerNode,
+            false,
+            Some(2),
+            &silent,
+        );
+        assert_identical(&format!("n={n} silent async"), &scenario.run, &hand);
+    }
+}
+
+#[test]
+fn composed_scenario_is_bit_identical_to_run_ba() {
+    for n in SIZES {
+        let seed = 7;
+        let t = n / 8;
+        let scenario = Scenario::new(n)
+            .phase(Phase::Composed)
+            .faults(t)
+            .ae_adversary(AdversarySpec::Silent { t: None })
+            .adversary(AdversarySpec::Silent { t: None })
+            .run(seed)
+            .expect("valid scenario")
+            .into_composed();
+
+        let cfg = BaConfig::recommended(n);
+        let mut ae_adv = SilentAdversary::new(t);
+        let (report, ae, aer_run) = run_ba(
+            &cfg,
+            seed,
+            &mut ae_adv,
+            |_, _| SilentAdversary::new(t),
+            None,
+        );
+        assert_eq!(scenario.ae.gstring, ae.gstring, "n={n}: AE gstring");
+        assert_eq!(
+            scenario.ae.knowing_fraction, ae.knowing_fraction,
+            "n={n}: AE knowledge"
+        );
+        assert_identical(
+            &format!("n={n} composed AER phase"),
+            &scenario.aer,
+            &aer_run,
+        );
+        assert_eq!(scenario.report.ae_rounds, report.ae_rounds);
+        assert_eq!(scenario.report.aer_rounds, report.aer_rounds);
+        assert_eq!(scenario.report.agreed, report.agreed);
+    }
+}
+
+#[test]
+fn async_composed_scenario_is_bit_identical_to_run_ba() {
+    // The ba_integration shape: fault-free AE, cornering AER phase on
+    // the harness-default asynchronous engine — covers the async
+    // composed path the sync test above does not.
+    for n in SIZES {
+        let seed = 13;
+        let scenario = Scenario::new(n)
+            .phase(Phase::Composed)
+            .network(NetworkSpec::Async { max_delay: 1 })
+            .adversary(AdversarySpec::Corner { label_scan: 128 })
+            .run(seed)
+            .expect("valid scenario")
+            .into_composed();
+
+        let cfg = BaConfig::recommended(n);
+        let aer_engine = {
+            // The pre-redesign wiring built the async engine off a
+            // throwaway harness; its value depends only on the config.
+            let h = AerHarness::new(cfg.aer, vec![GString::zeroes(cfg.aer.string_len); n]);
+            h.engine_async(1)
+        };
+        let (report, _, aer_run) = run_ba(
+            &cfg,
+            seed,
+            &mut NoAdversary,
+            |harness, gstring| {
+                let ctx = AttackContext::new(harness, *gstring);
+                Corner::new(ctx, 128)
+            },
+            Some(aer_engine),
+        );
+        assert_identical(
+            &format!("n={n} async composed AER phase"),
+            &scenario.aer,
+            &aer_run,
+        );
+        assert_eq!(scenario.report.aer_rounds, report.aer_rounds);
+        assert_eq!(scenario.report.agreed, report.agreed);
+    }
+}
+
+#[test]
+fn diffusion_baselines_are_bit_identical() {
+    for n in SIZES {
+        let seed = 9;
+        let t = (n as f64 * 0.15) as usize;
+        let pre_spec = PreconditionSpec::knowing(0.8);
+
+        // KLST (the fig1a shape).
+        let scenario = Scenario::new(n)
+            .phase(Phase::Baseline(Baseline::Klst {
+                precondition: pre_spec,
+            }))
+            .faults(t)
+            .adversary(AdversarySpec::Silent { t: None })
+            .run(seed)
+            .expect("valid scenario")
+            .into_baseline();
+        let cfg = AerConfig::recommended(n);
+        let pre = Precondition::synthetic(
+            n,
+            cfg.string_len,
+            0.8,
+            UnknowingAssignment::RandomPerNode,
+            seed,
+        );
+        let params = KlstParams::recommended(n);
+        let engine = EngineConfig {
+            max_steps: params.schedule_len() + 8,
+            ..EngineConfig::sync(n)
+        };
+        let mut adv = SilentAdversary::new(t);
+        let hand = run::<KlstNode, _, _>(&engine, seed, &mut adv, |id| {
+            KlstNode::new(params, pre.assignments[id.index()])
+        });
+        let fba::scenario::BaselineOutcome::Klst(srun) = &scenario.outcome else {
+            panic!("klst scenario produced a different baseline");
+        };
+        assert_eq!(srun.outputs, hand.outputs, "n={n} klst outputs");
+        assert_eq!(
+            srun.metrics.total_bits_sent(),
+            hand.metrics.total_bits_sent(),
+            "n={n} klst bits"
+        );
+        assert_eq!(srun.all_decided_at, hand.all_decided_at, "n={n} klst time");
+    }
+}
+
+#[test]
+fn binary_baselines_are_bit_identical() {
+    for n in SIZES {
+        let seed = 11;
+
+        // Ben-Or, the fig1b shape (0.9-biased inputs, silent params.t).
+        let params = BenOrParams::recommended(n);
+        let scenario = Scenario::new(n)
+            .phase(Phase::Baseline(Baseline::BenOr { bias: 0.9 }))
+            .faults(params.t)
+            .adversary(AdversarySpec::Silent { t: None })
+            .run(seed)
+            .expect("valid scenario")
+            .into_baseline();
+        let engine = EngineConfig {
+            max_steps: 400,
+            ..EngineConfig::sync(n)
+        };
+        let mut rng = fba::sim::rng::derive_rng(seed, &[0xb0]);
+        let inputs: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.9)).collect();
+        let mut adv = SilentAdversary::new(params.t);
+        let hand = run::<BenOrNode, _, _>(&engine, seed, &mut adv, |id| {
+            BenOrNode::new(params, n, inputs[id.index()])
+        });
+        let fba::scenario::BaselineOutcome::BenOr(srun) = &scenario.outcome else {
+            panic!("benor scenario produced a different baseline");
+        };
+        assert_eq!(
+            scenario.inputs.as_deref(),
+            Some(&inputs[..]),
+            "n={n} inputs"
+        );
+        assert_eq!(srun.outputs, hand.outputs, "n={n} benor outputs");
+        assert_eq!(
+            srun.metrics.total_msgs_sent(),
+            hand.metrics.total_msgs_sent(),
+            "n={n} benor messages"
+        );
+
+        // Phase-King (only at the small size — Θ(n) rounds of Θ(n²)
+        // messages; the fig1b sweep caps King sizes the same way).
+        if n > 64 {
+            continue;
+        }
+        let kparams = KingParams::recommended(n);
+        let scenario = Scenario::new(n)
+            .phase(Phase::Baseline(Baseline::PhaseKing))
+            .faults(kparams.t / 2)
+            .adversary(AdversarySpec::Silent { t: None })
+            .run(seed)
+            .expect("valid scenario")
+            .into_baseline();
+        let kengine = EngineConfig {
+            max_steps: kparams.schedule_len() + 8,
+            ..EngineConfig::sync(n)
+        };
+        let mut rng = fba::sim::rng::derive_rng(seed, &[0xb1]);
+        let kinputs: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let mut adv = SilentAdversary::new(kparams.t / 2);
+        let hand = run::<KingNode, _, _>(&kengine, seed, &mut adv, |id| {
+            KingNode::new(kparams, n, kinputs[id.index()])
+        });
+        let fba::scenario::BaselineOutcome::King(srun) = &scenario.outcome else {
+            panic!("king scenario produced a different baseline");
+        };
+        assert_eq!(srun.outputs, hand.outputs, "n={n} king outputs");
+        assert_eq!(srun.all_decided_at, hand.all_decided_at, "n={n} king time");
+    }
+}
+
+#[test]
+fn ae_phase_is_bit_identical_to_run_ae() {
+    for n in SIZES {
+        let seed = 13;
+        let scenario = Scenario::new(n)
+            .phase(Phase::Ae)
+            .run(seed)
+            .expect("valid scenario")
+            .into_ae();
+        let hand = fba::ae::run_ae(&fba::ae::AeConfig::recommended(n), seed, &mut NoAdversary);
+        assert_eq!(scenario.outcome.gstring, hand.gstring, "n={n}");
+        assert_eq!(scenario.outcome.knowing, hand.knowing, "n={n}");
+        assert_eq!(
+            scenario.outcome.run.metrics.total_bits_sent(),
+            hand.run.metrics.total_bits_sent(),
+            "n={n}"
+        );
+    }
+}
+
+#[test]
+fn observers_and_transcripts_do_not_perturb_outcomes() {
+    // Attaching instrumentation must never change what a scenario
+    // computes — the determinism contract that makes observers safe to
+    // use in experiments.
+    for n in SIZES {
+        let base = Scenario::new(n)
+            .phase(Phase::aer(0.8))
+            .adversary(AdversarySpec::Silent { t: None });
+        let plain = base.clone().run(17).expect("valid scenario").into_aer();
+        let mut sink = fba::sim::TranscriptSink::<AerMsg>::new();
+        let observed = base
+            .run_observed(17, &mut sink)
+            .expect("valid scenario")
+            .into_aer();
+        assert_identical(&format!("n={n} observed"), &observed.run, &plain.run);
+        assert_eq!(
+            sink.transcript.len(),
+            plain.run.metrics.total_msgs_sent() as usize,
+            "n={n}: the sink sees every send"
+        );
+    }
+}
