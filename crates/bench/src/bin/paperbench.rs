@@ -134,7 +134,7 @@ fn run_scenario(args: &[String]) -> ExitCode {
         phase = updated;
     }
     let mut scenario = Scenario::new(n)
-        .adversary(adversary)
+        .adversary(adversary.clone())
         .network(network)
         .phase(phase);
     if let Some(t) = faults {

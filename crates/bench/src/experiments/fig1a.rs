@@ -15,18 +15,21 @@ use fba_sim::{AdversarySpec, NetworkSpec};
 
 use crate::experiments::common::{aer_scenario, log2, loglog_ratio, KNOWING};
 use crate::par::par_map;
-use crate::scope::{mean, Scope};
+use crate::scope::{mean, mean_opt, opt_cell, Scope};
 use crate::table::{fnum, Table};
 
+/// Aggregates of one system size. Round means are `None` when *no* run
+/// in the cell reached the quantile (e.g. strict-mode corner runs at
+/// small budgets) — rendered `n/a`, never a fake `0` or `NaN`.
 #[derive(Clone)]
 struct SizePoint {
     n: usize,
-    klst_rounds: f64,
+    klst_rounds: Option<f64>,
     klst_bits: f64,
     klst_imbalance: f64,
-    aer_sync_rounds: f64,
+    aer_sync_rounds: Option<f64>,
     aer_sync_bits: f64,
-    aer_async_rounds: f64,
+    aer_async_rounds: Option<f64>,
     aer_async_bits: f64,
     aer_imbalance: f64,
 }
@@ -76,7 +79,7 @@ fn run_cell(n: usize, seed: u64) -> SeedOutcome {
             precondition: PreconditionSpec::new(KNOWING, UnknowingAssignment::RandomPerNode),
         }))
         .faults(t)
-        .adversary(silent)
+        .adversary(silent.clone())
         .run(seed)
         .expect("klst scenario")
         .into_baseline();
@@ -91,7 +94,7 @@ fn run_cell(n: usize, seed: u64) -> SeedOutcome {
     // --- AER, synchronous, non-rushing (silent t) ---
     let sync = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
         .faults(t)
-        .adversary(silent)
+        .adversary(silent.clone())
         .run(seed)
         .expect("sync scenario")
         .into_aer();
@@ -133,25 +136,30 @@ fn sweep_uncached(scope: Scope) -> Vec<SizePoint> {
         .collect();
     let outcomes = par_map(cells, |(n, seed)| run_cell(n, seed));
 
-    let mut points = Vec::new();
-    for (i, &n) in sizes.iter().enumerate() {
-        let rows = &outcomes[i * seeds.len()..(i + 1) * seeds.len()];
-        let collect = |f: &dyn Fn(&SeedOutcome) -> Option<f64>| -> Vec<f64> {
-            rows.iter().filter_map(f).collect()
-        };
-        points.push(SizePoint {
-            n,
-            klst_rounds: mean(&collect(&|r| r.klst_rounds)),
-            klst_bits: mean(&collect(&|r| Some(r.klst_bits))),
-            klst_imbalance: mean(&collect(&|r| Some(r.klst_imb))),
-            aer_sync_rounds: mean(&collect(&|r| r.sync_rounds)),
-            aer_sync_bits: mean(&collect(&|r| Some(r.sync_bits))),
-            aer_async_rounds: mean(&collect(&|r| r.async_rounds)),
-            aer_async_bits: mean(&collect(&|r| Some(r.async_bits))),
-            aer_imbalance: mean(&collect(&|r| Some(r.aer_imb))),
-        });
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| aggregate(n, &outcomes[i * seeds.len()..(i + 1) * seeds.len()]))
+        .collect()
+}
+
+/// Folds one size's seed outcomes into a [`SizePoint`]. Quantile means
+/// stay `None` when no seed produced the quantile.
+fn aggregate(n: usize, rows: &[SeedOutcome]) -> SizePoint {
+    let collect = |f: &dyn Fn(&SeedOutcome) -> Option<f64>| -> Vec<f64> {
+        rows.iter().filter_map(f).collect()
+    };
+    SizePoint {
+        n,
+        klst_rounds: mean_opt(&collect(&|r| r.klst_rounds)),
+        klst_bits: mean(&collect(&|r| Some(r.klst_bits))),
+        klst_imbalance: mean(&collect(&|r| Some(r.klst_imb))),
+        aer_sync_rounds: mean_opt(&collect(&|r| r.sync_rounds)),
+        aer_sync_bits: mean(&collect(&|r| Some(r.sync_bits))),
+        aer_async_rounds: mean_opt(&collect(&|r| r.async_rounds)),
+        aer_async_bits: mean(&collect(&|r| Some(r.async_bits))),
+        aer_imbalance: mean(&collect(&|r| Some(r.aer_imb))),
     }
-    points
 }
 
 /// Figure 1a, "Time" row.
@@ -169,18 +177,25 @@ pub fn time(scope: Scope) -> Table {
         ],
     );
     for p in sweep(scope) {
-        t.push_row(vec![
-            p.n.to_string(),
-            fnum(p.klst_rounds),
-            fnum(p.aer_sync_rounds),
-            fnum(p.aer_async_rounds),
-            fnum(log2(p.n) * log2(p.n)),
-            fnum(loglog_ratio(p.n)),
-        ]);
+        t.push_row(time_row(&p));
     }
     t.note("paper: KLST11 O(log²n), AER O(1) sync non-rushing, O(logn/loglogn) async.");
     t.note("AER async runs use strict mode (no retries) so the cornering chains are visible.");
+    t.note("`n/a`: no run in the cell reached the decision quantile (all-undecided cell).");
     t
+}
+
+/// One rendered `f1a-time` row (split out so the all-undecided cell is
+/// unit-testable).
+fn time_row(p: &SizePoint) -> Vec<String> {
+    vec![
+        p.n.to_string(),
+        opt_cell(p.klst_rounds),
+        opt_cell(p.aer_sync_rounds),
+        opt_cell(p.aer_async_rounds),
+        fnum(log2(p.n) * log2(p.n)),
+        fnum(loglog_ratio(p.n)),
+    ]
 }
 
 /// Figure 1a, "Bits" row.
@@ -247,6 +262,51 @@ pub fn load(scope: Scope) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn all_undecided_cells_render_na_not_zero() {
+        // A cell where no seed's run decided (strict-mode corner at a
+        // small budget, say): the round means must render `n/a`, not a
+        // fake 0 (or a NaN after a 0/0 somewhere downstream).
+        let rows = vec![
+            SeedOutcome {
+                klst_rounds: None,
+                klst_bits: 10.0,
+                klst_imb: 1.0,
+                sync_rounds: None,
+                sync_bits: 20.0,
+                async_rounds: None,
+                async_bits: 30.0,
+                aer_imb: 2.0,
+            },
+            SeedOutcome {
+                klst_rounds: None,
+                klst_bits: 12.0,
+                klst_imb: 1.0,
+                sync_rounds: Some(5.0),
+                sync_bits: 22.0,
+                async_rounds: None,
+                async_bits: 32.0,
+                aer_imb: 2.0,
+            },
+        ];
+        let p = aggregate(64, &rows);
+        assert_eq!(p.klst_rounds, None);
+        assert_eq!(
+            p.aer_sync_rounds,
+            Some(5.0),
+            "partial cells keep their mean"
+        );
+        assert_eq!(p.aer_async_rounds, None);
+        let row = time_row(&p);
+        assert_eq!(row[1], "n/a", "all-undecided KLST cell");
+        assert_eq!(row[2], "5.00", "partially-decided cell keeps its value");
+        assert_eq!(row[3], "n/a", "all-undecided async cell");
+        assert!(
+            row.iter().all(|c| c != "0" && !c.contains("NaN")),
+            "no fake zero / NaN: {row:?}"
+        );
+    }
 
     #[test]
     fn quick_sweep_produces_full_tables() {

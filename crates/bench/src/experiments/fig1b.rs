@@ -73,8 +73,8 @@ pub fn table(scope: Scope) -> Table {
         let c = Scenario::new(n)
             .phase(Phase::Composed)
             .faults(t_faults)
-            .adversary(silent)
-            .ae_adversary(silent)
+            .adversary(silent.clone())
+            .ae_adversary(silent.clone())
             .run(seed)
             .expect("composed scenario")
             .into_composed();
@@ -102,7 +102,7 @@ pub fn table(scope: Scope) -> Table {
         let b = Scenario::new(n)
             .phase(Phase::Baseline(Baseline::BenOr { bias: 0.9 }))
             .faults(BenOrParams::recommended(n).t)
-            .adversary(silent)
+            .adversary(silent.clone())
             .run(seed)
             .expect("benor scenario")
             .into_baseline();
@@ -128,7 +128,7 @@ pub fn table(scope: Scope) -> Table {
         let k = Scenario::new(n)
             .phase(Phase::Baseline(Baseline::PhaseKing))
             .faults(KingParams::recommended(n).t / 2)
-            .adversary(silent)
+            .adversary(silent.clone())
             .run(seed)
             .expect("phase-king scenario")
             .into_baseline();

@@ -1,0 +1,172 @@
+//! The composed-fault-schedule gauntlet: mixed-adversary batteries.
+//!
+//! The paper's adversary is adaptive in behaviour — it can corrupt the
+//! schedule, silence nodes, and flood at different moments of one run.
+//! The `sched:` grammar makes that matrix *data*: every row of this
+//! battery is a parseable fault schedule (windows of distinct strategies)
+//! swept across system sizes, reporting decision time and communication
+//! per schedule. Safety and liveness must hold across every window
+//! boundary, which no single-strategy experiment exercises.
+//!
+//! All runs use the asynchronous engine (`async:1`) with the
+//! delay-scaled poll timeout, handing the adversary its full scheduling
+//! power in every window.
+
+use fba_ae::UnknowingAssignment;
+use fba_scenario::PollTimeoutSpec;
+use fba_sim::{AdversarySpec, NetworkSpec};
+
+use crate::experiments::common::{aer_scenario, KNOWING};
+use crate::par::par_map;
+use crate::scope::{mean, mean_cell, mean_opt, opt_cell, Scope};
+use crate::table::{fnum, Table};
+
+/// The schedule matrix: every entry is a parseable adversary spec — the
+/// battery is data, not wiring. The bare `silent` row is the
+/// single-strategy control the schedules are read against.
+pub const SCHEDULES: &[(&str, &str)] = &[
+    ("silent (control)", "silent"),
+    ("flood->silent", "sched:[0..1]flood;[1..]silent"),
+    ("silent->bad-string", "sched:[0..2]silent;[2..]bad-string"),
+    (
+        "flood->equivocate->corner",
+        "sched:[0..1]flood;[1..3]equivocate:8;[3..]corner:256",
+    ),
+    ("corner->silent", "sched:[0..4]corner:256;[4..]silent"),
+];
+
+/// System sizes per scope. The default scope runs the full
+/// 256/1024/4096 matrix the schedule battery is specified over; quick
+/// keeps CI-sized systems.
+#[must_use]
+pub fn gauntlet_sizes(scope: Scope) -> Vec<usize> {
+    match scope {
+        Scope::Quick => vec![64, 128],
+        Scope::Default | Scope::Full => vec![256, 1024, 4096],
+        Scope::Huge => vec![1024, 4096, 8192],
+    }
+}
+
+/// Seeds per cell: the scope's seed set, thinned at n ≥ 4096 where a
+/// single adversarial run costs ~10 s (the thinning is printed in the
+/// table notes, not silent).
+fn gauntlet_seeds(scope: Scope, n: usize) -> Vec<u64> {
+    let seeds = scope.seeds();
+    if n >= 4096 {
+        seeds.into_iter().take(3).collect()
+    } else {
+        seeds
+    }
+}
+
+/// The `gauntlet` experiment: decision steps and bits per schedule.
+#[must_use]
+pub fn table(scope: Scope) -> Table {
+    let mut t = Table::new(
+        "gauntlet — composed fault schedules: mixed-adversary batteries",
+        &[
+            "schedule",
+            "n",
+            "decided %",
+            "rounds p50",
+            "rounds max",
+            "bits/node",
+        ],
+    );
+    let sizes = gauntlet_sizes(scope);
+    let mut configs: Vec<(&str, AdversarySpec, usize, Vec<u64>)> = Vec::new();
+    for &(name, spec) in SCHEDULES {
+        let spec: AdversarySpec = spec.parse().expect("gauntlet schedule parses");
+        for &n in &sizes {
+            configs.push((name, spec.clone(), n, gauntlet_seeds(scope, n)));
+        }
+    }
+    let cells: Vec<(AdversarySpec, usize, u64)> = configs
+        .iter()
+        .flat_map(|(_, spec, n, seeds)| seeds.iter().map(move |&seed| (spec.clone(), *n, seed)))
+        .collect();
+    // Fan the (schedule, n, seed) grid across cores (pure seeded runs;
+    // aggregation in input order == serial sweep).
+    let outcomes = par_map(cells, |(spec, n, seed)| {
+        let out = aer_scenario(n, KNOWING, UnknowingAssignment::SharedAdversarial)
+            .adversary(spec)
+            .network(NetworkSpec::Async { max_delay: 1 })
+            .poll_timeout(PollTimeoutSpec::DelayScaled)
+            .run(seed)
+            .expect("gauntlet scenario")
+            .into_aer();
+        assert_eq!(
+            out.wrong_decisions(),
+            0,
+            "safety violated under a fault schedule (n={n}, seed={seed})"
+        );
+        (
+            out.run.metrics.decided_fraction() * 100.0,
+            out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
+            out.run.all_decided_at.map(|s| s as f64),
+            out.run.metrics.amortized_bits(),
+        )
+    });
+    let mut offset = 0;
+    for (name, _, n, seeds) in &configs {
+        let rows = &outcomes[offset..offset + seeds.len()];
+        offset += seeds.len();
+        let decided: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let p50: Vec<f64> = rows.iter().filter_map(|r| r.1).collect();
+        let max: Vec<f64> = rows.iter().filter_map(|r| r.2).collect();
+        let bits: Vec<f64> = rows.iter().map(|r| r.3).collect();
+        t.push_row(vec![
+            (*name).to_string(),
+            n.to_string(),
+            fnum(mean(&decided)),
+            mean_cell(&p50),
+            opt_cell(mean_opt(&max)),
+            fnum(mean(&bits)),
+        ]);
+    }
+    t.note("Each schedule assigns one strategy per step window (the sched: grammar);");
+    t.note("windows keep their own state, so e.g. the corner window still reports its");
+    t.note("plan. Async engine, delay-scaled poll timeout, SharedAdversarial precondition.");
+    t.note("n >= 4096 cells run 3 seeds (others the scope's full seed set).");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_gauntlet_decides_everywhere() {
+        let t = table(Scope::Quick);
+        assert_eq!(
+            t.rows.len(),
+            SCHEDULES.len() * gauntlet_sizes(Scope::Quick).len()
+        );
+        for row in &t.rows {
+            let decided: f64 = row[2].parse().unwrap();
+            assert!(decided > 99.0, "row {row:?}");
+            assert_ne!(row[4], "n/a", "someone never decided: {row:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_three_strategy_schedule_decides_at_scale() {
+        // The acceptance bar: a schedule mixing >= 3 strategies completes
+        // with everyone deciding at n = 1024 (debug builds run n = 256;
+        // release/CI and the paperbench battery cover 1024+).
+        let n = if cfg!(debug_assertions) { 256 } else { 1024 };
+        let spec: AdversarySpec = "sched:[0..1]flood;[1..3]equivocate:8;[3..]corner:256"
+            .parse()
+            .expect("parses");
+        let out = aer_scenario(n, KNOWING, UnknowingAssignment::SharedAdversarial)
+            .adversary(spec)
+            .network(NetworkSpec::Async { max_delay: 1 })
+            .poll_timeout(PollTimeoutSpec::DelayScaled)
+            .run(1)
+            .expect("valid scenario")
+            .into_aer();
+        assert!(out.run.all_decided(), "everyone decides at n={n}");
+        assert_eq!(out.wrong_decisions(), 0);
+        assert!(out.corner.is_some(), "corner window state surfaces");
+    }
+}

@@ -221,7 +221,7 @@ pub fn l7(scope: Scope) -> Table {
             // bogus string the adversary campaigns for (the builder's
             // default campaign string).
             let out = aer_scenario(n, KNOWING, UnknowingAssignment::SharedAdversarial)
-                .adversary(spec)
+                .adversary(spec.clone())
                 .network(network)
                 .run(*seed)
                 .expect("l7 scenario")

@@ -7,6 +7,7 @@ pub mod common;
 pub mod fig1a;
 pub mod fig1b;
 pub mod fig2;
+pub mod gauntlet;
 pub mod gbits;
 pub mod lemmas;
 pub mod s41;
@@ -34,6 +35,7 @@ pub const ALL_IDS: &[&str] = &[
     "s41",
     "ae",
     "gbits",
+    "gauntlet",
     "ablate-cap",
     "ablate-d",
 ];
@@ -62,6 +64,7 @@ pub fn run_experiment(id: &str, scope: Scope) -> Result<Table, String> {
         "s41" => s41::table(scope),
         "ablate-cap" => timing::ablate_cap(scope),
         "ablate-d" => ablate_d::table(scope),
+        "gauntlet" => gauntlet::table(scope),
         "gbits" => gbits::table(scope),
         "ae" => ae_exp::table(scope),
         other => {

@@ -91,15 +91,30 @@ pub fn fmax(values: &[f64]) -> f64 {
     values.iter().copied().fold(0.0, f64::max)
 }
 
-/// Table cell for a mean that may have no samples: `-` instead of a
+/// Mean of f64 values, or `None` when there are no samples — the honest
+/// aggregate for quantiles that may never be reached (a cell where no
+/// run decided has *no* mean round count, not round count 0).
+#[must_use]
+pub fn mean_opt(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(mean(values))
+    }
+}
+
+/// Table cell for an optional statistic: `n/a` when no run in the cell
+/// produced the quantity (instead of a misleading `0` or a `NaN`).
+#[must_use]
+pub fn opt_cell(value: Option<f64>) -> String {
+    value.map_or_else(|| "n/a".to_string(), crate::table::fnum)
+}
+
+/// Table cell for a mean that may have no samples: `n/a` instead of a
 /// misleading 0 when e.g. a quantile was never reached in any seed.
 #[must_use]
 pub fn mean_cell(values: &[f64]) -> String {
-    if values.is_empty() {
-        "-".to_string()
-    } else {
-        crate::table::fnum(mean(values))
-    }
+    opt_cell(mean_opt(values))
 }
 
 #[cfg(test)]
@@ -129,5 +144,15 @@ mod tests {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[1.0, 3.0]), 2.0);
         assert_eq!(fmax(&[1.0, 3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn empty_cells_render_na_not_zero() {
+        assert_eq!(mean_opt(&[]), None);
+        assert_eq!(mean_opt(&[4.0, 6.0]), Some(5.0));
+        assert_eq!(opt_cell(None), "n/a");
+        assert_eq!(opt_cell(Some(5.0)), "5.00");
+        assert_eq!(mean_cell(&[]), "n/a");
+        assert_eq!(mean_cell(&[4.0, 6.0]), "5.00");
     }
 }

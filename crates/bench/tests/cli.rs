@@ -98,6 +98,61 @@ fn scenario_expresses_every_adversary_in_both_timing_models() {
 }
 
 #[test]
+fn scenario_runs_composed_fault_schedules() {
+    // The tentpole smoke: a schedule mixing three strategies, straight
+    // from the command line.
+    let out = paperbench(&[
+        "scenario",
+        "--n",
+        "48",
+        "--adversary",
+        "sched:[0..1]flood;[1..3]equivocate:4;[3..]corner:64",
+        "--network",
+        "async:1",
+        "--seed",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "schedule must run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("decided"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("adversary=sched:[0..1]flood;[1..3]equivocate:4;[3..]corner:64"),
+        "the schedule round-trips into the banner: {stdout}"
+    );
+    assert!(
+        stdout.contains("corner plan"),
+        "the corner window's report surfaces: {stdout}"
+    );
+}
+
+#[test]
+fn scenario_rejects_malformed_schedules() {
+    // Overlapping, unordered, and syntactically broken schedules all
+    // exit non-zero with usage — nothing runs.
+    for bad in [
+        "sched:[0..5]silent;[3..8]flood",  // overlapping windows
+        "sched:[5..9]silent;[0..3]flood",  // unordered windows
+        "sched:[0..]silent;[9..12]flood",  // open window not last
+        "sched:[5..5]silent",              // empty window
+        "sched:[0..5]martian",             // unknown inner strategy
+        "sched:",                          // no windows
+        "sched:[0..2]silent:3;[2..]flood", // mismatched window budgets
+    ] {
+        let out = paperbench(&["scenario", "--n", "48", "--adversary", bad]);
+        assert!(!out.status.success(), "{bad:?} must exit non-zero");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("usage: paperbench scenario"),
+            "{bad:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
 fn scenario_unknown_adversary_prints_usage_and_fails() {
     let out = paperbench(&["scenario", "--n", "48", "--adversary", "martian"]);
     assert!(

@@ -246,6 +246,27 @@ impl Adversary<AerMsg> for Corner {
         self.launch(&targets, out);
     }
 
+    fn delay(&mut self, env: &Envelope<AerMsg>) -> Step {
+        // Asynchrony: stall honest traffic to the reliability bound (the
+        // engine clamps to `max_delay`, so this is a no-op in the
+        // synchronous and `max_delay = 1` regimes every pinned experiment
+        // runs), while traffic serving corrupt requesters — and the
+        // corrupt nodes' own sends — rides the fast lane. This is the
+        // worst-case scheduler of §2.1: victims' verification pipelines
+        // run `max_delay×` slower than the attack's.
+        if self.corrupt_set.contains(&env.from) {
+            return 1;
+        }
+        match &env.msg {
+            AerMsg::Fw2 { origin, .. } | AerMsg::Fw1 { origin, .. }
+                if self.corrupt_set.contains(origin) =>
+            {
+                1
+            }
+            _ => Step::MAX,
+        }
+    }
+
     fn priority(&mut self, env: &Envelope<AerMsg>) -> i64 {
         // Asynchrony: within a step, deliver forwards serving corrupt
         // requesters first so they exhaust the overload cap before the

@@ -25,11 +25,18 @@
 //!   adversarial intra-step scheduling this is what stretches AER to
 //!   `O(log n / log log n)` time.
 //!
+//! * [`Composed`] — a windowed composition of the above: a
+//!   `sched:[0..5]silent:9;[5..12]flood;[12..]corner:512` fault schedule
+//!   swaps the active strategy at step-window boundaries while each
+//!   window keeps its own state for the whole run (the mixed-adversary
+//!   matrix the paper's adaptive adversary implies).
+//!
 //! All strategies implement [`fba_sim::Adversary`] and are driven by the
 //! same engine as the correct nodes. [`fba_sim::NoAdversary`] and
 //! [`fba_sim::SilentAdversary`] cover the benign cases.
 
 mod bad_string;
+mod composed;
 mod corner;
 mod equivocate;
 mod flood;
@@ -37,6 +44,7 @@ mod pull_flood;
 mod registry;
 
 pub use bad_string::BadString;
+pub use composed::Composed;
 pub use corner::{Corner, CornerReport};
 pub use equivocate::Equivocate;
 pub use flood::{PushFlood, RandomStringFlood};

@@ -17,7 +17,7 @@ use fba_sim::{
 use rand_chacha::ChaCha12Rng;
 
 use crate::adversary::{
-    AttackContext, BadString, Corner, CornerReport, Equivocate, PullFlood, PushFlood,
+    AttackContext, BadString, Composed, Corner, CornerReport, Equivocate, PullFlood, PushFlood,
     RandomStringFlood,
 };
 use crate::msg::AerMsg;
@@ -42,6 +42,8 @@ pub enum AerAdversary {
     BadString(BadString),
     /// The cornering/overload attack.
     Corner(Corner),
+    /// A composed fault schedule: one strategy per step window.
+    Composed(Box<Composed>),
 }
 
 impl AerAdversary {
@@ -52,34 +54,39 @@ impl AerAdversary {
     /// by the `flood` and `bad-string` strategies (ignored by the rest).
     #[must_use]
     pub fn from_spec(spec: &AdversarySpec, ctx: AttackContext, bad: GString) -> Self {
-        match *spec {
+        match spec {
             AdversarySpec::None => AerAdversary::None(NoAdversary),
             AdversarySpec::Silent { t } => {
                 AerAdversary::Silent(SilentAdversary::new(t.unwrap_or(ctx.t)))
             }
             AdversarySpec::RandomFlood { rate, steps } => {
-                AerAdversary::RandomFlood(RandomStringFlood::new(ctx, rate, steps))
+                AerAdversary::RandomFlood(RandomStringFlood::new(ctx, *rate, *steps))
             }
             AdversarySpec::PushFlood => AerAdversary::PushFlood(PushFlood::new(ctx, bad)),
             AdversarySpec::Equivocate { strings } => {
-                AerAdversary::Equivocate(Equivocate::new(ctx, strings))
+                AerAdversary::Equivocate(Equivocate::new(ctx, *strings))
             }
             AdversarySpec::PullFlood { rate, steps } => {
-                AerAdversary::PullFlood(PullFlood::new(ctx, rate, steps))
+                AerAdversary::PullFlood(PullFlood::new(ctx, *rate, *steps))
             }
             AdversarySpec::BadString => AerAdversary::BadString(BadString::new(ctx, bad)),
             AdversarySpec::Corner { label_scan } => {
-                AerAdversary::Corner(Corner::new(ctx, label_scan))
+                AerAdversary::Corner(Corner::new(ctx, *label_scan))
+            }
+            AdversarySpec::Sched(schedule) => {
+                AerAdversary::Composed(Box::new(Composed::from_schedule(schedule, &ctx, bad)))
             }
         }
     }
 
     /// The cornering attack's plan/coverage report, when the strategy is
-    /// [`AerAdversary::Corner`].
+    /// [`AerAdversary::Corner`] — or a composed schedule with a `corner`
+    /// window (the first such window's report).
     #[must_use]
     pub fn corner_report(&self) -> Option<&CornerReport> {
         match self {
             AerAdversary::Corner(c) => Some(c.report()),
+            AerAdversary::Composed(c) => c.corner_report(),
             _ => None,
         }
     }
@@ -96,6 +103,7 @@ impl Adversary<AerMsg> for AerAdversary {
             AerAdversary::PullFlood(a) => a.corrupt(n, rng),
             AerAdversary::BadString(a) => a.corrupt(n, rng),
             AerAdversary::Corner(a) => a.corrupt(n, rng),
+            AerAdversary::Composed(a) => a.corrupt(n, rng),
         }
     }
 
@@ -109,6 +117,7 @@ impl Adversary<AerMsg> for AerAdversary {
             AerAdversary::PullFlood(a) => a.rushing(),
             AerAdversary::BadString(a) => a.rushing(),
             AerAdversary::Corner(a) => a.rushing(),
+            AerAdversary::Composed(a) => Adversary::<AerMsg>::rushing(a.as_ref()),
         }
     }
 
@@ -122,6 +131,7 @@ impl Adversary<AerMsg> for AerAdversary {
             AerAdversary::PullFlood(a) => a.act(step, view, out),
             AerAdversary::BadString(a) => a.act(step, view, out),
             AerAdversary::Corner(a) => a.act(step, view, out),
+            AerAdversary::Composed(a) => a.act(step, view, out),
         }
     }
 
@@ -135,6 +145,7 @@ impl Adversary<AerMsg> for AerAdversary {
             AerAdversary::PullFlood(a) => a.observe(step, sends),
             AerAdversary::BadString(a) => a.observe(step, sends),
             AerAdversary::Corner(a) => a.observe(step, sends),
+            AerAdversary::Composed(a) => a.observe(step, sends),
         }
     }
 
@@ -148,6 +159,7 @@ impl Adversary<AerMsg> for AerAdversary {
             AerAdversary::PullFlood(a) => a.delay(env),
             AerAdversary::BadString(a) => a.delay(env),
             AerAdversary::Corner(a) => a.delay(env),
+            AerAdversary::Composed(a) => a.delay(env),
         }
     }
 
@@ -161,6 +173,7 @@ impl Adversary<AerMsg> for AerAdversary {
             AerAdversary::PullFlood(a) => a.priority(env),
             AerAdversary::BadString(a) => a.priority(env),
             AerAdversary::Corner(a) => a.priority(env),
+            AerAdversary::Composed(a) => a.priority(env),
         }
     }
 }
@@ -205,6 +218,19 @@ mod tests {
             (AdversarySpec::PullFlood { rate: 2, steps: 2 }, "pull-flood"),
             (AdversarySpec::BadString, "bad-string"),
             (AdversarySpec::Corner { label_scan: 16 }, "corner"),
+            (
+                AdversarySpec::Sched(
+                    fba_sim::ScheduleSpec::new(vec![
+                        (
+                            fba_sim::Window::bounded(0, 4),
+                            AdversarySpec::Silent { t: None },
+                        ),
+                        (fba_sim::Window::open(4), AdversarySpec::PushFlood),
+                    ])
+                    .expect("valid schedule"),
+                ),
+                "sched",
+            ),
         ];
         for (spec, name) in cases {
             let adv = AerAdversary::from_spec(&spec, ctx.clone(), bad);
@@ -217,6 +243,7 @@ mod tests {
                 AerAdversary::PullFlood(_) => "pull-flood",
                 AerAdversary::BadString(_) => "bad-string",
                 AerAdversary::Corner(_) => "corner",
+                AerAdversary::Composed(_) => "sched",
             };
             assert_eq!(built, name);
             assert_eq!(spec.name(), name);

@@ -27,7 +27,11 @@
 //! [`AdversarySpec`] (via the `fba-core` registry). New fault/timing
 //! combinations are therefore *data*, not new modules: the `paperbench
 //! scenario` subcommand runs any spec from the command line, and sweeps
-//! enumerate specs instead of duplicating wiring.
+//! enumerate specs instead of duplicating wiring. That includes
+//! composed fault schedules — `sched:[0..5]silent:9;[5..]corner:512`
+//! swaps the active strategy at step-window boundaries (windowed
+//! dispatch in `fba_core::adversary::Composed`), and a single-window
+//! schedule is bit-identical to the bare spec.
 //!
 //! Determinism: a scenario outcome is a pure function of
 //! `(scenario, seed)`. The builder performs exactly the construction
@@ -248,6 +252,17 @@ pub enum ScenarioError {
         /// The phase that cannot field it.
         phase: &'static str,
     },
+    /// A fault schedule's windows disagree on the corruption budget:
+    /// the windows would draw different coalitions, silently corrupting
+    /// more nodes than the declared fault bound.
+    ScheduleBudgetMismatch {
+        /// The window whose budget disagrees with an earlier window's.
+        window: fba_sim::Window,
+        /// That window's effective corruption budget.
+        got: usize,
+        /// The budget the earlier corrupting windows use.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -258,6 +273,16 @@ impl fmt::Display for ScenarioError {
                 f,
                 "adversary `{spec}` is AER-specific and cannot attack the {phase} phase \
                  (use `none` or `silent[:t]`)"
+            ),
+            ScenarioError::ScheduleBudgetMismatch {
+                window,
+                got,
+                expected,
+            } => write!(
+                f,
+                "fault-schedule window {window} budgets {got} corrupted nodes but earlier \
+                 windows budget {expected}; all corrupting windows must share one \
+                 coalition (same `silent:<t>` override, or the scenario fault budget)"
             ),
         }
     }
@@ -340,8 +365,10 @@ impl Scenario {
     }
 
     /// Sets the Byzantine strategy (see [`AdversarySpec`] for the
-    /// grammar). For [`Phase::Composed`] this is the AER-phase strategy;
-    /// the almost-everywhere phase uses [`Scenario::ae_adversary`].
+    /// grammar), including composed fault schedules (`sched:…`, one
+    /// strategy per step window). For [`Phase::Composed`] this is the
+    /// AER-phase strategy; the almost-everywhere phase uses
+    /// [`Scenario::ae_adversary`].
     #[must_use]
     pub fn adversary(mut self, spec: AdversarySpec) -> Self {
         self.adversary = spec;
@@ -545,6 +572,36 @@ impl Scenario {
             .unwrap_or_else(|| GString::random(gstring.len_bits(), &mut derive_rng(seed, &[0xbad])))
     }
 
+    /// Rejects fault schedules whose windows disagree on the corruption
+    /// budget (they would draw different coalitions — see
+    /// `fba_core::adversary::Composed`). `budget` is the effective
+    /// adversary budget of this run; `none` windows are exempt.
+    fn validate_schedule_budgets(&self, budget: usize) -> Result<(), ScenarioError> {
+        let AdversarySpec::Sched(schedule) = &self.adversary else {
+            return Ok(());
+        };
+        let mut first: Option<usize> = None;
+        for (window, spec) in schedule.windows() {
+            let window_budget = match spec {
+                AdversarySpec::None => continue,
+                AdversarySpec::Silent { t: Some(t) } => *t,
+                _ => budget,
+            };
+            match first {
+                None => first = Some(window_budget),
+                Some(expected) if window_budget != expected => {
+                    return Err(ScenarioError::ScheduleBudgetMismatch {
+                        window: *window,
+                        got: window_budget,
+                        expected,
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
     fn aer_adversary_for(
         &self,
         harness: &AerHarness,
@@ -566,6 +623,7 @@ impl Scenario {
         observer: &mut dyn Observer<AerNode>,
     ) -> Result<AerRun, ScenarioError> {
         let cfg = self.aer_config()?;
+        self.validate_schedule_budgets(self.faults.unwrap_or(cfg.t))?;
         let pre = Precondition::synthetic(
             self.n,
             cfg.string_len,
@@ -599,7 +657,7 @@ impl Scenario {
             .adversary
             .generic(self.faults.unwrap_or_else(|| self.default_faults()))
             .ok_or(ScenarioError::UnsupportedAdversary {
-                spec: self.adversary,
+                spec: self.adversary.clone(),
                 phase: "almost-everywhere",
             })?;
         let outcome = run_ae_with(
@@ -620,11 +678,12 @@ impl Scenario {
         let mut config = BaConfig::recommended(self.n);
         config.aer = self.aer_config()?;
         config.ae.string_len = config.aer.string_len;
+        self.validate_schedule_budgets(self.faults.unwrap_or(config.aer.t))?;
         let mut ae_adversary = self
             .ae_adversary
             .generic(self.faults.unwrap_or(config.aer.t))
             .ok_or(ScenarioError::UnsupportedAdversary {
-                spec: self.ae_adversary,
+                spec: self.ae_adversary.clone(),
                 phase: "almost-everywhere",
             })?;
         let aer_engine = match self.network {
@@ -675,7 +734,7 @@ impl Scenario {
             .adversary
             .generic(self.faults.unwrap_or(default_t))
             .ok_or(ScenarioError::UnsupportedAdversary {
-                spec: self.adversary,
+                spec: self.adversary.clone(),
                 phase: "baseline",
             })?;
 
@@ -1173,6 +1232,73 @@ mod tests {
             .into_aer();
         let report = run.corner.expect("corner adversary reports");
         assert!(report.overload_targets > 0 || report.blocked_victims == 0);
+    }
+
+    #[test]
+    fn composed_fault_schedules_run_and_surface_window_state() {
+        // A schedule mixing three strategies: push flood at the start,
+        // equivocation in the middle, cornering from step 4 on. The
+        // builder accepts it exactly where any spec goes.
+        let sched: AdversarySpec = "sched:[0..1]flood;[1..4]equivocate:4;[4..]corner:64"
+            .parse()
+            .expect("schedule parses");
+        let run = Scenario::new(64)
+            .adversary(sched)
+            .network(NetworkSpec::Async { max_delay: 1 })
+            .phase(Phase::aer(0.8))
+            .run(9)
+            .expect("valid scenario")
+            .into_aer();
+        // Safety holds across the whole schedule…
+        assert_eq!(run.wrong_decisions(), 0);
+        assert!(run.run.all_decided(), "everyone decides");
+        // …and the corner window's post-run state is preserved.
+        assert!(
+            run.corner.is_some(),
+            "corner report must surface from the schedule window"
+        );
+    }
+
+    #[test]
+    fn mismatched_schedule_budgets_are_rejected() {
+        // silent:3 next to a default-budget flood window would draw two
+        // different coalitions (and corrupt more than the declared fault
+        // bound); the builder rejects it before anything runs.
+        let sched: AdversarySpec = "sched:[0..2]silent:3;[2..]flood".parse().expect("parses");
+        let err = Scenario::new(64).adversary(sched).run(1).unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::ScheduleBudgetMismatch { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("coalition"), "{err}");
+
+        // …but the same schedule with the fault budget aligned is fine —
+        // silent:<t> overrides and .faults() agree on one coalition.
+        let sched: AdversarySpec = "sched:[0..2]silent:3;[2..]flood".parse().expect("parses");
+        let run = Scenario::new(64)
+            .adversary(sched)
+            .faults(3)
+            .run(1)
+            .expect("aligned budgets are valid")
+            .into_aer();
+        assert_eq!(run.run.corrupt.len(), 3, "one coalition of 3");
+        assert_eq!(run.wrong_decisions(), 0);
+
+        // `none` windows are exempt: they corrupt nobody.
+        let sched: AdversarySpec = "sched:[0..2]none;[2..]silent:5".parse().expect("parses");
+        assert!(Scenario::new(64).adversary(sched).run(1).is_ok());
+    }
+
+    #[test]
+    fn schedules_are_rejected_off_aer_phases() {
+        let sched: AdversarySpec = "sched:[0..]silent".parse().expect("parses");
+        let err = Scenario::new(32)
+            .adversary(sched)
+            .phase(Phase::Ae)
+            .run(1)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::UnsupportedAdversary { .. }));
+        assert!(err.to_string().contains("sched"));
     }
 
     #[test]

@@ -98,6 +98,7 @@ pub use metrics::{LoadSummary, Metrics};
 pub use observer::{DecisionLog, FinalInspect, NullObserver, Observer, TranscriptSink};
 pub use protocol::{Context, Protocol};
 pub use spec::{
-    AdversarySpec, GenericAdversary, NetworkSpec, ParseSpecError, DEFAULT_CORNER_SCAN,
-    DEFAULT_EQUIVOCATE_STRINGS, DEFAULT_FLOOD_RATE, DEFAULT_FLOOD_STEPS, DEFAULT_PULL_FLOOD_RATE,
+    AdversarySpec, GenericAdversary, NetworkSpec, ParseSpecError, ScheduleError, ScheduleSpec,
+    Window, DEFAULT_CORNER_SCAN, DEFAULT_EQUIVOCATE_STRINGS, DEFAULT_FLOOD_RATE,
+    DEFAULT_FLOOD_STEPS, DEFAULT_PULL_FLOOD_RATE,
 };

@@ -26,6 +26,18 @@
 //! | `pull-flood` | pull-request spraying | `pull-flood:<rate>,<steps>` |
 //! | `bad-string` | full Lemma 7 campaign | — |
 //! | `corner` | Lemma 6 cornering/overload | `corner:<label_scan>` |
+//! | `sched` | composed fault schedule | `sched:[a..b]spec;[b..c]spec;…` |
+//!
+//! A **composed fault schedule** assigns a different strategy to each
+//! step window: `sched:[0..5]silent:9;[5..12]flood;[12..]corner:512`
+//! runs the silent adversary for steps 0–4, the push flood for steps
+//! 5–11, and the cornering attack from step 12 on. Windows are
+//! half-open `[start..end)`, must be non-empty, strictly ordered and
+//! non-overlapping (gaps are fine: no strategy acts there), and only
+//! the last window may be open-ended (`[12..]`). Schedules cannot nest.
+//! See [`ScheduleSpec`] for the data-level form and the validation
+//! rules; protocol registries dispatch the active window's strategy at
+//! each step (e.g. `fba_core::adversary::Composed` for AER).
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -37,11 +49,163 @@ use crate::adversary::{Adversary, NoAdversary, Outbox, SilentAdversary};
 use crate::ids::{NodeId, Step};
 use crate::message::Envelope;
 
+/// A step window of a composed fault schedule: half-open `[start..end)`,
+/// or open-ended `[start..]` when `end` is `None`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Window {
+    /// First step (inclusive) the window covers.
+    pub start: Step,
+    /// First step past the window (exclusive); `None` = to the end of
+    /// the run.
+    pub end: Option<Step>,
+}
+
+impl Window {
+    /// A bounded window `[start..end)`.
+    #[must_use]
+    pub fn bounded(start: Step, end: Step) -> Self {
+        Window {
+            start,
+            end: Some(end),
+        }
+    }
+
+    /// An open-ended window `[start..]`.
+    #[must_use]
+    pub fn open(start: Step) -> Self {
+        Window { start, end: None }
+    }
+
+    /// Whether `step` falls inside the window.
+    #[must_use]
+    pub fn contains(&self, step: Step) -> bool {
+        step >= self.start && self.end.is_none_or(|end| step < end)
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.end {
+            Some(end) => write!(f, "[{}..{}]", self.start, end),
+            None => write!(f, "[{}..]", self.start),
+        }
+    }
+}
+
+/// A composed fault schedule: one strategy per step window (see the
+/// module docs for the grammar and `sched:` syntax).
+///
+/// Construction validates the window structure, so every value of this
+/// type is well-formed: at least one window, every window non-empty,
+/// windows strictly ordered and non-overlapping, only the last window
+/// open-ended, and no nested schedules.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ScheduleSpec {
+    windows: Vec<(Window, AdversarySpec)>,
+}
+
+/// Why a [`ScheduleSpec`] was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The schedule has no windows.
+    Empty,
+    /// A window's strategy is itself a schedule.
+    Nested,
+    /// A bounded window covers no steps (`end <= start`).
+    EmptyWindow(Window),
+    /// A window starts before the previous window ends (overlapping or
+    /// out of order).
+    Unordered(Window),
+    /// A window follows an open-ended window (which must be last).
+    OpenNotLast(Window),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Empty => write!(f, "schedule has no windows"),
+            ScheduleError::Nested => write!(f, "schedules cannot nest"),
+            ScheduleError::EmptyWindow(w) => write!(f, "window {w} covers no steps"),
+            ScheduleError::Unordered(w) => {
+                write!(f, "window {w} overlaps or precedes an earlier window")
+            }
+            ScheduleError::OpenNotLast(w) => {
+                write!(f, "window {w} follows an open-ended window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl ScheduleSpec {
+    /// Builds a schedule from `(window, strategy)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty schedules, nested schedules, empty windows, and
+    /// overlapping / unordered / non-final open windows.
+    pub fn new(windows: Vec<(Window, AdversarySpec)>) -> Result<Self, ScheduleError> {
+        if windows.is_empty() {
+            return Err(ScheduleError::Empty);
+        }
+        // `prev_end`: exclusive end of the previous window; `None` once an
+        // open-ended window has been seen (nothing may follow it).
+        let mut prev_end: Option<Step> = Some(0);
+        for (i, (w, spec)) in windows.iter().enumerate() {
+            if matches!(spec, AdversarySpec::Sched(_)) {
+                return Err(ScheduleError::Nested);
+            }
+            let Some(end) = prev_end else {
+                return Err(ScheduleError::OpenNotLast(*w));
+            };
+            if i > 0 && w.start < end {
+                return Err(ScheduleError::Unordered(*w));
+            }
+            if let Some(end) = w.end {
+                if end <= w.start {
+                    return Err(ScheduleError::EmptyWindow(*w));
+                }
+            }
+            prev_end = w.end;
+        }
+        Ok(ScheduleSpec { windows })
+    }
+
+    /// The `(window, strategy)` pairs, in step order.
+    #[must_use]
+    pub fn windows(&self) -> &[(Window, AdversarySpec)] {
+        &self.windows
+    }
+
+    /// The strategy active at `step`, if any window covers it.
+    #[must_use]
+    pub fn active_at(&self, step: Step) -> Option<(&Window, &AdversarySpec)> {
+        self.windows
+            .iter()
+            .find(|(w, _)| w.contains(step))
+            .map(|(w, s)| (w, s))
+    }
+}
+
+impl fmt::Display for ScheduleSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sched:")?;
+        for (i, (w, spec)) in self.windows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ";")?;
+            }
+            write!(f, "{w}{spec}")?;
+        }
+        Ok(())
+    }
+}
+
 /// A Byzantine strategy named as data (see the module docs for the
 /// grammar). Protocol crates map specs to concrete adversaries; the
 /// simulator itself can instantiate the protocol-independent subset via
 /// [`AdversarySpec::generic`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum AdversarySpec {
     /// No node is corrupted (`none`).
     None,
@@ -85,6 +249,9 @@ pub enum AdversarySpec {
         /// Labels scanned per corrupt node when aiming poll lists.
         label_scan: u64,
     },
+    /// A composed fault schedule: a different strategy per step window
+    /// (`sched:[0..5]silent:9;[5..12]flood;[12..]corner:512`).
+    Sched(ScheduleSpec),
 }
 
 /// Default rate for `random-flood` when no parameters are given.
@@ -110,6 +277,10 @@ impl AdversarySpec {
         ("pull-flood[:rate,steps]", "pull-request spraying"),
         ("bad-string", "full campaign for a bogus string (rushing)"),
         ("corner[:label_scan]", "cornering/overload attack (rushing)"),
+        (
+            "sched:[a..b]spec;[b..]spec",
+            "composed fault schedule: one strategy per step window",
+        ),
     ];
 
     /// The spec's bare name (no parameters).
@@ -124,6 +295,7 @@ impl AdversarySpec {
             AdversarySpec::PullFlood { .. } => "pull-flood",
             AdversarySpec::BadString => "bad-string",
             AdversarySpec::Corner { .. } => "corner",
+            AdversarySpec::Sched(_) => "sched",
         }
     }
 
@@ -163,6 +335,7 @@ impl fmt::Display for AdversarySpec {
             AdversarySpec::PullFlood { rate, steps } => write!(f, "pull-flood:{rate},{steps}"),
             AdversarySpec::BadString => write!(f, "bad-string"),
             AdversarySpec::Corner { label_scan } => write!(f, "corner:{label_scan}"),
+            AdversarySpec::Sched(schedule) => write!(f, "{schedule}"),
         }
     }
 }
@@ -196,23 +369,71 @@ fn spec_error(input: &str, expected: &'static str) -> ParseSpecError {
 }
 
 /// Splits `name[:params]`, then `params` on commas.
-fn split_spec(s: &str) -> (&str, Vec<&str>) {
+///
+/// Rejects (returns `None` for) malformed shapes the grammar must not
+/// silently accept: a trailing colon with no parameters (`silent:`), a
+/// trailing or doubled comma yielding an empty parameter (`silent:9,`),
+/// and embedded whitespace anywhere in the spec (`silent: 9`). Callers
+/// turn `None` into the usual usage error.
+fn split_spec(s: &str) -> Option<(&str, Vec<&str>)> {
+    if s.is_empty() || s.chars().any(char::is_whitespace) {
+        return None;
+    }
     match s.split_once(':') {
-        Some((name, params)) => (name, params.split(',').collect()),
-        None => (s, Vec::new()),
+        Some((name, params)) => {
+            let params: Vec<&str> = params.split(',').collect();
+            if params.iter().any(|p| p.is_empty()) {
+                return None;
+            }
+            Some((name, params))
+        }
+        None => Some((s, Vec::new())),
     }
 }
 
 const ADVERSARY_EXPECTED: &str =
     "none | silent[:t] | random-flood[:rate,steps] | flood | equivocate[:strings] | \
-     pull-flood[:rate,steps] | bad-string | corner[:label_scan]";
+     pull-flood[:rate,steps] | bad-string | corner[:label_scan] | \
+     sched:[a..b]spec;[b..]spec (windows ordered, non-overlapping, only the last open)";
+
+/// Parses one schedule window `[a..b]spec` / `[a..]spec`.
+fn parse_window(part: &str) -> Option<(Window, AdversarySpec)> {
+    let body = part.strip_prefix('[')?;
+    let (range, spec) = body.split_once(']')?;
+    let (start, end) = range.split_once("..")?;
+    let start: Step = start.parse().ok()?;
+    let end: Option<Step> = if end.is_empty() {
+        None
+    } else {
+        Some(end.parse().ok()?)
+    };
+    // Inner specs parse through the full grammar; nesting is rejected by
+    // `ScheduleSpec::new`.
+    let spec: AdversarySpec = spec.parse().ok()?;
+    Some((Window { start, end }, spec))
+}
 
 impl FromStr for AdversarySpec {
     type Err = ParseSpecError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (name, params) = split_spec(s);
         let err = || spec_error(s, ADVERSARY_EXPECTED);
+        // `sched:` bodies contain colons and commas of their inner specs,
+        // so they bypass the name/params split.
+        if let Some(body) = s.strip_prefix("sched:") {
+            if body.chars().any(char::is_whitespace) {
+                return Err(err());
+            }
+            let windows = body
+                .split(';')
+                .map(parse_window)
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(err)?;
+            return ScheduleSpec::new(windows)
+                .map(AdversarySpec::Sched)
+                .map_err(|_| err());
+        }
+        let (name, params) = split_spec(s).ok_or_else(err)?;
         let parse_one = |params: &[&str]| -> Result<u64, ParseSpecError> {
             match params {
                 [v] => v.parse().map_err(|_| err()),
@@ -313,7 +534,7 @@ impl FromStr for NetworkSpec {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let expected = "sync | async[:max_delay]";
-        let (name, params) = split_spec(s);
+        let (name, params) = split_spec(s).ok_or_else(|| spec_error(s, expected))?;
         match (name, params.as_slice()) {
             ("sync", []) => Ok(NetworkSpec::Sync),
             ("async", []) => Ok(NetworkSpec::Async { max_delay: 1 }),
@@ -413,6 +634,143 @@ mod tests {
     }
 
     #[test]
+    fn trailing_and_empty_params_are_rejected() {
+        // The split_spec hardening: these used to reach the per-name
+        // parameter matchers (or worse, pass an empty parameter through);
+        // all must fail with the usage error now.
+        for bad in [
+            "silent:",
+            "silent:9,",
+            "silent:,9",
+            "silent: 9",
+            " silent",
+            "silent ",
+            "silent\t:9",
+            "random-flood:16,,4",
+            "pull-flood:16,4,",
+            "corner:",
+            "none:",
+            "flood:",
+        ] {
+            assert!(bad.parse::<AdversarySpec>().is_err(), "{bad:?} must fail");
+        }
+        for bad in ["async:", "async:2,", "sync ", " sync", "async: 2"] {
+            assert!(bad.parse::<NetworkSpec>().is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn schedules_round_trip_display_and_parse() {
+        let sched = AdversarySpec::Sched(
+            ScheduleSpec::new(vec![
+                (Window::bounded(0, 5), AdversarySpec::Silent { t: Some(9) }),
+                (Window::bounded(5, 12), AdversarySpec::PushFlood),
+                (Window::open(12), AdversarySpec::Corner { label_scan: 512 }),
+            ])
+            .expect("valid schedule"),
+        );
+        let shown = sched.to_string();
+        assert_eq!(shown, "sched:[0..5]silent:9;[5..12]flood;[12..]corner:512");
+        assert_eq!(shown.parse::<AdversarySpec>().unwrap(), sched);
+        assert_eq!(sched.name(), "sched");
+
+        // Single open window, parameterless inner spec.
+        let single = "sched:[0..]bad-string".parse::<AdversarySpec>().unwrap();
+        let AdversarySpec::Sched(schedule) = &single else {
+            panic!("expected a schedule");
+        };
+        assert_eq!(schedule.windows().len(), 1);
+        assert_eq!(schedule.windows()[0].1, AdversarySpec::BadString);
+        assert_eq!(single.to_string().parse::<AdversarySpec>().unwrap(), single);
+
+        // Gaps between windows are allowed (no strategy acts there).
+        let gapped = "sched:[0..2]flood;[7..9]silent".parse::<AdversarySpec>();
+        assert!(gapped.is_ok(), "gaps are valid: {gapped:?}");
+    }
+
+    #[test]
+    fn schedule_windows_report_the_active_strategy() {
+        let schedule = ScheduleSpec::new(vec![
+            (Window::bounded(0, 3), AdversarySpec::Silent { t: None }),
+            (Window::open(5), AdversarySpec::PushFlood),
+        ])
+        .expect("valid");
+        assert_eq!(
+            schedule.active_at(0).map(|(_, s)| s),
+            Some(&AdversarySpec::Silent { t: None })
+        );
+        assert_eq!(
+            schedule.active_at(2).map(|(_, s)| s),
+            Some(&AdversarySpec::Silent { t: None })
+        );
+        assert!(schedule.active_at(3).is_none(), "gap step");
+        assert!(schedule.active_at(4).is_none(), "gap step");
+        assert_eq!(
+            schedule.active_at(100).map(|(_, s)| s),
+            Some(&AdversarySpec::PushFlood)
+        );
+        assert!(Window::bounded(2, 4).contains(2));
+        assert!(!Window::bounded(2, 4).contains(4), "half-open");
+    }
+
+    #[test]
+    fn invalid_schedules_are_rejected() {
+        // Structural errors via the constructor…
+        assert_eq!(
+            ScheduleSpec::new(Vec::new()).unwrap_err(),
+            ScheduleError::Empty
+        );
+        assert_eq!(
+            ScheduleSpec::new(vec![(Window::bounded(3, 3), AdversarySpec::None)]).unwrap_err(),
+            ScheduleError::EmptyWindow(Window::bounded(3, 3))
+        );
+        assert_eq!(
+            ScheduleSpec::new(vec![
+                (Window::bounded(0, 5), AdversarySpec::None),
+                (Window::bounded(3, 8), AdversarySpec::PushFlood),
+            ])
+            .unwrap_err(),
+            ScheduleError::Unordered(Window::bounded(3, 8))
+        );
+        assert_eq!(
+            ScheduleSpec::new(vec![
+                (Window::open(0), AdversarySpec::None),
+                (Window::bounded(5, 8), AdversarySpec::PushFlood),
+            ])
+            .unwrap_err(),
+            ScheduleError::OpenNotLast(Window::bounded(5, 8))
+        );
+        let inner = ScheduleSpec::new(vec![(Window::open(0), AdversarySpec::None)]).unwrap();
+        assert_eq!(
+            ScheduleSpec::new(vec![(Window::open(0), AdversarySpec::Sched(inner))]).unwrap_err(),
+            ScheduleError::Nested
+        );
+
+        // …and the same shapes (plus syntax noise) through the parser.
+        for bad in [
+            "sched:",
+            "sched:[0..5]",
+            "sched:[0..5]martian",
+            "sched:[5..5]silent",
+            "sched:[0..5]silent;[3..8]flood", // overlapping
+            "sched:[5..9]silent;[0..3]flood", // unordered
+            "sched:[0..]silent;[9..12]flood", // open window not last
+            "sched:[0..5]silent:;[5..]flood", // inner trailing colon
+            "sched:[0..5]sched:[0..2]silent", // nested
+            "sched:[0..5] silent",            // whitespace
+            "sched:[a..5]silent",             // non-numeric bound
+            "sched:0..5silent",               // missing brackets
+            "sched:[0..5]silent;;[5..]flood", // empty window entry
+        ] {
+            assert!(bad.parse::<AdversarySpec>().is_err(), "{bad:?} must fail");
+        }
+        let err = "sched:[0..5]silent;[3..8]flood"
+            .parse::<AdversarySpec>()
+            .unwrap_err();
+        assert!(err.to_string().contains("sched"), "{err}");
+    }
+
+    #[test]
     fn network_specs_round_trip() {
         for spec in [
             NetworkSpec::Sync,
@@ -454,8 +812,15 @@ mod tests {
     #[test]
     fn catalogue_names_match_parse() {
         for (grammar, _) in AdversarySpec::CATALOGUE {
-            let bare = grammar.split('[').next().unwrap();
-            let spec = bare.parse::<AdversarySpec>().unwrap();
+            let bare = grammar.split('[').next().unwrap().trim_end_matches(':');
+            // Schedules have no bare form (windows are mandatory); a
+            // representative schedule stands in for the catalogue row.
+            let text = if *bare == *"sched" {
+                "sched:[0..]none".to_string()
+            } else {
+                bare.to_string()
+            };
+            let spec = text.parse::<AdversarySpec>().unwrap();
             assert!(grammar.starts_with(spec.name()));
         }
     }

@@ -45,8 +45,11 @@ fn main() {
     let seed = 11;
 
     // The gauntlet, as data. Every entry is a parseable adversary spec
-    // plus its timing model — exactly what the CLI takes.
-    let gauntlet: [(&'static str, &'static str, &'static str); 7] = [
+    // plus its timing model — exactly what the CLI takes. The last row
+    // is a composed fault schedule: three strategies across step
+    // windows of one run (`paperbench gauntlet` sweeps a whole matrix
+    // of these).
+    let gauntlet: [(&'static str, &'static str, &'static str); 8] = [
         ("none (fault-free)", "none", "sync"),
         ("silent t", "silent", "sync"),
         ("random-string flood", "random-flood:16,4", "sync"),
@@ -54,6 +57,11 @@ fn main() {
         ("equivocate ×8", "equivocate:8", "sync"),
         ("bad-string campaign", "bad-string", "sync"),
         ("cornering (async)", "corner:256", "async:1"),
+        (
+            "flood→equivocate→corner",
+            "sched:[0..1]flood;[1..3]equivocate:8;[3..]corner:256",
+            "async:1",
+        ),
     ];
 
     let mut rows = Vec::new();

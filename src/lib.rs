@@ -39,8 +39,39 @@
 //! paperbench scenario --n 64 --faults 9 --adversary bad-string --network async:2
 //! ```
 //!
+//! ## Mixed adversaries: composed fault schedules
+//!
+//! A `sched:` spec assigns a different strategy to each step window —
+//! the fault-schedule matrix an adaptive-behaviour adversary implies.
+//! Each window's strategy keeps its own state for the whole run, and a
+//! single-window `sched:[0..]X` is bit-identical to the bare `X`:
+//!
+//! ```
+//! use fba::scenario::{Phase, Scenario};
+//! use fba::sim::AdversarySpec;
+//!
+//! // A push-flood volley, then equivocation, then the cornering attack.
+//! let sched: AdversarySpec = "sched:[0..1]flood;[1..3]equivocate:4;[3..]corner:64"
+//!     .parse()
+//!     .expect("valid schedule");
+//! let outcome = Scenario::new(64)
+//!     .adversary(sched)
+//!     .phase(Phase::aer(0.8))
+//!     .run(9)
+//!     .expect("valid scenario")
+//!     .into_aer();
+//! assert_eq!(outcome.wrong_decisions(), 0);
+//! assert!(outcome.corner.is_some(), "the corner window still reports");
+//! ```
+//!
+//! Windows are half-open `[start..end)` (only the last may be open-ended),
+//! must be ordered and non-overlapping, and cannot nest; malformed
+//! schedules are rejected at parse/construction time. The `paperbench
+//! gauntlet` battery sweeps a schedule matrix across system sizes.
+//!
 //! See [`scenario`] for the full builder surface (phases, observers,
-//! tuning knobs) and [`sim::AdversarySpec`] for the adversary grammar.
+//! tuning knobs) and [`sim::AdversarySpec`] for the adversary grammar
+//! (including [`sim::ScheduleSpec`] and [`sim::Window`]).
 //!
 //! ## Crate map
 //!
@@ -74,4 +105,4 @@ pub use fba_scenario as scenario;
 pub use fba_sim as sim;
 
 pub use fba_scenario::{Baseline, Phase, PreconditionSpec, Scenario, ScenarioOutcome};
-pub use fba_sim::{AdversarySpec, NetworkSpec};
+pub use fba_sim::{AdversarySpec, NetworkSpec, ScheduleSpec, Window};

@@ -44,10 +44,10 @@ fn aer_survives_each_adversary_without_wrong_decisions() {
         ),
     ];
     for seed in [3u64, 5, 6] {
-        for (spec, network) in suite {
+        for (spec, network) in &suite {
             let out = scenario(n, 0.8, UnknowingAssignment::SharedAdversarial)
-                .adversary(spec)
-                .network(network)
+                .adversary(spec.clone())
+                .network(*network)
                 .run(seed)
                 .expect("valid scenario")
                 .into_aer();

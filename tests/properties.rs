@@ -13,7 +13,7 @@ use fba::samplers::{
 };
 use fba::scenario::{Phase, Scenario};
 use fba::sim::rng::derive_rng;
-use fba::sim::{AdversarySpec, NetworkSpec, NodeId, WireSize};
+use fba::sim::{AdversarySpec, NetworkSpec, NodeId, ScheduleSpec, Window, WireSize};
 use proptest::prelude::*;
 
 proptest! {
@@ -205,9 +205,9 @@ proptest! {
     }
 }
 
-/// Strategy generating every [`AdversarySpec`] shape with randomized
-/// parameters.
-fn adversary_spec_strategy() -> impl Strategy<Value = AdversarySpec> {
+/// Strategy generating every single-strategy [`AdversarySpec`] shape
+/// with randomized parameters (everything but `sched`).
+fn base_adversary_spec_strategy() -> impl Strategy<Value = AdversarySpec> {
     prop_oneof![
         Just(AdversarySpec::None),
         proptest::option::of(0usize..10_000).prop_map(|t| AdversarySpec::Silent { t }),
@@ -220,6 +220,41 @@ fn adversary_spec_strategy() -> impl Strategy<Value = AdversarySpec> {
         Just(AdversarySpec::BadString),
         (1u64..100_000).prop_map(|label_scan| AdversarySpec::Corner { label_scan }),
     ]
+}
+
+/// Strategy generating valid composed fault schedules: 1–3 windows laid
+/// out left to right with random gaps and lengths, randomly open-ended.
+fn schedule_strategy() -> impl Strategy<Value = AdversarySpec> {
+    (
+        proptest::collection::vec(
+            (0u64..4, 1u64..40, base_adversary_spec_strategy()),
+            1usize..4,
+        ),
+        any::<bool>(),
+    )
+        .prop_map(|(parts, open_last)| {
+            let count = parts.len();
+            let mut windows = Vec::new();
+            let mut cursor = 0u64;
+            for (i, (gap, len, spec)) in parts.into_iter().enumerate() {
+                let start = cursor + gap;
+                let end = start + len;
+                let window = if i + 1 == count && open_last {
+                    Window::open(start)
+                } else {
+                    Window::bounded(start, end)
+                };
+                windows.push((window, spec));
+                cursor = end;
+            }
+            AdversarySpec::Sched(ScheduleSpec::new(windows).expect("constructed schedules valid"))
+        })
+}
+
+/// Strategy generating every [`AdversarySpec`] shape with randomized
+/// parameters, composed fault schedules included.
+fn adversary_spec_strategy() -> impl Strategy<Value = AdversarySpec> {
+    prop_oneof![base_adversary_spec_strategy(), schedule_strategy()]
 }
 
 proptest! {
@@ -243,6 +278,44 @@ proptest! {
         };
         let back: NetworkSpec = spec.to_string().parse().expect("display output parses");
         prop_assert_eq!(back, spec);
+    }
+
+    /// Malformed-input fuzzing: syntactic noise applied to any valid
+    /// spec string must be *rejected*, never silently normalised — the
+    /// spec-grammar satellite (`silent:` / `silent:9,` / embedded
+    /// whitespace used to slip through `split_spec`).
+    #[test]
+    fn mutated_spec_strings_are_rejected(
+        spec in adversary_spec_strategy(),
+        mutation in 0usize..6,
+        pos_seed in any::<u64>(),
+    ) {
+        let shown = spec.to_string();
+        let mutated = match mutation {
+            0 => format!("{shown}:"),
+            1 => format!("{shown},"),
+            2 => format!(" {shown}"),
+            3 => format!("{shown} "),
+            4 => {
+                // Embedded whitespace at a random interior position.
+                let pos = 1 + (pos_seed as usize) % shown.len().max(1);
+                let split = shown
+                    .char_indices()
+                    .map(|(i, _)| i)
+                    .chain([shown.len()])
+                    .min_by_key(|i| i.abs_diff(pos))
+                    .unwrap();
+                format!("{} {}", &shown[..split], &shown[split..])
+            }
+            _ => format!("{shown};"),
+        };
+        prop_assume!(mutated != shown);
+        prop_assert!(
+            mutated.parse::<AdversarySpec>().is_err(),
+            "{:?} (mutation {}) must be rejected",
+            mutated,
+            mutation
+        );
     }
 }
 

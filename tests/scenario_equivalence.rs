@@ -57,7 +57,7 @@ fn hand_wired(
                 )
             })
     };
-    let out = match *adversary {
+    let out = match adversary {
         AdversarySpec::None => h.run(&engine, seed, &mut NoAdversary),
         AdversarySpec::Silent { t } => {
             h.run(&engine, seed, &mut SilentAdversary::new(t.unwrap_or(cfg.t)))
@@ -65,18 +65,21 @@ fn hand_wired(
         AdversarySpec::RandomFlood { rate, steps } => h.run(
             &engine,
             seed,
-            &mut RandomStringFlood::new(ctx(), rate, steps),
+            &mut RandomStringFlood::new(ctx(), *rate, *steps),
         ),
         AdversarySpec::PushFlood => h.run(&engine, seed, &mut PushFlood::new(ctx(), bad())),
         AdversarySpec::Equivocate { strings } => {
-            h.run(&engine, seed, &mut Equivocate::new(ctx(), strings))
+            h.run(&engine, seed, &mut Equivocate::new(ctx(), *strings))
         }
         AdversarySpec::PullFlood { rate, steps } => {
-            h.run(&engine, seed, &mut PullFlood::new(ctx(), rate, steps))
+            h.run(&engine, seed, &mut PullFlood::new(ctx(), *rate, *steps))
         }
         AdversarySpec::BadString => h.run(&engine, seed, &mut BadString::new(ctx(), bad())),
         AdversarySpec::Corner { label_scan } => {
-            h.run(&engine, seed, &mut Corner::new(ctx(), label_scan))
+            h.run(&engine, seed, &mut Corner::new(ctx(), *label_scan))
+        }
+        AdversarySpec::Sched(_) => {
+            unreachable!("schedules are pinned against the bare strategy, not hand-wired")
         }
     };
     (out, pre)
@@ -119,11 +122,11 @@ fn every_adversary_spec_is_bit_identical_sync() {
         AdversarySpec::BadString,
     ];
     for n in SIZES {
-        for spec in specs {
+        for spec in &specs {
             let seed = 3;
             let scenario = Scenario::new(n)
                 .phase(Phase::aer_with(0.8, UnknowingAssignment::SharedAdversarial))
-                .adversary(spec)
+                .adversary(spec.clone())
                 .run(seed)
                 .expect("valid scenario")
                 .into_aer();
@@ -134,11 +137,87 @@ fn every_adversary_spec_is_bit_identical_sync() {
                 UnknowingAssignment::SharedAdversarial,
                 false,
                 None,
-                &spec,
+                spec,
             );
             assert_identical(&format!("n={n} {spec}"), &scenario.run, &hand);
             assert_eq!(scenario.precondition.gstring, pre.gstring);
         }
+    }
+}
+
+#[test]
+fn single_window_schedules_are_bit_identical_to_the_bare_spec() {
+    // The tentpole's safety pin: `sched:[0..]X` must be *bit-identical*
+    // to the bare `X` — same corrupt set, outputs, decision steps, bit
+    // and message counts. This is what makes composed schedules safe to
+    // build on: a schedule is the bare strategy plus window dispatch,
+    // never a subtly different adversary.
+    use fba::sim::{ScheduleSpec, Window};
+    let specs = [
+        AdversarySpec::Silent { t: None },
+        AdversarySpec::RandomFlood { rate: 16, steps: 4 },
+        AdversarySpec::PushFlood,
+        AdversarySpec::Equivocate { strings: 8 },
+        AdversarySpec::BadString,
+    ];
+    for n in SIZES {
+        for spec in &specs {
+            let seed = 3;
+            let wrap = |spec: &AdversarySpec| {
+                AdversarySpec::Sched(
+                    ScheduleSpec::new(vec![(Window::open(0), spec.clone())])
+                        .expect("single-window schedule"),
+                )
+            };
+            let scheduled = Scenario::new(n)
+                .phase(Phase::aer_with(0.8, UnknowingAssignment::SharedAdversarial))
+                .adversary(wrap(spec))
+                .run(seed)
+                .expect("valid scenario")
+                .into_aer();
+            let (hand, _) = hand_wired(
+                n,
+                seed,
+                0.8,
+                UnknowingAssignment::SharedAdversarial,
+                false,
+                None,
+                spec,
+            );
+            assert_identical(&format!("n={n} sched:[0..]{spec}"), &scheduled.run, &hand);
+        }
+
+        // The async rushing shape too: a single corner window under the
+        // strict asynchronous engine (the fig1a/l6 regime).
+        let corner = AdversarySpec::Corner { label_scan: 256 };
+        let scheduled = Scenario::new(n)
+            .phase(Phase::aer(0.8))
+            .strict()
+            .network(NetworkSpec::Async { max_delay: 1 })
+            .adversary(AdversarySpec::Sched(
+                ScheduleSpec::new(vec![(Window::open(0), corner.clone())]).expect("valid"),
+            ))
+            .run(5)
+            .expect("valid scenario")
+            .into_aer();
+        let (hand, _) = hand_wired(
+            n,
+            5,
+            0.8,
+            UnknowingAssignment::RandomPerNode,
+            true,
+            Some(1),
+            &corner,
+        );
+        assert_identical(
+            &format!("n={n} sched:[0..]corner async"),
+            &scheduled.run,
+            &hand,
+        );
+        assert!(
+            scheduled.corner.is_some(),
+            "n={n}: corner report surfaces through the single-window schedule"
+        );
     }
 }
 
@@ -152,7 +231,7 @@ fn corner_and_silent_are_bit_identical_async() {
             .phase(Phase::aer(0.8))
             .strict()
             .network(NetworkSpec::Async { max_delay: 1 })
-            .adversary(corner_spec)
+            .adversary(corner_spec.clone())
             .run(seed)
             .expect("valid scenario")
             .into_aer();
@@ -172,7 +251,7 @@ fn corner_and_silent_are_bit_identical_async() {
         let scenario = Scenario::new(n)
             .phase(Phase::aer(0.8))
             .network(NetworkSpec::Async { max_delay: 2 })
-            .adversary(silent)
+            .adversary(silent.clone())
             .run(seed)
             .expect("valid scenario")
             .into_aer();
