@@ -1,5 +1,5 @@
-//! CLI: regenerate the paper's tables and figures, or run one arbitrary
-//! scenario.
+//! CLI: regenerate the paper's tables and figures, run one arbitrary
+//! scenario, or run an arbitrary axes × metrics battery.
 //!
 //! ```bash
 //! paperbench all              # every experiment, default scope
@@ -7,30 +7,204 @@
 //! paperbench --quick all      # CI-sized
 //! paperbench --full all       # adds the largest classic system sizes
 //! paperbench --scope huge …   # scale frontier (n = 4096/8192)
+//! paperbench --json out/ all  # also write per-cell JSON records per id
 //! paperbench bench-engine     # throughput battery -> BENCH_engine.json
 //! paperbench scenario --n 2048 --adversary flood --network async:3 --phase composed
+//! paperbench sweep --axis n=256,1024 --axis adversary=silent,flood \
+//!     --metric rounds,bits --scope quick --json sweep.json
 //! ```
 //!
 //! Experiment sweeps fan independent seeded runs across every core
 //! (deterministically — parallel output is bit-identical to serial; set
 //! `FBA_THREADS=1` to force serial execution).
 //!
-//! Unknown experiment ids, subcommands, scope names, adversary specs or
-//! phases print usage and exit non-zero without running anything.
+//! Unknown experiment ids, subcommands, scope names, adversary specs,
+//! phases, sweep axes or sweep metrics print usage and exit non-zero
+//! without running anything.
 
 use std::process::ExitCode;
 
-use fba_bench::{engine_bench, parallelism, run_experiment, Scope, ALL_IDS};
+use fba_bench::{engine_bench, parallelism, run_experiment, sweep, Scope, ALL_IDS};
 use fba_scenario::{Baseline, Phase, Scenario, ScenarioOutcome};
 use fba_sim::{AdversarySpec, NetworkSpec};
 
 fn usage() {
     eprintln!(
         "usage: paperbench [--quick|--full|--huge|--scope <quick|default|full|huge>] \
-         <experiment id>... | all | bench-engine | scenario <flags>"
+         [--json <dir>] <experiment id>... | all | bench-engine | scenario <flags> | \
+         sweep <flags>"
     );
     eprintln!("known ids: {}", ALL_IDS.join(", "));
     eprintln!("scenario flags: see `paperbench scenario --help`");
+    eprintln!("sweep flags:    see `paperbench sweep --help`");
+}
+
+fn sweep_usage() {
+    eprintln!(
+        "usage: paperbench sweep [--scope <quick|default|full|huge>] \
+         [--axis <name>=<v1,v2,…>]... [--metric <m1,m2,…>]... [--seeds <s1,s2,…>] \
+         [--strict] [--json <path>]"
+    );
+    eprintln!("  axes (values parse through the scenario spec grammar):");
+    for (name, what) in sweep::AXES {
+        eprintln!("      {name:<10} {what}");
+    }
+    eprintln!("  metrics (default: {}):", sweep::DEFAULT_METRICS.join(","));
+    for (name, what) in sweep::METRICS {
+        eprintln!("      {name:<10} {what}");
+    }
+    eprintln!("  values split on commas; comma *parameters* re-merge automatically");
+    eprintln!("  (adversary=silent,random-flood:16,4 is two values). Repeating");
+    eprintln!("  --axis with the same name extends the axis.");
+}
+
+/// Handles one scope-selecting flag (`--quick`/`--full`/`--huge`, or
+/// `--scope <name>` consuming its value from `iter`). Returns `None`
+/// when `arg` is not a scope flag, `Some(Err(()))` when `--scope` has a
+/// missing or unknown value — one parser shared by every subcommand so
+/// the scope surface cannot drift between them.
+fn scope_flag(arg: &str, iter: &mut std::slice::Iter<'_, String>) -> Option<Result<Scope, ()>> {
+    match arg {
+        "--quick" => Some(Ok(Scope::Quick)),
+        "--full" => Some(Ok(Scope::Full)),
+        "--huge" => Some(Ok(Scope::Huge)),
+        "--scope" => Some(iter.next().and_then(|name| Scope::parse(name)).ok_or(())),
+        _ => None,
+    }
+}
+
+#[allow(clippy::too_many_lines)] // flat flag parsing, mirroring run_scenario
+fn run_sweep(args: &[String]) -> ExitCode {
+    let mut scope = Scope::Default;
+    let mut axes: Vec<(String, Vec<String>)> = Vec::new();
+    let mut metrics: Vec<String> = Vec::new();
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut strict = false;
+    let mut json_path: Option<String> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match scope_flag(arg, &mut iter) {
+            Some(Ok(parsed)) => {
+                scope = parsed;
+                continue;
+            }
+            Some(Err(())) => {
+                eprintln!("error: --scope needs one of quick|default|full|huge");
+                sweep_usage();
+                return ExitCode::FAILURE;
+            }
+            None => {}
+        }
+        let mut value_of = |flag: &str| -> Result<String, ExitCode> {
+            iter.next().cloned().ok_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                sweep_usage();
+                ExitCode::FAILURE
+            })
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                sweep_usage();
+                return ExitCode::SUCCESS;
+            }
+            "--axis" => {
+                let raw = match value_of("--axis") {
+                    Ok(raw) => raw,
+                    Err(code) => return code,
+                };
+                let Some((name, values)) = raw.split_once('=') else {
+                    eprintln!("error: --axis needs <name>=<v1,v2,…> (got `{raw}`)");
+                    sweep_usage();
+                    return ExitCode::FAILURE;
+                };
+                axes.push((name.to_string(), sweep::split_axis_values(name, values)));
+            }
+            "--metric" => {
+                let raw = match value_of("--metric") {
+                    Ok(raw) => raw,
+                    Err(code) => return code,
+                };
+                metrics.extend(raw.split(',').map(ToString::to_string));
+            }
+            "--seeds" => {
+                let raw = match value_of("--seeds") {
+                    Ok(raw) => raw,
+                    Err(code) => return code,
+                };
+                match raw
+                    .split(',')
+                    .map(str::parse)
+                    .collect::<Result<Vec<u64>, _>>()
+                {
+                    Ok(parsed) => seeds = Some(parsed),
+                    Err(err) => {
+                        eprintln!("error: bad --seeds `{raw}`: {err}");
+                        sweep_usage();
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--strict" => strict = true,
+            "--json" => {
+                json_path = match value_of("--json") {
+                    Ok(raw) => Some(raw),
+                    Err(code) => return code,
+                };
+            }
+            other => {
+                eprintln!("error: unknown sweep flag `{other}`");
+                sweep_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if metrics.is_empty() {
+        metrics = sweep::DEFAULT_METRICS
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+    }
+    let battery = match sweep::battery(&axes, &metrics, seeds, strict) {
+        Ok(battery) => battery,
+        Err(err) => {
+            eprintln!("error: {err}");
+            sweep_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    // Pre-flight the JSON destination before a potentially hours-long
+    // sweep, so a bad path cannot discard the results at the very end:
+    // create the parent directory, then probe-write the file itself
+    // (catches an unwritable or directory destination up front).
+    if let Some(path) = &json_path {
+        if let Some(parent) = std::path::Path::new(path)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+        {
+            if let Err(err) = std::fs::create_dir_all(parent) {
+                eprintln!("error: could not create {}: {err}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(err) = std::fs::write(path, "") {
+            eprintln!("error: could not write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let started = std::time::Instant::now();
+    let report = battery.report(scope);
+    println!("{}", report.table.render());
+    println!("_(ran in {:.1?}, scope {scope:?})_", started.elapsed());
+    if let Some(path) = json_path {
+        if let Err(err) = std::fs::write(&path, &report.cells_json) {
+            eprintln!("error: could not write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn scenario_usage() {
@@ -242,22 +416,35 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("scenario") {
         return run_scenario(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("sweep") {
+        return run_sweep(&args[1..]);
+    }
     let mut scope = Scope::Default;
     let mut ids: Vec<String> = Vec::new();
     let mut bench_engine = false;
+    let mut json_dir: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
+        match scope_flag(arg, &mut iter) {
+            Some(Ok(parsed)) => {
+                scope = parsed;
+                continue;
+            }
+            Some(Err(())) => {
+                eprintln!("error: --scope needs one of quick|default|full|huge");
+                usage();
+                return ExitCode::FAILURE;
+            }
+            None => {}
+        }
         match arg.as_str() {
-            "--quick" => scope = Scope::Quick,
-            "--full" => scope = Scope::Full,
-            "--huge" => scope = Scope::Huge,
-            "--scope" => {
-                let Some(parsed) = iter.next().and_then(|name| Scope::parse(name)) else {
-                    eprintln!("error: --scope needs one of quick|default|full|huge");
+            "--json" => {
+                let Some(dir) = iter.next() else {
+                    eprintln!("error: --json needs a directory path");
                     usage();
                     return ExitCode::FAILURE;
                 };
-                scope = parsed;
+                json_dir = Some(dir.clone());
             }
             "all" => ids.extend(ALL_IDS.iter().map(ToString::to_string)),
             "bench-engine" => bench_engine = true,
@@ -282,15 +469,29 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     }
+    if let Some(dir) = &json_dir {
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("error: could not create {dir}: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
     for id in ids {
         let started = std::time::Instant::now();
         match run_experiment(&id, scope) {
-            Ok(table) => {
-                println!("{}", table.render());
+            Ok(report) => {
+                println!("{}", report.table.render());
                 println!(
                     "_(generated in {:.1?}, scope {scope:?})_\n",
                     started.elapsed()
                 );
+                if let Some(dir) = &json_dir {
+                    let path = format!("{dir}/{id}.json");
+                    if let Err(err) = std::fs::write(&path, &report.cells_json) {
+                        eprintln!("error: could not write {path}: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {path}");
+                }
             }
             Err(err) => {
                 eprintln!("error: {err}");

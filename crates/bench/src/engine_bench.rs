@@ -11,13 +11,12 @@
 //! accumulate a perf trajectory; the huge scope adds the n = 8192 regime
 //! to that trajectory.
 
-use std::time::Instant;
-
 use fba_core::AerNode;
 use fba_scenario::Scenario;
 use fba_sim::{AdversarySpec, FinalInspect, NodeId};
 
-use crate::par::{par_map, parallelism};
+use crate::battery::{Battery, SeedPolicy};
+use crate::par::parallelism;
 use crate::scope::Scope;
 
 /// Aggregate result for one system size of the benchmark battery.
@@ -115,38 +114,49 @@ pub fn bench_seeds(scope: Scope) -> Vec<u64> {
     }
 }
 
-fn run_regime(n: usize, seeds: &[u64]) -> RegimeReport {
-    // (seed, silent_t) cells: fault-free and silent-t per seed.
-    let cells: Vec<(u64, bool)> = seeds
-        .iter()
-        .flat_map(|&s| [(s, false), (s, true)])
-        .collect();
-    let runs = cells.len();
-
-    let started = Instant::now();
-    let outcomes = par_map(cells, |(seed, with_faults)| {
-        let mut scenario = Scenario::new(n);
-        if with_faults {
-            scenario = scenario.adversary(AdversarySpec::Silent { t: None });
+fn run_regime(scope: Scope, n: usize, seeds: &[u64]) -> RegimeReport {
+    // One battery per regime: the mode axis (fault-free / silent-t) times
+    // the fixed bench seed set, timed as one fan-out so the regime's
+    // wall-clock matches what the throughput columns divide by.
+    let battery = Battery::new(
+        format!("bench-engine:{n}"),
+        format!("bench-engine — n = {n} throughput battery"),
+        move |&with_faults: &bool, seed| {
+            let mut scenario = Scenario::new(n);
+            if with_faults {
+                scenario = scenario.adversary(AdversarySpec::Silent { t: None });
+            }
+            let mut peak = 0usize;
+            let out = {
+                let mut inspect = FinalInspect(|_: NodeId, node: &AerNode| {
+                    peak = peak.max(node.candidates().len());
+                });
+                scenario
+                    .run_observed(seed, &mut inspect)
+                    .expect("bench scenario")
+                    .into_aer()
+            };
+            (
+                out.run.metrics.steps,
+                out.run.metrics.total_msgs_sent(),
+                peak,
+                out.run.metrics.decided_fraction(),
+            )
+        },
+    )
+    .axes(&["mode"], |&with_faults| {
+        vec![if with_faults {
+            "silent-t"
+        } else {
+            "fault-free"
         }
-        let mut peak = 0usize;
-        let out = {
-            let mut inspect = FinalInspect(|_: NodeId, node: &AerNode| {
-                peak = peak.max(node.candidates().len());
-            });
-            scenario
-                .run_observed(seed, &mut inspect)
-                .expect("bench scenario")
-                .into_aer()
-        };
-        (
-            out.run.metrics.steps,
-            out.run.metrics.total_msgs_sent(),
-            peak,
-            out.run.metrics.decided_fraction(),
-        )
-    });
-    let elapsed_sec = started.elapsed().as_secs_f64().max(1e-9);
+        .to_string()]
+    })
+    .points(vec![false, true])
+    .seeds(SeedPolicy::Fixed(seeds.to_vec()));
+    let (grid, elapsed_sec) = battery.run_timed(scope);
+    let outcomes: Vec<&(u64, u64, usize, f64)> = grid.groups.iter().flatten().collect();
+    let runs = outcomes.len();
 
     let steps: u64 = outcomes.iter().map(|o| o.0).sum();
     let msgs: u64 = outcomes.iter().map(|o| o.1).sum();
@@ -170,7 +180,7 @@ pub fn run(scope: Scope) -> EngineBenchReport {
         threads: parallelism(),
         regimes: bench_sizes(scope)
             .into_iter()
-            .map(|n| run_regime(n, &seeds))
+            .map(|n| run_regime(scope, n, &seeds))
             .collect(),
     }
 }

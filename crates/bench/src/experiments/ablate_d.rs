@@ -9,64 +9,51 @@
 use fba_ae::UnknowingAssignment;
 use fba_sim::AdversarySpec;
 
+use crate::battery::{Agg, Battery, Report};
 use crate::experiments::common::{aer_scenario, KNOWING};
-use crate::par::par_map;
-use crate::scope::{mean, mean_cell, Scope};
-use crate::table::{fnum, Table};
+use crate::scope::Scope;
+use crate::table::fnum;
 
 /// The ablation table: κ (in `d = ⌈κ·ln n⌉`) vs decided %, bits and time.
 #[must_use]
-pub fn table(scope: Scope) -> Table {
+pub fn table(scope: Scope) -> Report {
+    type Cell = (f64, Option<f64>, f64);
     let n = match scope {
         Scope::Quick => 64,
         _ => 256,
     };
-    let mut t = Table::new(
+    Battery::new(
+        "ablate-d",
         "ablate-d — quorum size vs reliability and cost (strict mode)",
-        &["kappa", "d", "decided %", "rounds p50", "bits/node"],
-    );
-    let kappas = [1.5, 2.0, 3.0, 4.0];
-    let seeds = scope.seeds();
-    let cells: Vec<(f64, u64)> = kappas
-        .iter()
-        .flat_map(|&k| seeds.iter().map(move |&seed| (k, seed)))
-        .collect();
-    // Independent seeded runs fan across cores; aggregation walks them in
-    // input order, matching the serial sweep bit for bit.
-    let outcomes = par_map(cells, |(kappa, seed)| {
-        let d = fba_samplers::default_quorum_size(n, kappa);
-        let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
-            .quorum_size(d)
-            .strict()
-            .adversary(AdversarySpec::Silent { t: None })
-            .run(seed)
-            .expect("ablate-d scenario")
-            .into_aer();
-        (
-            out.run.metrics.decided_fraction() * 100.0,
-            out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
-            out.run.metrics.amortized_bits(),
-        )
-    });
-    for (i, &kappa) in kappas.iter().enumerate() {
-        let d = fba_samplers::default_quorum_size(n, kappa);
-        let rows = &outcomes[i * seeds.len()..(i + 1) * seeds.len()];
-        let decided: Vec<f64> = rows.iter().map(|r| r.0).collect();
-        let p50: Vec<f64> = rows.iter().filter_map(|r| r.1).collect();
-        let bits: Vec<f64> = rows.iter().map(|r| r.2).collect();
-        t.push_row(vec![
-            fnum(kappa),
-            d.to_string(),
-            fnum(mean(&decided)),
-            mean_cell(&p50),
-            fnum(mean(&bits)),
-        ]);
-    }
-    t.note(format!(
+        move |&kappa: &f64, seed| -> Cell {
+            let d = fba_samplers::default_quorum_size(n, kappa);
+            let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
+                .quorum_size(d)
+                .strict()
+                .adversary(AdversarySpec::Silent { t: None })
+                .run(seed)
+                .expect("ablate-d scenario")
+                .into_aer();
+            (
+                out.run.metrics.decided_fraction() * 100.0,
+                out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
+                out.run.metrics.amortized_bits(),
+            )
+        },
+    )
+    .axes(&["kappa"], |&kappa| vec![fnum(kappa)])
+    .points(vec![1.5, 2.0, 3.0, 4.0])
+    .col_point("d", move |&kappa| {
+        fba_samplers::default_quorum_size(n, kappa).to_string()
+    })
+    .col("decided %", Agg::Mean, |o: &Cell| Some(o.0))
+    .col("rounds p50", Agg::Mean, |o: &Cell| o.1)
+    .col("bits/node", Agg::Mean, |o: &Cell| Some(o.2))
+    .note(format!(
         "n = {n}, strict mode, silent-t adversary. Larger quorums buy reliability"
-    ));
-    t.note("(decided %) at Θ(d³) communication cost — the knob behind `d = Θ(log n)`.");
-    t
+    ))
+    .note("(decided %) at Θ(d³) communication cost — the knob behind `d = Θ(log n)`.")
+    .report(scope)
 }
 
 #[cfg(test)]
@@ -75,7 +62,7 @@ mod tests {
 
     #[test]
     fn bigger_quorums_are_more_reliable_and_more_expensive() {
-        let t = table(Scope::Quick);
+        let t = table(Scope::Quick).table;
         let first_decided: f64 = t.rows.first().unwrap()[2].parse().unwrap();
         let last_decided: f64 = t.rows.last().unwrap()[2].parse().unwrap();
         assert!(

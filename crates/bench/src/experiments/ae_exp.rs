@@ -1,76 +1,69 @@
 //! The almost-everywhere substrate contract experiment (§2.1
 //! precondition): knowing fraction, rounds and bits per node of the
-//! committee-tree phase.
+//! committee-tree phase — a declarative battery.
 
 use fba_scenario::{Phase, Scenario};
 use fba_sim::AdversarySpec;
 
+use crate::battery::{product2, Agg, Battery, Report};
 use crate::scope::{mean, Scope};
-use crate::table::{fnum, Table};
+use crate::table::fnum;
 
 /// The AE contract table.
 #[must_use]
-pub fn table(scope: Scope) -> Table {
-    let mut t = Table::new(
+pub fn table(scope: Scope) -> Report {
+    type Cell = (f64, f64, f64);
+    const ADVERSARIES: [(&str, f64); 2] = [("none", 0.0), ("silent 15%", 0.15)];
+    Battery::new(
+        "ae",
         "ae — §2.1 precondition: the almost-everywhere phase contract",
-        &[
-            "n",
-            "adversary",
-            "knowing %",
-            "rounds",
-            "bits/node",
-            "bits growth",
-        ],
-    );
-    let mut prev_bits: Option<(f64, usize)> = None;
-    for n in scope.light_sizes() {
-        for (name, t_frac) in [("none", 0.0), ("silent 15%", 0.15)] {
-            let mut knowing = Vec::new();
-            let mut rounds = Vec::new();
-            let mut bits = Vec::new();
-            for seed in scope.seeds() {
-                let scenario = if t_frac == 0.0 {
-                    Scenario::new(n).phase(Phase::Ae)
-                } else {
-                    let t = (n as f64 * t_frac) as usize;
-                    Scenario::new(n)
-                        .phase(Phase::Ae)
-                        .faults(t)
-                        .adversary(AdversarySpec::Silent { t: None })
-                };
-                let outcome = scenario.run(seed).expect("ae scenario").into_ae().outcome;
-                knowing.push(outcome.knowing_fraction * 100.0);
-                rounds.push(outcome.run.metrics.steps as f64);
-                bits.push(outcome.run.metrics.amortized_bits());
-            }
-            let growth = if name == "none" {
-                let b = mean(&bits);
-                let cell = match prev_bits {
-                    Some((pb, pn)) => format!(
-                        "×{} over ×{}",
-                        fnum(b / pb.max(1.0)),
-                        fnum(n as f64 / pn as f64)
-                    ),
-                    None => "-".to_string(),
-                };
-                prev_bits = Some((b, n));
-                cell
+        |&(n, (_, t_frac)): &(usize, (&str, f64)), seed| -> Cell {
+            let scenario = if t_frac == 0.0 {
+                Scenario::new(n).phase(Phase::Ae)
             } else {
-                "-".to_string()
+                let t = (n as f64 * t_frac) as usize;
+                Scenario::new(n)
+                    .phase(Phase::Ae)
+                    .faults(t)
+                    .adversary(AdversarySpec::Silent { t: None })
             };
-            t.push_row(vec![
-                n.to_string(),
-                name.into(),
-                fnum(mean(&knowing)),
-                fnum(mean(&rounds)),
-                fnum(mean(&bits)),
-                growth,
-            ]);
+            let outcome = scenario.run(seed).expect("ae scenario").into_ae().outcome;
+            (
+                outcome.knowing_fraction * 100.0,
+                outcome.run.metrics.steps as f64,
+                outcome.run.metrics.amortized_bits(),
+            )
+        },
+    )
+    .axes(&["n", "adversary"], |&(n, (name, _))| {
+        vec![n.to_string(), name.to_string()]
+    })
+    .points(product2(&scope.light_sizes(), &ADVERSARIES))
+    .point_n(|&(n, _)| n)
+    .col("knowing %", Agg::Mean, |o: &Cell| Some(o.0))
+    .col("rounds", Agg::Mean, |o: &Cell| Some(o.1))
+    .col("bits/node", Agg::Mean, |o: &Cell| Some(o.2))
+    .col_derived("bits growth", |ctx| {
+        // Growth against the previous adversary-free row (the points are
+        // n-major, so that row is two back), printed over the ×n scale
+        // jump it happened across — `-` on the first size and on the
+        // adversarial rows.
+        let &(n, (name, _)) = ctx.point();
+        if name != "none" || ctx.index < 2 {
+            return "-".to_string();
         }
-    }
-    t.note("contract: > 75% of correct nodes know gstring, polylog rounds, polylog bits/node");
-    t.note("(the bits growth column should lag far behind the ×n growth it is printed over).");
-    t
+        let (prev_n, _) = ctx.grid.points[ctx.index - 2];
+        let bits = mean(&ctx.samples(|o| Some(o.2)));
+        let prev_bits = mean(&ctx.grid.samples(ctx.index - 2, |o| Some(o.2)));
+        format!(
+            "×{} over ×{}",
+            fnum(bits / prev_bits.max(1.0)),
+            fnum(n as f64 / prev_n as f64)
+        )
+    })
+    .note("contract: > 75% of correct nodes know gstring, polylog rounds, polylog bits/node")
+    .note("(the bits growth column should lag far behind the ×n growth it is printed over).")
+    .report(scope)
 }
 
 #[cfg(test)]
@@ -79,10 +72,14 @@ mod tests {
 
     #[test]
     fn contract_holds_at_quick_scale() {
-        let t = table(Scope::Quick);
+        let t = table(Scope::Quick).table;
         for row in &t.rows {
             let knowing: f64 = row[2].parse().unwrap();
             assert!(knowing > 75.0, "contract violated: {row:?}");
         }
+        // The growth column anchors and only fills on adversary-free rows.
+        assert_eq!(t.rows[0][5], "-");
+        assert_eq!(t.rows[1][5], "-");
+        assert!(t.rows[2][5].contains("over"), "row {:?}", t.rows[2]);
     }
 }

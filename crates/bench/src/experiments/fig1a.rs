@@ -8,56 +8,23 @@
 //! * AER, asynchronous with the rushing cornering adversary —
 //!   `O(log n / log log n)` rounds, polylog bits/node, *not*
 //!   load-balanced.
+//!
+//! All three tables (`f1a-time`, `f1a-bits`, `f1a-load`) are batteries
+//! over one shared sweep, memoized per scope under the `f1a` cache key
+//! so `paperbench all` runs the expensive cells once.
 
 use fba_ae::UnknowingAssignment;
 use fba_scenario::{Baseline, Phase, PreconditionSpec};
 use fba_sim::{AdversarySpec, NetworkSpec};
 
+use crate::battery::{Agg, Battery, Report, RowCtx};
 use crate::experiments::common::{aer_scenario, log2, loglog_ratio, KNOWING};
-use crate::par::par_map;
-use crate::scope::{mean, mean_opt, opt_cell, Scope};
-use crate::table::{fnum, Table};
-
-/// Aggregates of one system size. Round means are `None` when *no* run
-/// in the cell reached the quantile (e.g. strict-mode corner runs at
-/// small budgets) — rendered `n/a`, never a fake `0` or `NaN`.
-#[derive(Clone)]
-struct SizePoint {
-    n: usize,
-    klst_rounds: Option<f64>,
-    klst_bits: f64,
-    klst_imbalance: f64,
-    aer_sync_rounds: Option<f64>,
-    aer_sync_bits: f64,
-    aer_async_rounds: Option<f64>,
-    aer_async_bits: f64,
-    aer_imbalance: f64,
-}
-
-/// The three Figure 1a tables share one sweep; memoize it per scope so
-/// `paperbench all` does not run the expensive runs three times.
-fn sweep(scope: Scope) -> Vec<SizePoint> {
-    use std::sync::{Mutex, OnceLock};
-    type SweepCache = Mutex<Vec<(Scope, Vec<SizePoint>)>>;
-    static CACHE: OnceLock<SweepCache> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
-    {
-        let guard = cache.lock().expect("cache lock");
-        if let Some((_, points)) = guard.iter().find(|(s, _)| *s == scope) {
-            return points.clone();
-        }
-    }
-    let points = sweep_uncached(scope);
-    cache
-        .lock()
-        .expect("cache lock")
-        .push((scope, points.clone()));
-    points
-}
+use crate::scope::Scope;
+use crate::table::fnum;
 
 /// Everything one `(n, seed)` cell of the sweep produces. Quantiles that
-/// were never reached stay `None` and are skipped at aggregation, exactly
-/// as the serial loop skipped its `Vec::push`.
+/// were never reached stay `None` and are skipped at aggregation — the
+/// battery renders those cells `n/a`, never a fake `0` or a `NaN`.
 struct SeedOutcome {
     klst_rounds: Option<f64>,
     klst_bits: f64,
@@ -124,139 +91,96 @@ fn run_cell(n: usize, seed: u64) -> SeedOutcome {
     }
 }
 
-fn sweep_uncached(scope: Scope) -> Vec<SizePoint> {
-    // Fan every (n, seed) cell across cores; each cell is a pure function
-    // of its inputs, and aggregation walks results in input order, so the
-    // table is bit-identical to the serial sweep (FBA_THREADS=1).
-    let sizes = scope.aer_sizes();
-    let seeds = scope.seeds();
-    let cells: Vec<(usize, u64)> = sizes
-        .iter()
-        .flat_map(|&n| seeds.iter().map(move |&seed| (n, seed)))
-        .collect();
-    let outcomes = par_map(cells, |(n, seed)| run_cell(n, seed));
-
-    sizes
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| aggregate(n, &outcomes[i * seeds.len()..(i + 1) * seeds.len()]))
-        .collect()
+/// The shared sweep all three Figure 1a batteries are declared over:
+/// one axis (`n`), the scope's seed set, one expensive `run_cell` per
+/// cell, memoized per scope under one cache key.
+fn base(id: &str, title: &str, scope: Scope) -> Battery<usize, SeedOutcome> {
+    Battery::new(id, title, |&n, seed| run_cell(n, seed))
+        .axes(&["n"], |n| vec![n.to_string()])
+        .points(scope.aer_sizes())
+        .point_n(|&n| n)
+        .cached_as("f1a")
 }
 
-/// Folds one size's seed outcomes into a [`SizePoint`]. Quantile means
-/// stay `None` when no seed produced the quantile.
-fn aggregate(n: usize, rows: &[SeedOutcome]) -> SizePoint {
-    let collect = |f: &dyn Fn(&SeedOutcome) -> Option<f64>| -> Vec<f64> {
-        rows.iter().filter_map(f).collect()
-    };
-    SizePoint {
-        n,
-        klst_rounds: mean_opt(&collect(&|r| r.klst_rounds)),
-        klst_bits: mean(&collect(&|r| Some(r.klst_bits))),
-        klst_imbalance: mean(&collect(&|r| Some(r.klst_imb))),
-        aer_sync_rounds: mean_opt(&collect(&|r| r.sync_rounds)),
-        aer_sync_bits: mean(&collect(&|r| Some(r.sync_bits))),
-        aer_async_rounds: mean_opt(&collect(&|r| r.async_rounds)),
-        aer_async_bits: mean(&collect(&|r| Some(r.async_bits))),
-        aer_imbalance: mean(&collect(&|r| Some(r.aer_imb))),
+/// A `×N` growth cell against the previous row (`-` on the first row).
+fn growth(ctx: &RowCtx<'_, usize, SeedOutcome>, f: impl Fn(&SeedOutcome) -> Option<f64>) -> String {
+    if ctx.index == 0 {
+        return "-".to_string();
     }
+    let cur = ctx.mean_at(ctx.index, &f).unwrap_or(0.0);
+    let prev = ctx.mean_at(ctx.index - 1, &f).unwrap_or(0.0);
+    format!("×{}", fnum(cur / prev.max(1.0)))
 }
 
 /// Figure 1a, "Time" row.
 #[must_use]
-pub fn time(scope: Scope) -> Table {
-    let mut t = Table::new(
+pub fn time(scope: Scope) -> Report {
+    base(
+        "f1a-time",
         "f1a-time — Fig. 1a `Time`: rounds to decision (median over correct nodes, mean over seeds)",
-        &[
-            "n",
-            "KLST-style (sync)",
-            "AER sync non-rushing",
-            "AER async rushing",
-            "ref log²n",
-            "ref logn/loglogn",
-        ],
-    );
-    for p in sweep(scope) {
-        t.push_row(time_row(&p));
-    }
-    t.note("paper: KLST11 O(log²n), AER O(1) sync non-rushing, O(logn/loglogn) async.");
-    t.note("AER async runs use strict mode (no retries) so the cornering chains are visible.");
-    t.note("`n/a`: no run in the cell reached the decision quantile (all-undecided cell).");
-    t
-}
-
-/// One rendered `f1a-time` row (split out so the all-undecided cell is
-/// unit-testable).
-fn time_row(p: &SizePoint) -> Vec<String> {
-    vec![
-        p.n.to_string(),
-        opt_cell(p.klst_rounds),
-        opt_cell(p.aer_sync_rounds),
-        opt_cell(p.aer_async_rounds),
-        fnum(log2(p.n) * log2(p.n)),
-        fnum(loglog_ratio(p.n)),
-    ]
+        scope,
+    )
+    .col("KLST-style (sync)", Agg::Mean, |o: &SeedOutcome| {
+        o.klst_rounds
+    })
+    .col("AER sync non-rushing", Agg::Mean, |o: &SeedOutcome| {
+        o.sync_rounds
+    })
+    .col("AER async rushing", Agg::Mean, |o: &SeedOutcome| {
+        o.async_rounds
+    })
+    .col_point("ref log²n", |&n| fnum(log2(n) * log2(n)))
+    .col_point("ref logn/loglogn", |&n| fnum(loglog_ratio(n)))
+    .note("paper: KLST11 O(log²n), AER O(1) sync non-rushing, O(logn/loglogn) async.")
+    .note("AER async runs use strict mode (no retries) so the cornering chains are visible.")
+    .note("`n/a`: no run in the cell reached the decision quantile (all-undecided cell).")
+    .report(scope)
 }
 
 /// Figure 1a, "Bits" row.
 #[must_use]
-pub fn bits(scope: Scope) -> Table {
-    let mut t = Table::new(
+pub fn bits(scope: Scope) -> Report {
+    base(
+        "f1a-bits",
         "f1a-bits — Fig. 1a `Bits`: amortized bits per node (mean over seeds)",
-        &[
-            "n",
-            "KLST-style",
-            "AER sync",
-            "AER async",
-            "KLST growth",
-            "AER growth",
-            "ref √n growth",
-        ],
-    );
-    let points = sweep(scope);
-    for (i, p) in points.iter().enumerate() {
-        let (kg, ag, sg) = if i == 0 {
-            ("-".to_string(), "-".to_string(), "-".to_string())
+        scope,
+    )
+    .col("KLST-style", Agg::Mean, |o: &SeedOutcome| Some(o.klst_bits))
+    .col("AER sync", Agg::Mean, |o: &SeedOutcome| Some(o.sync_bits))
+    .col("AER async", Agg::Mean, |o: &SeedOutcome| Some(o.async_bits))
+    .col_derived("KLST growth", |ctx| growth(ctx, |o| Some(o.klst_bits)))
+    .col_derived("AER growth", |ctx| growth(ctx, |o| Some(o.sync_bits)))
+    .col_derived("ref √n growth", |ctx| {
+        if ctx.index == 0 {
+            "-".to_string()
         } else {
-            let prev = &points[i - 1];
-            (
-                format!("×{}", fnum(p.klst_bits / prev.klst_bits.max(1.0))),
-                format!("×{}", fnum(p.aer_sync_bits / prev.aer_sync_bits.max(1.0))),
-                format!("×{}", fnum(((p.n as f64) / (prev.n as f64)).sqrt())),
-            )
-        };
-        t.push_row(vec![
-            p.n.to_string(),
-            fnum(p.klst_bits),
-            fnum(p.aer_sync_bits),
-            fnum(p.aer_async_bits),
-            kg,
-            ag,
-            sg,
-        ]);
-    }
-    t.note("paper: KLST11 Õ(√n) vs AER O(log²n) — compare the growth columns, not absolutes:");
-    t.note("AER's constants (d³ routing fan-out) dominate at laptop n; its *growth* is polylog.");
-    t
+            let n = *ctx.point() as f64;
+            let prev = ctx.grid.points[ctx.index - 1] as f64;
+            format!("×{}", fnum((n / prev).sqrt()))
+        }
+    })
+    .note("paper: KLST11 Õ(√n) vs AER O(log²n) — compare the growth columns, not absolutes:")
+    .note("AER's constants (d³ routing fan-out) dominate at laptop n; its *growth* is polylog.")
+    .report(scope)
 }
 
 /// Figure 1a, "Load-Balanced" row.
 #[must_use]
-pub fn load(scope: Scope) -> Table {
-    let mut t = Table::new(
+pub fn load(scope: Scope) -> Report {
+    base(
+        "f1a-load",
         "f1a-load — Fig. 1a `Load-Balanced`: max/mean received bits across correct nodes",
-        &["n", "KLST-style imbalance", "AER imbalance (cornered)"],
-    );
-    for p in sweep(scope) {
-        t.push_row(vec![
-            p.n.to_string(),
-            fnum(p.klst_imbalance),
-            fnum(p.aer_imbalance),
-        ]);
-    }
-    t.note("paper: KLST11 is load-balanced (ratio ≈ 1); AER deliberately is not —");
-    t.note("the adversary concentrates verification work on a few victims (§1).");
-    t
+        scope,
+    )
+    .col("KLST-style imbalance", Agg::Mean, |o: &SeedOutcome| {
+        Some(o.klst_imb)
+    })
+    .col("AER imbalance (cornered)", Agg::Mean, |o: &SeedOutcome| {
+        Some(o.aer_imb)
+    })
+    .note("paper: KLST11 is load-balanced (ratio ≈ 1); AER deliberately is not —")
+    .note("the adversary concentrates verification work on a few victims (§1).")
+    .report(scope)
 }
 
 #[cfg(test)]
@@ -264,57 +188,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_undecided_cells_render_na_not_zero() {
-        // A cell where no seed's run decided (strict-mode corner at a
-        // small budget, say): the round means must render `n/a`, not a
-        // fake 0 (or a NaN after a 0/0 somewhere downstream).
-        let rows = vec![
-            SeedOutcome {
-                klst_rounds: None,
-                klst_bits: 10.0,
-                klst_imb: 1.0,
-                sync_rounds: None,
-                sync_bits: 20.0,
-                async_rounds: None,
-                async_bits: 30.0,
-                aer_imb: 2.0,
-            },
-            SeedOutcome {
-                klst_rounds: None,
-                klst_bits: 12.0,
-                klst_imb: 1.0,
-                sync_rounds: Some(5.0),
-                sync_bits: 22.0,
-                async_rounds: None,
-                async_bits: 32.0,
-                aer_imb: 2.0,
-            },
-        ];
-        let p = aggregate(64, &rows);
-        assert_eq!(p.klst_rounds, None);
-        assert_eq!(
-            p.aer_sync_rounds,
-            Some(5.0),
-            "partial cells keep their mean"
-        );
-        assert_eq!(p.aer_async_rounds, None);
-        let row = time_row(&p);
-        assert_eq!(row[1], "n/a", "all-undecided KLST cell");
-        assert_eq!(row[2], "5.00", "partially-decided cell keeps its value");
-        assert_eq!(row[3], "n/a", "all-undecided async cell");
-        assert!(
-            row.iter().all(|c| c != "0" && !c.contains("NaN")),
-            "no fake zero / NaN: {row:?}"
-        );
-    }
-
-    #[test]
     fn quick_sweep_produces_full_tables() {
-        let t = time(Scope::Quick);
+        let t = time(Scope::Quick).table;
         assert_eq!(t.rows.len(), Scope::Quick.aer_sizes().len());
-        let b = bits(Scope::Quick);
+        let b = bits(Scope::Quick).table;
         assert_eq!(b.rows.len(), t.rows.len());
-        let l = load(Scope::Quick);
+        let l = load(Scope::Quick).table;
         assert!(!l.rows.is_empty());
         // Sanity: AER sync rounds stay small (retry tails allowed at the
         // tiny quick-scope sizes where poll lists are noisy).
@@ -322,5 +201,23 @@ mod tests {
             let sync_rounds: f64 = row[2].parse().unwrap();
             assert!(sync_rounds > 0.0 && sync_rounds < 45.0, "row {row:?}");
         }
+        // Growth columns anchor at `-` and carry ratios after.
+        assert_eq!(b.rows[0][4], "-");
+        assert!(b.rows[1][4].starts_with('×'), "row {:?}", b.rows[1]);
+    }
+
+    #[test]
+    fn the_three_tables_share_one_memoized_sweep() {
+        // All three reports at one scope recall the `f1a` grid — pinned
+        // indirectly by identical per-cell JSON seeds and by wall-clock
+        // in practice; here we check the shared-cache wiring exists.
+        let a = time(Scope::Quick);
+        let b = load(Scope::Quick);
+        let va = crate::json::Value::parse(&a.cells_json).unwrap();
+        let vb = crate::json::Value::parse(&b.cells_json).unwrap();
+        assert_eq!(
+            va.get("cells").unwrap().as_array().unwrap().len(),
+            vb.get("cells").unwrap().as_array().unwrap().len()
+        );
     }
 }

@@ -14,145 +14,125 @@ use fba_core::AerConfig;
 use fba_scenario::{Baseline, Phase, Scenario};
 use fba_sim::AdversarySpec;
 
-use crate::par::par_map;
-use crate::scope::{mean, Scope};
-use crate::table::{fnum, Table};
+use crate::battery::{product2, Agg, Battery, Report};
+use crate::scope::Scope;
 
-/// Figure 1b: rounds, bits/node and fault tolerance per protocol.
-#[must_use]
-pub fn table(scope: Scope) -> Table {
-    let mut t = Table::new(
-        "f1b — Fig. 1b: Byzantine Agreement protocols (mean over seeds)",
-        &[
-            "protocol",
-            "n",
-            "rounds",
-            "bits/node",
-            "msgs/node",
-            "tolerates",
-        ],
-    );
+/// The three protocol families of the comparison, as data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Protocol {
+    /// AE + AER, the paper's composition.
+    Ba,
+    /// Ben-Or's randomized binary agreement.
+    BenOr,
+    /// The deterministic Phase-King counterpoint.
+    King,
+}
 
-    // One parallel fan-out per protocol family; each (n, seed) cell is an
-    // independent seeded run, and rows aggregate cells in input order, so
-    // the table matches the serial sweep exactly.
-    let cells = |sizes: Vec<usize>, seeds: Vec<u64>| -> Vec<(usize, u64)> {
-        sizes
-            .iter()
-            .flat_map(|&n| seeds.iter().map(move |&seed| (n, seed)))
-            .collect()
-    };
-    let push_rows = |t: &mut Table,
-                     protocol: &str,
-                     tolerates: &str,
-                     sizes: &[usize],
-                     per_seed: usize,
-                     outcomes: &[(Option<f64>, f64, f64)]| {
-        for (i, &n) in sizes.iter().enumerate() {
-            let rows = &outcomes[i * per_seed..(i + 1) * per_seed];
-            let rounds: Vec<f64> = rows.iter().filter_map(|r| r.0).collect();
-            let bits: Vec<f64> = rows.iter().map(|r| r.1).collect();
-            let msgs: Vec<f64> = rows.iter().map(|r| r.2).collect();
-            t.push_row(vec![
-                protocol.into(),
-                n.to_string(),
-                fnum(mean(&rounds)),
-                fnum(mean(&bits)),
-                fnum(mean(&msgs)),
-                tolerates.into(),
-            ]);
+impl Protocol {
+    fn name(self) -> &'static str {
+        match self {
+            Protocol::Ba => "BA (this paper)",
+            Protocol::BenOr => "Ben-Or [BO83]",
+            Protocol::King => "Phase-King (determ.)",
         }
-    };
+    }
 
-    // --- BA = AE + AER (this paper) ---
-    let sizes = scope.aer_sizes();
-    let seeds = scope.seeds();
+    fn tolerates(self) -> &'static str {
+        match self {
+            Protocol::Ba => "t < (1/3-ε)n",
+            Protocol::BenOr => "t < n/5",
+            Protocol::King => "t < n/4",
+        }
+    }
+}
+
+/// One cell's statistics: rounds (p95 quantile, absent when never
+/// reached), bits/node, msgs/node.
+type Cell = (Option<f64>, f64, f64);
+
+fn run_cell(protocol: Protocol, n: usize, seed: u64) -> Cell {
     let silent = AdversarySpec::Silent { t: None };
-    let outcomes = par_map(cells(sizes.clone(), seeds.clone()), |(n, seed)| {
-        let t_faults = AerConfig::recommended(n).t.min(n / 8);
-        let c = Scenario::new(n)
-            .phase(Phase::Composed)
-            .faults(t_faults)
-            .adversary(silent.clone())
-            .ae_adversary(silent.clone())
-            .run(seed)
-            .expect("composed scenario")
-            .into_composed();
-        (
-            c.aer
-                .metrics
-                .decided_quantile(0.95)
-                .map(|r| (c.report.ae_rounds + r) as f64),
-            c.report.ae_bits_per_node + c.report.aer_bits_per_node,
-            (c.ae.run.metrics.correct_msgs_sent() + c.aer.metrics.correct_msgs_sent()) as f64
-                / n as f64,
-        )
-    });
-    push_rows(
-        &mut t,
-        "BA (this paper)",
-        "t < (1/3-ε)n",
-        &sizes,
-        seeds.len(),
-        &outcomes,
-    );
+    match protocol {
+        Protocol::Ba => {
+            let t_faults = AerConfig::recommended(n).t.min(n / 8);
+            let c = Scenario::new(n)
+                .phase(Phase::Composed)
+                .faults(t_faults)
+                .adversary(silent.clone())
+                .ae_adversary(silent)
+                .run(seed)
+                .expect("composed scenario")
+                .into_composed();
+            (
+                c.aer
+                    .metrics
+                    .decided_quantile(0.95)
+                    .map(|r| (c.report.ae_rounds + r) as f64),
+                c.report.ae_bits_per_node + c.report.aer_bits_per_node,
+                (c.ae.run.metrics.correct_msgs_sent() + c.aer.metrics.correct_msgs_sent()) as f64
+                    / n as f64,
+            )
+        }
+        Protocol::BenOr => {
+            let b = Scenario::new(n)
+                .phase(Phase::Baseline(Baseline::BenOr { bias: 0.9 }))
+                .faults(BenOrParams::recommended(n).t)
+                .adversary(silent)
+                .run(seed)
+                .expect("benor scenario")
+                .into_baseline();
+            let metrics = b.outcome.metrics();
+            (
+                metrics.decided_quantile(0.95).map(|s| s as f64),
+                metrics.amortized_bits(),
+                metrics.correct_msgs_sent() as f64 / n as f64,
+            )
+        }
+        Protocol::King => {
+            let k = Scenario::new(n)
+                .phase(Phase::Baseline(Baseline::PhaseKing))
+                .faults(KingParams::recommended(n).t / 2)
+                .adversary(silent)
+                .run(seed)
+                .expect("phase-king scenario")
+                .into_baseline();
+            let metrics = k.outcome.metrics();
+            (
+                metrics.decided_quantile(0.95).map(|s| s as f64),
+                metrics.amortized_bits(),
+                metrics.correct_msgs_sent() as f64 / n as f64,
+            )
+        }
+    }
+}
 
-    // --- Ben-Or (randomized, binary) ---
-    let outcomes = par_map(cells(sizes.clone(), seeds.clone()), |(n, seed)| {
-        let b = Scenario::new(n)
-            .phase(Phase::Baseline(Baseline::BenOr { bias: 0.9 }))
-            .faults(BenOrParams::recommended(n).t)
-            .adversary(silent.clone())
-            .run(seed)
-            .expect("benor scenario")
-            .into_baseline();
-        let metrics = b.outcome.metrics();
-        (
-            metrics.decided_quantile(0.95).map(|s| s as f64),
-            metrics.amortized_bits(),
-            metrics.correct_msgs_sent() as f64 / n as f64,
-        )
-    });
-    push_rows(
-        &mut t,
-        "Ben-Or [BO83]",
-        "t < n/5",
-        &sizes,
-        seeds.len(),
-        &outcomes,
-    );
-
-    // --- Phase-King (deterministic) ---
-    let king_sizes = scope.king_sizes();
-    let outcomes = par_map(cells(king_sizes.clone(), seeds.clone()), |(n, seed)| {
-        let k = Scenario::new(n)
-            .phase(Phase::Baseline(Baseline::PhaseKing))
-            .faults(KingParams::recommended(n).t / 2)
-            .adversary(silent.clone())
-            .run(seed)
-            .expect("phase-king scenario")
-            .into_baseline();
-        let metrics = k.outcome.metrics();
-        (
-            metrics.decided_quantile(0.95).map(|s| s as f64),
-            metrics.amortized_bits(),
-            metrics.correct_msgs_sent() as f64 / n as f64,
-        )
-    });
-    push_rows(
-        &mut t,
-        "Phase-King (determ.)",
-        "t < n/4",
-        &king_sizes,
-        seeds.len(),
-        &outcomes,
-    );
-
-    t.note("paper Fig. 1b: BA is polylog in both time and bits; Ben-Or is Θ(n) bits/node per");
-    t.note("phase; deterministic protocols pay Θ(n) rounds (t+1 lower bound).");
-    t.note("Ben-Or rows use 90%-biased binary inputs (worst-case Ben-Or is exponential and");
-    t.note("50/50 inputs stall at these n — which is the very gap this paper's lineage closes).");
-    t
+/// Figure 1b: rounds, bits/node and fault tolerance per protocol. The
+/// randomized families sweep the AER size ladder; Phase-King sweeps its
+/// own `Θ(n)`-round ladder — one battery whose points chain the two
+/// products.
+#[must_use]
+pub fn table(scope: Scope) -> Report {
+    let mut points = product2(&[Protocol::Ba, Protocol::BenOr], &scope.aer_sizes());
+    points.extend(product2(&[Protocol::King], &scope.king_sizes()));
+    Battery::new(
+        "f1b",
+        "f1b — Fig. 1b: Byzantine Agreement protocols (mean over seeds)",
+        |&(protocol, n): &(Protocol, usize), seed| run_cell(protocol, n, seed),
+    )
+    .axes(&["protocol", "n"], |&(p, n)| {
+        vec![p.name().to_string(), n.to_string()]
+    })
+    .points(points)
+    .point_n(|&(_, n)| n)
+    .col("rounds", Agg::Mean, |o: &Cell| o.0)
+    .col("bits/node", Agg::Mean, |o: &Cell| Some(o.1))
+    .col("msgs/node", Agg::Mean, |o: &Cell| Some(o.2))
+    .col_point("tolerates", |&(p, _)| p.tolerates().to_string())
+    .note("paper Fig. 1b: BA is polylog in both time and bits; Ben-Or is Θ(n) bits/node per")
+    .note("phase; deterministic protocols pay Θ(n) rounds (t+1 lower bound).")
+    .note("Ben-Or rows use 90%-biased binary inputs (worst-case Ben-Or is exponential and")
+    .note("50/50 inputs stall at these n — which is the very gap this paper's lineage closes).")
+    .report(scope)
 }
 
 #[cfg(test)]
@@ -161,7 +141,7 @@ mod tests {
 
     #[test]
     fn quick_table_has_all_protocol_rows() {
-        let t = table(Scope::Quick);
+        let t = table(Scope::Quick).table;
         let ba_rows = t.rows.iter().filter(|r| r[0].contains("BA")).count();
         let bo_rows = t.rows.iter().filter(|r| r[0].contains("Ben-Or")).count();
         let pk_rows = t.rows.iter().filter(|r| r[0].contains("King")).count();

@@ -3,132 +3,253 @@
 //! Figure 2a shows a node accepting candidate `s₁` (majority of its push
 //! quorum pushed it) and rejecting `s₂`; Figure 2b shows one pull request
 //! flowing through `H(s, x)`, the `H(s, w)` quorums and the poll list
-//! `J(x, r)`. These experiments regenerate both as measured tables.
+//! `J(x, r)`. These experiments regenerate both as measured tables —
+//! single-cell batteries (one fixed-seed recorded run each) whose rows
+//! dissect the transcript rather than aggregate a sweep.
 
 use fba_ae::UnknowingAssignment;
-use fba_core::trace::{push_votes_at, request_flow};
+use fba_core::trace::{push_votes_at, request_flow, HopSummary};
 use fba_sim::NodeId;
 
+use crate::battery::{Agg, Battery, Report, SeedPolicy};
 use crate::experiments::common::{aer_scenario, KNOWING};
-use crate::par::par_map;
 use crate::scope::Scope;
-use crate::table::{fnum, Table};
+use crate::table::fnum;
+
+/// One witness's vote tally in the recorded f2a run.
+struct Tally {
+    witness: NodeId,
+    gstring_votes: usize,
+    bogus_votes: usize,
+}
+
+/// The f2a cell: per-witness tallies plus the run parameters the table
+/// and notes read.
+struct F2aCell {
+    tallies: Vec<Tally>,
+    majority: usize,
+    d: usize,
+    n: usize,
+}
 
 /// Figure 2a: push-quorum vote counts and verdicts at unknowing nodes.
 #[must_use]
-pub fn f2a(scope: Scope) -> Table {
+pub fn f2a(scope: Scope) -> Report {
     let n = match scope {
         Scope::Quick => 48,
         _ => 96,
     };
-    let seed = 7;
-    let out = aer_scenario(n, 0.75, UnknowingAssignment::SharedAdversarial)
-        .record_transcript(true)
-        .run(seed)
-        .expect("f2a scenario")
-        .into_aer();
-    let pre = &out.precondition;
-    let scheme = out.config.scheme();
-    let cfg = &out.config;
-
-    let mut t = Table::new(
+    let battery = Battery::new(
+        "f2a",
         "f2a — Fig. 2a: push-phase votes at sample unknowing nodes",
+        move |&(): &(), seed| {
+            let out = aer_scenario(n, 0.75, UnknowingAssignment::SharedAdversarial)
+                .record_transcript(true)
+                .run(seed)
+                .expect("f2a scenario")
+                .into_aer();
+            let pre = &out.precondition;
+            let scheme = out.config.scheme();
+            let bogus = pre
+                .assignments
+                .iter()
+                .find(|s| **s != pre.gstring)
+                .expect("bogus block exists");
+            let tallies = (0..n)
+                .map(NodeId::from_index)
+                .filter(|id| !pre.knows(*id))
+                .take(3)
+                .map(|x| {
+                    let votes = push_votes_at(&out.run.transcript, x, &scheme);
+                    Tally {
+                        witness: x,
+                        gstring_votes: votes.votes_for(&pre.gstring),
+                        bogus_votes: votes.votes_for(bogus),
+                    }
+                })
+                .collect();
+            F2aCell {
+                tallies,
+                majority: out.config.majority(),
+                d: out.config.d,
+                n,
+            }
+        },
+    )
+    .points(vec![()])
+    .seeds(SeedPolicy::Fixed(vec![7]))
+    .rows(
         &["node", "string", "valid pushes", "needed", "verdict"],
-    );
-    let witnesses: Vec<NodeId> = (0..n)
-        .map(NodeId::from_index)
-        .filter(|id| !pre.knows(*id))
-        .take(3)
-        .collect();
-    let bogus = pre
-        .assignments
-        .iter()
-        .find(|s| **s != pre.gstring)
-        .expect("bogus block exists");
-    // Each witness's vote tally scans the whole transcript; fan the
-    // witnesses across cores (read-only over one recorded run).
-    let tallies = par_map(witnesses.clone(), |x| {
-        let votes = push_votes_at(&out.run.transcript, x, &scheme);
-        (x, votes.votes_for(&pre.gstring), votes.votes_for(bogus))
-    });
-    for (x, g_count, bad_count) in tallies {
-        for (label, count) in [("s1 = gstring", g_count), ("s2 (shared bogus)", bad_count)] {
-            t.push_row(vec![
-                x.to_string(),
-                label.into(),
-                count.to_string(),
-                cfg.majority().to_string(),
-                if count >= cfg.majority() {
-                    "accepted".into()
-                } else {
-                    "rejected".into()
-                },
-            ]);
-        }
-    }
-    t.note(format!(
-        "n = {n}, d = {}, 75% know gstring, 25% share one bogus candidate.",
-        cfg.d
+        |ctx| {
+            let cell = &ctx.outcomes()[0];
+            let mut rows = Vec::new();
+            for tally in &cell.tallies {
+                for (label, count) in [
+                    ("s1 = gstring", tally.gstring_votes),
+                    ("s2 (shared bogus)", tally.bogus_votes),
+                ] {
+                    rows.push(vec![
+                        tally.witness.to_string(),
+                        label.into(),
+                        count.to_string(),
+                        cell.majority.to_string(),
+                        if count >= cell.majority {
+                            "accepted".into()
+                        } else {
+                            "rejected".into()
+                        },
+                    ]);
+                }
+            }
+            rows
+        },
+    )
+    .json_metric("witnesses", Agg::Mean, |o: &F2aCell| {
+        Some(o.tallies.len() as f64)
+    })
+    .json_metric("gstring accepted witnesses", Agg::Mean, |o: &F2aCell| {
+        Some(
+            o.tallies
+                .iter()
+                .filter(|t| t.gstring_votes >= o.majority)
+                .count() as f64,
+        )
+    })
+    .json_metric("bogus accepted witnesses", Agg::Mean, |o: &F2aCell| {
+        Some(
+            o.tallies
+                .iter()
+                .filter(|t| t.bogus_votes >= o.majority)
+                .count() as f64,
+        )
+    })
+    .cached();
+    let mut report = battery.report(scope);
+    let cell = &battery.grid(scope).groups[0][0];
+    report.table.note(format!(
+        "n = {}, d = {}, 75% know gstring, 25% share one bogus candidate.",
+        cell.n, cell.d
     ));
-    t.note("gstring crosses the majority at (nearly) every witness; the bogus block does not.");
-    t
+    report
+        .table
+        .note("gstring crosses the majority at (nearly) every witness; the bogus block does not.");
+    report
+}
+
+/// The f2b cell: the five hop summaries of one pull request plus the
+/// run parameters the table and notes read.
+struct F2bCell {
+    hops: Vec<(String, HopSummary)>,
+    pipeline_depth: Option<u64>,
+    requester: NodeId,
+    decided_at: Option<u64>,
+    d: usize,
+    n: usize,
 }
 
 /// Figure 2b: message counts per hop for one node's gstring verification.
 #[must_use]
-pub fn f2b(scope: Scope) -> Table {
+pub fn f2b(scope: Scope) -> Report {
     let n = match scope {
         Scope::Quick => 48,
         _ => 96,
     };
-    let seed = 9;
-    let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
-        .record_transcript(true)
-        .run(seed)
-        .expect("f2b scenario")
-        .into_aer();
-    let pre = &out.precondition;
-    let x = (0..n)
-        .map(NodeId::from_index)
-        .find(|id| pre.knows(*id))
-        .expect("a knowing node exists");
-
-    let mut t = Table::new(
+    let battery = Battery::new(
+        "f2b",
         "f2b — Fig. 2b: one pull request for gstring, hop by hop",
+        move |&(): &(), seed| {
+            let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
+                .record_transcript(true)
+                .run(seed)
+                .expect("f2b scenario")
+                .into_aer();
+            let pre = &out.precondition;
+            let x = (0..n)
+                .map(NodeId::from_index)
+                .find(|id| pre.knows(*id))
+                .expect("a knowing node exists");
+            let flow = request_flow(&out.run.transcript, x, &pre.gstring);
+            let hops = ["Poll", "Pull", "Fw1", "Fw2", "Answer"]
+                .iter()
+                .map(|&kind| {
+                    let hop = flow.hop(kind).expect("hop present");
+                    (kind.to_string(), hop.clone())
+                })
+                .collect();
+            F2bCell {
+                hops,
+                pipeline_depth: flow.pipeline_depth(),
+                requester: x,
+                decided_at: out.run.metrics.decided_at(x),
+                d: out.config.d,
+                n,
+            }
+        },
+    )
+    .points(vec![()])
+    .seeds(SeedPolicy::Fixed(vec![9]))
+    .rows(
         &["hop", "message", "count", "first step", "ref (d, d², d³)"],
-    );
-    let d = out.config.d as f64;
-    let flow = request_flow(&out.run.transcript, x, &pre.gstring);
-    let rows: [(&str, &str, f64); 5] = [
-        ("Poll", "Poll(s,r) → J(x,r)", d),
-        ("Pull", "Pull(s,r) → H(s,x)", d),
-        ("Fw1", "Fw1 → H(s,w) ∀w", d * d * d),
-        ("Fw2", "Fw2 → w", d * d),
-        ("Answer", "Answer → x", d),
-    ];
-    for (i, (kind, label, reference)) in rows.iter().enumerate() {
-        let hop = flow.hop(kind).expect("hop present");
-        t.push_row(vec![
-            (i + 1).min(4).to_string(),
-            (*label).into(),
-            hop.count.to_string(),
-            hop.first_step.map_or("-".to_string(), |s| s.to_string()),
-            fnum(*reference),
-        ]);
-    }
-    t.note(format!(
-        "requester {x}, n = {n}, d = {}; decision at step {}; pipeline depth {}.",
-        out.config.d,
-        out.run
-            .metrics
-            .decided_at(x)
-            .map_or("-".to_string(), |s| s.to_string()),
-        flow.pipeline_depth()
+        |ctx| {
+            let cell = &ctx.outcomes()[0];
+            let d = cell.d as f64;
+            let labels: [(&str, f64); 5] = [
+                ("Poll(s,r) → J(x,r)", d),
+                ("Pull(s,r) → H(s,x)", d),
+                ("Fw1 → H(s,w) ∀w", d * d * d),
+                ("Fw2 → w", d * d),
+                ("Answer → x", d),
+            ];
+            cell.hops
+                .iter()
+                .zip(labels)
+                .enumerate()
+                .map(|(i, ((_, hop), (label, reference)))| {
+                    vec![
+                        (i + 1).min(4).to_string(),
+                        label.into(),
+                        hop.count.to_string(),
+                        hop.first_step.map_or("-".to_string(), |s| s.to_string()),
+                        fnum(reference),
+                    ]
+                })
+                .collect()
+        },
+    )
+    .json_metric("fw1 count", Agg::Mean, |o: &F2bCell| {
+        o.hops
+            .iter()
+            .find(|(kind, _)| kind == "Fw1")
+            .map(|(_, hop)| hop.count as f64)
+    })
+    .json_metric("answer count", Agg::Mean, |o: &F2bCell| {
+        o.hops
+            .iter()
+            .find(|(kind, _)| kind == "Answer")
+            .map(|(_, hop)| hop.count as f64)
+    })
+    .json_metric("pipeline depth", Agg::Mean, |o: &F2bCell| {
+        o.pipeline_depth.map(|s| s as f64)
+    })
+    .cached();
+    let mut report = battery.report(scope);
+    let cell = &battery.grid(scope).groups[0][0];
+    report.table.note(format!(
+        "requester {}, n = {}, d = {}; decision at step {}; pipeline depth {}.",
+        cell.requester,
+        cell.n,
+        cell.d,
+        cell.decided_at.map_or("-".to_string(), |s| s.to_string()),
+        cell.pipeline_depth
             .map_or("-".to_string(), |s| s.to_string()),
     ));
-    t.note("counts track the d/d³/d²/d fan-out of Algorithms 1–3 (routers forward only if");
-    t.note("the string matches their belief, so Fw1 ≈ knowing-fraction × d³).");
-    t
+    report
+        .table
+        .note("counts track the d/d³/d²/d fan-out of Algorithms 1–3 (routers forward only if");
+    report
+        .table
+        .note("the string matches their belief, so Fw1 ≈ knowing-fraction × d³).");
+    report
 }
 
 #[cfg(test)]
@@ -137,7 +258,7 @@ mod tests {
 
     #[test]
     fn f2a_rows_accept_gstring_and_reject_bogus() {
-        let t = f2a(Scope::Quick);
+        let t = f2a(Scope::Quick).table;
         assert!(!t.rows.is_empty());
         let mut g_accepted = 0;
         let mut g_total = 0;
@@ -159,7 +280,7 @@ mod tests {
 
     #[test]
     fn f2b_counts_every_hop() {
-        let t = f2b(Scope::Quick);
+        let t = f2b(Scope::Quick).table;
         assert_eq!(t.rows.len(), 5);
         // The Fw1 wave must dominate.
         let fw1: usize = t.rows[2][2].parse().unwrap();

@@ -16,10 +16,9 @@ use fba_ae::UnknowingAssignment;
 use fba_scenario::PollTimeoutSpec;
 use fba_sim::{AdversarySpec, NetworkSpec};
 
+use crate::battery::{product2, Agg, Battery, Report, SeedPolicy};
 use crate::experiments::common::{aer_scenario, KNOWING};
-use crate::par::par_map;
-use crate::scope::{mean, mean_cell, mean_opt, opt_cell, Scope};
-use crate::table::{fnum, Table};
+use crate::scope::Scope;
 
 /// The schedule matrix: every entry is a parseable adversary spec — the
 /// battery is data, not wiring. The bare `silent` row is the
@@ -47,88 +46,58 @@ pub fn gauntlet_sizes(scope: Scope) -> Vec<usize> {
     }
 }
 
-/// Seeds per cell: the scope's seed set, thinned at n ≥ 4096 where a
-/// single adversarial run costs ~10 s (the thinning is printed in the
-/// table notes, not silent).
-fn gauntlet_seeds(scope: Scope, n: usize) -> Vec<u64> {
-    let seeds = scope.seeds();
-    if n >= 4096 {
-        seeds.into_iter().take(3).collect()
-    } else {
-        seeds
-    }
+/// One cell's statistics: decided %, p50 / max decision steps, bits.
+type Cell = (f64, Option<f64>, Option<f64>, f64);
+
+fn run_cell(name: &str, spec: &str, n: usize, seed: u64) -> Cell {
+    let spec: AdversarySpec = spec.parse().expect("gauntlet schedule parses");
+    let out = aer_scenario(n, KNOWING, UnknowingAssignment::SharedAdversarial)
+        .adversary(spec)
+        .network(NetworkSpec::Async { max_delay: 1 })
+        .poll_timeout(PollTimeoutSpec::DelayScaled)
+        .run(seed)
+        .expect("gauntlet scenario")
+        .into_aer();
+    assert_eq!(
+        out.wrong_decisions(),
+        0,
+        "safety violated under fault schedule {name} (n={n}, seed={seed})"
+    );
+    (
+        out.run.metrics.decided_fraction() * 100.0,
+        out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
+        out.run.all_decided_at.map(|s| s as f64),
+        out.run.metrics.amortized_bits(),
+    )
 }
 
 /// The `gauntlet` experiment: decision steps and bits per schedule.
 #[must_use]
-pub fn table(scope: Scope) -> Table {
-    let mut t = Table::new(
+pub fn table(scope: Scope) -> Report {
+    Battery::new(
+        "gauntlet",
         "gauntlet — composed fault schedules: mixed-adversary batteries",
-        &[
-            "schedule",
-            "n",
-            "decided %",
-            "rounds p50",
-            "rounds max",
-            "bits/node",
-        ],
-    );
-    let sizes = gauntlet_sizes(scope);
-    let mut configs: Vec<(&str, AdversarySpec, usize, Vec<u64>)> = Vec::new();
-    for &(name, spec) in SCHEDULES {
-        let spec: AdversarySpec = spec.parse().expect("gauntlet schedule parses");
-        for &n in &sizes {
-            configs.push((name, spec.clone(), n, gauntlet_seeds(scope, n)));
-        }
-    }
-    let cells: Vec<(AdversarySpec, usize, u64)> = configs
-        .iter()
-        .flat_map(|(_, spec, n, seeds)| seeds.iter().map(move |&seed| (spec.clone(), *n, seed)))
-        .collect();
-    // Fan the (schedule, n, seed) grid across cores (pure seeded runs;
-    // aggregation in input order == serial sweep).
-    let outcomes = par_map(cells, |(spec, n, seed)| {
-        let out = aer_scenario(n, KNOWING, UnknowingAssignment::SharedAdversarial)
-            .adversary(spec)
-            .network(NetworkSpec::Async { max_delay: 1 })
-            .poll_timeout(PollTimeoutSpec::DelayScaled)
-            .run(seed)
-            .expect("gauntlet scenario")
-            .into_aer();
-        assert_eq!(
-            out.wrong_decisions(),
-            0,
-            "safety violated under a fault schedule (n={n}, seed={seed})"
-        );
-        (
-            out.run.metrics.decided_fraction() * 100.0,
-            out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
-            out.run.all_decided_at.map(|s| s as f64),
-            out.run.metrics.amortized_bits(),
-        )
-    });
-    let mut offset = 0;
-    for (name, _, n, seeds) in &configs {
-        let rows = &outcomes[offset..offset + seeds.len()];
-        offset += seeds.len();
-        let decided: Vec<f64> = rows.iter().map(|r| r.0).collect();
-        let p50: Vec<f64> = rows.iter().filter_map(|r| r.1).collect();
-        let max: Vec<f64> = rows.iter().filter_map(|r| r.2).collect();
-        let bits: Vec<f64> = rows.iter().map(|r| r.3).collect();
-        t.push_row(vec![
-            (*name).to_string(),
-            n.to_string(),
-            fnum(mean(&decided)),
-            mean_cell(&p50),
-            opt_cell(mean_opt(&max)),
-            fnum(mean(&bits)),
-        ]);
-    }
-    t.note("Each schedule assigns one strategy per step window (the sched: grammar);");
-    t.note("windows keep their own state, so e.g. the corner window still reports its");
-    t.note("plan. Async engine, delay-scaled poll timeout, SharedAdversarial precondition.");
-    t.note("n >= 4096 cells run 3 seeds (others the scope's full seed set).");
-    t
+        |&((name, spec), n): &((&str, &str), usize), seed| run_cell(name, spec, n, seed),
+    )
+    .axes(&["schedule", "n"], |&((name, _), n)| {
+        vec![name.to_string(), n.to_string()]
+    })
+    .points(product2(SCHEDULES, &gauntlet_sizes(scope)))
+    .point_n(|&(_, n)| n)
+    // Adversarial runs at n >= 4096 cost ~10 s each; the thinning is a
+    // declared policy surfaced in the notes and JSON, not a silent take(3).
+    .seeds(SeedPolicy::ThinAt {
+        threshold: 4096,
+        max: 3,
+    })
+    .col("decided %", Agg::Mean, |o: &Cell| Some(o.0))
+    .col("rounds p50", Agg::Mean, |o: &Cell| o.1)
+    .col("rounds max", Agg::Mean, |o: &Cell| o.2)
+    .col("bits/node", Agg::Mean, |o: &Cell| Some(o.3))
+    .note("Each schedule assigns one strategy per step window (the sched: grammar);")
+    .note("windows keep their own state, so e.g. the corner window still reports its")
+    .note("plan. Async engine, delay-scaled poll timeout, SharedAdversarial precondition.")
+    .report(scope)
 }
 
 #[cfg(test)]
@@ -137,7 +106,7 @@ mod tests {
 
     #[test]
     fn quick_gauntlet_decides_everywhere() {
-        let t = table(Scope::Quick);
+        let t = table(Scope::Quick).table;
         assert_eq!(
             t.rows.len(),
             SCHEDULES.len() * gauntlet_sizes(Scope::Quick).len()
@@ -147,6 +116,12 @@ mod tests {
             assert!(decided > 99.0, "row {row:?}");
             assert_ne!(row[4], "n/a", "someone never decided: {row:?}");
         }
+        // The declared thinning policy surfaces in the notes.
+        assert!(
+            t.notes.iter().any(|n| n.contains("n >= 4096")),
+            "{:?}",
+            t.notes
+        );
     }
 
     #[test]

@@ -14,68 +14,76 @@ use std::collections::BTreeSet;
 use fba_scenario::{Phase, Scenario};
 use fba_sim::choose_corrupt;
 
+use crate::battery::{product2, Agg, Battery, Report};
 use crate::scope::{mean, Scope};
-use crate::table::{fnum, Table};
+use crate::table::fnum;
+
+/// One cell run: committee-rigging stats are absent when the run formed
+/// no supreme committee.
+struct Cell {
+    committee_rigged: Option<f64>,
+    controlled: Option<f64>,
+    knowing: f64,
+}
 
 /// The entropy table: rigged fraction vs measured controlled-bit
 /// fraction.
 #[must_use]
-pub fn table(scope: Scope) -> Table {
-    let mut t = Table::new(
-        "gbits — §2.1: fraction of gstring bits the adversary controls",
-        &[
-            "n",
-            "rigged fraction",
-            "committee rigged %",
-            "controlled bits %",
-            "uniform bits %",
-            "knowing %",
-        ],
-    );
+pub fn table(scope: Scope) -> Report {
     let sizes = match scope {
         Scope::Quick => vec![64usize],
         _ => vec![64, 256, 1024],
     };
-    for n in sizes {
-        for rho in [0.0, 0.15, 0.30] {
-            let mut committee_rigged = Vec::new();
-            let mut controlled = Vec::new();
-            let mut knowing = Vec::new();
-            for seed in scope.seeds() {
-                let k = ((n as f64) * rho).round() as usize;
-                let mut rng = fba_sim::rng::derive_rng(seed, &[0x9b]);
-                let rigged: BTreeSet<_> = choose_corrupt(n, k, &mut rng);
-                let run = Scenario::new(n)
-                    .phase(Phase::Ae)
-                    .rig(rigged.clone(), 0)
-                    .run(seed)
-                    .expect("gbits scenario")
-                    .into_ae();
-                let (out, cfg) = (run.outcome, run.config);
-                knowing.push(out.knowing_fraction * 100.0);
-                if let Some(committee) = &out.supreme_committee {
-                    let rigged_members = committee.iter().filter(|m| rigged.contains(m)).count();
-                    committee_rigged.push(rigged_members as f64 / committee.len() as f64 * 100.0);
-                    // Each member controls an equal slice of gstring.
-                    let per = cfg.string_len.div_ceil(committee.len());
-                    let controlled_bits = (rigged_members * per).min(cfg.string_len) as f64;
-                    controlled.push(controlled_bits / cfg.string_len as f64 * 100.0);
-                }
+    Battery::new(
+        "gbits",
+        "gbits — §2.1: fraction of gstring bits the adversary controls",
+        |&(n, rho): &(usize, f64), seed| {
+            let k = ((n as f64) * rho).round() as usize;
+            let mut rng = fba_sim::rng::derive_rng(seed, &[0x9b]);
+            let rigged: BTreeSet<_> = choose_corrupt(n, k, &mut rng);
+            let run = Scenario::new(n)
+                .phase(Phase::Ae)
+                .rig(rigged.clone(), 0)
+                .run(seed)
+                .expect("gbits scenario")
+                .into_ae();
+            let (out, cfg) = (run.outcome, run.config);
+            let committee_stats = out.supreme_committee.as_ref().map(|committee| {
+                let rigged_members = committee.iter().filter(|m| rigged.contains(m)).count();
+                // Each member controls an equal slice of gstring.
+                let per = cfg.string_len.div_ceil(committee.len());
+                let controlled_bits = (rigged_members * per).min(cfg.string_len) as f64;
+                (
+                    rigged_members as f64 / committee.len() as f64 * 100.0,
+                    controlled_bits / cfg.string_len as f64 * 100.0,
+                )
+            });
+            Cell {
+                committee_rigged: committee_stats.map(|s| s.0),
+                controlled: committee_stats.map(|s| s.1),
+                knowing: out.knowing_fraction * 100.0,
             }
-            t.push_row(vec![
-                n.to_string(),
-                fnum(rho),
-                fnum(mean(&committee_rigged)),
-                fnum(mean(&controlled)),
-                fnum(100.0 - mean(&controlled)),
-                fnum(mean(&knowing)),
-            ]);
-        }
-    }
-    t.note("rigged members follow the protocol but contribute constants instead of");
-    t.note("randomness. Controlled-bit % tracks the rigged committee fraction (≈ ρ);");
-    t.note("with ρ ≤ 1/3 the uniform fraction stays ≥ 2/3 — the paper's precondition.");
-    t
+        },
+    )
+    .axes(&["n", "rigged fraction"], |&(n, rho)| {
+        vec![n.to_string(), fnum(rho)]
+    })
+    .points(product2(&sizes, &[0.0, 0.15, 0.30]))
+    .point_n(|&(n, _)| n)
+    .col("committee rigged %", Agg::Mean, |o: &Cell| {
+        o.committee_rigged
+    })
+    .col("controlled bits %", Agg::Mean, |o: &Cell| o.controlled)
+    .col_derived("uniform bits %", |ctx| {
+        // The complement of the *plain* controlled mean (0 when no run
+        // formed a committee), matching the controlled column's source.
+        fnum(100.0 - mean(&ctx.samples(|o| o.controlled)))
+    })
+    .col("knowing %", Agg::Mean, |o: &Cell| Some(o.knowing))
+    .note("rigged members follow the protocol but contribute constants instead of")
+    .note("randomness. Controlled-bit % tracks the rigged committee fraction (≈ ρ);")
+    .note("with ρ ≤ 1/3 the uniform fraction stays ≥ 2/3 — the paper's precondition.")
+    .report(scope)
 }
 
 #[cfg(test)]
@@ -84,7 +92,7 @@ mod tests {
 
     #[test]
     fn uniform_fraction_stays_above_two_thirds() {
-        let t = table(Scope::Quick);
+        let t = table(Scope::Quick).table;
         for row in &t.rows {
             let rho: f64 = row[1].parse().unwrap();
             let uniform: f64 = row[4].parse().unwrap();

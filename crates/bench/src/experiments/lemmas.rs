@@ -1,6 +1,6 @@
 //! Lemma-level experiments: push costs (L3), candidate-list totals (L4),
 //! push reliability (L5), safety (L7) and the synchronous end-to-end
-//! summary (L9).
+//! summary (L9) — each a declarative battery.
 
 use fba_ae::{Precondition, UnknowingAssignment};
 use fba_core::{AerConfig, AerNode};
@@ -8,9 +8,10 @@ use fba_samplers::GString;
 use fba_scenario::Scenario;
 use fba_sim::{AdversarySpec, FinalInspect, NetworkSpec, NodeId};
 
+use crate::battery::{product2, Agg, Battery, Report, SeedPolicy};
 use crate::experiments::common::{aer_scenario, log2, KNOWING};
-use crate::scope::{mean, Scope};
-use crate::table::{fnum, Table};
+use crate::scope::Scope;
+use crate::table::fnum;
 
 /// Lemma 3: push-phase messages and bits per correct node.
 ///
@@ -19,23 +20,11 @@ use crate::table::{fnum, Table};
 /// the push target lists (which is exactly what `on_start` transmits) —
 /// a pure sampler computation, no engine run.
 #[must_use]
-pub fn l3(scope: Scope) -> Table {
-    let mut t = Table::new(
+pub fn l3(scope: Scope) -> Report {
+    Battery::new(
+        "l3",
         "l3 — Lemma 3: push cost per correct node",
-        &[
-            "n",
-            "d",
-            "msgs/node (mean)",
-            "msgs/node (max)",
-            "bits/node",
-            "ref log²n",
-        ],
-    );
-    for n in scope.light_sizes() {
-        let mut means = Vec::new();
-        let mut maxes = Vec::new();
-        let mut bits = Vec::new();
-        for seed in scope.seeds().into_iter().take(3) {
+        |&n: &usize, seed| {
             let cfg = AerConfig::recommended(n);
             let pre = Precondition::synthetic(
                 n,
@@ -53,22 +42,28 @@ pub fn l3(scope: Scope) -> Table {
                 counts.push(inverse[y.index()].len());
             }
             let msg_bits = cfg.string_len as u64 + 3 + 2 * u64::from(fba_sim::ceil_log2(n));
-            means.push(counts.iter().sum::<usize>() as f64 / n as f64);
-            maxes.push(counts.iter().copied().max().unwrap_or(0) as f64);
-            bits.push(counts.iter().sum::<usize>() as f64 * msg_bits as f64 / n as f64);
-        }
-        let d = fba_samplers::default_quorum_size(n, 3.0);
-        t.push_row(vec![
-            n.to_string(),
-            d.to_string(),
-            fnum(mean(&means)),
-            fnum(crate::scope::fmax(&maxes)),
-            fnum(mean(&bits)),
-            fnum(log2(n) * log2(n)),
-        ]);
-    }
-    t.note("paper: O(log n) messages of O(log n) bits per good node, no node overloaded.");
-    t
+            (
+                counts.iter().sum::<usize>() as f64 / n as f64,
+                counts.iter().copied().max().unwrap_or(0) as f64,
+                counts.iter().sum::<usize>() as f64 * msg_bits as f64 / n as f64,
+            )
+        },
+    )
+    .axes(&["n"], |n| vec![n.to_string()])
+    .points(scope.light_sizes())
+    .point_n(|&n| n)
+    .seeds(SeedPolicy::Capped { max: 3 })
+    .col_point("d", |&n| {
+        fba_samplers::default_quorum_size(n, 3.0).to_string()
+    })
+    .col("msgs/node (mean)", Agg::Mean, |o: &(f64, f64, f64)| {
+        Some(o.0)
+    })
+    .col("msgs/node (max)", Agg::Max, |o: &(f64, f64, f64)| Some(o.1))
+    .col("bits/node", Agg::Mean, |o: &(f64, f64, f64)| Some(o.2))
+    .col_point("ref log²n", |&n| fnum(log2(n) * log2(n)))
+    .note("paper: O(log n) messages of O(log n) bits per good node, no node overloaded.")
+    .report(scope)
 }
 
 /// Runs `scenario`, collecting every surviving node's candidate-list
@@ -87,62 +82,51 @@ fn candidate_sizes(scenario: Scenario, seed: u64) -> Vec<usize> {
 /// Lemma 4: sum of candidate-list sizes is `O(n)` even under coherent
 /// push flooding and equivocation.
 #[must_use]
-pub fn l4(scope: Scope) -> Table {
-    let mut t = Table::new(
+pub fn l4(scope: Scope) -> Report {
+    const ADVERSARIES: [&str; 3] = ["none", "push-flood", "equivocate×8"];
+    Battery::new(
+        "l4",
         "l4 — Lemma 4: Σ|Lx| per node under push attacks",
-        &["n", "adversary", "Σ|Lx|/n", "max |Lx|"],
-    );
-    for n in scope.aer_sizes() {
-        for adv_name in ["none", "push-flood", "equivocate×8"] {
-            let mut totals = Vec::new();
-            let mut maxes = Vec::new();
-            for seed in scope.seeds().into_iter().take(3) {
-                let base = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode);
-                let bad = GString::random(
-                    AerConfig::recommended(n).string_len,
-                    &mut fba_sim::rng::derive_rng(seed, &[0xbad]),
-                );
-                let scenario = match adv_name {
-                    "none" => base,
-                    "push-flood" => base.adversary(AdversarySpec::PushFlood).bad_string(bad),
-                    _ => base.adversary(AdversarySpec::Equivocate { strings: 8 }),
-                };
-                let sizes = candidate_sizes(scenario, seed);
-                let total: usize = sizes.iter().sum();
-                totals.push(total as f64 / n as f64);
-                maxes.push(sizes.iter().copied().max().unwrap_or(0) as f64);
-            }
-            t.push_row(vec![
-                n.to_string(),
-                adv_name.into(),
-                fnum(mean(&totals)),
-                fnum(crate::scope::fmax(&maxes)),
-            ]);
-        }
-    }
-    t.note("paper: the sum of candidate-list sizes is O(n) — the per-node column must stay");
-    t.note("bounded by a constant as n grows, regardless of the attack.");
-    t
+        |&(n, adv_name): &(usize, &str), seed| {
+            let base = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode);
+            let bad = GString::random(
+                AerConfig::recommended(n).string_len,
+                &mut fba_sim::rng::derive_rng(seed, &[0xbad]),
+            );
+            let scenario = match adv_name {
+                "none" => base,
+                "push-flood" => base.adversary(AdversarySpec::PushFlood).bad_string(bad),
+                _ => base.adversary(AdversarySpec::Equivocate { strings: 8 }),
+            };
+            let sizes = candidate_sizes(scenario, seed);
+            let total: usize = sizes.iter().sum();
+            (
+                total as f64 / n as f64,
+                sizes.iter().copied().max().unwrap_or(0) as f64,
+            )
+        },
+    )
+    .axes(&["n", "adversary"], |&(n, adv)| {
+        vec![n.to_string(), adv.to_string()]
+    })
+    .points(product2(&scope.aer_sizes(), &ADVERSARIES))
+    .point_n(|&(n, _)| n)
+    .seeds(SeedPolicy::Capped { max: 3 })
+    .col("Σ|Lx|/n", Agg::Mean, |o: &(f64, f64)| Some(o.0))
+    .col("max |Lx|", Agg::Max, |o: &(f64, f64)| Some(o.1))
+    .note("paper: the sum of candidate-list sizes is O(n) — the per-node column must stay")
+    .note("bounded by a constant as n grows, regardless of the attack.")
+    .report(scope)
 }
 
 /// Lemma 5: every correct node has gstring in its candidate list after
 /// the push phase.
 #[must_use]
-pub fn l5(scope: Scope) -> Table {
-    let mut t = Table::new(
+pub fn l5(scope: Scope) -> Report {
+    Battery::new(
+        "l5",
         "l5 — Lemma 5: gstring lands in every candidate list",
-        &[
-            "n",
-            "runs",
-            "nodes missing gstring",
-            "fraction with gstring",
-        ],
-    );
-    for n in scope.aer_sizes() {
-        let mut missing_total = 0usize;
-        let mut nodes_total = 0usize;
-        let seeds = scope.seeds();
-        for seed in &seeds {
+        |&n: &usize, seed| {
             let scenario = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
                 .adversary(AdversarySpec::Silent { t: None });
             // Snapshot every surviving node's candidate list, then count
@@ -154,40 +138,44 @@ pub fn l5(scope: Scope) -> Table {
                     lists.push(node.candidates().to_vec());
                 });
                 scenario
-                    .run_observed(*seed, &mut inspect)
+                    .run_observed(seed, &mut inspect)
                     .expect("valid scenario")
                     .into_aer()
             };
             let g = out.precondition.gstring;
-            missing_total += lists.iter().filter(|l| !l.contains(&g)).count();
-            nodes_total += lists.len();
-        }
-        t.push_row(vec![
-            n.to_string(),
-            seeds.len().to_string(),
-            missing_total.to_string(),
-            fnum(1.0 - missing_total as f64 / nodes_total.max(1) as f64),
-        ]);
-    }
-    t.note("paper: w.h.p. each node has gstring in Lx at the end of the push phase;");
-    t.note("finite-size misses shrink as n (and d = 3·ln n) grow.");
-    t
+            let missing = lists.iter().filter(|l| !l.contains(&g)).count();
+            (missing as f64, lists.len() as f64)
+        },
+    )
+    .axes(&["n"], |n| vec![n.to_string()])
+    .points(scope.aer_sizes())
+    .point_n(|&n| n)
+    .col_runs("runs")
+    .col("nodes missing gstring", Agg::Sum, |o: &(f64, f64)| {
+        Some(o.0)
+    })
+    .col_derived("fraction with gstring", |ctx| {
+        // A ratio of sums across the cell's runs (not a mean of ratios):
+        // the fraction of all observed nodes that held gstring.
+        let missing: f64 = ctx.samples(|o| Some(o.0)).iter().sum();
+        let nodes: f64 = ctx.samples(|o| Some(o.1)).iter().sum();
+        fnum(1.0 - missing / nodes.max(1.0))
+    })
+    .note("paper: w.h.p. each node has gstring in Lx at the end of the push phase;")
+    .note("finite-size misses shrink as n (and d = 3·ln n) grow.")
+    .report(scope)
 }
 
 /// Lemma 7: no correct node decides on anything but gstring, across the
 /// whole attack suite.
 #[must_use]
-pub fn l7(scope: Scope) -> Table {
+pub fn l7(scope: Scope) -> Report {
     let n = match scope {
         Scope::Quick => 64,
         _ => 128,
     };
-    let mut t = Table::new(
-        "l7 — Lemma 7: wrong-decision census under every adversary",
-        &["adversary", "runs", "decisions", "wrong decisions"],
-    );
     // The attack suite as specs — the sweep is data, not wiring.
-    let adversaries: [(&str, AdversarySpec, NetworkSpec); 7] = [
+    let adversaries: Vec<(&str, AdversarySpec, NetworkSpec)> = vec![
         ("none", AdversarySpec::None, NetworkSpec::Sync),
         (
             "silent-t",
@@ -212,84 +200,67 @@ pub fn l7(scope: Scope) -> Table {
             NetworkSpec::Async { max_delay: 1 },
         ),
     ];
-    for (name, spec, network) in adversaries {
-        let mut decisions = 0usize;
-        let mut wrong = 0usize;
-        let seeds = scope.seeds();
-        for seed in &seeds {
+    Battery::new(
+        "l7",
+        "l7 — Lemma 7: wrong-decision census under every adversary",
+        move |(_, spec, network): &(&str, AdversarySpec, NetworkSpec), seed| {
             // Worst-case precondition: the unknowing block shares one
             // bogus string the adversary campaigns for (the builder's
             // default campaign string).
             let out = aer_scenario(n, KNOWING, UnknowingAssignment::SharedAdversarial)
                 .adversary(spec.clone())
-                .network(network)
-                .run(*seed)
+                .network(*network)
+                .run(seed)
                 .expect("l7 scenario")
                 .into_aer();
-            decisions += out.run.outputs.len();
-            wrong += out.wrong_decisions();
-        }
-        t.push_row(vec![
-            name.into(),
-            seeds.len().to_string(),
-            decisions.to_string(),
-            wrong.to_string(),
-        ]);
-    }
-    t.note(format!(
+            (out.run.outputs.len() as f64, out.wrong_decisions() as f64)
+        },
+    )
+    .axes(&["adversary"], |(name, _, _)| vec![(*name).to_string()])
+    .points(adversaries)
+    .col_runs("runs")
+    .col("decisions", Agg::Sum, |o: &(f64, f64)| Some(o.0))
+    .col("wrong decisions", Agg::Sum, |o: &(f64, f64)| Some(o.1))
+    .note(format!(
         "n = {n}, worst-case precondition (unknowing block shares the campaign string)."
-    ));
-    t.note("paper: any node decides on gstring w.h.p. — the wrong column should be 0.");
-    t
+    ))
+    .note("paper: any node decides on gstring w.h.p. — the wrong column should be 0.")
+    .report(scope)
 }
 
 /// Lemma 9: the synchronous non-rushing end-to-end summary — constant
 /// rounds, Õ(n) messages.
 #[must_use]
-pub fn l9(scope: Scope) -> Table {
-    let mut t = Table::new(
+pub fn l9(scope: Scope) -> Report {
+    type Cell = (f64, Option<f64>, Option<f64>, f64);
+    Battery::new(
+        "l9",
         "l9 — Lemma 9: AER end-to-end, synchronous, non-rushing",
-        &[
-            "n",
-            "decided %",
-            "rounds p50",
-            "rounds p95",
-            "msgs total / n",
-            "ref log³n",
-        ],
-    );
-    for n in scope.aer_sizes() {
-        let mut decided = Vec::new();
-        let mut p50 = Vec::new();
-        let mut p95 = Vec::new();
-        let mut msgs = Vec::new();
-        for seed in scope.seeds() {
+        |&n: &usize, seed| -> Cell {
             let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
                 .adversary(AdversarySpec::Silent { t: None })
                 .run(seed)
                 .expect("l9 scenario")
                 .into_aer();
-            decided.push(out.run.metrics.decided_fraction() * 100.0);
-            if let Some(s) = out.run.metrics.decided_quantile(0.5) {
-                p50.push(s as f64);
-            }
-            if let Some(s) = out.run.metrics.decided_quantile(0.95) {
-                p95.push(s as f64);
-            }
-            msgs.push(out.run.metrics.correct_msgs_sent() as f64 / n as f64);
-        }
-        t.push_row(vec![
-            n.to_string(),
-            fnum(mean(&decided)),
-            fnum(mean(&p50)),
-            fnum(mean(&p95)),
-            fnum(mean(&msgs)),
-            fnum(log2(n).powi(3)),
-        ]);
-    }
-    t.note("paper: O(1) rounds and Õ(n) total messages (the msgs/n column is the Õ(1)·polylog");
-    t.note("amortization; compare its growth against the log³n reference).");
-    t
+            (
+                out.run.metrics.decided_fraction() * 100.0,
+                out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
+                out.run.metrics.decided_quantile(0.95).map(|s| s as f64),
+                out.run.metrics.correct_msgs_sent() as f64 / n as f64,
+            )
+        },
+    )
+    .axes(&["n"], |n| vec![n.to_string()])
+    .points(scope.aer_sizes())
+    .point_n(|&n| n)
+    .col("decided %", Agg::Mean, |o: &Cell| Some(o.0))
+    .col("rounds p50", Agg::Mean, |o: &Cell| o.1)
+    .col("rounds p95", Agg::Mean, |o: &Cell| o.2)
+    .col("msgs total / n", Agg::Mean, |o: &Cell| Some(o.3))
+    .col_point("ref log³n", |&n| fnum(log2(n).powi(3)))
+    .note("paper: O(1) rounds and Õ(n) total messages (the msgs/n column is the Õ(1)·polylog")
+    .note("amortization; compare its growth against the log³n reference).")
+    .report(scope)
 }
 
 #[cfg(test)]
@@ -298,7 +269,7 @@ mod tests {
 
     #[test]
     fn l3_rows_cover_sizes() {
-        let t = l3(Scope::Quick);
+        let t = l3(Scope::Quick).table;
         assert_eq!(t.rows.len(), Scope::Quick.light_sizes().len());
         // mean msgs/node ≈ d.
         for row in &t.rows {
@@ -306,11 +277,17 @@ mod tests {
             let mean_msgs: f64 = row[2].parse().unwrap();
             assert!((mean_msgs - d).abs() < 1.0, "row {row:?}");
         }
+        // The capped seed policy is declared in the notes, not silent.
+        assert!(
+            t.notes.iter().any(|n| n.contains("first 3 seed")),
+            "{:?}",
+            t.notes
+        );
     }
 
     #[test]
     fn l4_per_node_totals_are_bounded() {
-        let t = l4(Scope::Quick);
+        let t = l4(Scope::Quick).table;
         for row in &t.rows {
             let per_node: f64 = row[2].parse().unwrap();
             assert!(
@@ -322,7 +299,7 @@ mod tests {
 
     #[test]
     fn l7_reports_zero_wrong_under_quick_scope() {
-        let t = l7(Scope::Quick);
+        let t = l7(Scope::Quick).table;
         for row in &t.rows {
             assert_eq!(row[3], "0", "wrong decision under {row:?}");
         }

@@ -1,5 +1,10 @@
 //! One module per experiment family; see DESIGN.md §5 for the index
 //! mapping every table/figure of the paper to these functions.
+//!
+//! Every experiment is a declarative [`crate::battery::Battery`]: its
+//! sweep (cell product, seed policy, parallel fan-out, aggregation) and
+//! both reporters (Markdown table + JSON cell records) are data declared
+//! on the battery — no module hand-rolls cell loops or aggregation.
 
 pub mod ablate_d;
 pub mod ae_exp;
@@ -10,11 +15,12 @@ pub mod fig2;
 pub mod gauntlet;
 pub mod gbits;
 pub mod lemmas;
+pub mod recovery;
 pub mod s41;
 pub mod timing;
 
+use crate::battery::Report;
 use crate::scope::Scope;
-use crate::table::Table;
 
 /// All experiment ids, in presentation order.
 pub const ALL_IDS: &[&str] = &[
@@ -36,16 +42,17 @@ pub const ALL_IDS: &[&str] = &[
     "ae",
     "gbits",
     "gauntlet",
+    "recovery",
     "ablate-cap",
     "ablate-d",
 ];
 
-/// Runs one experiment by id.
+/// Runs one experiment by id, producing its table and JSON cell records.
 ///
 /// # Errors
 ///
 /// Returns the list of known ids when `id` is unknown.
-pub fn run_experiment(id: &str, scope: Scope) -> Result<Table, String> {
+pub fn run_experiment(id: &str, scope: Scope) -> Result<Report, String> {
     Ok(match id {
         "f1a-time" => fig1a::time(scope),
         "f1a-bits" => fig1a::bits(scope),
@@ -65,6 +72,7 @@ pub fn run_experiment(id: &str, scope: Scope) -> Result<Table, String> {
         "ablate-cap" => timing::ablate_cap(scope),
         "ablate-d" => ablate_d::table(scope),
         "gauntlet" => gauntlet::table(scope),
+        "recovery" => recovery::table(scope),
         "gbits" => gbits::table(scope),
         "ae" => ae_exp::table(scope),
         other => {
@@ -85,5 +93,6 @@ mod tests {
         let err = run_experiment("nope", Scope::Quick).unwrap_err();
         assert!(err.contains("f1a-time"));
         assert!(err.contains("l10"));
+        assert!(err.contains("recovery"));
     }
 }

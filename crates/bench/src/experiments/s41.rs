@@ -1,5 +1,6 @@
 //! §4.1 / §2.2 sampler-property experiments: the Lemma 1 and Lemma 2
-//! behaviour of the instantiated sampler functions.
+//! behaviour of the instantiated sampler functions — a pure-computation
+//! battery (no engine runs).
 
 use fba_samplers::properties::{
     good_majority_fraction, greedy_min_border, indegree_stats, property1_bad_fraction,
@@ -8,63 +9,53 @@ use fba_samplers::properties::{
 use fba_samplers::{PollSampler, QuorumSampler, StringKey};
 use fba_sim::rng::derive_rng;
 
-use crate::scope::{mean, Scope};
-use crate::table::{fnum, Table};
+use crate::battery::{Agg, Battery, Report, SeedPolicy};
+use crate::scope::Scope;
 
 /// The sampler-property table: Lemma 1 goodness, Lemma 2 Property 1 & 2,
 /// and overload (in-degree) concentration.
 #[must_use]
-pub fn table(scope: Scope) -> Table {
-    let mut t = Table::new(
-        "s41 — §4.1: empirical sampler properties",
-        &[
-            "n",
-            "d",
-            "good-majority quorums",
-            "bad poll lists (P1)",
-            "min border ratio (P2)",
-            "max in-degree / d",
-        ],
-    );
+pub fn table(scope: Scope) -> Report {
+    type Cell = (f64, f64, f64, f64);
     let sizes = match scope {
         Scope::Quick => vec![256usize],
         Scope::Default => vec![256, 1024, 4096],
         Scope::Full => vec![256, 1024, 4096, 16384],
         Scope::Huge => vec![1024, 4096, 16384, 65536],
     };
-    for n in sizes {
-        let d = fba_samplers::default_quorum_size(n, 3.0);
-        let mut goodness = Vec::new();
-        let mut p1 = Vec::new();
-        let mut p2 = Vec::new();
-        let mut overload = Vec::new();
-        for seed in scope.seeds().into_iter().take(3) {
+    Battery::new(
+        "s41",
+        "s41 — §4.1: empirical sampler properties",
+        |&n: &usize, seed| -> Cell {
+            let d = fba_samplers::default_quorum_size(n, 3.0);
             let mut rng = derive_rng(seed, &[0x41]);
             let q = QuorumSampler::new(seed, fba_samplers::tags::PUSH, n, d);
             let j = PollSampler::new(seed, n, d, PollSampler::default_cardinality(n));
             // Good set of measure 1/2 + ε (ε = 0.15 here).
             let good = random_good_set(n, 0.65, &mut rng);
-            goodness.push(good_majority_fraction(&q, StringKey(seed), &good));
-            p1.push(property1_bad_fraction(&j, &good, 2, &mut rng));
+            let goodness = good_majority_fraction(&q, StringKey(seed), &good);
+            let p1 = property1_bad_fraction(&j, &good, 2, &mut rng);
             let family = (n / (fba_sim::ceil_log2(n) as usize).max(1)).clamp(4, 64);
             let reports = greedy_min_border(&j, &[family], 8, &mut rng);
-            p2.push(reports[0].ratio);
             let (max_in, _) = indegree_stats(&q, StringKey(seed));
-            overload.push(max_in as f64 / d as f64);
-        }
-        t.push_row(vec![
-            n.to_string(),
-            d.to_string(),
-            fnum(mean(&goodness)),
-            fnum(mean(&p1)),
-            fnum(mean(&p2)),
-            fnum(mean(&overload)),
-        ]);
-    }
-    t.note("Lemma 1: good-majority fraction → 1, no node overloaded (in-degree O(d)).");
-    t.note("Lemma 2 P1: vanishing fraction of (x, r) poll lists with good minority.");
-    t.note("Lemma 2 P2: the adversarially-grown family's border ratio must exceed 2/3.");
-    t
+            (goodness, p1, reports[0].ratio, max_in as f64 / d as f64)
+        },
+    )
+    .axes(&["n"], |n| vec![n.to_string()])
+    .points(sizes)
+    .point_n(|&n| n)
+    .seeds(SeedPolicy::Capped { max: 3 })
+    .col_point("d", |&n| {
+        fba_samplers::default_quorum_size(n, 3.0).to_string()
+    })
+    .col("good-majority quorums", Agg::Mean, |o: &Cell| Some(o.0))
+    .col("bad poll lists (P1)", Agg::Mean, |o: &Cell| Some(o.1))
+    .col("min border ratio (P2)", Agg::Mean, |o: &Cell| Some(o.2))
+    .col("max in-degree / d", Agg::Mean, |o: &Cell| Some(o.3))
+    .note("Lemma 1: good-majority fraction → 1, no node overloaded (in-degree O(d)).")
+    .note("Lemma 2 P1: vanishing fraction of (x, r) poll lists with good minority.")
+    .note("Lemma 2 P2: the adversarially-grown family's border ratio must exceed 2/3.")
+    .report(scope)
 }
 
 #[cfg(test)]
@@ -73,7 +64,7 @@ mod tests {
 
     #[test]
     fn properties_hold_at_quick_scale() {
-        let t = table(Scope::Quick);
+        let t = table(Scope::Quick).table;
         for row in &t.rows {
             let goodness: f64 = row[2].parse().unwrap();
             let p1: f64 = row[3].parse().unwrap();

@@ -1,16 +1,16 @@
 //! Timing experiments: the Lemma 6 / Lemma 8 / Lemma 10 round-complexity
 //! claims, plus the overload-cap ablation that shows why Algorithm 3's
-//! valve is `log² n` and not smaller.
+//! valve is `log² n` and not smaller — each a declarative battery.
 
 use fba_ae::UnknowingAssignment;
 use fba_core::{AerMsg, AerNode};
 use fba_scenario::PollTimeoutSpec;
 use fba_sim::{AdversarySpec, Envelope, NetworkSpec, Observer, Step};
 
+use crate::battery::{product2, Agg, Battery, Report};
 use crate::experiments::common::{aer_scenario, loglog_ratio, KNOWING};
-use crate::par::par_map;
-use crate::scope::{mean, mean_cell, Scope};
-use crate::table::{fnum, Table};
+use crate::scope::Scope;
+use crate::table::fnum;
 
 /// Counts retry waves — distinct steps in which any `Poll` or
 /// `RepairQuery` left a node — without recording a transcript (the
@@ -44,183 +44,142 @@ impl Observer<AerNode> for WaveCounter {
 /// [`ablate_cap`]), and at `log² n` the attack needs `t·d / log² n ≫ d`
 /// — i.e. very large `n` — to block anyone.
 #[must_use]
-pub fn l6(scope: Scope) -> Table {
-    let mut t = Table::new(
-        "l6 — Lemma 6: async rushing time under the cornering attack (strict mode)",
-        &[
-            "n",
-            "cap",
-            "decided %",
-            "rounds p50",
-            "rounds p75",
-            "chain depth planned",
-            "overload targets",
-            "ref logn/loglogn",
-        ],
-    );
-    let seeds = scope.seeds();
-    let mut configs: Vec<(usize, &str, u64)> = Vec::new();
-    for n in scope.aer_sizes() {
-        let d = fba_samplers::default_quorum_size(n, 3.0) as u64;
-        let log = u64::from(fba_sim::ceil_log2(n)).max(1);
-        configs.push((n, "1.5d", d + d / 2));
-        configs.push((n, "log²n", (log * log).max(4)));
-    }
-    let cells: Vec<(usize, u64, u64)> = configs
-        .iter()
-        .flat_map(|&(n, _, cap)| seeds.iter().map(move |&seed| (n, cap, seed)))
+pub fn l6(scope: Scope) -> Report {
+    type Cell = (f64, Option<f64>, Option<f64>, f64, f64);
+    // The (n, cap) grid: both named caps per system size.
+    let points: Vec<(usize, &str, u64)> = scope
+        .aer_sizes()
+        .into_iter()
+        .flat_map(|n| {
+            let d = fba_samplers::default_quorum_size(n, 3.0) as u64;
+            let log = u64::from(fba_sim::ceil_log2(n)).max(1);
+            [(n, "1.5d", d + d / 2), (n, "log²n", (log * log).max(4))]
+        })
         .collect();
-    // Fan the (n, cap, seed) grid across cores (pure seeded runs;
-    // aggregation in input order == serial sweep).
-    let outcomes = par_map(cells, |(n, cap, seed)| {
-        let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
-            .overload_cap(cap)
-            .strict()
-            .network(NetworkSpec::Async { max_delay: 1 })
-            // Derive the poll timeout from the delay bound so the sweep
-            // stays wave-free if the delay is ever raised (a no-op at
-            // max_delay = 1; strict mode has no retries anyway).
-            .poll_timeout(PollTimeoutSpec::DelayScaled)
-            .adversary(AdversarySpec::Corner { label_scan: 512 })
-            .run(seed)
-            .expect("l6 scenario")
-            .into_aer();
-        let report = out.corner.as_ref().expect("corner adversary reports");
-        (
-            out.run.metrics.decided_fraction() * 100.0,
-            out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
-            out.run.metrics.decided_quantile(0.75).map(|s| s as f64),
-            report.planned_depth as f64,
-            report.overload_targets as f64,
-        )
-    });
-    for (i, &(n, cap_name, _)) in configs.iter().enumerate() {
-        let rows = &outcomes[i * seeds.len()..(i + 1) * seeds.len()];
-        let decided: Vec<f64> = rows.iter().map(|r| r.0).collect();
-        let p50: Vec<f64> = rows.iter().filter_map(|r| r.1).collect();
-        let p75: Vec<f64> = rows.iter().filter_map(|r| r.2).collect();
-        let depth: Vec<f64> = rows.iter().map(|r| r.3).collect();
-        let targets: Vec<f64> = rows.iter().map(|r| r.4).collect();
-        t.push_row(vec![
-            n.to_string(),
-            cap_name.into(),
-            fnum(mean(&decided)),
-            mean_cell(&p50),
-            mean_cell(&p75),
-            fnum(mean(&depth)),
-            fnum(mean(&targets)),
-            fnum(loglog_ratio(n)),
-        ]);
-    }
-    t.note("paper: answers within O(log n / log log n) async steps. The attack budget is");
-    t.note("t·d/cap node-overloads; at log²n caps it only bites for n far beyond simulation,");
-    t.note("so the 1.5d rows are where the deferral chains (and the depth column) show.");
-    t.note("Strict mode strands the θ-fraction of unlucky quorums (hence decided% < 100).");
-    t
+    Battery::new(
+        "l6",
+        "l6 — Lemma 6: async rushing time under the cornering attack (strict mode)",
+        |&(n, _, cap): &(usize, &str, u64), seed| -> Cell {
+            let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
+                .overload_cap(cap)
+                .strict()
+                .network(NetworkSpec::Async { max_delay: 1 })
+                // Derive the poll timeout from the delay bound so the sweep
+                // stays wave-free if the delay is ever raised (a no-op at
+                // max_delay = 1; strict mode has no retries anyway).
+                .poll_timeout(PollTimeoutSpec::DelayScaled)
+                .adversary(AdversarySpec::Corner { label_scan: 512 })
+                .run(seed)
+                .expect("l6 scenario")
+                .into_aer();
+            let report = out.corner.as_ref().expect("corner adversary reports");
+            (
+                out.run.metrics.decided_fraction() * 100.0,
+                out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
+                out.run.metrics.decided_quantile(0.75).map(|s| s as f64),
+                report.planned_depth as f64,
+                report.overload_targets as f64,
+            )
+        },
+    )
+    .axes(&["n", "cap"], |&(n, cap_name, _)| {
+        vec![n.to_string(), cap_name.to_string()]
+    })
+    .points(points)
+    .point_n(|&(n, _, _)| n)
+    .col("decided %", Agg::Mean, |o: &Cell| Some(o.0))
+    .col("rounds p50", Agg::Mean, |o: &Cell| o.1)
+    .col("rounds p75", Agg::Mean, |o: &Cell| o.2)
+    .col("chain depth planned", Agg::Mean, |o: &Cell| Some(o.3))
+    .col("overload targets", Agg::Mean, |o: &Cell| Some(o.4))
+    .col_point("ref logn/loglogn", |&(n, _, _)| fnum(loglog_ratio(n)))
+    .note("paper: answers within O(log n / log log n) async steps. The attack budget is")
+    .note("t·d/cap node-overloads; at log²n caps it only bites for n far beyond simulation,")
+    .note("so the 1.5d rows are where the deferral chains (and the depth column) show.")
+    .note("Strict mode strands the θ-fraction of unlucky quorums (hence decided% < 100).")
+    .report(scope)
 }
 
 /// Ablation: the overload cap must exceed the normal per-node answering
 /// load (≈ `d`). Caps below it make honest traffic trip the valve and the
 /// wait-until-decided rule turns into circular waiting.
 #[must_use]
-pub fn ablate_cap(scope: Scope) -> Table {
+pub fn ablate_cap(scope: Scope) -> Report {
     let n = match scope {
         Scope::Quick => 64,
         _ => 256,
     };
     let d = fba_samplers::default_quorum_size(n, 3.0) as u64;
     let log = u64::from(fba_sim::ceil_log2(n)).max(1);
-    let mut t = Table::new(
-        "ablate-cap — why Algorithm 3's valve is log²n: decided fraction vs cap",
-        &["cap", "cap value", "decided %", "rounds p50"],
-    );
-    let caps = [
+    let caps: Vec<(&str, u64)> = vec![
         ("d/2 (below load)", d / 2),
         ("d (at load)", d),
         ("1.5d", d + d / 2),
         ("log²n (paper)", (log * log).max(4)),
     ];
-    let seeds = scope.seeds();
-    let cells: Vec<(u64, u64)> = caps
-        .iter()
-        .flat_map(|&(_, cap)| seeds.iter().map(move |&seed| (cap, seed)))
-        .collect();
-    let outcomes = par_map(cells, |(cap, seed)| {
-        let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
-            .overload_cap(cap.max(1))
-            .strict()
-            .network(NetworkSpec::Async { max_delay: 1 })
-            .adversary(AdversarySpec::Corner { label_scan: 256 })
-            .run(seed)
-            .expect("ablate-cap scenario")
-            .into_aer();
-        (
-            out.run.metrics.decided_fraction() * 100.0,
-            out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
-        )
-    });
-    for (i, &(name, cap)) in caps.iter().enumerate() {
-        let rows = &outcomes[i * seeds.len()..(i + 1) * seeds.len()];
-        let decided: Vec<f64> = rows.iter().map(|r| r.0).collect();
-        let p50: Vec<f64> = rows.iter().filter_map(|r| r.1).collect();
-        t.push_row(vec![
-            name.into(),
-            cap.to_string(),
-            fnum(mean(&decided)),
-            mean_cell(&p50),
-        ]);
-    }
-    t.note(format!(
+    Battery::new(
+        "ablate-cap",
+        "ablate-cap — why Algorithm 3's valve is log²n: decided fraction vs cap",
+        move |&(_, cap): &(&str, u64), seed| {
+            let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
+                .overload_cap(cap.max(1))
+                .strict()
+                .network(NetworkSpec::Async { max_delay: 1 })
+                .adversary(AdversarySpec::Corner { label_scan: 256 })
+                .run(seed)
+                .expect("ablate-cap scenario")
+                .into_aer();
+            (
+                out.run.metrics.decided_fraction() * 100.0,
+                out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
+            )
+        },
+    )
+    .axes(&["cap"], |&(name, _)| vec![name.to_string()])
+    .points(caps)
+    .col_point("cap value", |&(_, cap)| cap.to_string())
+    .col("decided %", Agg::Mean, |o: &(f64, Option<f64>)| Some(o.0))
+    .col("rounds p50", Agg::Mean, |o: &(f64, Option<f64>)| o.1)
+    .note(format!(
         "n = {n}, d = {d}, strict mode, cornering adversary. The normal answering load is"
-    ));
-    t.note("≈ d per node; caps below it deadlock the wait-until-decided rule (decided %");
-    t.note("collapses), which is exactly why the paper's filter triggers only at log²n.");
-    t
+    ))
+    .note("≈ d per node; caps below it deadlock the wait-until-decided rule (decided %")
+    .note("collapses), which is exactly why the paper's filter triggers only at log²n.")
+    .report(scope)
 }
 
 /// Lemma 8: synchronous non-rushing completion time is constant.
 #[must_use]
-pub fn l8(scope: Scope) -> Table {
-    let mut t = Table::new(
+pub fn l8(scope: Scope) -> Report {
+    type Cell = (f64, Option<f64>, Option<f64>);
+    Battery::new(
+        "l8",
         "l8 — Lemma 8: sync non-rushing completion time (strict mode)",
-        &["n", "decided %", "rounds p50", "rounds p75"],
-    );
-    let sizes = scope.aer_sizes();
-    let seeds = scope.seeds();
-    let cells: Vec<(usize, u64)> = sizes
-        .iter()
-        .flat_map(|&n| seeds.iter().map(move |&seed| (n, seed)))
-        .collect();
-    let outcomes = par_map(cells, |(n, seed)| {
-        let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
-            .strict()
-            .adversary(AdversarySpec::Silent { t: None })
-            .run(seed)
-            .expect("l8 scenario")
-            .into_aer();
-        (
-            out.run.metrics.decided_fraction() * 100.0,
-            out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
-            out.run.metrics.decided_quantile(0.75).map(|s| s as f64),
-        )
-    });
-    for (i, &n) in sizes.iter().enumerate() {
-        let rows = &outcomes[i * seeds.len()..(i + 1) * seeds.len()];
-        let decided: Vec<f64> = rows.iter().map(|r| r.0).collect();
-        let p50: Vec<f64> = rows.iter().filter_map(|r| r.1).collect();
-        let p75: Vec<f64> = rows.iter().filter_map(|r| r.2).collect();
-        t.push_row(vec![
-            n.to_string(),
-            fnum(mean(&decided)),
-            mean_cell(&p50),
-            mean_cell(&p75),
-        ]);
-    }
-    t.note("paper: any polling request is answered in O(1) steps against a non-rushing");
-    t.note("adversary — the p50/p75 columns must not grow with n. decided% < 100 is the");
-    t.note("strict-mode θ-fraction; l9/l10 run the same protocol with the liveness");
-    t.note("extensions and decide everywhere.");
-    t
+        |&n: &usize, seed| -> Cell {
+            let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
+                .strict()
+                .adversary(AdversarySpec::Silent { t: None })
+                .run(seed)
+                .expect("l8 scenario")
+                .into_aer();
+            (
+                out.run.metrics.decided_fraction() * 100.0,
+                out.run.metrics.decided_quantile(0.5).map(|s| s as f64),
+                out.run.metrics.decided_quantile(0.75).map(|s| s as f64),
+            )
+        },
+    )
+    .axes(&["n"], |n| vec![n.to_string()])
+    .points(scope.aer_sizes())
+    .point_n(|&n| n)
+    .col("decided %", Agg::Mean, |o: &Cell| Some(o.0))
+    .col("rounds p50", Agg::Mean, |o: &Cell| o.1)
+    .col("rounds p75", Agg::Mean, |o: &Cell| o.2)
+    .note("paper: any polling request is answered in O(1) steps against a non-rushing")
+    .note("adversary — the p50/p75 columns must not grow with n. decided% < 100 is the")
+    .note("strict-mode θ-fraction; l9/l10 run the same protocol with the liveness")
+    .note("extensions and decide everywhere.")
+    .report(scope)
 }
 
 /// Lemma 10 variant with repairs enabled: the full asynchronous
@@ -233,82 +192,55 @@ pub fn l8(scope: Scope) -> Table {
 /// paper comparability — at `d > 1` the constant schedule fires retry
 /// waves into traffic that is merely delayed, not lost.
 #[must_use]
-pub fn l10(scope: Scope) -> Table {
-    let mut t = Table::new(
-        "l10 — Lemma 10: async end-to-end with liveness extensions on",
-        &[
-            "n",
-            "delay",
-            "decided %",
-            "rounds p50",
-            "rounds max",
-            "poll waves",
-            "legacy waves",
-            "legacy p50",
-        ],
-    );
+pub fn l10(scope: Scope) -> Report {
+    type Cell = (f64, Option<f64>, Option<f64>, f64, f64, Option<f64>);
     const DELAYS: [u64; 2] = [1, 4];
-    let sizes = scope.aer_sizes();
-    let seeds = scope.seeds();
-    let cells: Vec<(usize, u64, u64)> = sizes
-        .iter()
-        .flat_map(|&n| DELAYS.into_iter().map(move |delay| (n, delay)))
-        .flat_map(|(n, delay)| seeds.iter().map(move |&seed| (n, delay, seed)))
-        .collect();
-    let outcomes = par_map(cells, |(n, delay, seed)| {
-        let scenario = |timeout: PollTimeoutSpec| {
-            let mut waves = WaveCounter::default();
-            let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
-                .network(NetworkSpec::Async { max_delay: delay })
-                .poll_timeout(timeout)
-                .adversary(AdversarySpec::Corner { label_scan: 512 })
-                .run_observed(seed, &mut waves)
-                .expect("l10 scenario")
-                .into_aer();
-            (out, waves.waves)
-        };
-        let (scaled, scaled_waves) = scenario(PollTimeoutSpec::DelayScaled);
-        let (legacy, legacy_waves) = scenario(PollTimeoutSpec::Config);
-        (
-            scaled.run.metrics.decided_fraction() * 100.0,
-            scaled.run.metrics.decided_quantile(0.5).map(|s| s as f64),
-            scaled.run.all_decided_at.map(|s| s as f64),
-            scaled_waves as f64,
-            legacy_waves as f64,
-            legacy.run.metrics.decided_quantile(0.5).map(|s| s as f64),
-        )
-    });
-    let mut offset = 0;
-    for &n in &sizes {
-        for delay in DELAYS {
-            let rows = &outcomes[offset..offset + seeds.len()];
-            offset += seeds.len();
-            let decided: Vec<f64> = rows.iter().map(|r| r.0).collect();
-            let p50: Vec<f64> = rows.iter().filter_map(|r| r.1).collect();
-            let pmax: Vec<f64> = rows.iter().filter_map(|r| r.2).collect();
-            let waves: Vec<f64> = rows.iter().map(|r| r.3).collect();
-            let legacy_waves: Vec<f64> = rows.iter().map(|r| r.4).collect();
-            let legacy_p50: Vec<f64> = rows.iter().filter_map(|r| r.5).collect();
-            t.push_row(vec![
-                n.to_string(),
-                delay.to_string(),
-                fnum(mean(&decided)),
-                mean_cell(&p50),
-                mean_cell(&pmax),
-                fnum(mean(&waves)),
-                fnum(mean(&legacy_waves)),
-                mean_cell(&legacy_p50),
-            ]);
-        }
-    }
-    t.note("paper: O(log n / log log n) rounds, Õ(n) messages, every correct node learns");
-    t.note("gstring. Retries/repair (DESIGN.md §8) close the finite-size liveness gap.");
-    t.note("Main columns use the delay-scaled poll timeout (horizon × max_delay); the");
-    t.note("legacy columns rerun the constant-timeout schedule — at delay 4 it emits");
-    t.note("redundant retry waves into traffic that is delayed, not lost. A `n/a`");
-    t.note("legacy p50 means fewer than half the correct nodes decided at all under");
-    t.note("the legacy schedule (every poll times out before its answers arrive).");
-    t
+    Battery::new(
+        "l10",
+        "l10 — Lemma 10: async end-to-end with liveness extensions on",
+        |&(n, delay): &(usize, u64), seed| -> Cell {
+            let scenario = |timeout: PollTimeoutSpec| {
+                let mut waves = WaveCounter::default();
+                let out = aer_scenario(n, KNOWING, UnknowingAssignment::RandomPerNode)
+                    .network(NetworkSpec::Async { max_delay: delay })
+                    .poll_timeout(timeout)
+                    .adversary(AdversarySpec::Corner { label_scan: 512 })
+                    .run_observed(seed, &mut waves)
+                    .expect("l10 scenario")
+                    .into_aer();
+                (out, waves.waves)
+            };
+            let (scaled, scaled_waves) = scenario(PollTimeoutSpec::DelayScaled);
+            let (legacy, legacy_waves) = scenario(PollTimeoutSpec::Config);
+            (
+                scaled.run.metrics.decided_fraction() * 100.0,
+                scaled.run.metrics.decided_quantile(0.5).map(|s| s as f64),
+                scaled.run.all_decided_at.map(|s| s as f64),
+                scaled_waves as f64,
+                legacy_waves as f64,
+                legacy.run.metrics.decided_quantile(0.5).map(|s| s as f64),
+            )
+        },
+    )
+    .axes(&["n", "delay"], |&(n, delay)| {
+        vec![n.to_string(), delay.to_string()]
+    })
+    .points(product2(&scope.aer_sizes(), &DELAYS))
+    .point_n(|&(n, _)| n)
+    .col("decided %", Agg::Mean, |o: &Cell| Some(o.0))
+    .col("rounds p50", Agg::Mean, |o: &Cell| o.1)
+    .col("rounds max", Agg::Mean, |o: &Cell| o.2)
+    .col("poll waves", Agg::Mean, |o: &Cell| Some(o.3))
+    .col("legacy waves", Agg::Mean, |o: &Cell| Some(o.4))
+    .col("legacy p50", Agg::Mean, |o: &Cell| o.5)
+    .note("paper: O(log n / log log n) rounds, Õ(n) messages, every correct node learns")
+    .note("gstring. Retries/repair (DESIGN.md §8) close the finite-size liveness gap.")
+    .note("Main columns use the delay-scaled poll timeout (horizon × max_delay); the")
+    .note("legacy columns rerun the constant-timeout schedule — at delay 4 it emits")
+    .note("redundant retry waves into traffic that is delayed, not lost. A `n/a`")
+    .note("legacy p50 means fewer than half the correct nodes decided at all under")
+    .note("the legacy schedule (every poll times out before its answers arrive).")
+    .report(scope)
 }
 
 #[cfg(test)]
@@ -317,7 +249,7 @@ mod tests {
 
     #[test]
     fn l8_rounds_stay_constant() {
-        let t = l8(Scope::Quick);
+        let t = l8(Scope::Quick).table;
         let first: f64 = t.rows.first().unwrap()[2].parse().unwrap();
         let last: f64 = t.rows.last().unwrap()[2].parse().unwrap();
         assert!(
@@ -328,7 +260,7 @@ mod tests {
 
     #[test]
     fn l10_decides_everywhere() {
-        let t = l10(Scope::Quick);
+        let t = l10(Scope::Quick).table;
         for row in &t.rows {
             let decided: f64 = row[2].parse().unwrap();
             assert!(decided > 99.0, "row {row:?}");
@@ -337,7 +269,7 @@ mod tests {
 
     #[test]
     fn l10_delay_scaled_timeout_cuts_retry_waves() {
-        let t = l10(Scope::Quick);
+        let t = l10(Scope::Quick).table;
         // At delay > 1 the scaled schedule must not wave more than the
         // legacy constant-timeout schedule (strictly fewer at some size).
         let mut strictly_fewer = false;
@@ -356,7 +288,7 @@ mod tests {
 
     #[test]
     fn ablation_shows_the_collapse_below_load() {
-        let t = ablate_cap(Scope::Quick);
+        let t = ablate_cap(Scope::Quick).table;
         let below: f64 = t.rows[0][2].parse().unwrap();
         let paper: f64 = t.rows[3][2].parse().unwrap();
         assert!(

@@ -7,14 +7,18 @@
 //! micro-benchmarks of the protocol components live under `benches/`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod battery;
 pub mod engine_bench;
 pub mod experiments;
+pub mod json;
 pub mod par;
 pub mod scope;
+pub mod sweep;
 pub mod table;
 
+pub use battery::{product2, product3, Agg, Battery, Report, SeedPolicy};
 pub use experiments::{run_experiment, ALL_IDS};
 pub use par::{par_map, parallelism};
 pub use scope::Scope;

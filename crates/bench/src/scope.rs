@@ -28,6 +28,17 @@ impl Scope {
         }
     }
 
+    /// The scope's canonical name (as accepted by [`Scope::parse`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Scope::Quick => "quick",
+            Scope::Default => "default",
+            Scope::Full => "full",
+            Scope::Huge => "huge",
+        }
+    }
+
     /// System sizes for AER-involved sweeps (full protocol runs are
     /// `Θ(n·log³n)` messages, so sizes are capped accordingly).
     #[must_use]

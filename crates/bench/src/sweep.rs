@@ -1,0 +1,432 @@
+//! The command-line battery: `paperbench sweep --axis … --metric …`.
+//!
+//! An arbitrary axes × metrics battery built entirely from spec strings —
+//! no new code per experiment. Axis values parse through the existing
+//! scenario spec grammar (`silent:9`, `flood`, `corner:512`, `async:3`,
+//! `sched:[0..5]silent;[5..]flood`, …), so everything the [`Scenario`]
+//! builder can express is sweepable from the shell:
+//!
+//! ```bash
+//! paperbench sweep --axis n=256,1024 \
+//!     --axis 'adversary=silent,flood,sched:[0..3]flood;[3..]silent' \
+//!     --metric rounds,bits --scope quick --json sweep.json
+//! ```
+//!
+//! Values split on commas, with spec-aware re-merging: a segment that is
+//! not a valid value by itself but completes the previous segment into
+//! one (the comma *parameters* of `random-flood:16,4`) is merged back,
+//! so comma-parameterized specs work in a plain list
+//! (`--axis adversary=silent,random-flood:16,4` is two values). Repeating
+//! `--axis` with the same name extends the axis. Unknown axes, metrics
+//! or malformed values are rejected with the catalogue before anything
+//! runs.
+
+use fba_ae::UnknowingAssignment;
+use fba_scenario::{AerRun, Phase, PreconditionSpec, Scenario};
+use fba_sim::{AdversarySpec, NetworkSpec};
+
+use crate::battery::{Agg, Battery, SeedPolicy};
+
+/// The sweepable axes, with their value grammar.
+pub const AXES: &[(&str, &str)] = &[
+    ("n", "system sizes, e.g. n=256,1024"),
+    (
+        "adversary",
+        "adversary specs, e.g. adversary=silent,flood,corner:512",
+    ),
+    ("network", "timing specs, e.g. network=sync,async:2"),
+    ("knowing", "knowledge fractions, e.g. knowing=0.6,0.8"),
+];
+
+/// The sweepable metrics, with what each reports per cell.
+pub const METRICS: &[(&str, &str)] = &[
+    (
+        "decided",
+        "percent of correct nodes that decided (mean over seeds)",
+    ),
+    (
+        "rounds",
+        "median decision step (mean over seeds; n/a if never reached)",
+    ),
+    (
+        "rounds-max",
+        "step the last correct node decided (mean; n/a if anyone never did)",
+    ),
+    ("bits", "amortized bits per node (mean)"),
+    ("msgs", "messages sent by correct nodes, per node (mean)"),
+    (
+        "wrong",
+        "correct nodes that decided a non-gstring value (sum, must be 0)",
+    ),
+];
+
+/// Metrics run when `--metric` is omitted.
+pub const DEFAULT_METRICS: &[&str] = &["decided", "rounds", "bits"];
+
+/// One cell of the CLI sweep: every axis pinned to a value (undeclared
+/// axes keep these defaults: `n=256`, no adversary, sync network,
+/// knowing `0.8`).
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// System size.
+    pub n: usize,
+    /// Adversary spec.
+    pub adversary: AdversarySpec,
+    /// Timing spec.
+    pub network: NetworkSpec,
+    /// Knowledge fraction of the synthetic precondition.
+    pub knowing: f64,
+}
+
+impl Default for SweepPoint {
+    fn default() -> Self {
+        SweepPoint {
+            n: 256,
+            adversary: AdversarySpec::None,
+            network: NetworkSpec::Sync,
+            knowing: 0.8,
+        }
+    }
+}
+
+impl SweepPoint {
+    fn scenario(&self, strict: bool) -> Scenario {
+        let mut scenario = Scenario::new(self.n)
+            .phase(Phase::Aer {
+                precondition: PreconditionSpec::new(
+                    self.knowing,
+                    UnknowingAssignment::RandomPerNode,
+                ),
+            })
+            .adversary(self.adversary.clone())
+            .network(self.network);
+        if strict {
+            scenario = scenario.strict();
+        }
+        scenario
+    }
+
+    fn axis_value(&self, axis: &str) -> String {
+        match axis {
+            "n" => self.n.to_string(),
+            "adversary" => self.adversary.to_string(),
+            "network" => self.network.to_string(),
+            "knowing" => format!("{}", self.knowing),
+            other => unreachable!("unknown sweep axis `{other}` survived validation"),
+        }
+    }
+
+    fn with_axis(mut self, axis: &str, value: &str) -> Result<Self, String> {
+        match axis {
+            "n" => {
+                self.n = value
+                    .parse()
+                    .map_err(|e| format!("bad n value `{value}`: {e}"))?;
+            }
+            "adversary" => {
+                self.adversary = value
+                    .parse()
+                    .map_err(|e| format!("bad adversary value `{value}`: {e}"))?;
+            }
+            "network" => {
+                self.network = value
+                    .parse()
+                    .map_err(|e| format!("bad network value `{value}`: {e}"))?;
+            }
+            "knowing" => {
+                let knowing: f64 = value
+                    .parse()
+                    .map_err(|e| format!("bad knowing value `{value}`: {e}"))?;
+                if !(0.0..=1.0).contains(&knowing) {
+                    return Err(format!("bad knowing value `{value}`: must be in [0, 1]"));
+                }
+                self.knowing = knowing;
+            }
+            other => {
+                let known: Vec<&str> = AXES.iter().map(|(name, _)| *name).collect();
+                return Err(format!(
+                    "unknown axis `{other}`; known axes: {}",
+                    known.join(", ")
+                ));
+            }
+        }
+        Ok(self)
+    }
+}
+
+/// Splits one `--axis name=<list>` value list on commas, merging back
+/// segments that are comma *parameters* of the previous value rather
+/// than values themselves: a segment that does not parse as an `axis`
+/// value on its own, but completes the previous candidate into one, is
+/// appended to it. `silent,random-flood:16,4` therefore yields
+/// `["silent", "random-flood:16,4"]`, while a genuinely malformed
+/// segment stays separate so validation reports it by name.
+#[must_use]
+pub fn split_axis_values(axis: &str, raw: &str) -> Vec<String> {
+    let parses = |value: &str| SweepPoint::default().with_axis(axis, value).is_ok();
+    let mut values: Vec<String> = Vec::new();
+    for segment in raw.split(',') {
+        if let Some(last) = values.last_mut() {
+            let candidate = format!("{last},{segment}");
+            if !parses(segment) && parses(&candidate) {
+                *last = candidate;
+                continue;
+            }
+        }
+        values.push(segment.to_string());
+    }
+    values
+}
+
+fn metric_column(
+    battery: Battery<SweepPoint, AerRun>,
+    metric: &str,
+) -> Result<Battery<SweepPoint, AerRun>, String> {
+    Ok(match metric {
+        "decided" => battery.col("decided %", Agg::Mean, |o: &AerRun| {
+            Some(o.run.metrics.decided_fraction() * 100.0)
+        }),
+        "rounds" => battery.col("rounds p50", Agg::Mean, |o: &AerRun| {
+            o.run.metrics.decided_quantile(0.5).map(|s| s as f64)
+        }),
+        "rounds-max" => battery.col("rounds max", Agg::Mean, |o: &AerRun| {
+            o.run.all_decided_at.map(|s| s as f64)
+        }),
+        "bits" => battery.col("bits/node", Agg::Mean, |o: &AerRun| {
+            Some(o.run.metrics.amortized_bits())
+        }),
+        "msgs" => battery.col("msgs/node", Agg::Mean, |o: &AerRun| {
+            Some(o.run.metrics.correct_msgs_sent() as f64 / o.config.n as f64)
+        }),
+        "wrong" => battery.col("wrong", Agg::Sum, |o: &AerRun| {
+            Some(o.wrong_decisions() as f64)
+        }),
+        other => {
+            let known: Vec<&str> = METRICS.iter().map(|(name, _)| *name).collect();
+            return Err(format!(
+                "unknown metric `{other}`; known metrics: {}",
+                known.join(", ")
+            ));
+        }
+    })
+}
+
+/// Builds the sweep battery from declared axes (name → values, in
+/// declaration order; repeated names extend the same axis) and metric
+/// names. `seeds` overrides the scope seed set; `strict` disables
+/// retries.
+///
+/// # Errors
+///
+/// Returns a usage-style message on unknown axes or metrics, malformed
+/// values, or a cell the scenario builder rejects (pre-flighted here so
+/// invalid combinations never reach the parallel fan-out).
+pub fn battery(
+    axes: &[(String, Vec<String>)],
+    metrics: &[String],
+    seeds: Option<Vec<u64>>,
+    strict: bool,
+) -> Result<Battery<SweepPoint, AerRun>, String> {
+    // Merge repeated axis declarations, preserving first-seen order.
+    let mut merged: Vec<(String, Vec<String>)> = Vec::new();
+    for (name, values) in axes {
+        if values.is_empty() {
+            return Err(format!("axis `{name}` has no values"));
+        }
+        match merged.iter_mut().find(|(n, _)| n == name) {
+            Some((_, existing)) => existing.extend(values.iter().cloned()),
+            None => merged.push((name.clone(), values.clone())),
+        }
+    }
+    if merged.is_empty() {
+        merged.push(("n".to_string(), vec!["256".to_string()]));
+    }
+
+    // The axis product, first declared axis outermost.
+    let mut points = vec![SweepPoint::default()];
+    for (name, values) in &merged {
+        let mut expanded = Vec::with_capacity(points.len() * values.len());
+        for point in &points {
+            for value in values {
+                expanded.push(point.clone().with_axis(name, value)?);
+            }
+        }
+        points = expanded;
+    }
+    for point in &points {
+        point.scenario(strict).validate().map_err(|e| {
+            format!(
+                "invalid cell (n={}, adversary={}, network={}): {e}",
+                point.n, point.adversary, point.network
+            )
+        })?;
+    }
+
+    let axis_names: Vec<String> = merged.iter().map(|(name, _)| name.clone()).collect();
+    let title = format!(
+        "sweep — {} × [{}]",
+        axis_names.join(" × "),
+        metrics.join(", ")
+    );
+    let label_axes = axis_names.clone();
+    let names: Vec<&str> = axis_names.iter().map(String::as_str).collect();
+    let mut battery = Battery::new("sweep", title, move |p: &SweepPoint, seed| {
+        p.scenario(strict)
+            .run(seed)
+            .expect("sweep cell pre-flighted")
+            .into_aer()
+    })
+    .axes(&names, move |p: &SweepPoint| {
+        label_axes.iter().map(|axis| p.axis_value(axis)).collect()
+    })
+    .points(points)
+    .point_n(|p: &SweepPoint| p.n);
+    if let Some(seeds) = seeds {
+        battery = battery.seeds(SeedPolicy::Fixed(seeds));
+    }
+    for metric in metrics {
+        battery = metric_column(battery, metric)?;
+    }
+    Ok(battery
+        .note("Declarative CLI battery: AER on a synthetic precondition, axes × metrics as data.")
+        .note("Undeclared axes default to n=256, adversary=none, network=sync, knowing=0.8."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+    use crate::scope::Scope;
+
+    fn axis(name: &str, values: &[&str]) -> (String, Vec<String>) {
+        (
+            name.to_string(),
+            values.iter().map(ToString::to_string).collect(),
+        )
+    }
+
+    #[test]
+    fn rejects_unknown_axes_metrics_and_bad_values() {
+        let err = battery(&[axis("planet", &["mars"])], &[], None, false).unwrap_err();
+        assert!(err.contains("unknown axis"), "{err}");
+        assert!(err.contains("adversary"), "lists the catalogue: {err}");
+        let err =
+            battery(&[axis("n", &["64"])], &["latency".to_string()], None, false).unwrap_err();
+        assert!(err.contains("unknown metric"), "{err}");
+        assert!(err.contains("rounds"), "lists the catalogue: {err}");
+        let err = battery(&[axis("adversary", &["martian"])], &[], None, false).unwrap_err();
+        assert!(err.contains("bad adversary value"), "{err}");
+        let err = battery(&[axis("knowing", &["1.5"])], &[], None, false).unwrap_err();
+        assert!(err.contains("must be in [0, 1]"), "{err}");
+        // A grammatical but semantically invalid schedule is pre-flighted.
+        let err = battery(
+            &[axis("adversary", &["sched:[0..2]silent:3;[2..]flood"])],
+            &[],
+            None,
+            false,
+        )
+        .unwrap_err();
+        assert!(err.contains("invalid cell"), "{err}");
+    }
+
+    #[test]
+    fn sweep_runs_axes_by_metrics_and_reports_both_ways() {
+        let battery = battery(
+            &[
+                axis("n", &["48"]),
+                axis("adversary", &["silent", "flood"]),
+                axis("network", &["sync", "async:2"]),
+            ],
+            &[
+                "decided".to_string(),
+                "rounds".to_string(),
+                "wrong".to_string(),
+            ],
+            Some(vec![3]),
+            false,
+        )
+        .expect("valid sweep");
+        let report = battery.report(Scope::Quick);
+        assert_eq!(report.table.rows.len(), 4, "2 adversaries × 2 networks");
+        assert_eq!(
+            report.table.columns,
+            vec![
+                "n",
+                "adversary",
+                "network",
+                "decided %",
+                "rounds p50",
+                "wrong"
+            ]
+        );
+        for row in &report.table.rows {
+            let decided: f64 = row[3].parse().unwrap();
+            assert!(decided > 99.0, "row {row:?}");
+            assert_eq!(row[5], "0", "safety under sweep: {row:?}");
+        }
+        let json = Value::parse(&report.cells_json).expect("sweep JSON parses");
+        assert_eq!(json.get("battery").and_then(Value::as_str), Some("sweep"));
+        let cells = json.get("cells").and_then(Value::as_array).unwrap();
+        assert_eq!(cells.len(), 4);
+        let coords = cells[0].get("axes").and_then(Value::as_object).unwrap();
+        assert_eq!(coords["adversary"].as_str(), Some("silent"));
+    }
+
+    #[test]
+    fn comma_parameters_remerge_into_one_axis_value() {
+        assert_eq!(
+            split_axis_values("adversary", "silent,random-flood:16,4"),
+            vec!["silent", "random-flood:16,4"]
+        );
+        assert_eq!(
+            split_axis_values("adversary", "random-flood:16,4,flood,pull-flood:8,2"),
+            vec!["random-flood:16,4", "flood", "pull-flood:8,2"]
+        );
+        // Genuinely malformed segments stay separate so validation names
+        // them, and plain lists are untouched.
+        assert_eq!(
+            split_axis_values("adversary", "silent,martian"),
+            vec!["silent", "martian"]
+        );
+        assert_eq!(split_axis_values("n", "64,128"), vec!["64", "128"]);
+        // End to end: a comma-parameterized spec sweeps like any other.
+        let battery = battery(
+            &[
+                axis("n", &["48"]),
+                (
+                    "adversary".to_string(),
+                    split_axis_values("adversary", "silent,random-flood:4,2"),
+                ),
+            ],
+            &["decided".to_string()],
+            Some(vec![1]),
+            false,
+        )
+        .expect("comma-parameterized sweep builds");
+        let table = battery.table(Scope::Quick);
+        assert_eq!(table.rows.len(), 2);
+        assert!(
+            table.rows.iter().any(|r| r[1] == "random-flood:4,2"),
+            "{:?}",
+            table.rows
+        );
+    }
+
+    #[test]
+    fn repeated_axis_flags_extend_the_axis() {
+        let battery = battery(
+            &[
+                axis("n", &["48"]),
+                axis("adversary", &["silent"]),
+                axis("adversary", &["flood"]),
+            ],
+            &["decided".to_string()],
+            Some(vec![1]),
+            false,
+        )
+        .expect("valid sweep");
+        let table = battery.table(Scope::Quick);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.columns[..3], ["n", "adversary", "decided %"]);
+    }
+}

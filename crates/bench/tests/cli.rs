@@ -153,6 +153,83 @@ fn scenario_rejects_malformed_schedules() {
 }
 
 #[test]
+fn sweep_valid_axes_and_metrics_run_and_report_both_ways() {
+    let json_path = std::env::temp_dir().join("paperbench_sweep_test.json");
+    let _ = std::fs::remove_file(&json_path);
+    let out = paperbench(&[
+        "sweep",
+        "--scope",
+        "quick",
+        "--axis",
+        "n=48",
+        "--axis",
+        "adversary=silent,flood",
+        "--metric",
+        "decided,rounds,wrong",
+        "--seeds",
+        "3",
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "valid sweep must run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("## sweep"), "stdout: {stdout}");
+    assert!(stdout.contains("decided %"), "stdout: {stdout}");
+    assert!(stdout.contains("flood"), "stdout: {stdout}");
+    let json = std::fs::read_to_string(&json_path).expect("sweep JSON written");
+    assert!(json.contains("\"battery\": \"sweep\""), "{json}");
+    assert!(json.contains("\"adversary\": \"flood\""), "{json}");
+    let _ = std::fs::remove_file(&json_path);
+}
+
+#[test]
+fn sweep_rejects_unknown_axes_and_metrics() {
+    let out = paperbench(&["sweep", "--axis", "planet=mars"]);
+    assert!(!out.status.success(), "unknown axis must exit non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown axis"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("usage: paperbench sweep"),
+        "stderr: {stderr}"
+    );
+
+    let out = paperbench(&["sweep", "--axis", "n=48", "--metric", "latency"]);
+    assert!(!out.status.success(), "unknown metric must exit non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown metric"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("usage: paperbench sweep"),
+        "stderr: {stderr}"
+    );
+
+    let out = paperbench(&["sweep", "--axis", "adversary=martian"]);
+    assert!(!out.status.success(), "bad spec value must exit non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad adversary value"), "stderr: {stderr}");
+}
+
+#[test]
+fn json_flag_writes_cell_records_per_experiment_id() {
+    let dir = std::env::temp_dir().join("paperbench_json_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = paperbench(&["--quick", "--json", dir.to_str().unwrap(), "l3"]);
+    assert!(
+        out.status.success(),
+        "experiment with --json must run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(dir.join("l3.json")).expect("l3.json written");
+    assert!(json.contains("\"battery\": \"l3\""), "{json}");
+    assert!(json.contains("\"seed_policy\""), "{json}");
+    assert!(json.contains("\"cells\""), "{json}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn scenario_unknown_adversary_prints_usage_and_fails() {
     let out = paperbench(&["scenario", "--n", "48", "--adversary", "martian"]);
     assert!(

@@ -13,9 +13,10 @@
 use fba_bench::{par_map, run_experiment, Scope};
 
 fn render(id: &str) -> String {
-    run_experiment(id, Scope::Quick)
-        .unwrap_or_else(|e| panic!("experiment {id}: {e}"))
-        .render()
+    let report =
+        run_experiment(id, Scope::Quick).unwrap_or_else(|e| panic!("experiment {id}: {e}"));
+    // Both reporters must be worker-count-invariant.
+    format!("{}\n{}", report.table.render(), report.cells_json)
 }
 
 #[test]

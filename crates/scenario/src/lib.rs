@@ -524,6 +524,45 @@ impl Scenario {
         (self.n as f64 * 0.15) as usize
     }
 
+    /// Checks the scenario without executing it: config derivation,
+    /// fault-schedule budget coherence, and phase/adversary
+    /// compatibility — exactly the rejections [`Scenario::run`] would
+    /// raise before simulating, for every phase. Sweep drivers
+    /// pre-flight every cell with this so an invalid cell fails fast
+    /// instead of deep inside a parallel fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated constraint.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let unsupported = |spec: &AdversarySpec, phase: &'static str| {
+            if spec.is_generic() {
+                Ok(())
+            } else {
+                Err(ScenarioError::UnsupportedAdversary {
+                    spec: spec.clone(),
+                    phase,
+                })
+            }
+        };
+        match self.phase {
+            Phase::Aer { .. } => {
+                let cfg = self.aer_config()?;
+                self.validate_schedule_budgets(self.faults.unwrap_or(cfg.t))
+            }
+            Phase::Composed => {
+                // The composed run derives the AER config and schedule
+                // budgets too, and its AE phase only accepts generic
+                // adversaries (mirrors `run_composed`).
+                let cfg = self.aer_config()?;
+                self.validate_schedule_budgets(self.faults.unwrap_or(cfg.t))?;
+                unsupported(&self.ae_adversary, "almost-everywhere")
+            }
+            Phase::Ae => unsupported(&self.adversary, "almost-everywhere"),
+            Phase::Baseline(_) => unsupported(&self.adversary, "baseline"),
+        }
+    }
+
     /// Executes the scenario.
     ///
     /// # Errors
@@ -1256,6 +1295,62 @@ mod tests {
         assert!(
             run.corner.is_some(),
             "corner report must surface from the schedule window"
+        );
+    }
+
+    #[test]
+    fn validate_preflights_without_running() {
+        // A sound scenario validates…
+        Scenario::new(64)
+            .adversary(AdversarySpec::Silent { t: None })
+            .phase(Phase::aer(0.8))
+            .validate()
+            .expect("sound scenario validates");
+        // …and validate() raises exactly the rejections run() would:
+        // an invalid config derivation…
+        let err = Scenario::new(64).quorum_size(0).validate().unwrap_err();
+        assert!(matches!(err, ScenarioError::Config(_)), "{err}");
+        // …and a schedule whose windows disagree on the budget.
+        let sched: AdversarySpec = "sched:[0..2]silent:3;[2..]flood".parse().expect("parses");
+        let err = Scenario::new(64).adversary(sched).validate().unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::ScheduleBudgetMismatch { .. }),
+            "{err}"
+        );
+        // `none` windows are budget-exempt: an attack-then-quiet
+        // schedule (the recovery battery shape) validates.
+        let sched: AdversarySpec = "sched:[0..3]flood;[3..]none".parse().expect("parses");
+        Scenario::new(64)
+            .adversary(sched)
+            .validate()
+            .expect("quiet tail window validates");
+        // Non-AER phases are covered too: the AE phase only accepts
+        // generic adversaries…
+        let err = Scenario::new(64)
+            .phase(Phase::Ae)
+            .adversary(AdversarySpec::PushFlood)
+            .validate()
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::UnsupportedAdversary { .. }),
+            "{err}"
+        );
+        // …and a composed run derives the AER config and checks its AE
+        // adversary, exactly as run() would.
+        let err = Scenario::new(64)
+            .phase(Phase::Composed)
+            .quorum_size(0)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::Config(_)), "{err}");
+        let err = Scenario::new(64)
+            .phase(Phase::Composed)
+            .ae_adversary(AdversarySpec::PushFlood)
+            .validate()
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::UnsupportedAdversary { .. }),
+            "{err}"
         );
     }
 

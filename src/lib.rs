@@ -73,6 +73,41 @@
 //! tuning knobs) and [`sim::AdversarySpec`] for the adversary grammar
 //! (including [`sim::ScheduleSpec`] and [`sim::Window`]).
 //!
+//! ## Batteries: experiments as axes × metrics × reporters
+//!
+//! One level up, a whole *experiment* is one declarative
+//! [`Battery`]: the cell grid (axes product), a declared
+//! seed policy (surfaced in the table notes and the JSON records — never
+//! a silent `take(3)`), a pure per-cell runner, `Option`-aware
+//! aggregation (`n/a`, never a fake `0`), and two reporters — a Markdown
+//! table plus one structured JSON record per cell:
+//!
+//! ```
+//! use fba::bench::{product2, Agg, Battery, Scope, SeedPolicy};
+//!
+//! let report = Battery::new(
+//!     "demo",
+//!     "demo — score per (n, delay)",
+//!     |&(n, delay): &(usize, u64), seed| (n as u64 + delay + seed) as f64,
+//! )
+//! .axes(&["n", "delay"], |&(n, d)| vec![n.to_string(), d.to_string()])
+//! .points(product2(&[64, 128], &[1, 4]))
+//! .point_n(|&(n, _)| n)
+//! .seeds(SeedPolicy::ThinAt { threshold: 4096, max: 3 })
+//! .col("score", Agg::Mean, |&score| Some(score))
+//! .report(Scope::Quick);
+//! assert_eq!(report.table.rows.len(), 4);
+//! assert!(report.cells_json.contains("\"battery\": \"demo\""));
+//! ```
+//!
+//! Every `paperbench` experiment id (and the engine throughput battery)
+//! is built on this API, and `paperbench sweep --axis n=256,1024 --axis
+//! adversary=silent,flood --metric rounds,bits` runs an arbitrary
+//! axes × metrics battery from the command line — axis values parse
+//! through the spec grammar above. The `recovery` battery (attack
+//! window, then quiet, measuring re-convergence) is pure spec rows on
+//! the same API.
+//!
 //! ## Crate map
 //!
 //! * [`scenario`] — **the public entry point for executing runs**: the
@@ -93,16 +128,21 @@
 //!   bad-string campaigns, the Lemma 6 cornering attack).
 //! * [`baselines`] — Figure 1 comparison protocols (KLST11-style
 //!   diffusion, flooding, Ben-Or, Phase-King).
+//! * [`bench`](mod@bench) — the declarative [`Battery`] API
+//!   (axes × metrics × reporters), every paper experiment built on it,
+//!   the deterministic parallel sweep runner, and the `paperbench` CLI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use fba_ae as ae;
 pub use fba_baselines as baselines;
+pub use fba_bench as bench;
 pub use fba_core as core;
 pub use fba_samplers as samplers;
 pub use fba_scenario as scenario;
 pub use fba_sim as sim;
 
+pub use fba_bench::{Agg, Battery, Report, SeedPolicy};
 pub use fba_scenario::{Baseline, Phase, PreconditionSpec, Scenario, ScenarioOutcome};
 pub use fba_sim::{AdversarySpec, NetworkSpec, ScheduleSpec, Window};
