@@ -30,7 +30,7 @@ use fba_sim::{AdversarySpec, NetworkSpec};
 
 fn usage() {
     eprintln!(
-        "usage: paperbench [--quick|--full|--huge|--scope <quick|default|full|huge>] \
+        "usage: paperbench [--quick|--full|--huge|--scope <quick|default|full|huge|extreme>] \
          [--json <dir>] <experiment id>... | all | bench-engine | scenario <flags> | \
          sweep <flags>"
     );
@@ -41,7 +41,7 @@ fn usage() {
 
 fn sweep_usage() {
     eprintln!(
-        "usage: paperbench sweep [--scope <quick|default|full|huge>] \
+        "usage: paperbench sweep [--scope <quick|default|full|huge|extreme>] \
          [--axis <name>=<v1,v2,…>]... [--metric <m1,m2,…>]... [--seeds <s1,s2,…>] \
          [--strict] [--json <path>]"
     );
@@ -90,7 +90,7 @@ fn run_sweep(args: &[String]) -> ExitCode {
                 continue;
             }
             Some(Err(())) => {
-                eprintln!("error: --scope needs one of quick|default|full|huge");
+                eprintln!("error: --scope needs one of quick|default|full|huge|extreme");
                 sweep_usage();
                 return ExitCode::FAILURE;
             }
@@ -412,6 +412,10 @@ fn run_engine_bench(scope: Scope) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Large-n batteries churn gigabytes of short-lived queue/arena memory;
+    // raising the glibc trim/mmap thresholds keeps it inside the heap
+    // instead of round-tripping through mmap/munmap. No-op elsewhere.
+    let _ = fba_sim::tune_allocator_for_bulk();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("scenario") {
         return run_scenario(&args[1..]);
@@ -431,7 +435,7 @@ fn main() -> ExitCode {
                 continue;
             }
             Some(Err(())) => {
-                eprintln!("error: --scope needs one of quick|default|full|huge");
+                eprintln!("error: --scope needs one of quick|default|full|huge|extreme");
                 usage();
                 return ExitCode::FAILURE;
             }

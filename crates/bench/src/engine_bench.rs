@@ -24,6 +24,8 @@ use crate::scope::Scope;
 pub struct RegimeReport {
     /// System size benchmarked.
     pub n: usize,
+    /// Worker threads the regime's battery fanned across.
+    pub threads: usize,
     /// Completed runs.
     pub runs: usize,
     /// Wall-clock for this regime's battery, seconds.
@@ -39,6 +41,10 @@ pub struct RegimeReport {
     pub peak_candidates: usize,
     /// Fraction of correct nodes that decided, worst run.
     pub min_decided_fraction: f64,
+    /// Peak resident set during this regime's battery, mebibytes — the
+    /// process high-water mark (`VmHWM`), reset before the battery runs.
+    /// `None` (JSON `null`) where the kernel interface is unavailable.
+    pub peak_rss_mb: Option<u64>,
 }
 
 impl RegimeReport {
@@ -47,16 +53,19 @@ impl RegimeReport {
             concat!(
                 "    {{\n",
                 "      \"n\": {},\n",
+                "      \"threads\": {},\n",
                 "      \"runs\": {},\n",
                 "      \"elapsed_sec\": {:.3},\n",
                 "      \"runs_per_sec\": {:.3},\n",
                 "      \"steps_per_sec\": {:.1},\n",
                 "      \"msgs_per_sec\": {:.0},\n",
                 "      \"peak_candidates\": {},\n",
-                "      \"min_decided_fraction\": {:.4}\n",
+                "      \"min_decided_fraction\": {:.4},\n",
+                "      \"peak_rss_mb\": {}\n",
                 "    }}"
             ),
             self.n,
+            self.threads,
             self.runs,
             self.elapsed_sec,
             self.runs_per_sec,
@@ -64,6 +73,8 @@ impl RegimeReport {
             self.msgs_per_sec,
             self.peak_candidates,
             self.min_decided_fraction,
+            self.peak_rss_mb
+                .map_or_else(|| "null".to_string(), |mb| mb.to_string()),
         )
     }
 }
@@ -92,7 +103,8 @@ impl EngineBenchReport {
 
 /// Scope-dependent benchmark sizes: large enough that sampler and queue
 /// behaviour dominates, small enough for the scope's time budget. The
-/// huge scope benchmarks the scale frontier as two regimes.
+/// huge scope benchmarks the scale frontier as two regimes; the extreme
+/// scope pushes past it to the regimes opened by batched delivery.
 #[must_use]
 pub fn bench_sizes(scope: Scope) -> Vec<usize> {
     match scope {
@@ -100,18 +112,48 @@ pub fn bench_sizes(scope: Scope) -> Vec<usize> {
         Scope::Default => vec![1024],
         Scope::Full => vec![4096],
         Scope::Huge => vec![4096, 8192],
+        Scope::Extreme => vec![16384, 32768],
     }
 }
 
 /// Seeds per regime. The huge scope caps the battery at four seeds per
 /// regime — its runs are tens of seconds each and throughput estimates
-/// stabilize well before the sweep-sized seed count.
+/// stabilize well before the sweep-sized seed count. The extreme scope
+/// drops to two: single runs take minutes and hold gigabytes resident.
 #[must_use]
 pub fn bench_seeds(scope: Scope) -> Vec<u64> {
     match scope {
         Scope::Huge => vec![1, 2, 3, 4],
+        Scope::Extreme => vec![1, 2],
         _ => scope.seeds(),
     }
+}
+
+/// Resets the process peak-RSS high-water mark so the next
+/// [`peak_rss_mb`] read covers only work done since this call.
+#[cfg(target_os = "linux")]
+fn reset_peak_rss() {
+    // Writing "5" to clear_refs resets VmHWM (Linux ≥ 4.0). Best-effort:
+    // failure just means the regime inherits the previous high-water mark.
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+#[cfg(not(target_os = "linux"))]
+fn reset_peak_rss() {}
+
+/// The process peak resident set (`VmHWM`) in mebibytes, or `None` where
+/// the kernel interface is unavailable.
+#[cfg(target_os = "linux")]
+fn peak_rss_mb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let hwm = status.lines().find_map(|l| l.strip_prefix("VmHWM:"))?;
+    let kib: u64 = hwm.split_whitespace().next()?.parse().ok()?;
+    Some(kib / 1024)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn peak_rss_mb() -> Option<u64> {
+    None
 }
 
 fn run_regime(scope: Scope, n: usize, seeds: &[u64]) -> RegimeReport {
@@ -154,7 +196,9 @@ fn run_regime(scope: Scope, n: usize, seeds: &[u64]) -> RegimeReport {
     })
     .points(vec![false, true])
     .seeds(SeedPolicy::Fixed(seeds.to_vec()));
+    reset_peak_rss();
     let (grid, elapsed_sec) = battery.run_timed(scope);
+    let peak_rss = peak_rss_mb();
     let outcomes: Vec<&(u64, u64, usize, f64)> = grid.groups.iter().flatten().collect();
     let runs = outcomes.len();
 
@@ -162,6 +206,7 @@ fn run_regime(scope: Scope, n: usize, seeds: &[u64]) -> RegimeReport {
     let msgs: u64 = outcomes.iter().map(|o| o.1).sum();
     RegimeReport {
         n,
+        threads: parallelism(),
         runs,
         elapsed_sec,
         runs_per_sec: runs as f64 / elapsed_sec,
@@ -169,6 +214,7 @@ fn run_regime(scope: Scope, n: usize, seeds: &[u64]) -> RegimeReport {
         msgs_per_sec: msgs as f64 / elapsed_sec,
         peak_candidates: outcomes.iter().map(|o| o.2).max().unwrap_or(0),
         min_decided_fraction: outcomes.iter().map(|o| o.3).fold(1.0, f64::min),
+        peak_rss_mb: peak_rss,
     }
 }
 
@@ -204,10 +250,40 @@ mod tests {
             "every node holds its own candidate"
         );
         assert!(regime.min_decided_fraction > 0.5);
+        assert!(regime.threads >= 1);
+        #[cfg(target_os = "linux")]
+        assert!(
+            regime.peak_rss_mb.is_some(),
+            "Linux must report a VmHWM high-water mark"
+        );
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"engine\""));
         assert!(json.contains("\"regimes\""));
         assert!(json.contains("\"peak_candidates\""));
+        assert!(json.contains("\"threads\""));
+        assert!(json.contains("\"peak_rss_mb\""));
+    }
+
+    #[test]
+    fn peak_rss_json_is_null_when_unavailable() {
+        let regime = RegimeReport {
+            n: 1,
+            threads: 1,
+            runs: 1,
+            elapsed_sec: 1.0,
+            runs_per_sec: 1.0,
+            steps_per_sec: 1.0,
+            msgs_per_sec: 1.0,
+            peak_candidates: 1,
+            min_decided_fraction: 1.0,
+            peak_rss_mb: None,
+        };
+        assert!(regime.to_json().contains("\"peak_rss_mb\": null"));
+        let with = RegimeReport {
+            peak_rss_mb: Some(42),
+            ..regime
+        };
+        assert!(with.to_json().contains("\"peak_rss_mb\": 42"));
     }
 
     #[test]
@@ -215,5 +291,16 @@ mod tests {
         // Sizing only — actually running the huge battery takes minutes.
         assert_eq!(bench_sizes(Scope::Huge), vec![4096, 8192]);
         assert!(bench_seeds(Scope::Huge).len() >= 4);
+    }
+
+    #[test]
+    fn extreme_scope_opens_the_batched_regimes() {
+        // Sizing only — an extreme battery takes tens of minutes.
+        assert_eq!(bench_sizes(Scope::Extreme), vec![16384, 32768]);
+        assert_eq!(bench_seeds(Scope::Extreme), vec![1, 2]);
+        assert!(
+            *bench_sizes(Scope::Extreme).iter().max().unwrap() <= fba_scenario::Scenario::MAX_N,
+            "bench sizes must stay within the validated scale bound"
+        );
     }
 }

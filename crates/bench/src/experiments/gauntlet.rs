@@ -43,6 +43,7 @@ pub fn gauntlet_sizes(scope: Scope) -> Vec<usize> {
         Scope::Quick => vec![64, 128],
         Scope::Default | Scope::Full => vec![256, 1024, 4096],
         Scope::Huge => vec![1024, 4096, 8192],
+        Scope::Extreme => vec![4096, 8192, 16384],
     }
 }
 

@@ -38,6 +38,7 @@ pub fn recovery_sizes(scope: Scope) -> Vec<usize> {
         Scope::Quick => vec![64, 128],
         Scope::Default | Scope::Full => vec![256, 1024],
         Scope::Huge => vec![1024, 4096],
+        Scope::Extreme => vec![4096, 8192],
     }
 }
 

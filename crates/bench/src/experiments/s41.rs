@@ -22,6 +22,7 @@ pub fn table(scope: Scope) -> Report {
         Scope::Default => vec![256, 1024, 4096],
         Scope::Full => vec![256, 1024, 4096, 16384],
         Scope::Huge => vec![1024, 4096, 16384, 65536],
+        Scope::Extreme => vec![4096, 16384, 65536],
     };
     Battery::new(
         "s41",

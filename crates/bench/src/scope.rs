@@ -13,6 +13,11 @@ pub enum Scope {
     /// feasible since the parallel runner and the scale-aware retry
     /// schedule (hours serial, minutes on a many-core box).
     Huge,
+    /// Beyond the frontier: n = 16384/32768 engine-bench regimes and
+    /// n = 16384 AER sweeps, opened by batched delivery and the shared
+    /// run-state arenas. Few seeds — single runs are minutes each and
+    /// gigabytes resident.
+    Extreme,
 }
 
 impl Scope {
@@ -24,6 +29,7 @@ impl Scope {
             "default" => Some(Scope::Default),
             "full" => Some(Scope::Full),
             "huge" => Some(Scope::Huge),
+            "extreme" => Some(Scope::Extreme),
             _ => None,
         }
     }
@@ -36,6 +42,7 @@ impl Scope {
             Scope::Default => "default",
             Scope::Full => "full",
             Scope::Huge => "huge",
+            Scope::Extreme => "extreme",
         }
     }
 
@@ -48,6 +55,7 @@ impl Scope {
             Scope::Default => vec![64, 128, 256, 512],
             Scope::Full => vec![64, 128, 256, 512, 1024],
             Scope::Huge => vec![1024, 2048, 4096, 8192],
+            Scope::Extreme => vec![4096, 8192, 16384],
         }
     }
 
@@ -59,6 +67,7 @@ impl Scope {
             Scope::Default => vec![64, 256, 1024, 4096],
             Scope::Full => vec![64, 256, 1024, 4096, 16384],
             Scope::Huge => vec![1024, 4096, 16384, 65536],
+            Scope::Extreme => vec![4096, 16384, 65536],
         }
     }
 
@@ -70,7 +79,7 @@ impl Scope {
         match self {
             Scope::Quick => vec![16, 32],
             Scope::Default => vec![16, 32, 64, 128],
-            Scope::Full | Scope::Huge => vec![16, 32, 64, 128, 256],
+            Scope::Full | Scope::Huge | Scope::Extreme => vec![16, 32, 64, 128, 256],
         }
     }
 
@@ -82,6 +91,7 @@ impl Scope {
             Scope::Default => vec![1, 2, 3, 4, 5],
             Scope::Full => (1..=10).collect(),
             Scope::Huge => (1..=12).collect(),
+            Scope::Extreme => vec![1, 2],
         }
     }
 }
@@ -137,8 +147,12 @@ mod tests {
         assert!(Scope::Quick.aer_sizes().len() <= Scope::Default.aer_sizes().len());
         assert!(Scope::Default.aer_sizes().last() <= Scope::Full.aer_sizes().last());
         assert!(Scope::Full.aer_sizes().last() < Scope::Huge.aer_sizes().last());
+        assert!(Scope::Huge.aer_sizes().last() < Scope::Extreme.aer_sizes().last());
         assert!(Scope::Quick.seeds().len() < Scope::Full.seeds().len());
         assert!(Scope::Full.seeds().len() < Scope::Huge.seeds().len());
+        // Extreme runs are minutes each: the scope deliberately thins
+        // seeds below the huge scope while growing the sizes.
+        assert!(Scope::Extreme.seeds().len() < Scope::Huge.seeds().len());
     }
 
     #[test]
@@ -147,7 +161,21 @@ mod tests {
         assert_eq!(Scope::parse("default"), Some(Scope::Default));
         assert_eq!(Scope::parse("full"), Some(Scope::Full));
         assert_eq!(Scope::parse("huge"), Some(Scope::Huge));
+        assert_eq!(Scope::parse("extreme"), Some(Scope::Extreme));
         assert_eq!(Scope::parse("enormous"), None);
+    }
+
+    #[test]
+    fn every_scope_name_round_trips() {
+        for scope in [
+            Scope::Quick,
+            Scope::Default,
+            Scope::Full,
+            Scope::Huge,
+            Scope::Extreme,
+        ] {
+            assert_eq!(Scope::parse(scope.name()), Some(scope));
+        }
     }
 
     #[test]

@@ -230,6 +230,27 @@ fn json_flag_writes_cell_records_per_experiment_id() {
 }
 
 #[test]
+fn scenario_rejects_n_above_the_supported_bound() {
+    // The scale guard: n past the validated bound must fail fast with a
+    // message naming the bound, not OOM hours into queue construction.
+    let out = paperbench(&["scenario", "--n", "1048576", "--adversary", "silent"]);
+    assert!(!out.status.success(), "oversized n must exit non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("exceeds the supported system-size bound"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("65536"),
+        "stderr should name the bound: {stderr}"
+    );
+    assert!(
+        stderr.contains("bench-engine --scope extreme"),
+        "stderr should point at the benchmark path: {stderr}"
+    );
+}
+
+#[test]
 fn scenario_unknown_adversary_prints_usage_and_fails() {
     let out = paperbench(&["scenario", "--n", "48", "--adversary", "martian"]);
     assert!(

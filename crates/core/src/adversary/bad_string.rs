@@ -133,6 +133,12 @@ impl Adversary<AerMsg> for BadString {
             _ => 0,
         }
     }
+
+    // `schedules` stays at the default `true`: `priority` is overridden.
+
+    fn observes(&self) -> bool {
+        false // `observe` is the default no-op (reactions use the rushing view)
+    }
 }
 
 #[cfg(test)]

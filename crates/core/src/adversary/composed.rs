@@ -157,6 +157,14 @@ impl Adversary<AerMsg> for Composed {
             None => 0,
         }
     }
+
+    fn schedules(&self) -> bool {
+        self.windows.iter().any(|(_, a)| a.schedules())
+    }
+
+    fn observes(&self) -> bool {
+        self.windows.iter().any(|(_, a)| a.observes())
+    }
 }
 
 #[cfg(test)]

@@ -282,6 +282,13 @@ impl Adversary<AerMsg> for Corner {
             _ => 0,
         }
     }
+
+    // `schedules` stays at the default `true`: `delay` and `priority` are
+    // both overridden.
+
+    fn observes(&self) -> bool {
+        false // `observe` is the default no-op (reactions use the rushing view)
+    }
 }
 
 #[cfg(test)]

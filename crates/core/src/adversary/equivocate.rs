@@ -78,6 +78,14 @@ impl Adversary<AerMsg> for Equivocate {
             out.send_as(*z, *x, AerMsg::Push(*s));
         }
     }
+
+    fn schedules(&self) -> bool {
+        false // keeps the default uniform (1, 0) schedule
+    }
+
+    fn observes(&self) -> bool {
+        false // `observe` is the default no-op
+    }
 }
 
 #[cfg(test)]

@@ -71,6 +71,14 @@ impl Adversary<AerMsg> for RandomStringFlood {
             }
         }
     }
+
+    fn schedules(&self) -> bool {
+        false // keeps the default uniform (1, 0) schedule
+    }
+
+    fn observes(&self) -> bool {
+        false // `observe` is the default no-op
+    }
 }
 
 /// Coherent push flooding: all corrupt nodes push one shared bogus string
@@ -127,6 +135,14 @@ impl Adversary<AerMsg> for PushFlood {
         for &(z, x) in &self.targets {
             out.send_as(z, x, AerMsg::Push(self.bad));
         }
+    }
+
+    fn schedules(&self) -> bool {
+        false // keeps the default uniform (1, 0) schedule
+    }
+
+    fn observes(&self) -> bool {
+        false // `observe` is the default no-op
     }
 }
 

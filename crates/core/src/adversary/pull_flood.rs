@@ -83,6 +83,14 @@ impl Adversary<AerMsg> for PullFlood {
             }
         }
     }
+
+    fn schedules(&self) -> bool {
+        false // keeps the default uniform (1, 0) schedule
+    }
+
+    fn observes(&self) -> bool {
+        false // `observe` is the default no-op
+    }
 }
 
 #[cfg(test)]

@@ -176,6 +176,34 @@ impl Adversary<AerMsg> for AerAdversary {
             AerAdversary::Composed(a) => a.priority(env),
         }
     }
+
+    fn schedules(&self) -> bool {
+        match self {
+            AerAdversary::None(a) => Adversary::<AerMsg>::schedules(a),
+            AerAdversary::Silent(a) => Adversary::<AerMsg>::schedules(a),
+            AerAdversary::RandomFlood(a) => a.schedules(),
+            AerAdversary::PushFlood(a) => a.schedules(),
+            AerAdversary::Equivocate(a) => a.schedules(),
+            AerAdversary::PullFlood(a) => a.schedules(),
+            AerAdversary::BadString(a) => a.schedules(),
+            AerAdversary::Corner(a) => a.schedules(),
+            AerAdversary::Composed(a) => a.schedules(),
+        }
+    }
+
+    fn observes(&self) -> bool {
+        match self {
+            AerAdversary::None(a) => Adversary::<AerMsg>::observes(a),
+            AerAdversary::Silent(a) => Adversary::<AerMsg>::observes(a),
+            AerAdversary::RandomFlood(a) => a.observes(),
+            AerAdversary::PushFlood(a) => a.observes(),
+            AerAdversary::Equivocate(a) => a.observes(),
+            AerAdversary::PullFlood(a) => a.observes(),
+            AerAdversary::BadString(a) => a.observes(),
+            AerAdversary::Corner(a) => a.observes(),
+            AerAdversary::Composed(a) => a.observes(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -15,13 +15,34 @@
 //! simulator.
 
 use fba_ae::Precondition;
-use fba_samplers::{GString, PollSampler, QuorumScheme, SharedPollCache, SharedQuorumCache};
+use fba_samplers::{
+    GString, PollSampler, QuorumScheme, SharedPollCache, SharedQuorumCache, SlotMasks,
+};
 use fba_sim::{run, Adversary, Context, EngineConfig, NodeId, Protocol, RunOutcome, Step};
 
 use crate::config::AerConfig;
 use crate::msg::AerMsg;
-use crate::pull::{PullPhase, RetryPolicy, Sends};
+use crate::pull::{PullPhase, RetryPolicy, Sends, SharedBeliefs, SharedFw1Routes};
 use crate::push::{push_targets, PushPhase};
+
+/// One run's worth of shared state: the memoized sampler caches (push
+/// `I`, pull `H`, poll `J`) plus the run-owned struct-of-arrays node
+/// state — the push-phase vote arena and the pull-phase belief table.
+///
+/// Every node of a run gets clones of these handles. The caches memoize
+/// pure functions of public randomness, and the arenas are partitioned by
+/// node (each node writes only its own slots/entry), so sharing changes
+/// no outcome — it only packs the per-node hot state into contiguous
+/// vectors (see the determinism contract in `fba-sim`).
+#[derive(Clone, Debug)]
+pub struct AerRunState {
+    push_quorums: SharedQuorumCache,
+    pull_quorums: SharedQuorumCache,
+    poll_lists: SharedPollCache,
+    push_votes: SlotMasks,
+    beliefs: SharedBeliefs,
+    fw1_routes: SharedFw1Routes,
+}
 
 /// One correct AER participant.
 #[derive(Clone, Debug)]
@@ -75,6 +96,39 @@ impl AerNode {
         AerNode {
             push: PushPhase::with_cache(id, own, push_quorums),
             pull: PullPhase::with_caches(id, own, pull_quorums, poll_lists, overload_cap, retry),
+            targets,
+        }
+    }
+
+    /// Like [`AerNode::with_caches`], but drawing every shared handle —
+    /// sampler caches *and* the run-owned vote/belief arenas — from one
+    /// [`AerRunState`] bundle. This is the constructor full runs use.
+    #[must_use]
+    pub fn with_state(
+        id: NodeId,
+        own: GString,
+        state: &AerRunState,
+        overload_cap: u64,
+        retry: RetryPolicy,
+        targets: Vec<NodeId>,
+    ) -> Self {
+        AerNode {
+            push: PushPhase::with_votes(
+                id,
+                own,
+                state.push_quorums.clone(),
+                state.push_votes.clone(),
+            ),
+            pull: PullPhase::with_state(
+                id,
+                own,
+                state.pull_quorums.clone(),
+                state.poll_lists.clone(),
+                overload_cap,
+                retry,
+                state.beliefs.clone(),
+                state.fw1_routes.clone(),
+            ),
             targets,
         }
     }
@@ -252,27 +306,26 @@ impl AerHarness {
         }
     }
 
-    /// One run's worth of shared sampler caches (push `I`, pull `H`,
-    /// poll `J`); every node of the run gets clones of these handles.
-    fn run_caches(&self) -> (SharedQuorumCache, SharedQuorumCache, SharedPollCache) {
-        (
-            self.scheme.shared_push(),
-            self.scheme.shared_pull(),
-            SharedPollCache::new(self.poll),
-        )
+    /// Builds one run's worth of shared state (see [`AerRunState`]).
+    /// Every run gets a fresh bundle so runs stay independent pure
+    /// functions of `(config, seed)`.
+    #[must_use]
+    pub fn run_state(&self) -> AerRunState {
+        AerRunState {
+            push_quorums: self.scheme.shared_push(),
+            pull_quorums: self.scheme.shared_pull(),
+            poll_lists: SharedPollCache::new(self.poll),
+            push_votes: SlotMasks::new(),
+            beliefs: SharedBeliefs::new(),
+            fw1_routes: SharedFw1Routes::new(),
+        }
     }
 
-    fn node_with(
-        &self,
-        id: NodeId,
-        caches: &(SharedQuorumCache, SharedQuorumCache, SharedPollCache),
-    ) -> AerNode {
-        AerNode::with_caches(
+    fn node_with(&self, id: NodeId, state: &AerRunState) -> AerNode {
+        AerNode::with_state(
             id,
             self.assignments[id.index()],
-            caches.0.clone(),
-            caches.1.clone(),
-            caches.2.clone(),
+            state,
             self.cfg.overload_cap,
             self.retry_policy(),
             self.targets[id.index()].clone(),
@@ -304,8 +357,8 @@ impl AerHarness {
     where
         A: Adversary<AerMsg> + ?Sized,
     {
-        let caches = self.run_caches();
-        run::<AerNode, A, _>(engine, seed, adversary, |id| self.node_with(id, &caches))
+        let state = self.run_state();
+        run::<AerNode, A, _>(engine, seed, adversary, |id| self.node_with(id, &state))
     }
 
     /// Runs one complete execution while driving a read-only
@@ -323,12 +376,12 @@ impl AerHarness {
         A: Adversary<AerMsg> + ?Sized,
         O: fba_sim::Observer<AerNode> + ?Sized,
     {
-        let caches = self.run_caches();
+        let state = self.run_state();
         fba_sim::run_observed::<AerNode, A, _, O>(
             engine,
             seed,
             adversary,
-            |id| self.node_with(id, &caches),
+            |id| self.node_with(id, &state),
             observer,
         )
     }
@@ -347,12 +400,12 @@ impl AerHarness {
         A: Adversary<AerMsg> + ?Sized,
         I: FnMut(fba_sim::NodeId, &AerNode),
     {
-        let caches = self.run_caches();
+        let state = self.run_state();
         fba_sim::run_inspect::<AerNode, A, _, I>(
             engine,
             seed,
             adversary,
-            |id| self.node_with(id, &caches),
+            |id| self.node_with(id, &state),
             inspect,
         )
     }

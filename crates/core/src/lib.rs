@@ -45,7 +45,7 @@ pub mod pull;
 pub mod push;
 pub mod trace;
 
-pub use aer::{AerHarness, AerNode};
+pub use aer::{AerHarness, AerNode, AerRunState};
 pub use ba::{run_ba, BaConfig, BaReport};
 pub use config::{AerConfig, ConfigError};
 pub use msg::AerMsg;

@@ -21,7 +21,9 @@
 //! messages to transmit — so the algorithms are unit-testable without the
 //! simulator.
 
+use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::rc::Rc;
 
 use fba_sim::fxhash::{FxHashMap, FxHashSet};
 
@@ -69,23 +71,62 @@ struct DeferredFw2 {
     r: Label,
 }
 
-/// Validated routing context of the most recent `Fw1` request — the
-/// per-`(origin, s, r)` facts `on_fw1` would otherwise re-derive from the
-/// sampler caches for every one of the burst's `d²` messages.
-#[derive(Clone, Copy, Debug)]
-struct Fw1Route {
-    origin: NodeId,
-    key: StringKey,
-    r: Label,
-    /// Interned slot of `H(s, origin)` — also the arena key component.
-    h_origin: SetSlot,
-    /// Interned slot of `J(origin, r)`.
-    j_list: SetSlot,
-    /// Lazily-filled bitmask over positions in `J(origin, r)`: bit set in
-    /// `known` once the matching `in_hw` bit is authoritative for "this
-    /// node ∈ H(s, w)".
-    self_in_hw: u128,
-    self_in_hw_known: u128,
+/// Run-shared `Fw1` route-fact cache, keyed by `(origin, r)`: the
+/// interned slots of `H(s, origin)` and `J(origin, r)` for the request's
+/// candidate `s`. These facts are pure functions of the *request* — they
+/// do not depend on which node is routing — so one warm, `O(n)`-entry
+/// map serves every node of the run where per-node route memos would
+/// stay cache-cold (batched delivery interleaves requests from many
+/// origins at each receiver).
+///
+/// Entries record the candidate key they were derived for and are
+/// recomputed on mismatch, so a (Byzantine) reuse of `(origin, r)`
+/// across candidates just downgrades the cache to a recompute — every
+/// lookup returns exactly the slots the sampler caches would produce.
+#[derive(Clone, Debug, Default)]
+pub struct SharedFw1Routes {
+    entries: Rc<RefCell<FxHashMap<(NodeId, Label), RouteFact>>>,
+}
+
+/// One cached route fact: the candidate key it was derived for plus the
+/// interned `H(s, origin)` and `J(origin, r)` slots.
+type RouteFact = (StringKey, SetSlot, SetSlot);
+
+impl SharedFw1Routes {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `(H(s, origin), J(origin, r))` slot pair for a request,
+    /// interning both sets on first use (or when `key` differs from the
+    /// cached derivation).
+    fn get(
+        &self,
+        origin: NodeId,
+        r: Label,
+        key: StringKey,
+        pull_quorums: &SharedQuorumCache,
+        poll_lists: &SharedPollCache,
+    ) -> (SetSlot, SetSlot) {
+        let mut entries = self.entries.borrow_mut();
+        let entry = entries.entry((origin, r)).or_insert_with(|| {
+            (
+                key,
+                pull_quorums.slot(key, origin),
+                poll_lists.slot(origin, r),
+            )
+        });
+        if entry.0 != key {
+            *entry = (
+                key,
+                pull_quorums.slot(key, origin),
+                poll_lists.slot(origin, r),
+            );
+        }
+        (entry.1, entry.2)
+    }
 }
 
 /// Packs a vote-arena key from an interned quorum [`SetSlot`] and a node
@@ -135,6 +176,52 @@ impl RetryPolicy {
     }
 }
 
+/// Run-shared belief table: each node's current `(believed_key,
+/// believed_slot)` pair, stored contiguously and indexed by [`NodeId`] —
+/// the struct-of-arrays layout used by full AER runs.
+///
+/// The hot handlers (`on_pull`, `on_fw1`, `process_fw2`, `on_poll`) gate
+/// on exactly this pair, so hoisting it out of the per-node [`PullPhase`]
+/// structs packs the whole run's gate state into one cache-friendly
+/// vector. Each node writes only its own entry, so sharing cannot create
+/// cross-node aliasing; `Rc<RefCell<_>>` suffices because a run is
+/// single-threaded by construction (parallelism in this workspace fans
+/// out whole runs).
+#[derive(Clone, Debug, Default)]
+pub struct SharedBeliefs {
+    entries: Rc<RefCell<Vec<(StringKey, SetSlot)>>>,
+}
+
+impl SharedBeliefs {
+    /// Creates an empty table; entries are grown on first write.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records node `x`'s current belief pair, growing the table on
+    /// demand.
+    pub fn set(&self, x: NodeId, key: StringKey, slot: SetSlot) {
+        let mut entries = self.entries.borrow_mut();
+        let i = x.index();
+        if i >= entries.len() {
+            entries.resize(i + 1, (StringKey::default(), SetSlot(u32::MAX)));
+        }
+        entries[i] = (key, slot);
+    }
+
+    /// Node `x`'s current `(believed_key, believed_slot)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no belief was ever recorded for `x` — constructors write
+    /// the initial entry, so this only trips on a table/node mismatch.
+    #[must_use]
+    pub fn get(&self, x: NodeId) -> (StringKey, SetSlot) {
+        self.entries.borrow()[x.index()]
+    }
+}
+
 /// Pull-phase state for one node: requester, router and answerer roles.
 #[derive(Clone, Debug)]
 pub struct PullPhase {
@@ -150,11 +237,11 @@ pub struct PullPhase {
     /// `s_this`: the node's current belief; starts at its initial
     /// candidate and is overwritten by its decision.
     believed: GString,
-    /// `believed.key()`, cached — the handlers compare it per message.
-    believed_key: StringKey,
-    /// Interned slot of `H(believed, self)`, kept in lockstep with
-    /// `believed_key` — the answerer hot path keys its vote arena by it.
-    believed_slot: SetSlot,
+    /// Run-shared `(believed.key(), slot of H(believed, self))` table,
+    /// kept in lockstep with `believed` by [`PullPhase::set_belief`] —
+    /// the handlers compare the key per message and the answerer hot
+    /// path keys its vote arena by the slot.
+    beliefs: SharedBeliefs,
     decided: Option<GString>,
 
     // --- requester (Algorithm 1) ---
@@ -172,11 +259,10 @@ pub struct PullPhase {
     /// [`SetSlot`] instead of `(origin, s, w)` shrinks entries from a
     /// 24-byte to an 8-byte key and skips re-hashing the sampler key.
     fw1_votes: FxHashMap<u64, u128>,
-    /// Memo of the last `Fw1` route validated, exploiting the burst
-    /// pattern of Algorithm 2: all `d²` forwards of one `(origin, s, r)`
-    /// request arrive back-to-back, so the three sampler-cache probes of
-    /// the cold path collapse to slot-indexed lookups on the warm path.
-    fw1_route: Option<Fw1Route>,
+    /// Run-shared route-fact cache for `Fw1` requests (see
+    /// [`SharedFw1Routes`]). Pure memoization: entries are recomputable
+    /// facts, so sharing cannot change any outcome.
+    fw1_routes: SharedFw1Routes,
 
     // --- answerer (Algorithm 3) ---
     polled: FxHashSet<(NodeId, StringKey)>,
@@ -222,7 +308,9 @@ impl PullPhase {
     }
 
     /// Like [`PullPhase::new`], but sharing run-wide sampler caches with
-    /// the other nodes (see [`SharedQuorumCache`]).
+    /// the other nodes (see [`SharedQuorumCache`]). The belief table
+    /// stays private to this node; use [`PullPhase::with_state`] to share
+    /// it too.
     #[must_use]
     pub fn with_caches(
         x: NodeId,
@@ -232,13 +320,46 @@ impl PullPhase {
         overload_cap: u64,
         retry: RetryPolicy,
     ) -> Self {
+        Self::with_state(
+            x,
+            own,
+            pull_quorums,
+            poll_lists,
+            overload_cap,
+            retry,
+            SharedBeliefs::new(),
+            SharedFw1Routes::new(),
+        )
+    }
+
+    /// Like [`PullPhase::with_caches`], but also placing this node's
+    /// belief pair in a run-shared [`SharedBeliefs`] table and drawing
+    /// `Fw1` route facts from a run-shared [`SharedFw1Routes`] cache —
+    /// the engine-owned struct-of-arrays layout used by full AER runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quorum or poll-list size `d` reaches 128 (mask
+    /// width).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_state(
+        x: NodeId,
+        own: GString,
+        pull_quorums: SharedQuorumCache,
+        poll_lists: SharedPollCache,
+        overload_cap: u64,
+        retry: RetryPolicy,
+        beliefs: SharedBeliefs,
+        fw1_routes: SharedFw1Routes,
+    ) -> Self {
         let poll = *poll_lists.sampler();
         assert!(
             poll.d() < 128 && pull_quorums.sampler().d() < 128,
             "bitmask vote tracking supports d < 128 (paper quorums are \u{398}(log n))"
         );
         let believed_key = own.key();
-        let believed_slot = pull_quorums.slot(believed_key, x);
+        beliefs.set(x, believed_key, pull_quorums.slot(believed_key, x));
         PullPhase {
             x,
             pull_quorums,
@@ -247,14 +368,13 @@ impl PullPhase {
             overload_cap,
             retry,
             believed: own,
-            believed_key,
-            believed_slot,
+            beliefs,
             decided: None,
             own_polls: FxHashMap::default(),
             answers_seen: 0,
             forwarded_pulls: FxHashSet::default(),
             fw1_votes: FxHashMap::default(),
-            fw1_route: None,
+            fw1_routes,
             polled: FxHashSet::default(),
             fw2_senders: FxHashMap::default(),
             answered: FxHashSet::default(),
@@ -455,12 +575,12 @@ impl PullPhase {
         }
     }
 
-    /// Updates the belief triple (`believed`, `believed_key`,
-    /// `believed_slot`) together — the slot must track the key.
+    /// Updates `believed` and its shared `(key, slot)` entry together —
+    /// the slot must track the key.
     fn set_belief(&mut self, s: GString, key: StringKey) {
         self.believed = s;
-        self.believed_key = key;
-        self.believed_slot = self.pull_quorums.slot(key, self.x);
+        let slot = self.pull_quorums.slot(key, self.x);
+        self.beliefs.set(self.x, key, slot);
     }
 
     /// Algorithm 2, first handler: a `Pull(s, r)` from requester `origin`.
@@ -472,7 +592,7 @@ impl PullPhase {
     #[must_use]
     pub fn on_pull(&mut self, origin: NodeId, s: GString, r: Label) -> Sends {
         let key = s.key();
-        if key != self.believed_key {
+        if key != self.beliefs.get(self.x).0 {
             return Vec::new();
         }
         if !self.pull_quorums.contains(key, origin, self.x) {
@@ -499,55 +619,40 @@ impl PullPhase {
     /// `y`. Counts distinct valid routers per `(origin, s, w)`; on crossing
     /// the majority of `H(s, origin)`, relays one `Fw2` to `w`.
     ///
-    /// Hot path: validation state for the request's `(origin, s, r)` is
-    /// memoized in a route struct and vote masks live in the dense-slot
-    /// arena, so the burst of `d²` forwards per request costs one sampler
-    /// probe per distinct `w` instead of three per message.
+    /// Hot path: the request's `(origin, s, r)` facts come from the
+    /// run-shared [`SharedFw1Routes`] cache, forwards arriving after the
+    /// majority relay fired short-circuit on the vote arena alone, and
+    /// everything else is slot-indexed lookups in the shared sampler
+    /// caches — no per-node routing state at all.
     #[must_use]
     pub fn on_fw1(&mut self, y: NodeId, origin: NodeId, s: GString, r: Label, w: NodeId) -> Sends {
         let key = s.key();
-        if key != self.believed_key {
+        if key != self.beliefs.get(self.x).0 {
             return Vec::new();
         }
-        let route_hit = self
-            .fw1_route
-            .as_ref()
-            .is_some_and(|rt| rt.origin == origin && rt.key == key && rt.r == r);
-        if !route_hit {
-            self.fw1_route = Some(Fw1Route {
-                origin,
-                key,
-                r,
-                h_origin: self.pull_quorums.slot(key, origin),
-                j_list: self.poll_lists.slot(origin, r),
-                self_in_hw: 0,
-                self_in_hw_known: 0,
-            });
-        }
-        let rt = self.fw1_route.as_mut().expect("route set above");
-        let Some(w_pos) = self.poll_lists.position_at(rt.j_list, w) else {
-            return Vec::new(); // w is not in J(origin, r)
-        };
-        let w_bit = 1u128 << w_pos;
-        if rt.self_in_hw_known & w_bit == 0 {
-            rt.self_in_hw_known |= w_bit;
-            if self.pull_quorums.contains(key, w, self.x) {
-                rt.self_in_hw |= w_bit;
-            }
-        }
-        if rt.self_in_hw & w_bit == 0 {
-            return Vec::new(); // we are not in H(s, w)
-        }
-        let Some(y_pos) = self.pull_quorums.position_at(rt.h_origin, y) else {
-            return Vec::new(); // sender is not in H(s, origin)
-        };
-        let votes = self
-            .fw1_votes
-            .entry(slot_vote_key(rt.h_origin, w))
-            .or_insert(0);
+        let (h_origin, j_list) =
+            self.fw1_routes
+                .get(origin, r, key, &self.pull_quorums, &self.poll_lists);
+        // Single arena probe: once the majority relay for
+        // `(H(s, origin), w)` has fired, every further forward is a no-op —
+        // and about half of a request's forwards per `w` arrive after the
+        // crossing, so the `VOTES_DONE` check comes before any position
+        // lookups. An entry inserted here for a forward that then fails a
+        // gate stays zero, which is indistinguishable from absent.
+        let vote_key = slot_vote_key(h_origin, w);
+        let votes = self.fw1_votes.entry(vote_key).or_insert(0);
         if *votes == VOTES_DONE {
             return Vec::new(); // majority relay already sent
         }
+        if !self.poll_lists.contains_at(j_list, w) {
+            return Vec::new(); // w is not in J(origin, r)
+        }
+        if !self.pull_quorums.contains(key, w, self.x) {
+            return Vec::new(); // we are not in H(s, w)
+        }
+        let Some(y_pos) = self.pull_quorums.position_at(h_origin, y) else {
+            return Vec::new(); // sender is not in H(s, origin)
+        };
         *votes |= 1 << y_pos;
         if votes.count_ones() as usize >= self.pull_quorums.majority() {
             *votes = VOTES_DONE;
@@ -582,7 +687,8 @@ impl PullPhase {
 
     fn process_fw2(&mut self, z: NodeId, origin: NodeId, s: GString, r: Label) -> Sends {
         let key = s.key();
-        if key != self.believed_key {
+        let (believed_key, believed_slot) = self.beliefs.get(self.x);
+        if key != believed_key {
             return Vec::new();
         }
         if !self.poll_lists.contains(origin, r, self.x) {
@@ -590,12 +696,12 @@ impl PullPhase {
         }
         // `key == believed_key`, so `believed_slot` is the interned
         // H(s, self) — position lookups index it directly.
-        let Some(z_pos) = self.pull_quorums.position_at(self.believed_slot, z) else {
+        let Some(z_pos) = self.pull_quorums.position_at(believed_slot, z) else {
             return Vec::new(); // sender is not in H(s, this)
         };
         let votes = self
             .fw2_senders
-            .entry(slot_vote_key(self.believed_slot, origin))
+            .entry(slot_vote_key(believed_slot, origin))
             .or_insert(0);
         *votes |= 1 << z_pos;
         if votes.count_ones() as usize >= self.pull_quorums.majority()
@@ -617,7 +723,8 @@ impl PullPhase {
         }
         let key = s.key();
         self.polled.insert((origin, key));
-        if key != self.believed_key {
+        let (believed_key, believed_slot) = self.beliefs.get(self.x);
+        if key != believed_key {
             // Fw2 votes only ever accumulate for the current belief
             // (`process_fw2` rejects everything else), so a non-believed
             // poll can never have a majority waiting — answering is
@@ -627,7 +734,7 @@ impl PullPhase {
         let majority = self.pull_quorums.majority();
         let have = self
             .fw2_senders
-            .get(&slot_vote_key(self.believed_slot, origin))
+            .get(&slot_vote_key(believed_slot, origin))
             .map_or(0, |votes| votes.count_ones() as usize);
         if have >= majority {
             self.answer(origin, s)

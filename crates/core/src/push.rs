@@ -8,32 +8,35 @@
 //! work only through quorums they already control (Lemma 4 bounds the
 //! total damage to `O(n)` candidate-list entries system-wide).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
-use fba_sim::fxhash::{FxHashMap, FxHashSet};
+use fba_sim::fxhash::FxHashSet;
 
-use fba_samplers::{GString, QuorumScheme, SharedQuorumCache, StringKey};
+use fba_samplers::{GString, QuorumScheme, SetSlot, SharedQuorumCache, SlotMasks, StringKey};
 use fba_sim::NodeId;
 
 /// Per-node push-phase state: counts distinct valid pushers per candidate
 /// string and maintains the accepted list `L_x`.
+///
+/// Vote counting lives in a run-shared [`SlotMasks`] arena keyed by the
+/// interned quorum slot of `I(s, x)` — one contiguous `u128`-per-quorum
+/// vector for the whole run instead of a hash map of sender sets per
+/// node. Slots are unique per `(s, x)`, so nodes never alias each other's
+/// masks even though the storage is shared.
 #[derive(Clone, Debug)]
 pub struct PushPhase {
     x: NodeId,
     /// Memoized push-quorum sampler `I`, shared across the run's nodes
     /// (determinism: pure-function cache).
     push_quorums: SharedQuorumCache,
-    /// Distinct valid senders seen per candidate string.
-    counters: FxHashMap<StringKey, Counter>,
+    /// Run-shared vote-mask arena; this node writes only the slots of its
+    /// own quorums `I(·, x)`.
+    votes: SlotMasks,
+    /// Candidate strings currently being counted but not (yet) accepted.
+    pending: usize,
     /// Accepted candidates, in acceptance order; position 0 is `s_x`.
     accepted: Vec<GString>,
     accepted_keys: FxHashSet<StringKey>,
-}
-
-#[derive(Clone, Debug)]
-struct Counter {
-    string: GString,
-    senders: BTreeSet<NodeId>,
 }
 
 impl PushPhase {
@@ -45,15 +48,39 @@ impl PushPhase {
     }
 
     /// Like [`PushPhase::new`], but sharing a run-wide quorum cache with
-    /// the other nodes (see [`SharedQuorumCache`]).
+    /// the other nodes (see [`SharedQuorumCache`]). The vote arena stays
+    /// private to this node; use [`PushPhase::with_votes`] to share both.
     #[must_use]
     pub fn with_cache(x: NodeId, own: GString, push_quorums: SharedQuorumCache) -> Self {
+        Self::with_votes(x, own, push_quorums, SlotMasks::new())
+    }
+
+    /// Like [`PushPhase::with_cache`], but also placing this node's vote
+    /// masks in a run-shared [`SlotMasks`] arena — the engine-owned
+    /// struct-of-arrays layout used by full AER runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme's quorum size `d` exceeds 128 (mask width).
+    #[must_use]
+    pub fn with_votes(
+        x: NodeId,
+        own: GString,
+        push_quorums: SharedQuorumCache,
+        votes: SlotMasks,
+    ) -> Self {
+        assert!(
+            push_quorums.sampler().d() <= 128,
+            "push quorum size d = {} exceeds the 128-bit vote masks",
+            push_quorums.sampler().d()
+        );
         let mut accepted_keys = FxHashSet::default();
         accepted_keys.insert(own.key());
         PushPhase {
             x,
             push_quorums,
-            counters: FxHashMap::default(),
+            votes,
+            pending: 0,
             accepted: vec![own],
             accepted_keys,
         }
@@ -77,20 +104,22 @@ impl PushPhase {
         if self.accepted_keys.contains(&key) {
             return None;
         }
-        if !self.push_quorums.contains(key, self.x, from) {
-            return None;
+        let slot: SetSlot = self.push_quorums.slot(key, self.x);
+        // Non-members of I(s, x) never reach the vote mask: flooding from
+        // outside the quorum leaves no per-string state behind.
+        let position = self.push_quorums.position_at(slot, from)?;
+        let (newly, votes) = self.votes.vote(slot, position as u32);
+        if !newly {
+            return None; // duplicate sender
         }
-        let counter = self.counters.entry(key).or_insert_with(|| Counter {
-            string: s,
-            senders: BTreeSet::new(),
-        });
-        counter.senders.insert(from);
-        if counter.senders.len() >= self.push_quorums.majority() {
-            let accepted = counter.string;
-            self.counters.remove(&key);
+        if votes == 1 {
+            self.pending += 1;
+        }
+        if votes as usize >= self.push_quorums.majority() {
+            self.pending -= 1;
             self.accepted_keys.insert(key);
-            self.accepted.push(accepted);
-            Some(accepted)
+            self.accepted.push(s);
+            Some(s)
         } else {
             None
         }
@@ -112,7 +141,7 @@ impl PushPhase {
     /// accepted — exposure for flood-resistance experiments.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.counters.len()
+        self.pending
     }
 }
 
@@ -120,29 +149,55 @@ impl PushPhase {
 /// `{x : y ∈ I(s_y, x)}` given all nodes' initial candidates.
 ///
 /// Each node could compute its own list locally by scanning `x ∈ [n]`
-/// (the sampler is public); this helper just deduplicates that work across
-/// nodes sharing a candidate — one `O(n·d)` inverse pass per *distinct*
-/// string. Per Lemma 3, each returned list has expected length `d`.
+/// (the sampler is public); this helper deduplicates that work across
+/// nodes sharing a candidate — one `O(n·d)` quorum sweep per *distinct*
+/// string. A run with mostly-unique candidates (the unknowing fraction of
+/// a synthetic precondition draws a fresh random string per node) makes
+/// this the dominant setup cost at large `n`, so the sweep enumerates
+/// quorum members through one reusable scratch bitmap and filters against
+/// a holder bitmap — no per-string inverse materialisation. Per Lemma 3,
+/// each returned list has expected length `d`.
 ///
 /// # Panics
 ///
 /// Panics if `assignments.len() != scheme.n()`.
 #[must_use]
 pub fn push_targets(scheme: &QuorumScheme, assignments: &[GString]) -> Vec<Vec<NodeId>> {
+    let n = scheme.n();
     assert_eq!(
         assignments.len(),
-        scheme.n(),
+        n,
         "one initial candidate per node required"
     );
     let mut by_key: HashMap<StringKey, Vec<usize>> = HashMap::new();
     for (i, s) in assignments.iter().enumerate() {
         by_key.entry(s.key()).or_default().push(i);
     }
-    let mut targets: Vec<Vec<NodeId>> = vec![Vec::new(); assignments.len()];
-    for (key, holders) in by_key {
-        let inverse = scheme.push.inverse_for_string(key);
-        for yi in holders {
-            targets[yi] = inverse[yi].clone();
+    let mut targets: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let words = n.div_ceil(64);
+    let mut holder = vec![0u64; words];
+    let mut seen = vec![0u64; words];
+    let mut members: Vec<NodeId> = Vec::with_capacity(scheme.push.d());
+    for (key, holders) in &by_key {
+        for &yi in holders {
+            holder[yi >> 6] |= 1u64 << (yi & 63);
+        }
+        // One pass over receivers: append `x` to every holder of `key`
+        // that sits in `I(key, x)`. Receivers are visited in ascending
+        // order, so each target list comes out sorted by construction.
+        for xi in 0..n {
+            let x = NodeId::from_index(xi);
+            members.clear();
+            scheme.push.quorum_into(*key, x, &mut seen, &mut members);
+            for y in &members {
+                let yi = y.index();
+                if holder[yi >> 6] & (1u64 << (yi & 63)) != 0 {
+                    targets[yi].push(x);
+                }
+            }
+        }
+        for &yi in holders {
+            holder[yi >> 6] &= !(1u64 << (yi & 63));
         }
     }
     targets
@@ -152,6 +207,7 @@ pub fn push_targets(scheme: &QuorumScheme, assignments: &[GString]) -> Vec<Vec<N
 mod tests {
     use super::*;
     use fba_samplers::QuorumScheme;
+    use std::collections::BTreeSet;
 
     fn scheme(n: usize, d: usize) -> QuorumScheme {
         QuorumScheme::new(7, n, d)

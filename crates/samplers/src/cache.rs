@@ -609,6 +609,63 @@ impl SharedPollCache {
     }
 }
 
+/// A run-shared, slot-indexed arena of `u128` membership masks — the
+/// struct-of-arrays backing for per-quorum vote counting.
+///
+/// Each [`SetSlot`] names one interned sampler set (e.g. a push quorum
+/// `I(s, x)`), and slots are unique per `(s, x)` pair, so every slot's
+/// mask has exactly one owning node: masks from all nodes can live in one
+/// contiguous grow-on-demand vector instead of `n` per-node hash maps of
+/// `BTreeSet`s. Bit `i` of a mask records a vote from the set's `i`-th
+/// (sorted) member, which caps supported set sizes at 128 — far above the
+/// `d = O(log n)` quorums any configured run uses.
+///
+/// Shared via `Rc<RefCell>` like the caches above: runs are strictly
+/// single-threaded, and mask state is protocol state (not memoization),
+/// written only by each slot's owning node.
+#[derive(Clone, Debug, Default)]
+pub struct SlotMasks(std::rc::Rc<std::cell::RefCell<Vec<u128>>>);
+
+impl SlotMasks {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a vote from the member at `bit` into the mask at `slot`,
+    /// growing the arena on demand. Returns `(newly_set, votes)`:
+    /// whether this bit was previously unset, and the mask's resulting
+    /// popcount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 128`.
+    pub fn vote(&self, slot: SetSlot, bit: u32) -> (bool, u32) {
+        assert!(bit < 128, "SlotMasks supports member positions < 128");
+        let mut masks = self.0.borrow_mut();
+        let idx = slot.0 as usize;
+        if idx >= masks.len() {
+            masks.resize(idx + 1, 0);
+        }
+        let mask = &mut masks[idx];
+        let b = 1u128 << bit;
+        let newly = *mask & b == 0;
+        *mask |= b;
+        (newly, mask.count_ones())
+    }
+
+    /// The current mask at `slot` (zero if never voted on).
+    #[must_use]
+    pub fn mask(&self, slot: SetSlot) -> u128 {
+        self.0
+            .borrow()
+            .get(slot.0 as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -707,6 +764,30 @@ mod tests {
         }
         assert_eq!(cache.majority(), q.majority());
         assert_eq!(cache.d(), q.d());
+    }
+
+    #[test]
+    fn slot_masks_count_distinct_bits_per_slot() {
+        let masks = SlotMasks::new();
+        let a = SetSlot(3);
+        let b = SetSlot(900); // far slot: forces growth
+        assert_eq!(masks.vote(a, 0), (true, 1));
+        assert_eq!(masks.vote(a, 5), (true, 2));
+        // Duplicate vote: not newly set, count unchanged.
+        assert_eq!(masks.vote(a, 5), (false, 2));
+        assert_eq!(masks.vote(b, 127), (true, 1));
+        assert_eq!(masks.mask(a), 0b10_0001);
+        assert_eq!(masks.mask(SetSlot(4)), 0, "untouched slot reads zero");
+        // Clones share the arena (run-wide sharing).
+        let shared = masks.clone();
+        assert_eq!(shared.vote(a, 1), (true, 3));
+        assert_eq!(masks.mask(a), 0b10_0011);
+    }
+
+    #[test]
+    #[should_panic(expected = "positions < 128")]
+    fn slot_masks_reject_wide_sets() {
+        SlotMasks::new().vote(SetSlot(0), 128);
     }
 
     #[test]

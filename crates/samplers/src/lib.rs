@@ -57,7 +57,7 @@ mod strings;
 
 pub use cache::{
     PollCache, QuorumCache, QuorumVec, SetCache, SetSlot, SharedPollCache, SharedQuorumCache,
-    SharedSetCache, INLINE_QUORUM,
+    SharedSetCache, SlotMasks, INLINE_QUORUM,
 };
 pub use poll::{Label, PollSampler};
 pub use quorum::{default_quorum_size, tags, QuorumSampler, QuorumScheme};

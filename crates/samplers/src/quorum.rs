@@ -103,6 +103,19 @@ impl QuorumSampler {
     pub fn inverse_for_string(&self, s: StringKey) -> Vec<Vec<NodeId>> {
         self.inner.inverse_over_keys(|x| self.key(s, x))
     }
+
+    /// Appends the members of `quorum(s, x)` to `out` in draw order, using
+    /// the caller's scratch bitmap — the batch-enumeration form of
+    /// [`QuorumSampler::quorum`]. See [`Sampler::members_into`] for the
+    /// scratch contract; sweeps that evaluate quorums for many `(s, x)`
+    /// pairs (push-target construction) reuse one bitmap throughout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seen` is shorter than `⌈n/64⌉` words.
+    pub fn quorum_into(&self, s: StringKey, x: NodeId, seen: &mut [u64], out: &mut Vec<NodeId>) {
+        self.inner.members_into(self.key(s, x), seen, out);
+    }
 }
 
 /// The shared sampler scheme: everything the paper requires all nodes to

@@ -72,11 +72,25 @@ impl Sampler {
         self.d
     }
 
+    /// The per-key hash base shared by every draw of one subset
+    /// evaluation; hoisting it out of the draw loop matters in batch
+    /// enumeration, where millions of subsets are drawn back to back.
+    #[inline]
+    fn base(&self, key: u64) -> u64 {
+        mix(self.seed, &[self.tag, key])
+    }
+
+    /// The `i`-th raw draw over a precomputed [`Sampler::base`].
+    #[inline]
+    fn draw(base: u64, i: u64) -> u64 {
+        // One splitmix application per draw over the mixed base; full
+        // 64-bit avalanche per index.
+        splitmix64(base ^ splitmix64(i ^ 0x5bd1_e995))
+    }
+
     #[inline]
     fn stream(&self, key: u64, i: u64) -> u64 {
-        // One splitmix application per draw over a mixed base; full 64-bit
-        // avalanche per index.
-        splitmix64(mix(self.seed, &[self.tag, key]) ^ splitmix64(i ^ 0x5bd1_e995))
+        Self::draw(self.base(key), i)
     }
 
     /// The `i`-th Floyd draw for `key`: a uniform value in `0..=j`.
@@ -169,6 +183,48 @@ impl Sampler {
         self.set_for(key)
     }
 
+    /// Appends the subset assigned to `key` to `out` **in draw order**
+    /// (same members as [`Sampler::set_for`], which sorts them).
+    ///
+    /// This is the batch-enumeration form of [`Sampler::set_for`]: Floyd
+    /// collision detection runs against the caller-provided `seen` bitmap
+    /// (at least `⌈n/64⌉` words, all-zero on entry, cleared again before
+    /// returning) instead of a sorted probe buffer, so one evaluation
+    /// costs `d` hash draws and `O(d)` bit operations — no allocation, no
+    /// `O(d²)` insertion shifting. Callers that sweep millions of subsets
+    /// ([`Sampler::inverse_over_keys`], `fba-core`'s push-target
+    /// construction) reuse one scratch bitmap across the whole sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seen` is shorter than `⌈n/64⌉` words.
+    pub fn members_into(&self, key: u64, seen: &mut [u64], out: &mut Vec<NodeId>) {
+        assert!(
+            seen.len() * 64 >= self.n,
+            "scratch bitmap too small: {} words for n = {}",
+            seen.len(),
+            self.n
+        );
+        let start = out.len();
+        let base = self.base(key);
+        for (i, j) in ((self.n - self.d)..self.n).enumerate() {
+            let t = reduce(Self::draw(base, i as u64), j + 1);
+            // Collision → Floyd picks `j`, which strictly exceeds every
+            // prior pick, so `j` itself is always fresh.
+            let pick = if seen[t >> 6] & (1u64 << (t & 63)) != 0 {
+                j
+            } else {
+                t
+            };
+            seen[pick >> 6] |= 1u64 << (pick & 63);
+            out.push(NodeId::from_index(pick));
+        }
+        for m in &out[start..] {
+            let v = m.index();
+            seen[v >> 6] &= !(1u64 << (v & 63));
+        }
+    }
+
     /// For a fixed `key_of(x)` family over all `x ∈ [n]`, computes for
     /// every node `y` the list of `x` such that `y ∈ set_for(key_of(x))`.
     ///
@@ -181,9 +237,13 @@ impl Sampler {
         F: Fn(NodeId) -> u64,
     {
         let mut inverse: Vec<Vec<NodeId>> = vec![Vec::new(); self.n];
+        let mut seen = vec![0u64; self.n.div_ceil(64)];
+        let mut members: Vec<NodeId> = Vec::with_capacity(self.d);
         for xi in 0..self.n {
             let x = NodeId::from_index(xi);
-            for y in self.set_for(key_of(x)) {
+            members.clear();
+            self.members_into(key_of(x), &mut seen, &mut members);
+            for y in &members {
                 inverse[y.index()].push(x);
             }
         }
@@ -230,6 +290,33 @@ mod tests {
                 assert_eq!(s.contains(key, id), q.contains(&id), "key={key} node={i}");
             }
         }
+    }
+
+    #[test]
+    fn members_into_matches_set_for_and_clears_scratch() {
+        for (n, d) in [(1usize, 1usize), (50, 12), (64, 64), (200, 1), (1000, 31)] {
+            let s = Sampler::new(11, 4, n, d);
+            let mut seen = vec![0u64; n.div_ceil(64)];
+            let mut out = Vec::new();
+            for key in 0..100u64 {
+                out.clear();
+                s.members_into(key, &mut seen, &mut out);
+                let mut sorted = out.clone();
+                sorted.sort();
+                assert_eq!(sorted, s.set_for(key), "n={n} d={d} key={key}");
+                assert!(
+                    seen.iter().all(|&w| w == 0),
+                    "scratch must be cleared after use"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch bitmap too small")]
+    fn members_into_rejects_short_scratch() {
+        let s = Sampler::new(0, 0, 100, 4);
+        s.members_into(0, &mut [0u64; 1], &mut Vec::new());
     }
 
     #[test]

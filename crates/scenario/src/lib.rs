@@ -252,6 +252,16 @@ pub enum ScenarioError {
         /// The phase that cannot field it.
         phase: &'static str,
     },
+    /// The system size exceeds the supported simulation bound
+    /// ([`Scenario::MAX_N`]) — a full AER run at that scale would queue
+    /// tens of gigabytes of messages per step and die by OOM rather than
+    /// by a clear error.
+    UnsupportedScale {
+        /// The requested system size.
+        n: usize,
+        /// The largest supported system size.
+        max: usize,
+    },
     /// A fault schedule's windows disagree on the corruption budget:
     /// the windows would draw different coalitions, silently corrupting
     /// more nodes than the declared fault bound.
@@ -273,6 +283,12 @@ impl fmt::Display for ScenarioError {
                 f,
                 "adversary `{spec}` is AER-specific and cannot attack the {phase} phase \
                  (use `none` or `silent[:t]`)"
+            ),
+            ScenarioError::UnsupportedScale { n, max } => write!(
+                f,
+                "n = {n} exceeds the supported system-size bound of {max}: a full AER run \
+                 queues Θ(n·d³) messages per step (tens of gigabytes past the bound); \
+                 benchmark large sizes with `bench-engine --scope extreme` regimes instead"
             ),
             ScenarioError::ScheduleBudgetMismatch {
                 window,
@@ -318,6 +334,8 @@ pub struct Scenario {
     poll_timeout: PollTimeoutSpec,
     record_transcript: bool,
     max_steps: Option<Step>,
+    batching: Option<bool>,
+    batch_limit: Option<usize>,
     bad_string: Option<GString>,
     inputs: Option<Vec<bool>>,
     rigged: BTreeSet<NodeId>,
@@ -325,6 +343,14 @@ pub struct Scenario {
 }
 
 impl Scenario {
+    /// The largest supported system size. A full AER run queues
+    /// `Θ(n·d³)` messages in its pull wave — about 4 GB of resident
+    /// queue and arena state at n = 16384 and ~2.7× per doubling — so
+    /// sizes past this bound are rejected up front
+    /// ([`ScenarioError::UnsupportedScale`]) instead of dying by OOM
+    /// deep inside a sweep.
+    pub const MAX_N: usize = 1 << 16;
+
     /// A fault-free synchronous AER scenario for `n` nodes with the
     /// default precondition (80% knowing, random junk elsewhere).
     #[must_use]
@@ -346,6 +372,8 @@ impl Scenario {
             poll_timeout: PollTimeoutSpec::default(),
             record_transcript: false,
             max_steps: None,
+            batching: None,
+            batch_limit: None,
             bad_string: None,
             inputs: None,
             rigged: BTreeSet::new(),
@@ -457,6 +485,26 @@ impl Scenario {
         self
     }
 
+    /// Forces batched delivery on or off for the AER-phase engine,
+    /// overriding the `FBA_BATCH` environment default. Batching is
+    /// outcome-invariant (pinned by the `scenario_equivalence` suite);
+    /// this knob exists for bisecting and for the equivalence tests
+    /// themselves.
+    #[must_use]
+    pub fn batching(mut self, batch: bool) -> Self {
+        self.batching = Some(batch);
+        self
+    }
+
+    /// Caps the logical messages coalesced into one batched delivery
+    /// (default: unlimited). Batch boundaries are outcome-invariant; the
+    /// equivalence proptests randomise this knob to pin that.
+    #[must_use]
+    pub fn batch_limit(mut self, limit: usize) -> Self {
+        self.batch_limit = Some(limit);
+        self
+    }
+
     /// Sets the campaign string used by the `flood` and `bad-string`
     /// strategies. Defaults to the first non-`gstring` assignment of the
     /// precondition (the coherent bogus block under
@@ -524,6 +572,18 @@ impl Scenario {
         (self.n as f64 * 0.15) as usize
     }
 
+    /// Rejects system sizes past [`Scenario::MAX_N`] before any phase
+    /// allocates run state.
+    fn check_scale(&self) -> Result<(), ScenarioError> {
+        if self.n > Self::MAX_N {
+            return Err(ScenarioError::UnsupportedScale {
+                n: self.n,
+                max: Self::MAX_N,
+            });
+        }
+        Ok(())
+    }
+
     /// Checks the scenario without executing it: config derivation,
     /// fault-schedule budget coherence, and phase/adversary
     /// compatibility — exactly the rejections [`Scenario::run`] would
@@ -535,6 +595,7 @@ impl Scenario {
     ///
     /// Returns the violated constraint.
     pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.check_scale()?;
         let unsupported = |spec: &AdversarySpec, phase: &'static str| {
             if spec.is_generic() {
                 Ok(())
@@ -588,6 +649,7 @@ impl Scenario {
         seed: u64,
         observer: &mut dyn Observer<AerNode>,
     ) -> Result<ScenarioOutcome, ScenarioError> {
+        self.check_scale()?;
         match self.phase {
             Phase::Aer { precondition } => self
                 .run_aer(precondition, seed, observer)
@@ -678,6 +740,12 @@ impl Scenario {
         engine.record_transcript = self.record_transcript;
         if let Some(max_steps) = self.max_steps {
             engine.max_steps = max_steps;
+        }
+        if let Some(batch) = self.batching {
+            engine.batch = batch;
+        }
+        if let Some(limit) = self.batch_limit {
+            engine.batch_limit = Some(limit);
         }
         let mut adversary = self.aer_adversary_for(&harness, &pre.gstring, seed);
         let run = harness.run_observed(&engine, seed, &mut adversary, observer);

@@ -126,6 +126,25 @@ pub trait Adversary<M: Clone> {
         let _ = env;
         0
     }
+
+    /// Whether the engine must consult [`Adversary::delay`] /
+    /// [`Adversary::priority`] for every envelope. Defaults to `true`
+    /// (always correct); adversaries that keep the default uniform
+    /// `(delay 1, priority 0)` schedule may return `false`, letting the
+    /// engine skip per-message materialisation on batched fast paths.
+    /// Must return `true` whenever either scheduling hook is overridden.
+    fn schedules(&self) -> bool {
+        true
+    }
+
+    /// Whether the engine must call [`Adversary::observe`] each step.
+    /// Defaults to `true` (always correct); adversaries whose `observe` is
+    /// the default no-op may return `false` to skip the per-step
+    /// materialisation of the full send view. Must return `true` whenever
+    /// `observe` is overridden.
+    fn observes(&self) -> bool {
+        true
+    }
 }
 
 /// Samples a uniformly random corrupt set of size `t` from `0..n`.
@@ -154,6 +173,14 @@ impl<M: Clone> Adversary<M> for NoAdversary {
     }
 
     fn act(&mut self, _step: Step, _view: Option<&[Envelope<M>]>, _out: &mut Outbox<'_, M>) {}
+
+    fn schedules(&self) -> bool {
+        false
+    }
+
+    fn observes(&self) -> bool {
+        false
+    }
 }
 
 /// Corrupts `t` random nodes that then stay silent (fail-stop behaviour).
@@ -180,6 +207,14 @@ impl<M: Clone> Adversary<M> for SilentAdversary {
     }
 
     fn act(&mut self, _step: Step, _view: Option<&[Envelope<M>]>, _out: &mut Outbox<'_, M>) {}
+
+    fn schedules(&self) -> bool {
+        false
+    }
+
+    fn observes(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ use rand_chacha::ChaCha12Rng;
 use crate::adversary::{Adversary, Outbox};
 use crate::calendar::CalendarQueue;
 use crate::ids::{ceil_log2, NodeId, Step};
-use crate::message::Envelope;
+use crate::message::{Batch, BatchBuffers, Delivery, Envelope, WireSize};
 use crate::metrics::Metrics;
 use crate::observer::{FinalInspect, NullObserver, Observer};
 use crate::protocol::{Context, Protocol};
@@ -50,6 +50,18 @@ pub struct EngineConfig {
     /// Per-message header bits; defaults to `2·⌈log₂ n⌉` (sender +
     /// recipient identity) when `None`.
     pub header_bits: Option<u64>,
+    /// Coalesce each callback's sends into one batched delivery (one
+    /// header + run-length-encoded payloads) instead of per-message
+    /// envelopes. Purely a memory/throughput optimisation: runs are
+    /// bit-identical either way (pinned by the equivalence tests).
+    /// Defaults from the `FBA_BATCH` environment variable (`0` disables;
+    /// anything else, or unset, enables) — the bisecting escape hatch.
+    pub batch: bool,
+    /// Upper bound on logical messages per batch; `None` means a batch
+    /// spans its whole callback outbox. A testing/bisecting knob — the
+    /// equivalence proptests randomise it to pin that batch boundaries
+    /// never change outcomes.
+    pub batch_limit: Option<usize>,
 }
 
 impl EngineConfig {
@@ -64,6 +76,8 @@ impl EngineConfig {
             drain_steps: 64,
             record_transcript: false,
             header_bits: None,
+            batch: batch_env_default(),
+            batch_limit: None,
         }
     }
 
@@ -83,6 +97,13 @@ impl EngineConfig {
         self.header_bits
             .unwrap_or_else(|| 2 * u64::from(ceil_log2(self.n)))
     }
+}
+
+/// The `FBA_BATCH` environment default for [`EngineConfig::batch`]:
+/// batching is on unless the variable is set to exactly `0`.
+#[must_use]
+pub fn batch_env_default() -> bool {
+    std::env::var("FBA_BATCH").map_or(true, |v| v != "0")
 }
 
 /// Everything a finished run exposes.
@@ -234,14 +255,26 @@ where
     let mut undecided = n - corrupt.len();
 
     let max_delay = cfg.max_delay.max(1);
-    let mut pending: CalendarQueue<Envelope<P::Msg>> = CalendarQueue::new(max_delay);
+    let mut pending: CalendarQueue<Delivery<P::Msg>> = CalendarQueue::new(max_delay);
     let mut transcript: Vec<Envelope<P::Msg>> = Vec::new();
 
     // Per-step scratch buffers, reused across the whole run.
-    let mut sends: Vec<Envelope<P::Msg>> = Vec::new();
+    let mut sends: Vec<Delivery<P::Msg>> = Vec::new();
     let mut outbox_buf: Vec<(NodeId, P::Msg)> = Vec::new();
-    let mut due: Vec<Envelope<P::Msg>> = Vec::new();
+    let mut due: Vec<Delivery<P::Msg>> = Vec::new();
     let mut sched_buf: Vec<(Step, i64)> = Vec::new();
+    // Per-envelope view of the step's sends, materialised only when
+    // someone needs it (rushing view, per-envelope scheduling, observe,
+    // observer step view, transcript).
+    let mut flat: Vec<Envelope<P::Msg>> = Vec::new();
+    let mut pool: Vec<BatchBuffers<P::Msg>> = Vec::new();
+
+    let batching = cfg.batch;
+    let batch_limit = cfg.batch_limit;
+    let rushing = adversary.rushing();
+    let consults = adversary.schedules();
+    let observes = adversary.observes();
+    let step_view = observer.wants_step_sends();
 
     let mut all_decided_at: Option<Step> = None;
     let mut drain_started_at: Option<Step> = None;
@@ -264,92 +297,146 @@ where
             } else {
                 node.on_step(&mut ctx);
             }
-            for (to, msg) in outbox_buf.drain(..) {
-                sends.push(Envelope {
-                    from: id,
-                    to,
-                    sent_at: step,
-                    msg,
-                });
-            }
+            enqueue_outbox(
+                id,
+                step,
+                batching,
+                batch_limit,
+                header_bits,
+                &mut outbox_buf,
+                &mut metrics,
+                &mut pool,
+                &mut sends,
+            );
         }
 
         // 2. Deliveries due this step (scheduled at earlier steps).
         pending.drain_due(step, &mut due);
-        for env in due.drain(..) {
-            metrics.record_recv(env.to, env.total_bits(header_bits));
-            let i = env.to.index();
-            if let Some(node) = nodes[i].as_mut() {
-                let mut ctx = Context::new(env.to, n, step, &mut rngs[i], &mut outbox_buf);
-                node.on_message(env.from, env.msg, &mut ctx);
-                for (to, msg) in outbox_buf.drain(..) {
-                    sends.push(Envelope {
-                        from: env.to,
-                        to,
-                        sent_at: step,
-                        msg,
-                    });
+        for delivery in due.drain(..) {
+            match delivery {
+                Delivery::One(env) => {
+                    metrics.record_recv(env.to, env.total_bits(header_bits));
+                    let i = env.to.index();
+                    if let Some(node) = nodes[i].as_mut() {
+                        let mut ctx = Context::new(env.to, n, step, &mut rngs[i], &mut outbox_buf);
+                        node.on_message(env.from, env.msg, &mut ctx);
+                        enqueue_outbox(
+                            env.to,
+                            step,
+                            batching,
+                            batch_limit,
+                            header_bits,
+                            &mut outbox_buf,
+                            &mut metrics,
+                            &mut pool,
+                            &mut sends,
+                        );
+                    }
+                    // Deliveries to corrupt nodes reach the adversary
+                    // through `observe`, which sees every envelope anyway.
+                }
+                Delivery::Batch(batch) => {
+                    let from = batch.from;
+                    for (msg, recipients) in batch.runs() {
+                        let bits = header_bits + msg.wire_bits();
+                        for &to in recipients {
+                            metrics.record_recv(to, bits);
+                            let i = to.index();
+                            if let Some(node) = nodes[i].as_mut() {
+                                let mut ctx =
+                                    Context::new(to, n, step, &mut rngs[i], &mut outbox_buf);
+                                node.on_message(from, msg.clone(), &mut ctx);
+                                enqueue_outbox(
+                                    to,
+                                    step,
+                                    batching,
+                                    batch_limit,
+                                    header_bits,
+                                    &mut outbox_buf,
+                                    &mut metrics,
+                                    &mut pool,
+                                    &mut sends,
+                                );
+                            }
+                        }
+                    }
+                    pool.push(batch.into_buffers());
                 }
             }
-            // Deliveries to corrupt nodes reach the adversary through
-            // `observe`, which sees every envelope anyway.
         }
 
         // 3. Adversary turn (full information; rushing sees current sends).
         if !draining {
-            let rushing_view: Option<&[Envelope<P::Msg>]> = if adversary.rushing() {
-                Some(&sends)
+            let rushing_view: Option<&[Envelope<P::Msg>]> = if rushing {
+                flatten_into(&sends, &mut flat);
+                Some(&flat)
             } else {
                 None
             };
             let mut out = Outbox::new(&corrupt, n);
             adversary.act(step, rushing_view, &mut out);
+            // Adversary sends stay un-batched: they may mix senders, and
+            // every current strategy emits few enough for framing not to
+            // matter. Keeping them as single envelopes also keeps the
+            // batched and unbatched arms trivially identical here.
             for (from, to, msg) in out.into_sends() {
-                sends.push(Envelope {
+                metrics.record_send(from, header_bits + msg.wire_bits());
+                sends.push(Delivery::One(Envelope {
                     from,
                     to,
                     sent_at: step,
                     msg,
-                });
+                }));
             }
         }
 
-        // 4. Schedule every send of this step. The adversary is consulted
-        //    (delay then priority, per envelope, in send order) and then
-        //    observes the step before envelopes move into the queue, so the
-        //    call order visible to stateful adversaries matches the
-        //    pre-ring-buffer engine exactly.
+        // 4. Schedule every send of this step. A scheduling adversary is
+        //    consulted (delay then priority, per logical envelope, in send
+        //    order) and then observes the step before anything moves into
+        //    the queue, so the call order visible to stateful adversaries
+        //    matches the per-envelope engine exactly.
+        let consult_now = consults && !draining;
+        if consult_now || observes || step_view || cfg.record_transcript {
+            flatten_into(&sends, &mut flat);
+        }
         sched_buf.clear();
         let mut uniform: Option<Step> = Some(1);
-        for env in &sends {
-            metrics.record_send(env.from, env.total_bits(header_bits));
-            let (delay, priority) = if draining {
-                (1, 0)
-            } else {
-                (
-                    adversary.delay(env).clamp(1, max_delay),
-                    adversary.priority(env),
-                )
-            };
-            uniform = match uniform {
-                Some(d) if priority == 0 && (d == delay || sched_buf.is_empty()) => Some(delay),
-                _ => None,
-            };
-            sched_buf.push((delay, priority));
+        if consult_now {
+            for env in &flat {
+                let delay = adversary.delay(env).clamp(1, max_delay);
+                let priority = adversary.priority(env);
+                uniform = match uniform {
+                    Some(d) if priority == 0 && (d == delay || sched_buf.is_empty()) => Some(delay),
+                    _ => None,
+                };
+                sched_buf.push((delay, priority));
+            }
         }
-        adversary.observe(step, &sends);
-        observer.on_step(step, &sends);
+        if observes {
+            adversary.observe(step, &flat);
+        }
+        if step_view {
+            observer.on_step(step, &flat);
+        }
         if cfg.record_transcript {
-            transcript.extend(sends.iter().cloned());
+            transcript.extend(flat.iter().cloned());
         }
         match uniform {
             // Common case (synchronous timing or a non-scheduling
-            // adversary): one vector swap moves the whole step's sends
-            // into the ring slot.
+            // adversary): one vector swap moves the whole step's sends —
+            // batches included — into the ring slot.
             Some(delay) if !sends.is_empty() => pending.schedule_bulk(step, delay, &mut sends),
             _ => {
-                for (env, &(delay, priority)) in sends.drain(..).zip(sched_buf.iter()) {
-                    pending.schedule(step, delay, priority, env);
+                // Non-uniform schedule: fall back to per-envelope keyed
+                // scheduling. `flat` already holds the logical envelopes in
+                // send order; recycle any batch buffers.
+                for delivery in sends.drain(..) {
+                    if let Delivery::Batch(batch) = delivery {
+                        pool.push(batch.into_buffers());
+                    }
+                }
+                for (env, &(delay, priority)) in flat.drain(..).zip(sched_buf.iter()) {
+                    pending.schedule(step, delay, priority, Delivery::One(env));
                 }
             }
         }
@@ -407,6 +494,80 @@ where
         all_decided_at,
         quiescent,
         transcript,
+    }
+}
+
+/// Moves one callback's outbox into the step's send list, recording each
+/// logical message in `metrics`. With batching on and at least two
+/// messages queued, the outbox becomes one (or, under `batch_limit`,
+/// several) [`Batch`] deliveries built on recycled buffers from `pool`;
+/// otherwise every message ships as its own envelope.
+#[allow(clippy::too_many_arguments)] // engine-internal plumbing of the step loop's scratch state
+fn enqueue_outbox<M: Clone + PartialEq + WireSize>(
+    from: NodeId,
+    step: Step,
+    batching: bool,
+    batch_limit: Option<usize>,
+    header_bits: u64,
+    outbox: &mut Vec<(NodeId, M)>,
+    metrics: &mut Metrics,
+    pool: &mut Vec<BatchBuffers<M>>,
+    sends: &mut Vec<Delivery<M>>,
+) {
+    if outbox.is_empty() {
+        return;
+    }
+    if !batching || outbox.len() == 1 {
+        for (to, msg) in outbox.drain(..) {
+            metrics.record_send(from, header_bits + msg.wire_bits());
+            sends.push(Delivery::One(Envelope {
+                from,
+                to,
+                sent_at: step,
+                msg,
+            }));
+        }
+        return;
+    }
+    let limit = batch_limit.unwrap_or(usize::MAX).max(1);
+    let mut batch = Batch::from_buffers(from, step, pool.pop().unwrap_or_default());
+    for (to, msg) in outbox.drain(..) {
+        if batch.len() >= limit {
+            seal_batch(batch, header_bits, metrics, sends);
+            batch = Batch::from_buffers(from, step, pool.pop().unwrap_or_default());
+        }
+        batch.push(to, msg);
+    }
+    seal_batch(batch, header_bits, metrics, sends);
+}
+
+/// Records a finished batch's logical messages and moves it into `sends`.
+fn seal_batch<M: Clone + PartialEq + WireSize>(
+    batch: Batch<M>,
+    header_bits: u64,
+    metrics: &mut Metrics,
+    sends: &mut Vec<Delivery<M>>,
+) {
+    for (msg, recipients) in batch.runs() {
+        metrics.record_send_run(
+            batch.from,
+            recipients.len() as u64,
+            header_bits + msg.wire_bits(),
+        );
+    }
+    sends.push(Delivery::Batch(batch));
+}
+
+/// Rebuilds the per-envelope view of a step's sends, in logical send
+/// order — what rushing adversaries, schedulers, observers, and the
+/// transcript are shown regardless of batching.
+fn flatten_into<M: Clone>(sends: &[Delivery<M>], flat: &mut Vec<Envelope<M>>) {
+    flat.clear();
+    for delivery in sends {
+        match delivery {
+            Delivery::One(env) => flat.push(env.clone()),
+            Delivery::Batch(batch) => flat.extend(batch.envelopes()),
+        }
     }
 }
 
@@ -598,6 +759,122 @@ mod tests {
             first: None,
         });
         assert_eq!(skewed.outputs[&NodeId::from_index(0)], 2); // adversary flipped it
+    }
+
+    /// Every node broadcasts its index to all others at start (a batch of
+    /// `n-1` under batching) and replies once to each first contact; a
+    /// node decides when it has heard from everyone else. Exercises both
+    /// the batch path (broadcast) and the single-envelope path (replies).
+    struct Broadcast {
+        id: NodeId,
+        n: usize,
+        heard: BTreeSet<NodeId>,
+    }
+
+    impl Protocol for Broadcast {
+        type Msg = u64;
+        type Output = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            for i in 0..self.n {
+                if i != self.id.index() {
+                    ctx.send(NodeId::from_index(i), self.id.index() as u64);
+                }
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Context<'_, u64>) {
+            if self.heard.insert(from) && msg != u64::MAX {
+                ctx.send(from, u64::MAX);
+            }
+        }
+        fn output(&self) -> Option<u64> {
+            (self.heard.len() == self.n - 1).then_some(0)
+        }
+    }
+
+    #[test]
+    fn batched_and_unbatched_runs_account_identically() {
+        // Satellite guarantee: a batch of k logical messages counts as k
+        // messages and k× bits, node by node — delivered and sent — so
+        // flipping `batch` must leave every metric bit-identical.
+        let n = 12;
+        let factory = |id: NodeId| Broadcast {
+            id,
+            n,
+            heard: BTreeSet::new(),
+        };
+        let base = EngineConfig::sync(n);
+        let unbatched = run::<Broadcast, _, _>(
+            &EngineConfig {
+                batch: false,
+                ..base.clone()
+            },
+            9,
+            &mut NoAdversary,
+            factory,
+        );
+        for (label, cfg) in [
+            (
+                "batched",
+                EngineConfig {
+                    batch: true,
+                    ..base.clone()
+                },
+            ),
+            (
+                "batched-limit-3",
+                EngineConfig {
+                    batch: true,
+                    batch_limit: Some(3),
+                    ..base.clone()
+                },
+            ),
+        ] {
+            let batched = run::<Broadcast, _, _>(&cfg, 9, &mut NoAdversary, factory);
+            assert_eq!(
+                batched.metrics.total_msgs_sent(),
+                unbatched.metrics.total_msgs_sent(),
+                "{label}: total logical messages"
+            );
+            assert_eq!(
+                batched.metrics.total_bits_sent(),
+                unbatched.metrics.total_bits_sent(),
+                "{label}: total bits"
+            );
+            for i in 0..n {
+                let id = NodeId::from_index(i);
+                assert_eq!(
+                    batched.metrics.msgs_sent_by(id),
+                    unbatched.metrics.msgs_sent_by(id),
+                    "{label}: msgs sent by {id}"
+                );
+                assert_eq!(
+                    batched.metrics.bits_sent_by(id),
+                    unbatched.metrics.bits_sent_by(id),
+                    "{label}: bits sent by {id}"
+                );
+                assert_eq!(
+                    batched.metrics.msgs_recv_by(id),
+                    unbatched.metrics.msgs_recv_by(id),
+                    "{label}: msgs received by {id}"
+                );
+                assert_eq!(
+                    batched.metrics.bits_recv_by(id),
+                    unbatched.metrics.bits_recv_by(id),
+                    "{label}: bits received by {id}"
+                );
+            }
+            assert_eq!(batched.outputs, unbatched.outputs, "{label}: outputs");
+            assert_eq!(
+                batched.all_decided_at, unbatched.all_decided_at,
+                "{label}: decision step"
+            );
+        }
+        // Sanity: the broadcast really exercised the batch path — every
+        // node sent n-1 broadcast messages plus n-1 replies.
+        assert_eq!(
+            unbatched.metrics.total_msgs_sent(),
+            (n * 2 * (n - 1)) as u64
+        );
     }
 
     #[test]

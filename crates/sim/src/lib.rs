@@ -43,6 +43,17 @@
 //!   function of `(config, seed)`, and aggregate results by input index.
 //!   Thread count and interleaving cannot affect any run's RNG streams,
 //!   so parallel output equals serial output bit for bit.
+//! * **Batched bulk lane** — with [`EngineConfig::batch`] on (the
+//!   default), each callback's outbox ships as one run-length-encoded
+//!   [`Batch`] on the calendar's bulk lane instead of per-message
+//!   envelopes. Batches unpack in exact send order at delivery, every
+//!   per-envelope consumer (rushing views, scheduling adversaries,
+//!   observers, transcripts) is shown the flattened per-envelope view,
+//!   and metrics count *logical* messages — a batch of `k` counts `k`
+//!   messages and `k×` bits. Runs are bit-identical either way, pinned by
+//!   `tests/scenario_equivalence.rs` across the adversary × network
+//!   matrix plus a proptest over random batch boundaries; `FBA_BATCH=0`
+//!   is the environment escape hatch for bisecting.
 //!
 //! ## Quick example
 //!
@@ -75,7 +86,11 @@
 //! assert_eq!(out.outputs[&NodeId::from_index(0)], 7);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one sanctioned exception is the audited
+// glibc `mallopt` binding in [`tuning`], which carries its own
+// `allow(unsafe_code)` and SAFETY justification. Everything else in the
+// crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adversary;
@@ -89,11 +104,12 @@ pub mod observer;
 mod protocol;
 pub mod rng;
 mod spec;
+pub mod tuning;
 
 pub use adversary::{choose_corrupt, Adversary, NoAdversary, Outbox, SilentAdversary};
-pub use engine::{run, run_inspect, run_observed, EngineConfig, RunOutcome};
+pub use engine::{batch_env_default, run, run_inspect, run_observed, EngineConfig, RunOutcome};
 pub use ids::{all_nodes, ceil_log2, ln_at_least_one, NodeId, Step};
-pub use message::{Envelope, WireSize};
+pub use message::{Batch, BatchBuffers, Delivery, Envelope, WireSize};
 pub use metrics::{LoadSummary, Metrics};
 pub use observer::{DecisionLog, FinalInspect, NullObserver, Observer, TranscriptSink};
 pub use protocol::{Context, Protocol};
@@ -102,3 +118,4 @@ pub use spec::{
     Window, DEFAULT_CORNER_SCAN, DEFAULT_EQUIVOCATE_STRINGS, DEFAULT_FLOOD_RATE,
     DEFAULT_FLOOD_STEPS, DEFAULT_PULL_FLOOD_RATE,
 };
+pub use tuning::tune_allocator_for_bulk;

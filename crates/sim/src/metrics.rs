@@ -122,6 +122,15 @@ impl Metrics {
         self.bits_sent[from.index()] += bits;
     }
 
+    /// Records `count` identical sent messages of `bits_per_msg` total
+    /// wire bits each — the batched-delivery accounting path. A batch of
+    /// `k` messages counts exactly like `k` [`Metrics::record_send`]
+    /// calls: batching is wire framing, not a metrics discount.
+    pub fn record_send_run(&mut self, from: NodeId, count: u64, bits_per_msg: u64) {
+        self.msgs_sent[from.index()] += count;
+        self.bits_sent[from.index()] += count * bits_per_msg;
+    }
+
     /// Records one delivered message of `bits` total wire bits.
     pub fn record_recv(&mut self, to: NodeId, bits: u64) {
         self.msgs_recv[to.index()] += 1;
@@ -309,6 +318,22 @@ mod tests {
         assert_eq!(m.msgs_recv_by(id(1)), 1);
         assert_eq!(m.total_bits_sent(), 150);
         assert_eq!(m.total_msgs_sent(), 2);
+    }
+
+    #[test]
+    fn send_run_counts_like_k_individual_sends() {
+        // Batching is wire framing, not a metrics discount: a run of k
+        // identical messages must account exactly like k single sends.
+        let mut batched = Metrics::new(2, &BTreeSet::new());
+        batched.record_send_run(id(0), 5, 32);
+        let mut single = Metrics::new(2, &BTreeSet::new());
+        for _ in 0..5 {
+            single.record_send(id(0), 32);
+        }
+        assert_eq!(batched.msgs_sent_by(id(0)), single.msgs_sent_by(id(0)));
+        assert_eq!(batched.bits_sent_by(id(0)), single.bits_sent_by(id(0)));
+        assert_eq!(batched.total_msgs_sent(), 5);
+        assert_eq!(batched.total_bits_sent(), 5 * 32);
     }
 
     #[test]

@@ -45,13 +45,26 @@ pub trait Observer<P: Protocol> {
     fn on_final(&mut self, id: NodeId, node: &P) {
         let _ = (id, node);
     }
+
+    /// Whether the engine must call [`Observer::on_step`] each step.
+    /// Defaults to `true` (always correct); observers whose `on_step` is
+    /// the default no-op may return `false` so the engine can skip
+    /// materialising the per-envelope send view on batched fast paths.
+    /// Must return `true` whenever `on_step` is overridden.
+    fn wants_step_sends(&self) -> bool {
+        true
+    }
 }
 
 /// The do-nothing observer (used by plain [`run`](crate::run)).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NullObserver;
 
-impl<P: Protocol> Observer<P> for NullObserver {}
+impl<P: Protocol> Observer<P> for NullObserver {
+    fn wants_step_sends(&self) -> bool {
+        false
+    }
+}
 
 impl<P: Protocol, O: Observer<P> + ?Sized> Observer<P> for &mut O {
     fn on_step(&mut self, step: Step, sends: &[Envelope<P::Msg>]) {
@@ -62,6 +75,9 @@ impl<P: Protocol, O: Observer<P> + ?Sized> Observer<P> for &mut O {
     }
     fn on_final(&mut self, id: NodeId, node: &P) {
         (**self).on_final(id, node);
+    }
+    fn wants_step_sends(&self) -> bool {
+        (**self).wants_step_sends()
     }
 }
 
@@ -78,6 +94,9 @@ impl<P: Protocol, A: Observer<P>, B: Observer<P>> Observer<P> for (A, B) {
         self.0.on_final(id, node);
         self.1.on_final(id, node);
     }
+    fn wants_step_sends(&self) -> bool {
+        self.0.wants_step_sends() || self.1.wants_step_sends()
+    }
 }
 
 /// Adapts a `FnMut(NodeId, &P)` closure into an end-of-run inspector —
@@ -88,6 +107,9 @@ pub struct FinalInspect<F>(pub F);
 impl<P: Protocol, F: FnMut(NodeId, &P)> Observer<P> for FinalInspect<F> {
     fn on_final(&mut self, id: NodeId, node: &P) {
         (self.0)(id, node);
+    }
+    fn wants_step_sends(&self) -> bool {
+        false
     }
 }
 
@@ -141,5 +163,8 @@ impl DecisionLog {
 impl<P: Protocol> Observer<P> for DecisionLog {
     fn on_decision(&mut self, id: NodeId, step: Step, _output: &P::Output) {
         self.decisions.push((id, step));
+    }
+    fn wants_step_sends(&self) -> bool {
+        false
     }
 }

@@ -22,8 +22,10 @@ use crate::message::WireSize;
 /// [`Context::rng`] (the node's private RNG in the paper's model) so that
 /// runs replay exactly from a master seed.
 pub trait Protocol {
-    /// Payload type of the messages this protocol exchanges.
-    type Msg: Clone + WireSize + fmt::Debug;
+    /// Payload type of the messages this protocol exchanges. `PartialEq`
+    /// lets the engine run-length-encode identical payloads when it
+    /// coalesces a callback's sends into a batched delivery.
+    type Msg: Clone + PartialEq + WireSize + fmt::Debug;
     /// The value a node returns when it terminates.
     type Output: Clone + Eq + fmt::Debug;
 

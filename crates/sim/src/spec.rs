@@ -576,6 +576,20 @@ impl<M: Clone> Adversary<M> for GenericAdversary {
             GenericAdversary::Silent(a) => a.act(step, view, out),
         }
     }
+
+    fn schedules(&self) -> bool {
+        match self {
+            GenericAdversary::None(a) => Adversary::<M>::schedules(a),
+            GenericAdversary::Silent(a) => Adversary::<M>::schedules(a),
+        }
+    }
+
+    fn observes(&self) -> bool {
+        match self {
+            GenericAdversary::None(a) => Adversary::<M>::observes(a),
+            GenericAdversary::Silent(a) => Adversary::<M>::observes(a),
+        }
+    }
 }
 
 #[cfg(test)]
