@@ -24,19 +24,20 @@
 
 use std::process::ExitCode;
 
-use fba_bench::{engine_bench, parallelism, run_experiment, sweep, Scope, ALL_IDS};
+use fba_bench::{engine_bench, parallelism, run_experiment, service_bench, sweep, Scope, ALL_IDS};
 use fba_scenario::{Baseline, Phase, Scenario, ScenarioOutcome};
 use fba_sim::{AdversarySpec, NetworkSpec};
 
 fn usage() {
     eprintln!(
         "usage: paperbench [--quick|--full|--huge|--scope <quick|default|full|huge|extreme>] \
-         [--json <dir>] <experiment id>... | all | bench-engine | scenario <flags> | \
-         sweep <flags>"
+         [--json <dir>] <experiment id>... | all | bench-engine | service | \
+         scenario <flags> | sweep <flags>"
     );
     eprintln!("known ids: {}", ALL_IDS.join(", "));
     eprintln!("scenario flags: see `paperbench scenario --help`");
     eprintln!("sweep flags:    see `paperbench sweep --help`");
+    eprintln!("service:        sustained-service battery (`service --help`)");
 }
 
 fn sweep_usage() {
@@ -390,13 +391,103 @@ fn run_scenario(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn service_usage() {
+    eprintln!(
+        "usage: paperbench service [--quick|--full|--huge|--scope \
+         <quick|default|full|huge|extreme>] [--json]"
+    );
+    eprintln!("  chains agreement instances over one persistent engine session and reports");
+    eprintln!("  decisions/sec sustained per (n, adversary, arrival-interval) cell; --json");
+    eprintln!("  prints the rows as a JSON document after the table");
+}
+
+fn print_service_rows(rows: &[service_bench::ServiceRow]) {
+    println!(
+        "{:>6} {:<30} {:>8} {:>5} {:>7} {:>9} {:>11} {:>12} {:>9}",
+        "n",
+        "adversary",
+        "interval",
+        "inst",
+        "decided",
+        "elapsed",
+        "dec/sec",
+        "dec/kstep",
+        "poll-hit"
+    );
+    for row in rows {
+        println!(
+            "{:>6} {:<30} {:>8} {:>5} {:>7} {:>8.2}s {:>11.1} {:>12.1} {:>8.1}%",
+            row.n,
+            row.adversary,
+            row.interval,
+            row.instances,
+            row.decided_instances,
+            row.elapsed_sec,
+            row.decisions_per_sec,
+            row.decisions_per_kilostep,
+            row.poll_cache_hit_rate * 100.0,
+        );
+    }
+}
+
+fn run_service_bench(args: &[String]) -> ExitCode {
+    let mut scope = Scope::Default;
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match scope_flag(arg, &mut iter) {
+            Some(Ok(parsed)) => {
+                scope = parsed;
+                continue;
+            }
+            Some(Err(())) => {
+                eprintln!("error: --scope needs one of quick|default|full|huge|extreme");
+                service_usage();
+                return ExitCode::FAILURE;
+            }
+            None => {}
+        }
+        match arg.as_str() {
+            "--help" | "-h" => {
+                service_usage();
+                return ExitCode::SUCCESS;
+            }
+            "--json" => json = true,
+            other => {
+                eprintln!("error: unknown service flag `{other}`");
+                service_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "service: n = {:?}, {} instance(s)/cell, serial cells…",
+        service_bench::service_sizes(scope),
+        service_bench::service_instances(scope),
+    );
+    let started = std::time::Instant::now();
+    let report = service_bench::run(scope);
+    print_service_rows(&report.rows);
+    println!("_(ran in {:.1?}, scope {scope:?})_", started.elapsed());
+    if json {
+        print!("{}", report.to_json());
+    }
+    ExitCode::SUCCESS
+}
+
 fn run_engine_bench(scope: Scope) -> ExitCode {
     println!(
         "bench-engine: n = {:?}, {} worker thread(s)…",
         engine_bench::bench_sizes(scope),
         parallelism()
     );
-    let report = engine_bench::run(scope);
+    let mut report = engine_bench::run(scope);
+    println!(
+        "bench-engine: service battery, n = {:?}…",
+        service_bench::service_sizes(scope)
+    );
+    report.service = service_bench::run(scope).rows;
+    print_service_rows(&report.service);
     let json = report.to_json();
     print!("{json}");
     match std::fs::write("BENCH_engine.json", &json) {
@@ -422,6 +513,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("sweep") {
         return run_sweep(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("service") {
+        return run_service_bench(&args[1..]);
     }
     let mut scope = Scope::Default;
     let mut ids: Vec<String> = Vec::new();

@@ -18,6 +18,7 @@ use fba_sim::{AdversarySpec, FinalInspect, NodeId};
 use crate::battery::{Battery, SeedPolicy};
 use crate::par::parallelism;
 use crate::scope::Scope;
+use crate::service_bench::ServiceRow;
 
 /// Aggregate result for one system size of the benchmark battery.
 #[derive(Clone, Debug)]
@@ -86,6 +87,10 @@ pub struct EngineBenchReport {
     pub threads: usize,
     /// One entry per benchmarked system size, ascending.
     pub regimes: Vec<RegimeReport>,
+    /// Sustained-service rows (see [`crate::service_bench`]) —
+    /// `bench-engine` fills these from the service battery so
+    /// `BENCH_engine.json` carries both trajectories.
+    pub service: Vec<ServiceRow>,
 }
 
 impl EngineBenchReport {
@@ -93,10 +98,16 @@ impl EngineBenchReport {
     #[must_use]
     pub fn to_json(&self) -> String {
         let regimes: Vec<String> = self.regimes.iter().map(RegimeReport::to_json).collect();
+        let service: Vec<String> = self.service.iter().map(ServiceRow::to_json).collect();
         format!(
-            "{{\n  \"bench\": \"engine\",\n  \"threads\": {},\n  \"regimes\": [\n{}\n  ]\n}}\n",
+            concat!(
+                "{{\n  \"bench\": \"engine\",\n  \"threads\": {},\n",
+                "  \"regimes\": [\n{}\n  ],\n",
+                "  \"service\": [\n{}\n  ]\n}}\n"
+            ),
             self.threads,
             regimes.join(",\n"),
+            service.join(",\n"),
         )
     }
 }
@@ -218,7 +229,8 @@ fn run_regime(scope: Scope, n: usize, seeds: &[u64]) -> RegimeReport {
     }
 }
 
-/// Runs the battery and returns the aggregate report.
+/// Runs the battery and returns the aggregate report (regimes only —
+/// `bench-engine` appends the service battery's rows before writing).
 #[must_use]
 pub fn run(scope: Scope) -> EngineBenchReport {
     let seeds = bench_seeds(scope);
@@ -228,6 +240,7 @@ pub fn run(scope: Scope) -> EngineBenchReport {
             .into_iter()
             .map(|n| run_regime(scope, n, &seeds))
             .collect(),
+        service: Vec::new(),
     }
 }
 

@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod json;
 pub mod par;
 pub mod scope;
+pub mod service_bench;
 pub mod sweep;
 pub mod table;
 

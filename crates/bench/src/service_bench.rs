@@ -1,0 +1,239 @@
+//! Sustained-service throughput benchmark (`paperbench service`).
+//!
+//! Drives [`fba_scenario::Scenario::run_service`] over a grid of system
+//! size × adversary × offered load (arrival interval) and reports the
+//! headline **decisions/sec sustained**: correct-node decisions per
+//! wall-clock second across a chain of agreement instances sharing one
+//! engine session and one AER arena. Cells run *serially* — each row's
+//! wall-clock must measure an uncontended chain, not scheduler luck —
+//! which is also why the battery keeps its grid small. The report lands
+//! in `BENCH_engine.json` as the `service` section (see
+//! [`crate::engine_bench::EngineBenchReport`]).
+
+use std::time::Instant;
+
+use fba_scenario::Scenario;
+use fba_sim::{AdversarySpec, Step};
+
+use crate::scope::Scope;
+
+/// The adversary grid every service cell sweeps: fault-free, a fixed
+/// silent coalition, and a composed schedule that goes silent for the
+/// push wave then honest (same budget in every corrupting window, as
+/// the schedule validator requires).
+pub const SERVICE_ADVERSARIES: [&str; 3] = ["none", "silent:9", "sched:[0..5]silent:9;[5..]none"];
+
+/// Arrival intervals (offered load) the battery sweeps: back-to-back
+/// saturation and spaced arrivals that leave the engine idle between
+/// instances.
+pub const SERVICE_INTERVALS: [Step; 2] = [1, 32];
+
+/// Scope-dependent system sizes for the service battery. Capped below
+/// the engine-bench frontier — every cell chains several full AER runs
+/// serially.
+#[must_use]
+pub fn service_sizes(scope: Scope) -> Vec<usize> {
+    match scope {
+        Scope::Quick => vec![256],
+        Scope::Default => vec![1024],
+        Scope::Full | Scope::Huge => vec![1024, 4096],
+        Scope::Extreme => vec![4096],
+    }
+}
+
+/// Instances chained per cell: enough to amortise first-instance cache
+/// misses into a sustained rate, small enough for the scope budget.
+#[must_use]
+pub fn service_instances(scope: Scope) -> usize {
+    match scope {
+        Scope::Quick => 3,
+        Scope::Default => 6,
+        _ => 8,
+    }
+}
+
+/// One cell of the service battery: a full chained service run.
+#[derive(Clone, Debug)]
+pub struct ServiceRow {
+    /// System size.
+    pub n: usize,
+    /// Adversary spec string (see [`SERVICE_ADVERSARIES`]).
+    pub adversary: String,
+    /// Arrival interval in steps (offered load).
+    pub interval: Step,
+    /// Instances chained.
+    pub instances: u64,
+    /// Instances in which every correct node decided.
+    pub decided_instances: u64,
+    /// Worst per-instance fraction of correct nodes that decided.
+    pub min_decided_fraction: f64,
+    /// Correct-node decisions summed over all instances.
+    pub decisions: u64,
+    /// Service-clock steps from first arrival to last finish.
+    pub total_steps: Step,
+    /// Wall-clock for the whole chain, seconds.
+    pub elapsed_sec: f64,
+    /// The headline: decisions per wall-clock second, sustained.
+    pub decisions_per_sec: f64,
+    /// Decisions per thousand service-clock steps (simulated-time rate).
+    pub decisions_per_kilostep: f64,
+    /// Poll-list cache hit rate over the whole chain — evidence the
+    /// shared arenas were actually reused across instances.
+    pub poll_cache_hit_rate: f64,
+}
+
+impl ServiceRow {
+    pub(crate) fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"n\": {},\n",
+                "      \"adversary\": \"{}\",\n",
+                "      \"interval\": {},\n",
+                "      \"instances\": {},\n",
+                "      \"decided_instances\": {},\n",
+                "      \"min_decided_fraction\": {:.4},\n",
+                "      \"decisions\": {},\n",
+                "      \"total_steps\": {},\n",
+                "      \"elapsed_sec\": {:.3},\n",
+                "      \"decisions_per_sec\": {:.1},\n",
+                "      \"decisions_per_kilostep\": {:.1},\n",
+                "      \"poll_cache_hit_rate\": {:.4}\n",
+                "    }}"
+            ),
+            self.n,
+            self.adversary,
+            self.interval,
+            self.instances,
+            self.decided_instances,
+            self.min_decided_fraction,
+            self.decisions,
+            self.total_steps,
+            self.elapsed_sec,
+            self.decisions_per_sec,
+            self.decisions_per_kilostep,
+            self.poll_cache_hit_rate,
+        )
+    }
+}
+
+/// The service battery's aggregate report.
+#[derive(Clone, Debug)]
+pub struct ServiceBenchReport {
+    /// One row per (n, adversary, interval) cell, grid order.
+    pub rows: Vec<ServiceRow>,
+}
+
+impl ServiceBenchReport {
+    /// The rows as a standalone JSON document (`{"bench": "service",
+    /// "rows": [...]}`), for `paperbench service --json`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"service\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            self.rows
+                .iter()
+                .map(ServiceRow::to_json)
+                .collect::<Vec<_>>()
+                .join(",\n"),
+        )
+    }
+}
+
+fn run_cell(scope: Scope, n: usize, adversary: &str, interval: Step) -> ServiceRow {
+    let spec: AdversarySpec = adversary.parse().expect("service battery adversary spec");
+    let instances = service_instances(scope);
+    let scenario = Scenario::new(n)
+        .adversary(spec)
+        .service(instances, interval);
+    let start = Instant::now();
+    let service = scenario.run_service(1).expect("service battery scenario");
+    let elapsed_sec = start.elapsed().as_secs_f64();
+    let decisions = service.totals.decisions();
+    let (hits, misses) = service.poll_cache_stats;
+    ServiceRow {
+        n,
+        adversary: adversary.to_string(),
+        interval,
+        instances: instances as u64,
+        decided_instances: service.decided_instances(),
+        min_decided_fraction: service.min_decided_fraction(),
+        decisions,
+        total_steps: service.total_steps,
+        elapsed_sec,
+        decisions_per_sec: decisions as f64 / elapsed_sec,
+        decisions_per_kilostep: service.decisions_per_kilostep(),
+        poll_cache_hit_rate: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+    }
+}
+
+/// Runs the service battery for the scope. Serial by design — see the
+/// module docs.
+#[must_use]
+pub fn run(scope: Scope) -> ServiceBenchReport {
+    let mut rows = Vec::new();
+    for n in service_sizes(scope) {
+        for adversary in SERVICE_ADVERSARIES {
+            for interval in SERVICE_INTERVALS {
+                rows.push(run_cell(scope, n, adversary, interval));
+            }
+        }
+    }
+    ServiceBenchReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_service_battery_sustains_full_decisions() {
+        let report = run(Scope::Quick);
+        assert_eq!(
+            report.rows.len(),
+            SERVICE_ADVERSARIES.len() * SERVICE_INTERVALS.len()
+        );
+        for row in &report.rows {
+            assert_eq!(row.n, 256);
+            assert_eq!(row.decided_instances, row.instances);
+            assert_eq!(row.min_decided_fraction, 1.0);
+            assert!(row.decisions_per_sec > 0.0);
+            assert!(row.decisions_per_kilostep > 0.0);
+            assert!(
+                row.poll_cache_hit_rate > 0.5,
+                "chained instances must mostly hit the persistent poll cache, got {}",
+                row.poll_cache_hit_rate
+            );
+        }
+        // Fault-free rows decide with every node; silent-coalition rows
+        // with every *correct* node.
+        let fault_free = &report.rows[0];
+        assert_eq!(
+            fault_free.decisions,
+            fault_free.instances * fault_free.n as u64
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"service\""));
+        assert!(json.contains("\"decisions_per_sec\""));
+        assert!(json.contains("\"sched:[0..5]silent:9;[5..]none\""));
+    }
+
+    #[test]
+    fn service_sizes_stay_below_the_engine_frontier() {
+        for scope in [
+            Scope::Quick,
+            Scope::Default,
+            Scope::Full,
+            Scope::Huge,
+            Scope::Extreme,
+        ] {
+            let max = *service_sizes(scope).iter().max().unwrap();
+            assert!(max <= 4096, "service cells chain serial full runs");
+            assert!(service_instances(scope) >= 3);
+        }
+    }
+}

@@ -18,7 +18,9 @@ use fba_ae::Precondition;
 use fba_samplers::{
     GString, PollSampler, QuorumScheme, SharedPollCache, SharedQuorumCache, SlotMasks,
 };
-use fba_sim::{run, Adversary, Context, EngineConfig, NodeId, Protocol, RunOutcome, Step};
+use fba_sim::{
+    run, Adversary, Context, EngineConfig, EngineSession, NodeId, Protocol, RunOutcome, Step,
+};
 
 use crate::config::AerConfig;
 use crate::msg::AerMsg;
@@ -42,6 +44,52 @@ pub struct AerRunState {
     push_votes: SlotMasks,
     beliefs: SharedBeliefs,
     fw1_routes: SharedFw1Routes,
+}
+
+impl AerRunState {
+    /// Starts a new agreement instance on this bundle, resetting exactly
+    /// the state that must not survive an instance boundary.
+    ///
+    /// What persists and why it cannot leak decisions across instances:
+    ///
+    /// * the sampler caches (`I`, `H`, `J`) memoize pure functions of the
+    ///   public sampler seed — a hit returns the same bytes a fresh run
+    ///   would recompute;
+    /// * the Fw1 route table is keyed by `(origin, label)` and stores the
+    ///   string key it was derived from, recomputing on mismatch, so a
+    ///   stale entry is either bit-identical to the recomputation or
+    ///   replaced;
+    /// * the belief table is overwritten for every correct node when the
+    ///   instance's nodes are constructed, and nodes only ever read their
+    ///   own entry.
+    ///
+    /// What resets: the push-phase vote arena. Its masks are *decision
+    /// state* (who already pushed string `s` to node `x`), and quorum
+    /// slots are interned per `(string, node)` — a repeated client value
+    /// would otherwise see instance `k-1`'s votes as duplicates and never
+    /// accept the candidate. The cross-instance leak battery in
+    /// `tests/service_determinism.rs` fails if this reset is removed.
+    pub fn begin_instance(&self) {
+        self.push_votes.reset();
+    }
+
+    /// `(hits, misses)` of the push-quorum (`I`) cache.
+    #[must_use]
+    pub fn push_cache_stats(&self) -> (u64, u64) {
+        self.push_quorums.stats()
+    }
+
+    /// `(hits, misses)` of the pull-quorum (`H`) cache.
+    #[must_use]
+    pub fn pull_cache_stats(&self) -> (u64, u64) {
+        self.pull_quorums.stats()
+    }
+
+    /// `(hits, misses)` of the poll-list (`J`) cache.
+    #[must_use]
+    pub fn poll_cache_stats(&self) -> (u64, u64) {
+        self.poll_lists.stats()
+    }
 }
 
 /// One correct AER participant.
@@ -386,6 +434,49 @@ impl AerHarness {
         )
     }
 
+    /// Runs one agreement instance over caller-owned persistent state —
+    /// the service-mode entry point.
+    ///
+    /// Unlike [`AerHarness::run_observed`], which builds a fresh
+    /// [`AerRunState`] per call, this threads an external bundle (plus a
+    /// reusable [`EngineSession`]) through the run so sampler caches and
+    /// arenas survive instance boundaries. The per-instance reset
+    /// ([`AerRunState::begin_instance`]) is applied here unconditionally —
+    /// it is part of the run, not an optional caller step.
+    ///
+    /// `adversary_seed` decouples the corruption draw from the instance's
+    /// master seed (see [`fba_sim::run_session`]): a service passes its
+    /// service seed every instance so the coalition persists. The caller
+    /// must build `state` from a harness with this harness's config — the
+    /// sampler caches memoize the public samplers, so mixing configs would
+    /// silently answer from the wrong distribution.
+    #[allow(clippy::too_many_arguments)] // the full service-mode seam, mirrored by fba-scenario
+    pub fn run_in_session<A, O>(
+        &self,
+        engine: &EngineConfig,
+        seed: u64,
+        adversary_seed: u64,
+        adversary: &mut A,
+        observer: &mut O,
+        state: &AerRunState,
+        session: &mut EngineSession<AerMsg>,
+    ) -> RunOutcome<GString, AerMsg>
+    where
+        A: Adversary<AerMsg> + ?Sized,
+        O: fba_sim::Observer<AerNode> + ?Sized,
+    {
+        state.begin_instance();
+        fba_sim::run_session::<AerNode, A, _, O>(
+            engine,
+            seed,
+            adversary_seed,
+            adversary,
+            |id| self.node_with(id, state),
+            observer,
+            session,
+        )
+    }
+
     /// Runs one complete execution and hands every surviving node's final
     /// state to `inspect` — used by the Lemma 4 experiments to read
     /// candidate-list sizes.
@@ -502,5 +593,57 @@ mod tests {
     fn harness_rejects_wrong_assignment_count() {
         let cfg = AerConfig::recommended(32);
         let _ = AerHarness::new(cfg, vec![GString::zeroes(cfg.string_len)]);
+    }
+
+    #[test]
+    fn chained_instances_over_shared_state_match_fresh_runs() {
+        // The service-mode contract at the harness layer: running the
+        // *same* deployment repeatedly over one persistent AerRunState and
+        // EngineSession — identical workloads, so every quorum slot and
+        // vote mask from instance k-1 recurs in instance k — must be
+        // bit-identical to fresh-state runs. This only holds because
+        // run_in_session resets the vote arena per instance.
+        let (h, _) = harness(48, 0.75, 5);
+        let state = h.run_state();
+        let mut session = EngineSession::new(1);
+        let engine = h.engine_sync();
+        for seed in [5u64, 11, 5] {
+            let mut adv = fba_sim::SilentAdversary::new(4);
+            let chained = h.run_in_session(
+                &engine,
+                seed,
+                77,
+                &mut adv,
+                &mut fba_sim::NullObserver,
+                &state,
+                &mut session,
+            );
+            let fresh_state = h.run_state();
+            let mut fresh_session = EngineSession::new(1);
+            let mut adv2 = fba_sim::SilentAdversary::new(4);
+            let fresh = h.run_in_session(
+                &engine,
+                seed,
+                77,
+                &mut adv2,
+                &mut fba_sim::NullObserver,
+                &fresh_state,
+                &mut fresh_session,
+            );
+            assert_eq!(chained.corrupt, fresh.corrupt);
+            assert_eq!(chained.outputs, fresh.outputs);
+            assert_eq!(chained.all_decided_at, fresh.all_decided_at);
+            assert_eq!(
+                chained.metrics.total_bits_sent(),
+                fresh.metrics.total_bits_sent()
+            );
+        }
+        // The persistent caches really were hit across instances: the
+        // third run's lookups must not all be misses.
+        let (hits, misses) = state.poll_cache_stats();
+        assert!(
+            hits > misses,
+            "poll cache reuse: {hits} hits, {misses} misses"
+        );
     }
 }

@@ -664,6 +664,19 @@ impl SlotMasks {
             .copied()
             .unwrap_or_default()
     }
+
+    /// Zeroes every mask in place, keeping the arena's allocation.
+    ///
+    /// This is the mandatory per-instance reset of service (chained
+    /// agreement) runs. Quorum slots are interned per `(string, node)`
+    /// key, so when a later instance sees a string an earlier instance
+    /// already voted on, a stale mask would silently mark its senders as
+    /// duplicates and suppress candidate acceptance — the vote arena is
+    /// the one shared structure whose contents are decision state rather
+    /// than a pure function of the public sampler seed.
+    pub fn reset(&self) {
+        self.0.borrow_mut().fill(0);
+    }
 }
 
 #[cfg(test)]
@@ -788,6 +801,20 @@ mod tests {
     #[should_panic(expected = "positions < 128")]
     fn slot_masks_reject_wide_sets() {
         SlotMasks::new().vote(SetSlot(0), 128);
+    }
+
+    #[test]
+    fn slot_masks_reset_clears_votes_everywhere() {
+        let masks = SlotMasks::new();
+        masks.vote(SetSlot(2), 7);
+        masks.vote(SetSlot(64), 3);
+        let shared = masks.clone();
+        shared.reset();
+        // Reset is visible through every handle and restores the
+        // fresh-arena behaviour: first votes are "newly set" again.
+        assert_eq!(masks.mask(SetSlot(2)), 0);
+        assert_eq!(masks.mask(SetSlot(64)), 0);
+        assert_eq!(masks.vote(SetSlot(2), 7), (true, 1));
     }
 
     #[test]

@@ -52,12 +52,14 @@ use fba_baselines::{
     KlstNode, KlstParams,
 };
 use fba_core::adversary::{AerAdversary, AttackContext, CornerReport};
-use fba_core::{run_ba, AerConfig, AerHarness, AerMsg, AerNode, BaConfig, BaReport, ConfigError};
+use fba_core::{
+    run_ba, AerConfig, AerHarness, AerMsg, AerNode, AerRunState, BaConfig, BaReport, ConfigError,
+};
 use fba_samplers::GString;
-use fba_sim::rng::derive_rng;
+use fba_sim::rng::{derive_rng, instance_seed};
 use fba_sim::{
-    AdversarySpec, EngineConfig, Metrics, NetworkSpec, NodeId, NullObserver, Observer,
-    ParseSpecError, RunOutcome, Step,
+    AdversarySpec, EngineConfig, EngineSession, Metrics, MetricsTotals, NetworkSpec, NodeId,
+    NullObserver, Observer, ParseSpecError, RunOutcome, Step,
 };
 use rand::Rng;
 
@@ -140,6 +142,17 @@ impl Phase {
     /// The phase grammar for CLI usage messages.
     pub const EXPECTED: &'static str =
         "aer | ae | composed | baseline:{klst|flood|benor|phase-king}";
+
+    /// A static name for error messages.
+    #[must_use]
+    pub fn phase_name(&self) -> &'static str {
+        match self {
+            Phase::Aer { .. } => "aer",
+            Phase::Ae => "almost-everywhere",
+            Phase::Composed => "composed",
+            Phase::Baseline(_) => "baseline",
+        }
+    }
 }
 
 impl fmt::Display for Phase {
@@ -262,6 +275,19 @@ pub enum ScenarioError {
         /// The largest supported system size.
         max: usize,
     },
+    /// Service mode (chained agreement instances) was requested for a
+    /// phase other than AER — the persistent run state it threads across
+    /// instances only exists for the AER engine.
+    UnsupportedService {
+        /// The phase the scenario would run.
+        phase: &'static str,
+    },
+    /// The service spec is inconsistent (zero instances, or an
+    /// arrivals/value-seeds override of the wrong length or ordering).
+    ServiceSpecInvalid {
+        /// What was wrong.
+        reason: String,
+    },
     /// A fault schedule's windows disagree on the corruption budget:
     /// the windows would draw different coalitions, silently corrupting
     /// more nodes than the declared fault bound.
@@ -290,6 +316,14 @@ impl fmt::Display for ScenarioError {
                  queues Θ(n·d³) messages per step (tens of gigabytes past the bound); \
                  benchmark large sizes with `bench-engine --scope extreme` regimes instead"
             ),
+            ScenarioError::UnsupportedService { phase } => write!(
+                f,
+                "service mode (chained instances) only drives the AER phase, not {phase}; \
+                 drop `.service(..)` or set `.phase(Phase::aer(..))`"
+            ),
+            ScenarioError::ServiceSpecInvalid { reason } => {
+                write!(f, "invalid service spec: {reason}")
+            }
             ScenarioError::ScheduleBudgetMismatch {
                 window,
                 got,
@@ -340,6 +374,9 @@ pub struct Scenario {
     inputs: Option<Vec<bool>>,
     rigged: BTreeSet<NodeId>,
     rigged_value: u64,
+    service: Option<(usize, Step)>,
+    service_arrivals: Option<Vec<Step>>,
+    service_value_seeds: Option<Vec<u64>>,
 }
 
 impl Scenario {
@@ -378,6 +415,9 @@ impl Scenario {
             inputs: None,
             rigged: BTreeSet::new(),
             rigged_value: 0,
+            service: None,
+            service_arrivals: None,
+            service_value_seeds: None,
         }
     }
 
@@ -502,6 +542,47 @@ impl Scenario {
     #[must_use]
     pub fn batch_limit(mut self, limit: usize) -> Self {
         self.batch_limit = Some(limit);
+        self
+    }
+
+    /// Puts the scenario in sustained-service mode: `instances` chained
+    /// agreement instances at an offered load of one new client value
+    /// every `interval` steps, executed by [`Scenario::run_service`].
+    /// Instance `k`'s value arrives at step `k · interval` and starts
+    /// as soon as the engine is free (instances never overlap — the
+    /// engine is a serial resource; a value that arrives mid-instance
+    /// queues until the current instance finishes).
+    ///
+    /// Membership knowledge, interned quorum slots, sampler caches, and
+    /// the vote arenas persist across instances; per-instance protocol
+    /// state is reset. The corrupt coalition is pinned across the whole
+    /// service run, while per-instance adversary strategy state (e.g.
+    /// `sched:` windows) restarts each instance.
+    #[must_use]
+    pub fn service(mut self, instances: usize, interval: Step) -> Self {
+        self.service = Some((instances, interval));
+        self
+    }
+
+    /// Overrides the service arrival schedule with explicit arrival
+    /// steps, one per instance (must be non-decreasing and match the
+    /// instance count of [`Scenario::service`]). Arrival times never
+    /// change instance *outcomes* — only the sustained-throughput
+    /// accounting — which the service proptests pin.
+    #[must_use]
+    pub fn service_arrivals(mut self, arrivals: Vec<Step>) -> Self {
+        self.service_arrivals = Some(arrivals);
+        self
+    }
+
+    /// Overrides the per-instance value seeds (one per instance). By
+    /// default instance `k` runs with `instance_seed(service_seed, k)`;
+    /// explicit seeds let tests replay a specific instance standalone or
+    /// force slot collisions across instances (the state-leak battery
+    /// runs the *same* seed repeatedly).
+    #[must_use]
+    pub fn service_value_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.service_value_seeds = Some(seeds);
         self
     }
 
@@ -725,6 +806,38 @@ impl Scenario {
     ) -> Result<AerRun, ScenarioError> {
         let cfg = self.aer_config()?;
         self.validate_schedule_budgets(self.faults.unwrap_or(cfg.t))?;
+        let mut session = EngineSession::new(self.network.max_delay().max(1));
+        Ok(self.run_aer_instance(
+            cfg,
+            precondition,
+            seed,
+            seed,
+            observer,
+            &mut None,
+            &mut session,
+        ))
+    }
+
+    /// One agreement instance over (possibly pre-existing) shared state.
+    ///
+    /// `seed` drives the precondition, the protocol RNG streams, and the
+    /// adversary's *strategy* state; `adversary_seed` independently pins
+    /// the corrupt coalition (the service layer keeps it fixed across a
+    /// whole run while the per-instance seed varies). `state` is the
+    /// cross-instance AER arena: `None` means "fresh harness state" and
+    /// is filled in, so chained callers thread one `Option` through every
+    /// instance. `session` is the reusable engine scratch.
+    #[allow(clippy::too_many_arguments)]
+    fn run_aer_instance(
+        &self,
+        cfg: AerConfig,
+        precondition: PreconditionSpec,
+        seed: u64,
+        adversary_seed: u64,
+        observer: &mut dyn Observer<AerNode>,
+        state: &mut Option<AerRunState>,
+        session: &mut EngineSession<AerMsg>,
+    ) -> AerRun {
         let pre = Precondition::synthetic(
             self.n,
             cfg.string_len,
@@ -748,13 +861,171 @@ impl Scenario {
             engine.batch_limit = Some(limit);
         }
         let mut adversary = self.aer_adversary_for(&harness, &pre.gstring, seed);
-        let run = harness.run_observed(&engine, seed, &mut adversary, observer);
-        Ok(AerRun {
+        let shared = state.get_or_insert_with(|| harness.run_state());
+        let run = harness.run_in_session(
+            &engine,
+            seed,
+            adversary_seed,
+            &mut adversary,
+            observer,
+            shared,
+            session,
+        );
+        AerRun {
             corner: adversary.corner_report().cloned(),
             run,
             precondition: pre,
             config: cfg,
             engine,
+        }
+    }
+
+    /// Executes one AER instance with the corrupt coalition drawn from
+    /// `adversary_seed` instead of `seed`. With `adversary_seed == seed`
+    /// this is exactly [`Scenario::run`] restricted to [`Phase::Aer`];
+    /// with a different coalition seed it replays one instance of a
+    /// service run standalone — the comparator the cross-instance
+    /// state-leak battery is built on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::UnsupportedService`] for non-AER phases
+    /// and the usual config errors.
+    pub fn run_instance(&self, seed: u64, adversary_seed: u64) -> Result<AerRun, ScenarioError> {
+        self.check_scale()?;
+        let Phase::Aer { precondition } = self.phase else {
+            return Err(ScenarioError::UnsupportedService {
+                phase: self.phase.phase_name(),
+            });
+        };
+        let cfg = self.aer_config()?;
+        self.validate_schedule_budgets(self.faults.unwrap_or(cfg.t))?;
+        let mut session = EngineSession::new(self.network.max_delay().max(1));
+        Ok(self.run_aer_instance(
+            cfg,
+            precondition,
+            seed,
+            adversary_seed,
+            &mut NullObserver,
+            &mut None,
+            &mut session,
+        ))
+    }
+
+    /// Checks the service spec against the scenario and resolves the
+    /// per-instance `(seed, arrival step)` schedule.
+    fn service_schedule(&self, seed: u64) -> Result<Vec<(u64, Step)>, ScenarioError> {
+        let Some((instances, interval)) = self.service else {
+            return Err(ScenarioError::ServiceSpecInvalid {
+                reason: "`.service(instances, interval)` was never set".into(),
+            });
+        };
+        if instances == 0 {
+            return Err(ScenarioError::ServiceSpecInvalid {
+                reason: "a service run needs at least one instance".into(),
+            });
+        }
+        let arrivals: Vec<Step> = match &self.service_arrivals {
+            Some(explicit) => {
+                if explicit.len() != instances {
+                    return Err(ScenarioError::ServiceSpecInvalid {
+                        reason: format!(
+                            "arrival schedule has {} entries for {instances} instances",
+                            explicit.len()
+                        ),
+                    });
+                }
+                if explicit.windows(2).any(|w| w[1] < w[0]) {
+                    return Err(ScenarioError::ServiceSpecInvalid {
+                        reason: "arrival schedule must be non-decreasing".into(),
+                    });
+                }
+                explicit.clone()
+            }
+            None => (0..instances).map(|k| k as Step * interval).collect(),
+        };
+        let seeds: Vec<u64> = match &self.service_value_seeds {
+            Some(explicit) => {
+                if explicit.len() != instances {
+                    return Err(ScenarioError::ServiceSpecInvalid {
+                        reason: format!(
+                            "value-seed override has {} entries for {instances} instances",
+                            explicit.len()
+                        ),
+                    });
+                }
+                explicit.clone()
+            }
+            None => (0..instances).map(|k| instance_seed(seed, k)).collect(),
+        };
+        Ok(seeds.into_iter().zip(arrivals).collect())
+    }
+
+    /// Executes the scenario in sustained-service mode: the instance
+    /// count and offered load set by [`Scenario::service`], chained over
+    /// one persistent engine session and one shared AER arena.
+    ///
+    /// Instance `0` runs with the service seed itself (so a 1-instance
+    /// service run is bit-identical to [`Scenario::run`] — pinned by the
+    /// equivalence suite); instance `k > 0` runs with
+    /// `instance_seed(seed, k)`. The corrupt coalition is drawn from the
+    /// service seed for *every* instance, so the same nodes stay corrupt
+    /// across the whole run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::UnsupportedService`] for non-AER phases,
+    /// [`ScenarioError::ServiceSpecInvalid`] for inconsistent service
+    /// specs, and the usual config errors.
+    pub fn run_service(&self, seed: u64) -> Result<ServiceRun, ScenarioError> {
+        self.check_scale()?;
+        let Phase::Aer { precondition } = self.phase else {
+            return Err(ScenarioError::UnsupportedService {
+                phase: self.phase.phase_name(),
+            });
+        };
+        let cfg = self.aer_config()?;
+        self.validate_schedule_budgets(self.faults.unwrap_or(cfg.t))?;
+        let schedule = self.service_schedule(seed)?;
+        let mut session = EngineSession::new(self.network.max_delay().max(1));
+        let mut state: Option<AerRunState> = None;
+        let mut totals = MetricsTotals::new();
+        let mut instances = Vec::with_capacity(schedule.len());
+        let mut clock: Step = 0;
+        for (k, (inst_seed, arrived_at)) in schedule.into_iter().enumerate() {
+            let started_at = if k == 0 {
+                arrived_at
+            } else {
+                arrived_at.max(clock + 1)
+            };
+            let run = self.run_aer_instance(
+                cfg,
+                precondition,
+                inst_seed,
+                seed,
+                &mut NullObserver,
+                &mut state,
+                &mut session,
+            );
+            totals.absorb(&run.run.metrics);
+            let finished_at = started_at + run.run.metrics.steps;
+            clock = finished_at;
+            instances.push(ServiceInstance {
+                seed: inst_seed,
+                arrived_at,
+                started_at,
+                finished_at,
+                run,
+            });
+        }
+        let state = state.expect("at least one instance ran");
+        Ok(ServiceRun {
+            instances,
+            totals,
+            total_steps: clock,
+            push_cache_stats: state.push_cache_stats(),
+            pull_cache_stats: state.pull_cache_stats(),
+            poll_cache_stats: state.poll_cache_stats(),
         })
     }
 
@@ -1025,6 +1296,99 @@ impl AerRun {
     #[must_use]
     pub fn correct_nodes(&self) -> usize {
         self.config.n - self.run.corrupt.len()
+    }
+}
+
+/// One instance of a [`Scenario::run_service`] run: the agreement
+/// outcome plus its position on the service clock.
+#[derive(Clone, Debug)]
+pub struct ServiceInstance {
+    /// The value seed this instance ran with (`instance_seed(seed, k)`
+    /// unless overridden) — replay it standalone with
+    /// [`Scenario::run_instance`].
+    pub seed: u64,
+    /// The step the client value arrived (offered-load schedule).
+    pub arrived_at: Step,
+    /// The step the instance actually started (arrival, or right after
+    /// the previous instance finished, whichever is later).
+    pub started_at: Step,
+    /// The step the instance finished (`started_at + steps`).
+    pub finished_at: Step,
+    /// The full per-instance outcome.
+    pub run: AerRun,
+}
+
+impl ServiceInstance {
+    /// Steps the value waited in the admission queue before starting.
+    #[must_use]
+    pub fn queue_delay(&self) -> Step {
+        self.started_at - self.arrived_at
+    }
+}
+
+/// Outcome of a [`Scenario::run_service`] run: every chained instance,
+/// run-cumulative totals, and the shared-state cache counters that prove
+/// the persistent arenas were actually reused.
+#[derive(Clone, Debug)]
+pub struct ServiceRun {
+    /// Per-instance outcomes, in arrival order.
+    pub instances: Vec<ServiceInstance>,
+    /// Run-cumulative metrics (sums of the per-instance views).
+    pub totals: MetricsTotals,
+    /// The service clock when the last instance finished.
+    pub total_steps: Step,
+    /// Push-quorum cache `(hits, misses)` over the whole run.
+    pub push_cache_stats: (u64, u64),
+    /// Pull-quorum cache `(hits, misses)` over the whole run.
+    pub pull_cache_stats: (u64, u64),
+    /// Poll-list cache `(hits, misses)` over the whole run.
+    pub poll_cache_stats: (u64, u64),
+}
+
+impl ServiceRun {
+    /// The corrupt coalition (identical in every instance — pinned by
+    /// the service adversary seed).
+    #[must_use]
+    pub fn corrupt(&self) -> &BTreeSet<NodeId> {
+        &self.instances[0].run.run.corrupt
+    }
+
+    /// Number of instances in which every correct node decided.
+    #[must_use]
+    pub fn decided_instances(&self) -> u64 {
+        self.totals.decided_instances()
+    }
+
+    /// The minimum, over instances, of the fraction of correct nodes
+    /// that decided.
+    #[must_use]
+    pub fn min_decided_fraction(&self) -> f64 {
+        self.instances
+            .iter()
+            .map(|inst| inst.run.run.metrics.decided_fraction())
+            .fold(1.0, f64::min)
+    }
+
+    /// Whether every instance decided unanimously on its `gstring`.
+    #[must_use]
+    pub fn all_unanimous(&self) -> bool {
+        self.instances.iter().all(|inst| {
+            inst.run
+                .run
+                .unanimous()
+                .is_some_and(|v| v == inst.run.gstring())
+        })
+    }
+
+    /// Decisions per thousand service-clock steps — the sustained
+    /// throughput headline (`decisions` counts every correct node that
+    /// decided, summed over instances).
+    #[must_use]
+    pub fn decisions_per_kilostep(&self) -> f64 {
+        if self.total_steps == 0 {
+            return 0.0;
+        }
+        self.totals.decisions() as f64 * 1000.0 / self.total_steps as f64
     }
 }
 
@@ -1549,5 +1913,116 @@ mod tests {
         assert_eq!(scenario.run.outputs, hand.outputs);
         assert!(scenario.run.corrupt.is_empty());
         assert_eq!(scenario.correct_nodes(), n);
+    }
+
+    #[test]
+    fn one_instance_service_run_is_the_plain_run() {
+        let scenario = Scenario::new(48)
+            .adversary(AdversarySpec::Silent { t: None })
+            .record_transcript(true)
+            .service(1, 10);
+        let service = scenario.run_service(9).expect("valid");
+        let plain = scenario.run(9).expect("valid").into_aer();
+        assert_eq!(service.instances.len(), 1);
+        let inst = &service.instances[0];
+        assert_eq!(inst.seed, 9);
+        assert_eq!(inst.run.run.outputs, plain.run.outputs);
+        assert_eq!(inst.run.run.corrupt, plain.run.corrupt);
+        assert_eq!(inst.run.run.metrics, plain.run.metrics);
+        assert_eq!(inst.run.run.transcript, plain.run.transcript);
+    }
+
+    #[test]
+    fn service_chains_instances_and_pins_the_coalition() {
+        let service = Scenario::new(48)
+            .adversary(AdversarySpec::Silent { t: None })
+            .service(3, 5)
+            .run_service(21)
+            .expect("valid");
+        assert_eq!(service.instances.len(), 3);
+        assert_eq!(service.decided_instances(), 3);
+        assert!(service.all_unanimous());
+        assert_eq!(service.min_decided_fraction(), 1.0);
+        // One coalition for the whole run, distinct value seeds.
+        for inst in &service.instances {
+            assert_eq!(&inst.run.run.corrupt, service.corrupt());
+        }
+        assert_ne!(service.instances[0].seed, service.instances[1].seed);
+        // The service clock is consistent: arrivals every 5 steps, each
+        // instance starts no earlier than its arrival and after its
+        // predecessor finishes.
+        let mut prev_finish = None;
+        for (k, inst) in service.instances.iter().enumerate() {
+            assert_eq!(inst.arrived_at, k as Step * 5);
+            assert!(inst.started_at >= inst.arrived_at);
+            if let Some(prev) = prev_finish {
+                assert!(inst.started_at > prev);
+            }
+            assert_eq!(
+                inst.finished_at,
+                inst.started_at + inst.run.run.metrics.steps
+            );
+            prev_finish = Some(inst.finished_at);
+        }
+        assert_eq!(service.total_steps, prev_finish.unwrap());
+        // The persistent caches were actually exercised.
+        assert!(service.poll_cache_stats.0 > 0, "poll cache never hit");
+    }
+
+    #[test]
+    fn service_totals_sum_the_per_instance_metrics() {
+        let service = Scenario::new(32)
+            .service(2, 1)
+            .run_service(4)
+            .expect("valid");
+        let msgs: u64 = service
+            .instances
+            .iter()
+            .map(|i| i.run.run.metrics.total_msgs_sent())
+            .sum();
+        assert_eq!(service.totals.total_msgs_sent(), msgs);
+        assert_eq!(service.totals.instances(), 2);
+    }
+
+    #[test]
+    fn bad_service_specs_are_rejected() {
+        let err = Scenario::new(32).run_service(1).unwrap_err();
+        assert!(matches!(err, ScenarioError::ServiceSpecInvalid { .. }));
+        let err = Scenario::new(32).service(0, 1).run_service(1).unwrap_err();
+        assert!(matches!(err, ScenarioError::ServiceSpecInvalid { .. }));
+        let err = Scenario::new(32)
+            .service(2, 1)
+            .service_arrivals(vec![0])
+            .run_service(1)
+            .unwrap_err();
+        assert!(err.to_string().contains("entries"));
+        let err = Scenario::new(32)
+            .service(2, 1)
+            .service_arrivals(vec![5, 1])
+            .run_service(1)
+            .unwrap_err();
+        assert!(err.to_string().contains("non-decreasing"));
+        let err = Scenario::new(32)
+            .service(2, 1)
+            .service_value_seeds(vec![1, 2, 3])
+            .run_service(1)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::ServiceSpecInvalid { .. }));
+        let err = Scenario::new(32)
+            .phase(Phase::Ae)
+            .service(2, 1)
+            .run_service(1)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::UnsupportedService { .. }));
+    }
+
+    #[test]
+    fn run_instance_with_matching_seeds_is_run() {
+        let scenario = Scenario::new(32).adversary(AdversarySpec::Silent { t: None });
+        let inst = scenario.run_instance(6, 6).expect("valid");
+        let plain = scenario.run(6).expect("valid").into_aer();
+        assert_eq!(inst.run.outputs, plain.run.outputs);
+        assert_eq!(inst.run.corrupt, plain.run.corrupt);
+        assert_eq!(inst.run.metrics, plain.run.metrics);
     }
 }

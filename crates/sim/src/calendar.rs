@@ -107,6 +107,30 @@ impl<T> CalendarQueue<T> {
         }
     }
 
+    /// Starts a fresh scheduling epoch: drops every pending event and
+    /// rewinds the sequence counter, adjusting the horizon to `max_delay`
+    /// while keeping already-allocated slot capacity wherever possible.
+    ///
+    /// This is the instance boundary of service (chained agreement) runs:
+    /// a reset queue is observationally identical to a newly constructed
+    /// one — absolute sequence numbers never influence drain order between
+    /// epochs because ordering only compares sequences within one slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_delay == 0`.
+    pub fn reset(&mut self, max_delay: Step) {
+        assert!(max_delay >= 1, "calendar queue requires max_delay >= 1");
+        let horizon = usize::try_from(max_delay).expect("max_delay fits usize") + 1;
+        for slot in &mut self.slots {
+            slot.bulk.clear();
+            slot.keyed.clear();
+        }
+        self.slots.resize_with(horizon, Slot::new);
+        self.len = 0;
+        self.seq = 0;
+    }
+
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -335,6 +359,40 @@ mod tests {
             assert_eq!(buf.len(), 64);
             assert!(buf.capacity() >= 64);
         }
+    }
+
+    #[test]
+    fn reset_clears_pending_and_restarts_the_epoch() {
+        let mut q = CalendarQueue::new(3);
+        q.schedule(0, 2, 1, 7u32);
+        let mut bulk = vec![8u32, 9];
+        q.schedule_bulk(0, 1, &mut bulk);
+        assert_eq!(q.len(), 3);
+        q.reset(3);
+        assert!(q.is_empty());
+        assert_eq!(q.max_delay(), 3);
+        // Post-reset behaviour matches a freshly constructed queue.
+        q.schedule(0, 1, 5, 20);
+        q.schedule(0, 1, -1, 10);
+        assert_eq!(drain(&mut q, 1), vec![10, 20]);
+    }
+
+    #[test]
+    fn reset_can_change_the_horizon() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new(1);
+        q.reset(4);
+        assert_eq!(q.max_delay(), 4);
+        q.schedule(0, 4, 0, 1);
+        assert_eq!(drain(&mut q, 4), vec![1]);
+        q.reset(2);
+        assert_eq!(q.max_delay(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_delay >= 1")]
+    fn reset_rejects_zero_horizon() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new(2);
+        q.reset(0);
     }
 
     #[test]

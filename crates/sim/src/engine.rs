@@ -106,6 +106,68 @@ pub fn batch_env_default() -> bool {
     std::env::var("FBA_BATCH").map_or(true, |v| v != "0")
 }
 
+/// Reusable engine scratch state: the pending-delivery calendar plus every
+/// per-step buffer of the run loop.
+///
+/// One-shot entry points ([`run`], [`run_observed`]) construct a fresh
+/// session internally. Service (chained agreement) runs construct one
+/// session and thread it through consecutive [`run_session`] calls so the
+/// calendar ring and the send/delivery/batch buffers keep their
+/// allocations across instance boundaries. Reuse is outcome-invariant:
+/// every buffer is emptied at the start of a run (capacity is invisible to
+/// protocol logic) and the calendar starts a fresh epoch via
+/// [`CalendarQueue::reset`].
+#[derive(Debug)]
+pub struct EngineSession<M> {
+    pending: CalendarQueue<Delivery<M>>,
+    sends: Vec<Delivery<M>>,
+    outbox_buf: Vec<(NodeId, M)>,
+    due: Vec<Delivery<M>>,
+    sched_buf: Vec<(Step, i64)>,
+    flat: Vec<Envelope<M>>,
+    pool: Vec<BatchBuffers<M>>,
+}
+
+impl<M> EngineSession<M> {
+    /// Creates an empty session for delivery delays up to `max_delay`.
+    /// The horizon is adjusted automatically by each run, so the argument
+    /// only pre-sizes the calendar ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_delay == 0`.
+    #[must_use]
+    pub fn new(max_delay: Step) -> Self {
+        EngineSession {
+            pending: CalendarQueue::new(max_delay),
+            sends: Vec::new(),
+            outbox_buf: Vec::new(),
+            due: Vec::new(),
+            sched_buf: Vec::new(),
+            flat: Vec::new(),
+            pool: Vec::new(),
+        }
+    }
+
+    /// Empties every buffer (keeping capacity) and restarts the calendar
+    /// epoch for a run with the given delay horizon.
+    fn begin(&mut self, max_delay: Step) {
+        self.pending.reset(max_delay);
+        self.sends.clear();
+        self.outbox_buf.clear();
+        self.due.clear();
+        self.sched_buf.clear();
+        self.flat.clear();
+        // `pool` buffers are cleared on reuse by `Batch::from_buffers`.
+    }
+}
+
+impl<M> Default for EngineSession<M> {
+    fn default() -> Self {
+        EngineSession::new(1)
+    }
+}
+
 /// Everything a finished run exposes.
 #[derive(Clone, Debug)]
 pub struct RunOutcome<O, M> {
@@ -214,8 +276,51 @@ pub fn run_observed<P, A, F, O>(
     cfg: &EngineConfig,
     master_seed: u64,
     adversary: &mut A,
+    factory: F,
+    observer: &mut O,
+) -> RunOutcome<P::Output, P::Msg>
+where
+    P: Protocol,
+    A: Adversary<P::Msg> + ?Sized,
+    F: FnMut(NodeId) -> P,
+    O: Observer<P> + ?Sized,
+{
+    let mut session = EngineSession::new(cfg.max_delay.max(1));
+    run_session(
+        cfg,
+        master_seed,
+        master_seed,
+        adversary,
+        factory,
+        observer,
+        &mut session,
+    )
+}
+
+/// The fully general engine entry point: like [`run_observed`], but with
+/// the adversary's corruption draw decoupled from the run's master seed
+/// and the scratch state supplied by the caller.
+///
+/// * `adversary_seed` seeds the RNG handed to [`Adversary::corrupt`].
+///   Passing `master_seed` (what every one-shot entry point does)
+///   reproduces [`run_observed`] exactly. Service runs pass the *service*
+///   seed for every instance so the same non-adaptive coalition persists
+///   while node randomness and workloads vary per instance.
+/// * `session` provides the calendar and per-step buffers; reusing one
+///   session across runs keeps allocations warm and is bit-identical to
+///   fresh construction (see [`EngineSession`]).
+///
+/// # Panics
+///
+/// Same conditions as [`run`].
+pub fn run_session<P, A, F, O>(
+    cfg: &EngineConfig,
+    master_seed: u64,
+    adversary_seed: u64,
+    adversary: &mut A,
     mut factory: F,
     observer: &mut O,
+    session: &mut EngineSession<P::Msg>,
 ) -> RunOutcome<P::Output, P::Msg>
 where
     P: Protocol,
@@ -226,7 +331,7 @@ where
     let n = cfg.n;
     let header_bits = cfg.effective_header_bits();
 
-    let mut adv_rng: ChaCha12Rng = derive_rng(master_seed, &[TAG_ADVERSARY]);
+    let mut adv_rng: ChaCha12Rng = derive_rng(adversary_seed, &[TAG_ADVERSARY]);
     let corrupt = adversary.corrupt(n, &mut adv_rng);
     assert!(
         corrupt.iter().all(|id| id.index() < n),
@@ -255,19 +360,23 @@ where
     let mut undecided = n - corrupt.len();
 
     let max_delay = cfg.max_delay.max(1);
-    let mut pending: CalendarQueue<Delivery<P::Msg>> = CalendarQueue::new(max_delay);
     let mut transcript: Vec<Envelope<P::Msg>> = Vec::new();
 
-    // Per-step scratch buffers, reused across the whole run.
-    let mut sends: Vec<Delivery<P::Msg>> = Vec::new();
-    let mut outbox_buf: Vec<(NodeId, P::Msg)> = Vec::new();
-    let mut due: Vec<Delivery<P::Msg>> = Vec::new();
-    let mut sched_buf: Vec<(Step, i64)> = Vec::new();
-    // Per-envelope view of the step's sends, materialised only when
+    // Calendar plus per-step scratch buffers, reused across the whole run
+    // (and, through a shared session, across chained instances). `flat` is
+    // the per-envelope view of the step's sends, materialised only when
     // someone needs it (rushing view, per-envelope scheduling, observe,
     // observer step view, transcript).
-    let mut flat: Vec<Envelope<P::Msg>> = Vec::new();
-    let mut pool: Vec<BatchBuffers<P::Msg>> = Vec::new();
+    session.begin(max_delay);
+    let EngineSession {
+        pending,
+        sends,
+        outbox_buf,
+        due,
+        sched_buf,
+        flat,
+        pool,
+    } = session;
 
     let batching = cfg.batch;
     let batch_limit = cfg.batch_limit;
@@ -291,7 +400,7 @@ where
             let Some(node) = nodes[i].as_mut() else {
                 continue;
             };
-            let mut ctx = Context::new(id, n, step, &mut rngs[i], &mut outbox_buf);
+            let mut ctx = Context::new(id, n, step, &mut rngs[i], outbox_buf);
             if step == 0 {
                 node.on_start(&mut ctx);
             } else {
@@ -303,22 +412,22 @@ where
                 batching,
                 batch_limit,
                 header_bits,
-                &mut outbox_buf,
+                outbox_buf,
                 &mut metrics,
-                &mut pool,
-                &mut sends,
+                pool,
+                sends,
             );
         }
 
         // 2. Deliveries due this step (scheduled at earlier steps).
-        pending.drain_due(step, &mut due);
+        pending.drain_due(step, due);
         for delivery in due.drain(..) {
             match delivery {
                 Delivery::One(env) => {
                     metrics.record_recv(env.to, env.total_bits(header_bits));
                     let i = env.to.index();
                     if let Some(node) = nodes[i].as_mut() {
-                        let mut ctx = Context::new(env.to, n, step, &mut rngs[i], &mut outbox_buf);
+                        let mut ctx = Context::new(env.to, n, step, &mut rngs[i], outbox_buf);
                         node.on_message(env.from, env.msg, &mut ctx);
                         enqueue_outbox(
                             env.to,
@@ -326,10 +435,10 @@ where
                             batching,
                             batch_limit,
                             header_bits,
-                            &mut outbox_buf,
+                            outbox_buf,
                             &mut metrics,
-                            &mut pool,
-                            &mut sends,
+                            pool,
+                            sends,
                         );
                     }
                     // Deliveries to corrupt nodes reach the adversary
@@ -343,8 +452,7 @@ where
                             metrics.record_recv(to, bits);
                             let i = to.index();
                             if let Some(node) = nodes[i].as_mut() {
-                                let mut ctx =
-                                    Context::new(to, n, step, &mut rngs[i], &mut outbox_buf);
+                                let mut ctx = Context::new(to, n, step, &mut rngs[i], outbox_buf);
                                 node.on_message(from, msg.clone(), &mut ctx);
                                 enqueue_outbox(
                                     to,
@@ -352,10 +460,10 @@ where
                                     batching,
                                     batch_limit,
                                     header_bits,
-                                    &mut outbox_buf,
+                                    outbox_buf,
                                     &mut metrics,
-                                    &mut pool,
-                                    &mut sends,
+                                    pool,
+                                    sends,
                                 );
                             }
                         }
@@ -368,8 +476,8 @@ where
         // 3. Adversary turn (full information; rushing sees current sends).
         if !draining {
             let rushing_view: Option<&[Envelope<P::Msg>]> = if rushing {
-                flatten_into(&sends, &mut flat);
-                Some(&flat)
+                flatten_into(sends, flat);
+                Some(flat)
             } else {
                 None
             };
@@ -397,12 +505,12 @@ where
         //    matches the per-envelope engine exactly.
         let consult_now = consults && !draining;
         if consult_now || observes || step_view || cfg.record_transcript {
-            flatten_into(&sends, &mut flat);
+            flatten_into(sends, flat);
         }
         sched_buf.clear();
         let mut uniform: Option<Step> = Some(1);
         if consult_now {
-            for env in &flat {
+            for env in flat.iter() {
                 let delay = adversary.delay(env).clamp(1, max_delay);
                 let priority = adversary.priority(env);
                 uniform = match uniform {
@@ -413,10 +521,10 @@ where
             }
         }
         if observes {
-            adversary.observe(step, &flat);
+            adversary.observe(step, flat);
         }
         if step_view {
-            observer.on_step(step, &flat);
+            observer.on_step(step, flat);
         }
         if cfg.record_transcript {
             transcript.extend(flat.iter().cloned());
@@ -425,7 +533,7 @@ where
             // Common case (synchronous timing or a non-scheduling
             // adversary): one vector swap moves the whole step's sends —
             // batches included — into the ring slot.
-            Some(delay) if !sends.is_empty() => pending.schedule_bulk(step, delay, &mut sends),
+            Some(delay) if !sends.is_empty() => pending.schedule_bulk(step, delay, sends),
             _ => {
                 // Non-uniform schedule: fall back to per-envelope keyed
                 // scheduling. `flat` already holds the logical envelopes in
@@ -875,6 +983,63 @@ mod tests {
             unbatched.metrics.total_msgs_sent(),
             (n * 2 * (n - 1)) as u64
         );
+    }
+
+    #[test]
+    fn session_reuse_is_bit_identical_to_fresh_runs() {
+        // The service mode's engine contract: threading one EngineSession
+        // through consecutive runs must leave every run identical to a
+        // standalone one, including across differing seeds and horizons.
+        let mut session = EngineSession::new(1);
+        for (seed, delay) in [(1u64, 1u64), (9, 3), (1, 1), (4, 2)] {
+            let cfg = EngineConfig::asynchronous(8, delay);
+            let mut a1 = SilentAdversary::new(2);
+            let reused = run_session::<Ping, _, _, _>(
+                &cfg,
+                seed,
+                seed,
+                &mut a1,
+                ping_factory(8),
+                &mut NullObserver,
+                &mut session,
+            );
+            let mut a2 = SilentAdversary::new(2);
+            let fresh = run::<Ping, _, _>(&cfg, seed, &mut a2, ping_factory(8));
+            assert_eq!(reused.corrupt, fresh.corrupt);
+            assert_eq!(reused.outputs, fresh.outputs);
+            assert_eq!(reused.all_decided_at, fresh.all_decided_at);
+            assert_eq!(reused.quiescent, fresh.quiescent);
+            assert_eq!(
+                reused.metrics.total_bits_sent(),
+                fresh.metrics.total_bits_sent()
+            );
+            assert_eq!(reused.metrics.steps, fresh.metrics.steps);
+        }
+    }
+
+    #[test]
+    fn adversary_seed_pins_the_coalition_across_master_seeds() {
+        let cfg = EngineConfig::sync(16);
+        let mut outcomes = Vec::new();
+        for master in [3u64, 8, 21] {
+            let mut adv = SilentAdversary::new(4);
+            let mut session = EngineSession::new(1);
+            outcomes.push(run_session::<Ping, _, _, _>(
+                &cfg,
+                master,
+                77, // same adversary seed every time
+                &mut adv,
+                ping_factory(16),
+                &mut NullObserver,
+                &mut session,
+            ));
+        }
+        assert_eq!(outcomes[0].corrupt, outcomes[1].corrupt);
+        assert_eq!(outcomes[1].corrupt, outcomes[2].corrupt);
+        // And adversary_seed = master_seed reproduces run() exactly.
+        let mut adv = SilentAdversary::new(4);
+        let plain = run::<Ping, _, _>(&cfg, 77, &mut adv, ping_factory(16));
+        assert_eq!(plain.corrupt, outcomes[0].corrupt);
     }
 
     #[test]

@@ -54,6 +54,24 @@
 //!   `tests/scenario_equivalence.rs` across the adversary × network
 //!   matrix plus a proptest over random batch boundaries; `FBA_BATCH=0`
 //!   is the environment escape hatch for bisecting.
+//! * **Instance sequencing** — service mode chains agreement instances
+//!   over one reusable [`EngineSession`] and shared protocol arenas. The
+//!   sequencing rules: instance `0` runs with the service seed itself,
+//!   instance `k > 0` with [`rng::instance_seed`]`(seed, k)` (domain-
+//!   separated, so instances are independent draws); the *adversary*
+//!   stream is derived from its own seed — the service seed for every
+//!   instance, pinning one corrupt coalition across the run. What
+//!   persists across instances is only what is outcome-invariant: engine
+//!   scratch (cleared by [`EngineSession`] reuse — capacity is
+//!   invisible), pure memoization caches, and interned-slot arenas whose
+//!   per-instance state is reset at instance start. Every instance is
+//!   therefore bit-identical to a fresh-engine run with the same
+//!   `(value seed, adversary seed)` — pinned by
+//!   `tests/service_determinism.rs`, including the repeated-value-seed
+//!   battery that forces maximal slot collisions, and cache hit/miss
+//!   counters prove the persistence is real rather than silently
+//!   rebuilt. Arrival schedules only move service-clock bookkeeping,
+//!   never outcomes.
 //!
 //! ## Quick example
 //!
@@ -107,10 +125,13 @@ mod spec;
 pub mod tuning;
 
 pub use adversary::{choose_corrupt, Adversary, NoAdversary, Outbox, SilentAdversary};
-pub use engine::{batch_env_default, run, run_inspect, run_observed, EngineConfig, RunOutcome};
+pub use engine::{
+    batch_env_default, run, run_inspect, run_observed, run_session, EngineConfig, EngineSession,
+    RunOutcome,
+};
 pub use ids::{all_nodes, ceil_log2, ln_at_least_one, NodeId, Step};
 pub use message::{Batch, BatchBuffers, Delivery, Envelope, WireSize};
-pub use metrics::{LoadSummary, Metrics};
+pub use metrics::{LoadSummary, Metrics, MetricsTotals};
 pub use observer::{DecisionLog, FinalInspect, NullObserver, Observer, TranscriptSink};
 pub use protocol::{Context, Protocol};
 pub use spec::{

@@ -17,6 +17,9 @@ pub const TAG_ADVERSARY: u64 = 0x4144_5645; // "ADVE"
 pub const TAG_SAMPLER: u64 = 0x5341_4d50; // "SAMP"
 /// Domain-separation tag for workload/input generation.
 pub const TAG_WORKLOAD: u64 = 0x574f_524b; // "WORK"
+/// Domain-separation tag for per-instance seeds in service (chained
+/// agreement) runs.
+pub const TAG_SERVICE: u64 = 0x5345_5256; // "SERV"
 
 /// The `splitmix64` mixing function (Steele, Lea, Flood 2014).
 ///
@@ -63,6 +66,22 @@ pub fn derive_rng(master: u64, tags: &[u64]) -> ChaCha12Rng {
 #[must_use]
 pub fn node_rng(master: u64, index: usize) -> ChaCha12Rng {
     derive_rng(master, &[TAG_NODE, index as u64])
+}
+
+/// Derives the master seed of instance `k` in a service (chained
+/// agreement) run with the given service seed.
+///
+/// Instance 0 *is* the service seed: a 1-instance service run replays the
+/// corresponding standalone run bit for bit (the service equivalence
+/// contract in `tests/scenario_equivalence.rs` depends on this). Later
+/// instances get independent derived streams.
+#[must_use]
+pub fn instance_seed(service_seed: u64, k: usize) -> u64 {
+    if k == 0 {
+        service_seed
+    } else {
+        mix(service_seed, &[TAG_SERVICE, k as u64])
+    }
 }
 
 #[cfg(test)]
@@ -114,5 +133,22 @@ mod tests {
         let mut a = node_rng(99, 5);
         let mut b = derive_rng(99, &[TAG_NODE, 5]);
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn instance_zero_is_the_service_seed() {
+        assert_eq!(instance_seed(42, 0), 42);
+        assert_eq!(instance_seed(7, 0), 7);
+    }
+
+    #[test]
+    fn later_instances_get_independent_seeds() {
+        let s1 = instance_seed(42, 1);
+        let s2 = instance_seed(42, 2);
+        assert_ne!(s1, 42);
+        assert_ne!(s1, s2);
+        // Deterministic and distinct across service seeds.
+        assert_eq!(s1, instance_seed(42, 1));
+        assert_ne!(s1, instance_seed(43, 1));
     }
 }

@@ -615,6 +615,64 @@ proptest::proptest! {
 }
 
 #[test]
+fn service_single_instance_is_bit_identical_to_run() {
+    // The service-mode anchor pin: a 1-instance service run IS the plain
+    // run — same outputs, corrupt set, decision step, *per-node* metrics
+    // (Metrics implements full structural equality) and transcript —
+    // across the adversary matrix, both timing models, and both batching
+    // lanes. Everything the service layer threads through (the reusable
+    // engine session, the shared AER arena, the per-instance reset) must
+    // be invisible at instance 0, or chaining is built on sand.
+    use fba::sim::{ScheduleSpec, Window};
+    let sched = AdversarySpec::Sched(
+        ScheduleSpec::new(vec![
+            (Window::bounded(0, 2), AdversarySpec::Silent { t: None }),
+            (Window::open(2), AdversarySpec::Equivocate { strings: 4 }),
+        ])
+        .expect("valid schedule"),
+    );
+    let specs = [
+        AdversarySpec::None,
+        AdversarySpec::Silent { t: None },
+        AdversarySpec::PushFlood,
+        AdversarySpec::Equivocate { strings: 8 },
+        AdversarySpec::BadString,
+        AdversarySpec::Corner { label_scan: 256 },
+        sched,
+    ];
+    for spec in &specs {
+        for network in [NetworkSpec::Sync, NetworkSpec::Async { max_delay: 2 }] {
+            for batching in [false, true] {
+                let base = Scenario::new(64)
+                    .phase(Phase::aer(0.8))
+                    .network(network)
+                    .adversary(spec.clone())
+                    .batching(batching)
+                    .record_transcript(true);
+                let plain = base.clone().run(3).expect("valid scenario").into_aer();
+                let service = base.service(1, 1).run_service(3).expect("valid service");
+                assert_eq!(service.instances.len(), 1);
+                let inst = &service.instances[0].run;
+                let label = format!("{spec} {network} batching={batching}");
+                assert_identical(&label, &inst.run, &plain.run);
+                assert_eq!(
+                    inst.run.metrics, plain.run.metrics,
+                    "{label}: per-node metrics"
+                );
+                assert_eq!(
+                    inst.run.transcript, plain.run.transcript,
+                    "{label}: transcript"
+                );
+                assert_eq!(
+                    inst.precondition.gstring, plain.precondition.gstring,
+                    "{label}: precondition"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn observers_and_transcripts_do_not_perturb_outcomes() {
     // Attaching instrumentation must never change what a scenario
     // computes — the determinism contract that makes observers safe to
