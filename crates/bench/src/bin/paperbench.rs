@@ -25,16 +25,20 @@
 use std::process::ExitCode;
 
 use fba_bench::{engine_bench, parallelism, run_experiment, service_bench, sweep, Scope, ALL_IDS};
+use fba_exec::{BackendSpec, BACKEND_EXPECTED};
 use fba_scenario::{Baseline, Phase, Scenario, ScenarioOutcome};
 use fba_sim::{AdversarySpec, NetworkSpec};
 
 fn usage() {
     eprintln!(
         "usage: paperbench [--quick|--full|--huge|--scope <quick|default|full|huge|extreme>] \
-         [--json <dir>] <experiment id>... | all | bench-engine | service | \
-         scenario <flags> | sweep <flags>"
+         [--json <dir>] [--backend <{BACKEND_EXPECTED}>] [--n <sizes>] <experiment id>... | \
+         all | bench-engine | service | scenario <flags> | sweep <flags>"
     );
     eprintln!("known ids: {}", ALL_IDS.join(", "));
+    eprintln!("--backend applies to bench-engine (default `sim`; `threads[:k]` runs");
+    eprintln!("  each benchmark on the node-parallel executor instead of fanning");
+    eprintln!("  whole runs across cores); --n overrides its regime sizes");
     eprintln!("scenario flags: see `paperbench scenario --help`");
     eprintln!("sweep flags:    see `paperbench sweep --help`");
     eprintln!("service:        sustained-service battery (`service --help`)");
@@ -475,13 +479,13 @@ fn run_service_bench(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run_engine_bench(scope: Scope) -> ExitCode {
+fn run_engine_bench(scope: Scope, backend: BackendSpec, sizes: Option<Vec<usize>>) -> ExitCode {
+    let sizes = sizes.unwrap_or_else(|| engine_bench::bench_sizes(scope));
     println!(
-        "bench-engine: n = {:?}, {} worker thread(s)…",
-        engine_bench::bench_sizes(scope),
+        "bench-engine: n = {sizes:?}, backend {backend}, {} worker thread(s)…",
         parallelism()
     );
-    let mut report = engine_bench::run(scope);
+    let mut report = engine_bench::run_sized(scope, backend, sizes);
     println!(
         "bench-engine: service battery, n = {:?}…",
         service_bench::service_sizes(scope)
@@ -520,6 +524,8 @@ fn main() -> ExitCode {
     let mut scope = Scope::Default;
     let mut ids: Vec<String> = Vec::new();
     let mut bench_engine = false;
+    let mut backend = BackendSpec::Sim;
+    let mut sizes: Option<Vec<usize>> = None;
     let mut json_dir: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -544,6 +550,30 @@ fn main() -> ExitCode {
                 };
                 json_dir = Some(dir.clone());
             }
+            "--backend" => {
+                let spec = iter.next().and_then(|v| v.parse::<BackendSpec>().ok());
+                let Some(spec) = spec else {
+                    eprintln!("error: --backend needs {BACKEND_EXPECTED}");
+                    usage();
+                    return ExitCode::FAILURE;
+                };
+                backend = spec;
+            }
+            "--n" => {
+                let parsed = iter.next().map(|v| {
+                    v.split(',')
+                        .map(|s| s.trim().parse::<usize>())
+                        .collect::<Result<Vec<usize>, _>>()
+                });
+                match parsed {
+                    Some(Ok(ns)) if !ns.is_empty() => sizes = Some(ns),
+                    _ => {
+                        eprintln!("error: --n needs a comma-separated size list (e.g. 4096,16384)");
+                        usage();
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "all" => ids.extend(ALL_IDS.iter().map(ToString::to_string)),
             "bench-engine" => bench_engine = true,
             other => {
@@ -558,7 +588,7 @@ fn main() -> ExitCode {
         }
     }
     if bench_engine {
-        let code = run_engine_bench(scope);
+        let code = run_engine_bench(scope, backend, sizes);
         if ids.is_empty() || code == ExitCode::FAILURE {
             return code;
         }

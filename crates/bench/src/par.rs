@@ -18,16 +18,14 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads a sweep should use: the `FBA_THREADS`
-/// environment variable if set (minimum 1), else available parallelism.
+/// Number of worker threads a sweep should use. Delegates to
+/// [`fba_exec::default_parallelism`] — **the** one thread-count policy
+/// (`FBA_THREADS` if set, else available parallelism; an explicit
+/// `BackendSpec` shard count outranks both) — so sweep fan-out and the
+/// threaded execution backend always agree on what `FBA_THREADS` means.
 #[must_use]
 pub fn parallelism() -> usize {
-    if let Ok(v) = std::env::var("FBA_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism().map_or(1, usize::from)
+    fba_exec::default_parallelism()
 }
 
 /// Maps `f` over `items`, fanning across [`parallelism`] threads, and

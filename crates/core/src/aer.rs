@@ -369,7 +369,12 @@ impl AerHarness {
         }
     }
 
-    fn node_with(&self, id: NodeId, state: &AerRunState) -> AerNode {
+    /// Builds the state machine for node `id`, wired to the given shared
+    /// run state. The factory behind every run entry point; public so
+    /// execution backends (`fba-exec`) can build nodes against their own
+    /// state bundles — e.g. one per worker shard in the threaded backend.
+    #[must_use]
+    pub fn node_with(&self, id: NodeId, state: &AerRunState) -> AerNode {
         AerNode::with_state(
             id,
             self.assignments[id.index()],

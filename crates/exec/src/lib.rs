@@ -1,0 +1,258 @@
+//! # fba-exec — execution backends
+//!
+//! Splits *what the protocol does* from *what executes it*. The simulator
+//! crate defines the step contract (per-step callbacks, due deliveries,
+//! adversary turn, scheduling, decision tracking — see
+//! `fba_sim::run_session`); this crate defines **who** drives those
+//! phases, behind one trait:
+//!
+//! ```text
+//!                    ExecBackend::run(cfg, seeds, adversary, builder, observer)
+//!                   /                                                  \
+//!        ┌─────────▼─────────┐                            ┌─────────────▼────────────┐
+//!        │     SimBackend    │                            │      ThreadedBackend     │
+//!        │  (fba_sim::run_   │                            │  coordinator thread owns │
+//!        │   session verbatim│                            │  calendar + adversary +  │
+//!        │   — bit-identical)│                            │  metrics; node shards on │
+//!        └───────────────────┘                            │  std::thread workers,    │
+//!                                                         │  mpsc barrier per step   │
+//!                                                         └──────────────────────────┘
+//! ```
+//!
+//! A [`NodeBuilder`] supplies the protocol side: per-worker shared state
+//! (`Local`, e.g. the AER arena bundle), a node factory, and an optional
+//! end-of-run `Report` (e.g. cache statistics).
+//!
+//! ## Determinism contract
+//!
+//! * [`SimBackend`] **is** the calendar engine: same function, same
+//!   outcome, bit for bit. Every transcript-, metrics-, or
+//!   interleaving-level correctness pin in the workspace holds on this
+//!   backend (and only this backend is used for pins).
+//! * [`ThreadedBackend`] is deterministic *given* `(seed, shard count)`:
+//!   the same inputs replay the same outcome, because per-node RNG
+//!   streams are the same seed-derived ChaCha streams the sim uses, the
+//!   coordinator replays the sim's cross-shard merge order, and a barrier
+//!   per simulated step keeps the calendar authoritative. Across *shard
+//!   counts* (and versus sim) the contract weakens to outcome-level
+//!   invariants — decided fraction, agreed value, safety — because
+//!   protocol state shared between nodes (the AER interning arenas) is
+//!   per-shard, so interleaving-sensitive internals such as cache hit
+//!   counters may differ. The cross-backend suite in
+//!   `tests/scenario_equivalence.rs` pins exactly this split.
+//!
+//! Thread-count policy lives in one place: [`resolve_shards`]
+//! (`BackendSpec` > `FBA_THREADS` > available cores, clamped to
+//! `[1, n]`).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod spec;
+mod threaded;
+
+pub use spec::{default_parallelism, resolve_shards, BackendSpec, BACKEND_EXPECTED};
+pub use threaded::ThreadedBackend;
+
+use fba_sim::{
+    run_session, Adversary, EngineConfig, EngineSession, NodeId, Observer, Protocol, RunOutcome,
+};
+
+/// The protocol side of an execution backend: how to build nodes, and
+/// what state they share.
+///
+/// Backends may execute nodes on worker threads, so the builder itself
+/// must be `Sync` (it is shared by reference), while `Local` — the state
+/// bundle nodes of one executor share, e.g. the AER quorum caches and
+/// interning arenas — is created *on* each executor thread via
+/// [`NodeBuilder::local`] and never crosses threads (it may hold `Rc`).
+/// The sim backend creates exactly one `Local`; the threaded backend
+/// creates one per shard, which is what relaxes cross-backend equality to
+/// outcome-level invariants for protocols that genuinely share state.
+pub trait NodeBuilder: Sync {
+    /// The protocol state machine this builder constructs.
+    type Node: Protocol;
+    /// Executor-local shared state for a group of nodes.
+    type Local;
+    /// End-of-run summary extracted from each `Local` (e.g. cache
+    /// hit/miss counters); sent back across threads.
+    type Report: Send;
+
+    /// Creates one executor's shared state bundle. Called once per
+    /// executor thread, before any node is built.
+    fn local(&self) -> Self::Local;
+
+    /// Builds the state machine for node `id` against `local`.
+    fn node(&self, local: &Self::Local, id: NodeId) -> Self::Node;
+
+    /// Consumes an executor's shared state into its report.
+    fn report(&self, local: Self::Local) -> Self::Report;
+}
+
+/// A [`NodeBuilder`] for protocols without cross-node shared state: wraps
+/// a plain `Fn(NodeId) -> P` factory. `Local` is `()`, so the sim and
+/// threaded backends build byte-identical node sets.
+pub struct FnBuilder<F>(pub F);
+
+impl<P, F> NodeBuilder for FnBuilder<F>
+where
+    P: Protocol,
+    F: Fn(NodeId) -> P + Sync,
+{
+    type Node = P;
+    type Local = ();
+    type Report = ();
+
+    fn local(&self) {}
+
+    fn node(&self, (): &(), id: NodeId) -> P {
+        (self.0)(id)
+    }
+
+    fn report(&self, (): ()) {}
+}
+
+/// A run outcome paired with the per-executor [`NodeBuilder::Report`]s —
+/// one for the sim backend, one per shard for the threaded backend.
+pub type Reported<B> = (
+    RunOutcome<
+        <<B as NodeBuilder>::Node as Protocol>::Output,
+        <<B as NodeBuilder>::Node as Protocol>::Msg,
+    >,
+    Vec<<B as NodeBuilder>::Report>,
+);
+
+/// An executor for complete protocol runs.
+///
+/// The `Send` bounds on messages, outputs, and the observer are the union
+/// of what any implementation needs (the threaded backend moves them
+/// across threads); the sim backend does not use them.
+pub trait ExecBackend {
+    /// Runs a protocol to completion under the given adversary, like
+    /// `fba_sim::run_session` (same seed/adversary-seed split, same
+    /// observer hooks).
+    fn run<B, A, O>(
+        &self,
+        cfg: &EngineConfig,
+        master_seed: u64,
+        adversary_seed: u64,
+        adversary: &mut A,
+        builder: &B,
+        observer: &mut O,
+    ) -> RunOutcome<<B::Node as Protocol>::Output, <B::Node as Protocol>::Msg>
+    where
+        B: NodeBuilder,
+        A: Adversary<<B::Node as Protocol>::Msg> + ?Sized,
+        O: Observer<B::Node> + Send + ?Sized,
+        <B::Node as Protocol>::Msg: Send,
+        <B::Node as Protocol>::Output: Send;
+}
+
+/// The deterministic calendar engine as a backend: a thin delegation to
+/// `fba_sim::run_session` with one `Local` shared by every node.
+/// Bit-identical to calling the engine directly — pinned by the golden
+/// digests in `tests/scenario_equivalence.rs`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimBackend;
+
+impl SimBackend {
+    /// Like [`ExecBackend::run`], but also returns the run's single
+    /// [`NodeBuilder::Report`].
+    pub fn run_reporting<B, A, O>(
+        &self,
+        cfg: &EngineConfig,
+        master_seed: u64,
+        adversary_seed: u64,
+        adversary: &mut A,
+        builder: &B,
+        observer: &mut O,
+    ) -> Reported<B>
+    where
+        B: NodeBuilder,
+        A: Adversary<<B::Node as Protocol>::Msg> + ?Sized,
+        O: Observer<B::Node> + ?Sized,
+    {
+        let local = builder.local();
+        let mut session = EngineSession::new(cfg.max_delay.max(1));
+        let outcome = run_session(
+            cfg,
+            master_seed,
+            adversary_seed,
+            adversary,
+            |id| builder.node(&local, id),
+            observer,
+            &mut session,
+        );
+        (outcome, vec![builder.report(local)])
+    }
+}
+
+impl ExecBackend for SimBackend {
+    fn run<B, A, O>(
+        &self,
+        cfg: &EngineConfig,
+        master_seed: u64,
+        adversary_seed: u64,
+        adversary: &mut A,
+        builder: &B,
+        observer: &mut O,
+    ) -> RunOutcome<<B::Node as Protocol>::Output, <B::Node as Protocol>::Msg>
+    where
+        B: NodeBuilder,
+        A: Adversary<<B::Node as Protocol>::Msg> + ?Sized,
+        O: Observer<B::Node> + Send + ?Sized,
+        <B::Node as Protocol>::Msg: Send,
+        <B::Node as Protocol>::Output: Send,
+    {
+        self.run_reporting(
+            cfg,
+            master_seed,
+            adversary_seed,
+            adversary,
+            builder,
+            observer,
+        )
+        .0
+    }
+}
+
+impl BackendSpec {
+    /// Runs under the backend this spec selects, returning the outcome
+    /// and the per-executor reports (one for [`BackendSpec::Sim`], one
+    /// per shard for [`BackendSpec::Threaded`]).
+    pub fn run_reporting<B, A, O>(
+        &self,
+        cfg: &EngineConfig,
+        master_seed: u64,
+        adversary_seed: u64,
+        adversary: &mut A,
+        builder: &B,
+        observer: &mut O,
+    ) -> Reported<B>
+    where
+        B: NodeBuilder,
+        A: Adversary<<B::Node as Protocol>::Msg> + ?Sized,
+        O: Observer<B::Node> + Send + ?Sized,
+        <B::Node as Protocol>::Msg: Send,
+        <B::Node as Protocol>::Output: Send,
+    {
+        match self {
+            BackendSpec::Sim => SimBackend.run_reporting(
+                cfg,
+                master_seed,
+                adversary_seed,
+                adversary,
+                builder,
+                observer,
+            ),
+            BackendSpec::Threaded { shards } => ThreadedBackend::new(*shards).run_reporting(
+                cfg,
+                master_seed,
+                adversary_seed,
+                adversary,
+                builder,
+                observer,
+            ),
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The execution-backend spec: which executor drives a run, and with how
+//! many worker shards.
+//!
+//! Grammar (CLI flags, scenario builders, and batteries all share it):
+//!
+//! * `sim` — the deterministic calendar engine ([`crate::SimBackend`]).
+//! * `threads` — the node-parallel executor ([`crate::ThreadedBackend`])
+//!   with the default shard count (see [`default_parallelism`]).
+//! * `threads:k` — the node-parallel executor with exactly `k` shards.
+
+use std::fmt;
+use std::str::FromStr;
+
+use fba_sim::ParseSpecError;
+
+/// What a valid backend spec looks like; used in parse errors and CLI
+/// usage strings.
+pub const BACKEND_EXPECTED: &str = "sim | threads[:k]";
+
+/// Selects the execution backend for a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// The deterministic single-threaded calendar engine — bit-identical
+    /// to `fba_sim::run_session` and the substrate for every correctness
+    /// pin.
+    #[default]
+    Sim,
+    /// The threaded node-parallel executor: node shards run their
+    /// callbacks concurrently with a barrier per simulated step.
+    Threaded {
+        /// Explicit shard count; `None` defers to [`default_parallelism`]
+        /// (the `FBA_THREADS` environment variable, else the machine's
+        /// available parallelism).
+        shards: Option<usize>,
+    },
+}
+
+impl BackendSpec {
+    /// Whether this spec selects the threaded executor.
+    #[must_use]
+    pub fn is_threaded(&self) -> bool {
+        matches!(self, BackendSpec::Threaded { .. })
+    }
+
+    /// The shard count this spec resolves to for a system of `n` nodes,
+    /// applying the precedence and clamping rules of [`resolve_shards`].
+    /// [`BackendSpec::Sim`] always resolves to 1.
+    #[must_use]
+    pub fn resolved_shards(&self, n: usize) -> usize {
+        match self {
+            BackendSpec::Sim => 1,
+            BackendSpec::Threaded { shards } => resolve_shards(*shards, n),
+        }
+    }
+}
+
+impl fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendSpec::Sim => write!(f, "sim"),
+            BackendSpec::Threaded { shards: None } => write!(f, "threads"),
+            BackendSpec::Threaded { shards: Some(k) } => write!(f, "threads:{k}"),
+        }
+    }
+}
+
+impl FromStr for BackendSpec {
+    type Err = ParseSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseSpecError {
+            input: s.to_string(),
+            expected: BACKEND_EXPECTED,
+        };
+        // Same shape hardening as the adversary grammar: no whitespace,
+        // no trailing colon, no empty or extra parameters.
+        if s.is_empty() || s.chars().any(char::is_whitespace) {
+            return Err(err());
+        }
+        match s.split_once(':') {
+            None => match s {
+                "sim" => Ok(BackendSpec::Sim),
+                // `threaded` is an accepted alias: the backend is named
+                // "the threaded backend" everywhere in prose, so the CLI
+                // takes both; canonical display form stays `threads`.
+                "threads" | "threaded" => Ok(BackendSpec::Threaded { shards: None }),
+                _ => Err(err()),
+            },
+            Some(("threads" | "threaded", k)) => {
+                let shards: usize = k.parse().map_err(|_| err())?;
+                Ok(BackendSpec::Threaded {
+                    shards: Some(shards),
+                })
+            }
+            Some(_) => Err(err()),
+        }
+    }
+}
+
+/// **The** thread-count resolution rule, shared by every consumer
+/// (`ThreadedBackend`, `par_map` sweeps, the bench CLI). Precedence:
+///
+/// 1. an explicit count (a `threads:k` spec, i.e. `BackendSpec` wins);
+/// 2. the `FBA_THREADS` environment variable;
+/// 3. [`std::thread::available_parallelism`] (the machine's cores).
+///
+/// The result is clamped to `[1, n]`: a zero from any source becomes 1,
+/// and a system smaller than the requested shard count gets one shard per
+/// node rather than empty shards (clamp, never panic).
+#[must_use]
+pub fn resolve_shards(explicit: Option<usize>, n: usize) -> usize {
+    explicit
+        .unwrap_or_else(default_parallelism)
+        .clamp(1, n.max(1))
+}
+
+/// The default worker count when nothing is specified explicitly:
+/// `FBA_THREADS` if set and parseable, else the machine's available
+/// parallelism, never less than 1. Step 2–3 of the [`resolve_shards`]
+/// precedence chain.
+#[must_use]
+pub fn default_parallelism() -> usize {
+    std::env::var("FBA_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_round_trips() {
+        for (input, spec) in [
+            ("sim", BackendSpec::Sim),
+            ("threads", BackendSpec::Threaded { shards: None }),
+            ("threads:8", BackendSpec::Threaded { shards: Some(8) }),
+            ("threads:1", BackendSpec::Threaded { shards: Some(1) }),
+        ] {
+            let parsed: BackendSpec = input.parse().expect(input);
+            assert_eq!(parsed, spec, "{input}");
+            assert_eq!(parsed.to_string(), input, "{input} display");
+        }
+        // Alias form: parses, displays canonically.
+        let aliased: BackendSpec = "threaded".parse().expect("alias");
+        assert_eq!(aliased, BackendSpec::Threaded { shards: None });
+        assert_eq!(aliased.to_string(), "threads");
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "",
+            "Sim",
+            "sim:1",
+            "threads:",
+            "threads:x",
+            "threads:1,2",
+            "threads :4",
+            " sim",
+            "thread",
+            "threads:-1",
+        ] {
+            assert!(
+                bad.parse::<BackendSpec>().is_err(),
+                "`{bad}` should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_resolution_clamps_and_prefers_explicit() {
+        // Explicit beats everything and clamps to [1, n].
+        assert_eq!(resolve_shards(Some(4), 64), 4);
+        assert_eq!(resolve_shards(Some(100), 8), 8);
+        assert_eq!(resolve_shards(Some(0), 8), 1);
+        assert_eq!(resolve_shards(Some(3), 0), 1);
+        // Default path is at least 1 and at most n.
+        let d = resolve_shards(None, 2);
+        assert!((1..=2).contains(&d));
+        assert_eq!(BackendSpec::Sim.resolved_shards(64), 1);
+        assert_eq!(
+            BackendSpec::Threaded { shards: Some(6) }.resolved_shards(64),
+            6
+        );
+    }
+}

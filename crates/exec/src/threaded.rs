@@ -1,0 +1,811 @@
+//! The threaded node-parallel backend.
+//!
+//! One **coordinator** (the calling thread) owns everything globally
+//! ordered — the pending-delivery calendar, the adversary, metrics,
+//! outputs, the transcript, and scheduling — while `k` **workers** own
+//! contiguous node shards and execute protocol callbacks concurrently.
+//! Each simulated step is one job/reply round trip per worker:
+//!
+//! 1. The coordinator drains the step's due deliveries from the calendar,
+//!    records receive accounting, and partitions the resulting
+//!    `on_message` invocations by recipient shard (remembering the global
+//!    delivery order).
+//! 2. Every worker runs its shard's per-step callbacks (`on_start` /
+//!    `on_step`, in node order) and then its invocations (in delivery
+//!    order), collecting each callback's outbox and newly decided
+//!    outputs. Per-node RNG streams are `fba_sim::rng::node_rng(master,
+//!    i)` — the same streams the sim backend draws.
+//! 3. The coordinator merges outboxes back in the **sim engine's exact
+//!    order** — all per-step callbacks in node order, then deliveries in
+//!    global order — and runs the adversary turn, scheduling, decision
+//!    recording, and stop conditions verbatim via the engine's shared
+//!    helpers.
+//!
+//! The barrier per step keeps the calendar authoritative, so a run is a
+//! pure function of `(config, seeds, shard count)`. What *can* differ
+//! from the sim backend is cross-node shared state: each worker gets its
+//! own [`crate::NodeBuilder::Local`] bundle, so protocols that share
+//! arenas across nodes (AER) see per-shard arenas here. For protocols
+//! with no such sharing ([`crate::FnBuilder`]) the merge-order replay
+//! makes threaded runs bit-identical to sim runs — pinned by this
+//! module's tests.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+
+use rand_chacha::ChaCha12Rng;
+
+use fba_sim::calendar::CalendarQueue;
+use fba_sim::rng::{derive_rng, node_rng, TAG_ADVERSARY};
+use fba_sim::{
+    commit_schedule, consult_schedule, enqueue_outbox, flatten_into, Adversary, BatchBuffers,
+    Context, Delivery, Envelope, Metrics, NodeId, Observer, Outbox, Protocol, RunOutcome, Step,
+    WireSize,
+};
+
+use crate::{resolve_shards, ExecBackend, NodeBuilder};
+use fba_sim::EngineConfig;
+
+type Msg<B> = <<B as NodeBuilder>::Node as Protocol>::Msg;
+type Out<B> = <<B as NodeBuilder>::Node as Protocol>::Output;
+
+/// One `on_message` invocation routed to a worker.
+struct Inv<M> {
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+/// Coordinator → worker.
+enum Job<M> {
+    /// Run one simulated step: per-step callbacks, then these deliveries.
+    Step {
+        step: Step,
+        invocations: Vec<Inv<M>>,
+    },
+    /// The run is over: call `Observer::on_final` for surviving nodes
+    /// (serialized by the coordinator) and return the shard report.
+    Finalize,
+}
+
+/// A worker's results for one step. Outboxes travel as one flat buffer
+/// per phase plus group lengths, avoiding per-callback allocations.
+struct StepReply<M, O> {
+    /// `(sender, outbox len)` for every per-step callback that sent
+    /// something, in node order.
+    cb_senders: Vec<(NodeId, u32)>,
+    cb_flat: Vec<(NodeId, M)>,
+    /// One outbox length per invocation, in invocation order.
+    msg_lens: Vec<u32>,
+    msg_flat: Vec<(NodeId, M)>,
+    /// Nodes that decided this step, in node order.
+    decided: Vec<(NodeId, O)>,
+}
+
+/// Worker → coordinator.
+enum Reply<M, O, R> {
+    Step(usize, StepReply<M, O>),
+    Final(usize, R),
+}
+
+/// The threaded node-parallel executor. See the module docs for the
+/// protocol between coordinator and workers, and the crate docs for the
+/// determinism contract.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadedBackend {
+    shards: Option<usize>,
+}
+
+impl ThreadedBackend {
+    /// Creates a backend with an explicit shard count, or `None` to defer
+    /// to [`crate::default_parallelism`].
+    #[must_use]
+    pub fn new(shards: Option<usize>) -> Self {
+        ThreadedBackend { shards }
+    }
+
+    /// The worker count a run over `n` nodes will actually use:
+    /// [`resolve_shards`] precedence, clamped to `[1, n]`.
+    #[must_use]
+    pub fn resolved_shards(&self, n: usize) -> usize {
+        resolve_shards(self.shards, n)
+    }
+
+    /// Like [`ExecBackend::run`], but also returns every shard's
+    /// [`NodeBuilder::Report`], in shard order.
+    pub fn run_reporting<B, A, O>(
+        &self,
+        cfg: &EngineConfig,
+        master_seed: u64,
+        adversary_seed: u64,
+        adversary: &mut A,
+        builder: &B,
+        observer: &mut O,
+    ) -> crate::Reported<B>
+    where
+        B: NodeBuilder,
+        A: Adversary<Msg<B>> + ?Sized,
+        O: Observer<B::Node> + Send + ?Sized,
+        Msg<B>: Send,
+        Out<B>: Send,
+    {
+        let n = cfg.n;
+        let header_bits = cfg.effective_header_bits();
+
+        let mut adv_rng: ChaCha12Rng = derive_rng(adversary_seed, &[TAG_ADVERSARY]);
+        let corrupt = adversary.corrupt(n, &mut adv_rng);
+        assert!(
+            corrupt.iter().all(|id| id.index() < n),
+            "adversary corrupted out-of-range node"
+        );
+
+        let shards = Shards::new(n, self.resolved_shards(n));
+        let k = shards.k;
+
+        let mut metrics = Metrics::new(n, &corrupt);
+        let mut outputs: BTreeMap<NodeId, Out<B>> = BTreeMap::new();
+        let mut undecided = n - corrupt.len();
+
+        let max_delay = cfg.max_delay.max(1);
+        let mut transcript: Vec<Envelope<Msg<B>>> = Vec::new();
+
+        // The coordinator's own scratch — same roles as `EngineSession`.
+        let mut pending: CalendarQueue<Delivery<Msg<B>>> = CalendarQueue::new(max_delay);
+        let mut sends: Vec<Delivery<Msg<B>>> = Vec::new();
+        let mut due: Vec<Delivery<Msg<B>>> = Vec::new();
+        let mut sched_buf: Vec<(Step, i64)> = Vec::new();
+        let mut flat: Vec<Envelope<Msg<B>>> = Vec::new();
+        let mut pool: Vec<BatchBuffers<Msg<B>>> = Vec::new();
+        let mut outbox_scratch: Vec<(NodeId, Msg<B>)> = Vec::new();
+        // Per delivered message: which shard ran it and who received it,
+        // in global delivery order — the merge key for phase 2.
+        let mut order: Vec<(u32, NodeId)> = Vec::new();
+
+        let batching = cfg.batch;
+        let batch_limit = cfg.batch_limit;
+        let rushing = adversary.rushing();
+        let consults = adversary.schedules();
+        let observes = adversary.observes();
+        let step_view = observer.wants_step_sends();
+
+        // Workers call `on_final` (under coordinator serialization), so
+        // the observer lives behind a mutex for the run's duration.
+        let observer: Mutex<&mut O> = Mutex::new(observer);
+
+        let mut all_decided_at: Option<Step> = None;
+        let mut drain_started_at: Option<Step> = None;
+        let mut quiescent = false;
+
+        let reports: Vec<B::Report> = thread::scope(|scope| {
+            let (reply_tx, reply_rx) = mpsc::channel::<Reply<Msg<B>, Out<B>, B::Report>>();
+            let mut job_txs: Vec<Sender<Job<Msg<B>>>> = Vec::with_capacity(k);
+            for s in 0..k {
+                let (job_tx, job_rx) = mpsc::channel::<Job<Msg<B>>>();
+                job_txs.push(job_tx);
+                let reply_tx = reply_tx.clone();
+                let (lo, hi) = shards.range(s);
+                let corrupt = &corrupt;
+                let observer = &observer;
+                scope.spawn(move || {
+                    worker_loop(
+                        builder,
+                        observer,
+                        WorkerSlot {
+                            shard: s,
+                            n,
+                            lo,
+                            hi,
+                            master_seed,
+                        },
+                        corrupt,
+                        &job_rx,
+                        &reply_tx,
+                    );
+                });
+            }
+            drop(reply_tx);
+
+            let mut inv_lists: Vec<Vec<Inv<Msg<B>>>> = (0..k).map(|_| Vec::new()).collect();
+            let mut replies: Vec<Option<StepReply<Msg<B>, Out<B>>>> =
+                (0..k).map(|_| None).collect();
+
+            let mut step: Step = 0;
+            loop {
+                let draining = all_decided_at.is_some();
+                sends.clear();
+
+                // 1+2 dispatch. Due deliveries were all scheduled at
+                // earlier steps, so they are fully known here; receive
+                // accounting happens coordinator-side in delivery order,
+                // exactly like the sim engine's delivery loop.
+                pending.drain_due(step, &mut due);
+                order.clear();
+                for delivery in due.drain(..) {
+                    match delivery {
+                        Delivery::One(env) => {
+                            metrics.record_recv(env.to, env.total_bits(header_bits));
+                            if !corrupt.contains(&env.to) {
+                                let s = shards.of(env.to.index());
+                                order.push((s as u32, env.to));
+                                inv_lists[s].push(Inv {
+                                    from: env.from,
+                                    to: env.to,
+                                    msg: env.msg,
+                                });
+                            }
+                        }
+                        Delivery::Batch(batch) => {
+                            let from = batch.from;
+                            for (msg, recipients) in batch.runs() {
+                                let bits = header_bits + msg.wire_bits();
+                                for &to in recipients {
+                                    metrics.record_recv(to, bits);
+                                    if !corrupt.contains(&to) {
+                                        let s = shards.of(to.index());
+                                        order.push((s as u32, to));
+                                        inv_lists[s].push(Inv {
+                                            from,
+                                            to,
+                                            msg: msg.clone(),
+                                        });
+                                    }
+                                }
+                            }
+                            pool.push(batch.into_buffers());
+                        }
+                    }
+                }
+                for (s, tx) in job_txs.iter().enumerate() {
+                    tx.send(Job::Step {
+                        step,
+                        invocations: std::mem::take(&mut inv_lists[s]),
+                    })
+                    .expect("worker alive");
+                }
+                for _ in 0..k {
+                    match reply_rx.recv().expect("worker reply") {
+                        Reply::Step(s, r) => replies[s] = Some(r),
+                        Reply::Final(..) => unreachable!("no finalize outstanding"),
+                    }
+                }
+
+                // Merge, replaying the sim engine's send order: first
+                // every per-step callback outbox in node order (shards
+                // are contiguous ascending ranges, so shard order is node
+                // order) …
+                let mut msg_cursors = Vec::with_capacity(k);
+                let mut decided_lists = Vec::with_capacity(k);
+                for slot in &mut replies {
+                    let r = slot.take().expect("one reply per shard");
+                    let mut cb_flat = r.cb_flat.into_iter();
+                    for (id, len) in r.cb_senders {
+                        outbox_scratch.extend(cb_flat.by_ref().take(len as usize));
+                        enqueue_outbox(
+                            id,
+                            step,
+                            batching,
+                            batch_limit,
+                            header_bits,
+                            &mut outbox_scratch,
+                            &mut metrics,
+                            &mut pool,
+                            &mut sends,
+                        );
+                    }
+                    msg_cursors.push((r.msg_lens.into_iter(), r.msg_flat.into_iter()));
+                    decided_lists.push(r.decided);
+                }
+                // … then every delivery outbox in global delivery order.
+                for &(s, to) in &order {
+                    let (lens, flat_msgs) = &mut msg_cursors[s as usize];
+                    let len = lens.next().expect("one outbox group per invocation") as usize;
+                    if len == 0 {
+                        continue;
+                    }
+                    outbox_scratch.extend(flat_msgs.by_ref().take(len));
+                    enqueue_outbox(
+                        to,
+                        step,
+                        batching,
+                        batch_limit,
+                        header_bits,
+                        &mut outbox_scratch,
+                        &mut metrics,
+                        &mut pool,
+                        &mut sends,
+                    );
+                }
+
+                // 3. Adversary turn — identical to the sim engine.
+                if !draining {
+                    let rushing_view: Option<&[Envelope<Msg<B>>]> = if rushing {
+                        flatten_into(&sends, &mut flat);
+                        Some(&flat)
+                    } else {
+                        None
+                    };
+                    let mut out = Outbox::new(&corrupt, n);
+                    adversary.act(step, rushing_view, &mut out);
+                    for (from, to, msg) in out.into_sends() {
+                        metrics.record_send(from, header_bits + msg.wire_bits());
+                        sends.push(Delivery::One(Envelope {
+                            from,
+                            to,
+                            sent_at: step,
+                            msg,
+                        }));
+                    }
+                }
+
+                // 4. Scheduling, via the engine's shared helpers.
+                let consult_now = consults && !draining;
+                if consult_now || observes || step_view || cfg.record_transcript {
+                    flatten_into(&sends, &mut flat);
+                }
+                sched_buf.clear();
+                let uniform = if consult_now {
+                    consult_schedule(adversary, max_delay, &flat, &mut sched_buf)
+                } else {
+                    Some(1)
+                };
+                if observes {
+                    adversary.observe(step, &flat);
+                }
+                if step_view {
+                    observer.lock().expect("observer").on_step(step, &flat);
+                }
+                if cfg.record_transcript {
+                    transcript.extend(flat.iter().cloned());
+                }
+                commit_schedule(
+                    &mut pending,
+                    step,
+                    uniform,
+                    &mut sends,
+                    &mut flat,
+                    &sched_buf,
+                    &mut pool,
+                );
+
+                // 5. Decision tracking: workers polled their shards in
+                // node order; shard-order concatenation is node order.
+                for list in &mut decided_lists {
+                    for (id, out) in list.drain(..) {
+                        undecided -= 1;
+                        metrics.record_decision(id, step);
+                        observer
+                            .lock()
+                            .expect("observer")
+                            .on_decision(id, step, &out);
+                        outputs.insert(id, out);
+                    }
+                }
+                if undecided == 0 && all_decided_at.is_none() {
+                    all_decided_at = Some(step);
+                    drain_started_at = Some(step);
+                }
+
+                // 6. Stop conditions — identical to the sim engine.
+                metrics.steps = step;
+                if let Some(started) = drain_started_at {
+                    if pending.is_empty() {
+                        quiescent = true;
+                        break;
+                    }
+                    if step >= started + cfg.drain_steps {
+                        break;
+                    }
+                }
+                if step >= cfg.max_steps {
+                    break;
+                }
+                step += 1;
+            }
+
+            // Final observer pass: shard by shard in order, one at a
+            // time, so `on_final` sees nodes in ascending id order just
+            // like the sim engine.
+            let mut reports: Vec<B::Report> = Vec::with_capacity(k);
+            for (s, tx) in job_txs.iter().enumerate() {
+                tx.send(Job::Finalize).expect("worker alive");
+                match reply_rx.recv().expect("final reply") {
+                    Reply::Final(rs, report) => {
+                        assert_eq!(rs, s, "finalize replies arrive in shard order");
+                        reports.push(report);
+                    }
+                    Reply::Step(..) => unreachable!("no step outstanding"),
+                }
+            }
+            reports
+        });
+
+        (
+            RunOutcome {
+                metrics,
+                outputs,
+                corrupt,
+                all_decided_at,
+                quiescent,
+                transcript,
+            },
+            reports,
+        )
+    }
+}
+
+impl ExecBackend for ThreadedBackend {
+    fn run<B, A, O>(
+        &self,
+        cfg: &EngineConfig,
+        master_seed: u64,
+        adversary_seed: u64,
+        adversary: &mut A,
+        builder: &B,
+        observer: &mut O,
+    ) -> RunOutcome<Out<B>, Msg<B>>
+    where
+        B: NodeBuilder,
+        A: Adversary<Msg<B>> + ?Sized,
+        O: Observer<B::Node> + Send + ?Sized,
+        Msg<B>: Send,
+        Out<B>: Send,
+    {
+        self.run_reporting(
+            cfg,
+            master_seed,
+            adversary_seed,
+            adversary,
+            builder,
+            observer,
+        )
+        .0
+    }
+}
+
+/// Balanced contiguous node partition: shard `s < n % k` gets
+/// `⌈n / k⌉` nodes, the rest get `⌊n / k⌋`, all in ascending id order.
+struct Shards {
+    k: usize,
+    base: usize,
+    rem: usize,
+}
+
+impl Shards {
+    fn new(n: usize, k: usize) -> Self {
+        let k = k.clamp(1, n.max(1));
+        Shards {
+            k,
+            base: n / k,
+            rem: n % k,
+        }
+    }
+
+    /// `[lo, hi)` node index range of shard `s`.
+    fn range(&self, s: usize) -> (usize, usize) {
+        let lo = if s < self.rem {
+            s * (self.base + 1)
+        } else {
+            self.rem * (self.base + 1) + (s - self.rem) * self.base
+        };
+        let hi = lo + self.base + usize::from(s < self.rem);
+        (lo, hi)
+    }
+
+    /// Which shard owns node index `i`.
+    fn of(&self, i: usize) -> usize {
+        let wide = self.rem * (self.base + 1);
+        if i < wide {
+            i / (self.base + 1)
+        } else {
+            self.rem + (i - wide) / self.base
+        }
+    }
+}
+
+/// The per-worker constants of one shard.
+struct WorkerSlot {
+    shard: usize,
+    n: usize,
+    lo: usize,
+    hi: usize,
+    master_seed: u64,
+}
+
+fn worker_loop<B, O>(
+    builder: &B,
+    observer: &Mutex<&mut O>,
+    slot: WorkerSlot,
+    corrupt: &BTreeSet<NodeId>,
+    jobs: &Receiver<Job<Msg<B>>>,
+    replies: &Sender<Reply<Msg<B>, Out<B>, B::Report>>,
+) where
+    B: NodeBuilder,
+    O: Observer<B::Node> + Send + ?Sized,
+    Msg<B>: Send,
+    Out<B>: Send,
+{
+    let WorkerSlot {
+        shard,
+        n,
+        lo,
+        hi,
+        master_seed,
+    } = slot;
+    let local = builder.local();
+    let mut nodes: Vec<Option<B::Node>> = (lo..hi)
+        .map(|i| {
+            let id = NodeId::from_index(i);
+            if corrupt.contains(&id) {
+                None
+            } else {
+                Some(builder.node(&local, id))
+            }
+        })
+        .collect();
+    // The same seed-derived per-node streams the sim engine draws.
+    let mut rngs: Vec<ChaCha12Rng> = (lo..hi).map(|i| node_rng(master_seed, i)).collect();
+    let mut decided = vec![false; hi - lo];
+    let mut undecided = nodes.iter().filter(|node| node.is_some()).count();
+    let mut outbox: Vec<(NodeId, Msg<B>)> = Vec::new();
+
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Step { step, invocations } => {
+                let mut reply = StepReply {
+                    cb_senders: Vec::new(),
+                    cb_flat: Vec::new(),
+                    msg_lens: Vec::with_capacity(invocations.len()),
+                    msg_flat: Vec::new(),
+                    decided: Vec::new(),
+                };
+                for li in 0..(hi - lo) {
+                    let Some(node) = nodes[li].as_mut() else {
+                        continue;
+                    };
+                    let id = NodeId::from_index(lo + li);
+                    let mut ctx = Context::new(id, n, step, &mut rngs[li], &mut outbox);
+                    if step == 0 {
+                        node.on_start(&mut ctx);
+                    } else {
+                        node.on_step(&mut ctx);
+                    }
+                    if !outbox.is_empty() {
+                        reply.cb_senders.push((id, outbox.len() as u32));
+                        reply.cb_flat.append(&mut outbox);
+                    }
+                }
+                for inv in invocations {
+                    let li = inv.to.index() - lo;
+                    let node = nodes[li]
+                        .as_mut()
+                        .expect("invocations target correct nodes");
+                    let mut ctx = Context::new(inv.to, n, step, &mut rngs[li], &mut outbox);
+                    node.on_message(inv.from, inv.msg, &mut ctx);
+                    reply.msg_lens.push(outbox.len() as u32);
+                    reply.msg_flat.append(&mut outbox);
+                }
+                if undecided > 0 {
+                    for li in 0..(hi - lo) {
+                        if decided[li] {
+                            continue;
+                        }
+                        if let Some(node) = nodes[li].as_ref() {
+                            if let Some(out) = node.output() {
+                                decided[li] = true;
+                                undecided -= 1;
+                                reply.decided.push((NodeId::from_index(lo + li), out));
+                            }
+                        }
+                    }
+                }
+                replies
+                    .send(Reply::Step(shard, reply))
+                    .expect("coordinator alive");
+            }
+            Job::Finalize => {
+                {
+                    let mut obs = observer.lock().expect("observer");
+                    for (li, node) in nodes.iter().enumerate() {
+                        if let Some(node) = node {
+                            obs.on_final(NodeId::from_index(lo + li), node);
+                        }
+                    }
+                }
+                replies
+                    .send(Reply::Final(shard, builder.report(local)))
+                    .expect("coordinator alive");
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnBuilder, SimBackend};
+    use fba_sim::{NoAdversary, NullObserver, SilentAdversary};
+
+    /// Every node broadcasts its id at start and acknowledges every push
+    /// it receives; it decides on the sum of ids heard plus the count of
+    /// acks once both are non-zero. Exercises fan-out (batching), reply
+    /// traffic, and per-node RNG draws.
+    struct Chatter {
+        id: NodeId,
+        n: usize,
+        heard: u64,
+        replies: u64,
+        noise: u64,
+    }
+
+    impl Protocol for Chatter {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            use rand::Rng;
+            self.noise = ctx.rng().gen();
+            let msg = self.id.index() as u64;
+            for i in 0..self.n {
+                if i != self.id.index() {
+                    ctx.send(NodeId::from_index(i), msg);
+                }
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut Context<'_, u64>) {
+            if msg == u64::MAX {
+                self.replies += 1;
+                return;
+            }
+            self.heard += msg;
+            ctx.send(from, u64::MAX);
+        }
+
+        fn output(&self) -> Option<u64> {
+            (self.heard > 0 && self.replies > 0)
+                .then(|| self.heard + self.replies + (self.noise & 1))
+        }
+    }
+
+    fn chatter(n: usize) -> FnBuilder<impl Fn(NodeId) -> Chatter + Sync> {
+        FnBuilder(move |id| Chatter {
+            id,
+            n,
+            heard: 0,
+            replies: 0,
+            noise: 0,
+        })
+    }
+
+    fn assert_same_run(label: &str, a: &RunOutcome<u64, u64>, b: &RunOutcome<u64, u64>, n: usize) {
+        assert_eq!(a.outputs, b.outputs, "{label}: outputs");
+        assert_eq!(a.corrupt, b.corrupt, "{label}: corrupt");
+        assert_eq!(a.all_decided_at, b.all_decided_at, "{label}: decision step");
+        assert_eq!(a.quiescent, b.quiescent, "{label}: quiescence");
+        assert_eq!(a.metrics, b.metrics, "{label}: per-node metrics");
+        assert_eq!(a.transcript, b.transcript, "{label}: transcript");
+        let _ = n;
+    }
+
+    #[test]
+    fn shared_state_free_protocols_are_bit_identical_to_sim() {
+        // With `Local = ()` the merge-order replay makes every shard
+        // count reproduce the sim run bit for bit — transcript and
+        // per-node metrics included — across batching lanes, timing
+        // models, and a fault adversary.
+        for n in [7, 24, 64] {
+            for batch in [false, true] {
+                for max_delay in [1, 3] {
+                    let cfg = EngineConfig {
+                        record_transcript: true,
+                        batch,
+                        ..EngineConfig::asynchronous(n, max_delay)
+                    };
+                    let builder = chatter(n);
+                    let sim = SimBackend
+                        .run_reporting(
+                            &cfg,
+                            42,
+                            42,
+                            &mut SilentAdversary::new(n / 8),
+                            &builder,
+                            &mut NullObserver,
+                        )
+                        .0;
+                    for shards in [1, 2, 3, 8] {
+                        let threaded = ThreadedBackend::new(Some(shards))
+                            .run_reporting(
+                                &cfg,
+                                42,
+                                42,
+                                &mut SilentAdversary::new(n / 8),
+                                &builder,
+                                &mut NullObserver,
+                            )
+                            .0;
+                        assert_same_run(
+                            &format!("n={n} batch={batch} delay={max_delay} shards={shards}"),
+                            &threaded,
+                            &sim,
+                            n,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_runs_are_deterministic() {
+        let cfg = EngineConfig::sync(32);
+        let builder = chatter(32);
+        let backend = ThreadedBackend::new(Some(4));
+        let a = backend
+            .run_reporting(&cfg, 7, 7, &mut NoAdversary, &builder, &mut NullObserver)
+            .0;
+        let b = backend
+            .run_reporting(&cfg, 7, 7, &mut NoAdversary, &builder, &mut NullObserver)
+            .0;
+        assert_same_run("repeat", &a, &b, 32);
+    }
+
+    #[test]
+    fn shard_partition_is_balanced_and_consistent() {
+        for n in [1, 2, 7, 16, 65] {
+            for k in [1, 2, 3, 8, 64, 100] {
+                let shards = Shards::new(n, k);
+                let mut covered = 0;
+                for s in 0..shards.k {
+                    let (lo, hi) = shards.range(s);
+                    assert_eq!(lo, covered, "n={n} k={k} s={s}: contiguous");
+                    assert!(hi > lo, "n={n} k={k} s={s}: non-empty");
+                    for i in lo..hi {
+                        assert_eq!(shards.of(i), s, "n={n} k={k} i={i}");
+                    }
+                    covered = hi;
+                }
+                assert_eq!(covered, n, "n={n} k={k}: total coverage");
+            }
+        }
+    }
+
+    #[test]
+    fn observer_hooks_fire_in_node_order() {
+        // `on_decision` and `on_final` must arrive in ascending id order
+        // exactly like the sim engine, even with callbacks spread over
+        // multiple workers.
+        struct OrderCheck {
+            decisions: Vec<NodeId>,
+            finals: Vec<NodeId>,
+        }
+        impl Observer<Chatter> for OrderCheck {
+            fn on_decision(&mut self, id: NodeId, _step: Step, _out: &u64) {
+                self.decisions.push(id);
+            }
+            fn on_final(&mut self, id: NodeId, _node: &Chatter) {
+                self.finals.push(id);
+            }
+            fn wants_step_sends(&self) -> bool {
+                false
+            }
+        }
+        let n = 16;
+        let mut obs = OrderCheck {
+            decisions: Vec::new(),
+            finals: Vec::new(),
+        };
+        let cfg = EngineConfig::sync(n);
+        ThreadedBackend::new(Some(3)).run(&cfg, 5, 5, &mut NoAdversary, &chatter(n), &mut obs);
+        let sorted_finals: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+        assert_eq!(obs.finals, sorted_finals, "on_final order");
+        assert_eq!(obs.decisions.len(), n, "every node decides");
+        // Decisions within one step arrive in id order; all nodes decide
+        // at the same step here, so the whole list is sorted.
+        let mut sorted = obs.decisions.clone();
+        sorted.sort();
+        assert_eq!(obs.decisions, sorted, "on_decision order");
+    }
+}

@@ -508,18 +508,11 @@ where
             flatten_into(sends, flat);
         }
         sched_buf.clear();
-        let mut uniform: Option<Step> = Some(1);
-        if consult_now {
-            for env in flat.iter() {
-                let delay = adversary.delay(env).clamp(1, max_delay);
-                let priority = adversary.priority(env);
-                uniform = match uniform {
-                    Some(d) if priority == 0 && (d == delay || sched_buf.is_empty()) => Some(delay),
-                    _ => None,
-                };
-                sched_buf.push((delay, priority));
-            }
-        }
+        let uniform = if consult_now {
+            consult_schedule(adversary, max_delay, flat, sched_buf)
+        } else {
+            Some(1)
+        };
         if observes {
             adversary.observe(step, flat);
         }
@@ -529,25 +522,7 @@ where
         if cfg.record_transcript {
             transcript.extend(flat.iter().cloned());
         }
-        match uniform {
-            // Common case (synchronous timing or a non-scheduling
-            // adversary): one vector swap moves the whole step's sends —
-            // batches included — into the ring slot.
-            Some(delay) if !sends.is_empty() => pending.schedule_bulk(step, delay, sends),
-            _ => {
-                // Non-uniform schedule: fall back to per-envelope keyed
-                // scheduling. `flat` already holds the logical envelopes in
-                // send order; recycle any batch buffers.
-                for delivery in sends.drain(..) {
-                    if let Delivery::Batch(batch) = delivery {
-                        pool.push(batch.into_buffers());
-                    }
-                }
-                for (env, &(delay, priority)) in flat.drain(..).zip(sched_buf.iter()) {
-                    pending.schedule(step, delay, priority, Delivery::One(env));
-                }
-            }
-        }
+        commit_schedule(pending, step, uniform, sends, flat, sched_buf, pool);
 
         // 5. Decision tracking.
         if undecided > 0 {
@@ -610,8 +585,13 @@ where
 /// messages queued, the outbox becomes one (or, under `batch_limit`,
 /// several) [`Batch`] deliveries built on recycled buffers from `pool`;
 /// otherwise every message ships as its own envelope.
+///
+/// Public because it is the send half of the step contract every execution
+/// backend must honour: the threaded backend (`fba-exec`) enqueues worker
+/// outboxes through this exact function so framing, batch boundaries, and
+/// send accounting match the calendar engine bit for bit.
 #[allow(clippy::too_many_arguments)] // engine-internal plumbing of the step loop's scratch state
-fn enqueue_outbox<M: Clone + PartialEq + WireSize>(
+pub fn enqueue_outbox<M: Clone + PartialEq + WireSize>(
     from: NodeId,
     step: Step,
     batching: bool,
@@ -666,10 +646,68 @@ fn seal_batch<M: Clone + PartialEq + WireSize>(
     sends.push(Delivery::Batch(batch));
 }
 
+/// Consults a scheduling adversary for every logical envelope of the
+/// step's flattened send view, in send order: delay (clamped to
+/// `[1, max_delay]`) then priority, pushed onto `sched_buf` (which the
+/// caller has cleared). Returns `Some(delay)` when every envelope got the
+/// same delay at priority 0 — the bulk-lane fast path — and `None` when
+/// the schedule is non-uniform and deliveries must be keyed individually.
+///
+/// Shared verbatim by [`run_session`] and the threaded backend so stateful
+/// scheduling adversaries see an identical call sequence on both.
+pub fn consult_schedule<M: Clone, A: Adversary<M> + ?Sized>(
+    adversary: &mut A,
+    max_delay: Step,
+    flat: &[Envelope<M>],
+    sched_buf: &mut Vec<(Step, i64)>,
+) -> Option<Step> {
+    let mut uniform: Option<Step> = Some(1);
+    for env in flat {
+        let delay = adversary.delay(env).clamp(1, max_delay);
+        let priority = adversary.priority(env);
+        uniform = match uniform {
+            Some(d) if priority == 0 && (d == delay || sched_buf.is_empty()) => Some(delay),
+            _ => None,
+        };
+        sched_buf.push((delay, priority));
+    }
+    uniform
+}
+
+/// Moves a step's sends into the pending-delivery calendar. With a uniform
+/// schedule (`uniform = Some(delay)`, the common case) one vector swap
+/// moves the whole step's sends — batches included — into the ring slot;
+/// otherwise deliveries are keyed per envelope from `flat` and `sched_buf`
+/// (as filled by [`consult_schedule`]), recycling batch buffers into
+/// `pool`. The commit half of the step contract shared with `fba-exec`.
+pub fn commit_schedule<M: Clone>(
+    pending: &mut CalendarQueue<Delivery<M>>,
+    step: Step,
+    uniform: Option<Step>,
+    sends: &mut Vec<Delivery<M>>,
+    flat: &mut Vec<Envelope<M>>,
+    sched_buf: &[(Step, i64)],
+    pool: &mut Vec<BatchBuffers<M>>,
+) {
+    match uniform {
+        Some(delay) if !sends.is_empty() => pending.schedule_bulk(step, delay, sends),
+        _ => {
+            for delivery in sends.drain(..) {
+                if let Delivery::Batch(batch) = delivery {
+                    pool.push(batch.into_buffers());
+                }
+            }
+            for (env, &(delay, priority)) in flat.drain(..).zip(sched_buf.iter()) {
+                pending.schedule(step, delay, priority, Delivery::One(env));
+            }
+        }
+    }
+}
+
 /// Rebuilds the per-envelope view of a step's sends, in logical send
 /// order — what rushing adversaries, schedulers, observers, and the
 /// transcript are shown regardless of batching.
-fn flatten_into<M: Clone>(sends: &[Delivery<M>], flat: &mut Vec<Envelope<M>>) {
+pub fn flatten_into<M: Clone>(sends: &[Delivery<M>], flat: &mut Vec<Envelope<M>>) {
     flat.clear();
     for delivery in sends {
         match delivery {

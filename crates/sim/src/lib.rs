@@ -72,6 +72,18 @@
 //!   counters prove the persistence is real rather than silently
 //!   rebuilt. Arrival schedules only move service-clock bookkeeping,
 //!   never outcomes.
+//! * **Execution backends** — the step loop's building blocks
+//!   ([`enqueue_outbox`], [`flatten_into`], [`consult_schedule`],
+//!   [`commit_schedule`]) are public so alternative executors can share
+//!   them. The `fba-exec` crate ships two: `SimBackend`, which *is*
+//!   [`run_session`] (bit-identical, the substrate for every correctness
+//!   pin), and `ThreadedBackend`, which shards nodes across worker
+//!   threads with a barrier per simulated step. The threaded backend
+//!   replays the same per-node RNG streams and the same cross-shard merge
+//!   order, but protocol state shared *between* nodes (the AER arenas) is
+//!   per-shard there, so only outcome-level invariants — not transcripts
+//!   or bit counts — are contractual across backends; see the `fba-exec`
+//!   crate docs.
 //!
 //! ## Quick example
 //!
@@ -126,8 +138,8 @@ pub mod tuning;
 
 pub use adversary::{choose_corrupt, Adversary, NoAdversary, Outbox, SilentAdversary};
 pub use engine::{
-    batch_env_default, run, run_inspect, run_observed, run_session, EngineConfig, EngineSession,
-    RunOutcome,
+    batch_env_default, commit_schedule, consult_schedule, enqueue_outbox, flatten_into, run,
+    run_inspect, run_observed, run_session, EngineConfig, EngineSession, RunOutcome,
 };
 pub use ids::{all_nodes, ceil_log2, ln_at_least_one, NodeId, Step};
 pub use message::{Batch, BatchBuffers, Delivery, Envelope, WireSize};
