@@ -31,9 +31,10 @@
 //! relative to the full KSSV06 construction (notably: claim verification
 //! is value-seeded rather than grinding-resistant).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use fba_samplers::GString;
+use fba_sim::fxhash::FxHashMap;
 use fba_sim::rng::{mix, splitmix64};
 use fba_sim::{Context, NodeId, Protocol, Step, WireSize};
 use rand::Rng;
@@ -162,7 +163,7 @@ pub struct AeNode {
     /// Agreed group values along this node's lineage, by level.
     lineage: Vec<Option<u64>>,
     /// Sibling value claims: (level, idx) → sender → claimed value.
-    claims: HashMap<(u32, u32), BTreeMap<NodeId, u64>>,
+    claims: FxHashMap<(u32, u32), BTreeMap<NodeId, u64>>,
     /// Diffusion claims: sender → gstring.
     diffuse_claims: BTreeMap<NodeId, GString>,
     /// Final output.
@@ -185,7 +186,7 @@ impl AeNode {
             root_contribs: BTreeMap::new(),
             root_echoes: BTreeMap::new(),
             lineage: vec![None; levels],
-            claims: HashMap::new(),
+            claims: FxHashMap::default(),
             diffuse_claims: BTreeMap::new(),
             output: None,
         }

@@ -14,7 +14,7 @@
 //!   the `Θ(n)`-time counterpoint motivating randomized BA.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod benor;
 mod flood;

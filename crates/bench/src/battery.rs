@@ -41,6 +41,7 @@
 //! ```
 
 use std::any::Any;
+// paperlint: allow(D2) grid-cache lock; cells are pure (point, seed) functions, lock order invisible
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -327,6 +328,7 @@ impl<P, O> std::fmt::Debug for Battery<P, O> {
 }
 
 type CacheSlot = (String, Scope, Arc<dyn Any + Send + Sync>);
+// paperlint: allow(D2) cache of finished grids keyed by (key, scope); hits return identical data
 static GRID_CACHE: OnceLock<Mutex<Vec<CacheSlot>>> = OnceLock::new();
 
 impl<P, O> Battery<P, O>
@@ -581,6 +583,7 @@ where
         let Some(key) = &self.cache_key else {
             return Arc::new(self.compute(scope));
         };
+        // paperlint: allow(D2) grid-cache initialisation; see GRID_CACHE
         let cache = GRID_CACHE.get_or_init(|| Mutex::new(Vec::new()));
         {
             let guard = cache.lock().expect("battery grid cache");

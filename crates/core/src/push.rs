@@ -8,9 +8,7 @@
 //! work only through quorums they already control (Lemma 4 bounds the
 //! total damage to `O(n)` candidate-list entries system-wide).
 
-use std::collections::HashMap;
-
-use fba_sim::fxhash::FxHashSet;
+use fba_sim::fxhash::{FxHashMap, FxHashSet};
 
 use fba_samplers::{GString, QuorumScheme, SetSlot, SharedQuorumCache, SlotMasks, StringKey};
 use fba_sim::NodeId;
@@ -169,7 +167,7 @@ pub fn push_targets(scheme: &QuorumScheme, assignments: &[GString]) -> Vec<Vec<N
         n,
         "one initial candidate per node required"
     );
-    let mut by_key: HashMap<StringKey, Vec<usize>> = HashMap::new();
+    let mut by_key: FxHashMap<StringKey, Vec<usize>> = FxHashMap::default();
     for (i, s) in assignments.iter().enumerate() {
         by_key.entry(s.key()).or_default().push(i);
     }

@@ -46,7 +46,7 @@
 //! `[1, n]`).
 
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod spec;
 mod threaded;

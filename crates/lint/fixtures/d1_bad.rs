@@ -1,0 +1,12 @@
+//! D1 violating fixture: a randomized-hasher container in protocol code.
+
+use std::collections::HashMap;
+
+/// Counts votes per sender — on a map whose iteration order varies per run.
+pub fn tally(votes: &[(u32, u32)]) -> HashMap<u32, u32> {
+    let mut counts = HashMap::new();
+    for &(sender, _) in votes {
+        *counts.entry(sender).or_insert(0) += 1;
+    }
+    counts
+}

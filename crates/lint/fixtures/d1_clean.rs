@@ -1,0 +1,18 @@
+//! D1 clean fixture: keyless-hash and ordered containers only, plus the
+//! `hash_map::Entry` near-miss (names the module, not the container).
+
+use std::collections::hash_map::Entry;
+use std::collections::BTreeMap;
+
+use fba_sim::fxhash::FxHashMap;
+
+/// Counts votes per sender deterministically.
+pub fn tally(votes: &[(u32, u32)]) -> BTreeMap<u32, u32> {
+    let mut counts = BTreeMap::new();
+    let mut fast: FxHashMap<u32, u32> = FxHashMap::default();
+    for &(sender, _) in votes {
+        *counts.entry(sender).or_insert(0) += 1;
+        *fast.entry(sender).or_insert(0) += 1;
+    }
+    counts
+}

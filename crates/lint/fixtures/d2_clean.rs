@@ -1,0 +1,7 @@
+//! D2 clean fixture: single-threaded, and `thread` as a plain identifier
+//! (a near-miss the token matcher must not flag).
+
+/// Sums sequentially; `thread` here is just a variable name.
+pub fn fan_in(jobs: &[u64], thread: usize) -> u64 {
+    jobs.iter().sum::<u64>() + thread as u64
+}

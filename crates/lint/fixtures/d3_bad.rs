@@ -1,0 +1,9 @@
+//! D3 violating fixture: wall-clock reads in deterministic code.
+
+use std::time::Instant;
+
+/// Times a phase on the host clock — a run-to-run variable.
+pub fn timed_phase() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}

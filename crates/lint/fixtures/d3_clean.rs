@@ -1,0 +1,7 @@
+//! D3 clean fixture: time is simulated steps, never the host clock.
+
+/// Advances a step counter; `instant` in prose (and this comment's
+/// Instant) must not trip the token matcher.
+pub fn advance(step: u64) -> u64 {
+    step + 1
+}

@@ -1,0 +1,9 @@
+//! D4 violating fixture: ad-hoc RNG construction.
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Builds a private RNG stream outside the sanctioned seed splits.
+pub fn rogue_stream(node: u64) -> ChaCha12Rng {
+    ChaCha12Rng::seed_from_u64(node)
+}

@@ -1,0 +1,10 @@
+//! D4 clean fixture: streams derive through `fba_sim::rng` helpers.
+
+use fba_sim::rng::{derive_rng, mix, TAG_NODE};
+use rand_chacha::ChaCha12Rng;
+
+/// Derives a node's stream from the master seed the sanctioned way.
+pub fn node_stream(master: u64, node: u64) -> ChaCha12Rng {
+    let _ = mix(master, &[TAG_NODE, node]);
+    derive_rng(master, &[TAG_NODE, node])
+}

@@ -1,0 +1,9 @@
+//! D5 violating fixture: allowlisted file, but the audit comment is gone.
+
+/// Tunes the allocator without saying why it is sound.
+pub fn tune() -> bool {
+    extern "C" {
+        fn mallopt(param: i32, value: i32) -> i32;
+    }
+    unsafe { mallopt(-3, 1 << 30) == 1 }
+}

@@ -1,0 +1,8 @@
+//! D5 violating fixture: `unsafe` outside the audited allowlist — a
+//! SAFETY comment does not make an unaudited site acceptable.
+
+/// Reads a value without bounds checking.
+pub fn sneaky(values: &[u64]) -> u64 {
+    // SAFETY: caller pinky-promises the index is in bounds.
+    unsafe { *values.get_unchecked(0) }
+}

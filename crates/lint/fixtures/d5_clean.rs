@@ -1,0 +1,11 @@
+//! D5 clean fixture: allowlisted file, audited site.
+
+/// Tunes the allocator, with the audit trail D5 requires.
+pub fn tune() -> bool {
+    extern "C" {
+        fn mallopt(param: i32, value: i32) -> i32;
+    }
+    // SAFETY: `mallopt` only adjusts allocator tunables and is called
+    // with documented glibc parameter constants.
+    unsafe { mallopt(-3, 1 << 30) == 1 }
+}

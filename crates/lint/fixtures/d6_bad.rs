@@ -1,0 +1,6 @@
+//! D6 violating fixture: ambient environment steering deterministic code.
+
+/// Reads a knob from the environment at an unsanctioned site.
+pub fn knob() -> bool {
+    std::env::var("FBA_SECRET_KNOB").is_ok()
+}

@@ -1,0 +1,13 @@
+//! D6 clean fixture: configuration arrives as data, not ambient state
+//! (`env::args` is argument parsing, not an environment read).
+
+/// Carries the knob in the config struct.
+pub struct Config {
+    /// The knob.
+    pub knob: bool,
+}
+
+/// Reads the knob from the config and the CLI argument list.
+pub fn knob(config: &Config) -> bool {
+    config.knob || std::env::args().count() > 1
+}

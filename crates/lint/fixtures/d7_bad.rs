@@ -1,0 +1,9 @@
+//! D7 violating fixture: stdout side effects in library code.
+
+/// Reports progress by printing — invisible to observers, untestable.
+pub fn report(done: usize, total: usize) {
+    println!("{done}/{total}");
+    if done == total {
+        eprintln!("finished");
+    }
+}

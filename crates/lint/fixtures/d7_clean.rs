@@ -1,0 +1,14 @@
+//! D7 clean fixture: output flows through a reporter value (and a local
+//! `print` function is not the `print!` macro).
+
+use std::fmt::Write;
+
+/// Renders progress into the report string.
+pub fn report(out: &mut String, done: usize, total: usize) {
+    let _ = write!(out, "{done}/{total}");
+}
+
+/// A near-miss: an ordinary function named `print`.
+pub fn print(out: &mut String) {
+    out.push('.');
+}

@@ -1,0 +1,125 @@
+//! Explicit, greppable waivers: `// paperlint: allow(D2) <reason>`.
+//!
+//! A waiver is a line comment whose text starts with the `paperlint:`
+//! marker. It suppresses **exactly one rule on exactly the next line** —
+//! never a range, never a file. The reason is mandatory: a waiver is an
+//! audit record, and `grep -rn 'paperlint: allow'` must read as one.
+//!
+//! The mechanism polices itself with two meta-rules:
+//!
+//! * **W1** — a waiver that names an unknown rule, or does not parse at
+//!   all, is itself a diagnostic (a typo like `allow(D8)` must not
+//!   silently waive nothing);
+//! * **W2** — a *stale* waiver, one whose next line carries no violation
+//!   of the named rule, is a diagnostic too (so waivers cannot outlive the
+//!   code they excused).
+
+use crate::lexer::Comment;
+use crate::rules::{Diagnostic, RuleId};
+
+/// The comment marker that introduces a waiver.
+pub const MARKER: &str = "paperlint:";
+
+/// One parsed waiver: the comment ends on `line` and targets `line + 1`.
+#[derive(Clone, Debug)]
+struct Waiver {
+    line: u32,
+    parsed: Result<RuleId, String>,
+}
+
+/// Extracts waivers from a file's comments.
+fn parse_all(comments: &[Comment]) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for c in comments {
+        // A waiver is a plain comment that *starts* with the marker; doc
+        // prose mentioning the syntax never acts as one.
+        if c.doc || !c.text.starts_with(MARKER) {
+            continue;
+        }
+        let body = c.text[MARKER.len()..].trim();
+        waivers.push(Waiver {
+            line: c.end_line,
+            parsed: parse_body(body),
+        });
+    }
+    waivers
+}
+
+/// Parses `allow(Dn) <reason>`; returns the waived rule or an error text.
+fn parse_body(body: &str) -> Result<RuleId, String> {
+    let Some(rest) = body.strip_prefix("allow(") else {
+        return Err(format!(
+            "malformed waiver `{body}`; expected `paperlint: allow(Dn) <reason>`"
+        ));
+    };
+    let Some((name, reason)) = rest.split_once(')') else {
+        return Err(format!("unclosed waiver `{body}`"));
+    };
+    let Some(rule) = RuleId::parse(name.trim()) else {
+        return Err(format!(
+            "unknown rule `{}` in waiver; known rules: D1–D7",
+            name.trim()
+        ));
+    };
+    if reason.trim().is_empty() {
+        return Err(format!(
+            "waiver for {rule} carries no reason; the reason is the audit record"
+        ));
+    }
+    Ok(rule)
+}
+
+/// Applies waivers to the raw findings: suppresses waived diagnostics and
+/// appends W1 (bad waiver) / W2 (stale waiver) findings.
+pub(crate) fn apply(
+    path: &str,
+    comments: &[Comment],
+    mut diags: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
+    for w in parse_all(comments) {
+        match w.parsed {
+            Err(message) => diags.push(Diagnostic {
+                path: path.to_owned(),
+                line: w.line,
+                rule: RuleId::W1,
+                message,
+            }),
+            Ok(rule) => {
+                let target = w.line + 1;
+                if let Some(i) = diags
+                    .iter()
+                    .position(|d| d.line == target && d.rule == rule)
+                {
+                    diags.remove(i);
+                } else {
+                    diags.push(Diagnostic {
+                        path: path.to_owned(),
+                        line: w.line,
+                        rule: RuleId::W2,
+                        message: format!("stale waiver: no {rule} violation on line {target}"),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_parses_rule_and_requires_reason() {
+        assert_eq!(parse_body("allow(D3) bench timing"), Ok(RuleId::D3));
+        assert!(parse_body("allow(D3)").is_err(), "reason required");
+        assert!(parse_body("allow(D3)   ").is_err(), "blank reason required");
+        assert!(parse_body("allow(D9) typo").is_err(), "unknown rule");
+        assert!(
+            parse_body("allow(W2) meta").is_err(),
+            "meta-rules unwaivable"
+        );
+        assert!(parse_body("permit(D3) wrong verb").is_err());
+        assert!(parse_body("allow(D3 unclosed").is_err());
+    }
+}

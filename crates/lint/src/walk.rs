@@ -1,0 +1,116 @@
+//! Workspace walking: which files the static contract binds.
+//!
+//! The linted surface is **shipped source**: `src/` (the facade) and every
+//! `crates/*/src/` tree — library code plus the binaries that live under
+//! `src/bin/`. Test targets (`tests/`), benches, examples and the offline
+//! shim crates are out of scope: the equivalence suites own that ground,
+//! and the shims deliberately mirror third-party APIs (`from_seed` et al.)
+//! that the rules would flag.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::rules::{lint_source, Diagnostic};
+
+/// Returns every linted `.rs` file under `root`, as workspace-relative
+/// paths with `/` separators, sorted (so diagnostics come out in a stable
+/// order on every platform).
+///
+/// # Errors
+///
+/// Propagates filesystem errors; a missing `crates/` or `src/` directory
+/// is not an error (temp fixture workspaces may carry only one tree).
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        collect(&src, root, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in fs::read_dir(&crates)? {
+            let crate_src = entry?.path().join("src");
+            if crate_src.is_dir() {
+                collect(&crate_src, root, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(relative(&path, root));
+        }
+    }
+    Ok(())
+}
+
+fn relative(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints every in-scope file under `root`. Diagnostics are ordered by
+/// `(path, line, rule)`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from walking or reading sources.
+pub fn lint_workspace(root: &Path, config: &Config) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for rel in workspace_files(root)? {
+        let source = fs::read_to_string(root.join(PathBuf::from(&rel)))?;
+        diags.extend(lint_source(&rel, &source, config));
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walker_scopes_to_source_trees() {
+        let dir = std::env::temp_dir().join("paperlint_walk_test");
+        let _ = fs::remove_dir_all(&dir);
+        for (path, body) in [
+            ("src/lib.rs", "pub fn a() {}\n"),
+            ("src/bin/tool.rs", "fn main() {}\n"),
+            ("crates/x/src/lib.rs", "pub fn b() {}\n"),
+            ("crates/x/tests/t.rs", "use std::time::Instant;\n"),
+            ("crates/x/benches/b.rs", "use std::time::Instant;\n"),
+            ("examples/e.rs", "use std::time::Instant;\n"),
+            ("shims/rand/src/lib.rs", "pub fn from_seed() {}\n"),
+            ("tests/integration.rs", "use std::time::Instant;\n"),
+        ] {
+            let full = dir.join(path);
+            fs::create_dir_all(full.parent().unwrap()).unwrap();
+            fs::write(full, body).unwrap();
+        }
+        let files = workspace_files(&dir).unwrap();
+        assert_eq!(
+            files,
+            vec![
+                "crates/x/src/lib.rs".to_owned(),
+                "src/bin/tool.rs".to_owned(),
+                "src/lib.rs".to_owned(),
+            ]
+        );
+        let diags = lint_workspace(&dir, &Config::default()).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,87 @@
+//! Smoke tests for the `paperlint` binary: exit codes, diagnostic format,
+//! and usage handling — including the known-bad-fixture run CI relies on.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+fn paperlint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_paperlint"))
+        .args(args)
+        .output()
+        .expect("paperlint binary runs")
+}
+
+fn workspace_root() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn the_real_workspace_exits_zero() {
+    let out = paperlint(&["--root", &workspace_root()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "workspace must lint clean: {stderr}");
+    assert!(stderr.contains("clean"), "stderr: {stderr}");
+}
+
+#[test]
+fn a_known_bad_fixture_tree_exits_non_zero() {
+    // Build a temp workspace around the D1 violating fixture and point
+    // the binary at it: one diagnostic, exit code 1.
+    let dir = std::env::temp_dir().join("paperlint_cli_bad_tree");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(dir.join("crates/core/src")).expect("mkdir");
+    fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    fs::write(
+        dir.join("crates/core/src/lib.rs"),
+        include_str!("../fixtures/d1_bad.rs"),
+    )
+    .expect("write fixture");
+
+    let out = paperlint(&["--root", &dir.to_string_lossy()]);
+    fs::remove_dir_all(&dir).expect("cleanup");
+
+    assert_eq!(out.status.code(), Some(1), "diagnostics exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/core/src/lib.rs:3: D1:"),
+        "file:line:rule diagnostic expected, got: {stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("diagnostic"), "stderr summary: {stderr}");
+}
+
+#[test]
+fn unknown_arguments_print_usage_and_exit_2() {
+    let out = paperlint(&["--definitely-not-a-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("--definitely-not-a-flag"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn missing_workspace_root_exits_2() {
+    let out = paperlint(&["--root", "/definitely/not/a/workspace"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("Cargo.toml"), "stderr: {stderr}");
+}
+
+#[test]
+fn list_rules_names_the_whole_contract() {
+    let out = paperlint(&["--list-rules"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "D7"] {
+        assert!(stdout.contains(rule), "missing {rule}: {stdout}");
+    }
+}

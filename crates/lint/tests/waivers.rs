@@ -1,0 +1,144 @@
+//! Waiver-handling contract: a `// paperlint: allow(…)` comment
+//! suppresses exactly one rule on exactly the next line, unknown rule
+//! names in waivers are themselves an error, and stale waivers are
+//! reported.
+
+use fba_lint::{lint_source, Config, RuleId};
+
+const PATH: &str = "crates/core/src/fixture.rs";
+
+fn lint(source: &str) -> Vec<fba_lint::Diagnostic> {
+    lint_source(PATH, source, &Config::default())
+}
+
+#[test]
+fn waiver_suppresses_the_next_line() {
+    let src = "// paperlint: allow(D3) host timing is reported, not fed back into the run\n\
+               use std::time::Instant;\n";
+    let diags = lint(src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn waiver_suppresses_exactly_one_rule() {
+    // The line violates both D3 (Instant) and D2 (Mutex); waiving D3
+    // must leave the D2 finding standing.
+    let src = "// paperlint: allow(D3) timing wrapper\n\
+               use std::{sync::Mutex, time::Instant};\n";
+    let diags = lint(src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, RuleId::D2);
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn waiver_reaches_exactly_the_next_line() {
+    // The violation sits two lines below the waiver: out of reach. The
+    // waiver is stale (W2) and the violation stands (D3).
+    let src = "// paperlint: allow(D3) aimed at the wrong line\n\
+               pub fn f() {}\n\
+               use std::time::Instant;\n";
+    let diags = lint(src);
+    let rules: Vec<RuleId> = diags.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, vec![RuleId::W2, RuleId::D3], "{diags:?}");
+    assert_eq!(diags[0].line, 1, "stale waiver reported at the waiver");
+    assert_eq!(diags[1].line, 3, "violation still reported at the site");
+}
+
+#[test]
+fn waiver_does_not_cover_its_own_line() {
+    // A trailing waiver on the violating line targets the *next* line:
+    // the violation stands and the waiver is stale.
+    let src = "use std::time::Instant; // paperlint: allow(D3) same line\n";
+    let diags = lint(src);
+    let rules: Vec<RuleId> = diags.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, vec![RuleId::D3, RuleId::W2], "{diags:?}");
+}
+
+#[test]
+fn unknown_rule_name_is_an_error() {
+    let src = "// paperlint: allow(D42) no such rule\n\
+               use std::time::Instant;\n";
+    let diags = lint(src);
+    let rules: Vec<RuleId> = diags.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, vec![RuleId::W1, RuleId::D3], "{diags:?}");
+    assert!(diags[0].message.contains("D42"), "{:?}", diags[0]);
+}
+
+#[test]
+fn meta_rules_are_not_waivable() {
+    let src = "// paperlint: allow(W2) trying to waive the waiver police\n\
+               pub fn f() {}\n";
+    let diags = lint(src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, RuleId::W1);
+}
+
+#[test]
+fn waiver_without_reason_is_an_error() {
+    let src = "// paperlint: allow(D3)\n\
+               use std::time::Instant;\n";
+    let diags = lint(src);
+    let rules: Vec<RuleId> = diags.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, vec![RuleId::W1, RuleId::D3], "{diags:?}");
+    assert!(diags[0].message.contains("reason"), "{:?}", diags[0]);
+}
+
+#[test]
+fn malformed_waiver_is_an_error() {
+    let src = "// paperlint: please look away\n\
+               pub fn f() {}\n";
+    let diags = lint(src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, RuleId::W1);
+    assert!(diags[0].message.contains("malformed"), "{:?}", diags[0]);
+}
+
+#[test]
+fn stale_waiver_is_reported() {
+    let src = "// paperlint: allow(D1) this map was removed last refactor\n\
+               pub fn f() {}\n";
+    let diags = lint(src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, RuleId::W2);
+    assert!(diags[0].message.contains("stale"), "{:?}", diags[0]);
+}
+
+#[test]
+fn duplicate_waivers_leave_the_second_stale() {
+    // "Exactly the next line": only the waiver adjacent to the violation
+    // suppresses it; the one aimed at the other waiver's line is stale.
+    let src = "// paperlint: allow(D3) first\n\
+               // paperlint: allow(D3) second\n\
+               use std::time::Instant;\n";
+    let diags = lint(src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, RuleId::W2);
+    assert_eq!(diags[0].line, 1, "the out-of-reach waiver is the stale one");
+}
+
+#[test]
+fn doc_comments_describing_waivers_are_inert() {
+    // Documentation that *mentions* the syntax must neither waive nor be
+    // reported as malformed.
+    let src = "//! Write `// paperlint: allow(D3) <reason>` to waive a line.\n\
+               /// See also: paperlint: allow(D1) is not a waiver here.\n\
+               pub fn f() {}\n";
+    let diags = lint(src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn waived_lines_stay_greppable() {
+    // The contract the waiver syntax promises: one grep finds every
+    // exception in a file, with its reason.
+    let src = "// paperlint: allow(D3) measured, not fed back\n\
+               use std::time::Instant;\n";
+    let hits: Vec<&str> = src
+        .lines()
+        .filter(|l| l.contains("paperlint: allow"))
+        .collect();
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].contains("measured"), "reason rides with the waiver");
+    assert!(lint(src).is_empty());
+}

@@ -801,6 +801,7 @@ impl Scenario {
                 "a threaded run needs at least one worker shard (threads:k with k ≥ 1)".into(),
             )),
             Some(k) => {
+                // paperlint: allow(D2) read-only core-count query for validation; no threads spawned
                 let available = std::thread::available_parallelism()
                     .map(std::num::NonZeroUsize::get)
                     .unwrap_or(1);

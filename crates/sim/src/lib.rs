@@ -85,6 +85,20 @@
 //!   or bit counts — are contractual across backends; see the `fba-exec`
 //!   crate docs.
 //!
+//! ### Static enforcement
+//!
+//! The pins above *sample* the contract per seed. Its preconditions —
+//! no randomized-hasher containers in deterministic crates, no wall
+//! clock or ad-hoc RNG construction, parallelism only behind the
+//! sanctioned executors, one audited `unsafe` site, no ambient
+//! `env::var` reads — are *statically enforced* on every shipped line
+//! by the `paperlint` pass (crate `fba-lint`, rules D1–D7, run in CI
+//! next to clippy). The sanctioned sites live in this crate: [`fxhash`]
+//! is the D1 hasher, [`rng`] the D4 seed splits, [`tuning`] the D5
+//! `unsafe` allowlist, and `EngineConfig::batch`'s `FBA_BATCH` read one
+//! of the two D6 config sites. See the README's "Static guarantees"
+//! section for the rule table and waiver syntax.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -121,7 +135,7 @@
 // `allow(unsafe_code)` and SAFETY justification. Everything else in the
 // crate remains unsafe-free.
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod adversary;
 pub mod calendar;

@@ -133,7 +133,7 @@
 //!   the deterministic parallel sweep runner, and the `paperbench` CLI.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use fba_ae as ae;
 pub use fba_baselines as baselines;
