@@ -24,8 +24,11 @@
 
 use std::process::ExitCode;
 
-use fba_bench::{engine_bench, parallelism, run_experiment, service_bench, sweep, Scope, ALL_IDS};
+use fba_bench::{
+    crashes_bench, engine_bench, parallelism, run_experiment, service_bench, sweep, Scope, ALL_IDS,
+};
 use fba_exec::{BackendSpec, BACKEND_EXPECTED};
+use fba_recovery::{CrashSpec, CRASH_EXPECTED};
 use fba_scenario::{Baseline, Phase, Scenario, ScenarioOutcome};
 use fba_sim::{AdversarySpec, NetworkSpec};
 
@@ -33,7 +36,7 @@ fn usage() {
     eprintln!(
         "usage: paperbench [--quick|--full|--huge|--scope <quick|default|full|huge|extreme>] \
          [--json <dir>] [--backend <{BACKEND_EXPECTED}>] [--n <sizes>] <experiment id>... | \
-         all | bench-engine | service | scenario <flags> | sweep <flags>"
+         all | bench-engine | service | crashes <flags> | scenario <flags> | sweep <flags>"
     );
     eprintln!("known ids: {}", ALL_IDS.join(", "));
     eprintln!("--backend applies to bench-engine (default `sim`; `threads[:k]` runs");
@@ -42,6 +45,7 @@ fn usage() {
     eprintln!("scenario flags: see `paperbench scenario --help`");
     eprintln!("sweep flags:    see `paperbench sweep --help`");
     eprintln!("service:        sustained-service battery (`service --help`)");
+    eprintln!("crashes:        crash–restart recovery battery (`crashes --help`)");
 }
 
 fn sweep_usage() {
@@ -479,6 +483,137 @@ fn run_service_bench(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn crashes_usage() {
+    eprintln!(
+        "usage: paperbench crashes [--quick|--full|--huge|--scope \
+         <quick|default|full|huge|extreme>] [--spec <schedule>] [--json]"
+    );
+    eprintln!("  crashes a fraction of the system mid-run (dark windows), restarts the");
+    eprintln!("  victims from their checkpoints, and reports rejoin cost per window");
+    eprintln!("  length vs a same-seed no-fault baseline; --json prints the rows as a");
+    eprintln!("  JSON document after the table");
+    eprintln!("  --spec replaces the window-length sweep with one explicit schedule:");
+    eprintln!("      {CRASH_EXPECTED}");
+    eprintln!("  windows must be ordered, non-overlapping, non-empty, start past step 0,");
+    eprintln!("  and crash at least one node each");
+}
+
+fn print_crash_rows(rows: &[crashes_bench::CrashRow]) {
+    println!(
+        "{:>6} {:<18} {:>5} {:>8} {:>5} {:>8} {:>9} {:>11} {:>9} {:>10}",
+        "n",
+        "spec",
+        "dark",
+        "crashed",
+        "runs",
+        "decided",
+        "rejoined",
+        "max-rejoin",
+        "dropped",
+        "overhead"
+    );
+    for row in rows {
+        println!(
+            "{:>6} {:<18} {:>5} {:>8} {:>5} {:>8.4} {:>9} {:>11} {:>9.0} {:>10.0}",
+            row.n,
+            row.spec,
+            row.dark_steps,
+            row.crashed,
+            row.runs,
+            row.min_decided_fraction,
+            if row.all_rejoined { "all" } else { "PARTIAL" },
+            row.max_rejoin_steps
+                .map_or("n/a".to_string(), |s| s.to_string()),
+            row.mean_msgs_dropped,
+            row.mean_msg_overhead,
+        );
+    }
+}
+
+fn run_crashes_bench(args: &[String]) -> ExitCode {
+    let mut scope = Scope::Default;
+    let mut json = false;
+    let mut spec: Option<CrashSpec> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match scope_flag(arg, &mut iter) {
+            Some(Ok(parsed)) => {
+                scope = parsed;
+                continue;
+            }
+            Some(Err(())) => {
+                eprintln!("error: --scope needs one of quick|default|full|huge|extreme");
+                crashes_usage();
+                return ExitCode::FAILURE;
+            }
+            None => {}
+        }
+        match arg.as_str() {
+            "--help" | "-h" => {
+                crashes_usage();
+                return ExitCode::SUCCESS;
+            }
+            "--json" => json = true,
+            "--spec" => {
+                let Some(raw) = iter.next() else {
+                    eprintln!("error: --spec needs a value");
+                    crashes_usage();
+                    return ExitCode::FAILURE;
+                };
+                match raw.parse::<CrashSpec>() {
+                    Ok(parsed) if parsed.is_empty() => {
+                        eprintln!("error: --spec `{raw}` schedules no crashes");
+                        crashes_usage();
+                        return ExitCode::FAILURE;
+                    }
+                    Ok(parsed) => spec = Some(parsed),
+                    Err(err) => {
+                        eprintln!("error: bad --spec `{raw}`: {err}");
+                        crashes_usage();
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("error: unknown crashes flag `{other}`");
+                crashes_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "crashes: n = {:?}, {}…",
+        crashes_bench::crash_sizes(scope),
+        spec.as_ref().map_or_else(
+            || format!("window lengths {:?}", crashes_bench::CRASH_WINDOW_LENGTHS),
+            |s| format!("schedule {s}"),
+        ),
+    );
+    let started = std::time::Instant::now();
+    let report = match &spec {
+        Some(spec) => {
+            let report = crashes_bench::run_spec(scope, spec);
+            if report.rows.is_empty() {
+                eprintln!(
+                    "error: --spec `{spec}` crashes more nodes than any scope size has \
+                     (n = {:?})",
+                    crashes_bench::crash_sizes(scope)
+                );
+                crashes_usage();
+                return ExitCode::FAILURE;
+            }
+            report
+        }
+        None => crashes_bench::run(scope),
+    };
+    print_crash_rows(&report.rows);
+    println!("_(ran in {:.1?}, scope {scope:?})_", started.elapsed());
+    if json {
+        print!("{}", report.to_json());
+    }
+    ExitCode::SUCCESS
+}
+
 fn run_engine_bench(scope: Scope, backend: BackendSpec, sizes: Option<Vec<usize>>) -> ExitCode {
     let sizes = sizes.unwrap_or_else(|| engine_bench::bench_sizes(scope));
     println!(
@@ -492,6 +627,12 @@ fn run_engine_bench(scope: Scope, backend: BackendSpec, sizes: Option<Vec<usize>
     );
     report.service = service_bench::run(scope).rows;
     print_service_rows(&report.service);
+    println!(
+        "bench-engine: crash battery, n = {:?}…",
+        crashes_bench::crash_sizes(scope)
+    );
+    report.crashes = crashes_bench::run(scope).rows;
+    print_crash_rows(&report.crashes);
     let json = report.to_json();
     print!("{json}");
     match std::fs::write("BENCH_engine.json", &json) {
@@ -520,6 +661,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("service") {
         return run_service_bench(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("crashes") {
+        return run_crashes_bench(&args[1..]);
     }
     let mut scope = Scope::Default;
     let mut ids: Vec<String> = Vec::new();

@@ -1,0 +1,276 @@
+//! Crash–restart recovery battery (`paperbench crashes`).
+//!
+//! Drives [`fba_scenario::Scenario::faults_spec`] over a grid of system
+//! size × dark-window length and reports the rejoin cost of the
+//! crash–restart fault family: every cell crashes a fixed fraction of
+//! the system mid-push-wave (`crash:[3..3+len]k`), lets the engine drop
+//! their traffic for the window, restarts them from their checkpoints,
+//! and measures how many steps and extra messages the victims need to
+//! reconverge. Each crashed run is paired with the no-fault baseline at
+//! the same seed, so the message overhead column is a like-for-like
+//! difference, not an absolute. The report lands in `BENCH_engine.json`
+//! as the `crashes` section (see
+//! [`crate::engine_bench::EngineBenchReport`]).
+
+use fba_recovery::CrashSpec;
+use fba_scenario::Scenario;
+use fba_sim::Step;
+
+use crate::engine_bench::bench_seeds;
+use crate::scope::Scope;
+
+/// Scope-dependent system sizes for the crash battery. Same ladder as
+/// the service battery — every cell runs full AER executions twice
+/// (crashed + baseline) per seed.
+#[must_use]
+pub fn crash_sizes(scope: Scope) -> Vec<usize> {
+    match scope {
+        Scope::Quick => vec![256],
+        Scope::Default => vec![1024],
+        Scope::Full | Scope::Huge => vec![1024, 4096],
+        Scope::Extreme => vec![4096],
+    }
+}
+
+/// The dark-window lengths the battery sweeps. Every window opens at
+/// step 3 — mid push wave, after the victims have accepted candidates
+/// worth checkpointing but before the pull phase settles.
+pub const CRASH_WINDOW_LENGTHS: [Step; 3] = [4, 8, 16];
+
+/// The fraction of the system each cell crashes (`n / CRASH_DIVISOR`,
+/// at least one node).
+pub const CRASH_DIVISOR: usize = 16;
+
+/// The crash schedule for one cell: one dark window `[3..3+len)` taking
+/// out `n / 16` nodes.
+#[must_use]
+pub fn cell_spec(n: usize, window_len: Step) -> CrashSpec {
+    let count = (n / CRASH_DIVISOR).max(1);
+    format!("crash:[3..{}]{count}", 3 + window_len)
+        .parse()
+        .expect("generated crash spec parses")
+}
+
+/// One cell of the crash battery, aggregated over the scope's seeds.
+#[derive(Clone, Debug)]
+pub struct CrashRow {
+    /// System size.
+    pub n: usize,
+    /// The crash schedule the cell ran (`crash:` grammar).
+    pub spec: String,
+    /// Total dark steps across the schedule's windows.
+    pub dark_steps: Step,
+    /// Nodes crashed in the widest window.
+    pub crashed: usize,
+    /// Seeded runs aggregated (each paired with a baseline run).
+    pub runs: u64,
+    /// Worst fraction of correct nodes that decided, across runs.
+    pub min_decided_fraction: f64,
+    /// Whether every crashed correct node decided in every run.
+    pub all_rejoined: bool,
+    /// Worst steps-past-restart any victim needed to decide; `None`
+    /// (JSON `null`) if some victim never decided.
+    pub max_rejoin_steps: Option<Step>,
+    /// Mean steps-past-restart over all rejoined victims and runs;
+    /// `None` if no victim rejoined.
+    pub mean_rejoin_steps: Option<f64>,
+    /// Mean deliveries dropped into dark windows per run.
+    pub mean_msgs_dropped: f64,
+    /// Mean messages sent minus the same-seed no-fault baseline —
+    /// the recovery traffic bill (can be negative: dark nodes also
+    /// stop sending).
+    pub mean_msg_overhead: f64,
+}
+
+impl CrashRow {
+    pub(crate) fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"n\": {},\n",
+                "      \"spec\": \"{}\",\n",
+                "      \"dark_steps\": {},\n",
+                "      \"crashed\": {},\n",
+                "      \"runs\": {},\n",
+                "      \"min_decided_fraction\": {:.4},\n",
+                "      \"all_rejoined\": {},\n",
+                "      \"max_rejoin_steps\": {},\n",
+                "      \"mean_rejoin_steps\": {},\n",
+                "      \"mean_msgs_dropped\": {:.1},\n",
+                "      \"mean_msg_overhead\": {:.1}\n",
+                "    }}"
+            ),
+            self.n,
+            self.spec,
+            self.dark_steps,
+            self.crashed,
+            self.runs,
+            self.min_decided_fraction,
+            self.all_rejoined,
+            self.max_rejoin_steps
+                .map_or_else(|| "null".to_string(), |s| s.to_string()),
+            self.mean_rejoin_steps
+                .map_or_else(|| "null".to_string(), |m| format!("{m:.2}")),
+            self.mean_msgs_dropped,
+            self.mean_msg_overhead,
+        )
+    }
+}
+
+/// The crash battery's aggregate report.
+#[derive(Clone, Debug)]
+pub struct CrashBenchReport {
+    /// One row per (n, window length) cell, grid order.
+    pub rows: Vec<CrashRow>,
+}
+
+impl CrashBenchReport {
+    /// The rows as a standalone JSON document (`{"bench": "crashes",
+    /// "rows": [...]}`), for `paperbench crashes --json`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"crashes\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            self.rows
+                .iter()
+                .map(CrashRow::to_json)
+                .collect::<Vec<_>>()
+                .join(",\n"),
+        )
+    }
+}
+
+fn run_cell(n: usize, spec: &CrashSpec, seeds: &[u64]) -> CrashRow {
+    let crashed = Scenario::new(n).faults_spec(spec.clone());
+    let baseline = Scenario::new(n);
+    let mut min_decided_fraction = 1.0f64;
+    let mut all_rejoined = true;
+    let mut max_rejoin: Option<Step> = Some(0);
+    let mut rejoin_means: Vec<f64> = Vec::new();
+    let mut dropped = 0u64;
+    let mut overhead = 0i64;
+    for &seed in seeds {
+        let run = crashed
+            .run(seed)
+            .expect("crash battery scenario")
+            .into_aer();
+        let base = baseline
+            .run(seed)
+            .expect("crash battery baseline")
+            .into_aer();
+        min_decided_fraction = min_decided_fraction.min(run.run.metrics.decided_fraction());
+        let rejoin = run.rejoin().expect("crash plan ran");
+        all_rejoined &= rejoin.all_rejoined();
+        max_rejoin = match (max_rejoin, rejoin.max_rejoin_steps()) {
+            (Some(acc), Some(worst)) => Some(acc.max(worst)),
+            _ => None,
+        };
+        rejoin_means.extend(
+            rejoin
+                .outages
+                .iter()
+                .filter_map(|outage| outage.mean_rejoin_steps),
+        );
+        dropped += run.run.metrics.msgs_dropped();
+        overhead +=
+            run.run.metrics.total_msgs_sent() as i64 - base.run.metrics.total_msgs_sent() as i64;
+    }
+    let runs = seeds.len() as u64;
+    CrashRow {
+        n,
+        spec: spec.to_string(),
+        dark_steps: spec.windows().iter().map(|w| w.end - w.start).sum(),
+        crashed: spec.max_count(),
+        runs,
+        min_decided_fraction,
+        all_rejoined,
+        max_rejoin_steps: max_rejoin,
+        mean_rejoin_steps: crate::scope::mean_opt(&rejoin_means),
+        mean_msgs_dropped: dropped as f64 / runs as f64,
+        mean_msg_overhead: overhead as f64 / runs as f64,
+    }
+}
+
+/// Runs the crash battery for the scope: the size ladder times the
+/// dark-window length sweep. Serial by design — rejoin latency is a
+/// per-run quantity, and the cells at the large sizes hold the engine's
+/// whole arena set resident.
+#[must_use]
+pub fn run(scope: Scope) -> CrashBenchReport {
+    let seeds = bench_seeds(scope);
+    let mut rows = Vec::new();
+    for n in crash_sizes(scope) {
+        for window_len in CRASH_WINDOW_LENGTHS {
+            rows.push(run_cell(n, &cell_spec(n, window_len), &seeds));
+        }
+    }
+    CrashBenchReport { rows }
+}
+
+/// Runs the battery with one explicit schedule (`paperbench crashes
+/// --spec crash:[3..9]64`) instead of the window-length sweep. Sizes the
+/// schedule cannot fit (a window crashing more nodes than the system
+/// has) are skipped; if no scope size fits, the report is empty — the
+/// CLI turns that into a usage error.
+#[must_use]
+pub fn run_spec(scope: Scope, spec: &CrashSpec) -> CrashBenchReport {
+    let seeds = bench_seeds(scope);
+    CrashBenchReport {
+        rows: crash_sizes(scope)
+            .into_iter()
+            .filter(|&n| spec.max_count() <= n)
+            .map(|n| run_cell(n, spec, &seeds))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_crash_battery_reconverges_everywhere() {
+        let report = run(Scope::Quick);
+        assert_eq!(report.rows.len(), CRASH_WINDOW_LENGTHS.len());
+        for row in &report.rows {
+            assert_eq!(row.n, 256);
+            assert_eq!(row.crashed, 256 / CRASH_DIVISOR);
+            assert_eq!(
+                row.min_decided_fraction, 1.0,
+                "restarted nodes must reconverge ({})",
+                row.spec
+            );
+            assert!(row.all_rejoined, "{}", row.spec);
+            assert!(row.max_rejoin_steps.is_some(), "{}", row.spec);
+            assert!(row.mean_rejoin_steps.is_some(), "{}", row.spec);
+            assert!(row.mean_msgs_dropped > 0.0, "dark windows drop traffic");
+        }
+        // Longer dark windows cannot shrink the traffic dropped into them.
+        assert!(report.rows[0].mean_msgs_dropped <= report.rows[2].mean_msgs_dropped);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"crashes\""));
+        assert!(json.contains("\"crash:[3..7]16\""));
+        assert!(json.contains("\"mean_msg_overhead\""));
+    }
+
+    #[test]
+    fn explicit_specs_skip_sizes_they_cannot_fit() {
+        let wide: CrashSpec = "crash:[2..5]1024".parse().expect("parses");
+        let report = run_spec(Scope::Quick, &wide);
+        assert!(report.rows.is_empty(), "1024 victims cannot fit n = 256");
+        let narrow: CrashSpec = "crash:[2..5]8".parse().expect("parses");
+        let report = run_spec(Scope::Quick, &narrow);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].spec, "crash:[2..5]8");
+        assert_eq!(report.rows[0].min_decided_fraction, 1.0);
+    }
+
+    #[test]
+    fn crash_sizes_cover_the_acceptance_regimes() {
+        assert_eq!(crash_sizes(Scope::Full), vec![1024, 4096]);
+        assert!(crash_sizes(Scope::Quick) == vec![256]);
+        for scope in [Scope::Quick, Scope::Default, Scope::Full, Scope::Huge] {
+            assert!(!crash_sizes(scope).is_empty());
+        }
+    }
+}

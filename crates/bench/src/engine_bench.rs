@@ -17,6 +17,7 @@ use fba_scenario::Scenario;
 use fba_sim::{AdversarySpec, FinalInspect, NodeId};
 
 use crate::battery::{Battery, SeedPolicy};
+use crate::crashes_bench::CrashRow;
 use crate::par::parallelism;
 use crate::scope::Scope;
 use crate::service_bench::ServiceRow;
@@ -99,6 +100,10 @@ pub struct EngineBenchReport {
     /// `bench-engine` fills these from the service battery so
     /// `BENCH_engine.json` carries both trajectories.
     pub service: Vec<ServiceRow>,
+    /// Crash–restart recovery rows (see [`crate::crashes_bench`]) —
+    /// `bench-engine` fills these from the crash battery so the rejoin
+    /// trajectory lands in `BENCH_engine.json` too.
+    pub crashes: Vec<CrashRow>,
 }
 
 impl EngineBenchReport {
@@ -107,15 +112,18 @@ impl EngineBenchReport {
     pub fn to_json(&self) -> String {
         let regimes: Vec<String> = self.regimes.iter().map(RegimeReport::to_json).collect();
         let service: Vec<String> = self.service.iter().map(ServiceRow::to_json).collect();
+        let crashes: Vec<String> = self.crashes.iter().map(CrashRow::to_json).collect();
         format!(
             concat!(
                 "{{\n  \"bench\": \"engine\",\n  \"threads\": {},\n",
                 "  \"regimes\": [\n{}\n  ],\n",
-                "  \"service\": [\n{}\n  ]\n}}\n"
+                "  \"service\": [\n{}\n  ],\n",
+                "  \"crashes\": [\n{}\n  ]\n}}\n"
             ),
             self.threads,
             regimes.join(",\n"),
             service.join(",\n"),
+            crashes.join(",\n"),
         )
     }
 }
@@ -281,6 +289,7 @@ pub fn run_sized(scope: Scope, backend: BackendSpec, sizes: Vec<usize>) -> Engin
             .map(|n| run_regime(scope, n, &seeds, backend))
             .collect(),
         service: Vec::new(),
+        crashes: Vec::new(),
     }
 }
 
@@ -316,6 +325,10 @@ mod tests {
         assert!(json.contains("\"threads\""));
         assert!(json.contains("\"peak_rss_mb\""));
         assert!(json.contains("\"backend\": \"sim\""));
+        assert!(
+            json.contains("\"crashes\": ["),
+            "the crash section is always present, even before bench-engine fills it"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 #![deny(missing_docs)]
 
 pub mod battery;
+pub mod crashes_bench;
 pub mod engine_bench;
 pub mod experiments;
 pub mod json;

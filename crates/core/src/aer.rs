@@ -15,8 +15,9 @@
 //! simulator.
 
 use fba_ae::Precondition;
+use fba_recovery::{CheckpointStore, RecoveryConfig, WalRecord};
 use fba_samplers::{
-    GString, PollSampler, QuorumScheme, SharedPollCache, SharedQuorumCache, SlotMasks,
+    GString, PollSampler, QuorumScheme, SharedPollCache, SharedQuorumCache, SlotMasks, StringKey,
 };
 use fba_sim::{
     run, Adversary, Context, EngineConfig, EngineSession, NodeId, Protocol, RunOutcome, Step,
@@ -92,12 +93,41 @@ impl AerRunState {
     }
 }
 
+/// The checkpoint layer of one node: its durable store plus cursors
+/// tracking which phase facts have already been logged, so `sync_wal`
+/// appends exactly the diff after each protocol callback.
+#[derive(Clone, Debug)]
+struct RecoveryState {
+    store: CheckpointStore,
+    /// Prefix of `push.candidates()` already logged as `Accept` records
+    /// (position 0, `s_x`, is the WAL's first record).
+    logged_accepts: usize,
+    logged_belief: StringKey,
+    logged_decided: bool,
+    logged_poll_attempt: u32,
+}
+
+impl RecoveryState {
+    fn new(config: RecoveryConfig, own_key: StringKey) -> Self {
+        RecoveryState {
+            store: CheckpointStore::new(config),
+            logged_accepts: 0,
+            logged_belief: own_key,
+            logged_decided: false,
+            logged_poll_attempt: 0,
+        }
+    }
+}
+
 /// One correct AER participant.
 #[derive(Clone, Debug)]
 pub struct AerNode {
     push: PushPhase,
     pull: PullPhase,
     targets: Vec<NodeId>,
+    /// Checkpoint/WAL layer; `None` (the default) runs without any
+    /// recovery machinery — bit-identical to builds predating it.
+    recovery: Option<RecoveryState>,
 }
 
 impl AerNode {
@@ -145,6 +175,7 @@ impl AerNode {
             push: PushPhase::with_cache(id, own, push_quorums),
             pull: PullPhase::with_caches(id, own, pull_quorums, poll_lists, overload_cap, retry),
             targets,
+            recovery: None,
         }
     }
 
@@ -178,7 +209,56 @@ impl AerNode {
                 state.fw1_routes.clone(),
             ),
             targets,
+            recovery: None,
         }
+    }
+
+    /// Enables the checkpoint/WAL layer: the node logs phase progress
+    /// after every callback and, on [`Protocol::on_restart`], restores
+    /// from its checkpoint and launches state-sync catch-up. Without
+    /// this, a restarted node resumes naively on whatever in-memory
+    /// state survived.
+    ///
+    /// Checkpointing consumes no randomness and sends no messages during
+    /// normal operation, so enabling it on a run that never crashes is
+    /// bit-identical to leaving it off.
+    #[must_use]
+    pub fn with_recovery(mut self, config: RecoveryConfig) -> Self {
+        self.recovery = Some(RecoveryState::new(config, self.push.own_candidate().key()));
+        self
+    }
+
+    /// Appends the diff since the last sync to the WAL: newly accepted
+    /// candidates, a changed belief, a decision, and poll-attempt
+    /// progress — then compacts on the store's cadence. Called after
+    /// every protocol callback; no-op without recovery enabled.
+    fn sync_wal(&mut self, step: Step) {
+        let Some(rec) = self.recovery.as_mut() else {
+            return;
+        };
+        let candidates = self.push.candidates();
+        while rec.logged_accepts < candidates.len() {
+            rec.store
+                .append(step, WalRecord::Accept(candidates[rec.logged_accepts]));
+            rec.logged_accepts += 1;
+        }
+        let believed = *self.pull.believed();
+        if believed.key() != rec.logged_belief {
+            rec.logged_belief = believed.key();
+            rec.store.append(step, WalRecord::Believe(believed));
+        }
+        if !rec.logged_decided {
+            if let Some(decided) = self.pull.decided() {
+                rec.logged_decided = true;
+                rec.store.append(step, WalRecord::Decide(*decided));
+            }
+        }
+        let attempt = self.pull.max_poll_attempt();
+        if attempt > rec.logged_poll_attempt {
+            rec.logged_poll_attempt = attempt;
+            rec.store.append(step, WalRecord::Poll { attempt });
+        }
+        rec.store.maybe_snapshot(step);
     }
 
     /// The node's current candidate list `L_x`.
@@ -215,12 +295,14 @@ impl Protocol for AerNode {
         let step = ctx.step();
         let sends = self.pull.start_poll(own, step, ctx.rng());
         Self::dispatch(sends, ctx);
+        self.sync_wal(step);
     }
 
     fn on_step(&mut self, ctx: &mut Context<'_, AerMsg>) {
         let step = ctx.step();
         let sends = self.pull.on_step(step, ctx.rng());
         Self::dispatch(sends, ctx);
+        self.sync_wal(step);
     }
 
     fn on_message(&mut self, from: NodeId, msg: AerMsg, ctx: &mut Context<'_, AerMsg>) {
@@ -260,6 +342,34 @@ impl Protocol for AerNode {
                 }
             }
         }
+        self.sync_wal(ctx.step());
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, AerMsg>) {
+        // Without the checkpoint layer, fall through to the naive default:
+        // resume on whatever in-memory state survived the simulated crash.
+        let Some(rec) = self.recovery.as_ref() else {
+            return;
+        };
+        let checkpoint = rec.store.restore();
+        if checkpoint.accepted.is_empty() {
+            // Crashed before the first sync (impossible under the engine's
+            // step-1 window floor, but harmless): nothing durable to load.
+            return;
+        }
+        self.push.restore_accepted(&checkpoint.accepted);
+        let belief = checkpoint.belief.unwrap_or_else(|| checkpoint.accepted[0]);
+        let step = ctx.step();
+        let sends = self.pull.restore(
+            belief,
+            checkpoint.decided,
+            checkpoint.poll_attempt,
+            &checkpoint.accepted,
+            step,
+            ctx.rng(),
+        );
+        Self::dispatch(sends, ctx);
+        self.sync_wal(step);
     }
 
     fn output(&self) -> Option<GString> {
@@ -275,6 +385,7 @@ pub struct AerHarness {
     poll: PollSampler,
     assignments: Vec<GString>,
     targets: Vec<Vec<NodeId>>,
+    recovery: Option<RecoveryConfig>,
 }
 
 impl AerHarness {
@@ -297,7 +408,23 @@ impl AerHarness {
             poll,
             assignments,
             targets,
+            recovery: None,
         }
+    }
+
+    /// Enables the checkpoint/WAL layer on every node this harness
+    /// builds (see [`AerNode::with_recovery`]). Runs that never crash
+    /// are unaffected — checkpointing consumes no randomness and sends
+    /// nothing — so this is safe to enable exactly when a crash plan is
+    /// present.
+    pub fn enable_recovery(&mut self, config: RecoveryConfig) {
+        self.recovery = Some(config);
+    }
+
+    /// The recovery configuration, if the checkpoint layer is enabled.
+    #[must_use]
+    pub fn recovery(&self) -> Option<RecoveryConfig> {
+        self.recovery
     }
 
     /// Convenience constructor from a synthetic or protocol-produced
@@ -334,7 +461,7 @@ impl AerHarness {
     /// Builds the state machine for one correct node (the engine factory).
     #[must_use]
     pub fn node(&self, id: NodeId) -> AerNode {
-        AerNode::new(
+        let node = AerNode::new(
             id,
             self.assignments[id.index()],
             self.scheme,
@@ -342,7 +469,11 @@ impl AerHarness {
             self.cfg.overload_cap,
             self.retry_policy(),
             self.targets[id.index()].clone(),
-        )
+        );
+        match self.recovery {
+            Some(config) => node.with_recovery(config),
+            None => node,
+        }
     }
 
     fn retry_policy(&self) -> RetryPolicy {
@@ -375,14 +506,18 @@ impl AerHarness {
     /// state bundles — e.g. one per worker shard in the threaded backend.
     #[must_use]
     pub fn node_with(&self, id: NodeId, state: &AerRunState) -> AerNode {
-        AerNode::with_state(
+        let node = AerNode::with_state(
             id,
             self.assignments[id.index()],
             state,
             self.cfg.overload_cap,
             self.retry_policy(),
             self.targets[id.index()].clone(),
-        )
+        );
+        match self.recovery {
+            Some(config) => node.with_recovery(config),
+            None => node,
+        }
     }
 
     /// Default synchronous engine configuration for this deployment:
@@ -598,6 +733,64 @@ mod tests {
     fn harness_rejects_wrong_assignment_count() {
         let cfg = AerConfig::recommended(32);
         let _ = AerHarness::new(cfg, vec![GString::zeroes(cfg.string_len)]);
+    }
+
+    #[test]
+    fn crashed_nodes_recover_and_decide() {
+        // The crash fault family end to end: a window knocks out 8 nodes
+        // mid-run; with the checkpoint layer enabled they restore their
+        // accepted/belief state, re-poll, state-sync via repair queries —
+        // and the whole system still reaches unanimous agreement.
+        let (mut h, pre) = harness(64, 0.75, 11);
+        h.enable_recovery(fba_recovery::RecoveryConfig::default());
+        let plan = "crash:[2..8]8"
+            .parse::<fba_recovery::CrashSpec>()
+            .unwrap()
+            .resolve(64, 11)
+            .unwrap();
+        let mut engine = h.engine_sync();
+        engine.crash = Some(plan.clone());
+        let out = h.run(&engine, 11, &mut NoAdversary);
+        assert!(out.all_decided(), "crashed nodes must reconverge");
+        assert_eq!(out.unanimous(), Some(&pre.gstring));
+        assert!(out.metrics.msgs_dropped() > 0, "the window really was dark");
+        // Rejoin accounting sees every victim decided.
+        let report = fba_recovery::rejoin_report(&plan, &out.metrics);
+        assert!(report.all_rejoined());
+        assert!(report.max_rejoin_steps().is_some());
+    }
+
+    #[test]
+    fn recovery_layer_is_inert_without_crashes() {
+        // Checkpointing consumes no randomness and sends nothing, so a
+        // recovery-enabled run with no crash plan is bit-identical to a
+        // plain run.
+        let (h, _) = harness(48, 0.75, 7);
+        let plain = h.run(&h.engine_sync(), 9, &mut NoAdversary);
+        let (mut hr, _) = harness(48, 0.75, 7);
+        hr.enable_recovery(fba_recovery::RecoveryConfig::default());
+        let checked = hr.run(&hr.engine_sync(), 9, &mut NoAdversary);
+        assert_eq!(plain.outputs, checked.outputs);
+        assert_eq!(plain.all_decided_at, checked.all_decided_at);
+        assert_eq!(plain.metrics, checked.metrics);
+    }
+
+    #[test]
+    fn crashed_runs_replay_deterministically() {
+        let (mut h, _) = harness(64, 0.75, 13);
+        h.enable_recovery(fba_recovery::RecoveryConfig { cadence: 4 });
+        let plan = "crash:[1..4]4;[6..9]4"
+            .parse::<fba_recovery::CrashSpec>()
+            .unwrap()
+            .resolve(64, 13)
+            .unwrap();
+        let mut engine = h.engine_sync();
+        engine.crash = Some(plan);
+        let a = h.run(&engine, 13, &mut NoAdversary);
+        let b = h.run(&engine, 13, &mut NoAdversary);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.all_decided_at, b.all_decided_at);
+        assert_eq!(a.metrics, b.metrics);
     }
 
     #[test]

@@ -414,6 +414,19 @@ impl PullPhase {
         self.answer_counts.get(&s.key()).copied().unwrap_or(0)
     }
 
+    /// The furthest poll attempt any in-flight poll has reached (0 when
+    /// nothing is being polled) — the poll progress the checkpoint layer
+    /// logs so a restarted node resumes its retry budget instead of
+    /// resetting it.
+    #[must_use]
+    pub fn max_poll_attempt(&self) -> u32 {
+        self.own_polls
+            .values()
+            .map(|p| p.attempt)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Algorithm 1, sending side: verify candidate `s` by polling
     /// `J(x, r)` (fresh random `r`) and the pull quorum `H(s, x)`.
     ///
@@ -805,6 +818,87 @@ impl PullPhase {
                 *served += 1;
                 sends.push((origin, AerMsg::RepairAnswer(decision)));
             }
+        }
+        sends
+    }
+
+    /// Crash-recovery: drops every transient (the state a crash loses),
+    /// restores the durable facts from a checkpoint, and launches
+    /// catch-up traffic. Returns the messages to send on restart.
+    ///
+    /// Transients are the in-flight poll masks, the router/answerer vote
+    /// arenas, the flood filters and the overload queue: all of them are
+    /// reconstructible protocol plumbing, none of them are decisions, so
+    /// losing them costs liveness (the node must re-poll) but never
+    /// safety. The durable facts — belief, decision, poll progress and
+    /// (via the caller) the accepted list — come from the WAL replay.
+    ///
+    /// An undecided node catches up on two channels: it re-polls every
+    /// checkpointed candidate with a fresh label (resuming at the
+    /// checkpointed attempt so the retry budget is not reset), and it
+    /// sends one repair query to a fresh poll list `J(x, r)` — the
+    /// state-sync path that pulls decisions the node slept through from
+    /// sampled peers, reusing the repair machinery's Lemma 7 safety
+    /// argument (adopt only a strict-majority report).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // the full checkpoint, itemised
+    pub fn restore(
+        &mut self,
+        belief: GString,
+        decided: Option<GString>,
+        poll_attempt: u32,
+        candidates: &[GString],
+        step: Step,
+        rng: &mut ChaCha12Rng,
+    ) -> Sends {
+        self.own_polls.clear();
+        self.answers_seen = 0;
+        self.forwarded_pulls.clear();
+        self.fw1_votes.clear();
+        self.polled.clear();
+        self.fw2_senders.clear();
+        self.answered.clear();
+        self.answer_counts.clear();
+        self.deferred.clear();
+        self.repair_label = None;
+        self.repair_used = 0;
+        self.repair_last = 0;
+        self.repair_votes.clear();
+        self.repair_pending.clear();
+        self.repair_answered.clear();
+
+        let key = belief.key();
+        self.set_belief(belief, key);
+        self.decided = decided;
+        if self.decided.is_some() {
+            return Vec::new();
+        }
+
+        let mut sends = Vec::new();
+        for &s in candidates {
+            let r = self.poll.random_label(rng);
+            sends.extend(self.poll_sends(&s, r));
+            self.own_polls.insert(
+                s.key(),
+                OwnPoll {
+                    s,
+                    r,
+                    answered_by: 0,
+                    started: step,
+                    attempt: poll_attempt.max(1),
+                },
+            );
+        }
+        if self.retry.repair_attempts > 0 {
+            let r = self.poll.random_label(rng);
+            self.repair_label = Some(r);
+            self.repair_used = 1;
+            self.repair_last = step;
+            self.poll_lists.poll_list_with(self.x, r, |list| {
+                for &w in list {
+                    sends.push((w, AerMsg::RepairQuery(r)));
+                }
+            });
         }
         sends
     }

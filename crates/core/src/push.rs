@@ -141,6 +141,23 @@ impl PushPhase {
     pub fn pending(&self) -> usize {
         self.pending
     }
+
+    /// Crash-recovery: rebuilds `L_x` from a checkpointed accepted list
+    /// (position 0 is `s_x`, as logged by the WAL's first record).
+    ///
+    /// The run-shared vote arena is left untouched: votes counted before
+    /// the crash model pushes already received, and `pending` stays in
+    /// lockstep with the arena's partially-filled masks — zeroing either
+    /// without the other would desynchronise the majority accounting.
+    pub fn restore_accepted(&mut self, accepted: &[GString]) {
+        self.accepted.clear();
+        self.accepted_keys.clear();
+        for &s in accepted {
+            if self.accepted_keys.insert(s.key()) {
+                self.accepted.push(s);
+            }
+        }
+    }
 }
 
 /// Computes, for every node `y`, the push target list

@@ -52,7 +52,7 @@ pub struct Config {
 /// The crates whose executions must be pure functions of the seed: the
 /// protocol phases, samplers, simulator, execution backends, baselines and
 /// the scenario layer (plus the facade, which only re-exports them).
-const DETERMINISTIC_CRATES: [&str; 8] = [
+const DETERMINISTIC_CRATES: [&str; 9] = [
     "fba-core",
     "fba-samplers",
     "fba-sim",
@@ -60,6 +60,7 @@ const DETERMINISTIC_CRATES: [&str; 8] = [
     "fba-baselines",
     "fba-scenario",
     "fba-exec",
+    "fba-recovery",
     "fba",
 ];
 

@@ -41,6 +41,7 @@ fn the_walk_covers_every_crate() {
         "crates/core/src/",
         "crates/exec/src/",
         "crates/lint/src/",
+        "crates/recovery/src/",
         "crates/samplers/src/",
         "crates/scenario/src/",
         "crates/sim/src/",

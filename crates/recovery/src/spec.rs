@@ -1,0 +1,326 @@
+//! The `crash:` spec grammar: crash–restart fault schedules as data.
+//!
+//! `crash:[3..7]64` crashes 64 sampled honest nodes at the start of step
+//! 3 and restarts them at the start of step 7; `;`-separated windows
+//! chain outages, mirroring the `sched:` adversary-schedule grammar
+//! ([`fba_sim::ScheduleSpec`]) and validated by the same rules — ordered,
+//! non-overlapping, non-empty windows — plus two crash-specific ones:
+//! windows are *closed* (a crashed node must come back; `[3..]` is
+//! malformed) and may not start at step 0 (every node runs `on_start`).
+//!
+//! A [`CrashSpec`] is pure data: *which* nodes crash is resolved only when
+//! the spec meets a concrete system size and seed in
+//! [`CrashSpec::resolve`], which samples each window's victims from a
+//! domain-separated stream ([`fba_sim::rng::TAG_CRASH`], per-window
+//! tagged) — so a crashed run is reproducible from `(seed, spec)` alone,
+//! and the same `(seed, spec)` pair pins the same victims across every
+//! instance of a service run.
+
+use std::fmt;
+use std::str::FromStr;
+
+use fba_sim::rng::{derive_rng, TAG_CRASH};
+use fba_sim::{choose_corrupt, CrashOutage, CrashPlan, CrashPlanError, ParseSpecError, Step};
+
+/// What a valid `crash:` spec looks like; used in parse errors and the
+/// `paperbench` usage text.
+pub const CRASH_EXPECTED: &str =
+    "crash:[start..end]count[;[start..end]count…] with start ≥ 1, end > start, count ≥ 1, \
+     windows ordered and non-overlapping";
+
+/// One window of a [`CrashSpec`]: `[start..end]count` — crash `count`
+/// sampled nodes over the closed step window `start..end`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CrashWindow {
+    /// First dark step (≥ 1).
+    pub start: Step,
+    /// Restart step (exclusive; > `start`).
+    pub end: Step,
+    /// Number of nodes to crash (≥ 1), sampled at resolution time.
+    pub count: usize,
+}
+
+impl fmt::Display for CrashWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{}]{}", self.start, self.end, self.count)
+    }
+}
+
+/// A validated crash–restart schedule: ordered, non-overlapping windows,
+/// each crashing a positive number of nodes.
+///
+/// The programmatic constructor accepts an empty window list (the
+/// no-fault baseline — resolving it yields an empty [`CrashPlan`], pinned
+/// bit-identical to running with no plan at all); the *grammar* does not:
+/// `crash:` with an empty body is malformed, mirroring `sched:`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrashSpec {
+    windows: Vec<CrashWindow>,
+}
+
+impl CrashSpec {
+    /// Builds a spec, validating window order and contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CrashPlanError`] matching the first rule violated:
+    /// [`CrashPlanError::StartsAtZero`], [`CrashPlanError::EmptyWindow`],
+    /// [`CrashPlanError::NoNodes`] for a zero count, or
+    /// [`CrashPlanError::Unordered`] for overlapping/out-of-order
+    /// windows.
+    pub fn new(windows: Vec<CrashWindow>) -> Result<Self, CrashPlanError> {
+        let mut prev_end: Step = 0;
+        for (index, w) in windows.iter().enumerate() {
+            if w.start == 0 {
+                return Err(CrashPlanError::StartsAtZero { index });
+            }
+            if w.end <= w.start {
+                return Err(CrashPlanError::EmptyWindow {
+                    index,
+                    start: w.start,
+                    end: w.end,
+                });
+            }
+            if w.count == 0 {
+                return Err(CrashPlanError::NoNodes { index });
+            }
+            if w.start < prev_end {
+                return Err(CrashPlanError::Unordered { index });
+            }
+            prev_end = w.end;
+        }
+        Ok(CrashSpec { windows })
+    }
+
+    /// The empty spec: no outages, the no-fault baseline.
+    #[must_use]
+    pub fn none() -> Self {
+        CrashSpec::default()
+    }
+
+    /// The windows, in time order.
+    #[must_use]
+    pub fn windows(&self) -> &[CrashWindow] {
+        &self.windows
+    }
+
+    /// Whether the spec schedules no outages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The last restart step, or `None` for an empty spec. Runs need at
+    /// least this many steps of headroom to bring every victim back.
+    #[must_use]
+    pub fn last_restart(&self) -> Option<Step> {
+        self.windows.last().map(|w| w.end)
+    }
+
+    /// The largest per-window crash count.
+    #[must_use]
+    pub fn max_count(&self) -> usize {
+        self.windows.iter().map(|w| w.count).max().unwrap_or(0)
+    }
+
+    /// Resolves the spec against a concrete system: samples each window's
+    /// victims from the domain-separated stream
+    /// `derive_rng(seed, [TAG_CRASH, window_index])` and returns the
+    /// engine-facing [`CrashPlan`]. Deterministic: the same `(n, seed,
+    /// spec)` always yields the same plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrashPlanError::TooManyNodes`] when a window's count
+    /// exceeds `n`.
+    pub fn resolve(&self, n: usize, seed: u64) -> Result<CrashPlan, CrashPlanError> {
+        let mut outages = Vec::with_capacity(self.windows.len());
+        for (index, w) in self.windows.iter().enumerate() {
+            if w.count > n {
+                return Err(CrashPlanError::TooManyNodes {
+                    index,
+                    count: w.count,
+                    n,
+                });
+            }
+            let mut rng = derive_rng(seed, &[TAG_CRASH, index as u64]);
+            let nodes = choose_corrupt(n, w.count, &mut rng).into_iter().collect();
+            outages.push(
+                CrashOutage::new(w.start, w.end, nodes)
+                    .expect("spec windows are validated at construction"),
+            );
+        }
+        Ok(CrashPlan::new(outages).expect("spec window order is validated at construction"))
+    }
+}
+
+impl fmt::Display for CrashSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "crash:")?;
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ";")?;
+            }
+            write!(f, "{w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses a digit-only integer: rejects whitespace, signs, and empty
+/// strings, mirroring the `sched:` grammar's hardening against silently
+/// tolerated junk.
+fn parse_strict<T: FromStr>(s: &str) -> Option<T> {
+    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse().ok()
+}
+
+/// Parses one `[start..end]count` window; `None` on any malformation
+/// (including open windows — crash windows must be closed).
+fn parse_crash_window(part: &str) -> Option<CrashWindow> {
+    let rest = part.strip_prefix('[')?;
+    let (range, count) = rest.split_once(']')?;
+    let (start, end) = range.split_once("..")?;
+    Some(CrashWindow {
+        start: parse_strict(start)?,
+        end: parse_strict(end)?,
+        count: parse_strict(count)?,
+    })
+}
+
+impl FromStr for CrashSpec {
+    type Err = ParseSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseSpecError {
+            input: s.to_string(),
+            expected: CRASH_EXPECTED,
+        };
+        let body = s.strip_prefix("crash:").ok_or_else(err)?;
+        if body.is_empty() {
+            return Err(err());
+        }
+        let mut windows = Vec::new();
+        for part in body.split(';') {
+            windows.push(parse_crash_window(part).ok_or_else(err)?);
+        }
+        CrashSpec::new(windows).map_err(|_| err())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(start: Step, end: Step, count: usize) -> CrashWindow {
+        CrashWindow { start, end, count }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for raw in ["crash:[3..7]64", "crash:[1..2]1;[5..9]16;[9..12]4"] {
+            let spec: CrashSpec = raw.parse().unwrap();
+            assert_eq!(spec.to_string(), raw);
+            let reparsed: CrashSpec = spec.to_string().parse().unwrap();
+            assert_eq!(spec, reparsed);
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for raw in [
+            "crash:",                // empty body
+            "crash",                 // no colon
+            "sched:[1..2]1",         // wrong family
+            "crash:[0..5]4",         // starts at step 0
+            "crash:[5..5]4",         // empty window
+            "crash:[7..5]4",         // inverted window
+            "crash:[1..5]0",         // zero nodes
+            "crash:[3..]4",          // open window
+            "crash:[1..4]2;[3..8]2", // overlap
+            "crash:[5..8]2;[1..3]2", // out of order
+            "crash:[1..4]2;",        // trailing separator
+            "crash:[ 1..4]2",        // whitespace
+            "crash:[1..4] 2",        // whitespace
+            "crash:[1..4]+2",        // sign
+            "crash:[a..4]2",         // non-numeric
+            "crash:[1..4]",          // missing count
+            "crash:1..4]2",          // missing bracket
+        ] {
+            assert!(raw.parse::<CrashSpec>().is_err(), "{raw} must be rejected");
+        }
+    }
+
+    #[test]
+    fn constructor_reports_the_offending_window() {
+        assert_eq!(
+            CrashSpec::new(vec![window(1, 3, 2), window(2, 5, 1)]),
+            Err(CrashPlanError::Unordered { index: 1 })
+        );
+        assert_eq!(
+            CrashSpec::new(vec![window(1, 3, 2), window(4, 4, 1)]),
+            Err(CrashPlanError::EmptyWindow {
+                index: 1,
+                start: 4,
+                end: 4
+            })
+        );
+    }
+
+    #[test]
+    fn empty_spec_is_programmatic_only() {
+        let none = CrashSpec::none();
+        assert!(none.is_empty());
+        assert_eq!(none.to_string(), "crash:");
+        assert!("crash:".parse::<CrashSpec>().is_err());
+        let plan = none.resolve(64, 7).unwrap();
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn back_to_back_windows_are_legal() {
+        // Non-overlap means next.start >= prev.end; touching is fine.
+        let spec = CrashSpec::new(vec![window(1, 4, 2), window(4, 6, 2)]).unwrap();
+        assert_eq!(spec.last_restart(), Some(6));
+    }
+
+    #[test]
+    fn resolve_is_deterministic_and_seed_sensitive() {
+        let spec: CrashSpec = "crash:[2..6]8;[9..12]4".parse().unwrap();
+        let a = spec.resolve(64, 42).unwrap();
+        let b = spec.resolve(64, 42).unwrap();
+        assert_eq!(a, b);
+        let c = spec.resolve(64, 43).unwrap();
+        assert_ne!(a, c, "a different seed draws different victims");
+        assert_eq!(a.outages()[0].nodes().len(), 8);
+        assert_eq!(a.outages()[1].nodes().len(), 4);
+        assert_eq!(a.outages()[0].start, 2);
+        assert_eq!(a.outages()[1].end, 12);
+    }
+
+    #[test]
+    fn resolve_uses_independent_streams_per_window() {
+        let spec: CrashSpec = "crash:[1..3]8;[5..7]8".parse().unwrap();
+        let plan = spec.resolve(256, 3).unwrap();
+        assert_ne!(
+            plan.outages()[0].nodes(),
+            plan.outages()[1].nodes(),
+            "distinct window tags draw distinct victim sets"
+        );
+    }
+
+    #[test]
+    fn resolve_rejects_oversized_counts() {
+        let spec: CrashSpec = "crash:[1..3]65".parse().unwrap();
+        assert_eq!(
+            spec.resolve(64, 1),
+            Err(CrashPlanError::TooManyNodes {
+                index: 0,
+                count: 65,
+                n: 64
+            })
+        );
+    }
+}

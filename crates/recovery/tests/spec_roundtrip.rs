@@ -1,0 +1,53 @@
+//! Property tests for the `crash:` grammar: parse/Display round-trips and
+//! resolution determinism over randomly generated well-formed schedules.
+
+use fba_recovery::{CrashSpec, CrashWindow};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Strategy for a well-formed window list: gaps ≥ 0 between consecutive
+/// windows, lengths ≥ 1, counts ≥ 1 — every output satisfies the grammar.
+fn windows_strategy() -> impl Strategy<Value = Vec<CrashWindow>> {
+    collection::vec((1u64..6, 1u64..8, 1usize..20), 1..5).prop_map(|raw| {
+        let mut windows = Vec::with_capacity(raw.len());
+        let mut cursor = 0u64;
+        for (gap, len, count) in raw {
+            let start = cursor + gap;
+            let end = start + len;
+            windows.push(CrashWindow { start, end, count });
+            cursor = end;
+        }
+        windows
+    })
+}
+
+proptest::proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn display_parse_round_trips(windows in windows_strategy()) {
+        let spec = CrashSpec::new(windows).expect("strategy yields valid windows");
+        let rendered = spec.to_string();
+        let reparsed: CrashSpec = rendered.parse().expect("rendered spec must reparse");
+        prop_assert_eq!(&spec, &reparsed);
+        prop_assert_eq!(rendered, reparsed.to_string());
+    }
+
+    #[test]
+    fn resolution_is_a_pure_function_of_n_seed_spec(
+        windows in windows_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let spec = CrashSpec::new(windows).expect("strategy yields valid windows");
+        let n = 64;
+        prop_assert!(spec.max_count() <= n);
+        let a = spec.resolve(n, seed).expect("counts fit n");
+        let b = spec.resolve(n, seed).expect("counts fit n");
+        prop_assert_eq!(&a, &b);
+        for (outage, window) in a.outages().iter().zip(spec.windows()) {
+            prop_assert_eq!(outage.nodes().len(), window.count);
+            prop_assert_eq!(outage.start, window.start);
+            prop_assert_eq!(outage.end, window.end);
+        }
+    }
+}

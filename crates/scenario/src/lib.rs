@@ -56,6 +56,7 @@ use fba_core::{
     run_ba, AerConfig, AerHarness, AerMsg, AerNode, AerRunState, BaConfig, BaReport, ConfigError,
 };
 use fba_exec::{BackendSpec, NodeBuilder, ThreadedBackend};
+use fba_recovery::{rejoin_report, CrashSpec, RecoveryConfig, RejoinReport};
 use fba_samplers::GString;
 use fba_sim::rng::{derive_rng, instance_seed};
 use fba_sim::{
@@ -299,6 +300,13 @@ pub enum ScenarioError {
         /// What was wrong.
         reason: String,
     },
+    /// The crash–restart schedule cannot run under this scenario: a
+    /// window crashes more nodes than the system has, or the schedule
+    /// was set for a phase the crash engine does not drive.
+    CrashSpecInvalid {
+        /// What was wrong.
+        reason: String,
+    },
     /// A fault schedule's windows disagree on the corruption budget:
     /// the windows would draw different coalitions, silently corrupting
     /// more nodes than the declared fault bound.
@@ -337,6 +345,9 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::InvalidBackend { spec, reason } => {
                 write!(f, "invalid backend `{spec}`: {reason}")
+            }
+            ScenarioError::CrashSpecInvalid { reason } => {
+                write!(f, "invalid crash spec: {reason}")
             }
             ScenarioError::ScheduleBudgetMismatch {
                 window,
@@ -403,6 +414,7 @@ impl NodeBuilder for AerBuilder<'_> {
 pub struct Scenario {
     n: usize,
     faults: Option<usize>,
+    faults_spec: Option<CrashSpec>,
     adversary: AdversarySpec,
     ae_adversary: AdversarySpec,
     network: NetworkSpec,
@@ -443,6 +455,7 @@ impl Scenario {
         Scenario {
             n,
             faults: None,
+            faults_spec: None,
             adversary: AdversarySpec::None,
             ae_adversary: AdversarySpec::None,
             network: NetworkSpec::Sync,
@@ -478,6 +491,24 @@ impl Scenario {
     #[must_use]
     pub fn faults(mut self, t: usize) -> Self {
         self.faults = Some(t);
+        self
+    }
+
+    /// Sets the crash–restart fault schedule (the `crash:[3..7]64`
+    /// grammar — see [`CrashSpec`]). Per window, the victim set is
+    /// sampled from the coalition seed (so a service run crashes the
+    /// same nodes in every instance, like the corrupt coalition); the
+    /// checkpoint/WAL layer is enabled on every node; crashed nodes go
+    /// dark for the window (deliveries to and from them are dropped,
+    /// callbacks suspended) and restart at window end from their last
+    /// checkpoint, then state-sync by re-polling their checkpointed
+    /// candidates against fresh peer samples. Only the AER phase on the
+    /// sim backend executes crash plans. An empty spec is the no-fault
+    /// baseline, bit-identical to never calling this (pinned by the
+    /// equivalence suite).
+    #[must_use]
+    pub fn faults_spec(mut self, spec: CrashSpec) -> Self {
+        self.faults_spec = Some(spec);
         self
     }
 
@@ -744,6 +775,7 @@ impl Scenario {
     pub fn validate(&self) -> Result<(), ScenarioError> {
         self.check_scale()?;
         self.validate_backend(true)?;
+        self.validate_crash()?;
         let unsupported = |spec: &AdversarySpec, phase: &'static str| {
             if spec.is_generic() {
                 Ok(())
@@ -818,6 +850,47 @@ impl Scenario {
         }
     }
 
+    /// Rejects crash–restart schedules this scenario cannot execute: a
+    /// window that crashes more nodes than the system has, a non-AER
+    /// phase (only the AER engine runs crash plans), or the threaded
+    /// backend (dark windows and checkpoint restarts are sim-engine
+    /// features). An unset or empty spec always passes — it is the
+    /// no-fault baseline.
+    fn validate_crash(&self) -> Result<(), ScenarioError> {
+        let Some(spec) = self.faults_spec.as_ref().filter(|s| !s.is_empty()) else {
+            return Ok(());
+        };
+        if !matches!(self.phase, Phase::Aer { .. }) {
+            return Err(ScenarioError::CrashSpecInvalid {
+                reason: format!(
+                    "crash–restart schedules only drive the AER phase, not {}; \
+                     drop `.faults_spec(..)` or set `.phase(Phase::aer(..))`",
+                    self.phase.phase_name()
+                ),
+            });
+        }
+        if matches!(self.backend, BackendSpec::Threaded { .. }) {
+            return Err(ScenarioError::InvalidBackend {
+                spec: self.backend,
+                reason: "the threaded backend cannot execute crash–restart schedules \
+                         (dark windows and checkpoint restarts are sim-engine features); \
+                         use `sim`"
+                    .into(),
+            });
+        }
+        for window in spec.windows() {
+            if window.count > self.n {
+                return Err(ScenarioError::CrashSpecInvalid {
+                    reason: format!(
+                        "window {window} crashes {} nodes but the system only has {}",
+                        window.count, self.n
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Executes the scenario.
     ///
     /// # Errors
@@ -849,6 +922,7 @@ impl Scenario {
     ) -> Result<ScenarioOutcome, ScenarioError> {
         self.check_scale()?;
         self.validate_backend(false)?;
+        self.validate_crash()?;
         match self.phase {
             Phase::Aer { precondition } => self
                 .run_aer(precondition, seed, observer)
@@ -975,7 +1049,7 @@ impl Scenario {
             precondition.assignment,
             seed,
         );
-        let harness = AerHarness::from_precondition(cfg, &pre);
+        let mut harness = AerHarness::from_precondition(cfg, &pre);
         let mut engine = match self.network {
             NetworkSpec::Sync => harness.engine_sync(),
             NetworkSpec::Async { max_delay } => harness.engine_async(max_delay),
@@ -989,6 +1063,24 @@ impl Scenario {
         }
         if let Some(limit) = self.batch_limit {
             engine.batch_limit = Some(limit);
+        }
+        if let Some(spec) = self.faults_spec.as_ref().filter(|s| !s.is_empty()) {
+            // Victims are drawn from the coalition seed, so a service
+            // run crashes the same nodes in every instance — the
+            // crash-family analogue of the pinned corrupt coalition.
+            let plan = spec
+                .resolve(self.n, adversary_seed)
+                .expect("crash spec validated before the run entry points dispatch here");
+            // Give the restarted victims the full original step budget
+            // after the last restart to re-converge (an explicit
+            // `.max_steps(..)` override still wins unchanged).
+            if self.max_steps.is_none() {
+                if let Some(last_restart) = spec.last_restart() {
+                    engine.max_steps = engine.max_steps.saturating_add(last_restart);
+                }
+            }
+            engine.crash = Some(plan);
+            harness.enable_recovery(RecoveryConfig::default());
         }
         let mut adversary = self.aer_adversary_for(&harness, &pre.gstring, seed);
         let (run, cache_stats) = match self.backend {
@@ -1048,6 +1140,7 @@ impl Scenario {
     /// and the usual config errors.
     pub fn run_instance(&self, seed: u64, adversary_seed: u64) -> Result<AerRun, ScenarioError> {
         self.check_scale()?;
+        self.validate_crash()?;
         let Phase::Aer { precondition } = self.phase else {
             return Err(ScenarioError::UnsupportedService {
                 phase: self.phase.phase_name(),
@@ -1136,6 +1229,7 @@ impl Scenario {
     /// specs, and the usual config errors.
     pub fn run_service(&self, seed: u64) -> Result<ServiceRun, ScenarioError> {
         self.check_scale()?;
+        self.validate_crash()?;
         let Phase::Aer { precondition } = self.phase else {
             return Err(ScenarioError::UnsupportedService {
                 phase: self.phase.phase_name(),
@@ -1475,6 +1569,16 @@ impl AerRun {
     #[must_use]
     pub fn correct_nodes(&self) -> usize {
         self.config.n - self.run.corrupt.len()
+    }
+
+    /// The rejoin-cost accounting for the crash plan this run executed
+    /// (set by [`Scenario::faults_spec`]), or `None` for crash-free runs.
+    #[must_use]
+    pub fn rejoin(&self) -> Option<RejoinReport> {
+        self.engine
+            .crash
+            .as_ref()
+            .map(|plan| rejoin_report(plan, &self.run.metrics))
     }
 }
 
@@ -2255,6 +2359,92 @@ mod tests {
             .run_service(1)
             .unwrap_err();
         assert!(matches!(err, ScenarioError::UnsupportedService { .. }));
+    }
+
+    #[test]
+    fn crash_schedule_crashes_and_recovers() {
+        let run = Scenario::new(64)
+            .faults_spec("crash:[2..8]8".parse().expect("parses"))
+            .run(11)
+            .expect("valid")
+            .into_aer();
+        assert!(run.run.metrics.msgs_dropped() > 0, "victims went dark");
+        assert!(run.run.all_decided(), "restarted nodes catch up");
+        assert_eq!(run.run.unanimous(), Some(run.gstring()));
+        let rejoin = run.rejoin().expect("crash plan ran");
+        assert!(rejoin.all_rejoined());
+        assert!(rejoin.max_rejoin_steps().is_some());
+    }
+
+    #[test]
+    fn empty_crash_spec_is_bit_identical_to_baseline() {
+        let baseline = Scenario::new(48).run(7).expect("valid").into_aer();
+        let empty = Scenario::new(48)
+            .faults_spec(CrashSpec::none())
+            .run(7)
+            .expect("valid")
+            .into_aer();
+        assert_eq!(empty.run.outputs, baseline.run.outputs);
+        assert_eq!(empty.run.metrics, baseline.run.metrics);
+        assert!(empty.rejoin().is_none(), "no plan was injected");
+    }
+
+    #[test]
+    fn crash_specs_are_validated() {
+        // A window crashing more nodes than the system has…
+        let err = Scenario::new(16)
+            .faults_spec("crash:[2..5]64".parse().expect("parses"))
+            .validate()
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::CrashSpecInvalid { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("only has 16"), "{err}");
+        // …a phase the crash engine does not drive…
+        let err = Scenario::new(64)
+            .phase(Phase::Ae)
+            .faults_spec("crash:[2..5]4".parse().expect("parses"))
+            .run(1)
+            .unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::CrashSpecInvalid { .. }),
+            "{err}"
+        );
+        // …and the threaded backend are all rejected, by validate() and
+        // the run entry points alike.
+        let err = Scenario::new(64)
+            .backend(BackendSpec::Threaded { shards: None })
+            .faults_spec("crash:[2..5]4".parse().expect("parses"))
+            .run(1)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidBackend { .. }), "{err}");
+    }
+
+    #[test]
+    fn service_run_survives_crash_windows() {
+        let service = Scenario::new(48)
+            .faults_spec("crash:[2..7]6".parse().expect("parses"))
+            .service(3, 5)
+            .run_service(21)
+            .expect("valid");
+        assert_eq!(service.decided_instances(), 3);
+        assert!(service.all_unanimous());
+        assert_eq!(service.min_decided_fraction(), 1.0);
+        // The victim set is drawn from the coalition seed: identical in
+        // every instance of the run.
+        let plans: Vec<_> = service
+            .instances
+            .iter()
+            .map(|inst| inst.run.engine.crash.clone().expect("plan injected"))
+            .collect();
+        assert!(plans.windows(2).all(|w| w[0] == w[1]));
+        // Every instance dropped traffic into the dark window and still
+        // rejoined all victims.
+        for inst in &service.instances {
+            assert!(inst.run.run.metrics.msgs_dropped() > 0);
+            assert!(inst.run.rejoin().expect("plan ran").all_rejoined());
+        }
     }
 
     #[test]

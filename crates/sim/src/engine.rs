@@ -20,6 +20,7 @@ use rand_chacha::ChaCha12Rng;
 
 use crate::adversary::{Adversary, Outbox};
 use crate::calendar::CalendarQueue;
+use crate::crash::CrashPlan;
 use crate::ids::{ceil_log2, NodeId, Step};
 use crate::message::{Batch, BatchBuffers, Delivery, Envelope, WireSize};
 use crate::metrics::Metrics;
@@ -62,6 +63,11 @@ pub struct EngineConfig {
     /// equivalence proptests randomise it to pin that batch boundaries
     /// never change outcomes.
     pub batch_limit: Option<usize>,
+    /// Crash–restart outage plan. `None` (the default) and an empty plan
+    /// are the same no-fault fast path and execute bit-identically; with
+    /// outages present, the named nodes go dark over their windows (see
+    /// [`CrashPlan`] and the crate-level determinism contract).
+    pub crash: Option<CrashPlan>,
 }
 
 impl EngineConfig {
@@ -78,6 +84,7 @@ impl EngineConfig {
             header_bits: None,
             batch: batch_env_default(),
             batch_limit: None,
+            crash: None,
         }
     }
 
@@ -378,6 +385,24 @@ where
         pool,
     } = session;
 
+    // Crash–restart plan: `None` and an empty plan are the same no-fault
+    // fast path. Every dark-window check below is gated on `has_crash`,
+    // so fault-free runs execute the exact baseline instruction sequence
+    // (the bit-identity pin in `tests/scenario_equivalence.rs`).
+    let crash_plan = cfg.crash.as_ref().filter(|p| !p.is_empty());
+    let has_crash = crash_plan.is_some();
+    if let Some(plan) = crash_plan {
+        assert!(
+            plan.max_node_index().is_none_or(|i| i < n),
+            "crash plan names out-of-range node"
+        );
+    }
+    let mut dark: Vec<bool> = if has_crash {
+        vec![false; n]
+    } else {
+        Vec::new()
+    };
+
     let batching = cfg.batch;
     let batch_limit = cfg.batch_limit;
     let rushing = adversary.rushing();
@@ -394,8 +419,55 @@ where
         let draining = all_decided_at.is_some();
         sends.clear();
 
+        // 0. Crash transitions (crash plans only). Restarts first: a
+        //    restarting node gets `on_restart` with a context (it may send
+        //    catch-up traffic immediately) and then the step's regular
+        //    callback like everyone else. New crashes second: their nodes
+        //    miss everything from this step until restart. Crashing a
+        //    corrupt node is a no-op — the adversary already plays it.
+        if let Some(plan) = crash_plan {
+            for outage in plan.outages() {
+                if outage.end == step {
+                    for &id in outage.nodes() {
+                        let i = id.index();
+                        if !dark[i] {
+                            continue;
+                        }
+                        dark[i] = false;
+                        if let Some(node) = nodes[i].as_mut() {
+                            let mut ctx = Context::new(id, n, step, &mut rngs[i], outbox_buf);
+                            node.on_restart(&mut ctx);
+                            enqueue_outbox(
+                                id,
+                                step,
+                                batching,
+                                batch_limit,
+                                header_bits,
+                                outbox_buf,
+                                &mut metrics,
+                                pool,
+                                sends,
+                            );
+                        }
+                    }
+                }
+                if outage.start == step {
+                    for &id in outage.nodes() {
+                        let i = id.index();
+                        if let Some(node) = nodes[i].as_mut() {
+                            dark[i] = true;
+                            node.on_crash(step);
+                        }
+                    }
+                }
+            }
+        }
+
         // 1. Per-step protocol callbacks: on_start at step 0, on_step later.
         for i in 0..n {
+            if has_crash && dark[i] {
+                continue;
+            }
             let id = NodeId::from_index(i);
             let Some(node) = nodes[i].as_mut() else {
                 continue;
@@ -424,6 +496,10 @@ where
         for delivery in due.drain(..) {
             match delivery {
                 Delivery::One(env) => {
+                    if has_crash && (dark[env.from.index()] || dark[env.to.index()]) {
+                        metrics.record_dropped(1);
+                        continue;
+                    }
                     metrics.record_recv(env.to, env.total_bits(header_bits));
                     let i = env.to.index();
                     if let Some(node) = nodes[i].as_mut() {
@@ -446,9 +522,18 @@ where
                 }
                 Delivery::Batch(batch) => {
                     let from = batch.from;
+                    if has_crash && dark[from.index()] {
+                        metrics.record_dropped(batch.len() as u64);
+                        pool.push(batch.into_buffers());
+                        continue;
+                    }
                     for (msg, recipients) in batch.runs() {
                         let bits = header_bits + msg.wire_bits();
                         for &to in recipients {
+                            if has_crash && dark[to.index()] {
+                                metrics.record_dropped(1);
+                                continue;
+                            }
                             metrics.record_recv(to, bits);
                             let i = to.index();
                             if let Some(node) = nodes[i].as_mut() {
@@ -527,7 +612,7 @@ where
         // 5. Decision tracking.
         if undecided > 0 {
             for i in 0..n {
-                if decided[i] {
+                if decided[i] || (has_crash && dark[i]) {
                     continue;
                 }
                 if let Some(node) = nodes[i].as_ref() {
@@ -721,6 +806,7 @@ pub fn flatten_into<M: Clone>(sends: &[Delivery<M>], flat: &mut Vec<Envelope<M>>
 mod tests {
     use super::*;
     use crate::adversary::{NoAdversary, SilentAdversary};
+    use crate::crash::CrashOutage;
 
     /// Every node sends a ping to the next node at start; a node decides
     /// once it has received a ping. Purely for engine semantics tests.
@@ -1078,6 +1164,206 @@ mod tests {
         let mut adv = SilentAdversary::new(4);
         let plain = run::<Ping, _, _>(&cfg, 77, &mut adv, ping_factory(16));
         assert_eq!(plain.corrupt, outcomes[0].corrupt);
+    }
+
+    /// Every node broadcasts a token every step (even after deciding); a
+    /// node decides once it has heard from everyone else. The retrying
+    /// traffic makes reconvergence after a dark window observable.
+    struct Gossip {
+        id: NodeId,
+        n: usize,
+        heard: BTreeSet<NodeId>,
+        crashes: u32,
+        restarts: u32,
+    }
+
+    impl Gossip {
+        fn fresh(id: NodeId, n: usize) -> Self {
+            Gossip {
+                id,
+                n,
+                heard: BTreeSet::new(),
+                crashes: 0,
+                restarts: 0,
+            }
+        }
+
+        fn broadcast(&self, ctx: &mut Context<'_, u64>) {
+            for i in 0..self.n {
+                if i != self.id.index() {
+                    ctx.send(NodeId::from_index(i), 1);
+                }
+            }
+        }
+    }
+
+    impl Protocol for Gossip {
+        type Msg = u64;
+        type Output = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            self.broadcast(ctx);
+        }
+        fn on_step(&mut self, ctx: &mut Context<'_, u64>) {
+            self.broadcast(ctx);
+        }
+        fn on_message(&mut self, from: NodeId, _msg: u64, _ctx: &mut Context<'_, u64>) {
+            self.heard.insert(from);
+        }
+        fn on_crash(&mut self, _step: Step) {
+            self.crashes += 1;
+            self.heard.clear(); // transient state is lost in the outage
+        }
+        fn on_restart(&mut self, _ctx: &mut Context<'_, u64>) {
+            self.restarts += 1;
+        }
+        fn output(&self) -> Option<u64> {
+            (self.heard.len() == self.n - 1).then_some(0)
+        }
+    }
+
+    fn crash_cfg(n: usize, plan: CrashPlan) -> EngineConfig {
+        EngineConfig {
+            max_steps: 40,
+            drain_steps: 4,
+            crash: Some(plan),
+            ..EngineConfig::sync(n)
+        }
+    }
+
+    #[test]
+    fn dark_window_suspends_a_node_until_restart() {
+        let n = 4;
+        let plan = CrashPlan::new(vec![
+            CrashOutage::new(1, 5, vec![NodeId::from_index(0)]).unwrap()
+        ])
+        .unwrap();
+        let mut crash_hooks = Vec::new();
+        let out = run_inspect::<Gossip, _, _, _>(
+            &crash_cfg(n, plan),
+            3,
+            &mut NoAdversary,
+            |id| Gossip::fresh(id, n),
+            |id, node| crash_hooks.push((id, node.crashes, node.restarts)),
+        );
+        // Node 0 is dark over steps 1-4: it misses every delivery, and
+        // its own step-0 broadcast is dropped too (the sender is dark at
+        // delivery time), so nodes 1-3 are stuck one contact short.
+        // Restart happens at the top of step 5, before deliveries — node
+        // 0 immediately receives the broadcasts sent at step 4 and
+        // decides at 5; its own restart broadcast lands at 6, where the
+        // rest reconverge.
+        assert_eq!(out.metrics.decided_at(NodeId::from_index(0)), Some(5));
+        for i in 1..n {
+            assert_eq!(out.metrics.decided_at(NodeId::from_index(i)), Some(6));
+        }
+        assert_eq!(out.all_decided_at, Some(6));
+        // Dropped traffic: node 0's step-0 broadcast (3 msgs, dark
+        // sender) plus the others' broadcasts delivered to it during
+        // steps 1-4 (3 msgs × 4 steps, dark recipient).
+        assert_eq!(out.metrics.msgs_dropped(), 3 + 3 * 4);
+        // The crash/restart hooks fired exactly once each, on node 0.
+        assert_eq!(crash_hooks.len(), n);
+        for (id, crashes, restarts) in crash_hooks {
+            let expected = u32::from(id.index() == 0);
+            assert_eq!((crashes, restarts), (expected, expected), "node {id}");
+        }
+    }
+
+    #[test]
+    fn crashed_runs_are_identical_batched_and_unbatched() {
+        let n = 5;
+        let plan = CrashPlan::new(vec![
+            CrashOutage::new(1, 3, vec![NodeId::from_index(2)]).unwrap(),
+            CrashOutage::new(4, 6, vec![NodeId::from_index(0), NodeId::from_index(3)]).unwrap(),
+        ])
+        .unwrap();
+        let base = crash_cfg(n, plan);
+        let unbatched = run::<Gossip, _, _>(
+            &EngineConfig {
+                batch: false,
+                ..base.clone()
+            },
+            11,
+            &mut NoAdversary,
+            |id| Gossip::fresh(id, n),
+        );
+        let batched = run::<Gossip, _, _>(
+            &EngineConfig {
+                batch: true,
+                ..base
+            },
+            11,
+            &mut NoAdversary,
+            |id| Gossip::fresh(id, n),
+        );
+        assert_eq!(batched.metrics, unbatched.metrics);
+        assert_eq!(batched.outputs, unbatched.outputs);
+        assert_eq!(batched.all_decided_at, unbatched.all_decided_at);
+        assert!(unbatched.metrics.msgs_dropped() > 0, "windows were live");
+    }
+
+    #[test]
+    fn empty_crash_plan_is_bit_identical_to_none() {
+        let cfg_none = EngineConfig {
+            record_transcript: true,
+            ..EngineConfig::sync(8)
+        };
+        let cfg_empty = EngineConfig {
+            crash: Some(CrashPlan::empty()),
+            ..cfg_none.clone()
+        };
+        for seed in [1u64, 9, 42] {
+            let mut a1 = SilentAdversary::new(2);
+            let mut a2 = SilentAdversary::new(2);
+            let plain = run::<Ping, _, _>(&cfg_none, seed, &mut a1, ping_factory(8));
+            let empty = run::<Ping, _, _>(&cfg_empty, seed, &mut a2, ping_factory(8));
+            assert_eq!(plain.metrics, empty.metrics);
+            assert_eq!(plain.outputs, empty.outputs);
+            assert_eq!(plain.corrupt, empty.corrupt);
+            assert_eq!(plain.all_decided_at, empty.all_decided_at);
+            assert_eq!(plain.quiescent, empty.quiescent);
+            assert_eq!(plain.transcript, empty.transcript);
+            assert_eq!(empty.metrics.msgs_dropped(), 0);
+        }
+    }
+
+    #[test]
+    fn crashing_a_corrupt_node_is_a_no_op() {
+        // The adversary plays corrupt nodes; a crash window naming one
+        // must not disturb the run (no hooks, no drops beyond what the
+        // correct crash targets cause).
+        let cfg = EngineConfig {
+            max_steps: 10,
+            ..EngineConfig::sync(8)
+        };
+        let mut adv = SilentAdversary::new(2);
+        let baseline = run::<Ping, _, _>(&cfg, 3, &mut adv, ping_factory(8));
+        let corrupt_target = *baseline.corrupt.iter().next().unwrap();
+        let plan =
+            CrashPlan::new(vec![CrashOutage::new(2, 4, vec![corrupt_target]).unwrap()]).unwrap();
+        let mut adv2 = SilentAdversary::new(2);
+        let crashed = run::<Ping, _, _>(
+            &EngineConfig {
+                crash: Some(plan),
+                ..cfg
+            },
+            3,
+            &mut adv2,
+            ping_factory(8),
+        );
+        assert_eq!(crashed.corrupt, baseline.corrupt);
+        assert_eq!(crashed.outputs, baseline.outputs);
+        assert_eq!(crashed.metrics.msgs_dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn crash_plan_naming_out_of_range_node_panics() {
+        let plan = CrashPlan::new(vec![
+            CrashOutage::new(1, 2, vec![NodeId::from_index(9)]).unwrap()
+        ])
+        .unwrap();
+        let _ = run::<Ping, _, _>(&crash_cfg(4, plan), 1, &mut NoAdversary, ping_factory(4));
     }
 
     #[test]

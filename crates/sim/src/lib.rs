@@ -72,6 +72,17 @@
 //!   counters prove the persistence is real rather than silently
 //!   rebuilt. Arrival schedules only move service-clock bookkeeping,
 //!   never outcomes.
+//! * **Dark windows** — the crash–restart fault family
+//!   ([`EngineConfig::crash`], resolved plans in [`CrashPlan`]) gates
+//!   every one of its checks on the plan being non-empty: a run carrying
+//!   `None` *or* an empty plan executes the exact pre-crash instruction
+//!   sequence, so the no-fault path stays bit-identical to baseline
+//!   (pinned by `tests/scenario_equivalence.rs`). With outages present,
+//!   crash and restart transitions happen at fixed plan-determined steps
+//!   (restarts before crashes, before the step's regular callbacks),
+//!   dark nodes are skipped in deterministic node order, and dropped
+//!   deliveries are counted in [`Metrics::msgs_dropped`] — a crashed run
+//!   is a pure function of `(config, plan, master seed)`.
 //! * **Execution backends** — the step loop's building blocks
 //!   ([`enqueue_outbox`], [`flatten_into`], [`consult_schedule`],
 //!   [`commit_schedule`]) are public so alternative executors can share
@@ -139,6 +150,7 @@
 
 mod adversary;
 pub mod calendar;
+mod crash;
 mod engine;
 pub mod fxhash;
 mod ids;
@@ -151,6 +163,7 @@ mod spec;
 pub mod tuning;
 
 pub use adversary::{choose_corrupt, Adversary, NoAdversary, Outbox, SilentAdversary};
+pub use crash::{CrashOutage, CrashPlan, CrashPlanError};
 pub use engine::{
     batch_env_default, commit_schedule, consult_schedule, enqueue_outbox, flatten_into, run,
     run_inspect, run_observed, run_session, EngineConfig, EngineSession, RunOutcome,

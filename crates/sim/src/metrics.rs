@@ -68,6 +68,7 @@ pub struct Metrics {
     msgs_recv: Vec<u64>,
     bits_recv: Vec<u64>,
     decided_at: Vec<Option<Step>>,
+    msgs_dropped: u64,
     /// Step at which the run stopped (last executed step).
     pub steps: Step,
 }
@@ -94,6 +95,7 @@ impl Metrics {
             msgs_recv: vec![0; n],
             bits_recv: vec![0; n],
             decided_at: vec![None; n],
+            msgs_dropped: 0,
             steps: 0,
         }
     }
@@ -135,6 +137,20 @@ impl Metrics {
     pub fn record_recv(&mut self, to: NodeId, bits: u64) {
         self.msgs_recv[to.index()] += 1;
         self.bits_recv[to.index()] += bits;
+    }
+
+    /// Records `count` logical messages dropped by the network — the
+    /// crash fault family's accounting: deliveries whose sender or
+    /// recipient was dark at delivery time never reach `record_recv` and
+    /// land here instead. Always 0 in runs without crash outages.
+    pub fn record_dropped(&mut self, count: u64) {
+        self.msgs_dropped += count;
+    }
+
+    /// Total logical messages dropped on dark-node edges.
+    #[must_use]
+    pub fn msgs_dropped(&self) -> u64 {
+        self.msgs_dropped
     }
 
     /// Records the step at which a node first produced an output. Later

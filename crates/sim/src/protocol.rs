@@ -44,6 +44,25 @@ pub trait Protocol {
     /// `from` is the authenticated sender identity stamped by the network.
     fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
 
+    /// Called when the engine crashes this node at the start of `step`
+    /// (crash–restart fault family, [`crate::CrashPlan`]): the node goes
+    /// dark — no callbacks, no deliveries in either direction — until its
+    /// restart. A crashing node cannot send, so no [`Context`] is handed
+    /// in. Implementations that keep durable state (a checkpoint log) use
+    /// this to mark transient state as lost; the default does nothing.
+    fn on_crash(&mut self, step: Step) {
+        let _ = step;
+    }
+
+    /// Called when the engine restarts this node at the end of its dark
+    /// window, before that step's regular callbacks. Implementations
+    /// restore from durable state and may immediately send catch-up
+    /// traffic via `ctx`; the default does nothing, which models a naive
+    /// resume with the (stale) in-memory state the node crashed with.
+    fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
     /// The node's final output, once it has decided. The engine polls this
     /// after each step; returning `Some` is irreversible as far as metrics
     /// are concerned (the first step at which it is observed is recorded as

@@ -20,6 +20,9 @@ pub const TAG_WORKLOAD: u64 = 0x574f_524b; // "WORK"
 /// Domain-separation tag for per-instance seeds in service (chained
 /// agreement) runs.
 pub const TAG_SERVICE: u64 = 0x5345_5256; // "SERV"
+/// Domain-separation tag for crash-schedule node sampling (the
+/// crash–restart fault family in `fba-recovery`).
+pub const TAG_CRASH: u64 = 0x4352_5348; // "CRSH"
 
 /// The `splitmix64` mixing function (Steele, Lea, Flood 2014).
 ///

@@ -126,6 +126,9 @@
 //!   protocol (push §3.1.1 + pull Algorithms 1–3), the composed **BA**
 //!   protocol, and the Byzantine attack suite (flooding, equivocation,
 //!   bad-string campaigns, the Lemma 6 cornering attack).
+//! * [`recovery`] — the crash–restart fault family: the `crash:[3..7]64`
+//!   schedule grammar, the checkpoint/WAL layer nodes persist phase
+//!   progress into, and rejoin-cost accounting for restarted nodes.
 //! * [`baselines`] — Figure 1 comparison protocols (KLST11-style
 //!   diffusion, flooding, Ben-Or, Phase-King).
 //! * [`bench`](mod@bench) — the declarative [`Battery`] API
@@ -140,10 +143,12 @@ pub use fba_baselines as baselines;
 pub use fba_bench as bench;
 pub use fba_core as core;
 pub use fba_exec as exec;
+pub use fba_recovery as recovery;
 pub use fba_samplers as samplers;
 pub use fba_scenario as scenario;
 pub use fba_sim as sim;
 
 pub use fba_bench::{Agg, Battery, Report, SeedPolicy};
+pub use fba_recovery::{CrashSpec, CrashWindow, RejoinReport};
 pub use fba_scenario::{Baseline, Phase, PreconditionSpec, Scenario, ScenarioOutcome};
 pub use fba_sim::{AdversarySpec, NetworkSpec, ScheduleSpec, Window};

@@ -906,6 +906,86 @@ fn threaded_backend_is_deterministic_for_fixed_seed_and_shards() {
     );
 }
 
+#[test]
+fn empty_crash_schedules_are_bit_identical_to_the_no_fault_baseline() {
+    // The recovery tentpole's safety pin: setting a zero-window crash
+    // schedule must leave every run byte-identical to never setting one.
+    // The recovery layer may not consume RNG, send messages, or touch
+    // the engine unless a crash is actually scheduled — pinned down to
+    // per-node metrics and the full delivery transcript.
+    use fba::recovery::CrashSpec;
+    for n in SIZES {
+        for (label, scenario) in [
+            ("plain", Scenario::new(n).phase(Phase::aer(0.8))),
+            (
+                "adversarial-async",
+                Scenario::new(n)
+                    .phase(Phase::aer(0.8))
+                    .adversary(AdversarySpec::Silent { t: None })
+                    .network(NetworkSpec::Async { max_delay: 2 }),
+            ),
+        ] {
+            let baseline = scenario
+                .clone()
+                .record_transcript(true)
+                .run(5)
+                .expect("valid scenario")
+                .into_aer();
+            let with_empty = scenario
+                .record_transcript(true)
+                .faults_spec(CrashSpec::none())
+                .run(5)
+                .expect("valid scenario")
+                .into_aer();
+            let label = format!("{label} n={n}");
+            assert_identical(&label, &with_empty.run, &baseline.run);
+            assert_eq!(
+                with_empty.run.metrics, baseline.run.metrics,
+                "{label}: per-node metrics"
+            );
+            assert_eq!(
+                with_empty.run.transcript, baseline.run.transcript,
+                "{label}: transcript"
+            );
+        }
+    }
+}
+
+#[test]
+fn crashed_runs_are_pure_functions_of_seed_and_spec() {
+    // A crashed run must replay bit-for-bit from (seed, spec) alone —
+    // victim sampling, dark-window drops, checkpoint restores and the
+    // state-sync re-polls all derive from the run seed and the schedule,
+    // never from ambient state.
+    for n in SIZES {
+        let scenario = Scenario::new(n)
+            .phase(Phase::aer(0.8))
+            .record_transcript(true)
+            .faults_spec("crash:[2..8]4".parse().expect("parses"));
+        let first = scenario.run(9).expect("valid scenario").into_aer();
+        let second = scenario.run(9).expect("valid scenario").into_aer();
+        let label = format!("crash replay n={n}");
+        assert_identical(&label, &second.run, &first.run);
+        assert_eq!(
+            second.run.metrics, first.run.metrics,
+            "{label}: per-node metrics"
+        );
+        assert_eq!(
+            second.run.transcript, first.run.transcript,
+            "{label}: transcript"
+        );
+        assert!(
+            first.run.metrics.msgs_dropped() > 0,
+            "{label}: the dark window actually dropped traffic"
+        );
+        assert_eq!(
+            first.run.metrics.decided_fraction(),
+            1.0,
+            "{label}: restarted nodes reconverge"
+        );
+    }
+}
+
 proptest::proptest! {
     // Full protocol runs per case; keep the case count small.
     #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]

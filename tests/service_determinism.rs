@@ -159,6 +159,48 @@ fn later_instances_hit_the_persistent_caches() {
 }
 
 #[test]
+fn crash_windows_compose_with_the_service_contract() {
+    // Crash–restart composes with the instance-sequence layer: a chained
+    // run with a mid-stream dark window in every instance still satisfies
+    // both the no-leak half of the contract (each instance matches its
+    // fresh-engine replay — the crash plan re-resolves identically from
+    // the coalition seed inside `run_instance`) and whole-run
+    // reproducibility, while the victims reconverge every time.
+    let scenario = Scenario::new(48)
+        .phase(Phase::aer(0.8))
+        .faults_spec("crash:[2..7]6".parse().expect("parses"))
+        .service(3, 4);
+    let service_seed = 17;
+    let service = scenario.run_service(service_seed).expect("valid service");
+    assert_eq!(
+        service.min_decided_fraction(),
+        1.0,
+        "restarted nodes reconverge in every instance"
+    );
+    assert!(service.all_unanimous());
+    for (k, inst) in service.instances.iter().enumerate() {
+        assert!(
+            inst.run.run.metrics.msgs_dropped() > 0,
+            "instance {k} went dark mid-stream"
+        );
+        assert!(
+            inst.run.rejoin().expect("crash plan ran").all_rejoined(),
+            "instance {k} rejoined every victim"
+        );
+        let fresh = scenario
+            .run_instance(inst.seed, service_seed)
+            .expect("valid instance");
+        assert_instance_matches(&format!("crash instance {k}"), &inst.run, &fresh);
+    }
+    let replay = scenario.run_service(service_seed).expect("valid service");
+    for (a, b) in service.instances.iter().zip(&replay.instances) {
+        assert_eq!(a.run.run.outputs, b.run.run.outputs);
+        assert_eq!(a.run.run.metrics, b.run.run.metrics);
+    }
+    assert_eq!(service.totals, replay.totals);
+}
+
+#[test]
 fn service_runs_are_reproducible() {
     // A service run is a pure function of (scenario, seed): replaying
     // the same seed reproduces every instance bit for bit, totals
